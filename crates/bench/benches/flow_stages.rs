@@ -1,0 +1,55 @@
+//! Per-stage cost of the Strober compile-time flow on the Rok core: the
+//! FAME1 transform, synthesis (with and without optimisation — an
+//! ablation of the DESIGN.md design choice), formal matching, and hub
+//! compilation. These are the `T_FPGAsyn`/`T_ASIC` analogs of §IV-E on
+//! our substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strober_cores::{build_core, CoreConfig};
+use strober_fame::{transform, FameConfig};
+use strober_formal::{match_designs, MatchOptions};
+use strober_sim::Simulator;
+use strober_synth::{synthesize, SynthOptions};
+
+fn bench_flow(c: &mut Criterion) {
+    let design = build_core(&CoreConfig::rok_tiny());
+    let synth = synthesize(&design, &SynthOptions::default()).expect("synth");
+    let fame = transform(&design, &FameConfig::default()).expect("transform");
+
+    let mut group = c.benchmark_group("flow_stages");
+    group.sample_size(10);
+
+    group.bench_function("elaborate_rok_tiny", |b| {
+        b.iter(|| black_box(build_core(&CoreConfig::rok_tiny())));
+    });
+
+    group.bench_function("fame1_transform", |b| {
+        b.iter(|| black_box(transform(&design, &FameConfig::default()).expect("transform")));
+    });
+
+    group.bench_function("synthesize_optimized", |b| {
+        b.iter(|| black_box(synthesize(&design, &SynthOptions::default()).expect("synth")));
+    });
+
+    group.bench_function("synthesize_unoptimized", |b| {
+        let opts = SynthOptions {
+            optimize: false,
+            ..SynthOptions::default()
+        };
+        b.iter(|| black_box(synthesize(&design, &opts).expect("synth")));
+    });
+
+    group.bench_function("formal_match", |b| {
+        b.iter(|| black_box(match_designs(&design, &synth, &MatchOptions::default()).expect("match")));
+    });
+
+    group.bench_function("compile_hub_simulator", |b| {
+        b.iter(|| black_box(Simulator::new(&fame.hub).expect("hub")));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

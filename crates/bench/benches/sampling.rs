@@ -1,0 +1,49 @@
+//! Sampling machinery benches: the per-element cost of online reservoir
+//! sampling (paid every replay window during fast simulation) and the
+//! skip-based record-count simulation that makes Table III's
+//! 73-billion-cycle row computable in microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use strober_sampling::{RecordCountSim, Reservoir, SampleStats};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("reservoir_offer_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut res = Reservoir::new(30);
+            for i in 0..10_000u64 {
+                res.offer(i, &mut rng);
+            }
+            black_box(res.records());
+        });
+    });
+
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("skip_record_count_73e9_cycles", |b| {
+        let sim = RecordCountSim::new(100);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            // 73.39e9 cycles at L = 1000 → 73.39e6 windows.
+            black_box(sim.simulate_records(73_390_000, &mut rng));
+        });
+    });
+
+    group.bench_function("confidence_interval_n30", |b| {
+        let values: Vec<f64> = (0..30).map(|i| 100.0 + ((i * 7) % 13) as f64).collect();
+        b.iter(|| {
+            let stats = SampleStats::from_measurements(&values).expect("n>=2");
+            black_box(stats.confidence_interval(1_000_000, strober_sampling::Confidence::C99));
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

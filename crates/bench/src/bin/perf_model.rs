@@ -1,0 +1,59 @@
+//! §IV-E — the analytic simulation-performance model's worked example:
+//! 100 billion cycles of a two-way BOOM, 100 snapshots, 10 parallel
+//! gate-level instances.
+
+use strober::PerfModel;
+
+fn main() {
+    let m = PerfModel::paper_example();
+    let n: u64 = 100_000_000_000;
+
+    println!("Section IV-E worked example (N = 100e9 cycles, n = {}, L = {}, P = {}):", m.n, m.replay_length, m.parallelism);
+    println!("  T_FPGAsyn          = {:>10.0} s", m.t_fpga_syn_s);
+    println!("  T_run    = N/K_f   = {:>10.0} s   (paper: 27778 s)", m.t_run_s(n));
+    println!(
+        "  records  ~ 2n ln((N/L)/n) = {:>6.0}   (paper: ~2763)",
+        m.expected_records(n)
+    );
+    println!("  T_sample           = {:>10.0} s   (paper: 3592 s)", m.t_sample_s(n));
+    println!("  T_replay           = {:>10.0} s   (paper: 2333 s, omitting T_load)", m.t_replay_s());
+    let paper_sum = m.t_run_s(n) + m.t_sample_s(n) + m.t_replay_s();
+    println!(
+        "  T_run+T_sample+T_replay = {:>7.0} s = {:.1} h  (paper: 33703 s = 9.4 h)",
+        paper_sum,
+        paper_sum / 3600.0
+    );
+    println!(
+        "  T_overall (formula, incl. FPGA synthesis) = {:.0} s = {:.1} h",
+        m.t_overall_s(n),
+        m.t_overall_s(n) / 3600.0
+    );
+    println!();
+    println!("Comparison points:");
+    println!(
+        "  microarchitectural software simulator (300 kHz): {:>8.2} days (paper: 3.86 days)",
+        m.t_uarch_sim_s(n) / 86_400.0
+    );
+    println!(
+        "  commercial gate-level simulation (12 Hz):        {:>8.1} years (paper: 264 years)",
+        m.t_gate_level_s(n) / (365.0 * 86_400.0)
+    );
+    println!();
+    println!("Speedups of the Strober flow:");
+    println!(
+        "  vs gate-level simulation: {:>10.0}x  (abstract: >= 4 orders of magnitude)",
+        m.speedup_vs_gate_level(n)
+    );
+    println!(
+        "  vs fast (300 kHz) microarchitectural simulator: {:>6.1}x",
+        m.speedup_vs_uarch(n)
+    );
+    let slow = PerfModel {
+        uarch_sim_hz: 20.0e3,
+        ..PerfModel::paper_example()
+    };
+    println!(
+        "  vs detailed (20 kHz) microarchitectural simulator: {:>5.0}x  (abstract: >= 2 orders)",
+        slow.speedup_vs_uarch(n)
+    );
+}

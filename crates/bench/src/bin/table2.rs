@@ -1,0 +1,80 @@
+//! Table II — processor parameters of the three evaluated cores, printed
+//! from the live configurations (plus the synthesized size of each, the
+//! "accurate timing and area" the paper gets from its CAD tools).
+
+use strober_bench::table2_cores;
+use strober_gates::CellLibrary;
+use strober_synth::{synthesize, SynthOptions};
+
+fn main() {
+    let lib = CellLibrary::generic_45nm();
+    println!("Table II: Processor Parameters");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "", "Rok", "Boum-1w", "Boum-2w"
+    );
+    let cores = table2_cores();
+    let row = |label: &str, f: &dyn Fn(usize) -> String| {
+        println!(
+            "{:<22} {:>10} {:>10} {:>10}",
+            label,
+            f(0),
+            f(1),
+            f(2)
+        );
+    };
+    row("Fetch-width", &|i| cores[i].0.width.to_string());
+    row("Issue-width", &|i| cores[i].0.width.to_string());
+    row("Issue slots", &|i| {
+        if cores[i].0.issue_slots == 0 {
+            "-".to_owned()
+        } else {
+            cores[i].0.issue_slots.to_string()
+        }
+    });
+    row("ROB size", &|i| {
+        if cores[i].0.rob_entries == 0 {
+            "-".to_owned()
+        } else {
+            cores[i].0.rob_entries.to_string()
+        }
+    });
+    row("Physical registers", &|i| {
+        cores[i].0.physical_regs.to_string()
+    });
+    row("L1 I$ / D$", &|i| {
+        format!(
+            "{}K/{}K",
+            cores[i].0.icache_bytes / 1024,
+            cores[i].0.dcache_bytes / 1024
+        )
+    });
+    row("BTB entries", &|i| {
+        if cores[i].0.btb_entries == 0 {
+            "-".to_owned()
+        } else {
+            cores[i].0.btb_entries.to_string()
+        }
+    });
+    println!();
+    println!("Synthesized implementation (generic 45nm library):");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "", "Rok", "Boum-1w", "Boum-2w"
+    );
+    let synths: Vec<_> = cores
+        .iter()
+        .map(|(_, d)| synthesize(d, &SynthOptions::default()).expect("synthesis"))
+        .collect();
+    row("Gates", &|i| synths[i].netlist.comb_gate_count().to_string());
+    row("Flip-flops", &|i| synths[i].netlist.dff_count().to_string());
+    row("SRAM macros", &|i| synths[i].netlist.srams().len().to_string());
+    row("State bits", &|i| cores[i].1.state_bits().to_string());
+    println!(
+        "{:<22} {:>10.0} {:>10.0} {:>10.0}",
+        "Area (um^2)",
+        synths[0].netlist.area_um2(&lib),
+        synths[1].netlist.area_um2(&lib),
+        synths[2].netlist.area_um2(&lib)
+    );
+}

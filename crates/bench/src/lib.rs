@@ -1,0 +1,227 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md §3 for the index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table2` | Table II — processor parameters |
+//! | `table3` | Table III — simulation performance with/without sampling |
+//! | `table4` | Table IV — simulated/replayed cycles and coverage |
+//! | `fig7`   | Fig. 7 — DRAM timing model validation (pointer chase) |
+//! | `fig8`   | Fig. 8 — theoretical error bounds vs. actual errors |
+//! | `fig9`   | Fig. 9a/9b — power breakdown, CPI and EPI per core |
+//! | `fig10`  | Fig. 10 — CPI over time with snapshot timestamps |
+//! | `perf_model` | §IV-E worked example and speedup claims |
+//! | `speedup` | measured simulator-speed ladder on this machine |
+//!
+//! Absolute numbers differ from the paper (our substrate is a software
+//! simulation of the platform, not a zc706 + TSMC 45 nm flow); the
+//! *shapes* — who wins, by what rough factor, where the crossovers sit —
+//! are the reproduction targets. EXPERIMENTS.md records paper-vs-measured
+//! for every row.
+
+use std::time::Instant;
+use strober_cores::CoreConfig;
+use strober_dram::{DramConfig, DramModel};
+use strober_isa::{assemble, programs};
+use strober_rtl::Design;
+use strober_sim::Simulator;
+
+/// Memory size every workload assumes.
+pub const MEM_BYTES: usize = programs::MEM_BYTES;
+
+/// The scaled workload suite used across the experiment binaries.
+///
+/// The paper's benchmark lengths (Table III/IV) are scaled down so that
+/// full gate-level reference runs finish in minutes; relative lengths
+/// between benchmarks are kept roughly faithful to Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// vvadd (Table IV: 200 521 cycles).
+    Vvadd,
+    /// towers (Table IV: 410 752 cycles).
+    Towers,
+    /// dhrystone (Table IV: 396 790 cycles).
+    Dhrystone,
+    /// qsort (Table IV: 187 160 cycles).
+    Qsort,
+    /// spmv (Table IV: 927 144 cycles).
+    Spmv,
+    /// dgemm (Table IV: 1 833 075 cycles).
+    Dgemm,
+    /// CoreMark (case study).
+    Coremark,
+    /// Linux boot (case study).
+    LinuxBoot,
+    /// 403.gcc (case study).
+    Gcc,
+}
+
+impl Workload {
+    /// The six microbenchmarks of Table IV / Fig. 8.
+    pub const MICRO: [Workload; 6] = [
+        Workload::Vvadd,
+        Workload::Towers,
+        Workload::Dhrystone,
+        Workload::Qsort,
+        Workload::Spmv,
+        Workload::Dgemm,
+    ];
+
+    /// The three case-study workloads of Table III / Fig. 9.
+    pub const CASE_STUDY: [Workload; 3] = [
+        Workload::Coremark,
+        Workload::LinuxBoot,
+        Workload::Gcc,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Vvadd => "vvadd",
+            Workload::Towers => "towers",
+            Workload::Dhrystone => "dhrystone",
+            Workload::Qsort => "qsort",
+            Workload::Spmv => "spmv",
+            Workload::Dgemm => "dgemm",
+            Workload::Coremark => "coremark",
+            Workload::LinuxBoot => "linux-boot",
+            Workload::Gcc => "gcc",
+        }
+    }
+
+    /// The scaled assembly source.
+    pub fn source(self) -> String {
+        match self {
+            Workload::Vvadd => programs::vvadd(640),
+            Workload::Towers => programs::towers(14),
+            Workload::Dhrystone => programs::dhrystone(2800),
+            Workload::Qsort => programs::qsort(768),
+            Workload::Spmv => programs::spmv(256, 12),
+            Workload::Dgemm => programs::dgemm(36),
+            Workload::Coremark => programs::coremark_like(60),
+            Workload::LinuxBoot => programs::linux_boot_like(16, 1500),
+            Workload::Gcc => programs::gcc_like(40_000, 2048),
+        }
+    }
+
+    /// Assembled image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bundled program fails to assemble (a library bug).
+    pub fn image(self) -> Vec<u32> {
+        assemble(&self.source()).expect("bundled workload assembles").words
+    }
+}
+
+/// The result of running a workload to completion on the fast RTL
+/// simulator with the DRAM model.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Cycles to completion.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Program exit code.
+    pub exit_code: u32,
+    /// Host wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// Runs a workload to completion on the bare RTL simulator (no FAME hub),
+/// returning timing and the DRAM model used (for its counters).
+///
+/// # Panics
+///
+/// Panics if the workload does not halt within `max_cycles`.
+pub fn run_on_rtl(
+    design: &Design,
+    image: &[u32],
+    dram_cfg: DramConfig,
+    max_cycles: u64,
+) -> (RunOutcome, DramModel) {
+    let mut sim = Simulator::new(design).expect("core design");
+    let mut dram = DramModel::new(dram_cfg, MEM_BYTES);
+    dram.load(image, 0);
+    let t0 = Instant::now();
+    let mut cycles = 0u64;
+    while cycles < max_cycles {
+        dram.tick_raw(&mut sim);
+        cycles += 1;
+        if cycles.is_multiple_of(256) && dram.exit_code().is_some() {
+            break;
+        }
+    }
+    let exit_code = dram
+        .exit_code()
+        .unwrap_or_else(|| panic!("workload did not halt in {max_cycles} cycles"));
+    (
+        RunOutcome {
+            cycles,
+            instret: dram.instret(),
+            exit_code,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        },
+        dram,
+    )
+}
+
+/// Builds the three Table II cores.
+pub fn table2_cores() -> Vec<(CoreConfig, Design)> {
+    CoreConfig::table2()
+        .into_iter()
+        .map(|c| {
+            let d = strober_cores::build_core(&c);
+            (c, d)
+        })
+        .collect()
+}
+
+/// Formats a number with thousands separators for table output.
+pub fn fmt_u64(v: u64) -> String {
+    let s = v.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_assemble() {
+        for w in Workload::MICRO.iter().chain(&Workload::CASE_STUDY) {
+            let img = w.image();
+            assert!(!img.is_empty(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn fmt_u64_groups_digits() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1000), "1,000");
+        assert_eq!(fmt_u64(1234567), "1,234,567");
+    }
+
+    #[test]
+    fn a_microbenchmark_runs_to_completion() {
+        let design = strober_cores::build_core(&CoreConfig::rok_tiny());
+        let (outcome, _) = run_on_rtl(
+            &design,
+            &Workload::Vvadd.image(),
+            DramConfig::default(),
+            10_000_000,
+        );
+        assert!(outcome.cycles > 1000);
+        assert!(outcome.instret > 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `strober estimate …` — the full sampled-energy flow.
+    Estimate(EstimateArgs),
+    /// `strober run …` — fast performance-only simulation.
+    Run(RunArgs),
+    /// `strober workloads` — list bundled workloads.
+    Workloads,
+    /// `strober export …` — write Verilog/metadata artifacts.
+    Export(ExportArgs),
+    /// `strober help` or `--help`.
+    Help,
+}
+
+/// Arguments of the `estimate` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateArgs {
+    /// Core configuration name.
+    pub core: String,
+    /// Bundled workload name.
+    pub workload: String,
+    /// Path to an assembly file instead of a bundled workload.
+    pub asm: Option<String>,
+    /// Sample size `n`.
+    pub samples: usize,
+    /// Replay length `L`.
+    pub replay_length: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Replay worker threads.
+    pub parallel: usize,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Emit the result as JSON.
+    pub json: bool,
+}
+
+impl Default for EstimateArgs {
+    fn default() -> Self {
+        EstimateArgs {
+            core: "rok".to_owned(),
+            workload: "dhrystone".to_owned(),
+            asm: None,
+            samples: 30,
+            replay_length: 128,
+            seed: 0x57_0BE5,
+            parallel: 4,
+            max_cycles: 200_000_000,
+            json: false,
+        }
+    }
+}
+
+/// Arguments of the `run` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Core configuration name.
+    pub core: String,
+    /// Bundled workload name.
+    pub workload: String,
+    /// Path to an assembly file instead of a bundled workload.
+    pub asm: Option<String>,
+    /// Cycle budget.
+    pub max_cycles: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            core: "rok".to_owned(),
+            workload: "dhrystone".to_owned(),
+            asm: None,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+/// Arguments of the `export` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportArgs {
+    /// Core configuration name.
+    pub core: String,
+    /// Output directory.
+    pub out: String,
+}
+
+/// A parse failure with a message for the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<String, ArgError> {
+    it.next()
+        .map(str::to_owned)
+        .ok_or_else(|| ArgError(format!("flag {flag} expects a value")))
+}
+
+/// Parses a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] with a user-facing message for unknown
+/// subcommands, unknown flags or malformed values.
+pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
+    let mut it = args.iter().copied();
+    let sub = match it.next() {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match sub {
+        "workloads" => Ok(Command::Workloads),
+        "estimate" => {
+            let mut a = EstimateArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--core" => a.core = take_value(flag, &mut it)?,
+                    "--workload" => a.workload = take_value(flag, &mut it)?,
+                    "--asm" => a.asm = Some(take_value(flag, &mut it)?),
+                    "-n" | "--samples" => {
+                        a.samples = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "-L" | "--replay-length" => {
+                        a.replay_length = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--seed" => {
+                        a.seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--parallel" => {
+                        a.parallel = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--max-cycles" => {
+                        a.max_cycles = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--json" => a.json = true,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Estimate(a))
+        }
+        "run" => {
+            let mut a = RunArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--core" => a.core = take_value(flag, &mut it)?,
+                    "--workload" => a.workload = take_value(flag, &mut it)?,
+                    "--asm" => a.asm = Some(take_value(flag, &mut it)?),
+                    "--max-cycles" => {
+                        a.max_cycles = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Run(a))
+        }
+        "export" => {
+            let mut a = ExportArgs {
+                core: "rok".to_owned(),
+                out: "strober-export".to_owned(),
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--core" => a.core = take_value(flag, &mut it)?,
+                    "--out" => a.out = take_value(flag, &mut it)?,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Export(a))
+        }
+        other => Err(ArgError(format!(
+            "unknown subcommand `{other}` (try `strober help`)"
+        ))),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+strober — sample-based energy simulation for arbitrary RTL
+
+USAGE:
+  strober estimate [--core rok|boum-1w|boum-2w] [--workload NAME | --asm FILE]
+                   [-n N] [-L CYCLES] [--seed S] [--parallel P]
+                   [--max-cycles N] [--json]
+      Run the full flow: fast sampled simulation, gate-level replay,
+      average power with a 99% confidence interval.
+
+  strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
+      Fast performance-only simulation (cycles, CPI, exit code).
+
+  strober workloads
+      List the bundled workloads.
+
+  strober export   [--core NAME] [--out DIR]
+      Write Verilog (RTL, netlist, FAME hub) and host metadata.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_estimate_flags() {
+        let cmd = parse(&[
+            "estimate", "--core", "boum-2w", "--workload", "coremark", "-n", "40", "-L", "256",
+            "--json",
+        ])
+        .unwrap();
+        let Command::Estimate(a) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.core, "boum-2w");
+        assert_eq!(a.workload, "coremark");
+        assert_eq!(a.samples, 40);
+        assert_eq!(a.replay_length, 256);
+        assert!(a.json);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let Command::Run(a) = parse(&["run"]).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.core, "rok");
+        assert_eq!(a.workload, "dhrystone");
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&["bogus"]).unwrap_err().0.contains("subcommand"));
+        assert!(parse(&["estimate", "--nope"]).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(&["estimate", "-n"]).unwrap_err().0.contains("expects a value"));
+        assert!(parse(&["estimate", "-n", "abc"]).unwrap_err().0.contains("not a number"));
+    }
+}

@@ -1,0 +1,246 @@
+//! `strober` — the command-line driver for sample-based energy simulation
+//! of the bundled processor designs and workloads.
+
+mod args;
+
+use args::{Command, EstimateArgs, ExportArgs, RunArgs, HELP};
+use std::process::ExitCode;
+use strober::{StroberConfig, StroberFlow};
+use strober_cores::{build_core, CoreConfig};
+use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
+use strober_isa::{assemble, programs};
+
+type WorkloadGen = fn() -> String;
+
+const WORKLOADS: &[(&str, WorkloadGen)] = &[
+    ("vvadd", || programs::vvadd(640)),
+    ("towers", || programs::towers(14)),
+    ("dhrystone", || programs::dhrystone(2800)),
+    ("qsort", || programs::qsort(768)),
+    ("spmv", || programs::spmv(256, 12)),
+    ("dgemm", || programs::dgemm(36)),
+    ("coremark", || programs::coremark_like(60)),
+    ("linux-boot", || programs::linux_boot_like(16, 1500)),
+    ("gcc", || programs::gcc_like(40_000, 2048)),
+];
+
+fn core_config(name: &str) -> Result<CoreConfig, String> {
+    match name {
+        "rok" => Ok(CoreConfig::rok()),
+        "boum-1w" => Ok(CoreConfig::boum_1w()),
+        "boum-2w" => Ok(CoreConfig::boum_2w()),
+        other => Err(format!(
+            "unknown core `{other}` (expected rok, boum-1w or boum-2w)"
+        )),
+    }
+}
+
+fn load_image(workload: &str, asm: &Option<String>) -> Result<Vec<u32>, String> {
+    let source = match asm {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read `{path}`: {e}"))?,
+        None => WORKLOADS
+            .iter()
+            .find(|(n, _)| *n == workload)
+            .map(|(_, f)| f())
+            .ok_or_else(|| {
+                format!("unknown workload `{workload}` (see `strober workloads`)")
+            })?,
+    };
+    Ok(assemble(&source)
+        .map_err(|e| format!("assembly failed: {e}"))?
+        .words)
+}
+
+fn cmd_run(a: &RunArgs) -> Result<(), String> {
+    let config = core_config(&a.core)?;
+    let image = load_image(&a.workload, &a.asm)?;
+    let design = build_core(&config);
+    let mut sim = strober_sim_new(&design)?;
+    let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
+    dram.load(&image, 0);
+    let t0 = std::time::Instant::now();
+    let mut cycles = 0u64;
+    while cycles < a.max_cycles && dram.exit_code().is_none() {
+        dram.tick_raw(&mut sim);
+        cycles += 1;
+    }
+    let Some(exit) = dram.exit_code() else {
+        return Err(format!("workload did not halt within {} cycles", a.max_cycles));
+    };
+    let instret = dram.instret();
+    println!("core:      {}", config.name);
+    println!("cycles:    {cycles}");
+    println!("instret:   {instret}");
+    println!("CPI:       {:.3}", cycles as f64 / instret as f64);
+    println!("exit code: {exit:#x}");
+    if !dram.console().is_empty() {
+        println!("console:   {}", String::from_utf8_lossy(dram.console()));
+    }
+    println!(
+        "host:      {:.2} s ({:.0} cycles/s)",
+        t0.elapsed().as_secs_f64(),
+        cycles as f64 / t0.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn strober_sim_new(
+    design: &strober_rtl::Design,
+) -> Result<strober_sim::Simulator, String> {
+    strober_sim::Simulator::new(design).map_err(|e| format!("invalid design: {e}"))
+}
+
+fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
+    let config = core_config(&a.core)?;
+    let image = load_image(&a.workload, &a.asm)?;
+    let design = build_core(&config);
+
+    eprintln!("[1/4] instrumenting, synthesizing and formally matching {} ...", config.name);
+    let flow = StroberFlow::new(
+        &design,
+        StroberConfig {
+            replay_length: a.replay_length,
+            sample_size: a.samples,
+            seed: a.seed,
+            ..StroberConfig::default()
+        },
+    )
+    .map_err(|e| format!("flow setup failed: {e}"))?;
+
+    eprintln!("[2/4] fast simulation with reservoir sampling ...");
+    let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
+    dram.load(&image, 0);
+    let run = flow
+        .run_sampled(&mut dram, a.max_cycles)
+        .map_err(|e| format!("sampled run failed: {e}"))?;
+    if dram.exit_code().is_none() {
+        return Err(format!("workload did not halt within {} cycles", a.max_cycles));
+    }
+
+    eprintln!(
+        "[3/4] replaying {} snapshots on gate-level simulation ({} workers) ...",
+        run.snapshots.len(),
+        a.parallel
+    );
+    let results = flow
+        .replay_all(&run.snapshots, a.parallel)
+        .map_err(|e| format!("replay failed: {e}"))?;
+
+    eprintln!("[4/4] estimating ...");
+    let estimate = flow.estimate(&run, &results);
+    let instret = dram.instret();
+    let dram_power = LpddrPowerParams::lpddr2_s4()
+        .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
+        .total_mw();
+
+    if a.json {
+        let mut regions = serde_json::Map::new();
+        for (region, mw) in estimate.per_region_mw() {
+            regions.insert(region.clone(), serde_json::json!(mw));
+        }
+        let doc = serde_json::json!({
+            "core": config.name,
+            "workload": a.workload,
+            "cycles": run.target_cycles,
+            "instret": instret,
+            "cpi": run.target_cycles as f64 / instret as f64,
+            "samples": results.len(),
+            "windows": run.windows,
+            "records": run.records,
+            "core_power_mw": estimate.mean_power_mw(),
+            "core_power_bound_mw": estimate.interval().half_width(),
+            "confidence": estimate.interval().confidence(),
+            "dram_power_mw": dram_power,
+            "epi_nj": (estimate.mean_power_mw() + dram_power) * 1e-3
+                * (run.target_cycles as f64 / flow.config().freq_hz)
+                / instret as f64 * 1e9,
+            "regions": regions,
+        });
+        println!("{}", serde_json::to_string_pretty(&doc).expect("serialisable"));
+        return Ok(());
+    }
+
+    println!("core:        {}", config.name);
+    println!("workload:    {}", a.workload);
+    println!(
+        "cycles:      {} ({} windows of {}; {} records)",
+        run.target_cycles, run.windows, a.replay_length, run.records
+    );
+    println!("CPI:         {:.3}", run.target_cycles as f64 / instret as f64);
+    println!();
+    print!("{estimate}");
+    println!("  {:<24} {dram_power:>9.3} mW  (counter-based model)", "DRAM");
+    let total = estimate.mean_power_mw() + dram_power;
+    let epi = total * 1e-3 * (run.target_cycles as f64 / flow.config().freq_hz)
+        / instret as f64
+        * 1e9;
+    println!();
+    println!("total (core + DRAM): {total:.3} mW;  EPI: {epi:.3} nJ/instruction");
+    Ok(())
+}
+
+fn cmd_export(a: &ExportArgs) -> Result<(), String> {
+    let config = core_config(&a.core)?;
+    let design = build_core(&config);
+    let out = std::path::Path::new(&a.out);
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create `{}`: {e}", a.out))?;
+
+    let rtl = strober_rtl::verilog::to_verilog(&design).map_err(|e| e.to_string())?;
+    std::fs::write(out.join(format!("{}.v", config.name)), rtl).map_err(|e| e.to_string())?;
+
+    let synth = strober_synth::synthesize(&design, &strober_synth::SynthOptions::default())
+        .map_err(|e| e.to_string())?;
+    let netlist = strober_gates::verilog::to_structural_verilog(&synth.netlist)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(out.join(format!("{}_netlist.v", config.name)), netlist)
+        .map_err(|e| e.to_string())?;
+
+    let fame = strober_fame::transform(&design, &strober_fame::FameConfig::default())
+        .map_err(|e| e.to_string())?;
+    std::fs::write(
+        out.join(format!("{}_fame_meta.json", config.name)),
+        fame.meta.to_json(),
+    )
+    .map_err(|e| e.to_string())?;
+    let hub = strober_rtl::verilog::to_verilog(&fame.hub).map_err(|e| e.to_string())?;
+    std::fs::write(out.join(format!("{}_hub.v", config.name)), hub).map_err(|e| e.to_string())?;
+
+    println!("wrote {}/{{{n}.v, {n}_netlist.v, {n}_hub.v, {n}_fame_meta.json}}", a.out, n = config.name);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
+    let command = match args::parse(&refs) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match &command {
+        Command::Help => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Command::Workloads => {
+            println!("bundled workloads (scaled versions of the paper's benchmarks):");
+            for (name, _) in WORKLOADS {
+                println!("  {name}");
+            }
+            Ok(())
+        }
+        Command::Run(a) => cmd_run(a),
+        Command::Estimate(a) => cmd_estimate(a),
+        Command::Export(a) => cmd_export(a),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

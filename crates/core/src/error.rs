@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the end-to-end Strober flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StroberError {
+    /// The target design or a generated hub failed validation.
+    Rtl(strober_rtl::RtlError),
+    /// Synthesis failed.
+    Synth(strober_synth::SynthError),
+    /// Formal matching / equivalence checking failed.
+    Formal(strober_formal::FormalError),
+    /// A simulator-level problem (bad port name, state shape).
+    Sim(strober_sim::SimError),
+    /// A gate-level simulator problem during replay.
+    GateSim(strober_gatesim::GateSimError),
+    /// A replayed output diverged from the recorded trace — the §IV-C
+    /// replay self-check failed.
+    ReplayMismatch {
+        /// The output port that diverged.
+        output: String,
+        /// Cycle offset within the replay window.
+        offset: usize,
+        /// Value recorded during fast simulation.
+        expected: u64,
+        /// Value produced by gate-level replay.
+        got: u64,
+    },
+    /// A snapshot referenced state the name map does not cover.
+    UnmappedState {
+        /// The RTL state element's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StroberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StroberError::Rtl(e) => write!(f, "rtl error: {e}"),
+            StroberError::Synth(e) => write!(f, "synthesis error: {e}"),
+            StroberError::Formal(e) => write!(f, "formal matching error: {e}"),
+            StroberError::Sim(e) => write!(f, "simulation error: {e}"),
+            StroberError::GateSim(e) => write!(f, "gate-level simulation error: {e}"),
+            StroberError::ReplayMismatch {
+                output,
+                offset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replay mismatch on `{output}` at window offset {offset}: expected {expected:#x}, got {got:#x}"
+            ),
+            StroberError::UnmappedState { name } => {
+                write!(f, "snapshot state `{name}` has no netlist mapping")
+            }
+        }
+    }
+}
+
+impl Error for StroberError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StroberError::Rtl(e) => Some(e),
+            StroberError::Synth(e) => Some(e),
+            StroberError::Formal(e) => Some(e),
+            StroberError::Sim(e) => Some(e),
+            StroberError::GateSim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<strober_rtl::RtlError> for StroberError {
+    fn from(e: strober_rtl::RtlError) -> Self {
+        StroberError::Rtl(e)
+    }
+}
+
+impl From<strober_synth::SynthError> for StroberError {
+    fn from(e: strober_synth::SynthError) -> Self {
+        StroberError::Synth(e)
+    }
+}
+
+impl From<strober_formal::FormalError> for StroberError {
+    fn from(e: strober_formal::FormalError) -> Self {
+        StroberError::Formal(e)
+    }
+}
+
+impl From<strober_sim::SimError> for StroberError {
+    fn from(e: strober_sim::SimError) -> Self {
+        StroberError::Sim(e)
+    }
+}
+
+impl From<strober_gatesim::GateSimError> for StroberError {
+    fn from(e: strober_gatesim::GateSimError) -> Self {
+        StroberError::GateSim(e)
+    }
+}

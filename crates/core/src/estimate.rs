@@ -1,0 +1,146 @@
+//! Run results and the statistical energy estimate.
+
+use std::collections::BTreeMap;
+use strober_fame::FameSnapshot;
+use strober_platform::PlatformStats;
+use strober_power::PowerReport;
+use strober_sampling::{Confidence, ConfidenceInterval, SampleStats};
+
+/// The product of one sampled fast-simulation run.
+#[derive(Debug, Clone)]
+pub struct SampledRun {
+    /// The replayable snapshots selected by reservoir sampling.
+    pub snapshots: Vec<FameSnapshot>,
+    /// Total target cycles executed.
+    pub target_cycles: u64,
+    /// Number of disjoint replay windows in the execution (the population
+    /// size `N/L` for the confidence interval).
+    pub windows: u64,
+    /// Snapshot record operations performed (Table III's "Record
+    /// Counts").
+    pub records: u64,
+    /// Platform cost-model statistics.
+    pub stats: PlatformStats,
+}
+
+/// The product of replaying one snapshot on gate-level simulation.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// The target cycle the snapshot was captured at.
+    pub cycle: u64,
+    /// Power over the measurement window.
+    pub power: PowerReport,
+    /// Output-trace values checked against the replay (all matched, or
+    /// replay would have failed).
+    pub outputs_checked: u64,
+}
+
+/// The workload-level energy estimate (§III-A applied to replay power
+/// measurements).
+#[derive(Debug, Clone)]
+pub struct EnergyEstimate {
+    interval: ConfidenceInterval,
+    per_region_mw: BTreeMap<String, f64>,
+    sample_size: usize,
+    population: usize,
+    target_cycles: u64,
+    freq_hz: f64,
+}
+
+impl EnergyEstimate {
+    /// Builds the estimate from per-snapshot total powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two replay results (no variance estimate).
+    pub fn from_results(
+        results: &[ReplayResult],
+        windows: u64,
+        target_cycles: u64,
+        freq_hz: f64,
+        confidence: Confidence,
+    ) -> Self {
+        let powers: Vec<f64> = results.iter().map(|r| r.power.total_mw()).collect();
+        let stats = SampleStats::from_measurements(&powers)
+            .expect("need at least two replayed snapshots");
+        let interval = stats.confidence_interval(windows as usize, confidence);
+
+        let mut per_region_mw = BTreeMap::new();
+        for r in results {
+            for (region, b) in r.power.by_region() {
+                *per_region_mw.entry(region.clone()).or_insert(0.0) += b.total_mw();
+            }
+        }
+        for v in per_region_mw.values_mut() {
+            *v /= results.len() as f64;
+        }
+
+        EnergyEstimate {
+            interval,
+            per_region_mw,
+            sample_size: results.len(),
+            population: windows as usize,
+            target_cycles,
+            freq_hz,
+        }
+    }
+
+    /// The estimated average power in mW.
+    pub fn mean_power_mw(&self) -> f64 {
+        self.interval.mean()
+    }
+
+    /// The confidence interval on average power.
+    pub fn interval(&self) -> &ConfidenceInterval {
+        &self.interval
+    }
+
+    /// Mean power attributed to one component, mW.
+    pub fn region_mw(&self, region: &str) -> f64 {
+        self.per_region_mw.get(region).copied().unwrap_or(0.0)
+    }
+
+    /// The full per-component mean breakdown.
+    pub fn per_region_mw(&self) -> &BTreeMap<String, f64> {
+        &self.per_region_mw
+    }
+
+    /// Number of snapshots replayed.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// The population size (replay windows in the execution).
+    pub fn population(&self) -> usize {
+        self.population
+    }
+
+    /// Total estimated energy for the run, in millijoules:
+    /// `P̄ · cycles / f`.
+    pub fn total_energy_mj(&self) -> f64 {
+        self.mean_power_mw() * self.target_cycles as f64 / self.freq_hz / 1e3
+    }
+
+    /// Energy per event (e.g. per instruction) in nanojoules, given the
+    /// event count — Fig. 9b's EPI when fed retired instructions.
+    pub fn energy_per_event_nj(&self, events: u64) -> f64 {
+        if events == 0 {
+            return f64::INFINITY;
+        }
+        self.total_energy_mj() * 1e6 / events as f64
+    }
+}
+
+impl std::fmt::Display for EnergyEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "average power: {} (n={} of {} windows)",
+            self.interval, self.sample_size, self.population
+        )?;
+        for (region, mw) in &self.per_region_mw {
+            writeln!(f, "  {region:<24} {mw:>9.3} mW")?;
+        }
+        Ok(())
+    }
+}

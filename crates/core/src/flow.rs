@@ -1,0 +1,417 @@
+//! The end-to-end Strober flow.
+
+use crate::error::StroberError;
+use crate::estimate::{EnergyEstimate, ReplayResult, SampledRun};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strober_fame::{transform, FameConfig, FameResult, FameSnapshot};
+use strober_formal::{match_designs, MatchOptions, NameMap};
+use strober_gates::CellLibrary;
+use strober_gatesim::{GateSim, VpiLoader};
+use strober_platform::{HostModel, PlatformConfig, ZynqHost};
+use strober_power::PowerAnalyzer;
+use strober_rtl::Design;
+use strober_sampling::{Confidence, Reservoir};
+use strober_synth::{synthesize, SynthOptions, SynthResult};
+
+/// Configuration for a Strober session.
+#[derive(Debug, Clone)]
+pub struct StroberConfig {
+    /// Measurement window length `L` in cycles.
+    pub replay_length: u32,
+    /// Extra leading trace cycles for retimed-datapath recovery (§IV-C3).
+    pub warmup: u32,
+    /// Reservoir sample size `n` (the paper's validation uses 30).
+    pub sample_size: usize,
+    /// Confidence level for the power interval (99% in Fig. 8).
+    pub confidence: Confidence,
+    /// Target clock frequency for power analysis (1 GHz in the paper).
+    pub freq_hz: f64,
+    /// RNG seed for reservoir sampling.
+    pub seed: u64,
+    /// Synthesis options (retiming annotations, optimisation, mangling).
+    pub synth: SynthOptions,
+    /// Host platform cost-model parameters.
+    pub platform: PlatformConfig,
+}
+
+impl Default for StroberConfig {
+    fn default() -> Self {
+        StroberConfig {
+            replay_length: 128,
+            warmup: 0,
+            sample_size: 30,
+            confidence: Confidence::C99,
+            freq_hz: 1.0e9,
+            seed: 0x57_0BE5,
+            synth: SynthOptions::default(),
+            platform: PlatformConfig::default(),
+        }
+    }
+}
+
+/// A fully prepared Strober session for one target design: the FAME1 hub,
+/// the synthesized netlist and the verified name map.
+#[derive(Debug)]
+pub struct StroberFlow {
+    config: StroberConfig,
+    fame: FameResult,
+    synth: SynthResult,
+    name_map: NameMap,
+    lib: CellLibrary,
+    analyzer: PowerAnalyzer,
+}
+
+impl StroberFlow {
+    /// Prepares a session: FAME1 transform, synthesis, formal matching.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StroberError`] if the design is invalid, synthesis
+    /// fails, or the formal matcher finds a discrepancy.
+    pub fn new(design: &Design, config: StroberConfig) -> Result<Self, StroberError> {
+        let fame = transform(
+            design,
+            &FameConfig {
+                replay_length: config.replay_length,
+                warmup: config.warmup,
+            },
+        )?;
+        let synth = synthesize(design, &config.synth)?;
+        let report = match_designs(design, &synth, &MatchOptions::default())?;
+        let lib = CellLibrary::generic_45nm();
+        let analyzer = PowerAnalyzer::new(&synth.netlist, &lib, config.freq_hz);
+        Ok(StroberFlow {
+            config,
+            fame,
+            synth,
+            name_map: report.name_map,
+            lib,
+            analyzer,
+        })
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &StroberConfig {
+        &self.config
+    }
+
+    /// The FAME1 transform output (hub design + metadata).
+    pub fn fame(&self) -> &FameResult {
+        &self.fame
+    }
+
+    /// The synthesis output.
+    pub fn synth(&self) -> &SynthResult {
+        &self.synth
+    }
+
+    /// The verified RTL↔netlist name map.
+    pub fn name_map(&self) -> &NameMap {
+        &self.name_map
+    }
+
+    /// The cell library used for power analysis.
+    pub fn library(&self) -> &CellLibrary {
+        &self.lib
+    }
+
+    /// Runs the workload on the host platform with reservoir sampling:
+    /// the execution is divided into `L`-cycle windows, each window is a
+    /// population element, and selected windows are captured as replayable
+    /// snapshots (state scan + I/O trace).
+    ///
+    /// Stops when the host model reports completion or after `max_cycles`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StroberError`] if the hub cannot be simulated.
+    pub fn run_sampled(
+        &self,
+        model: &mut dyn HostModel,
+        max_cycles: u64,
+    ) -> Result<SampledRun, StroberError> {
+        let mut host = ZynqHost::new(&self.fame, self.config.platform.clone())?;
+        let window = host.trace_window();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut reservoir: Reservoir<FameSnapshot> = Reservoir::new(self.config.sample_size);
+
+        let mut windows = 0u64;
+        while host.target_cycles() < max_cycles && !model.is_done() {
+            match reservoir.decide(&mut rng) {
+                Some(slot) => {
+                    let snap = host.capture_snapshot(model)?;
+                    reservoir.place(slot, snap);
+                }
+                None => {
+                    host.run(model, window)?;
+                }
+            }
+            windows += 1;
+        }
+
+        let records = reservoir.records();
+        Ok(SampledRun {
+            snapshots: reservoir.into_sample(),
+            target_cycles: host.target_cycles(),
+            windows,
+            records,
+            stats: host.stats(),
+        })
+    }
+
+    /// Replays one snapshot on gate-level simulation: forces the recorded
+    /// inputs for the `warmup` prefix (recovering retimed-datapath state,
+    /// §IV-C3), loads the scanned architectural state through the verified
+    /// name map (via the VPI-style bulk loader) at the measurement-window
+    /// boundary, checks every recorded output inside the window, and
+    /// measures power over the `L`-cycle window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::ReplayMismatch`] when gate-level outputs
+    /// diverge from the trace, [`StroberError::UnmappedState`] for
+    /// snapshot state with no mapping, and loader errors otherwise.
+    pub fn replay(&self, snapshot: &FameSnapshot) -> Result<ReplayResult, StroberError> {
+        let mut sim = GateSim::new(&self.synth.netlist)?;
+
+        // Assemble the bulk load through the name map; retimed registers
+        // are recovered by the warmup prefix instead.
+        let mut dff_values = Vec::new();
+        for (name, value) in &snapshot.regs {
+            if self.name_map.retimed.iter().any(|r| r == name) {
+                continue;
+            }
+            let dffs = self
+                .name_map
+                .regs
+                .get(name)
+                .ok_or_else(|| StroberError::UnmappedState { name: name.clone() })?;
+            for (i, dff) in dffs.iter().enumerate() {
+                dff_values.push((dff.clone(), (value >> i) & 1 == 1));
+            }
+        }
+        let mut sram_words = Vec::new();
+        for (name, contents) in &snapshot.mems {
+            let macro_name = self
+                .name_map
+                .mems
+                .get(name)
+                .ok_or_else(|| StroberError::UnmappedState { name: name.clone() })?;
+            for (addr, word) in contents.iter().enumerate() {
+                sram_words.push((macro_name.clone(), addr, *word));
+            }
+        }
+        let warmup = self.config.warmup as usize;
+        let total = snapshot.trace_len();
+        let mut outputs_checked = 0u64;
+        for t in 0..total {
+            for (port, values) in &snapshot.inputs {
+                sim.poke_port(port, values[t])?;
+            }
+            if t == warmup {
+                // The state scan happened `warmup` cycles into the traced
+                // window: load it now. Retimed (unmapped) netlist
+                // registers keep the values the forced-input prefix gave
+                // them — that prefix covers their pipeline depth.
+                VpiLoader::load(&mut sim, &dff_values, &sram_words)?;
+                sim.reset_activity();
+            }
+            if t >= warmup {
+                for (port, values) in &snapshot.outputs {
+                    let got = sim.peek_port(port)?;
+                    if got != values[t] {
+                        return Err(StroberError::ReplayMismatch {
+                            output: port.clone(),
+                            offset: t,
+                            expected: values[t],
+                            got,
+                        });
+                    }
+                    outputs_checked += 1;
+                }
+            }
+            sim.step();
+        }
+
+        let power = self.analyzer.analyze(&sim.activity());
+        Ok(ReplayResult {
+            cycle: snapshot.cycle,
+            power,
+            outputs_checked,
+        })
+    }
+
+    /// Replays all snapshots, distributing them over `parallelism` worker
+    /// threads — snapshots are independent, exactly as §III-B observes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay error encountered.
+    pub fn replay_all(
+        &self,
+        snapshots: &[FameSnapshot],
+        parallelism: usize,
+    ) -> Result<Vec<ReplayResult>, StroberError> {
+        let parallelism = parallelism.max(1);
+        if parallelism == 1 || snapshots.len() <= 1 {
+            return snapshots.iter().map(|s| self.replay(s)).collect();
+        }
+        let chunk = snapshots.len().div_ceil(parallelism);
+        let mut out: Vec<Option<Result<ReplayResult, StroberError>>> =
+            (0..snapshots.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (ci, block) in snapshots.chunks(chunk).enumerate() {
+                let flow = &*self;
+                handles.push((
+                    ci,
+                    scope.spawn(move || {
+                        block
+                            .iter()
+                            .map(|s| flow.replay(s))
+                            .collect::<Vec<_>>()
+                    }),
+                ));
+            }
+            for (ci, h) in handles {
+                let results = h.join().expect("replay worker panicked");
+                for (i, r) in results.into_iter().enumerate() {
+                    out[ci * chunk + i] = Some(r);
+                }
+            }
+        });
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
+    }
+
+    /// Combines a sampled run and its replay results into the final
+    /// energy estimate with a confidence interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than two replay results.
+    pub fn estimate(&self, run: &SampledRun, results: &[ReplayResult]) -> EnergyEstimate {
+        EnergyEstimate::from_results(
+            results,
+            run.windows,
+            run.target_cycles,
+            self.config.freq_hz,
+            self.config.confidence,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+    use strober_platform::OutputView;
+    use strober_rtl::Width;
+
+    struct NoIo;
+    impl HostModel for NoIo {
+        fn tick(&mut self, _c: u64, _io: &mut OutputView<'_>) {}
+    }
+
+    fn counter_design() -> Design {
+        let ctx = Ctx::new("counter");
+        let w16 = Width::new(16).unwrap();
+        let count = ctx.scope("core", |c| c.reg("count", w16, 0));
+        count.set(&count.out().add_lit(1));
+        ctx.output("value", &count.out());
+        ctx.finish().unwrap()
+    }
+
+    fn small_config() -> StroberConfig {
+        StroberConfig {
+            replay_length: 16,
+            sample_size: 5,
+            ..StroberConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_counter() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 2_000).unwrap();
+        assert_eq!(run.snapshots.len(), 5);
+        assert!(run.target_cycles >= 2_000);
+        assert!(run.records >= 5);
+
+        let results = flow.replay_all(&run.snapshots, 2).unwrap();
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.outputs_checked > 0);
+            assert!(r.power.total_mw() > 0.0);
+        }
+
+        let estimate = flow.estimate(&run, &results);
+        assert!(estimate.mean_power_mw() > 0.0);
+        assert!(estimate.region_mw("core") > 0.0);
+        assert!(estimate.total_energy_mj() > 0.0);
+    }
+
+    #[test]
+    fn replay_detects_corrupted_snapshots() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let mut snap = run.snapshots[0].clone();
+        // Corrupt the captured register state: the free-running counter's
+        // outputs can no longer match the trace.
+        snap.regs[0].1 ^= 0x5A;
+        let err = flow.replay(&snap).unwrap_err();
+        assert!(matches!(err, StroberError::ReplayMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let a = flow.run_sampled(&mut NoIo, 3_000).unwrap();
+        let b = flow.run_sampled(&mut NoIo, 3_000).unwrap();
+        let ca: Vec<u64> = a.snapshots.iter().map(|s| s.cycle).collect();
+        let cb: Vec<u64> = b.snapshots.iter().map(|s| s.cycle).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn retimed_designs_replay_through_warmup() {
+        // A two-stage annotated pipeline: its registers retime away, and
+        // replay must recover them by forcing inputs for `warmup` cycles.
+        let ctx = Ctx::new("pipe");
+        let w8 = Width::new(8).unwrap();
+        let x = ctx.input("x", w8);
+        let s1 = ctx.scope("fpu", |c| c.reg("s1", w8, 0));
+        let s2 = ctx.scope("fpu", |c| c.reg("s2", w8, 0));
+        s1.set(&x.add_lit(3));
+        s2.set(&s1.out().add_lit(5));
+        ctx.output("y", &s2.out());
+        let design = ctx.finish().unwrap();
+
+        struct Driver;
+        impl HostModel for Driver {
+            fn tick(&mut self, c: u64, io: &mut OutputView<'_>) {
+                io.set("x", c & 0xFF);
+            }
+        }
+
+        let config = StroberConfig {
+            replay_length: 12,
+            warmup: 4, // covers the 2-cycle pipeline depth
+            sample_size: 4,
+            synth: SynthOptions {
+                retime_prefixes: vec!["fpu/".to_owned()],
+                ..SynthOptions::default()
+            },
+            ..StroberConfig::default()
+        };
+        let flow = StroberFlow::new(&design, config).unwrap();
+        assert!(!flow.name_map().retimed.is_empty());
+        let run = flow.run_sampled(&mut Driver, 2_000).unwrap();
+        let results = flow.replay_all(&run.snapshots, 1).unwrap();
+        for r in &results {
+            assert!(r.outputs_checked > 0);
+        }
+    }
+}

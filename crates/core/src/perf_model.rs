@@ -1,0 +1,182 @@
+//! The §IV-E analytic simulation-performance model.
+//!
+//! `T_overall = max(T_FPGAsyn + T_FPGAsim, T_ASIC) + T_replay`, with
+//!
+//! * `T_FPGAsim = N/K_f + T_rec · 2n·ln((N/L)/n)`
+//! * `T_replay = n · (T_load + L/K_g + T_power) / P`
+//!
+//! The default parameters are the paper's measured constants for the
+//! two-way BOOM processor, and [`PerfModel::paper_example`] reproduces the
+//! worked example: ~9.4 hours overall for 100 billion cycles, versus
+//! ~3.86 *days* on a fast microarchitectural software simulator and ~264
+//! *years* on commercial gate-level simulation.
+
+/// Parameters of the analytic model, in the paper's notation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfModel {
+    /// FPGA synthesis time `T_FPGAsyn`, seconds.
+    pub t_fpga_syn_s: f64,
+    /// FPGA simulation rate `K_f`, Hz.
+    pub kf_hz: f64,
+    /// Time to record one replayable snapshot `T_rec`, seconds.
+    pub t_rec_s: f64,
+    /// ASIC tool-chain time `T_ASIC`, seconds.
+    pub t_asic_s: f64,
+    /// Snapshot load time on gate-level simulation `T_load`, seconds.
+    pub t_load_s: f64,
+    /// Gate-level simulation rate `K_g`, Hz.
+    pub kg_hz: f64,
+    /// Power-analysis time per snapshot `T_power`, seconds.
+    pub t_power_s: f64,
+    /// Sample size `n`.
+    pub n: u64,
+    /// Replay length `L`, cycles.
+    pub replay_length: u64,
+    /// Gate-level simulation instances `P`.
+    pub parallelism: u64,
+    /// Microarchitectural software simulator rate, Hz (for the comparison
+    /// the paper quotes: "3.86 days even on fast microarchitectural
+    /// software simulators").
+    pub uarch_sim_hz: f64,
+}
+
+impl PerfModel {
+    /// The constants of the paper's worked example (§IV-E, two-way BOOM).
+    pub fn paper_example() -> Self {
+        PerfModel {
+            t_fpga_syn_s: 3600.0,
+            kf_hz: 3.6e6,
+            t_rec_s: 1.3,
+            t_asic_s: 3.5 * 3600.0,
+            t_load_s: 3.0,
+            kg_hz: 12.0,
+            t_power_s: 150.0,
+            n: 100,
+            replay_length: 1000,
+            parallelism: 10,
+            uarch_sim_hz: 300.0e3,
+        }
+    }
+
+    /// `T_run = N / K_f`.
+    pub fn t_run_s(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.kf_hz
+    }
+
+    /// Expected snapshot records: the paper's bound `2n·ln((N/L)/n)`.
+    pub fn expected_records(&self, cycles: u64) -> f64 {
+        let m = cycles as f64 / self.replay_length as f64;
+        2.0 * self.n as f64 * (m / self.n as f64).ln()
+    }
+
+    /// `T_sample = T_rec · 2n·ln((N/L)/n)`.
+    pub fn t_sample_s(&self, cycles: u64) -> f64 {
+        self.t_rec_s * self.expected_records(cycles)
+    }
+
+    /// `T_FPGAsim = T_run + T_sample`.
+    pub fn t_fpga_sim_s(&self, cycles: u64) -> f64 {
+        self.t_run_s(cycles) + self.t_sample_s(cycles)
+    }
+
+    /// `T_replay = n·(T_load + L/K_g + T_power)/P`.
+    pub fn t_replay_s(&self) -> f64 {
+        self.n as f64
+            * (self.t_load_s + self.replay_length as f64 / self.kg_hz + self.t_power_s)
+            / self.parallelism as f64
+    }
+
+    /// `T_overall = max(T_FPGAsyn + T_FPGAsim, T_ASIC) + T_replay`.
+    pub fn t_overall_s(&self, cycles: u64) -> f64 {
+        let fpga_path = self.t_fpga_syn_s + self.t_fpga_sim_s(cycles);
+        fpga_path.max(self.t_asic_s) + self.t_replay_s()
+    }
+
+    /// Wall-clock for the same cycles on a microarchitectural software
+    /// simulator.
+    pub fn t_uarch_sim_s(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.uarch_sim_hz
+    }
+
+    /// Wall-clock for the same cycles on gate-level simulation.
+    pub fn t_gate_level_s(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.kg_hz
+    }
+
+    /// Speedup of the Strober flow over pure gate-level simulation.
+    pub fn speedup_vs_gate_level(&self, cycles: u64) -> f64 {
+        self.t_gate_level_s(cycles) / self.t_overall_s(cycles)
+    }
+
+    /// Speedup over the microarchitectural software simulator.
+    pub fn speedup_vs_uarch(&self, cycles: u64) -> f64 {
+        self.t_uarch_sim_s(cycles) / self.t_overall_s(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: u64 = 100_000_000_000; // the example's 100 billion cycles
+
+    #[test]
+    fn reproduces_the_papers_worked_example() {
+        let m = PerfModel::paper_example();
+        // T_run = 27778 s
+        assert!((m.t_run_s(N) - 27_778.0).abs() < 1.0);
+        // T_sample ≈ 3592 s
+        assert!((m.t_sample_s(N) - 3_592.0).abs() < 5.0);
+        // T_replay ≈ 2333 s in the paper's arithmetic, which drops the
+        // 3-second T_load from its own formula; with T_load included we
+        // get 2363 s, within 1.3%.
+        assert!((m.t_replay_s() - 2_333.0).abs() < 50.0);
+        // The paper's quoted total, T_run + T_sample + T_replay = 33703 s
+        // ≈ 9.4 h, omits T_FPGAsyn even though its own formula includes
+        // it; we reproduce both numbers.
+        let paper_sum = (m.t_run_s(N) + m.t_sample_s(N) + m.t_replay_s()) / 3600.0;
+        assert!((9.3..9.5).contains(&paper_sum), "paper sum {paper_sum} h");
+        let formula_hours = m.t_overall_s(N) / 3600.0;
+        assert!(
+            (10.2..10.6).contains(&formula_hours),
+            "formula overall {formula_hours} h"
+        );
+    }
+
+    #[test]
+    fn comparison_points_match_the_paper() {
+        let m = PerfModel::paper_example();
+        // "3.86 days even on fast microarchitectural software simulators"
+        let days = m.t_uarch_sim_s(N) / 86_400.0;
+        assert!((3.8..3.9).contains(&days), "uarch {days} days");
+        // "264 years on gate-level simulation"
+        let years = m.t_gate_level_s(N) / (365.0 * 86_400.0);
+        assert!((260.0..268.0).contains(&years), "gate {years} years");
+    }
+
+    #[test]
+    fn speedups_exceed_the_abstract_claims() {
+        let m = PerfModel::paper_example();
+        // ≥ 4 orders of magnitude over commercial gate-level simulation.
+        assert!(m.speedup_vs_gate_level(N) > 1.0e4);
+        // Near 10× even against the *fastest* (300 kHz) software
+        // simulators; against a typical detailed simulator (~20 kHz,
+        // gem5-class) the paper's two-orders-of-magnitude claim holds.
+        assert!(m.speedup_vs_uarch(N) > 8.0);
+        let slow = PerfModel {
+            uarch_sim_hz: 20.0e3,
+            ..PerfModel::paper_example()
+        };
+        assert!(slow.speedup_vs_uarch(N) > 1.0e2);
+    }
+
+    #[test]
+    fn asic_path_dominates_short_runs() {
+        let m = PerfModel::paper_example();
+        // For a tiny run the ASIC tool chain is the long pole.
+        let short = 1_000_000; // 1M cycles
+        let overall = m.t_overall_s(short);
+        assert!(overall > m.t_asic_s);
+        assert!(overall < m.t_asic_s + m.t_replay_s() + 1.0);
+    }
+}

@@ -1,0 +1,601 @@
+//! Boum: the parameterised superscalar core (BOOM analog).
+//!
+//! Front end: BTB-assisted fetch of up to `width` instructions per cycle
+//! into a fetch buffer, then a transfer stage into the issue queue.
+//! Back end: up to `width` instructions issue per cycle from the queue
+//! head with operand readiness tracked by a scoreboard (busy table) and
+//! values picked up from the register file or the EX/WB bypass networks;
+//! execution is one cycle (lane 0 also hosts the D$ port, the multiplier
+//! and branch resolution), then writeback and in-order retirement through
+//! a completion buffer (ROB).
+//!
+//! Relative to BOOM this issues in order from the queue head (no
+//! out-of-order wakeup/select) and renames nothing — WAW hazards stall
+//! dispatch; DESIGN.md records the simplification inventory. The design
+//! point matches Table II: wider fetch/issue, an issue window, a ROB and
+//! a physical register file whose depth scales with the configuration.
+//!
+//! Control flow resolves in lane 0's EX: a mispredicted branch (or any
+//! BTB false hit) flushes both queues and blocks issue for that cycle —
+//! a three-cycle penalty, one worse than Rok, reflecting the longer front
+//! end.
+
+use crate::cache::{build_cache, CacheCpuReq};
+use crate::config::CoreConfig;
+use crate::decode::{alu, branch_taken, decode, Decoded};
+use crate::uncore::build_uncore;
+use strober_dsl::{Ctx, Sig, Wire};
+use strober_rtl::{Design, Width};
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+/// A two-wide circular queue built from parallel memories with shared
+/// head/tail/count control.
+struct Queue {
+    ctx: Ctx,
+    name: String,
+    depth: usize,
+    ptr_w: Width,
+    head: Sig,
+    tail: Sig,
+    count: Sig,
+    push_count: Wire,
+    pop_count: Wire,
+    flush: Wire,
+    lanes: usize,
+}
+
+impl Queue {
+    fn new(ctx: &Ctx, name: &str, depth: usize) -> Self {
+        assert!(depth.is_power_of_two() && depth >= 4, "queue depth");
+        let ptr_w = Width::for_depth(depth).expect("depth ok");
+        let cnt_w = w(ptr_w.bits() + 1);
+        let push_count = ctx.wire(w(2));
+        let pop_count = ctx.wire(w(2));
+        let flush = ctx.wire(w(1));
+        let (head, tail, count) = ctx.scope(name, |c| {
+            let head = c.reg("head", ptr_w, 0);
+            let tail = c.reg("tail", ptr_w, 0);
+            let count = c.reg("count", cnt_w, 0);
+            let zero_p = c.lit(0, ptr_w);
+            let head_next = &head.out() + &push_to(ptr_w, &pop_count.sig());
+            let tail_next = &tail.out() + &push_to(ptr_w, &push_count.sig());
+            head.set(&flush.sig().mux(&zero_p, &head_next));
+            tail.set(&flush.sig().mux(&zero_p, &tail_next));
+            let zero_c = c.lit(0, cnt_w);
+            let grow = &count.out() + &push_to(cnt_w, &push_count.sig());
+            let next = &grow - &push_to(cnt_w, &pop_count.sig());
+            count.set(&flush.sig().mux(&zero_c, &next));
+            (head.out(), tail.out(), count.out())
+        });
+        Queue {
+            ctx: ctx.clone(),
+            name: name.to_owned(),
+            depth,
+            ptr_w,
+            head,
+            tail,
+            count,
+            push_count,
+            pop_count,
+            flush,
+            lanes: 0,
+        }
+    }
+
+    /// Adds a payload lane; returns `(head0, head1)` read data.
+    fn lane(&mut self, lane_name: &str, width: Width, data0: &Sig, data1: &Sig) -> (Sig, Sig) {
+        let c = &self.ctx;
+        let full = format!("{}/{lane_name}", self.name);
+        let mem = c.mem(&full, width, self.depth);
+        let one = c.lit(1, self.ptr_w);
+        let tail1 = &self.tail + &one;
+        let push1 = self.push_count.sig().bit(0); // count >= 1 (1 or 2)
+        let push2 = self.push_count.sig().bit(1); // count == 2
+        let any_push = &push1 | &push2;
+        mem.write(&self.tail, data0, &any_push);
+        mem.write(&tail1, data1, &push2);
+        let head1_addr = &self.head + &one;
+        let h0 = mem.read(&self.head);
+        let h1 = mem.read(&head1_addr);
+        self.lanes += 1;
+        (h0, h1)
+    }
+
+    fn has(&self, n: u64) -> Sig {
+        let lit = self.count.lit(n);
+        !&self.count.ltu(&lit)
+    }
+
+    fn space_for(&self, n: u64) -> Sig {
+        let lim = self.count.lit(self.depth as u64 - n);
+        self.count.leu(&lim)
+    }
+}
+
+/// Zero-extends or truncates `s` to width `to` (queues count arithmetic).
+fn push_to(to: Width, s: &Sig) -> Sig {
+    if s.width().bits() < to.bits() {
+        s.zext(to)
+    } else {
+        s.trunc(to)
+    }
+}
+
+/// One-hot mask for a 5-bit register index within a 32-bit table, zero
+/// for `x0` or when `en` is low.
+fn onehot_rd(c: &Ctx, rd: &Sig, en: &Sig) -> Sig {
+    let one = c.lit(1, w(32));
+    let mask = one.shl(&rd.zext(w(32)));
+    let gate = en & &!&rd.eq_lit(0);
+    gate.mux(&mask, &c.lit(0, w(32)))
+}
+
+/// Builds the Boum design for a configuration.
+///
+/// # Panics
+///
+/// Panics on inconsistent configurations (generator-time error).
+#[allow(clippy::too_many_lines)]
+pub fn build_boum(config: &CoreConfig) -> Design {
+    assert!(config.superscalar, "build_boum takes superscalar configs");
+    assert!(matches!(config.width, 1 | 2), "width must be 1 or 2");
+    assert!(config.physical_regs >= 32);
+    assert!(config.btb_entries.is_power_of_two() && config.btb_entries >= 4);
+    let dual = config.width == 2;
+
+    let ctx = Ctx::new(config.name.clone());
+    let c = &ctx;
+    let w1 = w(1);
+    let w32 = w(32);
+
+    // ---- external memory interface ------------------------------------------
+    let mem_resp_valid = c.input("mem_resp_valid", w1);
+    let mem_resp_tag = c.input("mem_resp_tag", w1);
+    let mem_resp_rdata = c.input("mem_resp_rdata", w32);
+
+    // ---- global wires ----------------------------------------------------------
+    let flush_w = c.wire(w1); // mispredict/halt resolution in lane-0 EX
+    let flush = flush_w.sig();
+    let flush_target_w = c.wire(w32);
+    let ex_stall_w = c.wire(w1); // lane-0 memory op back-pressure
+    let ex_stall = ex_stall_w.sig();
+    let stop_front_w = c.wire(w1); // halting | halted
+    let stop_front = stop_front_w.sig();
+
+    // ---- CSRs -------------------------------------------------------------------
+    let retire_count_w = c.wire(w(2));
+    let halt_val_w = c.wire(w(33));
+    let halt_now_w = c.wire(w1);
+    let halting_set_w = c.wire(w1);
+    let (cycle_q, instret_q, tohost_out, halted_out, halting_out) = c.scope("csr", |c| {
+        let cycle = c.reg("cycle", w32, 0);
+        cycle.set(&cycle.out().add_lit(1));
+        let instret = c.reg("instret", w32, 0);
+        instret.set(&(&instret.out() + &retire_count_w.sig().zext(w32)));
+        let tohost = c.reg("tohost", w(33), 0);
+        tohost.set_en(&halt_val_w.sig(), &halt_now_w.sig());
+        let halted = c.reg("halted", w1, 0);
+        halted.set_en(&c.lit1(true), &halt_now_w.sig());
+        let halting = c.reg("halting", w1, 0);
+        halting.set_en(&c.lit1(true), &halting_set_w.sig());
+        (
+            cycle.out(),
+            instret.out(),
+            tohost.out(),
+            halted.out(),
+            halting.out(),
+        )
+    });
+    stop_front_w.drive(&(&halted_out | &halting_out));
+
+    // ---- BTB -----------------------------------------------------------------------
+    let btb_entries = config.btb_entries as usize;
+    let btb_ib = config.btb_entries.trailing_zeros();
+    let btb_tag_w = w(32 - 2 - btb_ib + 1); // {valid, tag}
+    let (btb_tags, btb_targets) = c.scope("btb", |c| {
+        (
+            c.mem("tags", btb_tag_w, btb_entries),
+            c.mem("targets", w32, btb_entries),
+        )
+    });
+    let btb_index = |pc: &Sig| pc.bits(2 + btb_ib - 1, 2);
+    let btb_tag_of = |pc: &Sig| pc.bits(31, 2 + btb_ib);
+
+    // ---- IF --------------------------------------------------------------------------
+    let pc = c.scope("fetch", |c| c.reg("pc", w32, 0));
+    let fetch_wanted = !&stop_front;
+    let icache_req = CacheCpuReq {
+        valid: fetch_wanted.clone(),
+        addr: pc.out(),
+        rw: c.lit1(false),
+        wdata: c.lit(0, w32),
+    };
+    let igrant_w = c.wire(w1);
+    let irefill_valid_w = c.wire(w1);
+    let icache = build_cache(
+        c,
+        "icache",
+        config.icache_bytes,
+        &icache_req,
+        &igrant_w.sig(),
+        &irefill_valid_w.sig(),
+        &mem_resp_rdata,
+    );
+    let fetch_valid = &icache.cpu.resp_valid & &fetch_wanted;
+
+    // BTB lookup for both fetch slots (a loop back-edge usually sits in
+    // slot 1; without this lookup it would mispredict every iteration).
+    let pc1 = pc.out().add_lit(4);
+    let btb_rd = btb_tags.read(&btb_index(&pc.out()));
+    let btb_valid = btb_rd.bit(btb_tag_w.bits() - 1);
+    let btb_hit = &(&btb_valid & &btb_rd.bits(btb_tag_w.bits() - 2, 0).eq(&btb_tag_of(&pc.out())))
+        & &fetch_valid;
+    let btb_target = btb_targets.read(&btb_index(&pc.out()));
+    let btb_rd1 = btb_tags.read(&btb_index(&pc1));
+    let btb_valid1 = btb_rd1.bit(btb_tag_w.bits() - 1);
+    let btb_hit1_raw =
+        &btb_valid1 & &btb_rd1.bits(btb_tag_w.bits() - 2, 0).eq(&btb_tag_of(&pc1));
+    let btb_target1 = btb_targets.read(&btb_index(&pc1));
+
+    // Fetch buffer.
+    let mut fbuf = Queue::new(c, "fetch/fbuf", 8);
+    let slot1_same_line = !&pc.out().bits(3, 2).eq_lit(3);
+    let slot1_avail = if dual {
+        &(&fetch_valid & &slot1_same_line) & &!&btb_hit
+    } else {
+        c.lit1(false)
+    };
+    let btb_hit1 = &btb_hit1_raw & &slot1_avail;
+    let fb_space = fbuf.space_for(2);
+    let push_any = &fetch_valid & &fb_space;
+    let push_two = &push_any & &slot1_avail;
+    let push_count_v = push_two.cat(&(&push_any & &!&push_two));
+    fbuf.push_count.drive(&push_count_v);
+    fbuf.flush.drive(&flush);
+
+    // pred lane payload: {pred_taken, target}.
+    let pred0 = btb_hit.cat(&btb_target);
+    let pred1 = btb_hit1.cat(&btb_target1);
+    let (fb_pc0, fb_pc1) = fbuf.lane("pc", w32, &pc.out(), &pc1);
+    let (fb_ir0, fb_ir1) = fbuf.lane("ir", w32, &icache.cpu.resp_data, &icache.cpu.resp_data_next);
+    let (fb_pr0, fb_pr1) = fbuf.lane("pred", w(33), &pred0, &pred1);
+
+    // PC update: a slot-1 BTB hit steers fetch after both slots push.
+    let pc_next_seq = push_two.mux(&pc.out().add_lit(8), &pc.out().add_lit(4));
+    let slot1_steer = &push_two & &btb_hit1;
+    let pc_seq_or_steer = slot1_steer.mux(&btb_target1, &pc_next_seq);
+    let pc_after_fetch = btb_hit.mux(&btb_target, &pc_seq_or_steer);
+    let pc_next = c.select(
+        &[
+            (flush.clone(), flush_target_w.sig()),
+            (push_any.clone(), pc_after_fetch),
+        ],
+        &pc.out(),
+    );
+    pc.set(&pc_next);
+
+    // ---- transfer stage: fetch buffer → issue queue ----------------------------------
+    let mut iq = Queue::new(c, "issue/iq", config.issue_slots.next_power_of_two() as usize);
+    let iq_space2 = iq.space_for(2);
+    let iq_space1 = iq.space_for(1);
+    let t2 = &(&fbuf.has(2) & &iq_space2) & &if dual { c.lit1(true) } else { c.lit1(false) };
+    let t1 = &fbuf.has(1) & &iq_space1;
+    let tcount = t2.cat(&(&t1 & &!&t2));
+    fbuf.pop_count.drive(&tcount);
+    iq.push_count.drive(&tcount);
+    iq.flush.drive(&flush);
+    let (iq_pc0, iq_pc1) = iq.lane("pc", w32, &fb_pc0, &fb_pc1);
+    let (iq_ir0, iq_ir1) = iq.lane("ir", w32, &fb_ir0, &fb_ir1);
+    let (iq_pr0, iq_pr1) = iq.lane("pred", w(33), &fb_pr0, &fb_pr1);
+    let _ = iq_pr1; // slot-1 instructions are never control flow
+
+    // ---- issue -------------------------------------------------------------------------
+    let d0: Decoded = decode(c, &iq_ir0);
+    let d1: Decoded = decode(c, &iq_ir1);
+
+    // Scoreboard.
+    let busy_set_w = c.wire(w32);
+    let busy_clear_w = c.wire(w32);
+    let busy = c.scope("issue", |c| {
+        let busy = c.reg("busy", w32, 0);
+        let kept = &busy.out() & &!&busy_clear_w.sig();
+        let next = &kept | &busy_set_w.sig();
+        // A flush can only coincide with in-flight ops that complete
+        // normally (the branch itself); no rollback is needed because
+        // issue is blocked during the flush cycle.
+        busy.set(&next);
+        busy.out()
+    });
+
+    // Bypass sources (driven later): EX lane results and WB lane results.
+    // Packed as {avail, rd, value} = 38 bits.
+    let ex0_byp_w = c.wire(w(38));
+    let ex1_byp_w = c.wire(w(38));
+    let wb0_byp_w = c.wire(w(38));
+    let wb1_byp_w = c.wire(w(38));
+    let byp = |src: &Wire, rs: &Sig| -> (Sig, Sig) {
+        let s = src.sig();
+        let avail = s.bit(37);
+        let rd = s.bits(36, 32);
+        let val = s.bits(31, 0);
+        let hit = &(&avail & &rd.eq(rs)) & &!&rs.eq_lit(0);
+        (hit, val)
+    };
+
+    let rf = c.scope("regfile", |c| c.mem("rf", w32, config.physical_regs as usize));
+    let rf_addr_w = Width::for_depth(config.physical_regs as usize).expect("depth ok");
+
+    // Operand lookup: value and readiness.
+    let operand = |rs: &Sig| -> (Sig, Sig) {
+        let raw = rf.read(&rs.zext(rf_addr_w));
+        let is_zero = rs.eq_lit(0);
+        let one = c.lit(1, w32);
+        let busy_bit = (&busy.shr(&rs.zext(w32)) & &one).bit(0);
+        let (h_ex0, v_ex0) = byp(&ex0_byp_w, rs);
+        let (h_ex1, v_ex1) = byp(&ex1_byp_w, rs);
+        let (h_wb0, v_wb0) = byp(&wb0_byp_w, rs);
+        let (h_wb1, v_wb1) = byp(&wb1_byp_w, rs);
+        let zero = c.lit(0, w32);
+        let value = c.select(
+            &[
+                (is_zero.clone(), zero),
+                (h_ex0.clone(), v_ex0),
+                (h_ex1.clone(), v_ex1),
+                (h_wb0.clone(), v_wb0),
+                (h_wb1.clone(), v_wb1),
+            ],
+            &raw,
+        );
+        let any_byp = &(&h_ex0 | &h_ex1) | &(&h_wb0 | &h_wb1);
+        let ready = &(&!&busy_bit | &any_byp) | &is_zero;
+        (value, ready)
+    };
+
+    let (s0_a, s0_a_ready) = operand(&d0.rs1);
+    let (s0_b, s0_b_ready) = operand(&d0.rs2);
+    let (s1_a, s1_a_ready) = operand(&d1.rs1);
+    let (s1_b, s1_b_ready) = operand(&d1.rs2);
+
+    // Slot-0 issue conditions. WAW hazards need no stall: issue and
+    // writeback are both in order, so a younger writer always reaches the
+    // register file later; the busy-clear logic below keeps the scoreboard
+    // honest with multiple writers in flight.
+    let s0_ready = &(&s0_a_ready | &!&d0.uses_rs1) & &(&s0_b_ready | &!&d0.uses_rs2);
+    let rob_space1_w = c.wire(w1);
+    let rob_space2_w = c.wire(w1);
+    let issue0 = &(&(&iq.has(1) & &s0_ready) & &rob_space1_w.sig())
+        & &(&(&!&ex_stall & &!&flush) & &!&stop_front);
+
+    // Slot-1 issue conditions: plain ALU only, no dependence on slot 0.
+    let solo0 = &(&(&d0.is_branch | &d0.is_jal) | &(&d0.is_jalr | &d0.is_halt)) | &d0.is_out;
+    let plain1 = &(&d1.is_alu_reg & &!&d1.is_mul) | &d1.is_alu_imm;
+    let s1_ready = &(&s1_a_ready | &!&d1.uses_rs1) & &(&s1_b_ready | &!&d1.uses_rs2);
+    let rd_conflict = &(&d0.writes_rd & &d1.writes_rd) & &d0.rd.eq(&d1.rd);
+    let raw_on_0 = &(&d0.writes_rd & &!&d0.rd.eq_lit(0))
+        & &(&(&d1.uses_rs1 & &d1.rs1.eq(&d0.rd)) | &(&d1.uses_rs2 & &d1.rs2.eq(&d0.rd)));
+    let issue1 = if dual {
+        &(&(&(&(&issue0 & &iq.has(2)) & &!&solo0) & &plain1) & &s1_ready)
+            & &(&(&!&rd_conflict & &!&raw_on_0) & &rob_space2_w.sig())
+    } else {
+        c.lit1(false)
+    };
+
+    let issue_count = issue1.cat(&(&issue0 & &!&issue1));
+    iq.pop_count.drive(&issue_count);
+
+    busy_set_w.drive(
+        &(&onehot_rd(c, &d0.rd, &(&issue0 & &d0.writes_rd))
+            | &onehot_rd(c, &d1.rd, &(&issue1 & &d1.writes_rd))),
+    );
+
+    // ---- ROB (completion buffer) -------------------------------------------------------
+    let rob_depth = config.rob_entries.next_power_of_two() as usize;
+    let mut rob = Queue::new(c, "rob", rob_depth);
+    rob_space1_w.drive(&rob.space_for(1));
+    rob_space2_w.drive(&rob.space_for(2));
+    rob.push_count.drive(&issue_count);
+    rob.pop_count.drive(&retire_count_w.sig());
+    rob.flush.drive(&c.lit1(false)); // never rolled back (see busy note)
+    let (rob_pc0, _rob_pc1) = rob.lane("pc", w32, &iq_pc0, &iq_pc1);
+    let _ = rob_pc0;
+
+    // ---- EX stage ------------------------------------------------------------------------
+    let ex_adv = !&ex_stall;
+    let mk_lane = |lane: &str, take: &Sig, ir: &Sig, a: &Sig, b: &Sig| {
+        c.scope("alu", |c| {
+            c.scope(lane, |c| {
+                let v = c.reg("valid", w1, 0);
+                let irr = c.reg("ir", w32, 0);
+                let ar = c.reg("a", w32, 0);
+                let br = c.reg("b", w32, 0);
+                v.set_en(take, &ex_adv);
+                irr.set_en(ir, &ex_adv);
+                ar.set_en(a, &ex_adv);
+                br.set_en(b, &ex_adv);
+                (v.out(), irr.out(), ar.out(), br.out())
+            })
+        })
+    };
+    let (ex0_valid, ex0_ir, ex0_a, ex0_b) = mk_lane("lane0", &issue0, &iq_ir0, &s0_a, &s0_b);
+    let (ex0_pc, ex0_pred) = c.scope("alu", |c| {
+        c.scope("lane0", |c| {
+            let pcr = c.reg("pc", w32, 0);
+            let pr = c.reg("pred", w(33), 0);
+            pcr.set_en(&iq_pc0, &ex_adv);
+            pr.set_en(&iq_pr0, &ex_adv);
+            (pcr.out(), pr.out())
+        })
+    });
+    let (ex1_valid, ex1_ir, ex1_a, ex1_b) = mk_lane("lane1", &issue1, &iq_ir1, &s1_a, &s1_b);
+
+    let d_ex0 = decode(c, &ex0_ir);
+    let d_ex1 = decode(c, &ex1_ir);
+
+    // Lane 0: full execute.
+    let mul_product = c.scope("mul", |_| ex0_a.mul(&ex0_b));
+    let alu0 = alu(c, &d_ex0, &ex0_a, &ex0_b);
+    let taken0 = branch_taken(&d_ex0, &ex0_a, &ex0_b);
+    let imm_words0 = d_ex0.imm_s.shl_lit(2);
+    let br_target0 = &ex0_pc + &imm_words0;
+    let jalr_target0 = {
+        let sum = &ex0_a + &d_ex0.imm_s;
+        let mask = c.lit(0xFFFF_FFFC, w32);
+        &sum & &mask
+    };
+    let actual_redirect = &(&taken0 | &d_ex0.is_jal) | &d_ex0.is_jalr;
+    let actual_target = d_ex0.is_jalr.mux(&jalr_target0, &br_target0);
+    let pred_taken = ex0_pred.bit(32);
+    let pred_target = ex0_pred.bits(31, 0);
+    let wrong_dir = pred_taken.neq(&actual_redirect);
+    let wrong_target = &actual_redirect & &!&pred_target.eq(&actual_target);
+    let mispredict = &ex0_valid & &(&wrong_dir | &wrong_target);
+    let halt_in_ex = &ex0_valid & &d_ex0.is_halt;
+    halting_set_w.drive(&halt_in_ex);
+    flush_w.drive(&(&(&mispredict | &halt_in_ex) & &!&ex_stall));
+    let fallthrough = ex0_pc.add_lit(4);
+    let correct_target = actual_redirect.mux(&actual_target, &fallthrough);
+    flush_target_w.drive(&correct_target);
+
+    // BTB update: learn taken control flow.
+    let btb_learn = &(&ex0_valid & &actual_redirect) & &!&ex_stall;
+    let learn_entry = c.lit1(true).cat(&btb_tag_of(&ex0_pc));
+    btb_tags.write(&btb_index(&ex0_pc), &learn_entry, &btb_learn);
+    btb_targets.write(&btb_index(&ex0_pc), &actual_target, &btb_learn);
+
+    // Lane 0 D$ port.
+    let dcache_req = CacheCpuReq {
+        valid: &ex0_valid & &(&d_ex0.is_load | &d_ex0.is_store),
+        addr: alu0.clone(),
+        rw: d_ex0.is_store.clone(),
+        wdata: ex0_b.clone(),
+    };
+    let dgrant_w = c.wire(w1);
+    let drefill_valid_w = c.wire(w1);
+    let dcache = build_cache(
+        c,
+        "dcache",
+        config.dcache_bytes,
+        &dcache_req,
+        &dgrant_w.sig(),
+        &drefill_valid_w.sig(),
+        &mem_resp_rdata,
+    );
+    ex_stall_w.drive(&dcache.cpu.stall);
+
+    let link0 = ex0_pc.add_lit(4);
+    let result0 = c.select(
+        &[
+            (d_ex0.is_load.clone(), dcache.cpu.resp_data.clone()),
+            (&d_ex0.is_jal | &d_ex0.is_jalr, link0),
+            (d_ex0.is_rdcyc.clone(), cycle_q.clone()),
+            (d_ex0.is_rdinst.clone(), instret_q.clone()),
+            (d_ex0.is_mul.clone(), mul_product),
+        ],
+        &alu0,
+    );
+    // Lane 1: plain ALU.
+    let result1 = alu(c, &d_ex1, &ex1_a, &ex1_b);
+
+    // EX bypass packets: available for single-cycle producers (not loads
+    // during a stall; a stalled lane forwards nothing).
+    let ex0_avail = &(&(&ex0_valid & &d_ex0.writes_rd) & &!&ex_stall) & &!&d_ex0.rd.eq_lit(0);
+    ex0_byp_w.drive(&ex0_avail.cat(&d_ex0.rd).cat(&result0));
+    let ex1_avail = &(&ex1_valid & &d_ex1.writes_rd) & &!&ex_stall;
+    ex1_byp_w.drive(&ex1_avail.cat(&d_ex1.rd).cat(&result1));
+
+    // ---- uncore ----------------------------------------------------------------------------
+    let uncore = build_uncore(c, &icache.mem, &dcache.mem, &mem_resp_valid, &mem_resp_tag);
+    igrant_w.drive(&uncore.grant_i);
+    irefill_valid_w.drive(&uncore.refill_i_valid);
+    dgrant_w.drive(&uncore.grant_d);
+    drefill_valid_w.drive(&uncore.refill_d_valid);
+
+    // ---- WB stage -----------------------------------------------------------------------------
+    let (wb0_valid, wb0_ir, wb0_val, wb1_valid, wb1_ir, wb1_val) = c.scope("wb", |c| {
+        let v0 = c.reg("v0", w1, 0);
+        let ir0 = c.reg("ir0", w32, 0);
+        let val0 = c.reg("val0", w32, 0);
+        let v1 = c.reg("v1", w1, 0);
+        let ir1 = c.reg("ir1", w32, 0);
+        let val1 = c.reg("val1", w32, 0);
+        let take0 = &ex0_valid & &!&ex_stall;
+        let take1 = &ex1_valid & &!&ex_stall;
+        v0.set(&take0);
+        ir0.set_en(&ex0_ir, &!&ex_stall);
+        val0.set_en(&result0, &!&ex_stall);
+        v1.set(&take1);
+        ir1.set_en(&ex1_ir, &!&ex_stall);
+        val1.set_en(&result1, &!&ex_stall);
+        (v0.out(), ir0.out(), val0.out(), v1.out(), ir1.out(), val1.out())
+    });
+
+    let d_wb0 = decode(c, &wb0_ir);
+    let d_wb1 = decode(c, &wb1_ir);
+    let we0 = &(&wb0_valid & &d_wb0.writes_rd) & &!&d_wb0.rd.eq_lit(0);
+    let we1 = &(&wb1_valid & &d_wb1.writes_rd) & &!&d_wb1.rd.eq_lit(0);
+    rf.write(&d_wb0.rd.zext(rf_addr_w), &wb0_val, &we0);
+    rf.write(&d_wb1.rd.zext(rf_addr_w), &wb1_val, &we1);
+    wb0_byp_w.drive(&we0.cat(&d_wb0.rd).cat(&wb0_val));
+    wb1_byp_w.drive(&we1.cat(&d_wb1.rd).cat(&wb1_val));
+    // Clear a busy bit only when no younger in-flight writer (in EX)
+    // claims the same register; a same-cycle issuing writer re-sets the
+    // bit because `set` wins over `clear` in the scoreboard update.
+    let ex_claims = |rd: &Sig| -> Sig {
+        let m0 = &(&ex0_valid & &d_ex0.writes_rd) & &d_ex0.rd.eq(rd);
+        let m1 = &(&ex1_valid & &d_ex1.writes_rd) & &d_ex1.rd.eq(rd);
+        &m0 | &m1
+    };
+    let clear0 = &we0 & &!&ex_claims(&d_wb0.rd);
+    let clear1 = &we1 & &!&ex_claims(&d_wb1.rd);
+    busy_clear_w.drive(&(&onehot_rd(c, &d_wb0.rd, &clear0) | &onehot_rd(c, &d_wb1.rd, &clear1)));
+
+    // Retirement (in-order by construction).
+    let retire0 = &wb0_valid & &!&halted_out;
+    let retire1 = &wb1_valid & &!&halted_out;
+    retire_count_w.drive(&retire1.cat(&(&retire0 & &!&retire1)));
+    let halt_now = &(&wb0_valid & &d_wb0.is_halt) & &!&halted_out;
+    halt_now_w.drive(&halt_now);
+    let one33 = c.lit(1, w(33));
+    let halt_code = &wb0_val.zext(w(33)).shl_lit(1) | &one33;
+    halt_val_w.drive(&halt_code);
+
+    // ---- outputs ---------------------------------------------------------------------------------
+    ctx.output("mem_req_valid", &uncore.req_valid);
+    ctx.output("mem_req_rw", &uncore.req_rw);
+    ctx.output("mem_req_addr", &uncore.req_addr);
+    ctx.output("mem_req_wdata", &uncore.req_wdata);
+    ctx.output("mem_req_tag", &uncore.req_tag);
+    ctx.output("tohost", &tohost_out);
+    ctx.output("instret", &instret_q);
+    let console_valid = &(&wb0_valid & &d_wb0.is_out) & &!&halted_out;
+    ctx.output("console_valid", &console_valid);
+    ctx.output("console_byte", &wb0_val.bits(7, 0));
+
+    ctx.finish().expect("Boum must elaborate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boum_elaborates_both_widths() {
+        for width in [1, 2] {
+            let design = build_boum(&CoreConfig::boum_tiny(width));
+            assert!(design.register_count() > 20, "width {width}");
+            assert!(design.memory_count() >= 10, "width {width}");
+        }
+    }
+
+    #[test]
+    fn full_size_boum_elaborates() {
+        let d1 = build_boum(&CoreConfig::boum_1w());
+        let d2 = build_boum(&CoreConfig::boum_2w());
+        // The 2-wide configuration carries more state (bigger queues,
+        // ROB, physical register file).
+        assert!(d2.state_bits() > d1.state_bits());
+    }
+}

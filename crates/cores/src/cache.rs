@@ -1,0 +1,353 @@
+//! The blocking L1 cache generator.
+//!
+//! Direct-mapped, 16-byte (4-word) blocks, write-through, no-allocate.
+//! Reads hit combinationally; a read miss stalls the requester while the
+//! uncore fetches the block in a 4-beat burst. Stores are posted to the
+//! uncore (write-through) and update the data array on hit.
+
+use strober_dsl::{Ctx, Sig};
+use strober_rtl::Width;
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+/// CPU-side request into a cache (all signals sampled combinationally).
+#[derive(Debug, Clone)]
+pub struct CacheCpuReq {
+    /// Request valid.
+    pub valid: Sig,
+    /// Byte address (word aligned).
+    pub addr: Sig,
+    /// 1 = store, 0 = load.
+    pub rw: Sig,
+    /// Store data.
+    pub wdata: Sig,
+}
+
+/// Memory-side wiring of a cache (to the uncore arbiter).
+#[derive(Debug, Clone)]
+pub struct CacheMemPort {
+    /// The cache requests the bus.
+    pub req_valid: Sig,
+    /// 1 = posted write, 0 = block read.
+    pub req_rw: Sig,
+    /// Request address (block-aligned for reads).
+    pub req_addr: Sig,
+    /// Write data.
+    pub req_wdata: Sig,
+}
+
+/// Cache outputs toward the CPU.
+#[derive(Debug, Clone)]
+pub struct CacheCpuResp {
+    /// Read data valid this cycle (combinational hit, including the cycle
+    /// a refill completes).
+    pub resp_valid: Sig,
+    /// Read data.
+    pub resp_data: Sig,
+    /// The next sequential word of the same block (for superscalar
+    /// fetch); only meaningful when the request hits and the requested
+    /// word is not the last of its block.
+    pub resp_data_next: Sig,
+    /// The request cannot complete this cycle; hold it.
+    pub stall: Sig,
+}
+
+/// The fully wired cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    /// CPU-side outputs.
+    pub cpu: CacheCpuResp,
+    /// Memory-side request outputs (inputs to the uncore).
+    pub mem: CacheMemPort,
+}
+
+/// Builds a cache inside scope `name`.
+///
+/// `grant` must be high in a cycle where the uncore accepted this cache's
+/// request; `refill_valid`/`refill_data` deliver the four read beats.
+///
+/// # Panics
+///
+/// Panics if `capacity_bytes` is not a power of two of at least 64 bytes
+/// (generator-time error).
+#[allow(clippy::too_many_arguments)]
+pub fn build_cache(
+    ctx: &Ctx,
+    name: &str,
+    capacity_bytes: u32,
+    req: &CacheCpuReq,
+    grant: &Sig,
+    refill_valid: &Sig,
+    refill_data: &Sig,
+) -> Cache {
+    assert!(
+        capacity_bytes.is_power_of_two() && capacity_bytes >= 64,
+        "cache capacity must be a power of two ≥ 64 bytes"
+    );
+    ctx.scope(name, |c| {
+        let lines = capacity_bytes / 16;
+        let index_bits = lines.trailing_zeros();
+        let tag_bits = 32 - 4 - index_bits;
+
+        // Address slicing: [3:2] word-in-block, [4+ib-1:4] index, rest tag.
+        let off = req.addr.bits(3, 2);
+        let idx = req.addr.bits(4 + index_bits - 1, 4);
+        let tag = req.addr.bits(31, 4 + index_bits);
+
+        // State: 0 = IDLE, 1 = REFILL.
+        let state = c.reg("state", w(1), 0);
+        let beat = c.reg("beat", w(2), 0);
+        let miss_addr = c.reg("miss_addr", w(32), 0);
+        let miss_idx = miss_addr.out().bits(4 + index_bits - 1, 4);
+        let miss_tag = miss_addr.out().bits(31, 4 + index_bits);
+
+        let idle = state.out().eq_lit(0);
+        let refilling = state.out().eq_lit(1);
+
+        // Arrays.
+        let tags = c.mem("tags", w(tag_bits + 1), lines as usize);
+        let data = c.mem("data", w(32), (lines * 4) as usize);
+
+        let tag_rd = tags.read(&idx);
+        let valid_bit = tag_rd.bit(tag_bits);
+        let tag_match = tag_rd.bits(tag_bits - 1, 0).eq(&tag);
+        let hit = &valid_bit & &tag_match;
+
+        let data_addr = idx.cat(&off);
+        let data_rd = data.read(&data_addr);
+        let off_next = off.add_lit(1);
+        let data_addr_next = idx.cat(&off_next);
+        let data_rd_next = data.read(&data_addr_next);
+
+        let is_read = &req.valid & &!&req.rw;
+        let is_write = &req.valid & &req.rw;
+
+        let read_hit = &(&is_read & &idle) & &hit;
+
+        // Memory request: read miss fetches the block; stores post through.
+        let want_read = &(&is_read & &idle) & &!&hit;
+        let mreq_valid = &want_read | &(&is_write & &idle);
+        let block_addr = req.addr.bits(31, 4).cat(&c.lit(0, w(4)));
+        let mreq_addr = req.rw.mux(&req.addr, &block_addr);
+
+        // Grant handling.
+        let read_granted = &want_read & grant;
+        let write_granted = &(&is_write & &idle) & grant;
+
+        // State transitions.
+        let last_beat = &beat.out().eq_lit(3) & refill_valid;
+        let next_state = c.select(
+            &[
+                (read_granted.clone(), c.lit(1, w(1))),
+                (last_beat.clone(), c.lit(0, w(1))),
+            ],
+            &state.out(),
+        );
+        state.set(&next_state);
+
+        let beat_next = c.select(
+            &[
+                (read_granted.clone(), c.lit(0, w(2))),
+                (refill_valid.clone(), beat.out().add_lit(1)),
+            ],
+            &beat.out(),
+        );
+        beat.set(&beat_next);
+        miss_addr.set_en(&req.addr, &read_granted);
+
+        // Refill writes into the data array; tag written on the last beat.
+        let refill_wr_addr = miss_idx.cat(&beat.out());
+        let refill_wr_en = &refilling & refill_valid;
+        data.write(&refill_wr_addr, refill_data, &refill_wr_en);
+        let one = c.lit1(true);
+        let new_tag_entry = one.cat(&miss_tag);
+        tags.write(&miss_idx, &new_tag_entry, &last_beat);
+
+        // Store path: update the array on hit (write-through, no-allocate).
+        let store_update = &write_granted & &hit;
+        data.write(&data_addr, &req.wdata, &store_update);
+
+        // CPU response.
+        let resp_valid = read_hit.clone();
+        let stall_read = &is_read & &!&read_hit;
+        let stall_write = &is_write & &!&write_granted;
+        let stall = &stall_read | &stall_write;
+
+        Cache {
+            cpu: CacheCpuResp {
+                resp_valid,
+                resp_data: data_rd,
+                resp_data_next: data_rd_next,
+                stall,
+            },
+            mem: CacheMemPort {
+                req_valid: mreq_valid,
+                req_rw: req.rw.clone(),
+                req_addr: mreq_addr,
+                req_wdata: req.wdata.clone(),
+            },
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_sim::Simulator;
+
+    /// Standalone cache testbench with an ideal 0-latency grant and a
+    /// scripted refill driven from the test.
+    fn harness(capacity: u32) -> strober_rtl::Design {
+        let ctx = Ctx::new("cache_tb");
+        let req = CacheCpuReq {
+            valid: ctx.input("valid", w(1)),
+            addr: ctx.input("addr", w(32)),
+            rw: ctx.input("rw", w(1)),
+            wdata: ctx.input("wdata", w(32)),
+        };
+        let grant = ctx.input("grant", w(1));
+        let refill_valid = ctx.input("refill_valid", w(1));
+        let refill_data = ctx.input("refill_data", w(32));
+        let cache = build_cache(&ctx, "dcache", capacity, &req, &grant, &refill_valid, &refill_data);
+        ctx.output("resp_valid", &cache.cpu.resp_valid);
+        ctx.output("resp_data", &cache.cpu.resp_data);
+        ctx.output("stall", &cache.cpu.stall);
+        ctx.output("mreq_valid", &cache.mem.req_valid);
+        ctx.output("mreq_rw", &cache.mem.req_rw);
+        ctx.output("mreq_addr", &cache.mem.req_addr);
+        ctx.finish().unwrap()
+    }
+
+    #[test]
+    fn miss_refill_then_hit() {
+        let design = harness(256);
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("valid", 1).unwrap();
+        sim.poke_by_name("rw", 0).unwrap();
+        sim.poke_by_name("addr", 0x108).unwrap(); // block 0x100, word 2
+        sim.poke_by_name("grant", 1).unwrap();
+        sim.poke_by_name("refill_valid", 0).unwrap();
+
+        // Cycle 0: miss; block-aligned read request.
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 0);
+        assert_eq!(sim.peek_output("stall").unwrap(), 1);
+        assert_eq!(sim.peek_output("mreq_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("mreq_addr").unwrap(), 0x100);
+        sim.step(); // grant taken, state -> REFILL
+
+        // Four refill beats: words 0x100..0x10C get values 10,11,12,13.
+        sim.poke_by_name("grant", 0).unwrap();
+        sim.poke_by_name("refill_valid", 1).unwrap();
+        for k in 0..4u64 {
+            sim.poke_by_name("refill_data", 10 + k).unwrap();
+            assert_eq!(sim.peek_output("resp_valid").unwrap(), 0);
+            sim.step();
+        }
+        sim.poke_by_name("refill_valid", 0).unwrap();
+
+        // Now the held request hits: word 2 of the block = 12.
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("resp_data").unwrap(), 12);
+        assert_eq!(sim.peek_output("stall").unwrap(), 0);
+
+        // Another word of the same block hits immediately.
+        sim.poke_by_name("addr", 0x10C).unwrap();
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("resp_data").unwrap(), 13);
+    }
+
+    #[test]
+    fn store_hit_updates_array_and_posts_write() {
+        let design = harness(256);
+        let mut sim = Simulator::new(&design).unwrap();
+        // Fill block 0 via refill.
+        sim.poke_by_name("valid", 1).unwrap();
+        sim.poke_by_name("rw", 0).unwrap();
+        sim.poke_by_name("addr", 0x0).unwrap();
+        sim.poke_by_name("grant", 1).unwrap();
+        sim.step();
+        sim.poke_by_name("refill_valid", 1).unwrap();
+        for k in 0..4u64 {
+            sim.poke_by_name("refill_data", 100 + k).unwrap();
+            sim.step();
+        }
+        sim.poke_by_name("refill_valid", 0).unwrap();
+
+        // Store to word 1.
+        sim.poke_by_name("rw", 1).unwrap();
+        sim.poke_by_name("addr", 0x4).unwrap();
+        sim.poke_by_name("wdata", 0xBEEF).unwrap();
+        assert_eq!(sim.peek_output("mreq_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("mreq_rw").unwrap(), 1);
+        assert_eq!(sim.peek_output("mreq_addr").unwrap(), 0x4);
+        assert_eq!(sim.peek_output("stall").unwrap(), 0); // granted
+        sim.step();
+
+        // Read it back: hit with the stored value.
+        sim.poke_by_name("rw", 0).unwrap();
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("resp_data").unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn store_without_grant_stalls() {
+        let design = harness(256);
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("valid", 1).unwrap();
+        sim.poke_by_name("rw", 1).unwrap();
+        sim.poke_by_name("addr", 0x40).unwrap();
+        sim.poke_by_name("wdata", 1).unwrap();
+        sim.poke_by_name("grant", 0).unwrap();
+        assert_eq!(sim.peek_output("stall").unwrap(), 1);
+        sim.poke_by_name("grant", 1).unwrap();
+        assert_eq!(sim.peek_output("stall").unwrap(), 0);
+    }
+
+    #[test]
+    fn store_miss_does_not_allocate() {
+        let design = harness(256);
+        let mut sim = Simulator::new(&design).unwrap();
+        // Store to an uncached block (miss): posts the write, no refill.
+        sim.poke_by_name("valid", 1).unwrap();
+        sim.poke_by_name("rw", 1).unwrap();
+        sim.poke_by_name("addr", 0x80).unwrap();
+        sim.poke_by_name("wdata", 7).unwrap();
+        sim.poke_by_name("grant", 1).unwrap();
+        sim.step();
+        // Read of the same address must miss (no allocation happened).
+        sim.poke_by_name("rw", 0).unwrap();
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 0);
+        assert_eq!(sim.peek_output("mreq_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("mreq_rw").unwrap(), 0);
+    }
+
+    #[test]
+    fn conflicting_lines_evict() {
+        let design = harness(256); // 16 lines
+        let mut sim = Simulator::new(&design).unwrap();
+        let refill = |sim: &mut Simulator, addr: u64, base: u64| {
+            sim.poke_by_name("valid", 1).unwrap();
+            sim.poke_by_name("rw", 0).unwrap();
+            sim.poke_by_name("addr", addr).unwrap();
+            sim.poke_by_name("grant", 1).unwrap();
+            sim.step();
+            sim.poke_by_name("grant", 0).unwrap();
+            sim.poke_by_name("refill_valid", 1).unwrap();
+            for k in 0..4u64 {
+                sim.poke_by_name("refill_data", base + k).unwrap();
+                sim.step();
+            }
+            sim.poke_by_name("refill_valid", 0).unwrap();
+        };
+        refill(&mut sim, 0x000, 10); // line 0
+        refill(&mut sim, 0x100, 20); // also maps to line 0 (16 lines × 16 B)
+        // 0x100 hits with the new data; 0x000 now misses.
+        sim.poke_by_name("addr", 0x100).unwrap();
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 1);
+        assert_eq!(sim.peek_output("resp_data").unwrap(), 20);
+        sim.poke_by_name("addr", 0x000).unwrap();
+        assert_eq!(sim.peek_output("resp_valid").unwrap(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Core configurations — the Table II analog.
+
+/// Parameters of one processor configuration.
+///
+/// The three presets mirror Table II of the paper (Rocket, BOOM-1w,
+/// BOOM-2w): fetch/issue width, issue slots, ROB size, physical register
+/// count and L1 cache capacities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Display name.
+    pub name: String,
+    /// `false` = Rok (in-order 5-stage), `true` = Boum (superscalar).
+    pub superscalar: bool,
+    /// Fetch/issue width (1 or 2; Boum only).
+    pub width: u32,
+    /// Issue-queue depth (Boum only).
+    pub issue_slots: u32,
+    /// Completion-buffer (ROB) entries (Boum only).
+    pub rob_entries: u32,
+    /// Physical register file depth (≥ 32; the architectural registers
+    /// occupy the first 32 entries).
+    pub physical_regs: u32,
+    /// L1 instruction cache capacity in bytes.
+    pub icache_bytes: u32,
+    /// L1 data cache capacity in bytes.
+    pub dcache_bytes: u32,
+    /// Branch-target-buffer entries (Boum only; Rok has none, matching
+    /// the case study's "only a simple branch predictor" remark).
+    pub btb_entries: u32,
+}
+
+impl CoreConfig {
+    /// Rok — the Rocket analog (Table II column 1).
+    pub fn rok() -> Self {
+        CoreConfig {
+            name: "rok".to_owned(),
+            superscalar: false,
+            width: 1,
+            issue_slots: 0,
+            rob_entries: 0,
+            physical_regs: 32,
+            icache_bytes: 16 * 1024,
+            dcache_bytes: 16 * 1024,
+            btb_entries: 0,
+        }
+    }
+
+    /// Boum-1w — the BOOM-1w analog (Table II column 2).
+    pub fn boum_1w() -> Self {
+        CoreConfig {
+            name: "boum-1w".to_owned(),
+            superscalar: true,
+            width: 1,
+            issue_slots: 12,
+            rob_entries: 24,
+            physical_regs: 100,
+            icache_bytes: 16 * 1024,
+            dcache_bytes: 16 * 1024,
+            btb_entries: 16,
+        }
+    }
+
+    /// Boum-2w — the BOOM-2w analog (Table II column 3).
+    pub fn boum_2w() -> Self {
+        CoreConfig {
+            name: "boum-2w".to_owned(),
+            superscalar: true,
+            width: 2,
+            issue_slots: 16,
+            rob_entries: 32,
+            physical_regs: 110,
+            icache_bytes: 16 * 1024,
+            dcache_bytes: 16 * 1024,
+            btb_entries: 16,
+        }
+    }
+
+    /// All three Table II configurations.
+    pub fn table2() -> Vec<CoreConfig> {
+        vec![Self::rok(), Self::boum_1w(), Self::boum_2w()]
+    }
+
+    /// A miniature Rok with small caches, for fast tests.
+    pub fn rok_tiny() -> Self {
+        CoreConfig {
+            name: "rok-tiny".to_owned(),
+            icache_bytes: 1024,
+            dcache_bytes: 1024,
+            ..Self::rok()
+        }
+    }
+
+    /// A miniature Boum-2w with small caches, for fast tests.
+    pub fn boum_tiny(width: u32) -> Self {
+        CoreConfig {
+            name: format!("boum-tiny-{width}w"),
+            width,
+            issue_slots: 8,
+            rob_entries: 16,
+            physical_regs: 48,
+            icache_bytes: 1024,
+            dcache_bytes: 1024,
+            ..Self::boum_2w()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_axes() {
+        let t = CoreConfig::table2();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].width, 1);
+        assert_eq!(t[2].width, 2);
+        assert!(t[2].issue_slots > t[1].issue_slots);
+        assert!(t[2].rob_entries > t[1].rob_entries);
+        assert!(t[2].physical_regs > t[1].physical_regs);
+        for c in &t {
+            assert_eq!(c.icache_bytes, 16 * 1024);
+            assert_eq!(c.dcache_bytes, 16 * 1024);
+        }
+    }
+}

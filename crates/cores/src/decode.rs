@@ -1,0 +1,354 @@
+//! Instruction decode and the integer ALU, shared by both cores.
+
+use strober_dsl::{Ctx, Sig};
+use strober_rtl::Width;
+use strober_isa::Op;
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+/// The decoded control/operand bundle for one instruction word.
+#[derive(Debug, Clone)]
+pub struct Decoded {
+    /// Raw 6-bit opcode field.
+    pub op: Sig,
+    /// Destination architectural register (0 when the instruction writes
+    /// nothing).
+    pub rd: Sig,
+    /// First source register.
+    pub rs1: Sig,
+    /// Second source register (0 when unused).
+    pub rs2: Sig,
+    /// Sign-extended immediate.
+    pub imm_s: Sig,
+    /// Zero-extended immediate (logical ops).
+    pub imm_z: Sig,
+    /// Register-register ALU op.
+    pub is_alu_reg: Sig,
+    /// Register-immediate ALU op (including `lui`).
+    pub is_alu_imm: Sig,
+    /// `lw`.
+    pub is_load: Sig,
+    /// `sw`.
+    pub is_store: Sig,
+    /// Conditional branch.
+    pub is_branch: Sig,
+    /// `jal`.
+    pub is_jal: Sig,
+    /// `jalr`.
+    pub is_jalr: Sig,
+    /// `halt`.
+    pub is_halt: Sig,
+    /// `rdcyc` / `rdinst`.
+    pub is_rdcyc: Sig,
+    /// `rdinst`.
+    pub is_rdinst: Sig,
+    /// `out`.
+    pub is_out: Sig,
+    /// `mul` (register form).
+    pub is_mul: Sig,
+    /// Instruction writes `rd`.
+    pub writes_rd: Sig,
+    /// Instruction reads `rs1`.
+    pub uses_rs1: Sig,
+    /// Instruction reads `rs2`.
+    pub uses_rs2: Sig,
+}
+
+/// Decodes a 32-bit instruction word.
+pub fn decode(ctx: &Ctx, ir: &Sig) -> Decoded {
+    let op = ir.bits(31, 26);
+    let f1 = ir.bits(25, 21);
+    let f2 = ir.bits(20, 16);
+    let f3 = ir.bits(15, 11);
+    let imm16 = ir.bits(15, 0);
+    let imm_s = imm16.sext(w(32));
+    let imm_z = imm16.zext(w(32));
+
+    let opc = |o: Op| op.eq_lit(o as u64);
+    let in_range = |lo: u64, hi: u64| {
+        // lo <= op <= hi
+        let ge = !op.ltu(&op.lit(lo));
+        let le = op.leu(&op.lit(hi));
+        ge & le
+    };
+
+    let is_alu_reg = in_range(Op::Add as u64, Op::Mul as u64);
+    let is_alu_imm = in_range(Op::Addi as u64, Op::Lui as u64);
+    let is_load = opc(Op::Lw);
+    let is_store = opc(Op::Sw);
+    let is_branch = in_range(Op::Beq as u64, Op::Bgeu as u64);
+    let is_jal = opc(Op::Jal);
+    let is_jalr = opc(Op::Jalr);
+    let is_halt = opc(Op::Halt);
+    let is_rdcyc = opc(Op::Rdcyc);
+    let is_rdinst = opc(Op::Rdinst);
+    let is_out = opc(Op::Out);
+    let is_mul = opc(Op::Mul);
+
+    // Field mapping: stores/branches carry rs1 in field 1 swapped order
+    // (see strober-isa encoding).
+    let swapped = &is_branch | &is_store;
+    let rs1 = swapped.mux(&f1, &f2);
+    let rs1 = is_store.mux(&f2, &rs1); // sw: rs1 is field 2
+    let rs2_raw = is_alu_reg.mux(&f3, &is_store.mux(&f1, &f2));
+    let zero5 = ctx.lit(0, w(5));
+    let uses_rs2 = &is_alu_reg | &is_branch | &is_store;
+    let rs2 = uses_rs2.mux(&rs2_raw, &zero5);
+
+    let writes_rd = &(&is_alu_reg | &is_alu_imm)
+        | &(&(&is_load | &is_jal) | &(&is_jalr | &(&is_rdcyc | &is_rdinst)));
+    let rd = writes_rd.mux(&f1, &zero5);
+
+    // `lui`, `jal`, `rdcyc`, `rdinst` ignore rs1; everything else reads it.
+    let no_rs1 = &(&opc(Op::Lui) | &is_jal) | &(&is_rdcyc | &is_rdinst);
+    let uses_rs1 = !&no_rs1;
+
+    Decoded {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm_s,
+        imm_z,
+        is_alu_reg,
+        is_alu_imm,
+        is_load,
+        is_store,
+        is_branch,
+        is_jal,
+        is_jalr,
+        is_halt,
+        is_rdcyc,
+        is_rdinst,
+        is_out,
+        is_mul,
+        writes_rd,
+        uses_rs1,
+        uses_rs2,
+    }
+}
+
+/// Computes the ALU result for a decoded instruction.
+///
+/// `a` is the rs1 value; `b` is the rs2 value for register forms. The
+/// immediate variants pick the correct immediate (sign- or zero-extended)
+/// internally; `lui` produces `imm << 16`.
+pub fn alu(ctx: &Ctx, d: &Decoded, a: &Sig, b: &Sig) -> Sig {
+    let opc = |o: Op| d.op.eq_lit(o as u64);
+
+    // Second operand: immediate for I-forms and for load/store/jalr
+    // address arithmetic.
+    let imm_logical = &opc(Op::Andi) | &(&opc(Op::Ori) | &opc(Op::Xori));
+    let imm = imm_logical.mux(&d.imm_z, &d.imm_s);
+    let use_imm = &d.is_alu_imm | &(&(&d.is_load | &d.is_store) | &d.is_jalr);
+    let operand_b = use_imm.mux(&imm, b);
+
+    let amt = operand_b.bits(4, 0).zext(w(32));
+    let sum = a + &operand_b;
+    let diff = a - &operand_b;
+    let and_v = a & &operand_b;
+    let or_v = a | &operand_b;
+    let xor_v = a ^ &operand_b;
+    let slt_v = a.lts(&operand_b).zext(w(32));
+    let sltu_v = a.ltu(&operand_b).zext(w(32));
+    let sll_v = a.shl(&amt);
+    let srl_v = a.shr(&amt);
+    let sra_v = a.sra(&amt);
+    let mul_v = a.mul(&operand_b);
+    let lui_v = d.imm_z.shl_lit(16);
+
+    let is_sub = opc(Op::Sub);
+    let is_and = &opc(Op::And) | &opc(Op::Andi);
+    let is_or = &opc(Op::Or) | &opc(Op::Ori);
+    let is_xor = &opc(Op::Xor) | &opc(Op::Xori);
+    let is_slt = &opc(Op::Slt) | &opc(Op::Slti);
+    let is_sltu = &opc(Op::Sltu) | &opc(Op::Sltiu);
+    let is_sll = &opc(Op::Sll) | &opc(Op::Slli);
+    let is_srl = &opc(Op::Srl) | &opc(Op::Srli);
+    let is_sra = &opc(Op::Sra) | &opc(Op::Srai);
+    let is_lui = opc(Op::Lui);
+
+    ctx.select(
+        &[
+            (is_sub, diff),
+            (is_and, and_v),
+            (is_or, or_v),
+            (is_xor, xor_v),
+            (is_slt, slt_v),
+            (is_sltu, sltu_v),
+            (is_sll, sll_v),
+            (is_srl, srl_v),
+            (is_sra, sra_v),
+            (d.is_mul.clone(), mul_v),
+            (is_lui, lui_v),
+        ],
+        &sum, // add/addi/loads/stores address arithmetic default
+    )
+}
+
+/// Evaluates a conditional branch: 1 when taken.
+pub fn branch_taken(d: &Decoded, a: &Sig, b: &Sig) -> Sig {
+    let opc = |o: Op| d.op.eq_lit(o as u64);
+    let eq = a.eq(b);
+    let ltu = a.ltu(b);
+    let lts = a.lts(b);
+    let sel_beq = opc(Op::Beq);
+    let sel_bne = opc(Op::Bne);
+    let sel_blt = opc(Op::Blt);
+    let sel_bltu = opc(Op::Bltu);
+    let sel_bge = opc(Op::Bge);
+    // default arm below covers bgeu
+    let t_beq = eq.clone();
+    let t_bne = !&eq;
+    let t_bge = !&lts;
+    let t_bgeu = !&ltu;
+    let cond = sel_beq.mux(
+        &t_beq,
+        &sel_bne.mux(
+            &t_bne,
+            &sel_blt.mux(&lts, &sel_bltu.mux(&ltu, &sel_bge.mux(&t_bge, &t_bgeu))),
+        ),
+    );
+    &cond & &d.is_branch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_isa::{encode, Instr, Reg};
+    use strober_sim::Simulator;
+
+    /// Builds a combinational decode+alu+branch testbench design.
+    fn harness() -> strober_rtl::Design {
+        let ctx = Ctx::new("decode_tb");
+        let ir = ctx.input("ir", w(32));
+        let a = ctx.input("a", w(32));
+        let b = ctx.input("b", w(32));
+        let d = decode(&ctx, &ir);
+        let result = alu(&ctx, &d, &a, &b);
+        let taken = branch_taken(&d, &a, &b);
+        ctx.output("result", &result);
+        ctx.output("taken", &taken);
+        ctx.output("rd", &d.rd);
+        ctx.output("rs1", &d.rs1);
+        ctx.output("rs2", &d.rs2);
+        ctx.output("is_load", &d.is_load);
+        ctx.output("is_store", &d.is_store);
+        ctx.output("writes_rd", &d.writes_rd);
+        ctx.finish().unwrap()
+    }
+
+    fn check(sim: &mut Simulator, i: Instr, a: u32, b: u32) -> (u64, u64) {
+        sim.poke_by_name("ir", u64::from(encode(i))).unwrap();
+        sim.poke_by_name("a", u64::from(a)).unwrap();
+        sim.poke_by_name("b", u64::from(b)).unwrap();
+        (
+            sim.peek_output("result").unwrap(),
+            sim.peek_output("taken").unwrap(),
+        )
+    }
+
+    fn r(op: Op, rd: u8, rs1: u8, rs2: u8) -> Instr {
+        Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), imm: 0 }
+    }
+
+    fn i(op: Op, rd: u8, rs1: u8, imm: i32) -> Instr {
+        Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(0), imm }
+    }
+
+    #[test]
+    fn alu_matches_reference_semantics() {
+        let design = harness();
+        let mut sim = Simulator::new(&design).unwrap();
+        let cases: Vec<(Instr, u32, u32, u32)> = vec![
+            (r(Op::Add, 1, 2, 3), 5, 7, 12),
+            (r(Op::Sub, 1, 2, 3), 5, 7, 0xFFFF_FFFE),
+            (r(Op::And, 1, 2, 3), 0b1100, 0b1010, 0b1000),
+            (r(Op::Or, 1, 2, 3), 0b1100, 0b1010, 0b1110),
+            (r(Op::Xor, 1, 2, 3), 0b1100, 0b1010, 0b0110),
+            (r(Op::Slt, 1, 2, 3), (-1i32) as u32, 1, 1),
+            (r(Op::Sltu, 1, 2, 3), (-1i32) as u32, 1, 0),
+            (r(Op::Sll, 1, 2, 3), 1, 5, 32),
+            (r(Op::Srl, 1, 2, 3), 0x8000_0000, 4, 0x0800_0000),
+            (r(Op::Sra, 1, 2, 3), 0x8000_0000, 4, 0xF800_0000),
+            (r(Op::Mul, 1, 2, 3), 6, 7, 42),
+            (i(Op::Addi, 1, 2, -5), 3, 0, (-2i32) as u32),
+            (i(Op::Andi, 1, 2, -1), 0x1234_5678, 0, 0x5678), // zero-extended
+            (i(Op::Ori, 1, 2, 0x0F0F_u16 as i32), 0x1000_0000, 0, 0x1000_0F0F),
+            (i(Op::Slli, 1, 2, 8), 0xAB, 0, 0xAB00),
+            (i(Op::Srai, 1, 2, 8), 0x8000_0000, 0, 0xFF80_0000),
+            (i(Op::Lui, 1, 0, 0x1234), 0, 0, 0x1234_0000),
+            (i(Op::Lw, 1, 2, 8), 100, 0, 108), // address arithmetic
+        ];
+        for (instr, a, b, expect) in cases {
+            let (got, _) = check(&mut sim, instr, a, b);
+            assert_eq!(got, u64::from(expect), "{instr:?} a={a:#x} b={b:#x}");
+        }
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let design = harness();
+        let mut sim = Simulator::new(&design).unwrap();
+        let b_ = |op: Op| Instr {
+            op,
+            rd: Reg(0),
+            rs1: Reg(1),
+            rs2: Reg(2),
+            imm: 4,
+        };
+        let cases = vec![
+            (Op::Beq, 5u32, 5u32, 1u64),
+            (Op::Beq, 5, 6, 0),
+            (Op::Bne, 5, 6, 1),
+            (Op::Blt, (-1i32) as u32, 1, 1),
+            (Op::Bltu, (-1i32) as u32, 1, 0),
+            (Op::Bge, 1, 1, 1),
+            (Op::Bgeu, 0, 1, 0),
+            (Op::Bgeu, (-1i32) as u32, 1, 1),
+        ];
+        for (op, a, b, expect) in cases {
+            let (_, taken) = check(&mut sim, b_(op), a, b);
+            assert_eq!(taken, expect, "{op:?} a={a:#x} b={b:#x}");
+        }
+        // Non-branches never report taken.
+        let (_, taken) = check(&mut sim, r(Op::Add, 1, 2, 3), 1, 1);
+        assert_eq!(taken, 0);
+    }
+
+    #[test]
+    fn register_field_mapping() {
+        let design = harness();
+        let mut sim = Simulator::new(&design).unwrap();
+
+        // R-type: rd=f1, rs1=f2, rs2=f3.
+        sim.poke_by_name("ir", u64::from(encode(r(Op::Add, 3, 4, 5)))).unwrap();
+        assert_eq!(sim.peek_output("rd").unwrap(), 3);
+        assert_eq!(sim.peek_output("rs1").unwrap(), 4);
+        assert_eq!(sim.peek_output("rs2").unwrap(), 5);
+
+        // Store: rs1 = base, rs2 = data, no rd.
+        let sw = Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(7), rs2: Reg(9), imm: 4 };
+        sim.poke_by_name("ir", u64::from(encode(sw))).unwrap();
+        assert_eq!(sim.peek_output("rd").unwrap(), 0);
+        assert_eq!(sim.peek_output("rs1").unwrap(), 7);
+        assert_eq!(sim.peek_output("rs2").unwrap(), 9);
+        assert_eq!(sim.peek_output("is_store").unwrap(), 1);
+        assert_eq!(sim.peek_output("writes_rd").unwrap(), 0);
+
+        // Branch: rs1/rs2, no rd.
+        let beq = Instr { op: Op::Beq, rd: Reg(0), rs1: Reg(6), rs2: Reg(8), imm: -2 };
+        sim.poke_by_name("ir", u64::from(encode(beq))).unwrap();
+        assert_eq!(sim.peek_output("rs1").unwrap(), 6);
+        assert_eq!(sim.peek_output("rs2").unwrap(), 8);
+        assert_eq!(sim.peek_output("rd").unwrap(), 0);
+
+        // Load: writes rd.
+        sim.poke_by_name("ir", u64::from(encode(i(Op::Lw, 11, 12, 4)))).unwrap();
+        assert_eq!(sim.peek_output("is_load").unwrap(), 1);
+        assert_eq!(sim.peek_output("rd").unwrap(), 11);
+        assert_eq!(sim.peek_output("writes_rd").unwrap(), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! The target processor designs: Rok and Boum.
+//!
+//! The paper evaluates Strober on two open-source RISC-V cores built with
+//! the Rocket-chip generator: Rocket (5-stage in-order) and BOOM
+//! (parameterised superscalar out-of-order). This crate provides the
+//! equivalent synthesizable designs for the SRV32 ISA, written in the
+//! `strober-dsl` hardware construction language:
+//!
+//! * [`rok::build_rok`] — **Rok**, a 5-stage in-order scalar pipeline with
+//!   full forwarding, branch resolution in EX, blocking L1 instruction and
+//!   data caches (direct-mapped, 16-byte blocks, write-through
+//!   no-allocate), and a bus arbiter ("uncore") multiplexing both caches
+//!   onto one external memory port.
+//! * [`boum::build_boum`] — **Boum**, a parameterised superscalar core
+//!   (fetch/issue width 1 or 2) with a fetch buffer, a branch target
+//!   buffer, an issue queue, a scoreboard with EX/WB bypass networks, a
+//!   completion buffer (ROB) for in-order retirement, and a physical
+//!   register file sized per configuration. Relative to BOOM it issues in
+//!   order from the queue head (see DESIGN.md for the simplification
+//!   inventory); it occupies the same design-space point — wider, more
+//!   physical state, higher IPC on parallel code, higher power.
+//!
+//! Both cores share the decode/ALU library ([`decode`]), the cache
+//! generator ([`cache`]) and the uncore ([`uncore`]), and expose the same
+//! top-level interface, so the Strober flow treats them identically.
+//!
+//! # Top-level interface
+//!
+//! | port | dir | meaning |
+//! |---|---|---|
+//! | `mem_req_valid/rw/addr/wdata/tag` | out | memory request (reads fetch a 16-byte block; writes are posted single words) |
+//! | `mem_resp_valid/tag/rdata` | in | read response, four beats on consecutive cycles |
+//! | `tohost` | out | `(code << 1) \| 1` once the program executes `halt` |
+//! | `instret` | out | retired instruction counter |
+//! | `console_valid/console_byte` | out | `out` instruction byte stream |
+//!
+//! Hierarchical name scopes (`fetch/…`, `decode/…`, `alu/…`, `lsu/…`,
+//! `regfile/…`, `issue/…`, `rob/…`, `btb/…`, `icache/…`, `dcache/…`,
+//! `uncore/…`, `csr/…`, `mul/…`) drive the Fig. 9a per-component power
+//! breakdown.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod boum;
+pub mod cache;
+pub mod config;
+pub mod decode;
+pub mod rok;
+pub mod uncore;
+
+pub use config::CoreConfig;
+
+use strober_rtl::Design;
+
+/// Builds the core selected by a configuration.
+///
+/// # Panics
+///
+/// Panics if the configuration is internally inconsistent (generator-time
+/// error), like the DSL it is built on.
+pub fn build_core(config: &CoreConfig) -> Design {
+    if config.superscalar {
+        boum::build_boum(config)
+    } else {
+        rok::build_rok(config)
+    }
+}

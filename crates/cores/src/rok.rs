@@ -1,0 +1,358 @@
+//! Rok: the 5-stage in-order scalar core (Rocket analog).
+//!
+//! Pipeline: IF → ID → EX → MEM → WB.
+//!
+//! * Full forwarding (MEM→EX, WB→EX, WB→ID-read bypass); no load-use
+//!   bubble because load data forwards combinationally from the D$ hit
+//!   path.
+//! * Branches, `jal` and `jalr` resolve in EX with a two-cycle redirect
+//!   penalty; there is no branch predictor (the case study's Rocket has
+//!   "only a simple branch predictor" — ours predicts not-taken).
+//! * Blocking caches: an I$ miss bubbles IF, a D$ miss/store backpressure
+//!   freezes the whole pipeline.
+//! * `halt` latches `tohost = (rs1 << 1) | 1` at WB and stops fetching.
+
+use crate::cache::{build_cache, CacheCpuReq};
+use crate::config::CoreConfig;
+use crate::decode::{alu, branch_taken, decode};
+use crate::uncore::build_uncore;
+use strober_dsl::{Ctx, Sig};
+use strober_rtl::{Design, Width};
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+/// Builds the Rok design for a configuration.
+///
+/// # Panics
+///
+/// Panics on inconsistent configurations (generator-time error).
+pub fn build_rok(config: &CoreConfig) -> Design {
+    assert!(!config.superscalar, "build_rok takes in-order configs");
+    assert!(config.physical_regs >= 32);
+    let ctx = Ctx::new(config.name.clone());
+    let c = &ctx;
+    let w1 = w(1);
+    let w32 = w(32);
+
+    // ---- external memory interface -----------------------------------------
+    let mem_resp_valid = c.input("mem_resp_valid", w1);
+    let mem_resp_tag = c.input("mem_resp_tag", w1);
+    let mem_resp_rdata = c.input("mem_resp_rdata", w32);
+
+    // ---- global wires (resolved later) ---------------------------------------
+    let freeze_w = c.wire(w1); // D$ backpressure: hold everything
+    let freeze = freeze_w.sig();
+    let mul_stall_w = c.wire(w1); // multiplier occupies EX for an extra cycle
+    let mul_stall = mul_stall_w.sig();
+    // `hold` freezes the front end (IF/ID/EX); `freeze` alone also stops
+    // MEM/WB.
+    let hold = &freeze | &mul_stall;
+    let redirect_w = c.wire(w1); // EX control-flow change
+    let redirect = redirect_w.sig();
+    let redirect_target_w = c.wire(w32);
+    let halted_q_w = c.wire(w1);
+    let halted_q = halted_q_w.sig();
+
+    // ---- CSRs ------------------------------------------------------------------
+    let retire_w = c.wire(w1);
+    let halt_val_w = c.wire(w(33));
+    let halt_now_w = c.wire(w1);
+    let (cycle_q, instret_q, tohost_out, halted_out) = c.scope("csr", |c| {
+        let cycle = c.reg("cycle", w32, 0);
+        cycle.set(&cycle.out().add_lit(1));
+        let instret = c.reg("instret", w32, 0);
+        instret.set_en(&instret.out().add_lit(1), &retire_w.sig());
+        let tohost = c.reg("tohost", w(33), 0);
+        tohost.set_en(&halt_val_w.sig(), &halt_now_w.sig());
+        let halted = c.reg("halted", w1, 0);
+        halted.set_en(&c.lit1(true), &halt_now_w.sig());
+        (cycle.out(), instret.out(), tohost.out(), halted.out())
+    });
+    // `halting` stops fetch as soon as a halt reaches EX, so no shadow
+    // instruction younger than the halt can reach MEM and touch memory.
+    let halting_set_w = c.wire(w1);
+    let halting = c.scope("csr", |c| {
+        let halting = c.reg("halting", w1, 0);
+        halting.set_en(&c.lit1(true), &halting_set_w.sig());
+        halting.out()
+    });
+    halted_q_w.drive(&(&halted_out | &halting));
+
+    // ---- IF: program counter and I$ --------------------------------------------
+    let pc = c.scope("fetch", |c| c.reg("pc", w32, 0));
+    let fetch_wanted = !&halted_q;
+    let icache_req = CacheCpuReq {
+        valid: fetch_wanted.clone(),
+        addr: pc.out(),
+        rw: c.lit1(false),
+        wdata: c.lit(0, w32),
+    };
+    let igrant_w = c.wire(w1);
+    let irefill_valid_w = c.wire(w1);
+    let icache = build_cache(
+        c,
+        "icache",
+        config.icache_bytes,
+        &icache_req,
+        &igrant_w.sig(),
+        &irefill_valid_w.sig(),
+        &mem_resp_rdata,
+    );
+    let instr_valid = &icache.cpu.resp_valid & &fetch_wanted;
+    let instr = icache.cpu.resp_data.clone();
+
+    // PC update: redirect > advance-on-fetch > hold. All gated by freeze.
+    let pc_plus4 = pc.out().add_lit(4);
+    let pc_next = c.select(
+        &[
+            (redirect.clone(), redirect_target_w.sig()),
+            (instr_valid.clone(), pc_plus4),
+        ],
+        &pc.out(),
+    );
+    pc.set_en(&pc_next, &!&hold);
+
+    // ---- ID pipeline registers ----------------------------------------------
+    let (id_valid, id_pc, id_ir) = c.scope("decode", |c| {
+        let adv = !&hold;
+        let id_valid = c.reg("id_valid", w1, 0);
+        let id_pc = c.reg("id_pc", w32, 0);
+        let id_ir = c.reg("id_ir", w32, 0);
+        // A redirect kills the fetched instruction; an I$ miss bubbles.
+        let take = &(&instr_valid & &!&redirect) & &!&halted_q;
+        id_valid.set_en(&take, &adv);
+        id_pc.set_en(&pc.out(), &adv);
+        id_ir.set_en(&instr, &adv);
+        (id_valid.out(), id_pc.out(), id_ir.out())
+    });
+
+    // Decode in ID, regfile read with WB bypass.
+    let d_id = decode(c, &id_ir);
+    let rf = c.scope("regfile", |c| c.mem("rf", w32, config.physical_regs as usize));
+    let rf_addr_w = Width::for_depth(config.physical_regs as usize).expect("depth ok");
+    let wb_info_w = c.wire(w(1 + 5 + 32)); // {valid&writes, rd, value}
+    let wb_info = wb_info_w.sig();
+    let wb_bypass_valid = wb_info.bit(37);
+    let wb_bypass_rd = wb_info.bits(36, 32);
+    let wb_bypass_val = wb_info.bits(31, 0);
+
+    let read_rf = |rs: &Sig| -> Sig {
+        let raw = rf.read(&rs.zext(rf_addr_w));
+        let is_zero = rs.eq_lit(0);
+        let zero = c.lit(0, w32);
+        let bypass = &(&wb_bypass_valid & &wb_bypass_rd.eq(rs)) & &!&is_zero;
+        let v = bypass.mux(&wb_bypass_val, &raw);
+        is_zero.mux(&zero, &v)
+    };
+    let id_rs1_val = read_rf(&d_id.rs1);
+    let id_rs2_val = read_rf(&d_id.rs2);
+
+    // ---- EX pipeline registers --------------------------------------------------
+    // Operand registers re-capture their own forwarded values while the
+    // stage holds: a producer can retire out of the bypass network during
+    // a D$ stall, so the value must be latched when it flies by.
+    let ex_rs1_capture_w = c.wire(w32);
+    let ex_rs2_capture_w = c.wire(w32);
+    let (ex_valid, ex_pc, ex_ir, ex_rs1_v, ex_rs2_v) = c.scope("alu", |c| {
+        let adv = !&hold;
+        let ex_valid = c.reg("ex_valid", w1, 0);
+        let ex_pc = c.reg("ex_pc", w32, 0);
+        let ex_ir = c.reg("ex_ir", w32, 0);
+        let ex_rs1 = c.reg("ex_rs1_val", w32, 0);
+        let ex_rs2 = c.reg("ex_rs2_val", w32, 0);
+        let take = &id_valid & &!&redirect;
+        ex_valid.set_en(&take, &adv);
+        ex_pc.set_en(&id_pc, &adv);
+        ex_ir.set_en(&id_ir, &adv);
+        ex_rs1.set(&hold.mux(&ex_rs1_capture_w.sig(), &id_rs1_val));
+        ex_rs2.set(&hold.mux(&ex_rs2_capture_w.sig(), &id_rs2_val));
+        (
+            ex_valid.out(),
+            ex_pc.out(),
+            ex_ir.out(),
+            ex_rs1.out(),
+            ex_rs2.out(),
+        )
+    });
+
+    let d_ex = decode(c, &ex_ir);
+
+    // Forwarding into EX from MEM and WB.
+    let mem_fwd_w = c.wire(w(1 + 5 + 32)); // {valid&writes, rd, value}
+    let mem_fwd = mem_fwd_w.sig();
+    let mem_fwd_valid = mem_fwd.bit(37);
+    let mem_fwd_rd = mem_fwd.bits(36, 32);
+    let mem_fwd_val = mem_fwd.bits(31, 0);
+
+    let fwd = |rs: &Sig, base: &Sig| -> Sig {
+        let nz = !&rs.eq_lit(0);
+        let from_mem = &(&mem_fwd_valid & &mem_fwd_rd.eq(rs)) & &nz;
+        let from_wb = &(&wb_bypass_valid & &wb_bypass_rd.eq(rs)) & &nz;
+        from_mem.mux(&mem_fwd_val, &from_wb.mux(&wb_bypass_val, base))
+    };
+    let ex_a = fwd(&d_ex.rs1, &ex_rs1_v);
+    let ex_b = fwd(&d_ex.rs2, &ex_rs2_v);
+    ex_rs1_capture_w.drive(&ex_a);
+    ex_rs2_capture_w.drive(&ex_b);
+
+    // Two-cycle pipelined multiplier in its own region (Fig. 9a reports
+    // it separately): operands latch in the first EX cycle (stalling the
+    // front end once), the product is consumed in the second.
+    let (mul_stall_v, mul_product) = c.scope("mul", |c| {
+        let s_a = c.reg("s1_a", w32, 0);
+        let s_b = c.reg("s1_b", w32, 0);
+        let busy = c.reg("busy", w1, 0);
+        let start = &(&(&ex_valid & &d_ex.is_mul) & &!&busy.out()) & &!&freeze;
+        busy.set(&start);
+        s_a.set_en(&ex_a, &start);
+        s_b.set_en(&ex_b, &start);
+        let product = s_a.out().mul(&s_b.out());
+        (start, product)
+    });
+    mul_stall_w.drive(&mul_stall_v);
+    let alu_raw = alu(c, &d_ex, &ex_a, &ex_b);
+    let alu_result = d_ex.is_mul.mux(&mul_product, &alu_raw);
+
+    // Control flow.
+    let taken = branch_taken(&d_ex, &ex_a, &ex_b);
+    let imm_words = d_ex.imm_s.shl_lit(2);
+    let br_target = &ex_pc + &imm_words;
+    let jalr_target = {
+        let sum = &ex_a + &d_ex.imm_s;
+        let mask = c.lit(0xFFFF_FFFC, w32);
+        &sum & &mask
+    };
+    // A halt in EX also redirects (killing its shadow) and latches
+    // `halting` so fetch stops; the halt itself proceeds to WB.
+    let halt_in_ex = &ex_valid & &d_ex.is_halt;
+    halting_set_w.drive(&(&halt_in_ex & &!&freeze));
+    let do_redirect = &ex_valid
+        & &(&(&taken | &d_ex.is_jal) | &(&d_ex.is_jalr | &d_ex.is_halt));
+    redirect_w.drive(&(&do_redirect & &!&freeze));
+    let target = d_ex.is_jalr.mux(&jalr_target, &br_target);
+    redirect_target_w.drive(&target);
+
+    // Writeback value produced in EX (everything but load data).
+    let link = ex_pc.add_lit(4);
+    let ex_value = c.select(
+        &[
+            (&d_ex.is_jal | &d_ex.is_jalr, link),
+            (d_ex.is_rdcyc.clone(), cycle_q.clone()),
+            (d_ex.is_rdinst.clone(), instret_q.clone()),
+        ],
+        &alu_result,
+    );
+
+    // ---- MEM pipeline registers -----------------------------------------------
+    let (mem_valid, mem_ir, mem_val, mem_st_data) = c.scope("lsu", |c| {
+        let adv = !&freeze;
+        let mem_valid = c.reg("mem_valid", w1, 0);
+        let mem_ir = c.reg("mem_ir", w32, 0);
+        let mem_val = c.reg("mem_val", w32, 0);
+        let mem_st = c.reg("mem_st_data", w32, 0);
+        // The EX instruction moves on unless the multiplier is holding it.
+        let take = &ex_valid & &!&mul_stall;
+        mem_valid.set_en(&take, &adv);
+        mem_ir.set_en(&ex_ir, &adv);
+        mem_val.set_en(&ex_value, &adv);
+        mem_st.set_en(&ex_b, &adv);
+        (mem_valid.out(), mem_ir.out(), mem_val.out(), mem_st.out())
+    });
+
+    let d_mem = decode(c, &mem_ir);
+    let dcache_req = CacheCpuReq {
+        valid: &mem_valid & &(&d_mem.is_load | &d_mem.is_store),
+        addr: mem_val.clone(),
+        rw: d_mem.is_store.clone(),
+        wdata: mem_st_data.clone(),
+    };
+    let dgrant_w = c.wire(w1);
+    let drefill_valid_w = c.wire(w1);
+    let dcache = build_cache(
+        c,
+        "dcache",
+        config.dcache_bytes,
+        &dcache_req,
+        &dgrant_w.sig(),
+        &drefill_valid_w.sig(),
+        &mem_resp_rdata,
+    );
+    freeze_w.drive(&dcache.cpu.stall);
+
+    let mem_result = d_mem.is_load.mux(&dcache.cpu.resp_data, &mem_val);
+    // Forward from MEM (loads forward the D$ hit data combinationally).
+    let mem_fwd_valid_v = &(&mem_valid & &d_mem.writes_rd) & &!&freeze;
+    let packed_mem = mem_fwd_valid_v.cat(&d_mem.rd).cat(&mem_result);
+    mem_fwd_w.drive(&packed_mem);
+
+    // ---- uncore -------------------------------------------------------------------
+    let uncore = build_uncore(c, &icache.mem, &dcache.mem, &mem_resp_valid, &mem_resp_tag);
+    igrant_w.drive(&uncore.grant_i);
+    irefill_valid_w.drive(&uncore.refill_i_valid);
+    dgrant_w.drive(&uncore.grant_d);
+    drefill_valid_w.drive(&uncore.refill_d_valid);
+
+    // ---- WB pipeline registers -------------------------------------------------
+    let (wb_valid, wb_ir, wb_value) = c.scope("wb", |c| {
+        let wb_valid = c.reg("wb_valid", w1, 0);
+        let wb_ir = c.reg("wb_ir", w32, 0);
+        let wb_value = c.reg("wb_value", w32, 0);
+        // A frozen MEM stage sends a bubble into WB.
+        let take = &mem_valid & &!&freeze;
+        wb_valid.set(&take);
+        wb_ir.set_en(&mem_ir, &!&freeze);
+        wb_value.set_en(&mem_result, &!&freeze);
+        (wb_valid.out(), wb_ir.out(), wb_value.out())
+    });
+
+    let d_wb = decode(c, &wb_ir);
+    let rf_we = &(&wb_valid & &d_wb.writes_rd) & &!&d_wb.rd.eq_lit(0);
+    rf.write(&d_wb.rd.zext(rf_addr_w), &wb_value, &rf_we);
+    let packed_wb = rf_we.cat(&d_wb.rd).cat(&wb_value);
+    wb_info_w.drive(&packed_wb);
+
+    // Retirement, halt, console.
+    let retire = &wb_valid & &!&halted_out;
+    retire_w.drive(&retire);
+    let halt_now = &(&wb_valid & &d_wb.is_halt) & &!&halted_out;
+    halt_now_w.drive(&halt_now);
+    let one33 = c.lit(1, w(33));
+    let halt_code = &wb_value.zext(w(33)).shl_lit(1) | &one33;
+    halt_val_w.drive(&halt_code);
+
+    // ---- outputs ----------------------------------------------------------------
+    ctx.output("mem_req_valid", &uncore.req_valid);
+    ctx.output("mem_req_rw", &uncore.req_rw);
+    ctx.output("mem_req_addr", &uncore.req_addr);
+    ctx.output("mem_req_wdata", &uncore.req_wdata);
+    ctx.output("mem_req_tag", &uncore.req_tag);
+    ctx.output("tohost", &tohost_out);
+    ctx.output("instret", &instret_q);
+    let console_valid = &(&wb_valid & &d_wb.is_out) & &!&halted_out;
+    ctx.output("console_valid", &console_valid);
+    ctx.output("console_byte", &wb_value.bits(7, 0));
+
+    ctx.finish().expect("Rok must elaborate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rok_elaborates() {
+        let design = build_rok(&CoreConfig::rok_tiny());
+        assert!(design.register_count() > 10);
+        assert!(design.memory_count() >= 5); // rf, 2×tags, 2×data
+        assert!(design.state_bits() > 8 * 2 * 1024);
+    }
+
+    #[test]
+    fn full_size_rok_elaborates() {
+        let design = build_rok(&CoreConfig::rok());
+        // 2 × 16 KiB caches dominate the state bits.
+        assert!(design.state_bits() > 2 * 16 * 1024 * 8);
+    }
+}

@@ -1,0 +1,215 @@
+//! The uncore: bus arbiter between the L1 caches and the external memory
+//! port.
+//!
+//! One read may be outstanding at a time (responses are 4-beat bursts and
+//! must not interleave); posted writes are granted whenever the port is
+//! otherwise free. The data cache has priority, matching typical L1
+//! arbiters.
+
+use crate::cache::CacheMemPort;
+use strober_dsl::{Ctx, Sig};
+use strober_rtl::Width;
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+/// The uncore's external request port plus per-cache grants and routed
+/// refill strobes.
+#[derive(Debug, Clone)]
+pub struct Uncore {
+    /// External request valid (to the memory system).
+    pub req_valid: Sig,
+    /// External request is a posted write.
+    pub req_rw: Sig,
+    /// External request address.
+    pub req_addr: Sig,
+    /// External write data.
+    pub req_wdata: Sig,
+    /// External request tag (0 = icache, 1 = dcache).
+    pub req_tag: Sig,
+    /// Grant to the instruction cache.
+    pub grant_i: Sig,
+    /// Grant to the data cache.
+    pub grant_d: Sig,
+    /// Refill beat routed to the instruction cache.
+    pub refill_i_valid: Sig,
+    /// Refill beat routed to the data cache.
+    pub refill_d_valid: Sig,
+}
+
+/// Builds the arbiter inside scope `uncore`.
+///
+/// `resp_valid`/`resp_tag` come from the external memory system; the
+/// refill data itself is broadcast (each cache consumes its own strobe).
+pub fn build_uncore(
+    ctx: &Ctx,
+    imem: &CacheMemPort,
+    dmem: &CacheMemPort,
+    resp_valid: &Sig,
+    resp_tag: &Sig,
+) -> Uncore {
+    ctx.scope("uncore", |c| {
+        // Outstanding-read bookkeeping: tag of the read in flight plus a
+        // beat counter.
+        let busy = c.reg("read_busy", w(1), 0);
+        let busy_tag = c.reg("read_tag", w(1), 0);
+        let beats = c.reg("beats", w(2), 0);
+
+        let idle = !busy.out();
+
+        // A read may be granted only when no read is outstanding; writes
+        // are posted and can always take a free port cycle. D$ wins ties.
+        let d_read = &dmem.req_valid & &!&dmem.req_rw;
+        let d_write = &dmem.req_valid & &dmem.req_rw;
+        let i_read = imem.req_valid.clone(); // the I$ never writes
+
+        let grant_d_read = &d_read & &idle;
+        let grant_d_write = d_write.clone();
+        let grant_d = &grant_d_read | &grant_d_write;
+        let port_free_for_i = !&dmem.req_valid;
+        let grant_i = &(&i_read & &idle) & &port_free_for_i;
+
+        // External request mux (D$ priority).
+        let req_valid = &grant_d | &grant_i;
+        let req_rw = &grant_d & &dmem.req_rw;
+        let req_addr = grant_d.mux(&dmem.req_addr, &imem.req_addr);
+        let req_wdata = dmem.req_wdata.clone();
+        let req_tag = grant_d.clone();
+
+        // Track the outstanding read.
+        let read_granted = &grant_d_read | &grant_i;
+        let last_beat = &(&busy.out() & resp_valid) & &beats.out().eq_lit(3);
+        let busy_next = c.select(
+            &[
+                (read_granted.clone(), c.lit1(true)),
+                (last_beat.clone(), c.lit1(false)),
+            ],
+            &busy.out(),
+        );
+        busy.set(&busy_next);
+        busy_tag.set_en(&grant_d_read, &read_granted);
+        let beats_next = c.select(
+            &[
+                (read_granted.clone(), c.lit(0, w(2))),
+                (resp_valid.clone(), beats.out().add_lit(1)),
+            ],
+            &beats.out(),
+        );
+        beats.set(&beats_next);
+
+        // Route refill beats by tag.
+        let tag_match = resp_tag.eq(&busy_tag.out());
+        let routed = &(&busy.out() & resp_valid) & &tag_match;
+        let refill_d_valid = &routed & &busy_tag.out();
+        let refill_i_valid = &routed & &!&busy_tag.out();
+
+        Uncore {
+            req_valid,
+            req_rw,
+            req_addr,
+            req_wdata,
+            req_tag,
+            grant_i,
+            grant_d,
+            refill_i_valid,
+            refill_d_valid,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_sim::Simulator;
+
+    fn harness() -> strober_rtl::Design {
+        let ctx = Ctx::new("uncore_tb");
+        let mk = |p: &str| CacheMemPort {
+            req_valid: ctx.input(&format!("{p}_valid"), w(1)),
+            req_rw: ctx.input(&format!("{p}_rw"), w(1)),
+            req_addr: ctx.input(&format!("{p}_addr"), w(32)),
+            req_wdata: ctx.input(&format!("{p}_wdata"), w(32)),
+        };
+        let imem = mk("i");
+        let dmem = mk("d");
+        let resp_valid = ctx.input("resp_valid", w(1));
+        let resp_tag = ctx.input("resp_tag", w(1));
+        let u = build_uncore(&ctx, &imem, &dmem, &resp_valid, &resp_tag);
+        ctx.output("req_valid", &u.req_valid);
+        ctx.output("req_rw", &u.req_rw);
+        ctx.output("req_addr", &u.req_addr);
+        ctx.output("req_tag", &u.req_tag);
+        ctx.output("grant_i", &u.grant_i);
+        ctx.output("grant_d", &u.grant_d);
+        ctx.output("refill_i", &u.refill_i_valid);
+        ctx.output("refill_d", &u.refill_d_valid);
+        ctx.finish().unwrap()
+    }
+
+    #[test]
+    fn dcache_has_priority() {
+        let mut sim = Simulator::new(&harness()).unwrap();
+        sim.poke_by_name("i_valid", 1).unwrap();
+        sim.poke_by_name("i_rw", 0).unwrap();
+        sim.poke_by_name("i_addr", 0x100).unwrap();
+        sim.poke_by_name("d_valid", 1).unwrap();
+        sim.poke_by_name("d_rw", 0).unwrap();
+        sim.poke_by_name("d_addr", 0x200).unwrap();
+        assert_eq!(sim.peek_output("grant_d").unwrap(), 1);
+        assert_eq!(sim.peek_output("grant_i").unwrap(), 0);
+        assert_eq!(sim.peek_output("req_addr").unwrap(), 0x200);
+        assert_eq!(sim.peek_output("req_tag").unwrap(), 1);
+    }
+
+    #[test]
+    fn single_outstanding_read_and_routing() {
+        let mut sim = Simulator::new(&harness()).unwrap();
+        // I$ read granted.
+        sim.poke_by_name("i_valid", 1).unwrap();
+        sim.poke_by_name("i_addr", 0x40).unwrap();
+        assert_eq!(sim.peek_output("grant_i").unwrap(), 1);
+        sim.step();
+        // While outstanding, D$ reads are blocked, writes allowed.
+        sim.poke_by_name("d_valid", 1).unwrap();
+        sim.poke_by_name("d_rw", 0).unwrap();
+        assert_eq!(sim.peek_output("grant_d").unwrap(), 0);
+        sim.poke_by_name("d_rw", 1).unwrap();
+        assert_eq!(sim.peek_output("grant_d").unwrap(), 1);
+        sim.poke_by_name("d_valid", 0).unwrap();
+        // Four beats route to the I$.
+        sim.poke_by_name("resp_valid", 1).unwrap();
+        sim.poke_by_name("resp_tag", 0).unwrap();
+        for _ in 0..4 {
+            assert_eq!(sim.peek_output("refill_i").unwrap(), 1);
+            assert_eq!(sim.peek_output("refill_d").unwrap(), 0);
+            sim.step();
+        }
+        sim.poke_by_name("resp_valid", 0).unwrap();
+        // Read port free again.
+        sim.poke_by_name("d_valid", 1).unwrap();
+        sim.poke_by_name("d_rw", 0).unwrap();
+        assert_eq!(sim.peek_output("grant_d").unwrap(), 1);
+        assert_eq!(sim.peek_output("req_tag").unwrap(), 1);
+    }
+
+    #[test]
+    fn write_while_read_outstanding_does_not_break_routing() {
+        let mut sim = Simulator::new(&harness()).unwrap();
+        // D$ read granted.
+        sim.poke_by_name("d_valid", 1).unwrap();
+        sim.poke_by_name("d_rw", 0).unwrap();
+        sim.poke_by_name("d_addr", 0x80).unwrap();
+        assert_eq!(sim.peek_output("grant_d").unwrap(), 1);
+        sim.step();
+        sim.poke_by_name("d_valid", 0).unwrap();
+        // Beats tagged for D$ route correctly even when the I$ posts a
+        // request that is blocked.
+        sim.poke_by_name("i_valid", 1).unwrap();
+        sim.poke_by_name("resp_valid", 1).unwrap();
+        sim.poke_by_name("resp_tag", 1).unwrap();
+        assert_eq!(sim.peek_output("grant_i").unwrap(), 0);
+        assert_eq!(sim.peek_output("refill_d").unwrap(), 1);
+        assert_eq!(sim.peek_output("refill_i").unwrap(), 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Differential testing of the Boum core (both widths) against the
+//! golden-model ISS: identical exit codes and retired instruction counts.
+
+mod common;
+
+use common::run_core;
+use strober_cores::{build_core, CoreConfig};
+use strober_isa::{assemble, programs, Iss};
+
+const MEM: usize = programs::MEM_BYTES;
+
+fn iss_run(src: &str) -> (u32, u64) {
+    let image = assemble(src).expect("program assembles");
+    let mut iss = Iss::new(MEM);
+    iss.load(&image.words, 0);
+    let code = iss
+        .run(200_000_000)
+        .expect("no faults")
+        .expect("program halts");
+    (code, iss.instret())
+}
+
+fn differential(width: u32, src: &str, max_cycles: u64) -> (u64, u64) {
+    let (iss_code, iss_instret) = iss_run(src);
+    let design = build_core(&CoreConfig::boum_tiny(width));
+    let image = assemble(src).unwrap();
+    let (code, cycles, instret) =
+        run_core(&design, &image.words, MEM, 20, max_cycles).expect("core must halt in budget");
+    assert_eq!(code, iss_code, "exit code mismatch (width {width})");
+    assert_eq!(
+        instret, iss_instret,
+        "retired instruction count mismatch (width {width})"
+    );
+    (cycles, instret)
+}
+
+#[test]
+fn smoke_both_widths() {
+    for width in [1, 2] {
+        differential(
+            width,
+            "li a0, 6\nli a1, 7\nmul a2, a0, a1\nhalt a2\n",
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn dependent_chains() {
+    for width in [1, 2] {
+        differential(
+            width,
+            "li a0, 1\nadd a1, a0, a0\nadd a2, a1, a1\nadd a3, a2, a2\nsub a4, a3, a0\nhalt a4\n",
+            10_000,
+        );
+    }
+}
+
+#[test]
+fn independent_pairs_exploit_width() {
+    // Long runs of independent ALU ops: the 2-wide machine must be
+    // meaningfully faster than the 1-wide one.
+    let mut body = String::new();
+    body.push_str("li a0, 0\nli a1, 0\nli t0, 200\nloop:\n");
+    for _ in 0..8 {
+        body.push_str("addi a0, a0, 1\naddi a1, a1, 3\n");
+    }
+    body.push_str("addi t0, t0, -1\nbnez t0, loop\nadd a2, a0, a1\nhalt a2\n");
+    let (c1, _) = differential(1, &body, 300_000);
+    let (c2, _) = differential(2, &body, 300_000);
+    assert!(
+        (c2 as f64) < 0.8 * c1 as f64,
+        "2-wide ({c2} cycles) should beat 1-wide ({c1} cycles)"
+    );
+}
+
+#[test]
+fn branches_and_btb() {
+    for width in [1, 2] {
+        differential(
+            width,
+            "li t0, 50\nmv a0, zero\nloop: add a0, a0, t0\naddi t0, t0, -1\nbnez t0, loop\nhalt a0\n",
+            100_000,
+        );
+    }
+}
+
+#[test]
+fn loads_stores_and_hazards() {
+    for width in [1, 2] {
+        differential(
+            width,
+            "la t0, data\nlw a0, 0(t0)\naddi a1, a0, 1\nsw a1, 4(t0)\nlw a2, 4(t0)\nadd a3, a2, a0\nhalt a3\ndata: .word 41, 0\n",
+            50_000,
+        );
+    }
+}
+
+#[test]
+fn function_calls() {
+    for width in [1, 2] {
+        differential(
+            width,
+            "li sp, 0x8000\nli a0, 6\ncall fact\nhalt a0\nfact: li t0, 1\nble a0, t0, base\naddi sp, sp, -8\nsw ra, 0(sp)\nsw a0, 4(sp)\naddi a0, a0, -1\ncall fact\nlw t1, 4(sp)\nmul a0, a0, t1\nlw ra, 0(sp)\naddi sp, sp, 8\nret\nbase: li a0, 1\nret\n",
+            100_000,
+        );
+    }
+}
+
+#[test]
+fn vvadd_differential() {
+    differential(2, &programs::vvadd(48), 300_000);
+}
+
+#[test]
+fn towers_differential() {
+    differential(2, &programs::towers(5), 300_000);
+}
+
+#[test]
+fn qsort_differential() {
+    differential(2, &programs::qsort(32), 2_000_000);
+}
+
+#[test]
+fn dhrystone_differential() {
+    differential(2, &programs::dhrystone(20), 500_000);
+}
+
+#[test]
+fn coremark_differential() {
+    differential(2, &programs::coremark_like(2), 500_000);
+}
+
+#[test]
+fn gcc_like_differential() {
+    differential(2, &programs::gcc_like(200, 64), 1_000_000);
+}
+
+#[test]
+fn spmv_differential() {
+    differential(1, &programs::spmv(16, 4), 500_000);
+}
+
+#[test]
+fn dgemm_differential() {
+    differential(2, &programs::dgemm(5), 500_000);
+}

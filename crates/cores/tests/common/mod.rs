@@ -1,0 +1,109 @@
+//! Shared test harness: a fixed-latency memory model driving a core's
+//! external port on a `strober-sim` simulator.
+
+use strober_sim::Simulator;
+
+/// A simple backing memory with fixed read latency and 4-beat block
+/// responses, matching the cores' uncore protocol.
+pub struct TestMem {
+    pub store: Vec<u32>,
+    pub latency: u64,
+    inflight: Option<Inflight>,
+}
+
+struct Inflight {
+    tag: u64,
+    base_word: usize,
+    beat: u64,
+    ready_at: u64,
+}
+
+impl TestMem {
+    pub fn new(bytes: usize, latency: u64) -> Self {
+        TestMem {
+            store: vec![0; bytes / 4],
+            latency,
+            inflight: None,
+        }
+    }
+
+    pub fn load(&mut self, words: &[u32], byte_addr: u32) {
+        let base = (byte_addr / 4) as usize;
+        self.store[base..base + words.len()].copy_from_slice(words);
+    }
+
+    /// Services one cycle: poke responses, then consume the core's
+    /// request, then step the simulator.
+    pub fn tick(&mut self, sim: &mut Simulator, now: u64) {
+        // Drive response signals for this cycle.
+        let mut resp = (0u64, 0u64, 0u64); // valid, tag, data
+        if let Some(inf) = &mut self.inflight {
+            if now >= inf.ready_at {
+                resp = (
+                    1,
+                    inf.tag,
+                    u64::from(self.store[inf.base_word + inf.beat as usize]),
+                );
+                inf.beat += 1;
+            }
+        }
+        if self
+            .inflight
+            .as_ref()
+            .map(|i| i.beat >= 4)
+            .unwrap_or(false)
+        {
+            self.inflight = None;
+        }
+        sim.poke_by_name("mem_resp_valid", resp.0).unwrap();
+        sim.poke_by_name("mem_resp_tag", resp.1).unwrap();
+        sim.poke_by_name("mem_resp_rdata", resp.2).unwrap();
+
+        // Sample the core's request (combinational, after the response
+        // poke).
+        if sim.peek_output("mem_req_valid").unwrap() == 1 {
+            let rw = sim.peek_output("mem_req_rw").unwrap();
+            let addr = sim.peek_output("mem_req_addr").unwrap() as usize;
+            if rw == 1 {
+                let wdata = sim.peek_output("mem_req_wdata").unwrap() as u32;
+                if let Some(slot) = self.store.get_mut(addr / 4) {
+                    *slot = wdata;
+                }
+            } else {
+                assert!(self.inflight.is_none(), "uncore issued a second read");
+                let tag = sim.peek_output("mem_req_tag").unwrap();
+                self.inflight = Some(Inflight {
+                    tag,
+                    base_word: (addr & !0xF) / 4,
+                    beat: 0,
+                    ready_at: now + self.latency,
+                });
+            }
+        }
+
+        sim.step();
+    }
+}
+
+/// Runs a core design on a program until `tohost` is set or `max_cycles`
+/// pass. Returns `(exit_code, cycles, instret)`.
+pub fn run_core(
+    design: &strober_rtl::Design,
+    image: &[u32],
+    mem_bytes: usize,
+    latency: u64,
+    max_cycles: u64,
+) -> Option<(u32, u64, u64)> {
+    let mut sim = Simulator::new(design).expect("core design must be valid");
+    let mut mem = TestMem::new(mem_bytes, latency);
+    mem.load(image, 0);
+    for now in 0..max_cycles {
+        mem.tick(&mut sim, now);
+        let tohost = sim.peek_output("tohost").unwrap();
+        if tohost & 1 == 1 {
+            let instret = sim.peek_output("instret").unwrap();
+            return Some(((tohost >> 1) as u32, now + 1, instret));
+        }
+    }
+    None
+}

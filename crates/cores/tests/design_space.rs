@@ -1,0 +1,60 @@
+//! Cross-core performance shape checks: the design-space relationships the
+//! paper's case study reports (Fig. 9b) must hold qualitatively.
+
+mod common;
+
+use common::run_core;
+use strober_cores::{build_core, CoreConfig};
+use strober_isa::{assemble, programs};
+
+fn cycles(config: &CoreConfig, src: &str, max: u64) -> (u64, u64) {
+    let design = build_core(config);
+    let image = assemble(src).unwrap();
+    let (_, cycles, instret) =
+        run_core(&design, &image.words, programs::MEM_BYTES, 30, max).expect("halts");
+    (cycles, instret)
+}
+
+#[test]
+fn boum_2w_beats_rok_on_compute_kernels() {
+    // CoreMark-like: compute-heavy, cache-resident — the paper's headline
+    // "BOOM-2w is 58% faster than Rocket" comparison point.
+    let src = programs::coremark_like(3);
+    let (rok, i1) = cycles(&CoreConfig::rok_tiny(), &src, 2_000_000);
+    let (b2, i2) = cycles(&CoreConfig::boum_tiny(2), &src, 2_000_000);
+    assert_eq!(i1, i2, "same program must retire the same instructions");
+    assert!(
+        (b2 as f64) < 0.95 * rok as f64,
+        "Boum-2w ({b2}) should beat Rok ({rok}) on CoreMark-like code"
+    );
+}
+
+#[test]
+fn all_cores_agree_on_results() {
+    let src = programs::dhrystone(10);
+    let mut exits = Vec::new();
+    for cfg in [
+        CoreConfig::rok_tiny(),
+        CoreConfig::boum_tiny(1),
+        CoreConfig::boum_tiny(2),
+    ] {
+        let design = build_core(&cfg);
+        let image = assemble(&src).unwrap();
+        let (code, _, _) =
+            run_core(&design, &image.words, programs::MEM_BYTES, 30, 2_000_000).expect("halts");
+        exits.push(code);
+    }
+    assert_eq!(exits[0], exits[1]);
+    assert_eq!(exits[1], exits[2]);
+}
+
+#[test]
+fn wider_boum_is_at_least_as_fast() {
+    let src = programs::vvadd(64);
+    let (b1, _) = cycles(&CoreConfig::boum_tiny(1), &src, 2_000_000);
+    let (b2, _) = cycles(&CoreConfig::boum_tiny(2), &src, 2_000_000);
+    assert!(
+        b2 <= b1,
+        "Boum-2w ({b2}) must not be slower than Boum-1w ({b1})"
+    );
+}

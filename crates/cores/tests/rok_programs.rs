@@ -1,0 +1,141 @@
+//! Differential testing of the Rok core against the golden-model ISS:
+//! every workload must produce the same exit code and retire exactly the
+//! same number of instructions.
+
+mod common;
+
+use common::run_core;
+use strober_cores::{build_core, CoreConfig};
+use strober_isa::{assemble, programs, Iss};
+
+const MEM: usize = programs::MEM_BYTES;
+
+fn iss_run(src: &str) -> (u32, u64) {
+    let image = assemble(src).expect("program assembles");
+    let mut iss = Iss::new(MEM);
+    iss.load(&image.words, 0);
+    let code = iss
+        .run(200_000_000)
+        .expect("no faults")
+        .expect("program halts");
+    (code, iss.instret())
+}
+
+fn differential(src: &str, max_cycles: u64) {
+    let (iss_code, iss_instret) = iss_run(src);
+    let design = build_core(&CoreConfig::rok_tiny());
+    let image = assemble(src).unwrap();
+    let (code, cycles, instret) =
+        run_core(&design, &image.words, MEM, 20, max_cycles).expect("core must halt in budget");
+    assert_eq!(code, iss_code, "exit code mismatch");
+    assert_eq!(instret, iss_instret, "retired instruction count mismatch");
+    assert!(cycles >= instret, "CPI below 1 is impossible for Rok");
+}
+
+#[test]
+fn arithmetic_smoke() {
+    differential("li a0, 6\nli a1, 7\nmul a2, a0, a1\nhalt a2\n", 10_000);
+}
+
+#[test]
+fn forwarding_chains() {
+    // Back-to-back dependent ALU ops exercise MEM->EX and WB->EX paths.
+    differential(
+        "li a0, 1\nadd a1, a0, a0\nadd a2, a1, a1\nadd a3, a2, a2\nadd a4, a3, a3\nsub a5, a4, a0\nhalt a5\n",
+        10_000,
+    );
+}
+
+#[test]
+fn load_use_and_stores() {
+    differential(
+        "la t0, data\nlw a0, 0(t0)\naddi a0, a0, 1\nsw a0, 4(t0)\nlw a1, 4(t0)\nadd a2, a0, a1\nhalt a2\ndata: .word 41, 0\n",
+        10_000,
+    );
+}
+
+#[test]
+fn branches_and_loops() {
+    differential(
+        "li t0, 10\nmv a0, zero\nloop: add a0, a0, t0\naddi t0, t0, -1\nbnez t0, loop\nhalt a0\n",
+        10_000,
+    );
+}
+
+#[test]
+fn function_calls() {
+    differential(
+        "li sp, 0x8000\nli a0, 5\ncall fact\nhalt a0\nfact: li t0, 1\nble a0, t0, base\naddi sp, sp, -8\nsw ra, 0(sp)\nsw a0, 4(sp)\naddi a0, a0, -1\ncall fact\nlw t1, 4(sp)\nmul a0, a0, t1\nlw ra, 0(sp)\naddi sp, sp, 8\nret\nbase: li a0, 1\nret\n",
+        50_000,
+    );
+}
+
+#[test]
+fn counters_work() {
+    // rdcyc/rdinst must be monotone and the program must halt cleanly.
+    let src = "rdcyc t0\nrdinst t1\nnop\nnop\nrdcyc t2\nsub a0, t2, t0\nsltu a1, zero, a0\nhalt a1\n";
+    let design = build_core(&CoreConfig::rok_tiny());
+    let image = assemble(src).unwrap();
+    let (code, _, _) = run_core(&design, &image.words, MEM, 20, 10_000).unwrap();
+    assert_eq!(code, 1, "cycles must have advanced between rdcyc reads");
+}
+
+#[test]
+fn vvadd_differential() {
+    differential(&programs::vvadd(64), 200_000);
+}
+
+#[test]
+fn towers_differential() {
+    differential(&programs::towers(5), 200_000);
+}
+
+#[test]
+fn qsort_differential() {
+    differential(&programs::qsort(48), 2_000_000);
+}
+
+#[test]
+fn dhrystone_differential() {
+    differential(&programs::dhrystone(30), 500_000);
+}
+
+#[test]
+fn spmv_differential() {
+    differential(&programs::spmv(32, 4), 500_000);
+}
+
+#[test]
+fn dgemm_differential() {
+    differential(&programs::dgemm(6), 500_000);
+}
+
+#[test]
+fn coremark_differential() {
+    differential(&programs::coremark_like(3), 500_000);
+}
+
+#[test]
+fn gcc_like_differential() {
+    differential(&programs::gcc_like(300, 64), 1_000_000);
+}
+
+#[test]
+fn linux_boot_differential() {
+    differential(&programs::linux_boot_like(4, 50), 1_000_000);
+}
+
+#[test]
+fn pointer_chase_runs_and_latency_scales_with_memory() {
+    // With a working-set far beyond the 1 KiB D$, raising memory latency
+    // must raise measured chase cycles (the Fig. 7 mechanism).
+    let src = programs::pointer_chase(2048, 4, 256);
+    let image = assemble(&src).unwrap();
+    let design = build_core(&CoreConfig::rok_tiny());
+    let (fast, _, _) = run_core(&design, &image.words, MEM, 5, 2_000_000).unwrap();
+    let (slow, _, _) = run_core(&design, &image.words, MEM, 60, 4_000_000).unwrap();
+    assert!(
+        slow > fast + 256 * 30,
+        "latency sweep had no effect: fast={fast} slow={slow}"
+    );
+}

@@ -1,0 +1,44 @@
+//! The DRAM subsystem: timing model, activity counters and the LPDDR2
+//! power calculator.
+//!
+//! The paper (§IV-D) estimates DRAM power from activity counters attached
+//! to the memory request port: knowing the physical address mapping
+//! (bank-interleaved), the controller policy (open page) and the request
+//! stream is enough to reconstruct the DRAM's internal operations, whose
+//! counts feed Micron's spreadsheet power calculator for an LPDDR2-S4
+//! device. Main memory itself lives on the *host* side of the platform
+//! (the paper maps it to Zynq host memory), which is why the timing model
+//! here implements [`strober_platform::HostModel`].
+//!
+//! * [`DramModel`] — backing storage plus the timing model: configurable
+//!   CAS latency, eight banks with open-page row tracking (a row miss
+//!   pays an activation penalty), one outstanding 4-beat block read, and
+//!   posted writes. The configurable latency is what Fig. 7 sweeps.
+//! * [`DramCounters`] — reads, writes and row activations observed at the
+//!   request port (§IV-D's counters).
+//! * [`LpddrPowerParams`] — the IDD-based average-power calculator
+//!   (Micron spreadsheet analog).
+//!
+//! # Examples
+//!
+//! ```
+//! use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
+//!
+//! let mut dram = DramModel::new(DramConfig::default(), 1 << 20);
+//! dram.write_word(0x1000, 42);
+//! assert_eq!(dram.read_word(0x1000), 42);
+//!
+//! // After a workload, turn the counters into average power.
+//! let params = LpddrPowerParams::lpddr2_s4();
+//! let power = params.average_power_mw(dram.counters(), 1_000_000, 1.0e9);
+//! assert!(power.total_mw() > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod model;
+mod power;
+
+pub use model::{DramConfig, DramCounters, DramModel};
+pub use power::{DramPowerBreakdown, LpddrPowerParams};

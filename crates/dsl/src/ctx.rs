@@ -1,0 +1,269 @@
+//! The construction context.
+
+use crate::sig::Sig;
+use crate::storage::{Mem, Reg, Wire};
+use std::cell::RefCell;
+use std::rc::Rc;
+use strober_rtl::{Design, NodeId, RtlError, Width};
+
+pub(crate) struct CtxInner {
+    pub(crate) design: Design,
+    pub(crate) scopes: Vec<String>,
+}
+
+impl CtxInner {
+    pub(crate) fn qualify(&self, name: &str) -> String {
+        if self.scopes.is_empty() {
+            name.to_owned()
+        } else {
+            let mut s = self.scopes.join("/");
+            s.push('/');
+            s.push_str(name);
+            s
+        }
+    }
+}
+
+/// A shared handle to a design under construction.
+///
+/// `Ctx` is cheap to clone; all clones refer to the same design. It is
+/// single-threaded by design (generators are ordinary sequential Rust
+/// code), mirroring Chisel's `Builder` context.
+#[derive(Clone)]
+pub struct Ctx {
+    pub(crate) inner: Rc<RefCell<CtxInner>>,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Ctx({}, {} nodes)",
+            inner.design.name(),
+            inner.design.node_count()
+        )
+    }
+}
+
+impl Ctx {
+    /// Starts a new design.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ctx {
+            inner: Rc::new(RefCell::new(CtxInner {
+                design: Design::new(name),
+                scopes: Vec::new(),
+            })),
+        }
+    }
+
+    pub(crate) fn wrap(&self, id: NodeId) -> Sig {
+        let width = self.inner.borrow().design.width(id);
+        Sig {
+            ctx: self.clone(),
+            id,
+            width,
+        }
+    }
+
+    pub(crate) fn lift<T>(&self, r: Result<T, RtlError>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => panic!("hardware generator error: {e}"),
+        }
+    }
+
+    /// Declares a top-level input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn input(&self, name: &str, width: Width) -> Sig {
+        let id = {
+            let mut inner = self.inner.borrow_mut();
+            let qual = inner.qualify(name);
+            let res = inner.design.input(qual, width);
+            drop(inner);
+            self.lift(res)
+        };
+        self.wrap(id)
+    }
+
+    /// Declares a named top-level output driven by `sig`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name.
+    pub fn output(&self, name: &str, sig: &Sig) {
+        let mut inner = self.inner.borrow_mut();
+        let qual = inner.qualify(name);
+        let res = inner.design.output(qual, sig.id);
+        drop(inner);
+        self.lift(res);
+    }
+
+    /// A literal constant of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits.
+    pub fn lit(&self, value: u64, width: Width) -> Sig {
+        let id = self.inner.borrow_mut().design.constant(value, width);
+        self.wrap(id)
+    }
+
+    /// A one-bit literal.
+    pub fn lit1(&self, value: bool) -> Sig {
+        self.lit(u64::from(value), Width::BIT)
+    }
+
+    /// Declares a register; its name is qualified by the current scope.
+    ///
+    /// The register's next value must be connected exactly once with
+    /// [`Reg::set`] or [`Reg::set_en`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate name or an oversized reset value.
+    pub fn reg(&self, name: &str, width: Width, init: u64) -> Reg {
+        let (reg_id, out_id) = {
+            let mut inner = self.inner.borrow_mut();
+            let qual = inner.qualify(name);
+            let res = inner.design.reg(qual, width, init);
+            let reg_id = match res {
+                Ok(r) => r,
+                Err(e) => panic!("hardware generator error: {e}"),
+            };
+            let out_id = inner.design.reg_out(reg_id);
+            (reg_id, out_id)
+        };
+        Reg::new(self.clone(), reg_id, self.wrap(out_id))
+    }
+
+    /// Declares a memory of `depth` words; its name is qualified by the
+    /// current scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters or a duplicate name.
+    pub fn mem(&self, name: &str, width: Width, depth: usize) -> Mem {
+        self.mem_init(name, width, depth, Vec::new())
+    }
+
+    /// Declares a memory with initial contents.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters or a duplicate name.
+    pub fn mem_init(&self, name: &str, width: Width, depth: usize, init: Vec<u64>) -> Mem {
+        let mem_id = {
+            let mut inner = self.inner.borrow_mut();
+            let qual = inner.qualify(name);
+            let res = inner.design.mem(qual, width, depth, init);
+            match res {
+                Ok(m) => m,
+                Err(e) => panic!("hardware generator error: {e}"),
+            }
+        };
+        Mem::new(self.clone(), mem_id)
+    }
+
+    /// Declares a forward-reference wire, to be driven later with
+    /// [`Wire::drive`].
+    pub fn wire(&self, width: Width) -> Wire {
+        let id = self.inner.borrow_mut().design.wire(width);
+        Wire::new(self.wrap(id))
+    }
+
+    /// Runs `body` inside a named scope: state elements created inside get
+    /// `name/` prefixed to their names, building the hierarchical paths the
+    /// power breakdown groups by.
+    ///
+    /// Scopes nest: `ctx.scope("core", |c| c.scope("fetch", …))` produces
+    /// `core/fetch/…` names.
+    pub fn scope<T>(&self, name: &str, body: impl FnOnce(&Ctx) -> T) -> T {
+        self.inner.borrow_mut().scopes.push(name.to_owned());
+        let result = body(self);
+        self.inner.borrow_mut().scopes.pop();
+        result
+    }
+
+    /// Priority selector: returns the value of the first `(condition,
+    /// value)` pair whose condition is true, or `default` if none is.
+    ///
+    /// Generates a right-leaning mux chain, the workhorse of control logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if conditions are not one bit wide or values' widths differ.
+    pub fn select(&self, cases: &[(Sig, Sig)], default: &Sig) -> Sig {
+        let mut acc = default.clone();
+        for (cond, value) in cases.iter().rev() {
+            acc = cond.mux(value, &acc);
+        }
+        acc
+    }
+
+    /// Finishes construction, validates, and returns the design.
+    ///
+    /// The design is cloned out of the context, so `Sig`/[`Reg`] handles may
+    /// still be alive — they refer to the context, not to the returned
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`RtlError`] found by validation (unconnected registers
+    /// or wires, combinational loops).
+    pub fn finish(&self) -> Result<Design, RtlError> {
+        let inner = self.inner.borrow();
+        inner.design.validate()?;
+        Ok(inner.design.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_prefixes_state_names() {
+        let ctx = Ctx::new("t");
+        let r = ctx.scope("core", |c| {
+            c.scope("fetch", |c2| c2.reg("pc", Width::W32, 0))
+        });
+        r.set(&ctx.lit(0, Width::W32));
+        let d = ctx.finish().unwrap();
+        let names: Vec<_> = d.registers().map(|(_, r)| r.name().to_owned()).collect();
+        assert_eq!(names, vec!["core/fetch/pc"]);
+    }
+
+    #[test]
+    fn select_prefers_earlier_cases() {
+        let ctx = Ctx::new("t");
+        let a = ctx.input("a", Width::BIT);
+        let b = ctx.input("b", Width::BIT);
+        let w8 = Width::new(8).unwrap();
+        let v1 = ctx.lit(1, w8);
+        let v2 = ctx.lit(2, w8);
+        let v0 = ctx.lit(0, w8);
+        let out = ctx.select(&[(a, v1), (b, v2)], &v0);
+        ctx.output("o", &out);
+        let d = ctx.finish().unwrap();
+        assert!(d.node_count() > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate name")]
+    fn duplicate_input_panics() {
+        let ctx = Ctx::new("t");
+        let _ = ctx.input("x", Width::BIT);
+        let _ = ctx.input("x", Width::BIT);
+    }
+
+    #[test]
+    fn finish_validates() {
+        let ctx = Ctx::new("t");
+        let _unconnected = ctx.reg("r", Width::BIT, 0);
+        assert!(ctx.finish().is_err());
+    }
+}

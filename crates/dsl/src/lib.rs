@@ -1,0 +1,63 @@
+//! A hardware construction DSL embedded in Rust.
+//!
+//! This crate plays the role of Chisel (§IV-A of the paper): a host-language
+//! API for *generating* structural RTL. Like Chisel, it is not high-level
+//! synthesis — every method corresponds to a concrete circuit element, and
+//! the output is a flat [`strober_rtl::Design`] that the Strober compiler
+//! passes (FAME1 transform, scan-chain insertion, synthesis) consume.
+//!
+//! The entry point is [`Ctx`], a shared handle to a design under
+//! construction. Values are [`Sig`]s, which support Rust's arithmetic and
+//! logical operators, plus hardware-specific methods (bit slicing,
+//! zero/sign extension, multiplexing). State elements are created with
+//! [`Ctx::reg`] and [`Ctx::mem`], forward references with [`Ctx::wire`],
+//! and hierarchy is expressed with [`Ctx::scope`], which prefixes the names
+//! of the state elements created inside it (`"fetch/pc"`); those prefixes
+//! become the per-component power breakdown groups of Fig. 9a.
+//!
+//! # Panics
+//!
+//! Unlike `strober-rtl`, whose API returns `Result`, this crate follows
+//! Chisel's generator-time semantics: malformed circuits (width mismatches,
+//! duplicate names, invalid slices) are **programming errors in the
+//! generator** and panic with a descriptive message. Generators run at
+//! "elaboration time", so a panic is a build failure, not a runtime hazard.
+//!
+//! # Examples
+//!
+//! A GCD unit, the classic Chisel starter circuit:
+//!
+//! ```
+//! use strober_dsl::Ctx;
+//! use strober_rtl::Width;
+//!
+//! let ctx = Ctx::new("gcd");
+//! let w16 = Width::new(16).unwrap();
+//! let a_in = ctx.input("a", w16);
+//! let b_in = ctx.input("b", w16);
+//! let start = ctx.input("start", Width::BIT);
+//!
+//! let x = ctx.reg("x", w16, 0);
+//! let y = ctx.reg("y", w16, 0);
+//! let x_gt_y = y.out().ltu(&x.out());
+//! let x_next = x_gt_y.mux(&(&x.out() - &y.out()), &x.out());
+//! let y_next = x_gt_y.mux(&y.out(), &(&y.out() - &x.out()));
+//! x.set(&start.mux(&a_in, &x_next));
+//! y.set(&start.mux(&b_in, &y_next));
+//!
+//! ctx.output("result", &x.out());
+//! ctx.output("done", &y.out().eq_lit(0));
+//! let design = ctx.finish().unwrap();
+//! assert_eq!(design.register_count(), 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod ctx;
+mod sig;
+mod storage;
+
+pub use ctx::Ctx;
+pub use sig::Sig;
+pub use storage::{Mem, Reg, Wire};

@@ -1,0 +1,263 @@
+//! State elements: registers, memories and forward-reference wires.
+
+use crate::ctx::Ctx;
+use crate::sig::Sig;
+use strober_rtl::{MemId, RegId, Width};
+
+/// A register under construction.
+///
+/// Created with [`Ctx::reg`]; read with [`Reg::out`]; connected exactly once
+/// with [`Reg::set`] or [`Reg::set_en`].
+#[derive(Clone)]
+pub struct Reg {
+    ctx: Ctx,
+    id: RegId,
+    out: Sig,
+}
+
+impl std::fmt::Debug for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Reg({}, {})", self.id, self.out.width())
+    }
+}
+
+impl Reg {
+    pub(crate) fn new(ctx: Ctx, id: RegId, out: Sig) -> Self {
+        Reg { ctx, id, out }
+    }
+
+    /// The register's current value.
+    pub fn out(&self) -> Sig {
+        self.out.clone()
+    }
+
+    /// The underlying IR register id.
+    pub fn id(&self) -> RegId {
+        self.id
+    }
+
+    /// The register's width.
+    pub fn width(&self) -> Width {
+        self.out.width()
+    }
+
+    /// Connects the next value; the register updates every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected or on a width mismatch.
+    pub fn set(&self, next: &Sig) {
+        let mut inner = self.ctx.inner.borrow_mut();
+        let res = inner.design.connect_reg(self.id, next.id(), None);
+        drop(inner);
+        self.ctx.lift(res);
+    }
+
+    /// Connects the next value gated by a one-bit enable; the register
+    /// holds its value in cycles where `enable` is 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already connected or on width errors.
+    pub fn set_en(&self, next: &Sig, enable: &Sig) {
+        let mut inner = self.ctx.inner.borrow_mut();
+        let res = inner.design.connect_reg(self.id, next.id(), Some(enable.id()));
+        drop(inner);
+        self.ctx.lift(res);
+    }
+}
+
+/// A memory under construction.
+///
+/// Created with [`Ctx::mem`]. Reads are combinational ([`Mem::read`]);
+/// writes take effect at the clock edge ([`Mem::write`]).
+#[derive(Clone)]
+pub struct Mem {
+    ctx: Ctx,
+    id: MemId,
+}
+
+impl std::fmt::Debug for Mem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mem({})", self.id)
+    }
+}
+
+impl Mem {
+    pub(crate) fn new(ctx: Ctx, id: MemId) -> Self {
+        Mem { ctx, id }
+    }
+
+    /// The underlying IR memory id.
+    pub fn id(&self) -> MemId {
+        self.id
+    }
+
+    /// The address width expected by this memory's ports.
+    pub fn addr_width(&self) -> Width {
+        self.ctx.inner.borrow().design.memory(self.id).addr_width()
+    }
+
+    /// Adds a combinational read port and returns the read data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `addr` matches the memory's address width exactly
+    /// (use [`Sig::trunc`]/[`Sig::zext`] to adapt).
+    pub fn read(&self, addr: &Sig) -> Sig {
+        let mut inner = self.ctx.inner.borrow_mut();
+        let res = inner.design.mem_read(self.id, addr.id());
+        drop(inner);
+        let id = self.ctx.lift(res);
+        self.ctx.wrap(id)
+    }
+
+    /// Adds a synchronous read port: the address is captured in a named
+    /// register, so the data appears one cycle after the address is
+    /// presented — the timing of an SRAM macro's registered read. This is
+    /// how sync-read arrays are expressed on the comb-read IR (see
+    /// DESIGN.md §5).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width errors or a duplicate register name.
+    pub fn read_sync(&self, name: &str, addr: &Sig, enable: &Sig) -> Sig {
+        let aw = self.addr_width();
+        let ctx = self.ctx.clone();
+        let addr_reg = ctx.reg(name, aw, 0);
+        addr_reg.set_en(addr, enable);
+        self.read(&addr_reg.out())
+    }
+
+    /// Adds a clocked write port.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address/data/enable width errors.
+    pub fn write(&self, addr: &Sig, data: &Sig, enable: &Sig) {
+        let mut inner = self.ctx.inner.borrow_mut();
+        let res = inner
+            .design
+            .mem_write(self.id, addr.id(), data.id(), enable.id());
+        drop(inner);
+        self.ctx.lift(res);
+    }
+}
+
+/// A forward-reference wire.
+///
+/// Created with [`Ctx::wire`]; its value ([`Wire::sig`]) can be used before
+/// the driver is connected with [`Wire::drive`], enabling feedback-style
+/// construction such as pipeline stall signals.
+#[derive(Clone)]
+pub struct Wire {
+    sig: Sig,
+}
+
+impl std::fmt::Debug for Wire {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Wire({:?})", self.sig)
+    }
+}
+
+impl Wire {
+    pub(crate) fn new(sig: Sig) -> Self {
+        Wire { sig }
+    }
+
+    /// The wire's value.
+    pub fn sig(&self) -> Sig {
+        self.sig.clone()
+    }
+
+    /// Connects the wire's driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if already driven or on a width mismatch.
+    pub fn drive(&self, src: &Sig) {
+        let ctx = self.sig.ctx.clone();
+        let mut inner = ctx.inner.borrow_mut();
+        let res = inner.design.drive_wire(self.sig.id(), src.id());
+        drop(inner);
+        ctx.lift(res);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    #[test]
+    fn register_counter_round_trip() {
+        let ctx = Ctx::new("t");
+        let r = ctx.reg("count", w(8), 7);
+        r.set(&r.out().add_lit(1));
+        assert_eq!(r.width(), w(8));
+        let d = ctx.finish().unwrap();
+        let (_, reg) = d.registers().next().unwrap();
+        assert_eq!(reg.init(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_set_panics() {
+        let ctx = Ctx::new("t");
+        let r = ctx.reg("r", w(4), 0);
+        let v = ctx.lit(1, w(4));
+        r.set(&v);
+        r.set(&v);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let ctx = Ctx::new("t");
+        let m = ctx.mem("ram", w(16), 64);
+        assert_eq!(m.addr_width(), w(6));
+        let addr = ctx.input("addr", w(6));
+        let data = ctx.input("data", w(16));
+        let we = ctx.input("we", Width::BIT);
+        let rd = m.read(&addr);
+        m.write(&addr, &data, &we);
+        ctx.output("q", &rd);
+        let d = ctx.finish().unwrap();
+        assert_eq!(d.memory_count(), 1);
+    }
+
+    #[test]
+    fn sync_read_has_one_cycle_latency() {
+        let ctx = Ctx::new("t");
+        let m = ctx.mem_init("rom", w(8), 4, vec![10, 20, 30, 40]);
+        let addr = ctx.input("addr", w(2));
+        let en = ctx.input("en", Width::BIT);
+        let q = m.read_sync("raddr", &addr, &en);
+        ctx.output("q", &q);
+        let design = ctx.finish().unwrap();
+        let mut sim = strober_sim::Simulator::new(&design).unwrap();
+        sim.poke_by_name("en", 1).unwrap();
+        sim.poke_by_name("addr", 2).unwrap();
+        // Before the edge the registered address is still 0.
+        assert_eq!(sim.peek_output("q").unwrap(), 10);
+        sim.step();
+        assert_eq!(sim.peek_output("q").unwrap(), 30);
+        // With the enable low, the port holds the old address.
+        sim.poke_by_name("en", 0).unwrap();
+        sim.poke_by_name("addr", 3).unwrap();
+        sim.step();
+        assert_eq!(sim.peek_output("q").unwrap(), 30);
+    }
+
+    #[test]
+    fn wire_feedback() {
+        let ctx = Ctx::new("t");
+        let stall = ctx.wire(Width::BIT);
+        let r = ctx.reg("pc", w(8), 0);
+        r.set_en(&r.out().add_lit(4), &!stall.sig());
+        stall.drive(&r.out().bit(7));
+        ctx.finish().unwrap();
+    }
+}

@@ -1,0 +1,384 @@
+//! The host-side snapshot capture protocol.
+
+use crate::meta::FameMeta;
+use serde::{Deserialize, Serialize};
+use strober_rtl::Width;
+use strober_sim::{SimError, Simulator};
+
+/// A fully assembled replayable RTL snapshot (§III-B of the paper): all
+/// register and memory state at cycle `cycle`, plus the I/O traces of its
+/// `warmup + replay_length` window. Serialisable, so snapshots can be
+/// stored and replayed later or on another machine — snapshots are the
+/// artifact the paper ships from the FPGA host to the gate-level replay
+/// farm.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FameSnapshot {
+    /// The target cycle at which the state was captured.
+    pub cycle: u64,
+    /// `(rtl register name, value)` in scan-chain order.
+    pub regs: Vec<(String, u64)>,
+    /// `(rtl memory name, full contents)` per memory.
+    pub mems: Vec<(String, Vec<u64>)>,
+    /// Per target input port: `(port name, one value per traced cycle)`,
+    /// index 0 = cycle `cycle`.
+    pub inputs: Vec<(String, Vec<u64>)>,
+    /// Per target output port: expected values, same indexing.
+    pub outputs: Vec<(String, Vec<u64>)>,
+}
+
+impl FameSnapshot {
+    /// The number of traced cycles (`replay_length + warmup`).
+    pub fn trace_len(&self) -> usize {
+        self.inputs
+            .first()
+            .map(|(_, v)| v.len())
+            .or_else(|| self.outputs.first().map(|(_, v)| v.len()))
+            .unwrap_or(0)
+    }
+}
+
+/// A snapshot whose state has been captured but whose I/O trace window has
+/// not yet elapsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingSnapshot {
+    /// The target cycle at which the state was captured.
+    pub cycle: u64,
+    /// `(rtl register name, value)` in scan-chain order.
+    pub regs: Vec<(String, u64)>,
+    /// `(rtl memory name, full contents)` per memory.
+    pub mems: Vec<(String, Vec<u64>)>,
+}
+
+/// Executes the scan/trace protocol over a hub simulator and accounts the
+/// extra host cycles spent (the sampling overhead `T_rec` of §IV-E).
+#[derive(Debug, Clone)]
+pub struct SnapshotController {
+    meta: FameMeta,
+    overhead_cycles: u64,
+}
+
+impl SnapshotController {
+    /// Creates a controller for a hub described by `meta`.
+    pub fn new(meta: &FameMeta) -> Self {
+        SnapshotController {
+            meta: meta.clone(),
+            overhead_cycles: 0,
+        }
+    }
+
+    /// The metadata this controller drives.
+    pub fn meta(&self) -> &FameMeta {
+        &self.meta
+    }
+
+    /// Total hub cycles spent on snapshot capture so far (scan shifts,
+    /// memory streaming, trace readout strobes).
+    pub fn overhead_cycles(&self) -> u64 {
+        self.overhead_cycles
+    }
+
+    /// Drives the global fire signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the hub does not expose the control port
+    /// (wrong simulator for this metadata).
+    pub fn set_fire(&self, sim: &mut Simulator, fire: bool) -> Result<(), SimError> {
+        sim.poke_by_name(&self.meta.control.fire, u64::from(fire))
+    }
+
+    /// The target's current cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for a mismatched simulator.
+    pub fn target_cycle(&self, sim: &mut Simulator) -> Result<u64, SimError> {
+        sim.peek_output(&self.meta.control.cycle)
+    }
+
+    /// Captures register and memory state through the scan chains. The
+    /// target must already be stalled (`fire = 0`); it is left stalled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for a mismatched simulator.
+    pub fn begin_snapshot(&mut self, sim: &mut Simulator) -> Result<PendingSnapshot, SimError> {
+        let ctl = self.meta.control.clone();
+        let cycle = sim.peek_output(&ctl.cycle)?;
+
+        // Capture strobe: shadow chain loads every register in one cycle.
+        sim.poke_by_name(&ctl.scan_capture, 1)?;
+        sim.step();
+        sim.poke_by_name(&ctl.scan_capture, 0)?;
+        self.overhead_cycles += 1;
+
+        // Shift the chain out one element per cycle.
+        sim.poke_by_name(&ctl.scan_shift, 1)?;
+        let mut regs = Vec::with_capacity(self.meta.scan_chain.len());
+        for elem in &self.meta.scan_chain {
+            let raw = sim.peek_output(&ctl.scan_out)?;
+            let mask = Width::new(elem.width).expect("meta widths are valid").mask();
+            regs.push((elem.rtl_name.clone(), raw & mask));
+            sim.step();
+            self.overhead_cycles += 1;
+        }
+        sim.poke_by_name(&ctl.scan_shift, 0)?;
+
+        // Stream each memory through its borrowed read port.
+        let mut mems = Vec::with_capacity(self.meta.mem_scans.len());
+        if !self.meta.mem_scans.is_empty() {
+            sim.poke_by_name(&ctl.mem_scan_rst, 1)?;
+            sim.step();
+            sim.poke_by_name(&ctl.mem_scan_rst, 0)?;
+            self.overhead_cycles += 1;
+
+            sim.poke_by_name(&ctl.mem_scan_en, 1)?;
+            let max_depth = self
+                .meta
+                .mem_scans
+                .iter()
+                .map(|m| m.depth)
+                .max()
+                .unwrap_or(0);
+            let mut contents: Vec<Vec<u64>> = self
+                .meta
+                .mem_scans
+                .iter()
+                .map(|m| Vec::with_capacity(m.depth))
+                .collect();
+            for addr in 0..max_depth {
+                for (mi, m) in self.meta.mem_scans.iter().enumerate() {
+                    if addr < m.depth {
+                        contents[mi].push(sim.peek_output(&m.out_port)?);
+                    }
+                }
+                sim.step();
+                self.overhead_cycles += 1;
+            }
+            sim.poke_by_name(&ctl.mem_scan_en, 0)?;
+            for (m, c) in self.meta.mem_scans.iter().zip(contents) {
+                mems.push((m.rtl_name.clone(), c));
+            }
+        }
+
+        Ok(PendingSnapshot { cycle, regs, mems })
+    }
+
+    /// Reads the I/O trace buffers and assembles the snapshot.
+    ///
+    /// The traced window is `[cycle − warmup, cycle + replay_length)`: the
+    /// `warmup` prefix was recorded *before* the state scan (§IV-C3 — the
+    /// prefix lets replay warm retimed datapaths by forcing recorded I/O
+    /// before the architectural state is loaded), and exactly
+    /// `replay_length` further target cycles must have fired since
+    /// [`SnapshotController::begin_snapshot`]. The target must be stalled
+    /// again when this is called.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for a mismatched simulator.
+    pub fn finish_snapshot(
+        &mut self,
+        sim: &mut Simulator,
+        pending: PendingSnapshot,
+    ) -> Result<FameSnapshot, SimError> {
+        let ctl = self.meta.control.clone();
+        let window = (self.meta.replay_length + self.meta.warmup) as usize;
+        let depth = self.meta.trace_depth;
+        let trace_start = pending.cycle.saturating_sub(u64::from(self.meta.warmup));
+
+        // Trace entry for target cycle t lives at index t mod depth.
+        let mut inputs: Vec<(String, Vec<u64>)> = self
+            .meta
+            .traces_in
+            .iter()
+            .map(|t| (t.port.clone(), Vec::with_capacity(window)))
+            .collect();
+        let mut outputs: Vec<(String, Vec<u64>)> = self
+            .meta
+            .traces_out
+            .iter()
+            .map(|t| (t.port.clone(), Vec::with_capacity(window)))
+            .collect();
+        for k in 0..window as u64 {
+            let idx = (trace_start + k) % depth as u64;
+            sim.poke_by_name(&ctl.trace_raddr, idx)?;
+            for (ti, t) in self.meta.traces_in.iter().enumerate() {
+                inputs[ti].1.push(sim.peek_output(&t.out_port)?);
+            }
+            for (ti, t) in self.meta.traces_out.iter().enumerate() {
+                outputs[ti].1.push(sim.peek_output(&t.out_port)?);
+            }
+        }
+        // Trace readout happens over the host interface; account one host
+        // cycle per word read, as with the scan chains.
+        self.overhead_cycles += window as u64;
+
+        Ok(FameSnapshot {
+            cycle: pending.cycle,
+            regs: pending.regs,
+            mems: pending.mems,
+            inputs,
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::{transform, FameConfig};
+    use strober_dsl::Ctx;
+    use strober_rtl::Width;
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    /// A small accumulator with a memory, for end-to-end snapshot tests.
+    fn build() -> strober_rtl::Design {
+        let ctx = Ctx::new("acc");
+        let x = ctx.input("x", w(8));
+        let acc = ctx.reg("acc", w(16), 0);
+        let hist = ctx.mem("hist", w(16), 16);
+        let wa = ctx.reg("wa", w(4), 0);
+        acc.set(&(&acc.out() + &x.zext(w(16))));
+        hist.write(&wa.out(), &acc.out(), &ctx.lit1(true));
+        wa.set(&wa.out().add_lit(1));
+        ctx.output("sum", &acc.out());
+        ctx.finish().unwrap()
+    }
+
+    #[test]
+    fn full_snapshot_protocol() {
+        let target = build();
+        let fame = transform(
+            &target,
+            &FameConfig {
+                replay_length: 8,
+                warmup: 0,
+            },
+        )
+        .unwrap();
+        let mut sim = Simulator::new(&fame.hub).unwrap();
+        let mut ctl = SnapshotController::new(&fame.meta);
+
+        // Run 20 cycles with x = t.
+        ctl.set_fire(&mut sim, true).unwrap();
+        for t in 0..20u64 {
+            sim.poke_by_name("x", t % 256).unwrap();
+            sim.step();
+        }
+        ctl.set_fire(&mut sim, false).unwrap();
+        assert_eq!(ctl.target_cycle(&mut sim).unwrap(), 20);
+
+        let pending = ctl.begin_snapshot(&mut sim).unwrap();
+        assert_eq!(pending.cycle, 20);
+        // acc = sum of 0..19 = 190; wa = 20 mod 16 = 4.
+        let regs: std::collections::HashMap<_, _> =
+            pending.regs.iter().cloned().collect();
+        assert_eq!(regs["acc"], 190);
+        assert_eq!(regs["wa"], 4);
+        assert_eq!(pending.mems[0].1.len(), 16);
+        // hist[3] was written at cycles 3 and 19 (wa wraps mod 16); the
+        // last write is acc before cycle 19 = Σ 0..18 = 171. hist[4] was
+        // written only at cycle 4: Σ 0..3 = 6.
+        assert_eq!(pending.mems[0].1[3], 171);
+        assert_eq!(pending.mems[0].1[4], 6);
+
+        // Run the trace window.
+        ctl.set_fire(&mut sim, true).unwrap();
+        for t in 20..28u64 {
+            sim.poke_by_name("x", t % 256).unwrap();
+            sim.step();
+        }
+        ctl.set_fire(&mut sim, false).unwrap();
+        let snap = ctl.finish_snapshot(&mut sim, pending).unwrap();
+        assert_eq!(snap.trace_len(), 8);
+        // Input trace must be exactly x = 20..28.
+        assert_eq!(snap.inputs[0].1, (20..28).collect::<Vec<u64>>());
+        // Output trace: sum at cycle t = 190 + sum(20..t).
+        let mut expect = Vec::new();
+        let mut acc = 190u64;
+        for t in 20..28u64 {
+            expect.push(acc);
+            acc += t;
+        }
+        assert_eq!(snap.outputs[0].1, expect);
+        assert!(ctl.overhead_cycles() > 0);
+    }
+
+    #[test]
+    fn snapshot_does_not_perturb_execution() {
+        // Running with a snapshot in the middle must give the same target
+        // trajectory as running straight through.
+        let target = build();
+        let fame = transform(&target, &FameConfig { replay_length: 4, warmup: 0 }).unwrap();
+
+        let run = |with_snapshot: bool| -> u64 {
+            let mut sim = Simulator::new(&fame.hub).unwrap();
+            let mut ctl = SnapshotController::new(&fame.meta);
+            ctl.set_fire(&mut sim, true).unwrap();
+            for t in 0..10u64 {
+                sim.poke_by_name("x", t).unwrap();
+                sim.step();
+            }
+            if with_snapshot {
+                ctl.set_fire(&mut sim, false).unwrap();
+                let _pending = ctl.begin_snapshot(&mut sim).unwrap();
+                ctl.set_fire(&mut sim, true).unwrap();
+            }
+            for t in 10..30u64 {
+                sim.poke_by_name("x", t).unwrap();
+                sim.step();
+            }
+            sim.peek_output("sum").unwrap()
+        };
+
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn wrapping_trace_window_is_reassembled_correctly() {
+        // Capture at a cycle that makes the ring buffer wrap.
+        let target = build();
+        let fame = transform(&target, &FameConfig { replay_length: 8, warmup: 0 }).unwrap();
+        let mut sim = Simulator::new(&fame.hub).unwrap();
+        let mut ctl = SnapshotController::new(&fame.meta);
+        ctl.set_fire(&mut sim, true).unwrap();
+        for t in 0..13u64 {
+            sim.poke_by_name("x", t).unwrap();
+            sim.step();
+        }
+        ctl.set_fire(&mut sim, false).unwrap();
+        let pending = ctl.begin_snapshot(&mut sim).unwrap();
+        ctl.set_fire(&mut sim, true).unwrap();
+        for t in 13..21u64 {
+            sim.poke_by_name("x", t).unwrap();
+            sim.step();
+        }
+        ctl.set_fire(&mut sim, false).unwrap();
+        let snap = ctl.finish_snapshot(&mut sim, pending).unwrap();
+        assert_eq!(snap.inputs[0].1, (13..21).collect::<Vec<u64>>());
+    }
+}
+
+#[cfg(test)]
+mod serde_tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_serialize_round_trip() {
+        let snap = FameSnapshot {
+            cycle: 42,
+            regs: vec![("pc".to_owned(), 0x80), ("acc".to_owned(), 7)],
+            mems: vec![("ram".to_owned(), vec![1, 2, 3])],
+            inputs: vec![("x".to_owned(), vec![9, 8, 7])],
+            outputs: vec![("y".to_owned(), vec![1, 1, 2])],
+        };
+        let json = serde_json::to_string(&snap).expect("serialisable");
+        let back: FameSnapshot = serde_json::from_str(&json).expect("parseable");
+        assert_eq!(back, snap);
+        assert_eq!(back.trace_len(), 3);
+    }
+}

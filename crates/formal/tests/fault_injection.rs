@@ -1,0 +1,154 @@
+//! Fault injection: mutations of the synthesized netlist must be caught
+//! by the random-vector equivalence check — the safety net that keeps a
+//! buggy "CAD flow" from silently corrupting power estimates.
+
+use strober_dsl::Ctx;
+use strober_formal::{match_designs, FormalError, MatchOptions};
+use strober_gates::{CellKind, Gate, Netlist};
+use strober_rtl::{Design, Width};
+use strober_synth::{synthesize, SynthOptions};
+
+fn build() -> (Design, strober_synth::SynthResult) {
+    let ctx = Ctx::new("dut");
+    let w8 = Width::new(8).unwrap();
+    let a = ctx.input("a", w8);
+    let b = ctx.input("b", w8);
+    let acc = ctx.reg("acc", w8, 0);
+    acc.set(&(&acc.out() + &(&a ^ &b)));
+    ctx.output("acc_out", &acc.out());
+    let design = ctx.finish().unwrap();
+    let synth = synthesize(
+        &design,
+        &SynthOptions {
+            optimize: true,
+            mangle: false,
+            retime_prefixes: Vec::new(),
+        },
+    )
+    .unwrap();
+    (design, synth)
+}
+
+/// Rebuilds a netlist with the `index`-th combinational gate's kind
+/// swapped for `replacement` (a stuck-wrong cell, the classic gate-level
+/// fault model).
+fn mutate_gate(nl: &Netlist, index: usize, replacement: CellKind) -> Option<Netlist> {
+    let mut out = Netlist::new(nl.name());
+    for r in nl.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+    for i in 0..nl.net_count() {
+        out.add_net(nl.net_name(strober_gates::NetId::from_index(i)));
+    }
+    let mut comb_seen = 0;
+    let mut mutated = false;
+    for g in nl.gates() {
+        match g {
+            Gate::Comb { kind, inputs, output, region } => {
+                let mut k = *kind;
+                if comb_seen == index
+                    && kind.input_count() == replacement.input_count()
+                    && *kind != replacement
+                {
+                    k = replacement;
+                    mutated = true;
+                }
+                comb_seen += 1;
+                out.add_gate(k, inputs.clone(), *output, *region);
+            }
+            Gate::Dff { name, d, q, init, region } => {
+                out.add_dff(name.clone(), *d, *q, *init, *region);
+            }
+        }
+    }
+    for s in nl.srams() {
+        out.add_sram(s.clone());
+    }
+    for (name, n) in nl.inputs() {
+        out.add_input(name.clone(), *n);
+    }
+    for (name, n) in nl.outputs() {
+        out.add_output(name.clone(), *n);
+    }
+    mutated.then_some(out)
+}
+
+#[test]
+fn healthy_netlist_matches() {
+    let (design, synth) = build();
+    match_designs(&design, &synth, &MatchOptions::default()).expect("clean flow matches");
+}
+
+#[test]
+fn single_gate_faults_are_caught() {
+    let (design, synth) = build();
+    let total = synth.netlist.comb_gate_count();
+    let mut injected = 0;
+    let mut caught = 0;
+    for index in 0..total {
+        for replacement in [CellKind::Nand2, CellKind::Xor2, CellKind::Nor2] {
+            let Some(mutant) = mutate_gate(&synth.netlist, index, replacement) else {
+                continue;
+            };
+            if mutant.validate().is_err() {
+                continue;
+            }
+            injected += 1;
+            let mut bad = synth.clone();
+            bad.netlist = mutant;
+            match match_designs(&design, &bad, &MatchOptions::default()) {
+                Err(FormalError::NotEquivalent { .. }) => caught += 1,
+                Err(other) => panic!("unexpected failure mode: {other}"),
+                // A mutation can be logically masked (e.g. a dead-ish
+                // cone under these stimuli); those escape the bounded
+                // check, as they would a real bounded equivalence run.
+                Ok(_) => {}
+            }
+        }
+    }
+    assert!(injected > 50, "expected many mutants, got {injected}");
+    let rate = f64::from(caught) / f64::from(injected);
+    assert!(
+        rate > 0.9,
+        "equivalence check caught only {caught}/{injected} mutants"
+    );
+}
+
+#[test]
+fn dff_init_fault_is_caught() {
+    let (design, synth) = build();
+    // Flip one flip-flop's reset value.
+    let mut out = Netlist::new(synth.netlist.name());
+    for r in synth.netlist.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+    for i in 0..synth.netlist.net_count() {
+        out.add_net(synth.netlist.net_name(strober_gates::NetId::from_index(i)));
+    }
+    let mut first = true;
+    for g in synth.netlist.gates() {
+        match g {
+            Gate::Comb { kind, inputs, output, region } => {
+                out.add_gate(*kind, inputs.clone(), *output, *region);
+            }
+            Gate::Dff { name, d, q, init, region } => {
+                let init = if first { !*init } else { *init };
+                first = false;
+                out.add_dff(name.clone(), *d, *q, init, *region);
+            }
+        }
+    }
+    for s in synth.netlist.srams() {
+        out.add_sram(s.clone());
+    }
+    for (name, n) in synth.netlist.inputs() {
+        out.add_input(name.clone(), *n);
+    }
+    for (name, n) in synth.netlist.outputs() {
+        out.add_output(name.clone(), *n);
+    }
+    let mut bad = synth.clone();
+    bad.netlist = out;
+    let err = match_designs(&design, &bad, &MatchOptions::default()).unwrap_err();
+    assert!(matches!(err, FormalError::NotEquivalent { .. }), "{err}");
+}

@@ -1,0 +1,276 @@
+//! The synthetic standard-cell library (Liberty analog).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The primitive cell set the technology mapper targets.
+///
+/// A deliberately small, orthogonal library: every word-level RTL operator
+/// lowers to these cells plus SRAM macros. `Tie0`/`Tie1` drive constant
+/// nets, as tie cells do in real flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// Buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-input multiplexer (`s ? a1 : a0`).
+    Mux2,
+    /// Positive-edge D flip-flop.
+    Dff,
+    /// Constant-zero tie cell.
+    Tie0,
+    /// Constant-one tie cell.
+    Tie1,
+}
+
+impl CellKind {
+    /// All cell kinds, for iteration.
+    pub const ALL: [CellKind; 12] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::Dff,
+        CellKind::Tie0,
+        CellKind::Tie1,
+    ];
+
+    /// Number of input pins (excluding clock).
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Mux2 => 3,
+            CellKind::Dff => 1,
+            CellKind::Tie0 | CellKind::Tie1 => 0,
+        }
+    }
+
+    /// Evaluates the cell's boolean function. Inputs beyond
+    /// [`CellKind::input_count`] are ignored.
+    ///
+    /// For [`CellKind::Mux2`] the input order is `[a0, a1, s]`.
+    /// [`CellKind::Dff`] is sequential and returns its D input (the caller
+    /// decides when to latch). Tie cells return their constant.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] && inputs[1]),
+            CellKind::Nor2 => !(inputs[0] || inputs[1]),
+            CellKind::And2 => inputs[0] && inputs[1],
+            CellKind::Or2 => inputs[0] || inputs[1],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::Dff => inputs[0],
+            CellKind::Tie0 => false,
+            CellKind::Tie1 => true,
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Electrical and physical characteristics of one cell (a Liberty entry).
+///
+/// Units: area in µm², leakage in nW, capacitance in fF, energy in fJ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// The cell kind this entry describes.
+    pub kind: CellKind,
+    /// Cell area in µm².
+    pub area_um2: f64,
+    /// Static leakage power in nW.
+    pub leakage_nw: f64,
+    /// Capacitance of each input pin in fF.
+    pub pin_cap_ff: f64,
+    /// Internal (short-circuit + parasitic) energy dissipated per output
+    /// toggle, in fJ.
+    pub internal_energy_fj: f64,
+}
+
+/// A complete cell library plus global technology parameters.
+///
+/// The default values are synthetic but dimensionally sensible for a 45 nm
+/// node at nominal voltage; see the crate docs for the calibration goal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellLibrary {
+    name: String,
+    /// Supply voltage in volts.
+    pub voltage: f64,
+    /// Estimated wire capacitance added per fanout endpoint, in fF.
+    pub wire_cap_per_fanout_ff: f64,
+    /// Clock pin capacitance of a DFF plus its share of the clock tree, in
+    /// fF; charged twice per cycle (rise and fall).
+    pub clock_cap_per_dff_ff: f64,
+    /// SRAM macro: energy per read access per bit of the accessed word, fJ.
+    pub sram_read_energy_per_bit_fj: f64,
+    /// SRAM macro: energy per write access per bit of the accessed word, fJ.
+    pub sram_write_energy_per_bit_fj: f64,
+    /// SRAM macro: leakage per bit of capacity, nW.
+    pub sram_leakage_per_bit_nw: f64,
+    /// SRAM macro: area per bit of capacity, µm².
+    pub sram_area_per_bit_um2: f64,
+    cells: BTreeMap<CellKind, Cell>,
+}
+
+impl CellLibrary {
+    /// The bundled synthetic 45 nm-class library.
+    pub fn generic_45nm() -> Self {
+        let mut cells = BTreeMap::new();
+        let mut add = |kind, area, leak, cap, energy| {
+            cells.insert(
+                kind,
+                Cell {
+                    kind,
+                    area_um2: area,
+                    leakage_nw: leak,
+                    pin_cap_ff: cap,
+                    internal_energy_fj: energy,
+                },
+            );
+        };
+        // area µm², leakage nW, pin cap fF, internal energy fJ/toggle.
+        // Energies and leakage are calibrated so that the bundled in-order
+        // core lands in the paper's Fig. 9a band (around a hundred mW at
+        // 1 GHz): our cores are much smaller than Rocket-chip, so per-cell
+        // constants sit at the high end to compensate (see DESIGN.md).
+        add(CellKind::Inv, 0.8, 180.0, 3.0, 4.5);
+        add(CellKind::Buf, 1.1, 225.0, 3.0, 6.8);
+        add(CellKind::Nand2, 1.1, 270.0, 3.6, 6.8);
+        add(CellKind::Nor2, 1.1, 270.0, 3.6, 6.8);
+        add(CellKind::And2, 1.5, 330.0, 3.6, 9.0);
+        add(CellKind::Or2, 1.5, 330.0, 3.6, 9.0);
+        add(CellKind::Xor2, 2.3, 450.0, 4.8, 14.3);
+        add(CellKind::Xnor2, 2.3, 450.0, 4.8, 14.3);
+        add(CellKind::Mux2, 2.3, 420.0, 4.2, 12.8);
+        add(CellKind::Dff, 4.5, 825.0, 4.2, 27.0);
+        add(CellKind::Tie0, 0.3, 30.0, 0.0, 0.0);
+        add(CellKind::Tie1, 0.3, 30.0, 0.0, 0.0);
+        CellLibrary {
+            name: "generic45".to_owned(),
+            voltage: 0.9,
+            wire_cap_per_fanout_ff: 1.8,
+            clock_cap_per_dff_ff: 26.0,
+            sram_read_energy_per_bit_fj: 180.0,
+            sram_write_energy_per_bit_fj: 240.0,
+            sram_leakage_per_bit_nw: 3.5,
+            sram_area_per_bit_um2: 0.45,
+            cells: cells.clone(),
+        }
+    }
+
+    /// The library's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Looks up a cell entry.
+    pub fn cell(&self, kind: CellKind) -> &Cell {
+        &self.cells[&kind]
+    }
+
+    /// Energy in fJ dissipated when the given cell's output toggles once
+    /// while driving `fanout` input pins (including estimated wire load):
+    /// `E = E_internal + (fanout · (C_pin + C_wire)) · V² / 2`.
+    pub fn switching_energy_fj(&self, kind: CellKind, fanout: usize) -> f64 {
+        let cell = self.cell(kind);
+        let cload_ff = fanout as f64 * (cell.pin_cap_ff + self.wire_cap_per_fanout_ff);
+        cell.internal_energy_fj + 0.5 * cload_ff * self.voltage * self.voltage
+    }
+
+    /// Per-cycle clock-tree energy for one DFF, in fJ: two clock edges
+    /// charging the clock pin + tree share.
+    pub fn clock_energy_per_dff_fj(&self) -> f64 {
+        self.clock_cap_per_dff_ff * self.voltage * self.voltage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_present_in_default_library() {
+        let lib = CellLibrary::generic_45nm();
+        for kind in CellKind::ALL {
+            let c = lib.cell(kind);
+            assert_eq!(c.kind, kind);
+            assert!(c.area_um2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn boolean_functions() {
+        assert!(CellKind::Inv.eval(&[false]));
+        assert!(!CellKind::Inv.eval(&[true]));
+        assert!(CellKind::Nand2.eval(&[true, false]));
+        assert!(!CellKind::Nand2.eval(&[true, true]));
+        assert!(CellKind::Xor2.eval(&[true, false]));
+        assert!(!CellKind::Xnor2.eval(&[true, false]));
+        assert!(CellKind::Mux2.eval(&[false, true, true]));
+        assert!(!CellKind::Mux2.eval(&[false, true, false]));
+        assert!(!CellKind::Tie0.eval(&[]));
+        assert!(CellKind::Tie1.eval(&[]));
+    }
+
+    #[test]
+    fn input_counts() {
+        assert_eq!(CellKind::Inv.input_count(), 1);
+        assert_eq!(CellKind::Mux2.input_count(), 3);
+        assert_eq!(CellKind::Tie1.input_count(), 0);
+        assert_eq!(CellKind::Dff.input_count(), 1);
+    }
+
+    #[test]
+    fn switching_energy_grows_with_fanout() {
+        let lib = CellLibrary::generic_45nm();
+        let e1 = lib.switching_energy_fj(CellKind::Nand2, 1);
+        let e4 = lib.switching_energy_fj(CellKind::Nand2, 4);
+        assert!(e4 > e1);
+        assert!(e1 > lib.cell(CellKind::Nand2).internal_energy_fj);
+    }
+
+    #[test]
+    fn xor_costs_more_than_nand() {
+        let lib = CellLibrary::generic_45nm();
+        assert!(
+            lib.cell(CellKind::Xor2).internal_energy_fj
+                > lib.cell(CellKind::Nand2).internal_energy_fj
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Gate-level netlists and the synthetic standard-cell library.
+//!
+//! This crate is the foundation of the "commercial CAD" half of the Strober
+//! flow (Fig. 5 of the paper). It defines:
+//!
+//! * [`CellKind`] / [`Cell`] / [`CellLibrary`] — a synthetic 45 nm-class
+//!   standard-cell library in the spirit of a Liberty file: per-cell area,
+//!   leakage power, pin capacitance and internal switching energy. The
+//!   default library ([`CellLibrary::generic_45nm`]) is calibrated so that a
+//!   small in-order RISC core lands in the hundred-milliwatt range at 1 GHz,
+//!   matching the magnitudes reported in the paper's case study (Fig. 9a).
+//! * [`Netlist`] — a flat, bit-level gate netlist with single-bit nets,
+//!   combinational cells, D flip-flops and behavioural SRAM macros (RTL
+//!   memories are mapped to macros rather than bit-blasted, exactly as a
+//!   synthesis tool maps them to compiled RAMs).
+//!
+//! `strober-synth` produces netlists from RTL designs; `strober-gatesim`
+//! simulates them and counts signal activity; `strober-power` turns that
+//! activity plus this library into power numbers.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod cell;
+mod netlist;
+pub mod verilog;
+
+pub use cell::{Cell, CellKind, CellLibrary};
+pub use netlist::{
+    Gate, GateId, NetId, Netlist, NetlistError, SramMacro, SramReadPort, SramWritePort,
+};

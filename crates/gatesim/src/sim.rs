@@ -1,0 +1,670 @@
+//! The levelized gate-level simulator.
+
+use crate::activity::ActivityReport;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use strober_gates::{CellKind, Gate, NetId, Netlist, NetlistError};
+
+/// Errors produced by the gate-level simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GateSimError {
+    /// The netlist failed validation.
+    BadNetlist(NetlistError),
+    /// A named port, flip-flop or macro does not exist.
+    UnknownName {
+        /// What kind of thing was looked up.
+        kind: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+    /// A poked value does not fit the port's bit count.
+    ValueTooWide {
+        /// The port name.
+        port: String,
+        /// The value poked.
+        value: u64,
+        /// The port's width in bits.
+        width: u32,
+    },
+    /// An address was out of range for a macro.
+    AddressOutOfRange {
+        /// The macro name.
+        sram: String,
+        /// The offending address.
+        addr: usize,
+    },
+}
+
+impl fmt::Display for GateSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateSimError::BadNetlist(e) => write!(f, "bad netlist: {e}"),
+            GateSimError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            GateSimError::ValueTooWide { port, value, width } => {
+                write!(f, "value {value:#x} too wide for {width}-bit port `{port}`")
+            }
+            GateSimError::AddressOutOfRange { sram, addr } => {
+                write!(f, "address {addr} out of range for macro `{sram}`")
+            }
+        }
+    }
+}
+
+impl Error for GateSimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GateSimError::BadNetlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for GateSimError {
+    fn from(e: NetlistError) -> Self {
+        GateSimError::BadNetlist(e)
+    }
+}
+
+/// One compiled combinational element.
+#[derive(Debug, Clone, Copy)]
+struct GateOp {
+    kind: CellKind,
+    in0: u32,
+    in1: u32,
+    in2: u32,
+    out: u32,
+}
+
+#[derive(Debug, Clone)]
+struct SramState {
+    contents: Vec<u64>,
+    /// Previous cycle's read addresses, for access counting.
+    prev_read_addr: Vec<Option<usize>>,
+    reads: u64,
+    writes: u64,
+}
+
+/// The levelized zero-delay gate-level simulator.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct GateSim {
+    netlist: Netlist,
+    /// Evaluation order over the combined element space (gates then SRAM
+    /// read ports), with DFFs skipped at evaluation time.
+    order: Vec<usize>,
+    gate_ops: Vec<Option<GateOp>>,
+    values: Vec<bool>,
+    prev_values: Vec<bool>,
+    toggles: Vec<u64>,
+    /// (d net, q net) per DFF, in gate order.
+    dffs: Vec<(u32, u32)>,
+    srams: Vec<SramState>,
+    /// port name -> bit nets, LSB first.
+    port_bits: HashMap<String, Vec<u32>>,
+    output_bits: HashMap<String, Vec<u32>>,
+    dff_by_name: HashMap<String, usize>,
+    sram_by_name: HashMap<String, usize>,
+    inputs: Vec<(u32, bool)>,
+    input_index: HashMap<u32, usize>,
+    cycle: u64,
+    dirty: bool,
+    settled_once: bool,
+}
+
+/// Groups `name[i]` bit names back into word ports.
+fn group_bits(bits: &[(String, NetId)]) -> HashMap<String, Vec<u32>> {
+    let mut map: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
+    for (name, net) in bits {
+        if let Some(open) = name.rfind('[') {
+            if let Some(stripped) = name[open + 1..].strip_suffix(']') {
+                if let Ok(idx) = stripped.parse::<u32>() {
+                    map.entry(name[..open].to_owned())
+                        .or_default()
+                        .push((idx, net.index() as u32));
+                    continue;
+                }
+            }
+        }
+        map.entry(name.clone()).or_default().push((0, net.index() as u32));
+    }
+    map.into_iter()
+        .map(|(k, mut v)| {
+            v.sort_unstable_by_key(|&(i, _)| i);
+            (k, v.into_iter().map(|(_, n)| n).collect())
+        })
+        .collect()
+}
+
+impl GateSim {
+    /// Compiles a netlist for simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::BadNetlist`] if the netlist fails
+    /// validation.
+    pub fn new(netlist: &Netlist) -> Result<Self, GateSimError> {
+        netlist.validate()?;
+        let order = netlist.levelize()?;
+
+        let mut gate_ops = Vec::with_capacity(netlist.gates().len());
+        let mut dffs = Vec::new();
+        let mut dff_by_name = HashMap::new();
+        for g in netlist.gates() {
+            match g {
+                Gate::Comb { kind, inputs, output, .. } => {
+                    let pin = |i: usize| inputs.get(i).map_or(0, |n| n.index() as u32);
+                    gate_ops.push(Some(GateOp {
+                        kind: *kind,
+                        in0: pin(0),
+                        in1: pin(1),
+                        in2: pin(2),
+                        out: output.index() as u32,
+                    }));
+                }
+                Gate::Dff { name, d, q, .. } => {
+                    dff_by_name.insert(name.clone(), dffs.len());
+                    dffs.push((d.index() as u32, q.index() as u32));
+                    gate_ops.push(None);
+                }
+            }
+        }
+
+        let mut srams = Vec::new();
+        let mut sram_by_name = HashMap::new();
+        for s in netlist.srams() {
+            sram_by_name.insert(s.name.clone(), srams.len());
+            let mut contents = s.init.clone();
+            contents.resize(s.depth, 0);
+            srams.push(SramState {
+                contents,
+                prev_read_addr: vec![None; s.read_ports.len()],
+                reads: 0,
+                writes: 0,
+            });
+        }
+
+        let mut values = vec![false; netlist.net_count()];
+        // Initialise DFF outputs to their reset values.
+        for (_, _, _, q, init) in netlist.dffs() {
+            values[q.index()] = init;
+        }
+
+        let port_bits = group_bits(netlist.inputs());
+        let output_bits = group_bits(netlist.outputs());
+
+        Ok(GateSim {
+            order,
+            gate_ops,
+            prev_values: values.clone(),
+            toggles: vec![0; netlist.net_count()],
+            values,
+            dffs,
+            srams,
+            port_bits,
+            output_bits,
+            dff_by_name,
+            sram_by_name,
+            inputs: Vec::new(),
+            input_index: HashMap::new(),
+            cycle: 0,
+            dirty: true,
+            settled_once: false,
+            netlist: netlist.clone(),
+        })
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives a word-level input port (bits `name[i]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] or
+    /// [`GateSimError::ValueTooWide`].
+    pub fn poke_port(&mut self, name: &str, value: u64) -> Result<(), GateSimError> {
+        let bits = self.port_bits.get(name).ok_or_else(|| GateSimError::UnknownName {
+            kind: "input port",
+            name: name.to_owned(),
+        })?;
+        let width = bits.len() as u32;
+        if width < 64 && value >> width != 0 {
+            return Err(GateSimError::ValueTooWide {
+                port: name.to_owned(),
+                value,
+                width,
+            });
+        }
+        for (i, &net) in bits.clone().iter().enumerate() {
+            let bit = (value >> i) & 1 == 1;
+            match self.input_index.get(&net) {
+                Some(&slot) => self.inputs[slot].1 = bit,
+                None => {
+                    self.input_index.insert(net, self.inputs.len());
+                    self.inputs.push((net, bit));
+                }
+            }
+        }
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Reads a word-level output port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] for an unknown output.
+    pub fn peek_port(&mut self, name: &str) -> Result<u64, GateSimError> {
+        let bits = self
+            .output_bits
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "output port",
+                name: name.to_owned(),
+            })?
+            .clone();
+        self.settle();
+        let mut v = 0u64;
+        for (i, &net) in bits.iter().enumerate() {
+            if self.values[net as usize] {
+                v |= 1 << i;
+            }
+        }
+        Ok(v)
+    }
+
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for &(net, bit) in &self.inputs {
+            self.values[net as usize] = bit;
+        }
+        let n_gates = self.gate_ops.len();
+        for &elem in &self.order {
+            if elem < n_gates {
+                let Some(op) = self.gate_ops[elem] else {
+                    continue; // DFF: output already holds state.
+                };
+                let v = match op.kind {
+                    CellKind::Inv => !self.values[op.in0 as usize],
+                    CellKind::Buf => self.values[op.in0 as usize],
+                    CellKind::Nand2 => {
+                        !(self.values[op.in0 as usize] && self.values[op.in1 as usize])
+                    }
+                    CellKind::Nor2 => {
+                        !(self.values[op.in0 as usize] || self.values[op.in1 as usize])
+                    }
+                    CellKind::And2 => {
+                        self.values[op.in0 as usize] && self.values[op.in1 as usize]
+                    }
+                    CellKind::Or2 => {
+                        self.values[op.in0 as usize] || self.values[op.in1 as usize]
+                    }
+                    CellKind::Xor2 => {
+                        self.values[op.in0 as usize] ^ self.values[op.in1 as usize]
+                    }
+                    CellKind::Xnor2 => {
+                        !(self.values[op.in0 as usize] ^ self.values[op.in1 as usize])
+                    }
+                    CellKind::Mux2 => {
+                        if self.values[op.in2 as usize] {
+                            self.values[op.in1 as usize]
+                        } else {
+                            self.values[op.in0 as usize]
+                        }
+                    }
+                    CellKind::Tie0 => false,
+                    CellKind::Tie1 => true,
+                    CellKind::Dff => unreachable!("DFFs have no GateOp"),
+                };
+                self.values[op.out as usize] = v;
+            } else {
+                // SRAM read port element.
+                let mut idx = elem - n_gates;
+                let mut si = 0;
+                while idx >= self.netlist.srams()[si].read_ports.len() {
+                    idx -= self.netlist.srams()[si].read_ports.len();
+                    si += 1;
+                }
+                let rp = &self.netlist.srams()[si].read_ports[idx];
+                let mut addr = 0usize;
+                for (i, a) in rp.addr.iter().enumerate() {
+                    if self.values[a.index()] {
+                        addr |= 1 << i;
+                    }
+                }
+                let word = self.srams[si].contents.get(addr).copied().unwrap_or(0);
+                for (i, d) in rp.data.iter().enumerate() {
+                    self.values[d.index()] = (word >> i) & 1 == 1;
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Advances one clock cycle: settle, count toggles against the previous
+    /// settled state, latch flip-flops, commit SRAM writes, count SRAM
+    /// accesses.
+    pub fn step(&mut self) {
+        self.settle();
+
+        // Toggle counting: transitions between consecutive settled cycles
+        // (zero-delay semantics; glitches are not modelled, as with a
+        // cycle-based SAIF flow).
+        if self.settled_once {
+            for i in 0..self.values.len() {
+                if self.values[i] != self.prev_values[i] {
+                    self.toggles[i] += 1;
+                }
+            }
+        }
+        self.prev_values.copy_from_slice(&self.values);
+        self.settled_once = true;
+
+        // SRAM access counting and writes.
+        for (si, s) in self.netlist.srams().iter().enumerate() {
+            for (pi, rp) in s.read_ports.iter().enumerate() {
+                let mut addr = 0usize;
+                for (i, a) in rp.addr.iter().enumerate() {
+                    if self.values[a.index()] {
+                        addr |= 1 << i;
+                    }
+                }
+                // A read access is charged when the port visits a new
+                // address; a quiescent port holding one line costs leakage
+                // only.
+                if self.srams[si].prev_read_addr[pi] != Some(addr) {
+                    self.srams[si].reads += 1;
+                    self.srams[si].prev_read_addr[pi] = Some(addr);
+                }
+            }
+            for wp in &s.write_ports {
+                if self.values[wp.enable.index()] {
+                    let mut addr = 0usize;
+                    for (i, a) in wp.addr.iter().enumerate() {
+                        if self.values[a.index()] {
+                            addr |= 1 << i;
+                        }
+                    }
+                    let mut word = 0u64;
+                    for (i, d) in wp.data.iter().enumerate() {
+                        if self.values[d.index()] {
+                            word |= 1 << i;
+                        }
+                    }
+                    if let Some(slot) = self.srams[si].contents.get_mut(addr) {
+                        *slot = word;
+                        self.srams[si].writes += 1;
+                    }
+                }
+            }
+        }
+
+        // Latch flip-flops.
+        let updates: Vec<(u32, bool)> = self
+            .dffs
+            .iter()
+            .map(|&(d, q)| (q, self.values[d as usize]))
+            .collect();
+        for (q, v) in updates {
+            self.values[q as usize] = v;
+        }
+
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Advances `n` cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Sets a flip-flop's current value by instance name (the snapshot
+    /// loading primitive; see [`crate::VpiLoader`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] for an unknown instance.
+    pub fn set_dff(&mut self, name: &str, value: bool) -> Result<(), GateSimError> {
+        let &idx = self.dff_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
+            kind: "flip-flop",
+            name: name.to_owned(),
+        })?;
+        let (_, q) = self.dffs[idx];
+        self.values[q as usize] = value;
+        self.prev_values[q as usize] = value;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Reads a flip-flop's current value by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] for an unknown instance.
+    pub fn dff_value(&self, name: &str) -> Result<bool, GateSimError> {
+        let &idx = self.dff_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
+            kind: "flip-flop",
+            name: name.to_owned(),
+        })?;
+        let (_, q) = self.dffs[idx];
+        Ok(self.values[q as usize])
+    }
+
+    /// Writes one word of an SRAM macro by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] or
+    /// [`GateSimError::AddressOutOfRange`].
+    pub fn set_sram_word(&mut self, name: &str, addr: usize, value: u64) -> Result<(), GateSimError> {
+        let &idx = self.sram_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
+            kind: "SRAM macro",
+            name: name.to_owned(),
+        })?;
+        let s = &mut self.srams[idx];
+        let slot = s.contents.get_mut(addr).ok_or_else(|| GateSimError::AddressOutOfRange {
+            sram: name.to_owned(),
+            addr,
+        })?;
+        *slot = value;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Reads one word of an SRAM macro by instance name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::UnknownName`] or
+    /// [`GateSimError::AddressOutOfRange`].
+    pub fn sram_word(&self, name: &str, addr: usize) -> Result<u64, GateSimError> {
+        let &idx = self.sram_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
+            kind: "SRAM macro",
+            name: name.to_owned(),
+        })?;
+        self.srams[idx]
+            .contents
+            .get(addr)
+            .copied()
+            .ok_or_else(|| GateSimError::AddressOutOfRange {
+                sram: name.to_owned(),
+                addr,
+            })
+    }
+
+    /// Clears activity counters and starts a fresh measurement window.
+    ///
+    /// The current combinational state becomes the window's baseline: SRAM
+    /// read ports holding their current address are not charged a new
+    /// access, avoiding a per-window boundary bias during snapshot replay.
+    pub fn reset_activity(&mut self) {
+        self.settle();
+        self.toggles.iter_mut().for_each(|t| *t = 0);
+        let srams = self.netlist.srams().to_vec();
+        for (si, s) in srams.iter().enumerate() {
+            self.srams[si].reads = 0;
+            self.srams[si].writes = 0;
+            for (pi, rp) in s.read_ports.iter().enumerate() {
+                let mut addr = 0usize;
+                for (i, a) in rp.addr.iter().enumerate() {
+                    if self.values[a.index()] {
+                        addr |= 1 << i;
+                    }
+                }
+                self.srams[si].prev_read_addr[pi] = Some(addr);
+            }
+        }
+        self.settled_once = false;
+        self.cycle = 0;
+    }
+
+    /// Produces the activity report (SAIF analog) for the cycles simulated
+    /// since construction or the last [`GateSim::reset_activity`].
+    pub fn activity(&self) -> ActivityReport {
+        ActivityReport::new(
+            self.cycle,
+            self.toggles.clone(),
+            self.srams.iter().map(|s| (s.reads, s.writes)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+    use strober_rtl::Width;
+    use strober_synth::{synthesize, SynthOptions};
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    fn plain() -> SynthOptions {
+        SynthOptions {
+            optimize: false,
+            mangle: false,
+            retime_prefixes: Vec::new(),
+        }
+    }
+
+    fn counter_netlist() -> strober_gates::Netlist {
+        let ctx = Ctx::new("counter");
+        let en = ctx.input("en", Width::BIT);
+        let count = ctx.reg("count", w(8), 0);
+        count.set_en(&count.out().add_lit(1), &en);
+        ctx.output("value", &count.out());
+        let design = ctx.finish().unwrap();
+        synthesize(&design, &plain()).unwrap().netlist
+    }
+
+    #[test]
+    fn gate_level_counter_counts() {
+        let mut sim = GateSim::new(&counter_netlist()).unwrap();
+        sim.poke_port("en", 1).unwrap();
+        sim.step_n(10);
+        assert_eq!(sim.peek_port("value").unwrap(), 10);
+        sim.poke_port("en", 0).unwrap();
+        sim.step_n(5);
+        assert_eq!(sim.peek_port("value").unwrap(), 10);
+    }
+
+    #[test]
+    fn toggle_counting_reflects_activity() {
+        let mut sim = GateSim::new(&counter_netlist()).unwrap();
+        sim.poke_port("en", 1).unwrap();
+        sim.step_n(16);
+        let act = sim.activity();
+        assert_eq!(act.cycles(), 16);
+        // Bit 0 of the counter toggles every cycle; total toggles must be
+        // substantial.
+        assert!(act.total_toggles() > 16);
+    }
+
+    #[test]
+    fn idle_circuit_has_no_toggles() {
+        let mut sim = GateSim::new(&counter_netlist()).unwrap();
+        sim.poke_port("en", 0).unwrap();
+        sim.step_n(16);
+        assert_eq!(sim.activity().total_toggles(), 0);
+    }
+
+    #[test]
+    fn dff_poke_by_name() {
+        let mut sim = GateSim::new(&counter_netlist()).unwrap();
+        // Load 0x2A into the counter via its DFF instances.
+        for i in 0..8 {
+            sim.set_dff(&format!("count_reg_{i}_"), (0x2A >> i) & 1 == 1)
+                .unwrap();
+        }
+        assert_eq!(sim.peek_port("value").unwrap(), 0x2A);
+        assert!(sim.dff_value("count_reg_1_").unwrap());
+        assert!(sim.set_dff("nope", true).is_err());
+    }
+
+    #[test]
+    fn sram_load_and_read() {
+        let ctx = Ctx::new("ram");
+        let m = ctx.mem("buf", w(16), 32);
+        let addr = ctx.input("addr", w(5));
+        ctx.output("q", &m.read(&addr));
+        let design = ctx.finish().unwrap();
+        let nl = synthesize(&design, &plain()).unwrap().netlist;
+        let mut sim = GateSim::new(&nl).unwrap();
+        sim.set_sram_word("buf_macro", 7, 0xBEEF).unwrap();
+        assert_eq!(sim.sram_word("buf_macro", 7).unwrap(), 0xBEEF);
+        sim.poke_port("addr", 7).unwrap();
+        assert_eq!(sim.peek_port("q").unwrap(), 0xBEEF);
+        assert!(sim.set_sram_word("buf_macro", 99, 0).is_err());
+        assert!(sim.sram_word("nope", 0).is_err());
+    }
+
+    #[test]
+    fn sram_access_counting() {
+        let ctx = Ctx::new("ram");
+        let m = ctx.mem("buf", w(16), 32);
+        let addr = ctx.input("addr", w(5));
+        ctx.output("q", &m.read(&addr));
+        let design = ctx.finish().unwrap();
+        let nl = synthesize(&design, &plain()).unwrap().netlist;
+        let mut sim = GateSim::new(&nl).unwrap();
+        // Sweeping addresses charges a read per new address.
+        for a in 0..8 {
+            sim.poke_port("addr", a).unwrap();
+            sim.step();
+        }
+        let sweeping = sim.activity().sram_accesses()[0].0;
+        sim.reset_activity();
+        // Holding one address is a single access then quiescent.
+        sim.poke_port("addr", 3).unwrap();
+        sim.step_n(8);
+        let holding = sim.activity().sram_accesses()[0].0;
+        assert!(sweeping >= 8);
+        assert!(holding <= 1);
+    }
+
+    #[test]
+    fn value_too_wide_rejected() {
+        let mut sim = GateSim::new(&counter_netlist()).unwrap();
+        assert!(matches!(
+            sim.poke_port("en", 2),
+            Err(GateSimError::ValueTooWide { .. })
+        ));
+        assert!(sim.poke_port("nope", 0).is_err());
+        assert!(sim.peek_port("nope").is_err());
+    }
+}

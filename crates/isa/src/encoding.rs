@@ -1,0 +1,385 @@
+//! SRV32 instruction encoding.
+//!
+//! Fixed 32-bit instructions:
+//!
+//! ```text
+//! [31:26] opcode
+//! [25:21] first register field  (rd, or rs1 for stores/branches)
+//! [20:16] second register field (rs1, or rs2 for stores/branches)
+//! [15:11] third register field  (rs2, R-type only)
+//! [15:0]  imm16                 (I/S/B/J-type; sign-extended unless noted)
+//! ```
+//!
+//! Branch and jump immediates are PC-relative *word* offsets
+//! (`target = pc + 4·sext(imm)`).
+
+use std::fmt;
+
+/// A register index `x0`–`x31`; `x0` reads as zero and ignores writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// The register's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// SRV32 opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Op {
+    Halt = 0,
+    Add = 1,
+    Sub = 2,
+    And = 3,
+    Or = 4,
+    Xor = 5,
+    Slt = 6,
+    Sltu = 7,
+    Sll = 8,
+    Srl = 9,
+    Sra = 10,
+    Mul = 11,
+    Addi = 12,
+    Andi = 13,
+    Ori = 14,
+    Xori = 15,
+    Slti = 16,
+    Sltiu = 17,
+    Slli = 18,
+    Srli = 19,
+    Srai = 20,
+    Lui = 21,
+    Lw = 22,
+    Sw = 23,
+    Beq = 24,
+    Bne = 25,
+    Blt = 26,
+    Bltu = 27,
+    Bge = 28,
+    Bgeu = 29,
+    Jal = 30,
+    Jalr = 31,
+    Rdcyc = 32,
+    Rdinst = 33,
+    Out = 34,
+}
+
+impl Op {
+    /// All opcodes.
+    pub const ALL: [Op; 35] = [
+        Op::Halt,
+        Op::Add,
+        Op::Sub,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Slt,
+        Op::Sltu,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Mul,
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slti,
+        Op::Sltiu,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Lui,
+        Op::Lw,
+        Op::Sw,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Bltu,
+        Op::Bge,
+        Op::Bgeu,
+        Op::Jal,
+        Op::Jalr,
+        Op::Rdcyc,
+        Op::Rdinst,
+        Op::Out,
+    ];
+
+    /// Decodes an opcode field.
+    pub fn from_code(code: u8) -> Option<Op> {
+        Op::ALL.get(code as usize).copied()
+    }
+
+    /// Whether this is a register-register ALU operation.
+    pub fn is_alu_reg(self) -> bool {
+        matches!(
+            self,
+            Op::Add
+                | Op::Sub
+                | Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Slt
+                | Op::Sltu
+                | Op::Sll
+                | Op::Srl
+                | Op::Sra
+                | Op::Mul
+        )
+    }
+
+    /// Whether this is a register-immediate ALU operation.
+    pub fn is_alu_imm(self) -> bool {
+        matches!(
+            self,
+            Op::Addi
+                | Op::Andi
+                | Op::Ori
+                | Op::Xori
+                | Op::Slti
+                | Op::Sltiu
+                | Op::Slli
+                | Op::Srli
+                | Op::Srai
+                | Op::Lui
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    pub fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Op::Beq | Op::Bne | Op::Blt | Op::Bltu | Op::Bge | Op::Bgeu
+        )
+    }
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// The operation.
+    pub op: Op,
+    /// Destination register (R/I-type) — `x0` when unused.
+    pub rd: Reg,
+    /// First source register.
+    pub rs1: Reg,
+    /// Second source register.
+    pub rs2: Reg,
+    /// Sign-extended 16-bit immediate.
+    pub imm: i32,
+}
+
+impl Instr {
+    /// A canonical NOP (`addi x0, x0, 0`).
+    pub const NOP: Instr = Instr {
+        op: Op::Addi,
+        rd: Reg(0),
+        rs1: Reg(0),
+        rs2: Reg(0),
+        imm: 0,
+    };
+}
+
+/// Encodes an instruction to its 32-bit form.
+///
+/// # Panics
+///
+/// Panics if the immediate does not fit in 16 bits signed (assembler and
+/// generators guarantee this).
+pub fn encode(i: Instr) -> u32 {
+    assert!(
+        (-(1 << 15)..(1 << 15)).contains(&i.imm),
+        "immediate {} out of i16 range for {:?}",
+        i.imm,
+        i.op
+    );
+    let imm = (i.imm as u32) & 0xFFFF;
+    let (f1, f2, f3) = match i.op {
+        // Stores and branches carry rs1 in the first field, rs2 in the
+        // second.
+        Op::Sw => (i.rs2.0, i.rs1.0, 0),
+        op if op.is_branch() => (i.rs1.0, i.rs2.0, 0),
+        _ => (i.rd.0, i.rs1.0, i.rs2.0),
+    };
+    let mut word = (i.op as u32) << 26;
+    word |= u32::from(f1 & 31) << 21;
+    word |= u32::from(f2 & 31) << 16;
+    if i.op.is_alu_reg() {
+        word |= u32::from(f3 & 31) << 11;
+    } else {
+        word |= imm;
+    }
+    word
+}
+
+/// Decodes a 32-bit word; returns `None` for an invalid opcode.
+pub fn decode(word: u32) -> Option<Instr> {
+    let op = Op::from_code((word >> 26) as u8)?;
+    let f1 = Reg(((word >> 21) & 31) as u8);
+    let f2 = Reg(((word >> 16) & 31) as u8);
+    let f3 = Reg(((word >> 11) & 31) as u8);
+    let imm = ((word & 0xFFFF) as u16) as i16 as i32;
+    Some(match op {
+        Op::Sw => Instr {
+            op,
+            rd: Reg::ZERO,
+            rs1: f2,
+            rs2: f1,
+            imm,
+        },
+        _ if op.is_branch() => Instr {
+            op,
+            rd: Reg::ZERO,
+            rs1: f1,
+            rs2: f2,
+            imm,
+        },
+        _ if op.is_alu_reg() => Instr {
+            op,
+            rd: f1,
+            rs1: f2,
+            rs2: f3,
+            imm: 0,
+        },
+        _ => Instr {
+            op,
+            rd: f1,
+            rs1: f2,
+            rs2: Reg::ZERO,
+            imm,
+        },
+    })
+}
+
+/// Renders an instruction in the assembler's input syntax.
+///
+/// The output re-assembles to the same word (branch/jump targets are
+/// printed as numeric byte offsets).
+pub fn disassemble(i: Instr) -> String {
+    let r = |reg: Reg| format!("x{}", reg.0);
+    match i.op {
+        Op::Halt => format!("halt {}", r(i.rs1)),
+        Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Slt | Op::Sltu | Op::Sll
+        | Op::Srl | Op::Sra | Op::Mul => {
+            let m = match i.op {
+                Op::Add => "add",
+                Op::Sub => "sub",
+                Op::And => "and",
+                Op::Or => "or",
+                Op::Xor => "xor",
+                Op::Slt => "slt",
+                Op::Sltu => "sltu",
+                Op::Sll => "sll",
+                Op::Srl => "srl",
+                Op::Sra => "sra",
+                _ => "mul",
+            };
+            format!("{m} {}, {}, {}", r(i.rd), r(i.rs1), r(i.rs2))
+        }
+        Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Sltiu | Op::Slli
+        | Op::Srli | Op::Srai => {
+            let m = match i.op {
+                Op::Addi => "addi",
+                Op::Andi => "andi",
+                Op::Ori => "ori",
+                Op::Xori => "xori",
+                Op::Slti => "slti",
+                Op::Sltiu => "sltiu",
+                Op::Slli => "slli",
+                Op::Srli => "srli",
+                _ => "srai",
+            };
+            format!("{m} {}, {}, {}", r(i.rd), r(i.rs1), i.imm)
+        }
+        Op::Lui => format!("lui {}, {}", r(i.rd), (i.imm as u32) & 0xFFFF),
+        Op::Lw => format!("lw {}, {}({})", r(i.rd), i.imm, r(i.rs1)),
+        Op::Sw => format!("sw {}, {}({})", r(i.rs2), i.imm, r(i.rs1)),
+        Op::Beq | Op::Bne | Op::Blt | Op::Bltu | Op::Bge | Op::Bgeu => {
+            let m = match i.op {
+                Op::Beq => "beq",
+                Op::Bne => "bne",
+                Op::Blt => "blt",
+                Op::Bltu => "bltu",
+                Op::Bge => "bge",
+                _ => "bgeu",
+            };
+            format!("{m} {}, {}, {}", r(i.rs1), r(i.rs2), i.imm * 4)
+        }
+        Op::Jal => format!("jal {}, {}", r(i.rd), i.imm * 4),
+        Op::Jalr => format!("jalr {}, {}, {}", r(i.rd), r(i.rs1), i.imm),
+        Op::Rdcyc => format!("rdcyc {}", r(i.rd)),
+        Op::Rdinst => format!("rdinst {}", r(i.rd)),
+        Op::Out => format!("out {}", r(i.rs1)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_formats() {
+        let cases = [
+            Instr { op: Op::Add, rd: Reg(3), rs1: Reg(4), rs2: Reg(5), imm: 0 },
+            Instr { op: Op::Addi, rd: Reg(1), rs1: Reg(2), rs2: Reg(0), imm: -42 },
+            Instr { op: Op::Lw, rd: Reg(7), rs1: Reg(8), rs2: Reg(0), imm: 100 },
+            Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(9), rs2: Reg(10), imm: -4 },
+            Instr { op: Op::Beq, rd: Reg(0), rs1: Reg(11), rs2: Reg(12), imm: -7 },
+            Instr { op: Op::Jal, rd: Reg(1), rs1: Reg(0), rs2: Reg(0), imm: 200 },
+            Instr { op: Op::Jalr, rd: Reg(0), rs1: Reg(1), rs2: Reg(0), imm: 0 },
+            Instr { op: Op::Lui, rd: Reg(5), rs1: Reg(0), rs2: Reg(0), imm: 0x1234 },
+            Instr { op: Op::Halt, rd: Reg(10), rs1: Reg(10), rs2: Reg(0), imm: 0 },
+            Instr { op: Op::Rdcyc, rd: Reg(6), rs1: Reg(0), rs2: Reg(0), imm: 0 },
+        ];
+        for c in cases {
+            let got = decode(encode(c)).unwrap();
+            assert_eq!(got.op, c.op, "{c:?}");
+            assert_eq!(got.rd.0, if matches!(c.op, Op::Sw) || c.op.is_branch() { 0 } else { c.rd.0 });
+            assert_eq!(got.rs1, c.rs1, "{c:?}");
+            if c.op.is_alu_reg() || c.op.is_branch() || c.op == Op::Sw {
+                assert_eq!(got.rs2, c.rs2, "{c:?}");
+            }
+            if !c.op.is_alu_reg() {
+                assert_eq!(got.imm, c.imm, "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        assert!(decode(63 << 26).is_none());
+    }
+
+    #[test]
+    fn nop_is_addi_zero() {
+        let w = encode(Instr::NOP);
+        let i = decode(w).unwrap();
+        assert_eq!(i.op, Op::Addi);
+        assert_eq!(i.rd, Reg::ZERO);
+        assert_eq!(i.imm, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of i16 range")]
+    fn oversized_immediate_panics() {
+        let _ = encode(Instr {
+            op: Op::Addi,
+            rd: Reg(1),
+            rs1: Reg(0),
+            rs2: Reg(0),
+            imm: 40000,
+        });
+    }
+}

@@ -1,0 +1,56 @@
+//! The SRV32 instruction set: encoding, assembler, golden-model simulator
+//! and workload library.
+//!
+//! The paper evaluates Strober on RISC-V processors running microbenchmarks
+//! (vvadd, towers, dhrystone, qsort, spmv, dgemm), CoreMark, a Linux boot
+//! and SPECint's 403.gcc. This crate provides the equivalent substrate:
+//!
+//! * **SRV32** — a 32-bit scalar RISC ISA in the RV32I mould (32 registers
+//!   with a hardwired zero, word-addressed loads/stores, compare-and-branch,
+//!   `jal`/`jalr`, hardware `mul`, and cycle/instret counter reads). Byte
+//!   memory accesses and floating point are omitted; workloads are adapted
+//!   accordingly (see DESIGN.md).
+//! * [`assemble`] — a two-pass assembler with labels, ABI register names,
+//!   common pseudo-instructions (`li`, `la`, `mv`, `j`, `call`, `ret`) and
+//!   data directives.
+//! * [`Iss`] — an instruction-set simulator used as the golden model for
+//!   differential testing of the RTL cores and as the "fast functional
+//!   simulator" baseline in speed comparisons.
+//! * [`programs`] — parameterised sources for every workload in the
+//!   paper's evaluation, sized so full gate-level reference runs finish on
+//!   a workstation.
+//!
+//! # Examples
+//!
+//! ```
+//! use strober_isa::{assemble, Iss};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let image = assemble(r#"
+//!     li   a0, 0          # sum
+//!     li   a1, 10         # n
+//! loop:
+//!     add  a0, a0, a1
+//!     addi a1, a1, -1
+//!     bne  a1, zero, loop
+//!     halt a0
+//! "#)?;
+//! let mut iss = Iss::new(64 * 1024);
+//! iss.load(&image.words, 0);
+//! let exit = iss.run(10_000)?;
+//! assert_eq!(exit, Some(55));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod asm;
+mod encoding;
+mod iss;
+pub mod programs;
+
+pub use asm::{assemble, AsmError, Image};
+pub use encoding::{decode, disassemble, encode, Instr, Op, Reg};
+pub use iss::{Iss, IssError};

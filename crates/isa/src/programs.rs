@@ -1,0 +1,859 @@
+//! The workload library: every benchmark in the paper's evaluation,
+//! expressed as parameterised SRV32 assembly.
+//!
+//! | Paper workload | Here | Notes |
+//! |---|---|---|
+//! | vvadd          | [`vvadd`] | vector-vector add with LCG-initialised operands |
+//! | towers         | [`towers`] | recursive Towers of Hanoi |
+//! | dhrystone      | [`dhrystone`] | record copy/compare/branch/call mix |
+//! | qsort          | [`qsort`] | iterative quicksort with explicit range stack |
+//! | spmv           | [`spmv`] | CSR sparse matrix × vector |
+//! | dgemm          | [`dgemm`] | dense n×n integer matrix multiply |
+//! | CoreMark       | [`coremark_like`] | list traversal + small matmul + state machine |
+//! | Linux boot     | [`linux_boot_like`] | bss clearing, task list, context-switch loop |
+//! | 403.gcc        | [`gcc_like`] | pointer-heavy graph walking + hash table + dispatch |
+//! | ccbench chase  | [`pointer_chase`] | load-to-load latency probe (Fig. 7) |
+//!
+//! Sizes are scaled relative to the paper so that *full gate-level
+//! reference runs* (needed for the Fig. 8 ground truth) complete in
+//! minutes; EXPERIMENTS.md records the exact parameters used per
+//! experiment. Every program ends with `halt <checksum>` so results are
+//! checkable on any of the three execution engines (ISS, RTL simulation,
+//! gate-level simulation).
+//!
+//! All data regions live at fixed high addresses (`0x1_0000`–`0xF_0000`),
+//! so the programs need a memory of at least 1 MiB.
+
+/// Minimum memory size (bytes) the workloads assume.
+pub const MEM_BYTES: usize = 1 << 20;
+
+/// Shared LCG data-initialisation preamble: fills `count` words at `base`
+/// with pseudo-random values derived from `seed`, using temporaries
+/// `t0..t4`.
+fn lcg_fill(base: u32, count: u32, seed: u32) -> String {
+    format!(
+        r#"
+    li   t0, {base}
+    li   t1, {count}
+    li   t2, {seed}
+    li   t3, 1664525
+    li   t4, 1013904223
+fill_{base:x}:
+    mul  t2, t2, t3
+    add  t2, t2, t4
+    sw   t2, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, fill_{base:x}
+"#
+    )
+}
+
+/// Vector-vector add: `c[i] = a[i] + b[i]` over `n` words; exits with the
+/// checksum of `c`.
+pub fn vvadd(n: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&lcg_fill(0x1_0000, n, 12345));
+    s.push_str(&lcg_fill(0x2_0000, n, 67890));
+    s.push_str(&format!(
+        r#"
+    li   t0, 0x10000       # a
+    li   t1, 0x20000       # b
+    li   t5, 0x30000       # c
+    li   s1, {n}
+    mv   s2, zero          # checksum
+vv_loop:
+    lw   a0, 0(t0)
+    lw   a1, 0(t1)
+    add  a2, a0, a1
+    sw   a2, 0(t5)
+    add  s2, s2, a2
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t5, t5, 4
+    addi s1, s1, -1
+    bnez s1, vv_loop
+    halt s2
+"#
+    ));
+    s
+}
+
+/// Recursive Towers of Hanoi with `n` disks; exits with the move count
+/// `2^n − 1`.
+pub fn towers(n: u32) -> String {
+    format!(
+        r#"
+    li   sp, 0xF0000
+    li   a0, {n}
+    li   a1, 0
+    li   a2, 1
+    li   a3, 2
+    mv   s2, zero          # move counter
+    call hanoi
+    halt s2
+
+hanoi:                      # a0=n a1=from a2=to a3=via
+    li   t0, 1
+    beq  a0, t0, hbase
+    addi sp, sp, -20
+    sw   ra, 0(sp)
+    sw   a0, 4(sp)
+    sw   a1, 8(sp)
+    sw   a2, 12(sp)
+    sw   a3, 16(sp)
+    addi a0, a0, -1
+    mv   t1, a2             # hanoi(n-1, from, via, to)
+    mv   a2, a3
+    mv   a3, t1
+    call hanoi
+    lw   a0, 4(sp)
+    lw   a1, 8(sp)
+    lw   a2, 12(sp)
+    lw   a3, 16(sp)
+    addi s2, s2, 1          # move the big disk
+    addi a0, a0, -1
+    mv   t1, a1             # hanoi(n-1, via, to, from)
+    mv   a1, a3
+    mv   a3, t1
+    call hanoi
+    lw   ra, 0(sp)
+    addi sp, sp, 20
+    ret
+hbase:
+    addi s2, s2, 1
+    ret
+"#
+    )
+}
+
+/// A dhrystone-like mix: per iteration, copy an 8-word record, compare
+/// fields, update conditionally, and make two calls. Exits with a
+/// checksum.
+pub fn dhrystone(iters: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&lcg_fill(0x1_0000, 64, 777));
+    s.push_str(&format!(
+        r#"
+    li   sp, 0xF0000
+    li   s1, {iters}
+    mv   s2, zero           # checksum
+    li   s3, 0x10000        # source records
+    li   s4, 0x20000        # destination records
+dhry_loop:
+    # Select a record (iteration mod 8) and copy 8 words.
+    andi t0, s1, 7
+    slli t0, t0, 5          # × 32 bytes
+    add  t1, s3, t0         # src
+    add  t2, s4, t0         # dst
+    li   t3, 8
+copy8:
+    lw   a0, 0(t1)
+    sw   a0, 0(t2)
+    addi t1, t1, 4
+    addi t2, t2, 4
+    addi t3, t3, -1
+    bnez t3, copy8
+    # Compare first fields of two records, branchy update.
+    lw   a0, 0(s4)
+    lw   a1, 4(s4)
+    blt  a0, a1, dhry_less
+    sub  a2, a0, a1
+    j    dhry_join
+dhry_less:
+    add  a2, a0, a1
+dhry_join:
+    add  s2, s2, a2
+    # Two leaf calls.
+    mv   a0, a2
+    call dhry_f1
+    add  s2, s2, a0
+    mv   a0, s1
+    call dhry_f2
+    add  s2, s2, a0
+    addi s1, s1, -1
+    bnez s1, dhry_loop
+    halt s2
+
+dhry_f1:                    # a0 = (a0 << 1) ^ a0
+    slli t0, a0, 1
+    xor  a0, t0, a0
+    ret
+dhry_f2:                    # a0 = a0 * 13 + 7
+    li   t0, 13
+    mul  a0, a0, t0
+    addi a0, a0, 7
+    ret
+"#
+    ));
+    s
+}
+
+/// Iterative quicksort of `n` pseudo-random words. Exits with
+/// `1_000_000 + number of sorted-order violations` (so a correct run exits
+/// with exactly `1_000_000`).
+pub fn qsort(n: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&lcg_fill(0x1_0000, n, 424242));
+    s.push_str(&format!(
+        r#"
+    li   s3, 0x10000        # array base
+    li   s4, 0x80000        # range stack pointer
+    # push (0, n-1)
+    sw   zero, 0(s4)
+    li   t0, {last}
+    sw   t0, 4(s4)
+    addi s4, s4, 8
+qs_loop:
+    li   t0, 0x80000
+    beq  s4, t0, qs_done
+    addi s4, s4, -8
+    lw   s5, 0(s4)          # lo
+    lw   s6, 4(s4)          # hi
+    bge  s5, s6, qs_loop
+    # partition: pivot = a[hi]
+    slli t0, s6, 2
+    add  t0, s3, t0
+    lw   s7, 0(t0)          # pivot
+    addi s8, s5, -1         # i
+    mv   s9, s5             # j
+qs_part:
+    bge  s9, s6, qs_part_done
+    slli t1, s9, 2
+    add  t1, s3, t1
+    lw   a0, 0(t1)          # a[j]
+    bgtu a0, s7, qs_noswap
+    addi s8, s8, 1
+    slli t2, s8, 2
+    add  t2, s3, t2
+    lw   a1, 0(t2)          # a[i]
+    sw   a0, 0(t2)
+    sw   a1, 0(t1)
+qs_noswap:
+    addi s9, s9, 1
+    j    qs_part
+qs_part_done:
+    addi s8, s8, 1          # p = i+1
+    slli t1, s8, 2
+    add  t1, s3, t1
+    lw   a0, 0(t1)          # a[p]
+    slli t2, s6, 2
+    add  t2, s3, t2
+    lw   a1, 0(t2)          # a[hi]
+    sw   a1, 0(t1)
+    sw   a0, 0(t2)
+    # push (lo, p-1)
+    sw   s5, 0(s4)
+    addi t0, s8, -1
+    sw   t0, 4(s4)
+    addi s4, s4, 8
+    # push (p+1, hi)
+    addi t0, s8, 1
+    sw   t0, 0(s4)
+    sw   s6, 4(s4)
+    addi s4, s4, 8
+    j    qs_loop
+qs_done:
+    # verify: count order violations
+    mv   s2, zero
+    li   t0, {verify_n}
+    mv   t1, s3
+qs_verify:
+    lw   a0, 0(t1)
+    lw   a1, 4(t1)
+    bleu a0, a1, qs_ok
+    addi s2, s2, 1
+qs_ok:
+    addi t1, t1, 4
+    addi t0, t0, -1
+    bnez t0, qs_verify
+    li   t0, 1000000
+    add  s2, s2, t0
+    halt s2
+"#,
+        last = n - 1,
+        verify_n = n - 1,
+    ));
+    s
+}
+
+/// CSR sparse matrix-vector product: `rows` rows with `nnz` nonzeros each,
+/// pseudo-random column indices. Exits with the checksum of `y`.
+pub fn spmv(rows: u32, nnz: u32) -> String {
+    let total = rows * nnz;
+    let mut s = String::new();
+    // vals at 0x10000, col_idx at 0x30000, x at 0x50000, y at 0x60000.
+    s.push_str(&lcg_fill(0x1_0000, total, 31337));
+    s.push_str(&lcg_fill(0x5_0000, rows, 999));
+    s.push_str(&format!(
+        r#"
+    # Build col_idx[i] = lcg(i) mod rows.
+    li   t0, 0x30000
+    li   t1, {total}
+    li   t2, 555
+    li   t3, 1664525
+    li   t4, 1013904223
+    li   t5, {rows}
+col_fill:
+    mul  t2, t2, t3
+    add  t2, t2, t4
+    srli a0, t2, 8
+    remu_inline:            # a0 = a0 % rows via repeated masking
+    # rows is a power of two in our configurations: mask instead.
+    andi a0, a0, {row_mask}
+    sw   a0, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, col_fill
+
+    li   s3, 0x10000        # vals
+    li   s4, 0x30000        # col_idx
+    li   s5, 0x50000        # x
+    li   s6, 0x60000        # y
+    li   s7, {rows}
+    mv   s2, zero           # checksum
+spmv_row:
+    mv   s8, zero           # row accumulator
+    li   s9, {nnz}
+spmv_elem:
+    lw   a0, 0(s3)          # val
+    lw   a1, 0(s4)          # col
+    slli a1, a1, 2
+    add  a1, s5, a1
+    lw   a2, 0(a1)          # x[col]
+    mul  a3, a0, a2
+    add  s8, s8, a3
+    addi s3, s3, 4
+    addi s4, s4, 4
+    addi s9, s9, -1
+    bnez s9, spmv_elem
+    sw   s8, 0(s6)
+    add  s2, s2, s8
+    addi s6, s6, 4
+    addi s7, s7, -1
+    bnez s7, spmv_row
+    halt s2
+"#,
+        row_mask = rows - 1,
+    ));
+    s
+}
+
+/// Dense n×n integer matrix multiply (`n` up to 64); exits with the
+/// checksum of `C`.
+pub fn dgemm(n: u32) -> String {
+    let words = n * n;
+    let mut s = String::new();
+    s.push_str(&lcg_fill(0x1_0000, words, 1111));
+    s.push_str(&lcg_fill(0x3_0000, words, 2222));
+    s.push_str(&format!(
+        r#"
+    li   s3, 0x10000        # A
+    li   s4, 0x30000        # B
+    li   s5, 0x50000        # C
+    li   s6, {n}            # n
+    mv   s2, zero           # checksum
+    mv   s7, zero           # i
+gemm_i:
+    mv   s8, zero           # j
+gemm_j:
+    mv   s9, zero           # k
+    mv   s10, zero          # acc
+gemm_k:
+    # A[i*n + k]
+    mul  t0, s7, s6
+    add  t0, t0, s9
+    slli t0, t0, 2
+    add  t0, s3, t0
+    lw   a0, 0(t0)
+    # B[k*n + j]
+    mul  t1, s9, s6
+    add  t1, t1, s8
+    slli t1, t1, 2
+    add  t1, s4, t1
+    lw   a1, 0(t1)
+    mul  a2, a0, a1
+    add  s10, s10, a2
+    addi s9, s9, 1
+    blt  s9, s6, gemm_k
+    # C[i*n + j] = acc
+    mul  t0, s7, s6
+    add  t0, t0, s8
+    slli t0, t0, 2
+    add  t0, s5, t0
+    sw   s10, 0(t0)
+    add  s2, s2, s10
+    addi s8, s8, 1
+    blt  s8, s6, gemm_j
+    addi s7, s7, 1
+    blt  s7, s6, gemm_i
+    halt s2
+"#
+    ));
+    s
+}
+
+/// A CoreMark-like mix: array-backed linked-list traversal, a 4×4 integer
+/// matrix multiply, and a small state machine, repeated `iters` times.
+/// Exits with a CRC-ish checksum.
+pub fn coremark_like(iters: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&lcg_fill(0x1_0000, 64, 3333)); // list payloads
+    s.push_str(&lcg_fill(0x1_0400, 32, 4444)); // matrices (distinct D$ lines)
+    s.push_str(&format!(
+        r#"
+    # Build a 64-node ring list: next[i] = (i * 17 + 1) mod 64 at 0x10800
+    # (kept off the payload and matrix cache lines).
+    li   t0, 0x10800
+    mv   t1, zero
+    li   t2, 64
+cm_build:
+    li   t3, 17
+    mul  t4, t1, t3
+    addi t4, t4, 1
+    andi t4, t4, 63
+    slli t5, t1, 2
+    add  t5, t0, t5
+    sw   t4, 0(t5)
+    addi t1, t1, 1
+    blt  t1, t2, cm_build
+
+    li   s1, {iters}
+    mv   s2, zero           # crc
+cm_iter:
+    # --- list traversal: walk 64 hops, accumulate payloads
+    mv   t1, zero           # node
+    li   t2, 64
+    li   s3, 0x10800
+    li   s4, 0x10000
+cm_walk:
+    slli t3, t1, 2
+    add  t4, s4, t3
+    lw   a0, 0(t4)          # payload
+    add  s2, s2, a0
+    add  t4, s3, t3
+    lw   t1, 0(t4)          # next
+    addi t2, t2, -1
+    bnez t2, cm_walk
+    # --- 4x4 matmul
+    li   s5, 0x10400        # A (16 words), B at +64
+    mv   t1, zero           # i
+cm_mi:
+    mv   t2, zero           # j
+cm_mj:
+    mv   t3, zero           # k
+    mv   t5, zero           # acc
+cm_mk:
+    slli t4, t1, 2
+    add  t4, t4, t3
+    slli t4, t4, 2
+    add  t4, s5, t4
+    lw   a0, 0(t4)          # A[i][k]
+    slli t4, t3, 2
+    add  t4, t4, t2
+    slli t4, t4, 2
+    add  t4, s5, t4
+    lw   a1, 64(t4)         # B[k][j]
+    mul  a2, a0, a1
+    add  t5, t5, a2
+    addi t3, t3, 1
+    li   t6, 4
+    blt  t3, t6, cm_mk
+    add  s2, s2, t5
+    addi t2, t2, 1
+    li   t6, 4
+    blt  t2, t6, cm_mj
+    addi t1, t1, 1
+    li   t6, 4
+    blt  t1, t6, cm_mi
+    # --- state machine over the crc value
+    mv   a0, s2
+    li   t1, 8
+cm_sm:
+    andi t2, a0, 3
+    beqz t2, cm_s0
+    li   t3, 1
+    beq  t2, t3, cm_s1
+    li   t3, 2
+    beq  t2, t3, cm_s2
+    srli a0, a0, 2
+    xori a0, a0, 0x35
+    j    cm_snext
+cm_s0:
+    srli a0, a0, 1
+    j    cm_snext
+cm_s1:
+    srli a0, a0, 3
+    addi a0, a0, 77
+    j    cm_snext
+cm_s2:
+    srli a0, a0, 2
+    xori a0, a0, 0x5A
+cm_snext:
+    addi t1, t1, -1
+    bnez t1, cm_sm
+    add  s2, s2, a0
+    addi s1, s1, -1
+    bnez s1, cm_iter
+    halt s2
+"#
+    ));
+    s
+}
+
+/// A Linux-boot-like phase mix: clear a large "bss", build a task list,
+/// then run a context-switch loop that saves/restores register frames and
+/// touches scattered "pages". Exits with a checksum.
+pub fn linux_boot_like(tasks: u32, switches: u32) -> String {
+    format!(
+        r#"
+    # --- phase 1: clear 16 KiB of bss at 0x40000
+    li   t0, 0x40000
+    li   t1, 4096
+lb_clear:
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, lb_clear
+
+    # --- phase 2: build {tasks} task frames (16 words each) at 0x50000
+    li   t0, 0x50000
+    mv   t1, zero
+lb_mktask:
+    li   t2, 16
+    mv   t3, t0
+lb_fill_frame:
+    add  t4, t1, t2
+    mul  t4, t4, t4
+    sw   t4, 0(t3)
+    addi t3, t3, 4
+    addi t2, t2, -1
+    bnez t2, lb_fill_frame
+    addi t0, t0, 64
+    addi t1, t1, 1
+    li   t2, {tasks}
+    blt  t1, t2, lb_mktask
+
+    # --- phase 3: round-robin context switching
+    li   s1, {switches}
+    mv   s2, zero           # checksum
+    mv   s3, zero           # current task
+lb_switch:
+    # save "registers" (8 words) into current frame
+    slli t0, s3, 6
+    li   t1, 0x50000
+    add  t1, t1, t0
+    sw   s1, 0(t1)
+    sw   s2, 4(t1)
+    sw   s3, 8(t1)
+    sw   ra, 12(t1)
+    sw   sp, 16(t1)
+    sw   t0, 20(t1)
+    sw   s1, 24(t1)
+    sw   s2, 28(t1)
+    # pick next task
+    addi s3, s3, 1
+    li   t2, {tasks}
+    blt  s3, t2, lb_noswrap
+    mv   s3, zero
+lb_noswrap:
+    # restore from next frame and fold into checksum
+    slli t0, s3, 6
+    li   t1, 0x50000
+    add  t1, t1, t0
+    lw   a0, 0(t1)
+    lw   a1, 4(t1)
+    lw   a2, 8(t1)
+    add  s2, s2, a0
+    xor  s2, s2, a1
+    add  s2, s2, a2
+    # touch a scattered "page" in bss
+    mul  t3, s1, s3
+    andi t3, t3, 4095
+    slli t3, t3, 2
+    li   t4, 0x40000
+    add  t4, t4, t3
+    lw   a3, 0(t4)
+    addi a3, a3, 1
+    sw   a3, 0(t4)
+    # a short "kernel work" call
+    mv   a0, s2
+    call lb_work
+    mv   s2, a0
+    addi s1, s1, -1
+    bnez s1, lb_switch
+    halt s2
+
+lb_work:
+    slli t0, a0, 3
+    srli t1, a0, 5
+    xor  a0, t0, t1
+    addi a0, a0, 12345
+    ret
+"#
+    )
+}
+
+/// A gcc-like phase: walk a pseudo-random graph (pointer-heavy), insert
+/// into an open-addressed hash table, and dispatch on "token" kinds.
+/// Exits with a checksum.
+pub fn gcc_like(iters: u32, nodes: u32) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        r#"
+    # Build {nodes} graph nodes (4 words: next, val, kind, pad) at 0x10000.
+    li   t0, 0x10000
+    mv   t1, zero
+    li   t2, 90210
+    li   t3, 1664525
+    li   t4, 1013904223
+gcc_build:
+    mul  t2, t2, t3
+    add  t2, t2, t4
+    # next = (i + 321) mod nodes: a permutation with a single full-length
+    # cycle, so the walk really visits the whole footprint (a purely
+    # random successor function collapses into a tiny attractor cycle).
+    addi a0, t1, 321
+    andi a0, a0, {node_mask}
+    slli a1, a0, 4          # next node byte offset
+    li   a2, 0x10000
+    add  a1, a2, a1
+    slli t5, t1, 4
+    add  t5, a2, t5
+    sw   a1, 0(t5)          # next pointer
+    sw   t2, 4(t5)          # val
+    andi a3, t2, 7
+    sw   a3, 8(t5)          # kind
+    sw   zero, 12(t5)
+    addi t1, t1, 1
+    li   t6, {nodes}
+    blt  t1, t6, gcc_build
+
+    # Clear the 256-slot hash table at 0x70000.
+    li   t0, 0x70000
+    li   t1, 256
+gcc_ht_clear:
+    sw   zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, gcc_ht_clear
+
+    li   s1, {iters}
+    mv   s2, zero           # checksum
+    li   s3, 0x10000        # walker
+gcc_iter:
+    # Phases alternate every 4096 iterations (the paper's gcc shows
+    # visible CPI phases): phase A is a compact, cache-resident pass over
+    # a 1 KiB region; phase B walks the full pointer graph and hits the
+    # hash table.
+    srli t6, s1, 12
+    andi t6, t6, 1
+    beqz t6, gcc_phase_b
+    andi t0, s1, 255
+    slli t0, t0, 4
+    li   t1, 0x10000
+    add  t1, t1, t0
+    lw   a1, 4(t1)          # val from the small region
+    lw   a2, 8(t1)          # kind
+    j    gcc_dispatch
+gcc_phase_b:
+    # follow pointer
+    lw   a0, 0(s3)          # next
+    lw   a1, 4(s3)          # val
+    lw   a2, 8(s3)          # kind
+    mv   s3, a0
+    # hash-table insert: slot = (val >> 3) & 255
+    srli t0, a1, 3
+    andi t0, t0, 255
+    slli t0, t0, 2
+    li   t1, 0x70000
+    add  t1, t1, t0
+    lw   t2, 0(t1)          # probe
+    beqz t2, gcc_insert
+    add  s2, s2, t2         # collision: fold old value
+gcc_insert:
+    sw   a1, 0(t1)
+gcc_dispatch:
+    # token dispatch on kind
+    beqz a2, gcc_k0
+    li   t3, 1
+    beq  a2, t3, gcc_k1
+    li   t3, 2
+    beq  a2, t3, gcc_k2
+    li   t3, 3
+    beq  a2, t3, gcc_k3
+    # kinds 4..7: arithmetic fold
+    mul  t4, a1, a2
+    add  s2, s2, t4
+    j    gcc_next
+gcc_k0:
+    xor  s2, s2, a1
+    j    gcc_next
+gcc_k1:
+    add  s2, s2, a1
+    j    gcc_next
+gcc_k2:
+    sub  s2, s2, a1
+    j    gcc_next
+gcc_k3:
+    srli t4, a1, 4
+    add  s2, s2, t4
+gcc_next:
+    addi s1, s1, -1
+    bnez s1, gcc_iter
+    halt s2
+"#,
+        node_mask = nodes - 1,
+    ));
+    s
+}
+
+/// The ccbench-style pointer chase (Fig. 7): builds a stride-permuted ring
+/// list covering `list_words` words at `0x1_0000`, chases it for `hops`
+/// hops, and exits with the cycle count of the timed chase (read with
+/// `rdcyc`).
+pub fn pointer_chase(list_words: u32, stride_words: u32, hops: u32) -> String {
+    format!(
+        r#"
+    # next[i] = (i + stride) mod list_words, stored in the slots
+    # themselves so each hop is one dependent load.
+    li   t0, 0x10000
+    mv   t1, zero           # i
+lc_build:
+    addi t2, t1, {stride_words}
+    li   t3, {list_words}
+    blt  t2, t3, lc_nowrap
+    sub  t2, t2, t3
+lc_nowrap:
+    slli t4, t2, 2
+    li   t5, 0x10000
+    add  t4, t5, t4         # address of next slot
+    slli t6, t1, 2
+    add  t6, t5, t6
+    sw   t4, 0(t6)
+    addi t1, t1, 1
+    li   t3, {list_words}
+    blt  t1, t3, lc_build
+
+    # warm-up chase (one full lap)
+    li   a0, 0x10000
+    li   t1, {list_words}
+lc_warm:
+    lw   a0, 0(a0)
+    addi t1, t1, -1
+    bnez t1, lc_warm
+
+    # timed chase
+    rdcyc s3
+    li   a0, 0x10000
+    li   t1, {hops}
+lc_chase:
+    lw   a0, 0(a0)
+    addi t1, t1, -1
+    bnez t1, lc_chase
+    rdcyc s4
+    sub  s2, s4, s3
+    halt s2
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::asm::assemble;
+    use crate::iss::Iss;
+
+    fn run(src: &str, max: u64) -> u32 {
+        let image = assemble(src).unwrap();
+        let mut iss = Iss::new(super::MEM_BYTES);
+        iss.load(&image.words, 0);
+        iss.run(max)
+            .unwrap()
+            .expect("program should halt within budget")
+    }
+
+    #[test]
+    fn towers_move_count_is_exact() {
+        assert_eq!(run(&super::towers(5), 100_000), 31);
+        assert_eq!(run(&super::towers(8), 1_000_000), 255);
+    }
+
+    #[test]
+    fn qsort_sorts() {
+        // Exit code 1_000_000 means zero order violations.
+        assert_eq!(run(&super::qsort(64), 5_000_000), 1_000_000);
+        assert_eq!(run(&super::qsort(256), 50_000_000), 1_000_000);
+    }
+
+    #[test]
+    fn vvadd_checksum_is_deterministic() {
+        let a = run(&super::vvadd(128), 1_000_000);
+        let b = run(&super::vvadd(128), 1_000_000);
+        assert_eq!(a, b);
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn dgemm_completes() {
+        let c = run(&super::dgemm(8), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn spmv_completes() {
+        let c = run(&super::spmv(64, 8), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn dhrystone_completes() {
+        let c = run(&super::dhrystone(100), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn coremark_like_completes() {
+        let c = run(&super::coremark_like(10), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn linux_boot_like_completes() {
+        let c = run(&super::linux_boot_like(8, 200), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn gcc_like_completes() {
+        let c = run(&super::gcc_like(2000, 256), 10_000_000);
+        assert_ne!(c, 0);
+    }
+
+    #[test]
+    fn pointer_chase_reports_cycles() {
+        // On the ISS every instruction is one cycle, so the timed section
+        // is 3 instructions per hop plus the 3 setup instructions between
+        // the two rdcyc reads.
+        let hops = 500;
+        let c = run(&super::pointer_chase(64, 1, hops), 10_000_000);
+        assert_eq!(c, 3 * hops + 3);
+    }
+
+    #[test]
+    fn workloads_have_distinct_profiles() {
+        // Different workloads must not collapse to the same trivial
+        // behaviour — distinct checksums across the board.
+        let sums: Vec<u32> = vec![
+            run(&super::vvadd(64), 1_000_000),
+            run(&super::towers(6), 1_000_000),
+            run(&super::dhrystone(50), 1_000_000),
+            run(&super::qsort(32), 1_000_000),
+            run(&super::spmv(32, 4), 1_000_000),
+            run(&super::dgemm(6), 1_000_000),
+        ];
+        let mut dedup = sums.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sums.len(), "checksum collision: {sums:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests: instruction encode/decode round trips and assembler ↔
+//! encoder agreement.
+
+use proptest::prelude::*;
+use strober_isa::{assemble, decode, encode, Instr, Iss, Op, Reg};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    proptest::sample::select(Op::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trip(
+        op in arb_op(),
+        rd in 0u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm in -32768i32..32768,
+    ) {
+        let instr = Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), imm };
+        let decoded = decode(encode(instr)).expect("valid opcode must decode");
+        prop_assert_eq!(decoded.op, op);
+        // Register-register forms preserve all three registers; immediate
+        // forms preserve rd/rs1/imm; stores and branches preserve
+        // rs1/rs2/imm.
+        if op.is_alu_reg() {
+            prop_assert_eq!(decoded.rd, Reg(rd));
+            prop_assert_eq!(decoded.rs1, Reg(rs1));
+            prop_assert_eq!(decoded.rs2, Reg(rs2));
+        } else if op == Op::Sw || op.is_branch() {
+            prop_assert_eq!(decoded.rs1, Reg(rs1));
+            prop_assert_eq!(decoded.rs2, Reg(rs2));
+            prop_assert_eq!(decoded.imm, imm);
+        } else {
+            prop_assert_eq!(decoded.rd, Reg(rd));
+            prop_assert_eq!(decoded.rs1, Reg(rs1));
+            prop_assert_eq!(decoded.imm, imm);
+        }
+    }
+
+    #[test]
+    fn random_words_never_panic_the_decoder(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    #[test]
+    fn assembler_matches_manual_encoding(
+        rd in 1u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm in -2048i32..2048,
+    ) {
+        let src = format!(
+            "add x{rd}, x{rs1}, x{rs2}\naddi x{rd}, x{rs1}, {imm}\nlw x{rd}, {imm4}(x{rs1})\nsw x{rs2}, {imm4}(x{rs1})\n",
+            imm4 = imm * 4,
+        );
+        let image = assemble(&src).unwrap();
+        prop_assert_eq!(image.words.len(), 4);
+        prop_assert_eq!(
+            image.words[0],
+            encode(Instr { op: Op::Add, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), imm: 0 })
+        );
+        prop_assert_eq!(
+            image.words[1],
+            encode(Instr { op: Op::Addi, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(0), imm })
+        );
+        prop_assert_eq!(
+            image.words[2],
+            encode(Instr { op: Op::Lw, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(0), imm: imm * 4 })
+        );
+        prop_assert_eq!(
+            image.words[3],
+            encode(Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(rs1), rs2: Reg(rs2), imm: imm * 4 })
+        );
+    }
+
+    #[test]
+    fn iss_alu_matches_host_arithmetic(a in any::<u32>(), b in any::<u32>()) {
+        let src = format!(
+            "li a0, {a}\nli a1, {b}\nadd a2, a0, a1\nsub a3, a0, a1\nxor a4, a2, a3\nhalt a4\n",
+            a = a as i64,
+            b = b as i64,
+        );
+        let image = assemble(&src).unwrap();
+        let mut iss = Iss::new(4096);
+        iss.load(&image.words, 0);
+        let exit = iss.run(100).unwrap().unwrap();
+        let expect = a.wrapping_add(b) ^ a.wrapping_sub(b);
+        prop_assert_eq!(exit, expect);
+    }
+}
+
+proptest! {
+    #[test]
+    fn disassemble_reassembles_to_the_same_word(
+        op in arb_op(),
+        rd in 0u8..32,
+        rs1 in 0u8..32,
+        rs2 in 0u8..32,
+        imm in -2048i32..2048,
+    ) {
+        use strober_isa::disassemble;
+        // Fixpoint property: disassembling, re-assembling and
+        // disassembling again is stable (fields the instruction ignores,
+        // like lui's rs1, may legitimately canonicalise to zero).
+        let word = encode(Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), imm });
+        let text = disassemble(decode(word).unwrap());
+        let image = assemble(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(image.words.len(), 1, "`{}` expanded", text);
+        let text2 = disassemble(decode(image.words[0]).unwrap());
+        prop_assert_eq!(&text2, &text, "fixpoint broken");
+    }
+}

@@ -1,0 +1,128 @@
+//! Timing-token channels.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of timing tokens connecting a host model to a target
+/// port (Fig. 3 of the paper).
+///
+/// A FAME1 simulation module fires only when every input channel holds a
+/// token and every output channel has space; the channel therefore also
+/// counts the stalls it caused, which the host uses to attribute lost
+/// simulation throughput.
+#[derive(Debug, Clone)]
+pub struct TokenChannel {
+    name: String,
+    capacity: usize,
+    tokens: VecDeque<u64>,
+    enqueued: u64,
+    stalls: u64,
+}
+
+impl TokenChannel {
+    /// Creates an empty channel with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "channel capacity must be nonzero");
+        TokenChannel {
+            name: name.into(),
+            capacity,
+            tokens: VecDeque::with_capacity(capacity),
+            enqueued: 0,
+            stalls: 0,
+        }
+    }
+
+    /// The channel's name (usually the target port it feeds).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The channel's capacity in tokens.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of buffered tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the channel holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Whether the channel is full.
+    pub fn is_full(&self) -> bool {
+        self.tokens.len() == self.capacity
+    }
+
+    /// Enqueues a token; returns `false` (and counts a stall) when full.
+    pub fn push(&mut self, token: u64) -> bool {
+        if self.is_full() {
+            self.stalls += 1;
+            return false;
+        }
+        self.tokens.push_back(token);
+        self.enqueued += 1;
+        true
+    }
+
+    /// Dequeues a token; returns `None` (and counts a stall) when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        match self.tokens.pop_front() {
+            Some(t) => Some(t),
+            None => {
+                self.stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Total tokens ever enqueued.
+    pub fn enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Number of failed pushes/pops (full/empty encounters).
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut ch = TokenChannel::new("a", 4);
+        assert!(ch.push(1));
+        assert!(ch.push(2));
+        assert_eq!(ch.pop(), Some(1));
+        assert_eq!(ch.pop(), Some(2));
+        assert_eq!(ch.pop(), None);
+        assert_eq!(ch.stalls(), 1);
+        assert_eq!(ch.enqueued(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut ch = TokenChannel::new("a", 2);
+        assert!(ch.push(1));
+        assert!(ch.push(2));
+        assert!(ch.is_full());
+        assert!(!ch.push(3));
+        assert_eq!(ch.stalls(), 1);
+        assert_eq!(ch.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = TokenChannel::new("a", 0);
+    }
+}

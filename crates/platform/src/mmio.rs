@@ -1,0 +1,197 @@
+//! The MMIO register map.
+//!
+//! The platform-mapping transform "generates a wrapper to convert
+//! platform-specific data to simulation timing tokens, as well as assigns
+//! addresses for the communication channels and scan chain outputs"
+//! (§IV-B3). [`MmioMap`] is that address assignment: every hub control
+//! input gets a write register and every hub output a read register, at
+//! word-aligned addresses, so the host driver can operate the simulator
+//! exactly as it would over a Zynq AXI-lite interface.
+
+use std::collections::HashMap;
+use strober_fame::FameMeta;
+use strober_rtl::{Design, NodeId, PortId};
+use strober_sim::{SimError, Simulator};
+
+/// One mapped register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmioReg {
+    /// The word-aligned address.
+    pub addr: u32,
+    /// The hub port the register is bound to.
+    pub port: String,
+    /// Whether the host writes (control input) or reads (status output).
+    pub writable: bool,
+}
+
+/// The hub's MMIO address map.
+#[derive(Debug, Clone)]
+pub struct MmioMap {
+    regs: Vec<MmioReg>,
+    write_ports: HashMap<u32, PortId>,
+    read_nodes: HashMap<u32, NodeId>,
+    by_name: HashMap<String, u32>,
+}
+
+impl MmioMap {
+    /// Builds the address map for a transformed design: control inputs
+    /// first, then status outputs, at consecutive word addresses from
+    /// `0x0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] if the hub design does not match
+    /// the metadata.
+    pub fn from_meta(hub: &Design, meta: &FameMeta) -> Result<Self, SimError> {
+        let mut regs = Vec::new();
+        let mut write_ports = HashMap::new();
+        let mut read_nodes = HashMap::new();
+        let mut by_name = HashMap::new();
+        let mut next_addr = 0u32;
+
+        let ctl = &meta.control;
+        let inputs = [
+            &ctl.fire,
+            &ctl.scan_capture,
+            &ctl.scan_shift,
+            &ctl.mem_scan_en,
+            &ctl.mem_scan_rst,
+            &ctl.trace_raddr,
+        ];
+        for name in inputs {
+            let port = hub
+                .port_by_name(name)
+                .ok_or_else(|| SimError::UnknownName {
+                    kind: "hub control input",
+                    name: name.clone(),
+                })?
+                .id();
+            let addr = next_addr;
+            next_addr += 4;
+            regs.push(MmioReg {
+                addr,
+                port: name.clone(),
+                writable: true,
+            });
+            write_ports.insert(addr, port);
+            by_name.insert(name.clone(), addr);
+        }
+
+        let mut outputs: Vec<&String> = vec![&ctl.scan_out, &ctl.cycle];
+        for m in &meta.mem_scans {
+            outputs.push(&m.out_port);
+        }
+        for t in meta.traces_in.iter().chain(&meta.traces_out) {
+            outputs.push(&t.out_port);
+        }
+        for name in outputs {
+            let node = hub.output_by_name(name).ok_or_else(|| SimError::UnknownName {
+                kind: "hub status output",
+                name: name.clone(),
+            })?;
+            let addr = next_addr;
+            next_addr += 4;
+            regs.push(MmioReg {
+                addr,
+                port: name.clone(),
+                writable: false,
+            });
+            read_nodes.insert(addr, node);
+            by_name.insert(name.clone(), addr);
+        }
+
+        Ok(MmioMap {
+            regs,
+            write_ports,
+            read_nodes,
+            by_name,
+        })
+    }
+
+    /// All mapped registers, in address order.
+    pub fn regs(&self) -> &[MmioReg] {
+        &self.regs
+    }
+
+    /// The address assigned to a hub port.
+    pub fn addr_of(&self, port: &str) -> Option<u32> {
+        self.by_name.get(port).copied()
+    }
+
+    /// Performs an MMIO write (a control-register store from the host).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unmapped or read-only
+    /// address.
+    pub fn write(&self, sim: &mut Simulator, addr: u32, value: u64) -> Result<(), SimError> {
+        let port = self.write_ports.get(&addr).ok_or_else(|| SimError::UnknownName {
+            kind: "writable MMIO address",
+            name: format!("{addr:#x}"),
+        })?;
+        sim.poke(*port, value);
+        Ok(())
+    }
+
+    /// Performs an MMIO read (a status-register load from the host).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unmapped or write-only
+    /// address.
+    pub fn read(&self, sim: &mut Simulator, addr: u32) -> Result<u64, SimError> {
+        let node = self.read_nodes.get(&addr).ok_or_else(|| SimError::UnknownName {
+            kind: "readable MMIO address",
+            name: format!("{addr:#x}"),
+        })?;
+        Ok(sim.peek(*node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+    use strober_fame::{transform, FameConfig};
+    use strober_rtl::Width;
+
+    fn fame() -> strober_fame::FameResult {
+        let ctx = Ctx::new("counter");
+        let count = ctx.reg("count", Width::new(8).unwrap(), 0);
+        count.set(&count.out().add_lit(1));
+        ctx.output("value", &count.out());
+        transform(&ctx.finish().unwrap(), &FameConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn addresses_are_word_aligned_and_unique() {
+        let f = fame();
+        let map = MmioMap::from_meta(&f.hub, &f.meta).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in map.regs() {
+            assert_eq!(r.addr % 4, 0);
+            assert!(seen.insert(r.addr), "duplicate address {:#x}", r.addr);
+        }
+        assert!(map.addr_of("fame/fire").is_some());
+        assert!(map.addr_of("fame/scan_out").is_some());
+        assert!(map.addr_of("bogus").is_none());
+    }
+
+    #[test]
+    fn mmio_drives_the_hub() {
+        let f = fame();
+        let map = MmioMap::from_meta(&f.hub, &f.meta).unwrap();
+        let mut sim = Simulator::new(&f.hub).unwrap();
+        let fire = map.addr_of("fame/fire").unwrap();
+        let cycle = map.addr_of("fame/cycle").unwrap();
+        map.write(&mut sim, fire, 1).unwrap();
+        for _ in 0..5 {
+            sim.step();
+        }
+        assert_eq!(map.read(&mut sim, cycle).unwrap(), 5);
+        // Read-only/write-only addresses reject the wrong operation.
+        assert!(map.read(&mut sim, fire).is_err());
+        assert!(map.write(&mut sim, cycle, 0).is_err());
+        assert!(map.write(&mut sim, 0xFFFF_FFF0, 0).is_err());
+    }
+}

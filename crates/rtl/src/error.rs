@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RtlError {
+    /// A width outside `1..=64` was requested.
+    InvalidWidth {
+        /// The requested number of bits.
+        bits: u32,
+    },
+    /// Two operands of a binary operator have different widths.
+    WidthMismatch {
+        /// Context describing the operation.
+        context: &'static str,
+        /// Width of the left-hand side in bits.
+        left: u32,
+        /// Width of the right-hand side in bits.
+        right: u32,
+    },
+    /// A slice's bit range is invalid or exceeds the operand width.
+    InvalidSlice {
+        /// High bit index requested.
+        hi: u32,
+        /// Low bit index requested.
+        lo: u32,
+        /// Width of the operand being sliced.
+        width: u32,
+    },
+    /// A concatenation would exceed 64 bits.
+    CatTooWide {
+        /// Total width that was requested.
+        total: u32,
+    },
+    /// A name is already in use for a port or output.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A register was connected twice, or never connected.
+    RegisterConnection {
+        /// The register's name.
+        name: String,
+        /// What went wrong.
+        problem: &'static str,
+    },
+    /// The combinational graph contains a cycle.
+    CombinationalLoop {
+        /// Name of a signal participating in the cycle, if known.
+        hint: String,
+    },
+    /// A constant does not fit in the requested width.
+    ConstantTooWide {
+        /// The constant value.
+        value: u64,
+        /// The requested width in bits.
+        width: u32,
+    },
+    /// A memory parameter was invalid.
+    InvalidMemory {
+        /// The memory's name.
+        name: String,
+        /// What went wrong.
+        problem: &'static str,
+    },
+    /// An id referred to an element that does not exist in this design.
+    DanglingId {
+        /// Description of the reference.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::InvalidWidth { bits } => {
+                write!(f, "invalid width {bits} (must be 1..=64)")
+            }
+            RtlError::WidthMismatch {
+                context,
+                left,
+                right,
+            } => write!(f, "width mismatch in {context}: {left}b vs {right}b"),
+            RtlError::InvalidSlice { hi, lo, width } => {
+                write!(f, "invalid slice [{hi}:{lo}] of a {width}b value")
+            }
+            RtlError::CatTooWide { total } => {
+                write!(f, "concatenation of {total}b exceeds the 64b limit")
+            }
+            RtlError::DuplicateName { name } => write!(f, "duplicate name `{name}`"),
+            RtlError::RegisterConnection { name, problem } => {
+                write!(f, "register `{name}`: {problem}")
+            }
+            RtlError::CombinationalLoop { hint } => {
+                write!(f, "combinational loop detected (near `{hint}`)")
+            }
+            RtlError::ConstantTooWide { value, width } => {
+                write!(f, "constant {value:#x} does not fit in {width} bits")
+            }
+            RtlError::InvalidMemory { name, problem } => {
+                write!(f, "memory `{name}`: {problem}")
+            }
+            RtlError::DanglingId { what } => write!(f, "dangling id reference: {what}"),
+        }
+    }
+}
+
+impl Error for RtlError {}

@@ -1,0 +1,63 @@
+//! Word-level RTL intermediate representation.
+//!
+//! This crate plays the role of Chisel's intermediate representation in the
+//! Strober flow (§IV-A of the paper): a structural, synthesizable netlist of
+//! word-level operators, registers and memories that downstream compiler
+//! passes can freely analyse and rewrite. The FAME1 transform, scan-chain
+//! insertion, synthesis to gates, and both simulators all operate on the
+//! [`Design`] defined here.
+//!
+//! A design is a flat graph:
+//!
+//! * **Ports** — named top-level inputs ([`Design::input`]) and outputs
+//!   ([`Design::output`]).
+//! * **Nodes** — combinational operators over values of 1–64 bits
+//!   ([`Node`]); every node records its [`Width`] and results are always
+//!   masked to that width.
+//! * **Registers** — positive-edge D flip-flops with optional enable and a
+//!   reset value ([`Design::reg`]).
+//! * **Memories** — word-addressed RAMs with combinational read ports and
+//!   clocked write ports ([`Design::mem`]).
+//!
+//! Hierarchy is expressed through hierarchical signal names (`"fetch/pc"`),
+//! produced by the `strober-dsl` scoping API; compiler passes treat the
+//! design as flat, exactly like FIRRTL after lowering.
+//!
+//! # Examples
+//!
+//! Build an 8-bit counter and inspect it:
+//!
+//! ```
+//! use strober_rtl::{Design, Width};
+//!
+//! # fn main() -> Result<(), strober_rtl::RtlError> {
+//! let mut d = Design::new("counter");
+//! let w8 = Width::new(8)?;
+//! let en = d.input("en", Width::BIT)?;
+//! let count = d.reg("count", w8, 0)?;
+//! let one = d.constant(1, w8);
+//! let q = d.reg_out(count);
+//! let next = d.add(q, one)?;
+//! d.connect_reg(count, next, Some(en))?;
+//! d.output("value", q)?;
+//! d.validate()?;
+//! assert_eq!(d.registers().count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod design;
+mod error;
+mod node;
+mod topo;
+mod value;
+pub mod verilog;
+
+pub use design::{Design, MemReadPort, Memory, Port, Register, WritePort};
+pub use error::RtlError;
+pub use node::{BinOp, MemId, Node, NodeId, PortId, RegId, UnOp, WireId};
+pub use topo::TopoOrder;
+pub use value::{mask, sign_extend, Width};

@@ -1,0 +1,351 @@
+//! Node, register, memory and port identifiers, and the combinational
+//! operator set.
+
+use crate::value::{mask, sign_extend, Width};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw index of this id within its arena.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs an id from a raw arena index.
+            ///
+            /// Intended for compiler passes that rebuild designs; using an
+            /// index from a different design is a logic error that
+            /// validation will catch.
+            pub fn from_index(index: usize) -> Self {
+                $name(index as u32)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a combinational node within a [`crate::Design`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifier of a register within a [`crate::Design`].
+    RegId,
+    "r"
+);
+id_type!(
+    /// Identifier of a memory within a [`crate::Design`].
+    MemId,
+    "m"
+);
+id_type!(
+    /// Identifier of a top-level input port within a [`crate::Design`].
+    PortId,
+    "p"
+);
+id_type!(
+    /// Identifier of a forward-declared wire within a [`crate::Design`].
+    WireId,
+    "w"
+);
+
+/// Unary combinational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Bitwise complement within the operand width.
+    Not,
+    /// Two's-complement negation within the operand width.
+    Neg,
+    /// AND-reduction to a single bit.
+    RedAnd,
+    /// OR-reduction to a single bit.
+    RedOr,
+    /// XOR-reduction (parity) to a single bit.
+    RedXor,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a value of width `w`.
+    pub fn eval(self, a: u64, w: Width) -> u64 {
+        match self {
+            UnOp::Not => mask(!a, w),
+            UnOp::Neg => mask(a.wrapping_neg(), w),
+            UnOp::RedAnd => u64::from(a == w.mask()),
+            UnOp::RedOr => u64::from(a != 0),
+            UnOp::RedXor => u64::from(a.count_ones() % 2 == 1),
+        }
+    }
+
+    /// The width of the result given an operand of width `w`.
+    pub fn result_width(self, w: Width) -> Width {
+        match self {
+            UnOp::Not | UnOp::Neg => w,
+            UnOp::RedAnd | UnOp::RedOr | UnOp::RedXor => Width::BIT,
+        }
+    }
+}
+
+/// Binary combinational operators.
+///
+/// Shifts treat the right operand as an unsigned count and saturate:
+/// shifting a `w`-bit value by ≥ `w` yields 0 (or the sign fill for
+/// [`BinOp::Sra`]), matching Verilog semantics for self-width shifts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low word).
+    Mul,
+    /// Unsigned division; division by zero yields the all-ones value
+    /// (Verilog `x` modelled as all-ones, deterministic).
+    DivU,
+    /// Unsigned remainder; remainder by zero yields the left operand.
+    RemU,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift (sign of the left operand's width).
+    Sra,
+    /// Equality, producing one bit.
+    Eq,
+    /// Inequality, producing one bit.
+    Neq,
+    /// Unsigned less-than, producing one bit.
+    Ltu,
+    /// Unsigned less-or-equal, producing one bit.
+    Leu,
+    /// Signed less-than, producing one bit.
+    Lts,
+    /// Signed less-or-equal, producing one bit.
+    Les,
+}
+
+impl BinOp {
+    /// Evaluates the operator on operands of width `w` (both operands of a
+    /// binary node share a width; see [`crate::Design::binary`]).
+    pub fn eval(self, a: u64, b: u64, w: Width) -> u64 {
+        match self {
+            BinOp::Add => mask(a.wrapping_add(b), w),
+            BinOp::Sub => mask(a.wrapping_sub(b), w),
+            BinOp::Mul => mask(a.wrapping_mul(b), w),
+            // Explicit-check form keeps the deterministic x/0 semantics
+            // obvious; checked_div would obscure the `w.mask()` fallback.
+            #[allow(clippy::manual_checked_ops)]
+            BinOp::DivU => {
+                if b == 0 {
+                    w.mask()
+                } else {
+                    mask(a / b, w)
+                }
+            }
+            BinOp::RemU => {
+                if b == 0 {
+                    a
+                } else {
+                    mask(a % b, w)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => {
+                if b >= u64::from(w.bits()) {
+                    0
+                } else {
+                    mask(a << b, w)
+                }
+            }
+            BinOp::Shr => {
+                if b >= u64::from(w.bits()) {
+                    0
+                } else {
+                    a >> b
+                }
+            }
+            BinOp::Sra => {
+                let sa = sign_extend(a, w);
+                let shift = b.min(u64::from(w.bits()) - 1);
+                mask((sa >> shift) as u64, w)
+            }
+            BinOp::Eq => u64::from(a == b),
+            BinOp::Neq => u64::from(a != b),
+            BinOp::Ltu => u64::from(a < b),
+            BinOp::Leu => u64::from(a <= b),
+            BinOp::Lts => u64::from(sign_extend(a, w) < sign_extend(b, w)),
+            BinOp::Les => u64::from(sign_extend(a, w) <= sign_extend(b, w)),
+        }
+    }
+
+    /// The width of the result given operands of width `w`.
+    pub fn result_width(self, w: Width) -> Width {
+        match self {
+            BinOp::Eq
+            | BinOp::Neq
+            | BinOp::Ltu
+            | BinOp::Leu
+            | BinOp::Lts
+            | BinOp::Les => Width::BIT,
+            _ => w,
+        }
+    }
+
+    /// Whether the result produces a single bit regardless of operand width.
+    pub fn is_comparison(self) -> bool {
+        self.result_width(Width::W64) == Width::BIT
+    }
+}
+
+/// A combinational node in the design graph.
+///
+/// Nodes form a DAG; [`crate::Design::validate`] rejects combinational
+/// cycles. The variants correspond one-to-one with the word-level operator
+/// set of a lowered hardware IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// The value of a top-level input port.
+    Input(PortId),
+    /// A constant.
+    Const(u64),
+    /// A unary operator.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        a: NodeId,
+    },
+    /// A binary operator over same-width operands.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        a: NodeId,
+        /// Right operand.
+        b: NodeId,
+    },
+    /// A two-way multiplexer: `sel ? t : f`.
+    Mux {
+        /// One-bit select.
+        sel: NodeId,
+        /// Value when `sel` is 1.
+        t: NodeId,
+        /// Value when `sel` is 0.
+        f: NodeId,
+    },
+    /// Bit extraction `a[hi:lo]` (inclusive).
+    Slice {
+        /// Source value.
+        a: NodeId,
+        /// High bit index (inclusive).
+        hi: u32,
+        /// Low bit index (inclusive).
+        lo: u32,
+    },
+    /// Concatenation `{hi, lo}`; `lo` occupies the least significant bits.
+    Cat {
+        /// Most significant part.
+        hi: NodeId,
+        /// Least significant part.
+        lo: NodeId,
+    },
+    /// The current value of a register.
+    RegOut(RegId),
+    /// A forward-declared wire; its driver is registered separately via
+    /// [`crate::Design::drive_wire`], enabling feedback-style construction
+    /// (e.g. a pipeline stall signal used before it is computed).
+    Wire(WireId),
+    /// The combinational output of a memory read port.
+    MemRead {
+        /// The memory.
+        mem: MemId,
+        /// Index of the read port within the memory.
+        port: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(non_snake_case)]
+    fn W8() -> Width {
+        Width::new(8).unwrap()
+    }
+
+    #[test]
+    fn unary_semantics() {
+        assert_eq!(UnOp::Not.eval(0x0F, W8()), 0xF0);
+        assert_eq!(UnOp::Neg.eval(1, W8()), 0xFF);
+        assert_eq!(UnOp::RedAnd.eval(0xFF, W8()), 1);
+        assert_eq!(UnOp::RedAnd.eval(0xFE, W8()), 0);
+        assert_eq!(UnOp::RedOr.eval(0, W8()), 0);
+        assert_eq!(UnOp::RedOr.eval(4, W8()), 1);
+        assert_eq!(UnOp::RedXor.eval(0b1011, W8()), 1);
+        assert_eq!(UnOp::RedXor.eval(0b1010, W8()), 0);
+    }
+
+    #[test]
+    fn arithmetic_wraps_to_width() {
+        assert_eq!(BinOp::Add.eval(0xFF, 1, W8()), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1, W8()), 0xFF);
+        assert_eq!(BinOp::Mul.eval(0x80, 2, W8()), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_deterministic() {
+        assert_eq!(BinOp::DivU.eval(42, 0, W8()), 0xFF);
+        assert_eq!(BinOp::RemU.eval(42, 0, W8()), 42);
+        assert_eq!(BinOp::DivU.eval(42, 5, W8()), 8);
+        assert_eq!(BinOp::RemU.eval(42, 5, W8()), 2);
+    }
+
+    #[test]
+    fn shifts_saturate() {
+        assert_eq!(BinOp::Shl.eval(1, 7, W8()), 0x80);
+        assert_eq!(BinOp::Shl.eval(1, 8, W8()), 0);
+        assert_eq!(BinOp::Shr.eval(0x80, 7, W8()), 1);
+        assert_eq!(BinOp::Shr.eval(0x80, 8, W8()), 0);
+        assert_eq!(BinOp::Sra.eval(0x80, 3, W8()), 0xF0);
+        assert_eq!(BinOp::Sra.eval(0x80, 100, W8()), 0xFF);
+        assert_eq!(BinOp::Sra.eval(0x40, 100, W8()), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(BinOp::Ltu.eval(0x80, 0x7F, W8()), 0);
+        assert_eq!(BinOp::Lts.eval(0x80, 0x7F, W8()), 1); // -128 < 127
+        assert_eq!(BinOp::Leu.eval(5, 5, W8()), 1);
+        assert_eq!(BinOp::Les.eval(0xFF, 0, W8()), 1); // -1 <= 0
+        assert_eq!(BinOp::Eq.eval(3, 3, W8()), 1);
+        assert_eq!(BinOp::Neq.eval(3, 4, W8()), 1);
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+    }
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(RegId(1).to_string(), "r1");
+        assert_eq!(MemId(0).to_string(), "m0");
+        assert_eq!(PortId(9).to_string(), "p9");
+    }
+}

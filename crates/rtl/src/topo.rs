@@ -1,0 +1,144 @@
+//! Topological ordering of the combinational graph.
+
+use crate::design::Design;
+use crate::error::RtlError;
+use crate::node::{Node, NodeId};
+
+/// A topological evaluation order for a design's combinational nodes.
+///
+/// Register outputs, inputs and constants are sources; every other node
+/// appears after all of its combinational operands (including the address
+/// node feeding a memory read port). Both simulators and the synthesizer
+/// consume this order.
+#[derive(Debug, Clone)]
+pub struct TopoOrder {
+    order: Vec<NodeId>,
+}
+
+impl TopoOrder {
+    /// Computes the order with Kahn's algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::CombinationalLoop`] if the graph has a cycle.
+    pub fn compute(design: &Design) -> Result<Self, RtlError> {
+        let n = design.node_count();
+        let mut indegree = vec![0u32; n];
+        let mut users: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        let add_edge = |from: NodeId, to: usize, users: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
+            users[from.index()].push(to as u32);
+            indeg[to] += 1;
+        };
+
+        for (id, node, _) in design.nodes() {
+            let to = id.index();
+            match *node {
+                Node::Input(_) | Node::Const(_) | Node::RegOut(_) => {}
+                Node::Unary { a, .. } => add_edge(a, to, &mut users, &mut indegree),
+                Node::Binary { a, b, .. } => {
+                    add_edge(a, to, &mut users, &mut indegree);
+                    add_edge(b, to, &mut users, &mut indegree);
+                }
+                Node::Mux { sel, t, f } => {
+                    add_edge(sel, to, &mut users, &mut indegree);
+                    add_edge(t, to, &mut users, &mut indegree);
+                    add_edge(f, to, &mut users, &mut indegree);
+                }
+                Node::Slice { a, .. } => add_edge(a, to, &mut users, &mut indegree),
+                Node::Cat { hi, lo } => {
+                    add_edge(hi, to, &mut users, &mut indegree);
+                    add_edge(lo, to, &mut users, &mut indegree);
+                }
+                Node::MemRead { mem, port } => {
+                    let addr = design.memory(mem).read_ports()[port].addr();
+                    add_edge(addr, to, &mut users, &mut indegree);
+                }
+                Node::Wire(wid) => {
+                    // An undriven wire is caught by validation; for ordering
+                    // purposes treat it as a source.
+                    if let Some(driver) = design.wire_driver(wid) {
+                        add_edge(driver, to, &mut users, &mut indegree);
+                    }
+                }
+            }
+        }
+
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let v = queue[head];
+            head += 1;
+            order.push(NodeId::from_index(v as usize));
+            for &u in &users[v as usize] {
+                indegree[u as usize] -= 1;
+                if indegree[u as usize] == 0 {
+                    queue.push(u);
+                }
+            }
+        }
+
+        if order.len() != n {
+            // Find a node still carrying in-degree to report a hint.
+            let stuck = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| NodeId::from_index(i).to_string())
+                .unwrap_or_else(|| "unknown".to_owned());
+            return Err(RtlError::CombinationalLoop { hint: stuck });
+        }
+        Ok(TopoOrder { order })
+    }
+
+    /// The node ids in evaluation order.
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Iterates over the node ids in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// The number of ordered nodes.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the design had no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Width;
+
+    #[test]
+    fn order_respects_dependencies() {
+        let mut d = Design::new("t");
+        let w8 = Width::new(8).unwrap();
+        let a = d.input("a", w8).unwrap();
+        let b = d.input("b", w8).unwrap();
+        let s = d.add(a, b).unwrap();
+        let n = d.not(s);
+        d.output("o", n).unwrap();
+        let topo = d.topo_order().unwrap();
+        let pos = |id: NodeId| topo.as_slice().iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(s));
+        assert!(pos(b) < pos(s));
+        assert!(pos(s) < pos(n));
+        assert_eq!(topo.len(), d.node_count());
+        assert!(!topo.is_empty());
+    }
+
+    #[test]
+    fn empty_design_is_fine() {
+        let d = Design::new("empty");
+        let topo = d.topo_order().unwrap();
+        assert!(topo.is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! Bit widths and value masking helpers.
+//!
+//! All signal values in the IR are carried in `u64` words; a [`Width`]
+//! records how many of the low bits are meaningful. Every operation masks
+//! its result, so a value of width `w` always satisfies `v == mask(v, w)`.
+
+use crate::error::RtlError;
+use std::fmt;
+
+/// The width in bits of a signal, between 1 and 64 inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Width(u8);
+
+impl Width {
+    /// The maximum representable width.
+    pub const MAX_BITS: u32 = 64;
+
+    /// A single-bit width, used for control signals.
+    pub const BIT: Width = Width(1);
+
+    /// A 32-bit width, the natural word size of the bundled processor
+    /// designs.
+    pub const W32: Width = Width(32);
+
+    /// A 64-bit width.
+    pub const W64: Width = Width(64);
+
+    /// Creates a width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::InvalidWidth`] unless `1 ≤ bits ≤ 64`.
+    pub fn new(bits: u32) -> Result<Self, RtlError> {
+        if bits == 0 || bits > Self::MAX_BITS {
+            Err(RtlError::InvalidWidth { bits })
+        } else {
+            Ok(Width(bits as u8))
+        }
+    }
+
+    /// The number of bits.
+    pub fn bits(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// The all-ones mask for this width.
+    pub fn mask(self) -> u64 {
+        if self.bits() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits()) - 1
+        }
+    }
+
+    /// The number of bits needed to address `depth` distinct locations
+    /// (at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RtlError::InvalidWidth`] when `depth < 2` would need zero
+    /// bits or exceeds the addressable range.
+    pub fn for_depth(depth: usize) -> Result<Self, RtlError> {
+        let bits = usize::BITS - depth.next_power_of_two().leading_zeros() - 1;
+        Width::new(bits.max(1))
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}b", self.0)
+    }
+}
+
+/// Masks `value` to `width` bits.
+///
+/// # Examples
+///
+/// ```
+/// use strober_rtl::{mask, Width};
+/// assert_eq!(mask(0x1FF, Width::new(8).unwrap()), 0xFF);
+/// ```
+pub fn mask(value: u64, width: Width) -> u64 {
+    value & width.mask()
+}
+
+/// Sign-extends a `width`-bit value to a full `i64`.
+///
+/// # Examples
+///
+/// ```
+/// use strober_rtl::{sign_extend, Width};
+/// assert_eq!(sign_extend(0xFF, Width::new(8).unwrap()), -1);
+/// assert_eq!(sign_extend(0x7F, Width::new(8).unwrap()), 127);
+/// ```
+pub fn sign_extend(value: u64, width: Width) -> i64 {
+    let shift = 64 - width.bits();
+    ((value << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bounds() {
+        assert!(Width::new(0).is_err());
+        assert!(Width::new(65).is_err());
+        assert_eq!(Width::new(1).unwrap(), Width::BIT);
+        assert_eq!(Width::new(64).unwrap().bits(), 64);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Width::BIT.mask(), 1);
+        assert_eq!(Width::new(8).unwrap().mask(), 0xFF);
+        assert_eq!(Width::W64.mask(), u64::MAX);
+    }
+
+    #[test]
+    fn sign_extension() {
+        let w4 = Width::new(4).unwrap();
+        assert_eq!(sign_extend(0b1000, w4), -8);
+        assert_eq!(sign_extend(0b0111, w4), 7);
+        assert_eq!(sign_extend(u64::MAX, Width::W64), -1);
+    }
+
+    #[test]
+    fn width_for_depth() {
+        assert_eq!(Width::for_depth(2).unwrap().bits(), 1);
+        assert_eq!(Width::for_depth(1024).unwrap().bits(), 10);
+        assert_eq!(Width::for_depth(1000).unwrap().bits(), 10);
+        assert_eq!(Width::for_depth(1025).unwrap().bits(), 11);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Width::W32.to_string(), "32b");
+    }
+}

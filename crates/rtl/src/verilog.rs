@@ -1,0 +1,437 @@
+//! Verilog emission — the "Chisel Verilog Backend" of the paper's replay
+//! flow (Fig. 5): any [`Design`] can be exported as self-contained,
+//! synthesizable Verilog-2001 for consumption by external CAD tools.
+//!
+//! Conventions:
+//!
+//! * One module with `clock` plus the design's ports.
+//! * Register and memory initial values are emitted as `initial` blocks
+//!   (the designs use power-on initialisation rather than a reset tree,
+//!   matching the simulators' semantics).
+//! * The IR's deterministic division-by-zero semantics (`x/0 = all ones`,
+//!   `x%0 = x`) and shift-saturation semantics are emitted as guarded
+//!   expressions so the Verilog matches the simulators bit-for-bit.
+//! * Hierarchical names are flattened with `_`; collisions get numeric
+//!   suffixes.
+
+use crate::design::Design;
+use crate::node::{BinOp, Node, NodeId, UnOp};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A name table that flattens hierarchical names and keeps them unique.
+struct Names {
+    taken: HashMap<String, u32>,
+    by_key: HashMap<String, String>,
+}
+
+impl Names {
+    fn new() -> Self {
+        Names {
+            taken: HashMap::new(),
+            by_key: HashMap::new(),
+        }
+    }
+
+    fn assign(&mut self, key: &str, preferred: &str) -> String {
+        if let Some(existing) = self.by_key.get(key) {
+            return existing.clone();
+        }
+        let base: String = preferred
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .collect();
+        let base = if base.starts_with(|c: char| c.is_ascii_digit()) {
+            format!("_{base}")
+        } else {
+            base
+        };
+        let count = self.taken.entry(base.clone()).or_insert(0);
+        let name = if *count == 0 {
+            base.clone()
+        } else {
+            format!("{base}_{count}")
+        };
+        *count += 1;
+        self.by_key.insert(key.to_owned(), name.clone());
+        name
+    }
+
+    fn get(&self, key: &str) -> &str {
+        &self.by_key[key]
+    }
+}
+
+fn width_decl(bits: u32) -> String {
+    if bits == 1 {
+        String::new()
+    } else {
+        format!("[{}:0] ", bits - 1)
+    }
+}
+
+/// Emits the design as a self-contained Verilog-2001 module.
+///
+/// # Errors
+///
+/// Returns the design's validation error if it is malformed.
+pub fn to_verilog(design: &Design) -> Result<String, crate::error::RtlError> {
+    design.validate()?;
+    let topo = design.topo_order()?;
+    let mut names = Names::new();
+    let mut v = String::new();
+
+    // Assign stable names: ports first, then registers/memories, then
+    // internal nets.
+    for p in design.ports() {
+        names.assign(&format!("port:{}", p.name()), p.name());
+    }
+    for (out_name, _) in design.outputs() {
+        names.assign(&format!("out:{out_name}"), out_name);
+    }
+    for (_, r) in design.registers() {
+        names.assign(&format!("reg:{}", r.name()), r.name());
+    }
+    for (_, m) in design.memories() {
+        names.assign(&format!("mem:{}", m.name()), m.name());
+    }
+    for (id, _, _) in design.nodes() {
+        names.assign(&format!("node:{id}"), &format!("n{}", id.index()));
+    }
+
+    let node_name = |names: &Names, id: NodeId| names.get(&format!("node:{id}")).to_owned();
+
+    // ---- module header ------------------------------------------------------
+    let mut port_list: Vec<String> = vec!["clock".to_owned()];
+    for p in design.ports() {
+        port_list.push(names.get(&format!("port:{}", p.name())).to_owned());
+    }
+    for (out_name, _) in design.outputs() {
+        port_list.push(names.get(&format!("out:{out_name}")).to_owned());
+    }
+    let module_name: String = design
+        .name()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    writeln!(v, "module {module_name} (").unwrap();
+    writeln!(v, "  {}", port_list.join(",\n  ")).unwrap();
+    writeln!(v, ");").unwrap();
+    writeln!(v, "  input clock;").unwrap();
+    for p in design.ports() {
+        writeln!(
+            v,
+            "  input {}{};",
+            width_decl(p.width().bits()),
+            names.get(&format!("port:{}", p.name()))
+        )
+        .unwrap();
+    }
+    for (out_name, id) in design.outputs() {
+        writeln!(
+            v,
+            "  output {}{};",
+            width_decl(design.width(*id).bits()),
+            names.get(&format!("out:{out_name}"))
+        )
+        .unwrap();
+    }
+    writeln!(v).unwrap();
+
+    // ---- state declarations ---------------------------------------------------
+    for (_, r) in design.registers() {
+        writeln!(
+            v,
+            "  reg {}{};",
+            width_decl(r.width().bits()),
+            names.get(&format!("reg:{}", r.name()))
+        )
+        .unwrap();
+    }
+    for (_, m) in design.memories() {
+        writeln!(
+            v,
+            "  reg {}{} [0:{}];",
+            width_decl(m.width().bits()),
+            names.get(&format!("mem:{}", m.name())),
+            m.depth() - 1
+        )
+        .unwrap();
+    }
+    writeln!(v).unwrap();
+
+    // ---- combinational nets ------------------------------------------------------
+    for id in topo.iter() {
+        let w = design.width(id);
+        let n = node_name(&names, id);
+        let bits = w.bits();
+        let expr: String = match *design.node(id) {
+            Node::Input(p) => names
+                .get(&format!("port:{}", design.ports()[p.index()].name()))
+                .to_owned(),
+            Node::Const(c) => format!("{bits}'h{c:x}"),
+            Node::RegOut(r) => names
+                .get(&format!("reg:{}", design.register(r).name()))
+                .to_owned(),
+            Node::Wire(wid) => {
+                let src = design.wire_driver(wid).expect("validated");
+                node_name(&names, src)
+            }
+            Node::Slice { a, hi, lo } => {
+                format!("{}[{}:{}]", node_name(&names, a), hi, lo)
+            }
+            Node::Cat { hi, lo } => format!(
+                "{{{}, {}}}",
+                node_name(&names, hi),
+                node_name(&names, lo)
+            ),
+            Node::Mux { sel, t, f } => format!(
+                "{} ? {} : {}",
+                node_name(&names, sel),
+                node_name(&names, t),
+                node_name(&names, f)
+            ),
+            Node::Unary { op, a } => {
+                let an = node_name(&names, a);
+                match op {
+                    UnOp::Not => format!("~{an}"),
+                    UnOp::Neg => format!("-{an}"),
+                    UnOp::RedAnd => format!("&{an}"),
+                    UnOp::RedOr => format!("|{an}"),
+                    UnOp::RedXor => format!("^{an}"),
+                }
+            }
+            Node::Binary { op, a, b } => {
+                let aw = design.width(a).bits();
+                let an = node_name(&names, a);
+                let bn = node_name(&names, b);
+                match op {
+                    BinOp::Add => format!("{an} + {bn}"),
+                    BinOp::Sub => format!("{an} - {bn}"),
+                    BinOp::Mul => format!("{an} * {bn}"),
+                    BinOp::DivU => format!(
+                        "({bn} == {aw}'h0) ? {{{aw}{{1'b1}}}} : ({an} / {bn})"
+                    ),
+                    BinOp::RemU => format!("({bn} == {aw}'h0) ? {an} : ({an} % {bn})"),
+                    BinOp::And => format!("{an} & {bn}"),
+                    BinOp::Or => format!("{an} | {bn}"),
+                    BinOp::Xor => format!("{an} ^ {bn}"),
+                    BinOp::Shl => format!("{an} << {bn}"),
+                    BinOp::Shr => format!("{an} >> {bn}"),
+                    BinOp::Sra => format!(
+                        "$signed({an}) >>> (({bn} > {w}) ? {w} : {bn})",
+                        w = aw - 1
+                    ),
+                    BinOp::Eq => format!("{an} == {bn}"),
+                    BinOp::Neq => format!("{an} != {bn}"),
+                    BinOp::Ltu => format!("{an} < {bn}"),
+                    BinOp::Leu => format!("{an} <= {bn}"),
+                    BinOp::Lts => format!("$signed({an}) < $signed({bn})"),
+                    BinOp::Les => format!("$signed({an}) <= $signed({bn})"),
+                }
+            }
+            Node::MemRead { mem, port } => {
+                let m = design.memory(mem);
+                let addr = m.read_ports()[port].addr();
+                format!(
+                    "{}[{}]",
+                    names.get(&format!("mem:{}", m.name())),
+                    node_name(&names, addr)
+                )
+            }
+        };
+        writeln!(v, "  wire {}{} = {};", width_decl(bits), n, expr).unwrap();
+    }
+    writeln!(v).unwrap();
+
+    // ---- outputs -------------------------------------------------------------------
+    for (out_name, id) in design.outputs() {
+        writeln!(
+            v,
+            "  assign {} = {};",
+            names.get(&format!("out:{out_name}")),
+            node_name(&names, *id)
+        )
+        .unwrap();
+    }
+    writeln!(v).unwrap();
+
+    // ---- initial state ----------------------------------------------------------------
+    if design.memory_count() > 0 {
+        writeln!(v, "  integer init_i;").unwrap();
+    }
+    writeln!(v, "  initial begin").unwrap();
+    for (_, r) in design.registers() {
+        writeln!(
+            v,
+            "    {} = {}'h{:x};",
+            names.get(&format!("reg:{}", r.name())),
+            r.width().bits(),
+            r.init()
+        )
+        .unwrap();
+    }
+    for (_, m) in design.memories() {
+        let mn = names.get(&format!("mem:{}", m.name())).to_owned();
+        // Zero-fill first so four-state simulators start from defined
+        // values, then apply the nonzero initial image on top.
+        writeln!(
+            v,
+            "    for (init_i = 0; init_i < {}; init_i = init_i + 1)",
+            m.depth()
+        )
+        .unwrap();
+        writeln!(v, "      {mn}[init_i] = {}'h0;", m.width().bits()).unwrap();
+        for addr in 0..m.depth() {
+            let value = m.init().get(addr).copied().unwrap_or(0);
+            if value != 0 {
+                writeln!(v, "    {mn}[{addr}] = {}'h{value:x};", m.width().bits()).unwrap();
+            }
+        }
+    }
+    writeln!(v, "  end").unwrap();
+    writeln!(v).unwrap();
+
+    // ---- sequential logic ------------------------------------------------------------
+    writeln!(v, "  always @(posedge clock) begin").unwrap();
+    for (_, r) in design.registers() {
+        let rn = names.get(&format!("reg:{}", r.name())).to_owned();
+        let next = node_name(&names, r.next().expect("validated"));
+        match r.enable() {
+            Some(en) => writeln!(
+                v,
+                "    if ({}) {rn} <= {next};",
+                node_name(&names, en)
+            )
+            .unwrap(),
+            None => writeln!(v, "    {rn} <= {next};").unwrap(),
+        }
+    }
+    for (_, m) in design.memories() {
+        let mn = names.get(&format!("mem:{}", m.name())).to_owned();
+        for wp in m.write_ports() {
+            writeln!(
+                v,
+                "    if ({}) {mn}[{}] <= {};",
+                node_name(&names, wp.enable()),
+                node_name(&names, wp.addr()),
+                node_name(&names, wp.data())
+            )
+            .unwrap();
+        }
+    }
+    writeln!(v, "  end").unwrap();
+    writeln!(v, "endmodule").unwrap();
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Width;
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    fn counter() -> Design {
+        let mut d = Design::new("counter");
+        let en = d.input("en", Width::BIT).unwrap();
+        let r = d.reg("core/count", w(8), 3).unwrap();
+        let q = d.reg_out(r);
+        let one = d.constant(1, w(8));
+        let next = d.add(q, one).unwrap();
+        d.connect_reg(r, next, Some(en)).unwrap();
+        d.output("value", q).unwrap();
+        d
+    }
+
+    #[test]
+    fn counter_emits_expected_constructs() {
+        let text = to_verilog(&counter()).unwrap();
+        assert!(text.starts_with("module counter ("));
+        assert!(text.contains("input clock;"));
+        assert!(text.contains("input en;"));
+        assert!(text.contains("output [7:0] value;"));
+        assert!(text.contains("reg [7:0] core_count;"));
+        assert!(text.contains("core_count = 8'h3;"));
+        assert!(text.contains("always @(posedge clock)"));
+        assert!(text.contains("if (")); // the enable guard
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn memory_emission() {
+        let mut d = Design::new("ram");
+        let m = d.mem("buf", w(16), 8, vec![7, 0, 9]).unwrap();
+        let addr = d.input("addr", w(3)).unwrap();
+        let data = d.input("data", w(16)).unwrap();
+        let we = d.input("we", Width::BIT).unwrap();
+        let rd = d.mem_read(m, addr).unwrap();
+        d.mem_write(m, addr, data, we).unwrap();
+        d.output("q", rd).unwrap();
+        let text = to_verilog(&d).unwrap();
+        assert!(text.contains("reg [15:0] buf [0:7];"));
+        assert!(text.contains("buf[0] = 16'h7;"));
+        assert!(text.contains("buf[2] = 16'h9;"));
+        // Write ports reference the internal node wires.
+        let has_mem_write = text
+            .lines()
+            .any(|l| l.contains("if (") && l.contains("buf[") && l.contains("<="));
+        assert!(has_mem_write, "missing memory write:\n{text}");
+        let has_mem_read = text.lines().any(|l| l.contains("= buf["));
+        assert!(has_mem_read, "missing memory read:\n{text}");
+    }
+
+    #[test]
+    fn hierarchical_names_flatten_without_collisions() {
+        let mut d = Design::new("t");
+        let r1 = d.reg("a/b", Width::BIT, 0).unwrap();
+        let r2 = d.reg("a_b", Width::BIT, 0).unwrap();
+        let q1 = d.reg_out(r1);
+        let q2 = d.reg_out(r2);
+        d.connect_reg(r1, q2, None).unwrap();
+        d.connect_reg(r2, q1, None).unwrap();
+        d.output("o", q1).unwrap();
+        let text = to_verilog(&d).unwrap();
+        assert!(text.contains("reg a_b;"));
+        assert!(text.contains("reg a_b_1;"));
+    }
+
+    #[test]
+    fn random_designs_emit_without_panicking() {
+        // Every operator must have an emission rule; exercise the full
+        // set via direct construction.
+        let mut d = Design::new("ops");
+        let a = d.input("a", w(13)).unwrap();
+        let b = d.input("b", w(13)).unwrap();
+        use crate::node::{BinOp::*, UnOp::*};
+        for (i, op) in [
+            Add, Sub, Mul, DivU, RemU, And, Or, Xor, Shl, Shr, Sra, Eq, Neq, Ltu, Leu, Lts, Les,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let n = d.binary(op, a, b).unwrap();
+            d.output(format!("bin{i}"), n).unwrap();
+        }
+        for (i, op) in [Not, Neg, RedAnd, RedOr, RedXor].into_iter().enumerate() {
+            let n = d.unary(op, a);
+            d.output(format!("un{i}"), n).unwrap();
+        }
+        let s = d.slice(a, 7, 3).unwrap();
+        let c = d.cat(s, b).unwrap();
+        d.output("cat", c).unwrap();
+        let text = to_verilog(&d).unwrap();
+        assert!(text.contains(">>>")); // arithmetic shift present
+        assert!(text.contains("$signed"));
+        assert!(text.matches("endmodule").count() == 1);
+    }
+
+    #[test]
+    fn invalid_design_is_rejected() {
+        let mut d = Design::new("t");
+        let _unconnected = d.reg("r", w(4), 0).unwrap();
+        assert!(to_verilog(&d).is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the IR's operator semantics and bit manipulation.
+
+use proptest::prelude::*;
+use strober_rtl::{mask, sign_extend, BinOp, Design, UnOp, Width};
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    (1u32..=64).prop_map(|b| Width::new(b).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn masking_is_idempotent(v in any::<u64>(), w in arb_width()) {
+        let once = mask(v, w);
+        prop_assert_eq!(mask(once, w), once);
+        prop_assert!(once <= w.mask());
+    }
+
+    #[test]
+    fn sign_extension_preserves_low_bits(v in any::<u64>(), w in arb_width()) {
+        let masked = mask(v, w);
+        let ext = sign_extend(masked, w);
+        prop_assert_eq!(mask(ext as u64, w), masked);
+        // Extension result fits in the signed range of the width.
+        if w.bits() < 64 {
+            let bound = 1i64 << (w.bits() - 1);
+            prop_assert!((-bound..bound).contains(&ext));
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let (a, b) = (mask(a, w), mask(b, w));
+        let sum = BinOp::Add.eval(a, b, w);
+        prop_assert_eq!(BinOp::Sub.eval(sum, b, w), a);
+    }
+
+    #[test]
+    fn neg_is_sub_from_zero(a in any::<u64>(), w in arb_width()) {
+        let a = mask(a, w);
+        prop_assert_eq!(UnOp::Neg.eval(a, w), BinOp::Sub.eval(0, a, w));
+    }
+
+    #[test]
+    fn comparisons_are_consistent(a in any::<u64>(), b in any::<u64>(), w in arb_width()) {
+        let (a, b) = (mask(a, w), mask(b, w));
+        let ltu = BinOp::Ltu.eval(a, b, w) == 1;
+        let leu = BinOp::Leu.eval(a, b, w) == 1;
+        let eq = BinOp::Eq.eval(a, b, w) == 1;
+        prop_assert_eq!(leu, ltu || eq);
+        prop_assert_eq!(BinOp::Neq.eval(a, b, w) == 1, !eq);
+        // Signed compare agrees with sign extension.
+        let lts = BinOp::Lts.eval(a, b, w) == 1;
+        prop_assert_eq!(lts, sign_extend(a, w) < sign_extend(b, w));
+    }
+
+    #[test]
+    fn shift_then_unshift(a in any::<u64>(), sh in 0u64..8, ) {
+        let w = Width::new(32).unwrap();
+        let a = mask(a, w);
+        let shifted = BinOp::Shl.eval(a, sh, w);
+        let back = BinOp::Shr.eval(shifted, sh, w);
+        // Low bits survive the round trip except those pushed off the top.
+        let keep = Width::new(32 - sh as u32).unwrap();
+        prop_assert_eq!(mask(back, keep), mask(a, keep));
+    }
+
+    #[test]
+    fn division_identity(a in any::<u64>(), b in 1u64..1000, ) {
+        let w = Width::new(32).unwrap();
+        let (a, b) = (mask(a, w), mask(b, w));
+        let q = BinOp::DivU.eval(a, b, w);
+        let r = BinOp::RemU.eval(a, b, w);
+        prop_assert_eq!(q * b + r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn slice_cat_roundtrip(v in any::<u64>(), split in 1u32..32) {
+        // Build {hi, lo} = v[31:split], v[split-1:0] and re-concatenate.
+        let w32 = Width::new(32).unwrap();
+        let v = mask(v, w32);
+        let mut d = Design::new("prop");
+        let c = d.constant(v, w32);
+        let hi = d.slice(c, 31, split).unwrap();
+        let lo = d.slice(c, split - 1, 0).unwrap();
+        let back = d.cat(hi, lo).unwrap();
+        d.output("o", back).unwrap();
+        d.validate().unwrap();
+        let mut sim = strober_sim::Simulator::new(&d).unwrap();
+        prop_assert_eq!(sim.peek_output("o").unwrap(), v);
+    }
+
+    #[test]
+    fn reduction_semantics(v in any::<u64>(), w in arb_width()) {
+        let v = mask(v, w);
+        prop_assert_eq!(UnOp::RedOr.eval(v, w) == 1, v != 0);
+        prop_assert_eq!(UnOp::RedAnd.eval(v, w) == 1, v == w.mask());
+        prop_assert_eq!(UnOp::RedXor.eval(v, w), u64::from(v.count_ones() % 2 == 1));
+    }
+}

@@ -1,0 +1,47 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by statistical computations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// A sample of fewer than two measurements cannot produce a variance
+    /// estimate (eq. 4 divides by `n - 1`).
+    SampleTooSmall {
+        /// Number of measurements that were provided.
+        provided: usize,
+        /// Minimum number of measurements required.
+        required: usize,
+    },
+    /// A measurement was not a finite number.
+    NonFiniteMeasurement {
+        /// Index of the offending measurement.
+        index: usize,
+    },
+    /// A requested parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        constraint: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::SampleTooSmall { provided, required } => write!(
+                f,
+                "sample of {provided} measurements is too small (need at least {required})"
+            ),
+            StatsError::NonFiniteMeasurement { index } => {
+                write!(f, "measurement at index {index} is not finite")
+            }
+            StatsError::InvalidParameter { name, constraint } => {
+                write!(f, "invalid parameter `{name}`: {constraint}")
+            }
+        }
+    }
+}
+
+impl Error for StatsError {}

@@ -1,0 +1,283 @@
+//! Record-count models for reservoir sampling over very long streams.
+//!
+//! Table III of the paper reports the number of snapshot record operations
+//! for executions of up to 73 billion cycles. Running Algorithm R element by
+//! element over such a stream is wasteful: past the initial fill, records are
+//! rare (probability `n/k` at element `k`). [`RecordCountSim`] reproduces the
+//! exact record process in `O(records · log N)` time by sampling the gaps
+//! between successive records directly, in the spirit of Vitter's skip-based
+//! Algorithm X.
+
+use rand::Rng;
+
+/// Expected number of record operations when reservoir-sampling `n` elements
+/// from a stream of `m` elements:
+///
+/// `E[records] = n + Σ_{k=n+1}^{m} n/k = n · (1 + H_m − H_n)`.
+///
+/// For Strober, `m = N / L` is the number of disjoint replay windows in an
+/// `N`-cycle execution with replay length `L`.
+///
+/// # Examples
+///
+/// ```
+/// // Roughly n·(1 + ln(m/n)) for m >> n.
+/// let e = strober_sampling::expected_record_count(100, 73_390_000);
+/// assert!(e > 1_300.0 && e < 1_600.0);
+/// ```
+pub fn expected_record_count(n: usize, m: u64) -> f64 {
+    let nf = n as f64;
+    if m <= n as u64 {
+        return m as f64;
+    }
+    nf * (1.0 + harmonic(m) - harmonic(n as u64))
+}
+
+/// The record-count bound printed in §IV-E of the paper:
+/// `records ≈ 2n · ln((N/L)/n)`.
+///
+/// The factor of two is the paper's conservative safety margin over the
+/// exact expectation given by [`expected_record_count`].
+pub fn paper_record_count_model(n: usize, total_cycles: u64, replay_length: u64) -> f64 {
+    let m = total_cycles as f64 / replay_length as f64;
+    2.0 * n as f64 * (m / n as f64).ln()
+}
+
+/// Harmonic number `H_k`, switching to the asymptotic expansion for large `k`.
+fn harmonic(k: u64) -> f64 {
+    if k < 128 {
+        (1..=k).map(|i| 1.0 / i as f64).sum()
+    } else {
+        let kf = k as f64;
+        // H_k = ln k + γ + 1/(2k) − 1/(12k²) + O(k⁻⁴)
+        const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+        kf.ln() + EULER_GAMMA + 1.0 / (2.0 * kf) - 1.0 / (12.0 * kf * kf)
+    }
+}
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// Exact simulation of the reservoir record process using gap skipping.
+///
+/// Produces the same distribution of record positions as running
+/// [`crate::Reservoir`] element by element, but in time proportional to the
+/// number of records rather than the stream length — this is what makes
+/// Table III's 73-billion-cycle run measurable in microseconds.
+#[derive(Debug, Clone)]
+pub struct RecordCountSim {
+    n: usize,
+}
+
+impl RecordCountSim {
+    /// Creates a simulator for reservoir capacity `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "reservoir capacity must be nonzero");
+        RecordCountSim { n }
+    }
+
+    /// Log of the survival probability that *no* record occurs in elements
+    /// `k+1 ..= m`:
+    ///
+    /// `ln Π_{j=k+1}^{m} (1 − n/j) = ln [ Γ(m−n+1)·Γ(k+1) / (Γ(m+1)·Γ(k−n+1)) ]`.
+    fn log_survival(&self, k: u64, m: u64) -> f64 {
+        let n = self.n as f64;
+        let k = k as f64;
+        let m = m as f64;
+        ln_gamma(m - n + 1.0) + ln_gamma(k + 1.0) - ln_gamma(m + 1.0) - ln_gamma(k - n + 1.0)
+    }
+
+    /// Position of the next record strictly after element `k`, given a
+    /// stream that ends at `stream_len`, or `None` if no further record
+    /// occurs.
+    fn next_record<R: Rng + ?Sized>(&self, k: u64, stream_len: u64, rng: &mut R) -> Option<u64> {
+        debug_assert!(k >= self.n as u64);
+        if k >= stream_len {
+            return None;
+        }
+        let lu = rng.gen_range(f64::MIN_POSITIVE..1.0f64).ln();
+        if self.log_survival(k, stream_len) > lu {
+            // Even surviving to the end of the stream is more likely than u.
+            return None;
+        }
+        // Binary search the smallest m with log_survival(k, m) <= ln(u).
+        let (mut lo, mut hi) = (k + 1, stream_len);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.log_survival(k, mid) <= lu {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Simulates the record process over a stream of `stream_len` elements
+    /// and returns the total number of record operations (including the
+    /// initial reservoir fill).
+    pub fn simulate_records<R: Rng + ?Sized>(&self, stream_len: u64, rng: &mut R) -> u64 {
+        let n = self.n as u64;
+        if stream_len <= n {
+            return stream_len;
+        }
+        let mut records = n;
+        let mut pos = n;
+        while let Some(next) = self.next_record(pos, stream_len, rng) {
+            records += 1;
+            pos = next;
+        }
+        records
+    }
+
+    /// Simulates the record process and returns the positions (1-based
+    /// element indices) at which records occurred, after the initial fill.
+    pub fn simulate_record_positions<R: Rng + ?Sized>(
+        &self,
+        stream_len: u64,
+        rng: &mut R,
+    ) -> Vec<u64> {
+        let n = self.n as u64;
+        let mut positions: Vec<u64> = (1..=n.min(stream_len)).collect();
+        let mut pos = n;
+        while pos < stream_len {
+            match self.next_record(pos, stream_len, rng) {
+                Some(next) => {
+                    positions.push(next);
+                    pos = next;
+                }
+                None => break,
+            }
+        }
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reservoir;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn harmonic_matches_direct_sum() {
+        let direct: f64 = (1..=1000u64).map(|i| 1.0 / i as f64).sum();
+        assert!((harmonic(1000) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_record_count_short_stream_is_stream_len() {
+        assert_eq!(expected_record_count(100, 40), 40.0);
+    }
+
+    #[test]
+    fn skip_simulation_matches_direct_reservoir_statistics() {
+        // Compare the mean record count of the skip-based simulation with
+        // the element-by-element Algorithm R over many trials.
+        let n = 20;
+        let len = 5_000u64;
+        let trials = 300;
+        let mut rng = StdRng::seed_from_u64(11);
+
+        let sim = RecordCountSim::new(n);
+        let mean_skip: f64 = (0..trials)
+            .map(|_| sim.simulate_records(len, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+
+        let mean_direct: f64 = (0..trials)
+            .map(|_| {
+                let mut res = Reservoir::new(n);
+                for i in 0..len {
+                    res.offer(i, &mut rng);
+                }
+                res.records() as f64
+            })
+            .sum::<f64>()
+            / trials as f64;
+
+        let expected = expected_record_count(n, len);
+        assert!(
+            (mean_skip - expected).abs() / expected < 0.05,
+            "skip mean {mean_skip} vs expectation {expected}"
+        );
+        assert!(
+            (mean_direct - expected).abs() / expected < 0.05,
+            "direct mean {mean_direct} vs expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn table3_scale_record_counts_are_in_the_paper_band() {
+        // gcc in Table III: 73.39e9 cycles, record count 1497. With L = 1000
+        // and n = 100 the exact process lands in the same band.
+        let mut rng = StdRng::seed_from_u64(12);
+        let sim = RecordCountSim::new(100);
+        let m = 73_390_000_000u64 / 1000;
+        let records = sim.simulate_records(m, &mut rng);
+        assert!(
+            (1_200..=1_700).contains(&records),
+            "record count {records} outside Table III band"
+        );
+    }
+
+    #[test]
+    fn record_positions_are_increasing_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sim = RecordCountSim::new(10);
+        let pos = sim.simulate_record_positions(100_000, &mut rng);
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        assert!(*pos.last().unwrap() <= 100_000);
+        assert!(pos.len() as f64 > 10.0);
+    }
+
+    #[test]
+    fn paper_model_is_a_conservative_upper_bound() {
+        let n = 100;
+        let total = 73_390_000_000u64;
+        let l = 1000;
+        let paper = paper_record_count_model(n, total, l);
+        let exact = expected_record_count(n, total / l);
+        assert!(paper > exact, "paper bound {paper} below expectation {exact}");
+    }
+}

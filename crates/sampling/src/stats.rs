@@ -1,0 +1,400 @@
+//! Population and sample statistics (eqs. 1–8 of the paper).
+
+use crate::error::StatsError;
+use crate::normal::z_quantile;
+
+/// A confidence level `1 − α` for an interval estimate.
+///
+/// The paper reports intervals at 99% and 99.9%; arbitrary levels are also
+/// supported through [`Confidence::Level`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Confidence {
+    /// 95% confidence (`z ≈ 1.960`).
+    C95,
+    /// 99% confidence (`z ≈ 2.576`), used for Fig. 8 of the paper.
+    C99,
+    /// 99.9% confidence (`z ≈ 3.291`), the level quoted in the abstract.
+    C999,
+    /// An arbitrary confidence level in `(0, 1)`.
+    Level(f64),
+}
+
+impl Confidence {
+    /// The confidence level as a probability in `(0, 1)`.
+    pub fn level(self) -> f64 {
+        match self {
+            Confidence::C95 => 0.95,
+            Confidence::C99 => 0.99,
+            Confidence::C999 => 0.999,
+            Confidence::Level(p) => p,
+        }
+    }
+
+    /// The two-sided z-value `z₁₋α/2` for this confidence level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Confidence::Level`] value is not strictly between 0
+    /// and 1.
+    pub fn z(self) -> f64 {
+        z_quantile(self.level())
+    }
+}
+
+/// A two-sided confidence interval `x̄ ± z·√Var(x̄)` (eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    mean: f64,
+    half_width: f64,
+    confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Creates an interval centred on `mean` with the given half width at the
+    /// given confidence level.
+    pub fn new(mean: f64, half_width: f64, confidence: f64) -> Self {
+        ConfidenceInterval {
+            mean,
+            half_width,
+            confidence,
+        }
+    }
+
+    /// The centre of the interval (the point estimate).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The half width `z·√Var(x̄)` of the interval.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// The lower endpoint.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// The upper endpoint.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// The confidence level in `(0, 1)`.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The half width expressed relative to the mean (the paper's `ε`).
+    ///
+    /// Returns infinity when the mean is zero.
+    pub fn relative_error_bound(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+
+    /// Whether `value` lies within the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.6} ± {:.6} ({}% confidence)",
+            self.mean,
+            self.half_width,
+            self.confidence * 100.0
+        )
+    }
+}
+
+/// Exact statistics of a fully measured population (eqs. 1–2).
+///
+/// Used by the validation experiments (Fig. 8) where the "true" average power
+/// of a microbenchmark is computed by measuring every cycle of a complete
+/// gate-level run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationStats {
+    size: usize,
+    mean: f64,
+    variance: f64,
+}
+
+impl PopulationStats {
+    /// Measures every element of a population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::SampleTooSmall`] for an empty population and
+    /// [`StatsError::NonFiniteMeasurement`] if any element is NaN or
+    /// infinite.
+    pub fn from_measurements(values: &[f64]) -> Result<Self, StatsError> {
+        if values.is_empty() {
+            return Err(StatsError::SampleTooSmall {
+                provided: 0,
+                required: 1,
+            });
+        }
+        validate_finite(values)?;
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        // Eq. 2 of the paper normalises by N (population variance).
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Ok(PopulationStats {
+            size: values.len(),
+            mean,
+            variance,
+        })
+    }
+
+    /// The population size `N`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The population mean `X̄` (eq. 1).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance `s²` (eq. 2).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+}
+
+/// Statistics of a random sample drawn without replacement (eqs. 3–8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    size: usize,
+    mean: f64,
+    variance: f64,
+}
+
+impl SampleStats {
+    /// Computes the sample mean and the unbiased sample variance
+    /// (eqs. 3 and 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::SampleTooSmall`] when fewer than two
+    /// measurements are provided (the variance estimator divides by `n − 1`)
+    /// and [`StatsError::NonFiniteMeasurement`] for NaN/infinite inputs.
+    pub fn from_measurements(values: &[f64]) -> Result<Self, StatsError> {
+        if values.len() < 2 {
+            return Err(StatsError::SampleTooSmall {
+                provided: values.len(),
+                required: 2,
+            });
+        }
+        validate_finite(values)?;
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        Ok(SampleStats {
+            size: values.len(),
+            mean,
+            variance,
+        })
+    }
+
+    /// The sample size `n`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The sample mean `x̄` (eq. 3), the estimator of the population mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The unbiased sample variance `s²ₓ` (eq. 4).
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Estimate of the population variance `s²` (eq. 5).
+    pub fn population_variance_estimate(&self, population_size: usize) -> f64 {
+        let n_pop = population_size as f64;
+        (n_pop - 1.0) * self.variance / n_pop
+    }
+
+    /// Estimate of the sampling variance `Var(x̄)` for a population of size
+    /// `N` (eq. 6), including the finite-population correction `(N − n)/N`.
+    pub fn sampling_variance(&self, population_size: usize) -> f64 {
+        let n_pop = population_size as f64;
+        let n = self.size as f64;
+        self.variance * (n_pop - n) / (n_pop * n)
+    }
+
+    /// The normal-theory confidence interval `x̄ ± z·√Var(x̄)` (eq. 7).
+    ///
+    /// `population_size` is the number of elements the sample was drawn from
+    /// (for Strober, the number of disjoint replay windows in the program's
+    /// execution).
+    pub fn confidence_interval(
+        &self,
+        population_size: usize,
+        confidence: Confidence,
+    ) -> ConfidenceInterval {
+        let var = self.sampling_variance(population_size).max(0.0);
+        ConfidenceInterval::new(self.mean, confidence.z() * var.sqrt(), confidence.level())
+    }
+
+    /// The minimum sample size needed for a relative error of at most
+    /// `epsilon` at the given confidence level (eq. 8):
+    ///
+    /// `n ≥ max(z²·s²ₓ / (ε²·x̄²), 30)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `epsilon` is not
+    /// positive or the sample mean is zero (relative error undefined).
+    pub fn minimum_sample_size(
+        &self,
+        epsilon: f64,
+        confidence: Confidence,
+    ) -> Result<usize, StatsError> {
+        // The negated form deliberately treats NaN as invalid.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(epsilon > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "epsilon",
+                constraint: "must be a positive finite number",
+            });
+        }
+        if self.mean == 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                constraint: "sample mean must be nonzero for a relative error bound",
+            });
+        }
+        let z = confidence.z();
+        let n = z * z * self.variance / (epsilon * epsilon * self.mean * self.mean);
+        Ok((n.ceil() as usize).max(30))
+    }
+
+    /// Whether this sample is large enough for the central-limit-theorem
+    /// normality assumption used by eq. 7 (the paper requires `n > 30`).
+    pub fn satisfies_clt(&self) -> bool {
+        self.size >= 30
+    }
+}
+
+fn validate_finite(values: &[f64]) -> Result<(), StatsError> {
+    for (index, v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(StatsError::NonFiniteMeasurement { index });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<f64> {
+        (0..40).map(|i| 10.0 + ((i * 7) % 11) as f64 * 0.1).collect()
+    }
+
+    #[test]
+    fn population_mean_and_variance_match_definitions() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let p = PopulationStats::from_measurements(&values).unwrap();
+        assert_eq!(p.size(), 4);
+        assert!((p.mean() - 2.5).abs() < 1e-12);
+        // Population variance normalises by N: ((1.5)^2*2 + (0.5)^2*2)/4 = 1.25
+        assert!((p.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_uses_bessel_correction() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        let s = SampleStats::from_measurements(&values).unwrap();
+        // Sample variance normalises by n-1: 5/3
+        assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_variance_has_finite_population_correction() {
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        // Sampling the whole population leaves no sampling variance.
+        assert!(s.sampling_variance(s.size()).abs() < 1e-12);
+        // A huge population approaches s^2/n.
+        let v = s.sampling_variance(1_000_000_000);
+        assert!((v - s.variance() / s.size() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_shrinks_with_confidence_level() {
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        let c95 = s.confidence_interval(10_000, Confidence::C95);
+        let c999 = s.confidence_interval(10_000, Confidence::C999);
+        assert!(c999.half_width() > c95.half_width());
+        assert_eq!(c95.mean(), c999.mean());
+    }
+
+    #[test]
+    fn interval_endpoints_are_symmetric() {
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        let ci = s.confidence_interval(10_000, Confidence::C99);
+        assert!((ci.upper() + ci.lower() - 2.0 * ci.mean()).abs() < 1e-12);
+        assert!(ci.contains(ci.mean()));
+        assert!(!ci.contains(ci.upper() + 1.0));
+    }
+
+    #[test]
+    fn minimum_sample_size_floors_at_30() {
+        // A nearly constant sample needs very few measurements; eq. 8 still
+        // demands 30 for the CLT.
+        let values: Vec<f64> = (0..32).map(|i| 100.0 + (i % 2) as f64 * 1e-6).collect();
+        let s = SampleStats::from_measurements(&values).unwrap();
+        assert_eq!(
+            s.minimum_sample_size(0.05, Confidence::C999).unwrap(),
+            30
+        );
+    }
+
+    #[test]
+    fn minimum_sample_size_grows_with_variance() {
+        let tight: Vec<f64> = (0..31).map(|i| 100.0 + (i % 3) as f64).collect();
+        let loose: Vec<f64> = (0..31).map(|i| 100.0 + ((i % 3) as f64) * 40.0).collect();
+        let s_tight = SampleStats::from_measurements(&tight).unwrap();
+        let s_loose = SampleStats::from_measurements(&loose).unwrap();
+        let n_tight = s_tight.minimum_sample_size(0.01, Confidence::C99).unwrap();
+        let n_loose = s_loose.minimum_sample_size(0.01, Confidence::C99).unwrap();
+        assert!(n_loose > n_tight);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(matches!(
+            SampleStats::from_measurements(&[1.0]),
+            Err(StatsError::SampleTooSmall { .. })
+        ));
+        assert!(matches!(
+            SampleStats::from_measurements(&[1.0, f64::NAN]),
+            Err(StatsError::NonFiniteMeasurement { index: 1 })
+        ));
+        assert!(matches!(
+            PopulationStats::from_measurements(&[]),
+            Err(StatsError::SampleTooSmall { .. })
+        ));
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        assert!(s.minimum_sample_size(0.0, Confidence::C99).is_err());
+    }
+
+    #[test]
+    fn population_variance_estimate_tracks_sample_variance() {
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        let est = s.population_variance_estimate(1_000_000);
+        assert!((est - s.variance()).abs() / s.variance() < 1e-5);
+    }
+}

@@ -1,0 +1,81 @@
+//! The §II argument for reservoir sampling: SMARTS-style fixed-interval
+//! sampling assumes "no aliasing along the fixed interval", which fails on
+//! periodic workloads; random sampling without replacement makes no such
+//! assumption. This test constructs the failure directly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strober_sampling::{Confidence, PopulationStats, Reservoir, SampleStats};
+
+/// A periodic per-window power sequence: high phase then low phase, period
+/// `period`, amplitudes chosen so the true mean is 100.
+fn periodic_population(windows: usize, period: usize) -> Vec<f64> {
+    (0..windows)
+        .map(|i| if (i / (period / 2)) % 2 == 0 { 150.0 } else { 50.0 })
+        .collect()
+}
+
+fn fixed_interval_sample(pop: &[f64], interval: usize, phase: usize) -> Vec<f64> {
+    pop.iter()
+        .skip(phase)
+        .step_by(interval)
+        .copied()
+        .collect()
+}
+
+#[test]
+fn fixed_interval_sampling_aliases_on_periodic_workloads() {
+    let period = 64;
+    let pop = periodic_population(8192, period);
+    let truth = PopulationStats::from_measurements(&pop).unwrap().mean();
+    assert!((truth - 100.0).abs() < 1.0);
+
+    // A fixed interval equal to the workload period lands every sample in
+    // the same phase: the estimate is off by 50%, and worse, the sample
+    // variance is zero, so the method is *confidently wrong*.
+    let aliased = fixed_interval_sample(&pop, period, 3);
+    let stats = SampleStats::from_measurements(&aliased[..30]).unwrap();
+    let err = (stats.mean() - truth).abs() / truth;
+    assert!(err > 0.4, "expected gross aliasing error, got {err}");
+    let ci = stats.confidence_interval(pop.len(), Confidence::C99);
+    assert!(
+        !ci.contains(truth),
+        "the aliased interval claims certainty about a wrong mean"
+    );
+    assert!(ci.half_width() < 1e-9, "aliased variance collapses to zero");
+}
+
+#[test]
+fn reservoir_sampling_is_immune_to_the_same_period() {
+    let period = 64;
+    let pop = periodic_population(8192, period);
+    let truth = PopulationStats::from_measurements(&pop).unwrap().mean();
+
+    // Repeat the experiment over many seeds: the random estimator must be
+    // unbiased and its intervals must cover the truth at ~the stated rate.
+    let mut covered = 0;
+    let trials = 40;
+    let mut errs = Vec::new();
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(30);
+        for &x in &pop {
+            res.offer(x, &mut rng);
+        }
+        let sample = res.into_sample();
+        let stats = SampleStats::from_measurements(&sample).unwrap();
+        let ci = stats.confidence_interval(pop.len(), Confidence::C99);
+        if ci.contains(truth) {
+            covered += 1;
+        }
+        errs.push((stats.mean() - truth) / truth);
+    }
+    // 99% nominal coverage; allow generous slack for 40 trials.
+    assert!(
+        covered >= trials - 3,
+        "coverage {covered}/{trials} too low for a 99% interval"
+    );
+    // Unbiased: the mean signed error is near zero.
+    let bias: f64 = errs.iter().sum::<f64>() / errs.len() as f64;
+    assert!(bias.abs() < 0.05, "estimator bias {bias}");
+}

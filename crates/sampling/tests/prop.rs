@@ -1,0 +1,123 @@
+//! Property tests for the statistics and reservoir-sampling invariants the
+//! methodology rests on (§III-A).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use strober_sampling::{
+    expected_record_count, Confidence, PopulationStats, RecordCountSim, Reservoir, SampleStats,
+};
+
+proptest! {
+    #[test]
+    fn reservoir_holds_min_of_n_and_stream(
+        seed in any::<u64>(),
+        n in 1usize..50,
+        len in 0u64..500,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(n);
+        for i in 0..len {
+            res.offer(i, &mut rng);
+        }
+        prop_assert_eq!(res.sample().len() as u64, len.min(n as u64));
+        prop_assert_eq!(res.seen(), len);
+        // Every sampled element came from the stream, without duplicates.
+        let mut s = res.into_sample();
+        s.sort_unstable();
+        let before = s.len();
+        s.dedup();
+        prop_assert_eq!(s.len(), before, "duplicate element selected");
+        prop_assert!(s.iter().all(|&v| v < len));
+    }
+
+    #[test]
+    fn record_count_at_least_sample_size(
+        seed in any::<u64>(),
+        n in 1usize..40,
+        len in 1u64..2_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut res = Reservoir::new(n);
+        for i in 0..len {
+            res.offer(i, &mut rng);
+        }
+        prop_assert!(res.records() >= len.min(n as u64));
+        prop_assert!(res.records() <= len);
+    }
+
+    #[test]
+    fn skip_simulation_bounds(seed in any::<u64>(), n in 1usize..30, len in 1u64..5_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = RecordCountSim::new(n);
+        let records = sim.simulate_records(len, &mut rng);
+        prop_assert!(records >= len.min(n as u64));
+        prop_assert!(records <= len);
+    }
+
+    #[test]
+    fn record_positions_sorted_unique(seed in any::<u64>(), n in 1usize..20, len in 1u64..3_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = RecordCountSim::new(n);
+        let pos = sim.simulate_record_positions(len, &mut rng);
+        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pos.iter().all(|&p| p >= 1 && p <= len));
+    }
+
+    #[test]
+    fn expected_records_monotone_in_stream_length(n in 1usize..50, m in 2u64..1_000_000) {
+        let shorter = expected_record_count(n, m / 2);
+        let longer = expected_record_count(n, m);
+        prop_assert!(longer >= shorter);
+    }
+
+    #[test]
+    fn sample_mean_inside_its_own_interval(
+        values in proptest::collection::vec(0.0f64..1.0e6, 2..200),
+        pop_scale in 2usize..100,
+    ) {
+        let stats = SampleStats::from_measurements(&values).unwrap();
+        let population = values.len() * pop_scale;
+        for conf in [Confidence::C95, Confidence::C99, Confidence::C999] {
+            let ci = stats.confidence_interval(population, conf);
+            prop_assert!(ci.contains(stats.mean()));
+            prop_assert!(ci.half_width() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn interval_width_monotone_in_confidence(
+        values in proptest::collection::vec(0.0f64..1.0e3, 2..100),
+    ) {
+        let stats = SampleStats::from_measurements(&values).unwrap();
+        let c95 = stats.confidence_interval(100_000, Confidence::C95);
+        let c99 = stats.confidence_interval(100_000, Confidence::C99);
+        let c999 = stats.confidence_interval(100_000, Confidence::C999);
+        prop_assert!(c95.half_width() <= c99.half_width());
+        prop_assert!(c99.half_width() <= c999.half_width());
+    }
+
+    #[test]
+    fn sampling_the_whole_population_is_exact(
+        values in proptest::collection::vec(-1.0e4f64..1.0e4, 2..100),
+    ) {
+        // When the sample IS the population, Var(x̄) = 0 and the interval
+        // collapses onto the population mean.
+        let sample = SampleStats::from_measurements(&values).unwrap();
+        let pop = PopulationStats::from_measurements(&values).unwrap();
+        let ci = sample.confidence_interval(values.len(), Confidence::C999);
+        prop_assert!((ci.mean() - pop.mean()).abs() < 1e-9);
+        prop_assert!(ci.half_width().abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimum_sample_size_shrinks_with_looser_epsilon(
+        values in proptest::collection::vec(1.0f64..1.0e3, 31..100),
+    ) {
+        let stats = SampleStats::from_measurements(&values).unwrap();
+        let tight = stats.minimum_sample_size(0.01, Confidence::C99).unwrap();
+        let loose = stats.minimum_sample_size(0.10, Confidence::C99).unwrap();
+        prop_assert!(loose <= tight);
+        prop_assert!(loose >= 30);
+    }
+}

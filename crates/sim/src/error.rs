@@ -1,0 +1,45 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A named port or output does not exist in the design.
+    UnknownName {
+        /// What kind of thing was looked up.
+        kind: &'static str,
+        /// The name that was not found.
+        name: String,
+    },
+    /// A poked value does not fit the port's width.
+    ValueTooWide {
+        /// The port's name.
+        port: String,
+        /// The value that was poked.
+        value: u64,
+        /// The port's width in bits.
+        width: u32,
+    },
+    /// A restored state does not match the design's shape.
+    StateShapeMismatch {
+        /// Description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownName { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            SimError::ValueTooWide { port, value, width } => {
+                write!(f, "value {value:#x} too wide for {width}-bit port `{port}`")
+            }
+            SimError::StateShapeMismatch { what } => {
+                write!(f, "state shape mismatch: {what}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}

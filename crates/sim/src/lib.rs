@@ -1,0 +1,60 @@
+//! Fast cycle-accurate RTL simulation.
+//!
+//! This crate provides the execution substrate that plays the FPGA's role in
+//! the Strober flow (§IV-B of the paper): a fast, cycle-exact simulator for
+//! any [`strober_rtl::Design`]. Where the paper maps the FAME1-transformed
+//! design onto FPGA fabric, we compile the design's combinational graph once
+//! into a flat *op tape* — a topologically ordered array of pre-resolved
+//! operations — and evaluate it per cycle. The tape simulator is orders of
+//! magnitude faster than gate-level simulation of the same design, which is
+//! precisely the speed differential the sample-based methodology exploits.
+//!
+//! Two engines are provided:
+//!
+//! * [`Simulator`] — the compiled-tape engine used everywhere.
+//! * [`NaiveInterpreter`] — a deliberately simple tree-walking reference
+//!   engine, used for differential testing and as the slow baseline in the
+//!   ablation benchmarks.
+//!
+//! Both engines implement identical semantics: combinational settle, then
+//! clock edge (registers capture, memory writes commit).
+//!
+//! # Examples
+//!
+//! ```
+//! use strober_dsl::Ctx;
+//! use strober_rtl::Width;
+//! use strober_sim::Simulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = Ctx::new("counter");
+//! let w8 = Width::new(8)?;
+//! let en = ctx.input("en", Width::BIT);
+//! let count = ctx.reg("count", w8, 0);
+//! count.set_en(&count.out().add_lit(1), &en);
+//! ctx.output("value", &count.out());
+//! let design = ctx.finish()?;
+//!
+//! let mut sim = Simulator::new(&design)?;
+//! sim.poke_by_name("en", 1)?;
+//! sim.step_n(5);
+//! assert_eq!(sim.peek_output("value")?, 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod error;
+mod interp;
+pub mod rand_design;
+mod state;
+mod tape;
+mod vcd;
+
+pub use error::SimError;
+pub use interp::NaiveInterpreter;
+pub use state::SimState;
+pub use tape::Simulator;
+pub use vcd::VcdTrace;

@@ -1,0 +1,607 @@
+//! The compiled-tape simulator.
+
+use crate::error::SimError;
+use crate::state::SimState;
+use std::collections::HashMap;
+use std::sync::Arc;
+use strober_rtl::{BinOp, Design, MemId, Node, NodeId, RegId, UnOp, Width};
+
+/// One pre-resolved operation on the evaluation tape.
+#[derive(Debug, Clone, Copy)]
+enum TapeOp {
+    Input { dst: u32, port: u32 },
+    Unary { dst: u32, op: UnOp, a: u32, w: Width },
+    Binary { dst: u32, op: BinOp, a: u32, b: u32, w: Width },
+    Mux { dst: u32, sel: u32, t: u32, f: u32 },
+    Slice { dst: u32, a: u32, shift: u8, mask: u64 },
+    Cat { dst: u32, hi: u32, lo: u32, shift: u8 },
+    RegOut { dst: u32, reg: u32 },
+    MemRead { dst: u32, mem: u32, addr: u32 },
+    Wire { dst: u32, src: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegPlan {
+    next: u32,
+    enable: Option<u32>,
+    mask: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WritePlan {
+    mem: u32,
+    addr: u32,
+    data: u32,
+    enable: u32,
+}
+
+/// The compiled-tape cycle-accurate simulator.
+///
+/// Construction compiles the design once (`O(nodes)`); each [`step`] then
+/// evaluates the flat tape, captures register next-values, commits memory
+/// writes and advances the clock. See the
+/// [crate documentation](crate) for an example.
+///
+/// [`step`]: Simulator::step
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    design: Arc<Design>,
+    tape: Vec<TapeOp>,
+    reg_plans: Vec<RegPlan>,
+    write_plans: Vec<WritePlan>,
+    values: Vec<u64>,
+    regs: Vec<u64>,
+    reg_next: Vec<u64>,
+    mems: Vec<Vec<u64>>,
+    inputs: Vec<u64>,
+    cycle: u64,
+    dirty: bool,
+    output_index: HashMap<String, NodeId>,
+    port_index: HashMap<String, (u32, Width)>,
+}
+
+impl Simulator {
+    /// Compiles a design into a tape simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns the design's validation error if it is malformed (e.g.
+    /// combinational loops or unconnected registers).
+    pub fn new(design: &Design) -> Result<Self, strober_rtl::RtlError> {
+        design.validate()?;
+        let topo = design.topo_order()?;
+
+        let mut values = vec![0u64; design.node_count()];
+        let mut tape = Vec::with_capacity(design.node_count());
+        for id in topo.iter() {
+            let dst = id.index() as u32;
+            match *design.node(id) {
+                Node::Const(v) => values[id.index()] = v,
+                Node::Input(p) => tape.push(TapeOp::Input {
+                    dst,
+                    port: p.index() as u32,
+                }),
+                Node::Unary { op, a } => tape.push(TapeOp::Unary {
+                    dst,
+                    op,
+                    a: a.index() as u32,
+                    w: design.width(a),
+                }),
+                Node::Binary { op, a, b } => tape.push(TapeOp::Binary {
+                    dst,
+                    op,
+                    a: a.index() as u32,
+                    b: b.index() as u32,
+                    w: design.width(a),
+                }),
+                Node::Mux { sel, t, f } => tape.push(TapeOp::Mux {
+                    dst,
+                    sel: sel.index() as u32,
+                    t: t.index() as u32,
+                    f: f.index() as u32,
+                }),
+                Node::Slice { a, hi, lo } => tape.push(TapeOp::Slice {
+                    dst,
+                    a: a.index() as u32,
+                    shift: lo as u8,
+                    mask: Width::new(hi - lo + 1).expect("validated").mask(),
+                }),
+                Node::Cat { hi, lo } => tape.push(TapeOp::Cat {
+                    dst,
+                    hi: hi.index() as u32,
+                    lo: lo.index() as u32,
+                    shift: design.width(lo).bits() as u8,
+                }),
+                Node::RegOut(r) => tape.push(TapeOp::RegOut {
+                    dst,
+                    reg: r.index() as u32,
+                }),
+                Node::MemRead { mem, port } => {
+                    let addr = design.memory(mem).read_ports()[port].addr();
+                    tape.push(TapeOp::MemRead {
+                        dst,
+                        mem: mem.index() as u32,
+                        addr: addr.index() as u32,
+                    });
+                }
+                Node::Wire(wid) => {
+                    let src = design.wire_driver(wid).expect("validated");
+                    tape.push(TapeOp::Wire {
+                        dst,
+                        src: src.index() as u32,
+                    });
+                }
+            }
+        }
+
+        let reg_plans = design
+            .registers()
+            .map(|(_, r)| RegPlan {
+                next: r.next().expect("validated").index() as u32,
+                enable: r.enable().map(|e| e.index() as u32),
+                mask: r.width().mask(),
+            })
+            .collect();
+
+        let mut write_plans = Vec::new();
+        for (mid, m) in design.memories() {
+            for wp in m.write_ports() {
+                write_plans.push(WritePlan {
+                    mem: mid.index() as u32,
+                    addr: wp.addr().index() as u32,
+                    data: wp.data().index() as u32,
+                    enable: wp.enable().index() as u32,
+                });
+            }
+        }
+
+        let regs: Vec<u64> = design.registers().map(|(_, r)| r.init()).collect();
+        let mems: Vec<Vec<u64>> = design
+            .memories()
+            .map(|(_, m)| {
+                let mut v = m.init().to_vec();
+                v.resize(m.depth(), 0);
+                v
+            })
+            .collect();
+
+        let output_index = design
+            .outputs()
+            .iter()
+            .map(|(n, id)| (n.clone(), *id))
+            .collect();
+        let port_index = design
+            .ports()
+            .iter()
+            .map(|p| (p.name().to_owned(), (p.id().index() as u32, p.width())))
+            .collect();
+
+        let reg_next = regs.clone();
+        let n_inputs = design.ports().len();
+        Ok(Simulator {
+            design: Arc::new(design.clone()),
+            tape,
+            reg_plans,
+            write_plans,
+            values,
+            regs,
+            reg_next,
+            mems,
+            inputs: vec![0; n_inputs],
+            cycle: 0,
+            dirty: true,
+            output_index,
+            port_index,
+        })
+    }
+
+    /// The design this simulator was compiled from.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Sets a top-level input by port id index.
+    pub(crate) fn poke_raw(&mut self, port: u32, value: u64) {
+        self.inputs[port as usize] = value;
+        self.dirty = true;
+    }
+
+    /// Sets a top-level input by [`strober_rtl::PortId`], masking the value
+    /// to the port's width. This is the fast path for host drivers that
+    /// resolve port names once up front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is not a port of this design.
+    pub fn poke(&mut self, port: strober_rtl::PortId, value: u64) {
+        let width = self.design.ports()[port.index()].width();
+        self.poke_raw(port.index() as u32, value & width.mask());
+    }
+
+    /// Sets a top-level input by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unknown port and
+    /// [`SimError::ValueTooWide`] when the value does not fit.
+    pub fn poke_by_name(&mut self, name: &str, value: u64) -> Result<(), SimError> {
+        let &(port, width) = self.port_index.get(name).ok_or_else(|| SimError::UnknownName {
+            kind: "input port",
+            name: name.to_owned(),
+        })?;
+        if value > width.mask() {
+            return Err(SimError::ValueTooWide {
+                port: name.to_owned(),
+                value,
+                width: width.bits(),
+            });
+        }
+        self.poke_raw(port, value);
+        Ok(())
+    }
+
+    /// Evaluates the combinational tape with the current inputs and state.
+    fn settle(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        for op in &self.tape {
+            match *op {
+                TapeOp::Input { dst, port } => {
+                    self.values[dst as usize] = self.inputs[port as usize]
+                }
+                TapeOp::Unary { dst, op, a, w } => {
+                    self.values[dst as usize] = op.eval(self.values[a as usize], w)
+                }
+                TapeOp::Binary { dst, op, a, b, w } => {
+                    self.values[dst as usize] =
+                        op.eval(self.values[a as usize], self.values[b as usize], w)
+                }
+                TapeOp::Mux { dst, sel, t, f } => {
+                    self.values[dst as usize] = if self.values[sel as usize] != 0 {
+                        self.values[t as usize]
+                    } else {
+                        self.values[f as usize]
+                    }
+                }
+                TapeOp::Slice { dst, a, shift, mask } => {
+                    self.values[dst as usize] = (self.values[a as usize] >> shift) & mask
+                }
+                TapeOp::Cat { dst, hi, lo, shift } => {
+                    self.values[dst as usize] =
+                        (self.values[hi as usize] << shift) | self.values[lo as usize]
+                }
+                TapeOp::RegOut { dst, reg } => {
+                    self.values[dst as usize] = self.regs[reg as usize]
+                }
+                TapeOp::MemRead { dst, mem, addr } => {
+                    let m = &self.mems[mem as usize];
+                    let a = self.values[addr as usize] as usize;
+                    // Addresses beyond the depth read as zero (the synthesis
+                    // flow pads memories to powers of two the same way).
+                    self.values[dst as usize] = m.get(a).copied().unwrap_or(0);
+                }
+                TapeOp::Wire { dst, src } => {
+                    self.values[dst as usize] = self.values[src as usize]
+                }
+            }
+        }
+        self.dirty = false;
+    }
+
+    /// Advances one clock cycle: settle, capture register next-values,
+    /// commit memory writes, bump the cycle counter.
+    pub fn step(&mut self) {
+        self.settle();
+        for (i, plan) in self.reg_plans.iter().enumerate() {
+            let en = plan.enable.is_none_or(|e| self.values[e as usize] != 0);
+            self.reg_next[i] = if en {
+                self.values[plan.next as usize] & plan.mask
+            } else {
+                self.regs[i]
+            };
+        }
+        for plan in &self.write_plans {
+            if self.values[plan.enable as usize] != 0 {
+                let addr = self.values[plan.addr as usize] as usize;
+                let data = self.values[plan.data as usize];
+                let mem = &mut self.mems[plan.mem as usize];
+                if let Some(slot) = mem.get_mut(addr) {
+                    *slot = data;
+                }
+            }
+        }
+        std::mem::swap(&mut self.regs, &mut self.reg_next);
+        self.cycle += 1;
+        self.dirty = true;
+    }
+
+    /// Advances `n` cycles.
+    pub fn step_n(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Reads a named output, settling combinational logic first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unknown output.
+    pub fn peek_output(&mut self, name: &str) -> Result<u64, SimError> {
+        let id = *self.output_index.get(name).ok_or_else(|| SimError::UnknownName {
+            kind: "output",
+            name: name.to_owned(),
+        })?;
+        Ok(self.peek(id))
+    }
+
+    /// Reads any node's settled value.
+    pub fn peek(&mut self, node: NodeId) -> u64 {
+        self.settle();
+        self.values[node.index()]
+    }
+
+    /// The current value of a register.
+    pub fn reg_value(&self, reg: RegId) -> u64 {
+        self.regs[reg.index()]
+    }
+
+    /// Overwrites a register's current value (used when loading snapshots).
+    pub fn set_reg_value(&mut self, reg: RegId, value: u64) {
+        let mask = self.design.register(reg).width().mask();
+        self.regs[reg.index()] = value & mask;
+        self.dirty = true;
+    }
+
+    /// Reads one memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range for the memory.
+    pub fn mem_value(&self, mem: MemId, addr: usize) -> u64 {
+        self.mems[mem.index()][addr]
+    }
+
+    /// Overwrites one memory word (used when loading snapshots and
+    /// program images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range for the memory.
+    pub fn set_mem_value(&mut self, mem: MemId, addr: usize, value: u64) {
+        let mask = self.design.memory(mem).width().mask();
+        self.mems[mem.index()][addr] = value & mask;
+        self.dirty = true;
+    }
+
+    /// Captures the complete architectural state.
+    pub fn state(&self) -> SimState {
+        SimState {
+            regs: self.regs.clone(),
+            mems: self.mems.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a previously captured state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StateShapeMismatch`] when the state does not
+    /// match this design's register/memory shapes.
+    pub fn restore(&mut self, state: &SimState) -> Result<(), SimError> {
+        if state.regs.len() != self.regs.len() {
+            return Err(SimError::StateShapeMismatch {
+                what: "register count",
+            });
+        }
+        if state.mems.len() != self.mems.len()
+            || state
+                .mems
+                .iter()
+                .zip(&self.mems)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(SimError::StateShapeMismatch {
+                what: "memory shapes",
+            });
+        }
+        self.regs.clone_from(&state.regs);
+        self.mems.clone_from(&state.mems);
+        self.cycle = state.cycle;
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Resets registers and memories to their declared initial values and
+    /// the cycle counter to zero. Inputs are preserved.
+    pub fn reset_state(&mut self) {
+        for (i, (_, r)) in self.design.registers().enumerate() {
+            self.regs[i] = r.init();
+        }
+        let inits: Vec<(usize, Vec<u64>, usize)> = self
+            .design
+            .memories()
+            .enumerate()
+            .map(|(i, (_, m))| (i, m.init().to_vec(), m.depth()))
+            .collect();
+        for (i, init, depth) in inits {
+            let mut v = init;
+            v.resize(depth, 0);
+            self.mems[i] = v;
+        }
+        self.cycle = 0;
+        self.dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    fn counter() -> Design {
+        let ctx = Ctx::new("counter");
+        let en = ctx.input("en", Width::BIT);
+        let count = ctx.reg("count", w(8), 0);
+        count.set_en(&count.out().add_lit(1), &en);
+        ctx.output("value", &count.out());
+        ctx.finish().unwrap()
+    }
+
+    #[test]
+    fn counter_counts_when_enabled() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(10);
+        assert_eq!(sim.peek_output("value").unwrap(), 10);
+        sim.poke_by_name("en", 0).unwrap();
+        sim.step_n(3);
+        assert_eq!(sim.peek_output("value").unwrap(), 10);
+        assert_eq!(sim.cycle(), 13);
+    }
+
+    #[test]
+    fn counter_wraps_at_width() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(256);
+        assert_eq!(sim.peek_output("value").unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        assert!(matches!(
+            sim.poke_by_name("nope", 0),
+            Err(SimError::UnknownName { .. })
+        ));
+        assert!(matches!(
+            sim.peek_output("nope"),
+            Err(SimError::UnknownName { .. })
+        ));
+    }
+
+    #[test]
+    fn poke_checks_width() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        assert!(matches!(
+            sim.poke_by_name("en", 2),
+            Err(SimError::ValueTooWide { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_write_then_read() {
+        let ctx = Ctx::new("ram");
+        let m = ctx.mem("ram", w(16), 16);
+        let addr = ctx.input("addr", w(4));
+        let data = ctx.input("data", w(16));
+        let we = ctx.input("we", Width::BIT);
+        ctx.output("q", &m.read(&addr));
+        m.write(&addr, &data, &we);
+        let design = ctx.finish().unwrap();
+
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("addr", 5).unwrap();
+        sim.poke_by_name("data", 0xABCD).unwrap();
+        sim.poke_by_name("we", 1).unwrap();
+        // Combinational read before the write edge sees the old value.
+        assert_eq!(sim.peek_output("q").unwrap(), 0);
+        sim.step();
+        sim.poke_by_name("we", 0).unwrap();
+        assert_eq!(sim.peek_output("q").unwrap(), 0xABCD);
+    }
+
+    #[test]
+    fn state_snapshot_and_restore_round_trips() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(42);
+        let snap = sim.state();
+        sim.step_n(10);
+        assert_eq!(sim.peek_output("value").unwrap(), 52);
+        sim.restore(&snap).unwrap();
+        assert_eq!(sim.cycle(), 42);
+        assert_eq!(sim.peek_output("value").unwrap(), 42);
+        // Determinism: re-running from the snapshot matches.
+        sim.step_n(10);
+        assert_eq!(sim.peek_output("value").unwrap(), 52);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        let bad = SimState {
+            regs: vec![0, 0],
+            mems: vec![],
+            cycle: 0,
+        };
+        assert!(sim.restore(&bad).is_err());
+    }
+
+    #[test]
+    fn reset_state_restores_initial_values() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(9);
+        sim.reset_state();
+        assert_eq!(sim.cycle(), 0);
+        assert_eq!(sim.peek_output("value").unwrap(), 0);
+    }
+
+    #[test]
+    fn register_without_enable_updates_every_cycle() {
+        let ctx = Ctx::new("t");
+        let r = ctx.reg("r", w(4), 3);
+        r.set(&r.out().add_lit(2));
+        ctx.output("o", &r.out());
+        let design = ctx.finish().unwrap();
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.step_n(2);
+        assert_eq!(sim.peek_output("o").unwrap(), 7);
+    }
+
+    #[test]
+    fn gcd_computes() {
+        let ctx = Ctx::new("gcd");
+        let w16 = w(16);
+        let a_in = ctx.input("a", w16);
+        let b_in = ctx.input("b", w16);
+        let start = ctx.input("start", Width::BIT);
+        let x = ctx.reg("x", w16, 0);
+        let y = ctx.reg("y", w16, 0);
+        let x_gt_y = y.out().ltu(&x.out());
+        let x_next = x_gt_y.mux(&(&x.out() - &y.out()), &x.out());
+        let y_next = x_gt_y.mux(&y.out(), &(&y.out() - &x.out()));
+        x.set(&start.mux(&a_in, &x_next));
+        y.set(&start.mux(&b_in, &y_next));
+        ctx.output("result", &x.out());
+        ctx.output("done", &y.out().eq_lit(0));
+        let design = ctx.finish().unwrap();
+
+        let mut sim = Simulator::new(&design).unwrap();
+        sim.poke_by_name("a", 48).unwrap();
+        sim.poke_by_name("b", 36).unwrap();
+        sim.poke_by_name("start", 1).unwrap();
+        sim.step();
+        sim.poke_by_name("start", 0).unwrap();
+        let mut iters = 0;
+        while sim.peek_output("done").unwrap() == 0 {
+            sim.step();
+            iters += 1;
+            assert!(iters < 1000, "gcd did not converge");
+        }
+        assert_eq!(sim.peek_output("result").unwrap(), 12);
+    }
+}

@@ -1,0 +1,38 @@
+//! The synthesis sidecar consumed by formal verification.
+
+use std::collections::HashMap;
+
+/// Correspondence information emitted by synthesis.
+///
+/// Real synthesis tools write a "verification information" database that a
+/// formal equivalence checker uses to match points between the RTL and the
+/// gate-level netlist (§IV-C1 of the paper). This struct is our equivalent:
+/// it records, for every RTL register, the (mangled) names of the DFF
+/// instances implementing each bit, and for every RTL memory the macro
+/// instance name. `strober-formal` validates this information independently
+/// before the replay flow trusts it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SynthInfo {
+    /// RTL register name → DFF instance names, least significant bit first.
+    pub reg_map: HashMap<String, Vec<String>>,
+    /// RTL memory name → SRAM macro instance name.
+    pub mem_map: HashMap<String, String>,
+    /// RTL registers that were retimed away: their values cannot be loaded
+    /// from an RTL snapshot and must be recovered by I/O forcing
+    /// (§IV-C3).
+    pub retimed_regs: Vec<String>,
+    /// Number of forward retiming moves applied (0 when retiming is off).
+    pub retime_moves: usize,
+}
+
+impl SynthInfo {
+    /// Whether a register was retimed away.
+    pub fn is_retimed(&self, rtl_reg: &str) -> bool {
+        self.retimed_regs.iter().any(|r| r == rtl_reg)
+    }
+
+    /// Total number of mapped DFF bits.
+    pub fn mapped_bits(&self) -> usize {
+        self.reg_map.values().map(Vec::len).sum()
+    }
+}

@@ -1,0 +1,62 @@
+//! Logic synthesis: word-level RTL to gate-level netlists.
+//!
+//! This crate stands in for the Design Compiler / IC Compiler stage of the
+//! Strober replay flow (Fig. 5 of the paper). Given a
+//! [`strober_rtl::Design`] it produces a [`strober_gates::Netlist`] through:
+//!
+//! 1. **Technology mapping** ([`synthesize`]) — every word-level operator is
+//!    bit-blasted onto the primitive cell library (ripple-carry adders,
+//!    barrel shifters, array multipliers/dividers, comparator chains, mux
+//!    trees). RTL memories map to SRAM macros, registers to per-bit DFFs.
+//! 2. **Optimisation** ([`SynthOptions::optimize`]) — constant propagation
+//!    from tie cells, buffer elision and dead-gate sweeping. Like the
+//!    paper's constrained flow, optimisation never deletes flip-flops: the
+//!    Strober methodology requires state-preserving synthesis for
+//!    everything except explicitly annotated retimed datapaths.
+//! 3. **Register retiming** ([`SynthOptions::retime_prefixes`]) — annotated
+//!    register groups are moved across combinational gates (forward
+//!    Leiserson–Saxe moves), after which their values can no longer be
+//!    reconstructed from RTL state. This reproduces the §IV-C3 challenge;
+//!    replay recovers their state by forcing recorded I/O for the pipeline
+//!    latency before each measurement window.
+//! 4. **Name mangling** ([`SynthOptions::mangle`]) — instance and net names
+//!    are rewritten with deterministic hash suffixes, the way CAD tool
+//!    optimisations mangle names. The [`SynthInfo`] sidecar carries the
+//!    information a formal tool needs to rebuild the correspondence
+//!    (§IV-C1), mirroring the "synthesis tool generates information … to
+//!    help formal verification" flow.
+//!
+//! # Examples
+//!
+//! ```
+//! use strober_dsl::Ctx;
+//! use strober_rtl::Width;
+//! use strober_synth::{synthesize, SynthOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let ctx = Ctx::new("counter");
+//! let count = ctx.reg("count", Width::new(8)?, 0);
+//! count.set(&count.out().add_lit(1));
+//! ctx.output("value", &count.out());
+//! let design = ctx.finish()?;
+//!
+//! let result = synthesize(&design, &SynthOptions::default())?;
+//! assert_eq!(result.netlist.dff_count(), 8);
+//! assert!(result.netlist.comb_gate_count() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+mod info;
+mod lower;
+mod mangle;
+mod opt;
+mod region;
+mod retime;
+
+pub use info::SynthInfo;
+pub use lower::{synthesize, SynthError, SynthOptions, SynthResult};
+pub use region::assign_regions;

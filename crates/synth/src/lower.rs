@@ -1,0 +1,787 @@
+//! Technology mapping: bit-blasting word-level RTL onto the cell library.
+
+use crate::info::SynthInfo;
+use crate::mangle;
+use crate::opt;
+use crate::region::{assign_regions, component_of};
+use crate::retime;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use strober_gates::{CellKind, NetId, Netlist, NetlistError, SramMacro, SramReadPort, SramWritePort};
+use strober_rtl::{BinOp, Design, Node, RtlError, UnOp};
+
+/// Synthesis options.
+#[derive(Debug, Clone)]
+pub struct SynthOptions {
+    /// Run the optimisation passes (constant propagation, buffer elision,
+    /// dead-gate sweep). On by default, as in any real flow.
+    pub optimize: bool,
+    /// Mangle instance and net names the way CAD tools do. On by default;
+    /// turning it off makes netlists easier to eyeball in tests.
+    pub mangle: bool,
+    /// Hierarchical register-name prefixes whose registers the retimer may
+    /// move (the paper's designer-annotated retimed datapaths, §IV-C3).
+    pub retime_prefixes: Vec<String>,
+}
+
+impl Default for SynthOptions {
+    fn default() -> Self {
+        SynthOptions {
+            optimize: true,
+            mangle: true,
+            retime_prefixes: Vec::new(),
+        }
+    }
+}
+
+/// The output of synthesis: the netlist and the verification sidecar.
+#[derive(Debug, Clone)]
+pub struct SynthResult {
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// Correspondence information for formal matching and replay.
+    pub info: SynthInfo,
+}
+
+/// Errors produced by synthesis.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// The input design failed validation.
+    Rtl(RtlError),
+    /// The produced netlist failed validation (an internal synthesis bug).
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Rtl(e) => write!(f, "synthesis input error: {e}"),
+            SynthError::Netlist(e) => write!(f, "synthesis produced a bad netlist: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Rtl(e) => Some(e),
+            SynthError::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<RtlError> for SynthError {
+    fn from(e: RtlError) -> Self {
+        SynthError::Rtl(e)
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> Self {
+        SynthError::Netlist(e)
+    }
+}
+
+/// Replaces `/` with `_` so hierarchical RTL names become legal instance
+/// names.
+fn sanitize(name: &str) -> String {
+    name.replace('/', "_")
+}
+
+#[allow(clippy::type_complexity)] // per-port (addr bits, data bits) pairs
+struct Lower {
+    nl: Netlist,
+    bits: Vec<Vec<NetId>>,
+    node_region: Vec<u32>,
+    tie0: Option<NetId>,
+    tie1: Option<NetId>,
+    fresh: u64,
+    cur_region: u32,
+    /// Per memory, per read port: (addr bits, data bits).
+    mem_reads: Vec<Vec<Option<(Vec<NetId>, Vec<NetId>)>>>,
+}
+
+impl Lower {
+    fn net(&mut self) -> NetId {
+        let id = self.nl.add_net(format!("n{}", self.fresh));
+        self.fresh += 1;
+        id
+    }
+
+    fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        let out = self.net();
+        self.nl.add_gate(kind, inputs.to_vec(), out, self.cur_region);
+        out
+    }
+
+    fn tie(&mut self, v: bool) -> NetId {
+        if v {
+            if let Some(t) = self.tie1 {
+                return t;
+            }
+            let out = self.nl.add_net("tie1");
+            self.nl.add_gate(CellKind::Tie1, vec![], out, 0);
+            self.tie1 = Some(out);
+            out
+        } else {
+            if let Some(t) = self.tie0 {
+                return t;
+            }
+            let out = self.nl.add_net("tie0");
+            self.nl.add_gate(CellKind::Tie0, vec![], out, 0);
+            self.tie0 = Some(out);
+            out
+        }
+    }
+
+    fn const_bits(&mut self, value: u64, width: u32) -> Vec<NetId> {
+        (0..width).map(|i| self.tie((value >> i) & 1 == 1)).collect()
+    }
+
+    fn inv(&mut self, a: NetId) -> NetId {
+        self.gate(CellKind::Inv, &[a])
+    }
+
+    fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::And2, &[a, b])
+    }
+
+    fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Or2, &[a, b])
+    }
+
+    fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xor2, &[a, b])
+    }
+
+    fn xnor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.gate(CellKind::Xnor2, &[a, b])
+    }
+
+    fn mux2(&mut self, a0: NetId, a1: NetId, s: NetId) -> NetId {
+        self.gate(CellKind::Mux2, &[a0, a1, s])
+    }
+
+    fn tree(&mut self, kind: CellKind, bits: &[NetId]) -> NetId {
+        assert!(!bits.is_empty());
+        let mut layer = bits.to_vec();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(self.gate(kind, &[pair[0], pair[1]]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    fn full_add(&mut self, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+        let x = self.xor2(a, b);
+        let s = self.xor2(x, cin);
+        let g1 = self.and2(a, b);
+        let g2 = self.and2(x, cin);
+        let cout = self.or2(g1, g2);
+        (s, cout)
+    }
+
+    fn add_bits(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, c) = self.full_add(a[i], b[i], carry);
+            sum.push(s);
+            carry = c;
+        }
+        (sum, carry)
+    }
+
+    fn not_bits(&mut self, a: &[NetId]) -> Vec<NetId> {
+        a.iter().map(|&n| self.inv(n)).collect()
+    }
+
+    /// Unsigned `a < b`, ripple from the LSB.
+    fn ltu_bits(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let mut lt = self.tie(false);
+        for i in 0..a.len() {
+            let na = self.inv(a[i]);
+            let t1 = self.and2(na, b[i]);
+            let e = self.xnor2(a[i], b[i]);
+            let t2 = self.and2(e, lt);
+            lt = self.or2(t1, t2);
+        }
+        lt
+    }
+
+    fn eq_bits(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let diffs: Vec<NetId> = (0..a.len()).map(|i| self.xor2(a[i], b[i])).collect();
+        let any = self.tree(CellKind::Or2, &diffs);
+        self.inv(any)
+    }
+
+    /// Flips the MSB of both operands so unsigned comparison implements
+    /// signed comparison.
+    fn flip_msb(&mut self, a: &[NetId]) -> Vec<NetId> {
+        let mut v = a.to_vec();
+        let last = v.len() - 1;
+        v[last] = self.inv(v[last]);
+        v
+    }
+
+    /// Barrel shifter. `kind` selects shl/shr/sra semantics.
+    fn shift_bits(&mut self, a: &[NetId], amount: &[NetId], op: BinOp) -> Vec<NetId> {
+        let w = a.len() as u32;
+        let zero = self.tie(false);
+        let sign = a[a.len() - 1];
+        let fill = if op == BinOp::Sra { sign } else { zero };
+
+        // Stage bits k with 2^k < w participate in the barrel network
+        // (indexing `amount` by stage position is the natural phrasing).
+        #[allow(clippy::needless_range_loop)]
+        let stage_count = (0..32).take_while(|&k| (1u64 << k) < u64::from(w)).count();
+        let mut cur = a.to_vec();
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..stage_count {
+            let sh = 1usize << k;
+            let sel = amount[k];
+            let mut next = Vec::with_capacity(cur.len());
+            for i in 0..cur.len() {
+                let shifted = match op {
+                    BinOp::Shl => {
+                        if i >= sh {
+                            cur[i - sh]
+                        } else {
+                            zero
+                        }
+                    }
+                    _ => {
+                        if i + sh < cur.len() {
+                            cur[i + sh]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.mux2(cur[i], shifted, sel));
+            }
+            cur = next;
+        }
+
+        // Any amount bit at or above the stage range forces an overshift.
+        let high_bits: Vec<NetId> = amount.iter().skip(stage_count).copied().collect();
+        if high_bits.is_empty() {
+            return cur;
+        }
+        let over = self.tree(CellKind::Or2, &high_bits);
+        cur.iter().map(|&bit| self.mux2(bit, fill, over)).collect()
+    }
+
+    fn mul_bits(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        let w = a.len();
+        let zero = self.tie(false);
+        let mut acc = vec![zero; w];
+        for (i, &bi) in b.iter().enumerate() {
+            // Partial product: (a << i) & b[i], truncated to w bits.
+            let mut pp = Vec::with_capacity(w);
+            for j in 0..w {
+                if j < i {
+                    pp.push(zero);
+                } else {
+                    pp.push(self.and2(a[j - i], bi));
+                }
+            }
+            let (sum, _) = self.add_bits(&acc, &pp, zero);
+            acc = sum;
+        }
+        acc
+    }
+
+    /// Restoring array divider producing `(quotient, remainder)`, with the
+    /// RTL semantics for division by zero (`q = all ones`, `r = a`).
+    fn divrem_bits(&mut self, a: &[NetId], b: &[NetId]) -> (Vec<NetId>, Vec<NetId>) {
+        let w = a.len();
+        let zero = self.tie(false);
+        let one = self.tie(true);
+        // Remainder register is w+1 bits so `2r+1` never overflows.
+        let mut r = vec![zero; w + 1];
+        let mut b_ext = b.to_vec();
+        b_ext.push(zero);
+        let mut q = vec![zero; w];
+        for i in (0..w).rev() {
+            // r = (r << 1) | a[i]
+            let mut shifted = Vec::with_capacity(w + 1);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&r[..w]);
+            // ge = shifted >= b_ext
+            let lt = self.ltu_bits(&shifted, &b_ext);
+            let ge = self.inv(lt);
+            // diff = shifted - b_ext
+            let nb = self.not_bits(&b_ext);
+            let (diff, _) = self.add_bits(&shifted, &nb, one);
+            r = (0..w + 1)
+                .map(|j| self.mux2(shifted[j], diff[j], ge))
+                .collect();
+            q[i] = ge;
+        }
+        let b_zero = {
+            let any = self.tree(CellKind::Or2, b);
+            self.inv(any)
+        };
+        let q = q
+            .iter()
+            .map(|&bit| self.mux2(bit, one, b_zero))
+            .collect();
+        let r = (0..w)
+            .map(|j| self.mux2(r[j], a[j], b_zero))
+            .collect();
+        (q, r)
+    }
+}
+
+/// Synthesizes a design to gates.
+///
+/// See the [crate documentation](crate) for the pass pipeline and an
+/// example.
+///
+/// # Errors
+///
+/// Returns [`SynthError::Rtl`] if the design fails validation and
+/// [`SynthError::Netlist`] if an internal bug produces a malformed netlist
+/// (the output is always re-validated before being returned).
+pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, SynthError> {
+    design.validate()?;
+    let topo = design.topo_order()?;
+    let regions = assign_regions(design);
+
+    let mut lw = Lower {
+        nl: Netlist::new(design.name()),
+        bits: vec![Vec::new(); design.node_count()],
+        node_region: Vec::with_capacity(design.node_count()),
+        tie0: None,
+        tie1: None,
+        fresh: 0,
+        cur_region: 0,
+        mem_reads: design
+            .memories()
+            .map(|(_, m)| vec![None; m.read_ports().len()])
+            .collect(),
+    };
+
+    // Intern node regions.
+    for r in &regions {
+        let idx = lw.nl.intern_region(r);
+        lw.node_region.push(idx);
+    }
+
+    // Primary input bits.
+    let mut port_bits: Vec<Vec<NetId>> = Vec::new();
+    for p in design.ports() {
+        let bits: Vec<NetId> = (0..p.width().bits())
+            .map(|i| {
+                let name = format!("{}[{i}]", p.name());
+                let n = lw.nl.add_net(name.clone());
+                lw.nl.add_input(name, n);
+                n
+            })
+            .collect();
+        port_bits.push(bits);
+    }
+
+    // Flip-flop output nets, created before node lowering so RegOut can
+    // reference them.
+    let mut dff_q: Vec<Vec<NetId>> = Vec::new();
+    let mut dff_names: Vec<Vec<String>> = Vec::new();
+    for (_, r) in design.registers() {
+        let base = sanitize(r.name());
+        let mut qs = Vec::with_capacity(r.width().bits() as usize);
+        let mut names = Vec::with_capacity(r.width().bits() as usize);
+        for i in 0..r.width().bits() {
+            let name = format!("{base}_reg_{i}_");
+            qs.push(lw.nl.add_net(format!("{name}q")));
+            names.push(name);
+        }
+        dff_q.push(qs);
+        dff_names.push(names);
+    }
+
+    // Lower every node in topological order.
+    for id in topo.iter() {
+        lw.cur_region = lw.node_region[id.index()];
+        let w = design.width(id).bits();
+        let out: Vec<NetId> = match *design.node(id) {
+            Node::Input(p) => port_bits[p.index()].clone(),
+            Node::Const(v) => lw.const_bits(v, w),
+            Node::RegOut(r) => dff_q[r.index()].clone(),
+            Node::Wire(wid) => {
+                let src = design.wire_driver(wid).expect("validated");
+                lw.bits[src.index()].clone()
+            }
+            Node::Slice { a, hi, lo } => {
+                lw.bits[a.index()][lo as usize..=hi as usize].to_vec()
+            }
+            Node::Cat { hi, lo } => {
+                let mut v = lw.bits[lo.index()].clone();
+                v.extend_from_slice(&lw.bits[hi.index()]);
+                v
+            }
+            Node::Unary { op, a } => {
+                let abits = lw.bits[a.index()].clone();
+                match op {
+                    UnOp::Not => lw.not_bits(&abits),
+                    UnOp::Neg => {
+                        let na = lw.not_bits(&abits);
+                        let zeros = lw.const_bits(0, abits.len() as u32);
+                        let one = lw.tie(true);
+                        lw.add_bits(&na, &zeros, one).0
+                    }
+                    UnOp::RedAnd => vec![lw.tree(CellKind::And2, &abits)],
+                    UnOp::RedOr => vec![lw.tree(CellKind::Or2, &abits)],
+                    UnOp::RedXor => vec![lw.tree(CellKind::Xor2, &abits)],
+                }
+            }
+            Node::Binary { op, a, b } => {
+                let ab = lw.bits[a.index()].clone();
+                let bb = lw.bits[b.index()].clone();
+                match op {
+                    BinOp::Add => {
+                        let zero = lw.tie(false);
+                        lw.add_bits(&ab, &bb, zero).0
+                    }
+                    BinOp::Sub => {
+                        let nb = lw.not_bits(&bb);
+                        let one = lw.tie(true);
+                        lw.add_bits(&ab, &nb, one).0
+                    }
+                    BinOp::Mul => lw.mul_bits(&ab, &bb),
+                    BinOp::DivU => lw.divrem_bits(&ab, &bb).0,
+                    BinOp::RemU => lw.divrem_bits(&ab, &bb).1,
+                    BinOp::And => {
+                        (0..ab.len()).map(|i| lw.and2(ab[i], bb[i])).collect()
+                    }
+                    BinOp::Or => (0..ab.len()).map(|i| lw.or2(ab[i], bb[i])).collect(),
+                    BinOp::Xor => {
+                        (0..ab.len()).map(|i| lw.xor2(ab[i], bb[i])).collect()
+                    }
+                    BinOp::Shl | BinOp::Shr | BinOp::Sra => lw.shift_bits(&ab, &bb, op),
+                    BinOp::Eq => vec![lw.eq_bits(&ab, &bb)],
+                    BinOp::Neq => {
+                        let e = lw.eq_bits(&ab, &bb);
+                        vec![lw.inv(e)]
+                    }
+                    BinOp::Ltu => vec![lw.ltu_bits(&ab, &bb)],
+                    BinOp::Leu => {
+                        let gt = lw.ltu_bits(&bb, &ab);
+                        vec![lw.inv(gt)]
+                    }
+                    BinOp::Lts => {
+                        let fa = lw.flip_msb(&ab);
+                        let fb = lw.flip_msb(&bb);
+                        vec![lw.ltu_bits(&fa, &fb)]
+                    }
+                    BinOp::Les => {
+                        let fa = lw.flip_msb(&ab);
+                        let fb = lw.flip_msb(&bb);
+                        let gt = lw.ltu_bits(&fb, &fa);
+                        vec![lw.inv(gt)]
+                    }
+                }
+            }
+            Node::Mux { sel, t, f } => {
+                let s = lw.bits[sel.index()][0];
+                let tb = lw.bits[t.index()].clone();
+                let fb = lw.bits[f.index()].clone();
+                (0..tb.len()).map(|i| lw.mux2(fb[i], tb[i], s)).collect()
+            }
+            Node::MemRead { mem, port } => {
+                let addr_node = design.memory(mem).read_ports()[port].addr();
+                let addr = lw.bits[addr_node.index()].clone();
+                let data: Vec<NetId> = (0..w).map(|_| lw.net()).collect();
+                lw.mem_reads[mem.index()][port] = Some((addr, data.clone()));
+                data
+            }
+        };
+        debug_assert_eq!(out.len(), w as usize, "bit width mismatch in lowering");
+        lw.bits[id.index()] = out;
+    }
+
+    // Flip-flops: D = enable ? next : Q.
+    for (ri, (_, r)) in design.registers().enumerate() {
+        let region_name = component_of(r.name());
+        let region = lw.nl.intern_region(&region_name);
+        lw.cur_region = region;
+        let next_bits = lw.bits[r.next().expect("validated").index()].clone();
+        let en_bit = r.enable().map(|e| lw.bits[e.index()][0]);
+        for i in 0..r.width().bits() as usize {
+            let q = dff_q[ri][i];
+            let d = match en_bit {
+                Some(en) => lw.mux2(q, next_bits[i], en),
+                None => next_bits[i],
+            };
+            let init = (r.init() >> i) & 1 == 1;
+            lw.nl.add_dff(dff_names[ri][i].clone(), d, q, init, region);
+        }
+    }
+
+    // SRAM macros.
+    for (mi, (_, m)) in design.memories().enumerate() {
+        let region_name = component_of(m.name());
+        let region = lw.nl.intern_region(&region_name);
+        let read_ports: Vec<SramReadPort> = lw.mem_reads[mi]
+            .iter()
+            .map(|entry| {
+                let (addr, data) = entry.clone().expect("every read port has a node");
+                SramReadPort { addr, data }
+            })
+            .collect();
+        let write_ports: Vec<SramWritePort> = m
+            .write_ports()
+            .iter()
+            .map(|wp| SramWritePort {
+                addr: lw.bits[wp.addr().index()].clone(),
+                data: lw.bits[wp.data().index()].clone(),
+                enable: lw.bits[wp.enable().index()][0],
+            })
+            .collect();
+        lw.nl.add_sram(SramMacro {
+            name: format!("{}_macro", sanitize(m.name())),
+            width: m.width().bits(),
+            depth: m.depth(),
+            init: m.init().to_vec(),
+            read_ports,
+            write_ports,
+            region,
+        });
+    }
+
+    // Primary outputs.
+    for (name, id) in design.outputs() {
+        for (i, &net) in lw.bits[id.index()].iter().enumerate() {
+            lw.nl.add_output(format!("{name}[{i}]"), net);
+        }
+    }
+
+    let mut netlist = lw.nl;
+    let mut info = SynthInfo::default();
+
+    // Retiming of annotated register groups.
+    if !opts.retime_prefixes.is_empty() {
+        let mut annotated_dffs: HashSet<String> = HashSet::new();
+        for (ri, (_, r)) in design.registers().enumerate() {
+            if opts
+                .retime_prefixes
+                .iter()
+                .any(|p| r.name().starts_with(p.as_str()))
+            {
+                info.retimed_regs.push(r.name().to_owned());
+                for n in &dff_names[ri] {
+                    annotated_dffs.insert(n.clone());
+                }
+            }
+        }
+        info.retime_moves = retime::forward_retime(&mut netlist, &annotated_dffs);
+    }
+
+    if opts.optimize {
+        opt::optimize(&mut netlist);
+    }
+
+    let rename: HashMap<String, String> = if opts.mangle {
+        mangle::mangle(&mut netlist)
+    } else {
+        HashMap::new()
+    };
+    let mangled = |name: &str| -> String {
+        rename.get(name).cloned().unwrap_or_else(|| name.to_owned())
+    };
+
+    // Build the verification sidecar with post-mangle names.
+    for (ri, (_, r)) in design.registers().enumerate() {
+        if info.is_retimed(r.name()) {
+            continue;
+        }
+        let names: Vec<String> = dff_names[ri].iter().map(|n| mangled(n)).collect();
+        info.reg_map.insert(r.name().to_owned(), names);
+    }
+    for (_, m) in design.memories() {
+        let macro_name = format!("{}_macro", sanitize(m.name()));
+        info.mem_map
+            .insert(m.name().to_owned(), mangled(&macro_name));
+    }
+
+    netlist.validate()?;
+    Ok(SynthResult { netlist, info })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+    use strober_rtl::Width;
+
+    fn w(bits: u32) -> Width {
+        Width::new(bits).unwrap()
+    }
+
+    fn plain() -> SynthOptions {
+        SynthOptions {
+            optimize: false,
+            mangle: false,
+            retime_prefixes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn counter_synthesizes() {
+        let ctx = Ctx::new("counter");
+        let count = ctx.reg("count", w(8), 0);
+        count.set(&count.out().add_lit(1));
+        ctx.output("value", &count.out());
+        let design = ctx.finish().unwrap();
+        let result = synthesize(&design, &plain()).unwrap();
+        assert_eq!(result.netlist.dff_count(), 8);
+        assert_eq!(result.info.reg_map["count"].len(), 8);
+        assert!(result.netlist.comb_gate_count() >= 8);
+    }
+
+    #[test]
+    fn memory_maps_to_macro() {
+        let ctx = Ctx::new("ram");
+        let m = ctx.mem("buf", w(16), 32);
+        let addr = ctx.input("addr", w(5));
+        let data = ctx.input("data", w(16));
+        let we = ctx.input("we", Width::BIT);
+        ctx.output("q", &m.read(&addr));
+        m.write(&addr, &data, &we);
+        let design = ctx.finish().unwrap();
+        let result = synthesize(&design, &plain()).unwrap();
+        assert_eq!(result.netlist.srams().len(), 1);
+        let sram = &result.netlist.srams()[0];
+        assert_eq!(sram.width, 16);
+        assert_eq!(sram.depth, 32);
+        assert_eq!(sram.read_ports.len(), 1);
+        assert_eq!(sram.write_ports.len(), 1);
+        assert_eq!(result.info.mem_map["buf"], "buf_macro");
+    }
+
+    #[test]
+    fn mangling_renames_but_info_tracks() {
+        let ctx = Ctx::new("t");
+        let r = ctx.reg("state", w(4), 5);
+        r.set(&r.out().add_lit(1));
+        ctx.output("o", &r.out());
+        let design = ctx.finish().unwrap();
+        let result = synthesize(
+            &design,
+            &SynthOptions {
+                optimize: true,
+                mangle: true,
+                retime_prefixes: Vec::new(),
+            },
+        )
+        .unwrap();
+        let mapped = &result.info.reg_map["state"];
+        assert_eq!(mapped.len(), 4);
+        // The mangled names must actually exist in the netlist.
+        let dff_names: Vec<&str> = result.netlist.dffs().map(|(_, n, _, _, _)| n).collect();
+        for m in mapped {
+            assert!(
+                dff_names.contains(&m.as_str()),
+                "mapped name {m} not found in netlist"
+            );
+            assert_ne!(m, "state_reg_0_", "mangling did not rename");
+        }
+    }
+
+    #[test]
+    fn retimed_registers_excluded_from_map() {
+        let ctx = Ctx::new("t");
+        let a = ctx.input("a", w(8));
+        let s1 = ctx.scope("fpu", |c| c.reg("stage1", w(8), 0));
+        let s2 = ctx.scope("fpu", |c| c.reg("stage2", w(8), 0));
+        s1.set(&a.add_lit(1));
+        s2.set(&s1.out().add_lit(1));
+        ctx.output("o", &s2.out());
+        let design = ctx.finish().unwrap();
+        let result = synthesize(
+            &design,
+            &SynthOptions {
+                optimize: false,
+                mangle: false,
+                retime_prefixes: vec!["fpu/".to_owned()],
+            },
+        )
+        .unwrap();
+        assert!(result.info.is_retimed("fpu/stage1"));
+        assert!(result.info.is_retimed("fpu/stage2"));
+        assert!(!result.info.reg_map.contains_key("fpu/stage1"));
+    }
+
+    #[test]
+    fn optimization_reduces_gate_count() {
+        let ctx = Ctx::new("t");
+        let a = ctx.input("a", w(16));
+        // Adding zero is a no-op the constant folder should chew through.
+        let zero = ctx.lit(0, w(16));
+        let sum = &a + &zero;
+        ctx.output("o", &sum);
+        let design = ctx.finish().unwrap();
+        let unopt = synthesize(&design, &plain()).unwrap();
+        let opt = synthesize(
+            &design,
+            &SynthOptions {
+                optimize: true,
+                mangle: false,
+                retime_prefixes: Vec::new(),
+            },
+        )
+        .unwrap();
+        assert!(
+            opt.netlist.comb_gate_count() < unopt.netlist.comb_gate_count(),
+            "optimizer failed: {} vs {}",
+            opt.netlist.comb_gate_count(),
+            unopt.netlist.comb_gate_count()
+        );
+    }
+
+    #[test]
+    fn every_operator_synthesizes() {
+        // Build one design touching every op, ensure validation passes.
+        let ctx = Ctx::new("ops");
+        let a = ctx.input("a", w(13));
+        let b = ctx.input("b", w(13));
+        let s = ctx.input("s", Width::BIT);
+        ctx.output("add", &(&a + &b));
+        ctx.output("sub", &(&a - &b));
+        ctx.output("mul", &a.mul(&b));
+        ctx.output("div", &a.divu(&b));
+        ctx.output("rem", &a.remu(&b));
+        ctx.output("and", &(&a & &b));
+        ctx.output("or", &(&a | &b));
+        ctx.output("xor", &(&a ^ &b));
+        ctx.output("not", &!&a);
+        ctx.output("neg", &a.neg());
+        ctx.output("shl", &a.shl(&b));
+        ctx.output("shr", &a.shr(&b));
+        ctx.output("sra", &a.sra(&b));
+        ctx.output("eq", &a.eq(&b));
+        ctx.output("neq", &a.neq(&b));
+        ctx.output("ltu", &a.ltu(&b));
+        ctx.output("leu", &a.leu(&b));
+        ctx.output("lts", &a.lts(&b));
+        ctx.output("les", &a.les(&b));
+        ctx.output("redor", &a.red_or());
+        ctx.output("redand", &a.red_and());
+        ctx.output("redxor", &a.red_xor());
+        ctx.output("mux", &s.mux(&a, &b));
+        ctx.output("slice", &a.bits(7, 3));
+        ctx.output("cat", &a.cat(&b));
+        let design = ctx.finish().unwrap();
+        let result = synthesize(&design, &plain()).unwrap();
+        assert!(result.netlist.comb_gate_count() > 100);
+    }
+}

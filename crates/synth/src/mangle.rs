@@ -1,0 +1,151 @@
+//! Deterministic name mangling.
+//!
+//! Real CAD tools rewrite instance and net names while optimising
+//! (`state_reg_3_` becomes `U1234` or `state_reg_3__RW_0` and so on), which
+//! is why the paper needs a formal tool to rebuild the RTL↔gate name
+//! correspondence (§IV-C1). This pass reproduces the effect: every DFF,
+//! macro and internal net is renamed with a hash-derived identifier. The
+//! mapping is returned so synthesis can record it in [`crate::SynthInfo`] —
+//! playing the role of the "information about optimizations" a synthesis
+//! tool hands to the verification tool.
+
+use std::collections::HashMap;
+use strober_gates::{Gate, NetId, Netlist, SramMacro};
+
+/// FNV-1a, stable across platforms and runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn mangled_instance(old: &str, salt: &str) -> String {
+    let h = fnv1a(format!("{salt}/{old}").as_bytes());
+    format!("U{:010x}", h & 0xFF_FFFF_FFFF)
+}
+
+/// Mangles all DFF, macro and internal-net names in place; returns the
+/// old-name → new-name mapping for state elements (DFFs and macros).
+///
+/// Primary input/output bit names are preserved, as ports survive synthesis
+/// unrenamed in real flows.
+pub fn mangle(netlist: &mut Netlist) -> HashMap<String, String> {
+    let salt = netlist.name().to_owned();
+    let mut rename = HashMap::new();
+
+    // Rebuild the netlist with new names (netlists are append-only).
+    let mut out = Netlist::new(netlist.name());
+    for r in netlist.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+
+    // Keep port nets' names; rename everything else.
+    let mut is_port_net = vec![false; netlist.net_count()];
+    for (_, n) in netlist.inputs() {
+        is_port_net[n.index()] = true;
+    }
+    for (_, n) in netlist.outputs() {
+        is_port_net[n.index()] = true;
+    }
+
+    let mut net_map = Vec::with_capacity(netlist.net_count());
+    #[allow(clippy::needless_range_loop)] // index used for both id and flag
+    for i in 0..netlist.net_count() {
+        let id = NetId::from_index(i);
+        let name = if is_port_net[i] {
+            netlist.net_name(id).to_owned()
+        } else {
+            let h = fnv1a(format!("{salt}/net/{}", netlist.net_name(id)).as_bytes());
+            format!("n{:08x}", h & 0xFFFF_FFFF)
+        };
+        net_map.push(out.add_net(name));
+    }
+
+    for (name, n) in netlist.inputs() {
+        out.add_input(name.clone(), net_map[n.index()]);
+    }
+    for g in netlist.gates() {
+        match g {
+            Gate::Comb { kind, inputs, output, region } => {
+                let ins = inputs.iter().map(|&n| net_map[n.index()]).collect();
+                out.add_gate(*kind, ins, net_map[output.index()], *region);
+            }
+            Gate::Dff { name, d, q, init, region } => {
+                let new = mangled_instance(name, &salt);
+                rename.insert(name.clone(), new.clone());
+                out.add_dff(new, net_map[d.index()], net_map[q.index()], *init, *region);
+            }
+        }
+    }
+    for s in netlist.srams() {
+        let new = mangled_instance(&s.name, &salt);
+        rename.insert(s.name.clone(), new.clone());
+        let mut s2 = SramMacro {
+            name: new,
+            ..s.clone()
+        };
+        for rp in &mut s2.read_ports {
+            for a in &mut rp.addr {
+                *a = net_map[a.index()];
+            }
+            for d in &mut rp.data {
+                *d = net_map[d.index()];
+            }
+        }
+        for wp in &mut s2.write_ports {
+            for a in &mut wp.addr {
+                *a = net_map[a.index()];
+            }
+            for d in &mut wp.data {
+                *d = net_map[d.index()];
+            }
+            wp.enable = net_map[wp.enable.index()];
+        }
+        out.add_sram(s2);
+    }
+    for (name, n) in netlist.outputs() {
+        out.add_output(name.clone(), net_map[n.index()]);
+    }
+
+    *netlist = out;
+    rename
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_gates::CellKind;
+
+    #[test]
+    fn mangling_is_deterministic_and_injective_enough() {
+        let a = mangled_instance("state_reg_0_", "top");
+        let b = mangled_instance("state_reg_0_", "top");
+        let c = mangled_instance("state_reg_1_", "top");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with('U'));
+    }
+
+    #[test]
+    fn ports_keep_names_but_dffs_are_renamed() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("in[0]");
+        nl.add_input("in[0]", a);
+        let q = nl.add_net("internal_q");
+        let d = nl.add_net("internal_d");
+        nl.add_gate(CellKind::Inv, vec![q], d, 0);
+        nl.add_dff("state_reg_0_", d, q, false, 0);
+        nl.add_output("in_copy[0]", a);
+        let map = mangle(&mut nl);
+        nl.validate().unwrap();
+        assert_eq!(nl.inputs()[0].0, "in[0]");
+        let (_, dff_name, _, _, _) = nl.dffs().next().unwrap();
+        assert_eq!(dff_name, map["state_reg_0_"]);
+        assert_ne!(dff_name, "state_reg_0_");
+        // Internal nets were renamed.
+        assert_ne!(nl.net_name(NetId::from_index(1)), "internal_q");
+    }
+}

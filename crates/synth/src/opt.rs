@@ -1,0 +1,451 @@
+//! Netlist optimisation: constant propagation, identity simplification,
+//! buffer elision and dead-gate sweeping.
+//!
+//! Flip-flops and SRAM macros are never removed — the Strober flow
+//! constrains synthesis to preserve state elements so that RTL snapshots
+//! remain loadable (the paper's retimed datapaths are the one sanctioned
+//! exception, handled by `retime`).
+
+use std::collections::HashMap;
+use strober_gates::{CellKind, Gate, NetId, Netlist};
+
+/// How a net's value is known after simplification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NetVal {
+    /// Unknown at synthesis time; identified by a representative net.
+    Free(NetId),
+    /// A compile-time constant.
+    Const(bool),
+}
+
+/// Runs the optimisation pipeline in place.
+pub fn optimize(netlist: &mut Netlist) {
+    let simplified = simplify(netlist);
+    let swept = sweep(&simplified);
+    *netlist = swept;
+}
+
+/// Constant propagation and local identity rewrites, producing a rebuilt
+/// netlist whose gates are all live-candidate canonical forms.
+fn simplify(nl: &Netlist) -> Netlist {
+    let order = nl.levelize().expect("input netlist must be validated");
+
+    // alias[net] = what the net actually is after simplification.
+    let mut alias: Vec<NetVal> = (0..nl.net_count())
+        .map(|i| NetVal::Free(NetId::from_index(i)))
+        .collect();
+    let resolve = |alias: &[NetVal], n: NetId| -> NetVal {
+        // Aliases are created in topological order, so one hop suffices:
+        // a Free(x) entry always points at a canonical representative.
+        alias[n.index()]
+    };
+
+    // Gates that survive, with resolved inputs. DFF/SRAM handled later.
+    // (kind, resolved inputs, output, region)
+    let mut kept: Vec<(CellKind, Vec<NetVal>, NetId, u32)> = Vec::new();
+
+    let gates = nl.gates();
+    for &elem in &order {
+        if elem >= gates.len() {
+            continue; // SRAM read ports are barriers, not simplifiable.
+        }
+        let Gate::Comb { kind, inputs, output, region } = &gates[elem] else {
+            continue; // DFF outputs stay Free.
+        };
+        let ins: Vec<NetVal> = inputs.iter().map(|&n| resolve(&alias, n)).collect();
+        let consts: Vec<Option<bool>> = ins
+            .iter()
+            .map(|v| match v {
+                NetVal::Const(b) => Some(*b),
+                NetVal::Free(_) => None,
+            })
+            .collect();
+
+        // Fully constant gate: fold.
+        if consts.iter().all(Option::is_some) {
+            let vals: Vec<bool> = consts.iter().map(|c| c.unwrap()).collect();
+            alias[output.index()] = NetVal::Const(kind.eval(&vals));
+            continue;
+        }
+
+        // Local rewrites. `emit` falls through to keeping a gate.
+        let rewritten: Option<NetVal> = match kind {
+            CellKind::Buf => Some(ins[0]),
+            CellKind::And2 | CellKind::Or2 | CellKind::Xor2 | CellKind::Xnor2
+            | CellKind::Nand2 | CellKind::Nor2 => {
+                binary_rewrite(*kind, &ins, &consts, &mut kept, *output, *region)
+            }
+            CellKind::Mux2 => {
+                // ins = [a0, a1, s]
+                match consts[2] {
+                    Some(false) => Some(ins[0]),
+                    Some(true) => Some(ins[1]),
+                    None => {
+                        if ins[0] == ins[1] {
+                            Some(ins[0])
+                        } else if consts[0] == Some(false) && consts[1] == Some(true) {
+                            Some(ins[2]) // mux(0,1,s) = s
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+
+        match rewritten {
+            Some(v) => alias[output.index()] = v,
+            None => kept.push((*kind, ins, *output, *region)),
+        }
+    }
+
+    rebuild(nl, &alias, &kept)
+}
+
+/// Identity rewrites for two-input gates. May push a replacement gate (e.g.
+/// an inverter) and return its output as the alias.
+fn binary_rewrite(
+    kind: CellKind,
+    ins: &[NetVal],
+    consts: &[Option<bool>],
+    kept: &mut Vec<(CellKind, Vec<NetVal>, NetId, u32)>,
+    output: NetId,
+    region: u32,
+) -> Option<NetVal> {
+    let (a, b) = (ins[0], ins[1]);
+    let mut inv_of = |x: NetVal| -> NetVal {
+        kept.push((CellKind::Inv, vec![x], output, region));
+        NetVal::Free(output)
+    };
+    // Same-input identities.
+    if a == b {
+        return Some(match kind {
+            CellKind::And2 | CellKind::Or2 => a,
+            CellKind::Xor2 => NetVal::Const(false),
+            CellKind::Xnor2 => NetVal::Const(true),
+            CellKind::Nand2 | CellKind::Nor2 => inv_of(a),
+            _ => unreachable!("binary_rewrite called on non-binary kind"),
+        });
+    }
+    // One constant input: reduce. Normalise so the constant is `k`, the
+    // free operand `x`.
+    let (k, x) = match (consts[0], consts[1]) {
+        (Some(k), None) => (k, b),
+        (None, Some(k)) => (k, a),
+        _ => return None,
+    };
+    Some(match (kind, k) {
+        (CellKind::And2, false) => NetVal::Const(false),
+        (CellKind::And2, true) => x,
+        (CellKind::Or2, true) => NetVal::Const(true),
+        (CellKind::Or2, false) => x,
+        (CellKind::Nand2, false) => NetVal::Const(true),
+        (CellKind::Nand2, true) => inv_of(x),
+        (CellKind::Nor2, true) => NetVal::Const(false),
+        (CellKind::Nor2, false) => inv_of(x),
+        (CellKind::Xor2, false) => x,
+        (CellKind::Xor2, true) => inv_of(x),
+        (CellKind::Xnor2, true) => x,
+        (CellKind::Xnor2, false) => inv_of(x),
+        _ => unreachable!("binary_rewrite called on non-binary kind"),
+    })
+}
+
+/// Rebuilds a netlist applying an alias map and a kept-gate list, keeping
+/// all DFFs, SRAMs, inputs and outputs.
+fn rebuild(
+    nl: &Netlist,
+    alias: &[NetVal],
+    kept: &[(CellKind, Vec<NetVal>, NetId, u32)],
+) -> Netlist {
+    let mut out = Netlist::new(nl.name());
+    for r in nl.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+
+    // Copy all net names; unused ones are swept later.
+    let mut net_map: Vec<NetId> = Vec::with_capacity(nl.net_count());
+    for i in 0..nl.net_count() {
+        net_map.push(out.add_net(nl.net_name(NetId::from_index(i))));
+    }
+
+    let mut tie_cache: HashMap<bool, NetId> = HashMap::new();
+    let mut materialise = |v: NetVal, out: &mut Netlist| -> NetId {
+        match v {
+            NetVal::Free(n) => net_map[n.index()],
+            NetVal::Const(b) => *tie_cache.entry(b).or_insert_with(|| {
+                let n = out.add_net(if b { "tie1_opt" } else { "tie0_opt" });
+                out.add_gate(if b { CellKind::Tie1 } else { CellKind::Tie0 }, vec![], n, 0);
+                n
+            }),
+        }
+    };
+
+    for (name, net) in nl.inputs() {
+        out.add_input(name.clone(), net_map[net.index()]);
+    }
+
+    for (kind, ins, output, region) in kept {
+        let inputs: Vec<NetId> = ins.iter().map(|&v| materialise(v, &mut out)).collect();
+        out.add_gate(*kind, inputs, net_map[output.index()], *region);
+    }
+
+    for g in nl.gates() {
+        if let Gate::Dff { name, d, q, init, region } = g {
+            let dv = alias[d.index()];
+            let d_net = materialise(dv, &mut out);
+            out.add_dff(name.clone(), d_net, net_map[q.index()], *init, *region);
+        }
+    }
+
+    for s in nl.srams() {
+        let mut s2 = s.clone();
+        for rp in &mut s2.read_ports {
+            for a in &mut rp.addr {
+                *a = materialise(alias[a.index()], &mut out);
+            }
+            for d in &mut rp.data {
+                *d = net_map[d.index()];
+            }
+        }
+        for wp in &mut s2.write_ports {
+            for a in &mut wp.addr {
+                *a = materialise(alias[a.index()], &mut out);
+            }
+            for d in &mut wp.data {
+                *d = materialise(alias[d.index()], &mut out);
+            }
+            wp.enable = materialise(alias[wp.enable.index()], &mut out);
+        }
+        out.add_sram(s2);
+    }
+
+    for (name, net) in nl.outputs() {
+        let v = alias[net.index()];
+        let mapped = materialise(v, &mut out);
+        out.add_output(name.clone(), mapped);
+    }
+
+    out
+}
+
+/// Removes gates (and nets) that no output, flip-flop or macro transitively
+/// depends on.
+fn sweep(nl: &Netlist) -> Netlist {
+    // Liveness over nets, seeded by outputs, DFF data pins, SRAM pins.
+    let mut live = vec![false; nl.net_count()];
+    let mut stack: Vec<NetId> = Vec::new();
+    let mark = |n: NetId, live: &mut Vec<bool>, stack: &mut Vec<NetId>| {
+        if !live[n.index()] {
+            live[n.index()] = true;
+            stack.push(n);
+        }
+    };
+
+    for (_, n) in nl.outputs() {
+        mark(*n, &mut live, &mut stack);
+    }
+    for g in nl.gates() {
+        if let Gate::Dff { d, q, .. } = g {
+            mark(*d, &mut live, &mut stack);
+            mark(*q, &mut live, &mut stack);
+        }
+    }
+    for s in nl.srams() {
+        for rp in &s.read_ports {
+            for &a in &rp.addr {
+                mark(a, &mut live, &mut stack);
+            }
+            for &d in &rp.data {
+                mark(d, &mut live, &mut stack);
+            }
+        }
+        for wp in &s.write_ports {
+            for &a in &wp.addr {
+                mark(a, &mut live, &mut stack);
+            }
+            for &d in &wp.data {
+                mark(d, &mut live, &mut stack);
+            }
+            mark(wp.enable, &mut live, &mut stack);
+        }
+    }
+
+    // driver map for backward traversal.
+    let mut driver: Vec<Option<usize>> = vec![None; nl.net_count()];
+    for (i, g) in nl.gates().iter().enumerate() {
+        driver[g.output().index()] = Some(i);
+    }
+    while let Some(n) = stack.pop() {
+        if let Some(gi) = driver[n.index()] {
+            if let Gate::Comb { inputs, .. } = &nl.gates()[gi] {
+                for &i in inputs {
+                    mark(i, &mut live, &mut stack);
+                }
+            }
+        }
+    }
+
+    // Rebuild with only live nets and gates.
+    let mut out = Netlist::new(nl.name());
+    for r in nl.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.net_count()];
+    for i in 0..nl.net_count() {
+        if live[i] {
+            net_map[i] = Some(out.add_net(nl.net_name(NetId::from_index(i))));
+        }
+    }
+    let remap = |n: NetId, net_map: &[Option<NetId>]| -> NetId {
+        net_map[n.index()].expect("live gate references dead net")
+    };
+
+    for (name, net) in nl.inputs() {
+        // Primary inputs stay even if unused; give dead ones a net.
+        let mapped = match net_map[net.index()] {
+            Some(m) => m,
+            None => out.add_net(nl.net_name(*net)),
+        };
+        out.add_input(name.clone(), mapped);
+    }
+    for g in nl.gates() {
+        match g {
+            Gate::Comb { kind, inputs, output, region } => {
+                if live[output.index()] {
+                    let ins = inputs.iter().map(|&n| remap(n, &net_map)).collect();
+                    out.add_gate(*kind, ins, remap(*output, &net_map), *region);
+                }
+            }
+            Gate::Dff { name, d, q, init, region } => {
+                out.add_dff(
+                    name.clone(),
+                    remap(*d, &net_map),
+                    remap(*q, &net_map),
+                    *init,
+                    *region,
+                );
+            }
+        }
+    }
+    for s in nl.srams() {
+        let mut s2 = s.clone();
+        for rp in &mut s2.read_ports {
+            for a in &mut rp.addr {
+                *a = remap(*a, &net_map);
+            }
+            for d in &mut rp.data {
+                *d = remap(*d, &net_map);
+            }
+        }
+        for wp in &mut s2.write_ports {
+            for a in &mut wp.addr {
+                *a = remap(*a, &net_map);
+            }
+            for d in &mut wp.data {
+                *d = remap(*d, &net_map);
+            }
+            wp.enable = remap(wp.enable, &net_map);
+        }
+        out.add_sram(s2);
+    }
+    for (name, net) in nl.outputs() {
+        out.add_output(name.clone(), remap(*net, &net_map));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_nand_folds() {
+        let mut nl = Netlist::new("t");
+        let t1 = nl.add_net("t1");
+        nl.add_gate(CellKind::Tie1, vec![], t1, 0);
+        let t0 = nl.add_net("t0");
+        nl.add_gate(CellKind::Tie0, vec![], t0, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Nand2, vec![t1, t0], y, 0);
+        nl.add_output("y", y);
+        nl.validate().unwrap();
+        optimize(&mut nl);
+        nl.validate().unwrap();
+        // The NAND folds to constant 1; only a tie cell should remain.
+        assert_eq!(nl.comb_gate_count(), 1);
+        assert_eq!(nl.gates()[0].kind(), CellKind::Tie1);
+    }
+
+    #[test]
+    fn and_with_one_becomes_wire() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_input("a", a);
+        let t1 = nl.add_net("t1");
+        nl.add_gate(CellKind::Tie1, vec![], t1, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::And2, vec![a, t1], y, 0);
+        nl.add_output("y", y);
+        optimize(&mut nl);
+        nl.validate().unwrap();
+        assert_eq!(nl.comb_gate_count(), 0);
+        // Output should be wired straight to the input net.
+        assert_eq!(nl.outputs()[0].1, nl.inputs()[0].1);
+    }
+
+    #[test]
+    fn dead_logic_swept_but_dffs_kept() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_input("a", a);
+        // Dead inverter chain.
+        let d1 = nl.add_net("d1");
+        nl.add_gate(CellKind::Inv, vec![a], d1, 0);
+        let d2 = nl.add_net("d2");
+        nl.add_gate(CellKind::Inv, vec![d1], d2, 0);
+        // Live DFF with no output consumer: must survive.
+        let q = nl.add_net("q");
+        let nd = nl.add_net("nd");
+        nl.add_gate(CellKind::Inv, vec![q], nd, 0);
+        nl.add_dff("r", nd, q, false, 0);
+        nl.add_output("a_out", a);
+        optimize(&mut nl);
+        nl.validate().unwrap();
+        assert_eq!(nl.dff_count(), 1);
+        // The two dead inverters are gone; the DFF's inverter remains.
+        assert_eq!(nl.comb_gate_count(), 1);
+    }
+
+    #[test]
+    fn mux_with_constant_select_simplifies() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_input("a", a);
+        nl.add_input("b", b);
+        let t1 = nl.add_net("t1");
+        nl.add_gate(CellKind::Tie1, vec![], t1, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Mux2, vec![a, b, t1], y, 0);
+        nl.add_output("y", y);
+        optimize(&mut nl);
+        nl.validate().unwrap();
+        assert_eq!(nl.comb_gate_count(), 0);
+        assert_eq!(nl.outputs()[0].1, nl.inputs()[1].1);
+    }
+
+    #[test]
+    fn xor_with_same_input_folds_to_zero() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        nl.add_input("a", a);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Xor2, vec![a, a], y, 0);
+        nl.add_output("y", y);
+        optimize(&mut nl);
+        nl.validate().unwrap();
+        assert_eq!(nl.gates()[0].kind(), CellKind::Tie0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Region (floorplan component) assignment for power attribution.
+//!
+//! Fig. 9a of the paper breaks average power down by floorplan component
+//! (fetch unit, register file, L1 caches, …). Real tools attribute each
+//! cell to the hierarchy instance that contains it. Our designs are flat,
+//! but state elements carry hierarchical names (`"core/fetch/pc"`); this
+//! pass assigns every combinational node to a component by propagating
+//! ownership backward from the state elements and outputs that consume it,
+//! approximating the placement a hierarchical flow would produce.
+
+use std::collections::VecDeque;
+use strober_rtl::{Design, Node, NodeId};
+
+/// The component prefix of a hierarchical state-element name: everything up
+/// to the last `/` (or `"<top>"` for unscoped names).
+pub(crate) fn component_of(name: &str) -> String {
+    match name.rfind('/') {
+        Some(i) => name[..i].to_owned(),
+        None => "<top>".to_owned(),
+    }
+}
+
+/// Assigns each node a component region.
+///
+/// Sinks (register next/enable cones, memory port cones, outputs) seed the
+/// propagation with their owner's component; each remaining node takes the
+/// component of the first sink cone that reaches it (breadth-first, in
+/// declaration order, so attribution is deterministic).
+pub fn assign_regions(design: &Design) -> Vec<String> {
+    let n = design.node_count();
+    let mut region: Vec<Option<u32>> = vec![None; n];
+    let mut table: Vec<String> = Vec::new();
+    let intern = |name: String, table: &mut Vec<String>| -> u32 {
+        if let Some(i) = table.iter().position(|t| *t == name) {
+            i as u32
+        } else {
+            table.push(name);
+            (table.len() - 1) as u32
+        }
+    };
+
+    // Seed queue: (node, region) pairs from every sink, in deterministic
+    // order.
+    let mut queue: VecDeque<(NodeId, u32)> = VecDeque::new();
+    for (_, r) in design.registers() {
+        let comp = intern(component_of(r.name()), &mut table);
+        if let Some(next) = r.next() {
+            queue.push_back((next, comp));
+        }
+        if let Some(en) = r.enable() {
+            queue.push_back((en, comp));
+        }
+    }
+    for (_, m) in design.memories() {
+        let comp = intern(component_of(m.name()), &mut table);
+        for rp in m.read_ports() {
+            queue.push_back((rp.addr(), comp));
+        }
+        for wp in m.write_ports() {
+            queue.push_back((wp.addr(), comp));
+            queue.push_back((wp.data(), comp));
+            queue.push_back((wp.enable(), comp));
+        }
+    }
+    let top = intern("<top>".to_owned(), &mut table);
+    for (_, id) in design.outputs() {
+        queue.push_back((*id, top));
+    }
+
+    while let Some((id, comp)) = queue.pop_front() {
+        if region[id.index()].is_some() {
+            continue;
+        }
+        region[id.index()] = Some(comp);
+        match *design.node(id) {
+            Node::Input(_) | Node::Const(_) | Node::RegOut(_) => {}
+            Node::Unary { a, .. } | Node::Slice { a, .. } => queue.push_back((a, comp)),
+            Node::Binary { a, b, .. } => {
+                queue.push_back((a, comp));
+                queue.push_back((b, comp));
+            }
+            Node::Mux { sel, t, f } => {
+                queue.push_back((sel, comp));
+                queue.push_back((t, comp));
+                queue.push_back((f, comp));
+            }
+            Node::Cat { hi, lo } => {
+                queue.push_back((hi, comp));
+                queue.push_back((lo, comp));
+            }
+            Node::MemRead { mem, port } => {
+                let addr = design.memory(mem).read_ports()[port].addr();
+                queue.push_back((addr, comp));
+            }
+            Node::Wire(wid) => {
+                if let Some(src) = design.wire_driver(wid) {
+                    queue.push_back((src, comp));
+                }
+            }
+        }
+    }
+
+    (0..n)
+        .map(|i| {
+            region[i]
+                .map(|r| table[r as usize].clone())
+                .unwrap_or_else(|| "<top>".to_owned())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_dsl::Ctx;
+    use strober_rtl::Width;
+
+    #[test]
+    fn component_prefixes() {
+        assert_eq!(component_of("core/fetch/pc"), "core/fetch");
+        assert_eq!(component_of("pc"), "<top>");
+        assert_eq!(component_of("a/b"), "a");
+    }
+
+    #[test]
+    fn logic_is_attributed_to_the_consuming_component() {
+        let ctx = Ctx::new("t");
+        let w8 = Width::new(8).unwrap();
+        let x = ctx.input("x", w8);
+        let r = ctx.scope("fetch", |c| c.reg("pc", w8, 0));
+        // The adder feeding fetch/pc belongs to the fetch component.
+        let next = x.add_lit(1);
+        r.set(&next);
+        let design = ctx.finish().unwrap();
+        let regions = assign_regions(&design);
+        assert_eq!(regions[next.id().index()], "fetch");
+    }
+
+    #[test]
+    fn output_only_logic_goes_to_top() {
+        let ctx = Ctx::new("t");
+        let w8 = Width::new(8).unwrap();
+        let x = ctx.input("x", w8);
+        let y = x.add_lit(2);
+        ctx.output("o", &y);
+        let design = ctx.finish().unwrap();
+        let regions = assign_regions(&design);
+        assert_eq!(regions[y.id().index()], "<top>");
+    }
+
+    #[test]
+    fn first_sink_wins_for_shared_logic() {
+        let ctx = Ctx::new("t");
+        let w8 = Width::new(8).unwrap();
+        let x = ctx.input("x", w8);
+        let shared = x.add_lit(1);
+        let a = ctx.scope("alpha", |c| c.reg("r", w8, 0));
+        let b = ctx.scope("beta", |c| c.reg("r", w8, 0));
+        a.set(&shared);
+        b.set(&shared);
+        let design = ctx.finish().unwrap();
+        let regions = assign_regions(&design);
+        // alpha is declared first, so the shared adder lands in alpha.
+        assert_eq!(regions[shared.id().index()], "alpha");
+    }
+}

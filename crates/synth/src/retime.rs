@@ -1,0 +1,352 @@
+//! Forward register retiming (Leiserson–Saxe moves) for annotated
+//! datapaths.
+//!
+//! The paper (§IV-C3) observes that CAD tools retime designer-annotated
+//! datapaths (typically FPU pipelines), after which the moved registers'
+//! values cannot be reconstructed from an RTL state snapshot; replay
+//! recovers them by forcing the recorded I/O for the datapath latency
+//! before each measurement window. This module performs genuine forward
+//! moves: when every input of a combinational gate is driven by an
+//! annotated flip-flop whose output has no other fanout, the input
+//! flip-flops are deleted and a single flip-flop is inserted after the
+//! gate, with its initial value recomputed through the gate function.
+
+use std::collections::{HashMap, HashSet};
+use strober_gates::{Gate, NetId, Netlist};
+
+/// Repeatedly applies forward retiming moves to the annotated flip-flops
+/// until a fixed point; returns the number of moves applied.
+///
+/// `annotated` holds DFF instance names eligible for motion. Newly created
+/// flip-flops are named `rt<k>_reg_` and remain eligible, so registers
+/// migrate as far forward as the structure allows — exactly the behaviour
+/// that breaks name-based state loading and motivates the I/O-forcing
+/// replay strategy.
+pub fn forward_retime(netlist: &mut Netlist, annotated: &HashSet<String>) -> usize {
+    let mut annotated: HashSet<String> = annotated.clone();
+    let mut total_moves = 0;
+    let mut fresh = 0usize;
+
+    // Iterate to a fixed point, bounded to guard against pathological
+    // structures.
+    for _ in 0..64 {
+        let moves = retime_pass(netlist, &mut annotated, &mut fresh);
+        if moves == 0 {
+            break;
+        }
+        total_moves += moves;
+    }
+    total_moves
+}
+
+fn retime_pass(
+    netlist: &mut Netlist,
+    annotated: &mut HashSet<String>,
+    fresh: &mut usize,
+) -> usize {
+    let fanout = netlist.fanout();
+
+    // Map net -> index of the DFF driving it, for annotated DFFs only.
+    let mut dff_driving: HashMap<NetId, usize> = HashMap::new();
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if let Gate::Dff { name, q, .. } = g {
+            if annotated.contains(name) {
+                dff_driving.insert(*q, i);
+            }
+        }
+    }
+
+    // Plan moves greedily; a DFF may participate in at most one move.
+    struct Move {
+        gate: usize,
+        removed_dffs: Vec<usize>,
+        new_init: bool,
+    }
+    let mut consumed: HashSet<usize> = HashSet::new();
+    let mut moves: Vec<Move> = Vec::new();
+
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        let Gate::Comb { kind, inputs, .. } = g else {
+            continue;
+        };
+        if inputs.is_empty() {
+            continue; // tie cells
+        }
+        let mut removed = Vec::with_capacity(inputs.len());
+        let mut inits = Vec::with_capacity(inputs.len());
+        let mut ok = true;
+        for &n in inputs {
+            match dff_driving.get(&n) {
+                // Input DFF must feed only this gate and not already be
+                // claimed by another move this pass.
+                Some(&di) if fanout[n.index()] == 1 && !consumed.contains(&di) => {
+                    let Gate::Dff { init, .. } = &netlist.gates()[di] else {
+                        unreachable!("dff_driving maps to DFGs only");
+                    };
+                    removed.push(di);
+                    inits.push(*init);
+                }
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        // Repeated input nets would appear twice in `removed`.
+        if !ok || removed.len() != inputs.len() {
+            continue;
+        }
+        let mut uniq = removed.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        if uniq.len() != removed.len() {
+            continue;
+        }
+        for &di in &removed {
+            consumed.insert(di);
+        }
+        moves.push(Move {
+            gate: gi,
+            removed_dffs: removed,
+            new_init: kind.eval(&inits),
+        });
+    }
+
+    if moves.is_empty() {
+        return 0;
+    }
+
+    // Rebuild the netlist applying the moves.
+    let mut remove_gate: HashSet<usize> = HashSet::new();
+    let mut dff_d_of: HashMap<usize, NetId> = HashMap::new();
+    for (i, g) in netlist.gates().iter().enumerate() {
+        if let Gate::Dff { d, .. } = g {
+            dff_d_of.insert(i, *d);
+        }
+    }
+    // For each move: the gate's inputs are replaced by the removed DFFs' D
+    // nets; the gate's old output net is now driven by a new DFF whose D is
+    // a fresh net carrying the gate output.
+    let mut gate_rewire: HashMap<usize, (Vec<NetId>, NetId, bool)> = HashMap::new();
+    let mut new_nets: Vec<(usize, String)> = Vec::new();
+    for (k, m) in moves.iter().enumerate() {
+        for &di in &m.removed_dffs {
+            remove_gate.insert(di);
+        }
+        let new_d: Vec<NetId> = m.removed_dffs.iter().map(|&di| dff_d_of[&di]).collect();
+        new_nets.push((m.gate, format!("rtn{}_{k}", *fresh)));
+        gate_rewire.insert(m.gate, (new_d, NetId::from_index(0), m.new_init));
+    }
+
+    // The q nets of removed DFFs become orphans (their only fanout was the
+    // rewired gate); don't recreate them.
+    let mut orphan: HashSet<NetId> = HashSet::new();
+    for &di in &remove_gate {
+        if let Gate::Dff { q, .. } = &netlist.gates()[di] {
+            orphan.insert(*q);
+        }
+    }
+
+    let mut out = Netlist::new(netlist.name());
+    for r in netlist.regions().iter().skip(1) {
+        out.intern_region(r);
+    }
+    let mut net_map: Vec<NetId> = Vec::with_capacity(netlist.net_count());
+    for i in 0..netlist.net_count() {
+        let id = NetId::from_index(i);
+        if orphan.contains(&id) {
+            // Never referenced after the rewire; keep a placeholder id.
+            net_map.push(NetId::from_index(usize::MAX >> 32));
+        } else {
+            net_map.push(out.add_net(netlist.net_name(id)));
+        }
+    }
+    for (name, n) in netlist.inputs() {
+        out.add_input(name.clone(), net_map[n.index()]);
+    }
+
+    let mut moved = 0usize;
+    for (gi, g) in netlist.gates().iter().enumerate() {
+        if remove_gate.contains(&gi) {
+            continue;
+        }
+        match g {
+            Gate::Comb { kind, inputs, output, region } => {
+                if let Some((new_inputs, _, new_init)) = gate_rewire.get(&gi) {
+                    // Gate now reads the removed DFFs' D nets and drives a
+                    // fresh net; a new DFF connects that net to the old
+                    // output.
+                    let fresh_net = out.add_net(format!("rtn{}", *fresh));
+                    let ins: Vec<NetId> =
+                        new_inputs.iter().map(|&n| net_map[n.index()]).collect();
+                    out.add_gate(*kind, ins, fresh_net, *region);
+                    let name = format!("rt{}_reg_", *fresh);
+                    *fresh += 1;
+                    annotated.insert(name.clone());
+                    out.add_dff(name, fresh_net, net_map[output.index()], *new_init, *region);
+                    moved += 1;
+                } else {
+                    let ins: Vec<NetId> = inputs.iter().map(|&n| net_map[n.index()]).collect();
+                    out.add_gate(*kind, ins, net_map[output.index()], *region);
+                }
+            }
+            Gate::Dff { name, d, q, init, region } => {
+                out.add_dff(
+                    name.clone(),
+                    net_map[d.index()],
+                    net_map[q.index()],
+                    *init,
+                    *region,
+                );
+            }
+        }
+    }
+    for s in netlist.srams() {
+        let mut s2 = s.clone();
+        for rp in &mut s2.read_ports {
+            for a in &mut rp.addr {
+                *a = net_map[a.index()];
+            }
+            for d in &mut rp.data {
+                *d = net_map[d.index()];
+            }
+        }
+        for wp in &mut s2.write_ports {
+            for a in &mut wp.addr {
+                *a = net_map[a.index()];
+            }
+            for d in &mut wp.data {
+                *d = net_map[d.index()];
+            }
+            wp.enable = net_map[wp.enable.index()];
+        }
+        out.add_sram(s2);
+    }
+    for (name, n) in netlist.outputs() {
+        out.add_output(name.clone(), net_map[n.index()]);
+    }
+
+    *netlist = out;
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use strober_gates::CellKind;
+
+    /// d -> DFF_a -> inv -> y ; forward move should yield d -> inv -> DFF -> y.
+    #[test]
+    fn single_inverter_forward_move() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        nl.add_input("d", d);
+        let qa = nl.add_net("qa");
+        nl.add_dff("a_reg_0_", d, qa, true, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Inv, vec![qa], y, 0);
+        nl.add_output("y", y);
+        nl.validate().unwrap();
+
+        let mut annotated = HashSet::new();
+        annotated.insert("a_reg_0_".to_owned());
+        let moves = forward_retime(&mut nl, &annotated);
+        assert_eq!(moves, 1);
+        nl.validate().unwrap();
+        assert_eq!(nl.dff_count(), 1);
+        // Init propagated through the inverter: !true = false.
+        let (_, name, _, _, init) = nl.dffs().next().unwrap();
+        assert!(name.starts_with("rt"));
+        assert!(!init);
+    }
+
+    /// Two DFFs feeding an AND merge into one DFF after the AND.
+    #[test]
+    fn two_input_merge() {
+        let mut nl = Netlist::new("t");
+        let d0 = nl.add_net("d0");
+        let d1 = nl.add_net("d1");
+        nl.add_input("d0", d0);
+        nl.add_input("d1", d1);
+        let q0 = nl.add_net("q0");
+        let q1 = nl.add_net("q1");
+        nl.add_dff("a_reg_0_", d0, q0, true, 0);
+        nl.add_dff("a_reg_1_", d1, q1, true, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::And2, vec![q0, q1], y, 0);
+        nl.add_output("y", y);
+
+        let mut annotated = HashSet::new();
+        annotated.insert("a_reg_0_".to_owned());
+        annotated.insert("a_reg_1_".to_owned());
+        let moves = forward_retime(&mut nl, &annotated);
+        assert_eq!(moves, 1);
+        nl.validate().unwrap();
+        assert_eq!(nl.dff_count(), 1);
+        let (_, _, _, _, init) = nl.dffs().next().unwrap();
+        assert!(init); // true & true
+    }
+
+    /// A DFF whose output has extra fanout must not move.
+    #[test]
+    fn fanout_blocks_move() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        nl.add_input("d", d);
+        let q = nl.add_net("q");
+        nl.add_dff("a_reg_0_", d, q, false, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Inv, vec![q], y, 0);
+        nl.add_output("y", y);
+        nl.add_output("q_out", q); // extra fanout
+
+        let mut annotated = HashSet::new();
+        annotated.insert("a_reg_0_".to_owned());
+        let moves = forward_retime(&mut nl, &annotated);
+        assert_eq!(moves, 0);
+        assert_eq!(nl.dff_count(), 1);
+        let (_, name, _, _, _) = nl.dffs().next().unwrap();
+        assert_eq!(name, "a_reg_0_");
+    }
+
+    /// Unannotated DFFs never move.
+    #[test]
+    fn unannotated_dffs_stay() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        nl.add_input("d", d);
+        let q = nl.add_net("q");
+        nl.add_dff("keep_reg_0_", d, q, false, 0);
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::Inv, vec![q], y, 0);
+        nl.add_output("y", y);
+
+        let moves = forward_retime(&mut nl, &HashSet::new());
+        assert_eq!(moves, 0);
+    }
+
+    /// Moves cascade through a chain of gates across passes.
+    #[test]
+    fn cascading_moves() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        nl.add_input("d", d);
+        let q = nl.add_net("q");
+        nl.add_dff("a_reg_0_", d, q, false, 0);
+        let m1 = nl.add_net("m1");
+        nl.add_gate(CellKind::Inv, vec![q], m1, 0);
+        let m2 = nl.add_net("m2");
+        nl.add_gate(CellKind::Inv, vec![m1], m2, 0);
+        nl.add_output("y", m2);
+
+        let mut annotated = HashSet::new();
+        annotated.insert("a_reg_0_".to_owned());
+        let moves = forward_retime(&mut nl, &annotated);
+        assert_eq!(moves, 2, "register should migrate across both inverters");
+        nl.validate().unwrap();
+        assert_eq!(nl.dff_count(), 1);
+        // Register ends after the second inverter; init = !!false = false.
+        let (_, _, _, _, init) = nl.dffs().next().unwrap();
+        assert!(!init);
+    }
+}

@@ -1,0 +1,103 @@
+//! Quickstart: sample-based energy simulation of a GCD unit.
+//!
+//! Builds a small RTL design in the construction DSL, runs the complete
+//! Strober flow (FAME1 transform + scan chains, synthesis, formal
+//! matching, fast sampled simulation, gate-level replay, power analysis),
+//! and prints the average-power estimate with its confidence interval.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use strober::{StroberConfig, StroberFlow};
+use strober_dsl::Ctx;
+use strober_platform::{HostModel, OutputView};
+use strober_rtl::Width;
+
+/// Host model: feeds a new GCD problem whenever the unit reports done.
+struct GcdDriver {
+    problems: u64,
+}
+
+impl HostModel for GcdDriver {
+    fn tick(&mut self, cycle: u64, io: &mut OutputView<'_>) {
+        if io.get("done") == 1 || cycle == 0 {
+            // A little deterministic variety.
+            let a = 5000 + (cycle * 97 + 13) % 50_000;
+            let b = 3 + (cycle * 31 + 7) % 9_000;
+            io.set("a", a);
+            io.set("b", b);
+            io.set("start", 1);
+            self.problems += 1;
+        } else {
+            io.set("start", 0);
+        }
+    }
+}
+
+fn build_gcd() -> strober_rtl::Design {
+    let ctx = Ctx::new("gcd");
+    let w16 = Width::new(16).unwrap();
+    let a_in = ctx.input("a", w16);
+    let b_in = ctx.input("b", w16);
+    let start = ctx.input("start", Width::BIT);
+
+    let (x, y) = ctx.scope("datapath", |c| (c.reg("x", w16, 0), c.reg("y", w16, 0)));
+    let x_gt_y = y.out().ltu(&x.out());
+    let x_next = x_gt_y.mux(&(&x.out() - &y.out()), &x.out());
+    let y_next = x_gt_y.mux(&y.out(), &(&y.out() - &x.out()));
+    x.set(&start.mux(&a_in, &x_next));
+    y.set(&start.mux(&b_in, &y_next));
+
+    ctx.output("result", &x.out());
+    ctx.output("done", &y.out().eq_lit(0));
+    ctx.finish().expect("gcd elaborates")
+}
+
+fn main() -> Result<(), strober::StroberError> {
+    let design = build_gcd();
+    println!("target: {design}");
+
+    // 1. Instrument + synthesize + formally match.
+    let flow = StroberFlow::new(
+        &design,
+        StroberConfig {
+            replay_length: 64,
+            sample_size: 30,
+            ..StroberConfig::default()
+        },
+    )?;
+    println!(
+        "hub has {} registers ({} in the scan chain); netlist has {} gates + {} flip-flops",
+        flow.fame().hub.register_count(),
+        flow.fame().meta.scan_chain.len(),
+        flow.synth().netlist.comb_gate_count(),
+        flow.synth().netlist.dff_count(),
+    );
+
+    // 2. Fast simulation with reservoir-sampled snapshots.
+    let mut driver = GcdDriver { problems: 0 };
+    let run = flow.run_sampled(&mut driver, 200_000)?;
+    println!(
+        "ran {} target cycles ({} replay windows), captured {} snapshots in {} record operations",
+        run.target_cycles,
+        run.windows,
+        run.snapshots.len(),
+        run.records
+    );
+
+    // 3. Replay each snapshot on gate-level simulation (in parallel) and
+    //    turn the signal activity into power.
+    let results = flow.replay_all(&run.snapshots, 4)?;
+    let checked: u64 = results.iter().map(|r| r.outputs_checked).sum();
+    println!("replayed {} snapshots; {} output values checked against traces", results.len(), checked);
+
+    // 4. The estimate.
+    let estimate = flow.estimate(&run, &results);
+    println!();
+    print!("{estimate}");
+    println!(
+        "total energy for the run: {:.3} mJ over {} GCD problems",
+        estimate.total_energy_mj(),
+        driver.problems
+    );
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Umbrella crate: re-exports the Strober workspace for integration tests and examples.
+pub use strober;
