@@ -41,7 +41,9 @@ fn bench_flow(c: &mut Criterion) {
     });
 
     group.bench_function("formal_match", |b| {
-        b.iter(|| black_box(match_designs(&design, &synth, &MatchOptions::default()).expect("match")));
+        b.iter(|| {
+            black_box(match_designs(&design, &synth, &MatchOptions::default()).expect("match"))
+        });
     });
 
     group.bench_function("compile_hub_simulator", |b| {

@@ -1,0 +1,71 @@
+//! Cold vs warm session preparation through the artifact store.
+//!
+//! "Cold" is a full miss: fingerprint the design, run the FAME1 transform,
+//! synthesis and formal matching, then serialize the artifacts into the
+//! store — exactly what the first `strober estimate` on a design pays.
+//! "Warm" is a hit: fingerprint, read, verify and decode the cached
+//! artifacts. The ratio between the two is the headline number of the
+//! warm-start cache (recorded in EXPERIMENTS.md); the acceptance bar is
+//! ≥ 10× on Rok.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::path::PathBuf;
+use strober::{StroberConfig, StroberFlow};
+use strober_cores::{build_core, CoreConfig};
+use strober_store::Store;
+
+fn bench_dir(label: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "strober-bench-store-{label}-{}",
+        std::process::id()
+    ))
+}
+
+fn bench_core(c: &mut Criterion, label: &str, core: &CoreConfig) {
+    let design = build_core(core);
+    let config = StroberConfig::default();
+
+    let mut group = c.benchmark_group("store");
+    group.sample_size(10);
+
+    // Miss path: the store exists but never holds the key.
+    let cold_dir = bench_dir(&format!("{label}-cold"));
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let mut cold_store = Store::open(&cold_dir).expect("open store");
+    group.bench_function(&format!("prepare_cold_{label}"), |b| {
+        b.iter(|| {
+            cold_store.clear().expect("clear store");
+            let (flow, hit) = StroberFlow::prepare_cached(&design, config.clone(), &mut cold_store)
+                .expect("prepare");
+            assert!(!hit);
+            black_box(flow)
+        });
+    });
+
+    // Hit path: the store is primed once, every iteration reads it back.
+    let warm_dir = bench_dir(&format!("{label}-warm"));
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let mut warm_store = Store::open(&warm_dir).expect("open store");
+    StroberFlow::prepare_cached(&design, config.clone(), &mut warm_store).expect("prime");
+    group.bench_function(&format!("prepare_warm_{label}"), |b| {
+        b.iter(|| {
+            let (flow, hit) = StroberFlow::prepare_cached(&design, config.clone(), &mut warm_store)
+                .expect("prepare");
+            assert!(hit);
+            black_box(flow)
+        });
+    });
+
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cold_dir);
+    let _ = std::fs::remove_dir_all(&warm_dir);
+}
+
+fn bench_store(c: &mut Criterion) {
+    bench_core(c, "rok", &CoreConfig::rok());
+    bench_core(c, "boum_2w", &CoreConfig::boum_2w());
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

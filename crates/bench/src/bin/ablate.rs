@@ -50,7 +50,10 @@ fn main() {
     };
 
     println!("Sample-size sweep (L = 128; eq. 8 predicts bound ~ 1/sqrt(n)):");
-    println!("{:>6} {:>10} {:>10} {:>14}", "n", "bound%", "actual%", "bound*sqrt(n)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>14}",
+        "n", "bound%", "actual%", "bound*sqrt(n)"
+    );
     for n in [5usize, 10, 20, 40, 80] {
         let (bound, actual) = run_once(n, 128, 42);
         println!(
@@ -61,7 +64,10 @@ fn main() {
 
     println!();
     println!("Replay-length sweep (n = 30; fixed snapshot count):");
-    println!("{:>6} {:>10} {:>10} {:>12}", "L", "bound%", "actual%", "coverage");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12}",
+        "L", "bound%", "actual%", "coverage"
+    );
     for l in [32u32, 64, 128, 256, 512] {
         let (bound, actual) = run_once(30, l, 77);
         let coverage = 30.0 * f64::from(l) / 371_000.0 * 100.0;

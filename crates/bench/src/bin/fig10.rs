@@ -73,11 +73,7 @@ fn main() {
     );
     println!("('*' marks intervals containing a Strober snapshot timestamp)");
     println!("{:>12} {:>8}  profile", "cycle", "CPI");
-    let max_cpi = probe
-        .series
-        .iter()
-        .map(|&(_, c)| c)
-        .fold(0.0f64, f64::max);
+    let max_cpi = probe.series.iter().map(|&(_, c)| c).fold(0.0f64, f64::max);
     for &(cycle, cpi) in &probe.series {
         let lo = cycle - probe.interval;
         let has_snap = snaps.iter().any(|&s| s >= lo && s < cycle);

@@ -8,15 +8,27 @@ fn main() {
     let m = PerfModel::paper_example();
     let n: u64 = 100_000_000_000;
 
-    println!("Section IV-E worked example (N = 100e9 cycles, n = {}, L = {}, P = {}):", m.n, m.replay_length, m.parallelism);
+    println!(
+        "Section IV-E worked example (N = 100e9 cycles, n = {}, L = {}, P = {}):",
+        m.n, m.replay_length, m.parallelism
+    );
     println!("  T_FPGAsyn          = {:>10.0} s", m.t_fpga_syn_s);
-    println!("  T_run    = N/K_f   = {:>10.0} s   (paper: 27778 s)", m.t_run_s(n));
+    println!(
+        "  T_run    = N/K_f   = {:>10.0} s   (paper: 27778 s)",
+        m.t_run_s(n)
+    );
     println!(
         "  records  ~ 2n ln((N/L)/n) = {:>6.0}   (paper: ~2763)",
         m.expected_records(n)
     );
-    println!("  T_sample           = {:>10.0} s   (paper: 3592 s)", m.t_sample_s(n));
-    println!("  T_replay           = {:>10.0} s   (paper: 2333 s, omitting T_load)", m.t_replay_s());
+    println!(
+        "  T_sample           = {:>10.0} s   (paper: 3592 s)",
+        m.t_sample_s(n)
+    );
+    println!(
+        "  T_replay           = {:>10.0} s   (paper: 2333 s, omitting T_load)",
+        m.t_replay_s()
+    );
     let paper_sum = m.t_run_s(n) + m.t_sample_s(n) + m.t_replay_s();
     println!(
         "  T_run+T_sample+T_replay = {:>7.0} s = {:.1} h  (paper: 33703 s = 9.4 h)",

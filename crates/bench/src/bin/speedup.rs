@@ -73,13 +73,25 @@ fn main() {
     println!("  ISS (functional)            {:>12.0} instr/s", iss_rate);
     println!("  RTL tape simulator          {:>12.0} cycles/s", rtl_rate);
     println!("  FAME1 hub on host platform  {:>12.0} cycles/s", hub_rate);
-    println!("  naive RTL interpreter       {:>12.0} cycles/s", naive_rate);
+    println!(
+        "  naive RTL interpreter       {:>12.0} cycles/s",
+        naive_rate
+    );
     println!("  gate-level simulator        {:>12.0} cycles/s", gate_rate);
     println!();
     println!("Measured ratios:");
-    println!("  tape vs naive interpreter:  {:>8.1}x", rtl_rate / naive_rate);
-    println!("  tape vs gate-level:         {:>8.1}x", rtl_rate / gate_rate);
-    println!("  hub  vs gate-level:         {:>8.1}x", hub_rate / gate_rate);
+    println!(
+        "  tape vs naive interpreter:  {:>8.1}x",
+        rtl_rate / naive_rate
+    );
+    println!(
+        "  tape vs gate-level:         {:>8.1}x",
+        rtl_rate / gate_rate
+    );
+    println!(
+        "  hub  vs gate-level:         {:>8.1}x",
+        hub_rate / gate_rate
+    );
     println!();
     let m = PerfModel::paper_example();
     let n = 100_000_000_000u64;
@@ -94,6 +106,10 @@ fn main() {
     );
     println!(
         "  full flow vs 20 kHz uarch simulator:  {:>10.0}x  (abstract: >= 1e2)",
-        PerfModel { uarch_sim_hz: 20.0e3, ..m }.speedup_vs_uarch(n)
+        PerfModel {
+            uarch_sim_hz: 20.0e3,
+            ..m
+        }
+        .speedup_vs_uarch(n)
     );
 }

@@ -5,9 +5,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use strober_sampling::{
-    Confidence, PopulationStats, Reservoir, SampleStats,
-};
+use strober_sampling::{Confidence, PopulationStats, Reservoir, SampleStats};
 
 fn main() {
     // A synthetic population: per-window power of a two-phase workload.
@@ -63,9 +61,7 @@ fn main() {
     );
     println!(
         "{:<34} {:>14} {:>14}",
-        "confidence level (1 - a)",
-        "-",
-        "99%"
+        "confidence level (1 - a)", "-", "99%"
     );
     println!(
         "{:<34} {:>14} {:>9.3}±{:.3}",

@@ -15,13 +15,7 @@ fn main() {
     );
     let cores = table2_cores();
     let row = |label: &str, f: &dyn Fn(usize) -> String| {
-        println!(
-            "{:<22} {:>10} {:>10} {:>10}",
-            label,
-            f(0),
-            f(1),
-            f(2)
-        );
+        println!("{:<22} {:>10} {:>10} {:>10}", label, f(0), f(1), f(2));
     };
     row("Fetch-width", &|i| cores[i].0.width.to_string());
     row("Issue-width", &|i| cores[i].0.width.to_string());
@@ -66,9 +60,13 @@ fn main() {
         .iter()
         .map(|(_, d)| synthesize(d, &SynthOptions::default()).expect("synthesis"))
         .collect();
-    row("Gates", &|i| synths[i].netlist.comb_gate_count().to_string());
+    row("Gates", &|i| {
+        synths[i].netlist.comb_gate_count().to_string()
+    });
     row("Flip-flops", &|i| synths[i].netlist.dff_count().to_string());
-    row("SRAM macros", &|i| synths[i].netlist.srams().len().to_string());
+    row("SRAM macros", &|i| {
+        synths[i].netlist.srams().len().to_string()
+    });
     row("State bits", &|i| cores[i].1.state_bits().to_string());
     println!(
         "{:<22} {:>10.0} {:>10.0} {:>10.0}",

@@ -70,11 +70,7 @@ impl Workload {
     ];
 
     /// The three case-study workloads of Table III / Fig. 9.
-    pub const CASE_STUDY: [Workload; 3] = [
-        Workload::Coremark,
-        Workload::LinuxBoot,
-        Workload::Gcc,
-    ];
+    pub const CASE_STUDY: [Workload; 3] = [Workload::Coremark, Workload::LinuxBoot, Workload::Gcc];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
@@ -112,7 +108,9 @@ impl Workload {
     ///
     /// Panics if the bundled program fails to assemble (a library bug).
     pub fn image(self) -> Vec<u32> {
-        assemble(&self.source()).expect("bundled workload assembles").words
+        assemble(&self.source())
+            .expect("bundled workload assembles")
+            .words
     }
 }
 

@@ -13,6 +13,8 @@ pub enum Command {
     Workloads,
     /// `strober export …` — write Verilog/metadata artifacts.
     Export(ExportArgs),
+    /// `strober cache …` — inspect or clear the artifact store.
+    Cache(CacheArgs),
     /// `strober help` or `--help`.
     Help,
 }
@@ -38,6 +40,12 @@ pub struct EstimateArgs {
     pub max_cycles: u64,
     /// Emit the result as JSON.
     pub json: bool,
+    /// Artifact store directory (None = default location).
+    pub cache_dir: Option<String>,
+    /// Disable the artifact store entirely.
+    pub no_cache: bool,
+    /// Where to write the JSON run manifest (None = inside the cache dir).
+    pub manifest: Option<String>,
 }
 
 impl Default for EstimateArgs {
@@ -49,9 +57,14 @@ impl Default for EstimateArgs {
             samples: 30,
             replay_length: 128,
             seed: 0x57_0BE5,
-            parallel: 4,
+            // One replay worker per hardware thread; snapshots are
+            // independent, so replay scales until the machine runs out.
+            parallel: default_parallelism(),
             max_cycles: 200_000_000,
             json: false,
+            cache_dir: None,
+            no_cache: false,
+            manifest: None,
         }
     }
 }
@@ -80,6 +93,47 @@ impl Default for RunArgs {
     }
 }
 
+/// What `strober cache` should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheAction {
+    /// Print object counts, sizes and behaviour counters.
+    Stats,
+    /// Delete every cached artifact.
+    Clear,
+}
+
+/// Arguments of the `cache` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheArgs {
+    /// The action to perform.
+    pub action: CacheAction,
+    /// Artifact store directory (None = default location).
+    pub cache_dir: Option<String>,
+}
+
+/// The default replay parallelism: every available hardware thread.
+pub fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The artifact store location used when `--cache-dir` is not given:
+/// `$STROBER_CACHE_DIR`, else `$XDG_CACHE_HOME/strober`, else
+/// `$HOME/.cache/strober`, else `.strober-cache` in the working directory.
+pub fn default_cache_dir() -> String {
+    if let Ok(dir) = std::env::var("STROBER_CACHE_DIR") {
+        return dir;
+    }
+    if let Ok(dir) = std::env::var("XDG_CACHE_HOME") {
+        return format!("{dir}/strober");
+    }
+    if let Ok(home) = std::env::var("HOME") {
+        return format!("{home}/.cache/strober");
+    }
+    ".strober-cache".to_owned()
+}
+
 /// Arguments of the `export` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExportArgs {
@@ -101,10 +155,7 @@ impl fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
-fn take_value<'a>(
-    flag: &str,
-    it: &mut impl Iterator<Item = &'a str>,
-) -> Result<String, ArgError> {
+fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<String, ArgError> {
     it.next()
         .map(str::to_owned)
         .ok_or_else(|| ArgError(format!("flag {flag} expects a value")))
@@ -146,10 +197,13 @@ pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
                             .parse()
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
                     }
-                    "--parallel" => {
+                    "--parallel" | "--jobs" | "-j" => {
                         a.parallel = take_value(flag, &mut it)?
                             .parse()
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.parallel == 0 {
+                            return Err(ArgError(format!("{flag}: must be at least 1")));
+                        }
                     }
                     "--max-cycles" => {
                         a.max_cycles = take_value(flag, &mut it)?
@@ -157,6 +211,9 @@ pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
                     }
                     "--json" => a.json = true,
+                    "--cache-dir" => a.cache_dir = Some(take_value(flag, &mut it)?),
+                    "--no-cache" => a.no_cache = true,
+                    "--manifest" => a.manifest = Some(take_value(flag, &mut it)?),
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -178,6 +235,33 @@ pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
                 }
             }
             Ok(Command::Run(a))
+        }
+        "cache" => {
+            let action = match it.next() {
+                Some("stats") => CacheAction::Stats,
+                Some("clear") => CacheAction::Clear,
+                Some(other) => {
+                    return Err(ArgError(format!(
+                        "unknown cache action `{other}` (expected stats or clear)"
+                    )))
+                }
+                None => {
+                    return Err(ArgError(
+                        "cache expects an action: stats or clear".to_owned(),
+                    ))
+                }
+            };
+            let mut a = CacheArgs {
+                action,
+                cache_dir: None,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--cache-dir" => a.cache_dir = Some(take_value(flag, &mut it)?),
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Cache(a))
         }
         "export" => {
             let mut a = ExportArgs {
@@ -205,10 +289,16 @@ strober — sample-based energy simulation for arbitrary RTL
 
 USAGE:
   strober estimate [--core rok|boum-1w|boum-2w] [--workload NAME | --asm FILE]
-                   [-n N] [-L CYCLES] [--seed S] [--parallel P]
+                   [-n N] [-L CYCLES] [--seed S] [--jobs P]
                    [--max-cycles N] [--json]
+                   [--cache-dir DIR] [--no-cache] [--manifest FILE]
       Run the full flow: fast sampled simulation, gate-level replay,
-      average power with a 99% confidence interval.
+      average power with a 99% confidence interval. Prepared artifacts
+      (FAME hub, netlist, name map) are cached content-addressed under
+      the cache dir, so repeated runs over the same design start warm;
+      a JSON run manifest with per-stage timings is written next to the
+      cache (or to --manifest FILE). Replay uses every hardware thread
+      unless --jobs (alias --parallel) says otherwise.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -218,6 +308,9 @@ USAGE:
 
   strober export   [--core NAME] [--out DIR]
       Write Verilog (RTL, netlist, FAME hub) and host metadata.
+
+  strober cache    (stats | clear) [--cache-dir DIR]
+      Inspect or empty the artifact store.
 ";
 
 #[cfg(test)]
@@ -227,7 +320,15 @@ mod tests {
     #[test]
     fn parses_estimate_flags() {
         let cmd = parse(&[
-            "estimate", "--core", "boum-2w", "--workload", "coremark", "-n", "40", "-L", "256",
+            "estimate",
+            "--core",
+            "boum-2w",
+            "--workload",
+            "coremark",
+            "-n",
+            "40",
+            "-L",
+            "256",
             "--json",
         ])
         .unwrap();
@@ -258,10 +359,83 @@ mod tests {
     }
 
     #[test]
+    fn parses_cache_flags() {
+        let Command::Estimate(a) = parse(&[
+            "estimate",
+            "--cache-dir",
+            "/tmp/store",
+            "--manifest",
+            "run.json",
+            "--jobs",
+            "2",
+        ])
+        .unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/store"));
+        assert_eq!(a.manifest.as_deref(), Some("run.json"));
+        assert_eq!(a.parallel, 2);
+        assert!(!a.no_cache);
+
+        let Command::Estimate(a) = parse(&["estimate", "--no-cache"]).unwrap() else {
+            panic!("wrong command")
+        };
+        assert!(a.no_cache);
+    }
+
+    #[test]
+    fn parallel_defaults_to_available_hardware() {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.parallel, default_parallelism());
+        assert!(a.parallel >= 1);
+        assert!(parse(&["estimate", "--jobs", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn parses_cache_subcommand() {
+        assert_eq!(
+            parse(&["cache", "stats"]).unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Stats,
+                cache_dir: None,
+            })
+        );
+        assert_eq!(
+            parse(&["cache", "clear", "--cache-dir", "/tmp/x"]).unwrap(),
+            Command::Cache(CacheArgs {
+                action: CacheAction::Clear,
+                cache_dir: Some("/tmp/x".to_owned()),
+            })
+        );
+        assert!(parse(&["cache"])
+            .unwrap_err()
+            .0
+            .contains("expects an action"));
+        assert!(parse(&["cache", "bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown cache action"));
+    }
+
+    #[test]
     fn errors_are_descriptive() {
         assert!(parse(&["bogus"]).unwrap_err().0.contains("subcommand"));
-        assert!(parse(&["estimate", "--nope"]).unwrap_err().0.contains("unknown flag"));
-        assert!(parse(&["estimate", "-n"]).unwrap_err().0.contains("expects a value"));
-        assert!(parse(&["estimate", "-n", "abc"]).unwrap_err().0.contains("not a number"));
+        assert!(parse(&["estimate", "--nope"])
+            .unwrap_err()
+            .0
+            .contains("unknown flag"));
+        assert!(parse(&["estimate", "-n"])
+            .unwrap_err()
+            .0
+            .contains("expects a value"));
+        assert!(parse(&["estimate", "-n", "abc"])
+            .unwrap_err()
+            .0
+            .contains("not a number"));
     }
 }

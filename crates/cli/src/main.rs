@@ -3,12 +3,16 @@
 
 mod args;
 
-use args::{Command, EstimateArgs, ExportArgs, RunArgs, HELP};
+use args::{
+    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, RunArgs, HELP,
+};
 use std::process::ExitCode;
+use std::time::Instant;
 use strober::{StroberConfig, StroberFlow};
 use strober_cores::{build_core, CoreConfig};
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_isa::{assemble, programs};
+use strober_store::{RunManifest, Store};
 
 type WorkloadGen = fn() -> String;
 
@@ -37,15 +41,14 @@ fn core_config(name: &str) -> Result<CoreConfig, String> {
 
 fn load_image(workload: &str, asm: &Option<String>) -> Result<Vec<u32>, String> {
     let source = match asm {
-        Some(path) => std::fs::read_to_string(path)
-            .map_err(|e| format!("cannot read `{path}`: {e}"))?,
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
+        }
         None => WORKLOADS
             .iter()
             .find(|(n, _)| *n == workload)
             .map(|(_, f)| f())
-            .ok_or_else(|| {
-                format!("unknown workload `{workload}` (see `strober workloads`)")
-            })?,
+            .ok_or_else(|| format!("unknown workload `{workload}` (see `strober workloads`)"))?,
     };
     Ok(assemble(&source)
         .map_err(|e| format!("assembly failed: {e}"))?
@@ -66,7 +69,10 @@ fn cmd_run(a: &RunArgs) -> Result<(), String> {
         cycles += 1;
     }
     let Some(exit) = dram.exit_code() else {
-        return Err(format!("workload did not halt within {} cycles", a.max_cycles));
+        return Err(format!(
+            "workload did not halt within {} cycles",
+            a.max_cycles
+        ));
     };
     let instret = dram.instret();
     println!("core:      {}", config.name);
@@ -85,54 +91,111 @@ fn cmd_run(a: &RunArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn strober_sim_new(
-    design: &strober_rtl::Design,
-) -> Result<strober_sim::Simulator, String> {
+fn strober_sim_new(design: &strober_rtl::Design) -> Result<strober_sim::Simulator, String> {
     strober_sim::Simulator::new(design).map_err(|e| format!("invalid design: {e}"))
+}
+
+/// Opens the artifact store for an estimate run, or `None` when caching is
+/// disabled or the store directory is unusable (degrades to a cold run).
+fn open_store(a: &EstimateArgs) -> Option<Store> {
+    if a.no_cache {
+        return None;
+    }
+    let dir = a.cache_dir.clone().unwrap_or_else(default_cache_dir);
+    match Store::open(&dir) {
+        Ok(store) => Some(store),
+        Err(e) => {
+            eprintln!("warning: cannot open artifact store at `{dir}`: {e}; running cold");
+            None
+        }
+    }
 }
 
 fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     let config = core_config(&a.core)?;
     let image = load_image(&a.workload, &a.asm)?;
     let design = build_core(&config);
+    let session = StroberConfig {
+        replay_length: a.replay_length,
+        sample_size: a.samples,
+        seed: a.seed,
+        ..StroberConfig::default()
+    };
+    let mut manifest = RunManifest::new(
+        config.name.clone(),
+        a.asm.clone().unwrap_or_else(|| a.workload.clone()),
+    );
+    manifest.fingerprint = StroberFlow::prepare_fingerprint(&design, &session).to_hex();
 
-    eprintln!("[1/4] instrumenting, synthesizing and formally matching {} ...", config.name);
-    let flow = StroberFlow::new(
-        &design,
-        StroberConfig {
-            replay_length: a.replay_length,
-            sample_size: a.samples,
-            seed: a.seed,
-            ..StroberConfig::default()
-        },
-    )
-    .map_err(|e| format!("flow setup failed: {e}"))?;
+    eprintln!(
+        "[1/4] instrumenting, synthesizing and formally matching {} ...",
+        config.name
+    );
+    let mut store = open_store(a);
+    let stage = Instant::now();
+    let (flow, cache_hit) = match store.as_mut() {
+        Some(store) => StroberFlow::prepare_cached(&design, session, store)
+            .map_err(|e| format!("flow setup failed: {e}"))?,
+        None => (
+            StroberFlow::new(&design, session).map_err(|e| format!("flow setup failed: {e}"))?,
+            false,
+        ),
+    };
+    manifest.record("prepare", stage.elapsed());
+    manifest.cache_hit = cache_hit;
+    if cache_hit {
+        eprintln!("      (prepared artifacts served from the store)");
+    }
 
     eprintln!("[2/4] fast simulation with reservoir sampling ...");
+    let stage = Instant::now();
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
     dram.load(&image, 0);
     let run = flow
         .run_sampled(&mut dram, a.max_cycles)
         .map_err(|e| format!("sampled run failed: {e}"))?;
     if dram.exit_code().is_none() {
-        return Err(format!("workload did not halt within {} cycles", a.max_cycles));
+        return Err(format!(
+            "workload did not halt within {} cycles",
+            a.max_cycles
+        ));
     }
+    manifest.record("sim", stage.elapsed());
 
     eprintln!(
         "[3/4] replaying {} snapshots on gate-level simulation ({} workers) ...",
         run.snapshots.len(),
         a.parallel
     );
+    let stage = Instant::now();
     let results = flow
         .replay_all(&run.snapshots, a.parallel)
         .map_err(|e| format!("replay failed: {e}"))?;
+    manifest.record("replay", stage.elapsed());
 
     eprintln!("[4/4] estimating ...");
+    let stage = Instant::now();
     let estimate = flow.estimate(&run, &results);
     let instret = dram.instret();
     let dram_power = LpddrPowerParams::lpddr2_s4()
         .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
         .total_mw();
+    manifest.record("power", stage.elapsed());
+
+    let manifest_path = a.manifest.clone().or_else(|| {
+        store.as_ref().map(|s| {
+            s.root()
+                .join("last-run.json")
+                .to_string_lossy()
+                .into_owned()
+        })
+    });
+    if let Some(path) = manifest_path {
+        match manifest.save(std::path::Path::new(&path)) {
+            Ok(()) => eprintln!("      run manifest written to {path}"),
+            Err(e) => eprintln!("warning: cannot write run manifest to `{path}`: {e}"),
+        }
+    }
 
     if a.json {
         let mut regions = serde_json::Map::new();
@@ -148,6 +211,13 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             "samples": results.len(),
             "windows": run.windows,
             "records": run.records,
+            "cache_hit": cache_hit,
+            "timings_ms": serde_json::json!({
+                "prepare": manifest.stage_millis("prepare"),
+                "sim": manifest.stage_millis("sim"),
+                "replay": manifest.stage_millis("replay"),
+                "power": manifest.stage_millis("power"),
+            }),
             "core_power_mw": estimate.mean_power_mw(),
             "core_power_bound_mw": estimate.interval().half_width(),
             "confidence": estimate.interval().confidence(),
@@ -157,7 +227,10 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
                 / instret as f64 * 1e9,
             "regions": regions,
         });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("serialisable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serialisable")
+        );
         return Ok(());
     }
 
@@ -167,14 +240,19 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         "cycles:      {} ({} windows of {}; {} records)",
         run.target_cycles, run.windows, a.replay_length, run.records
     );
-    println!("CPI:         {:.3}", run.target_cycles as f64 / instret as f64);
+    println!(
+        "CPI:         {:.3}",
+        run.target_cycles as f64 / instret as f64
+    );
     println!();
     print!("{estimate}");
-    println!("  {:<24} {dram_power:>9.3} mW  (counter-based model)", "DRAM");
+    println!(
+        "  {:<24} {dram_power:>9.3} mW  (counter-based model)",
+        "DRAM"
+    );
     let total = estimate.mean_power_mw() + dram_power;
-    let epi = total * 1e-3 * (run.target_cycles as f64 / flow.config().freq_hz)
-        / instret as f64
-        * 1e9;
+    let epi =
+        total * 1e-3 * (run.target_cycles as f64 / flow.config().freq_hz) / instret as f64 * 1e9;
     println!();
     println!("total (core + DRAM): {total:.3} mW;  EPI: {epi:.3} nJ/instruction");
     Ok(())
@@ -191,8 +269,8 @@ fn cmd_export(a: &ExportArgs) -> Result<(), String> {
 
     let synth = strober_synth::synthesize(&design, &strober_synth::SynthOptions::default())
         .map_err(|e| e.to_string())?;
-    let netlist = strober_gates::verilog::to_structural_verilog(&synth.netlist)
-        .map_err(|e| e.to_string())?;
+    let netlist =
+        strober_gates::verilog::to_structural_verilog(&synth.netlist).map_err(|e| e.to_string())?;
     std::fs::write(out.join(format!("{}_netlist.v", config.name)), netlist)
         .map_err(|e| e.to_string())?;
 
@@ -206,7 +284,37 @@ fn cmd_export(a: &ExportArgs) -> Result<(), String> {
     let hub = strober_rtl::verilog::to_verilog(&fame.hub).map_err(|e| e.to_string())?;
     std::fs::write(out.join(format!("{}_hub.v", config.name)), hub).map_err(|e| e.to_string())?;
 
-    println!("wrote {}/{{{n}.v, {n}_netlist.v, {n}_hub.v, {n}_fame_meta.json}}", a.out, n = config.name);
+    println!(
+        "wrote {}/{{{n}.v, {n}_netlist.v, {n}_hub.v, {n}_fame_meta.json}}",
+        a.out,
+        n = config.name
+    );
+    Ok(())
+}
+
+fn cmd_cache(a: &CacheArgs) -> Result<(), String> {
+    let dir = a.cache_dir.clone().unwrap_or_else(default_cache_dir);
+    let mut store =
+        Store::open(&dir).map_err(|e| format!("cannot open artifact store at `{dir}`: {e}"))?;
+    match a.action {
+        CacheAction::Stats => {
+            let stats = store.stats();
+            println!("store:            {dir}");
+            println!("objects:          {}", store.len());
+            println!("bytes:            {}", store.total_bytes());
+            println!("hits:             {}", stats.hits);
+            println!("misses:           {}", stats.misses);
+            println!("evictions:        {}", stats.evictions);
+            println!("corrupt:          {}", stats.corrupt);
+            println!("version mismatch: {}", stats.version_mismatch);
+        }
+        CacheAction::Clear => {
+            let removed = store
+                .clear()
+                .map_err(|e| format!("cannot clear store: {e}"))?;
+            println!("removed {removed} cached artifacts from {dir}");
+        }
+    }
     Ok(())
 }
 
@@ -235,6 +343,7 @@ fn main() -> ExitCode {
         Command::Run(a) => cmd_run(a),
         Command::Estimate(a) => cmd_estimate(a),
         Command::Export(a) => cmd_export(a),
+        Command::Cache(a) => cmd_cache(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

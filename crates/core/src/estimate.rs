@@ -61,8 +61,8 @@ impl EnergyEstimate {
         confidence: Confidence,
     ) -> Self {
         let powers: Vec<f64> = results.iter().map(|r| r.power.total_mw()).collect();
-        let stats = SampleStats::from_measurements(&powers)
-            .expect("need at least two replayed snapshots");
+        let stats =
+            SampleStats::from_measurements(&powers).expect("need at least two replayed snapshots");
         let interval = stats.confidence_interval(windows as usize, confidence);
 
         let mut per_region_mw = BTreeMap::new();

@@ -12,10 +12,11 @@ use strober_platform::{HostModel, PlatformConfig, ZynqHost};
 use strober_power::PowerAnalyzer;
 use strober_rtl::Design;
 use strober_sampling::{Confidence, Reservoir};
+use strober_store::{fingerprint_parts, Fingerprint, Store};
 use strober_synth::{synthesize, SynthOptions, SynthResult};
 
 /// Configuration for a Strober session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StroberConfig {
     /// Measurement window length `L` in cycles.
     pub replay_length: u32,
@@ -48,6 +49,20 @@ impl Default for StroberConfig {
             platform: PlatformConfig::default(),
         }
     }
+}
+
+/// The cacheable outputs of session preparation: everything
+/// [`StroberFlow::new`] derives from the design and configuration that is
+/// expensive to rebuild. The cell library and power analyzer are *not*
+/// stored — they are cheap pure functions of these parts and the config.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, serde::Blob)]
+pub struct PreparedArtifact {
+    /// FAME1 transform output (hub design + metadata).
+    pub fame: FameResult,
+    /// Synthesis output (netlist + correspondence info).
+    pub synth: SynthResult,
+    /// Formally verified RTL↔netlist name map.
+    pub name_map: NameMap,
 }
 
 /// A fully prepared Strober session for one target design: the FAME1 hub,
@@ -89,6 +104,83 @@ impl StroberFlow {
             lib,
             analyzer,
         })
+    }
+
+    /// Reassembles a session from previously prepared artifacts, skipping
+    /// the FAME1 transform, synthesis and formal matching. The cheap parts
+    /// (cell library, power analyzer) are rebuilt from the config.
+    pub fn from_parts(config: StroberConfig, parts: PreparedArtifact) -> Self {
+        let lib = CellLibrary::generic_45nm();
+        let analyzer = PowerAnalyzer::new(&parts.synth.netlist, &lib, config.freq_hz);
+        StroberFlow {
+            config,
+            fame: parts.fame,
+            synth: parts.synth,
+            name_map: parts.name_map,
+            lib,
+            analyzer,
+        }
+    }
+
+    /// The stable cache key for preparing `design` under `config`.
+    ///
+    /// Hashes the canonical serialization of the design and every
+    /// configuration input that preparation consumes (the full config,
+    /// plus the synthesis and FAME sub-configurations explicitly, so a
+    /// change in how either is derived also changes the key).
+    pub fn prepare_fingerprint(design: &Design, config: &StroberConfig) -> Fingerprint {
+        let fame_config = FameConfig {
+            replay_length: config.replay_length,
+            warmup: config.warmup,
+        };
+        fingerprint_parts(&[
+            &"strober-prepare",
+            design,
+            config,
+            &config.synth,
+            &fame_config,
+        ])
+    }
+
+    /// Prepares a session through the artifact store: on a hit the
+    /// transform/synthesis/matching pipeline is skipped entirely and the
+    /// session is rebuilt from the cached [`PreparedArtifact`]; on a miss
+    /// the session is prepared cold and the artifacts are stored
+    /// (best-effort) for next time.
+    ///
+    /// Returns the session and whether it was served from the store.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`StroberFlow::new`]; store failures
+    /// never surface, they only cost the speedup.
+    pub fn prepare_cached(
+        design: &Design,
+        config: StroberConfig,
+        store: &mut Store,
+    ) -> Result<(Self, bool), StroberError> {
+        let key = Self::prepare_fingerprint(design, &config);
+        if let Some(parts) = store.get::<PreparedArtifact>(key) {
+            return Ok((Self::from_parts(config, parts), true));
+        }
+        let flow = Self::new(design, config)?;
+        store.put(
+            key,
+            &PreparedArtifact {
+                fame: flow.fame.clone(),
+                synth: flow.synth.clone(),
+                name_map: flow.name_map.clone(),
+            },
+        );
+        Ok((flow, false))
+    }
+
+    /// The default replay parallelism: every available hardware thread.
+    /// Falls back to 1 when the parallelism cannot be queried.
+    pub fn default_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
     }
 
     /// The session configuration.
@@ -266,12 +358,7 @@ impl StroberFlow {
                 let flow = &*self;
                 handles.push((
                     ci,
-                    scope.spawn(move || {
-                        block
-                            .iter()
-                            .map(|s| flow.replay(s))
-                            .collect::<Vec<_>>()
-                    }),
+                    scope.spawn(move || block.iter().map(|s| flow.replay(s)).collect::<Vec<_>>()),
                 ));
             }
             for (ci, h) in handles {

@@ -70,5 +70,5 @@ mod perf_model;
 
 pub use error::StroberError;
 pub use estimate::{EnergyEstimate, ReplayResult, SampledRun};
-pub use flow::{StroberConfig, StroberFlow};
+pub use flow::{PreparedArtifact, StroberConfig, StroberFlow};
 pub use perf_model::PerfModel;

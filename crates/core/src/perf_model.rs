@@ -81,8 +81,7 @@ impl PerfModel {
 
     /// `T_replay = n·(T_load + L/K_g + T_power)/P`.
     pub fn t_replay_s(&self) -> f64 {
-        self.n as f64
-            * (self.t_load_s + self.replay_length as f64 / self.kg_hz + self.t_power_s)
+        self.n as f64 * (self.t_load_s + self.replay_length as f64 / self.kg_hz + self.t_power_s)
             / self.parallelism as f64
     }
 

@@ -231,13 +231,15 @@ pub fn build_boum(config: &CoreConfig) -> Design {
     let pc1 = pc.out().add_lit(4);
     let btb_rd = btb_tags.read(&btb_index(&pc.out()));
     let btb_valid = btb_rd.bit(btb_tag_w.bits() - 1);
-    let btb_hit = &(&btb_valid & &btb_rd.bits(btb_tag_w.bits() - 2, 0).eq(&btb_tag_of(&pc.out())))
+    let btb_hit = &(&btb_valid
+        & &btb_rd
+            .bits(btb_tag_w.bits() - 2, 0)
+            .eq(&btb_tag_of(&pc.out())))
         & &fetch_valid;
     let btb_target = btb_targets.read(&btb_index(&pc.out()));
     let btb_rd1 = btb_tags.read(&btb_index(&pc1));
     let btb_valid1 = btb_rd1.bit(btb_tag_w.bits() - 1);
-    let btb_hit1_raw =
-        &btb_valid1 & &btb_rd1.bits(btb_tag_w.bits() - 2, 0).eq(&btb_tag_of(&pc1));
+    let btb_hit1_raw = &btb_valid1 & &btb_rd1.bits(btb_tag_w.bits() - 2, 0).eq(&btb_tag_of(&pc1));
     let btb_target1 = btb_targets.read(&btb_index(&pc1));
 
     // Fetch buffer.
@@ -278,7 +280,11 @@ pub fn build_boum(config: &CoreConfig) -> Design {
     pc.set(&pc_next);
 
     // ---- transfer stage: fetch buffer → issue queue ----------------------------------
-    let mut iq = Queue::new(c, "issue/iq", config.issue_slots.next_power_of_two() as usize);
+    let mut iq = Queue::new(
+        c,
+        "issue/iq",
+        config.issue_slots.next_power_of_two() as usize,
+    );
     let iq_space2 = iq.space_for(2);
     let iq_space1 = iq.space_for(1);
     let t2 = &(&fbuf.has(2) & &iq_space2) & &if dual { c.lit1(true) } else { c.lit1(false) };
@@ -325,7 +331,9 @@ pub fn build_boum(config: &CoreConfig) -> Design {
         (hit, val)
     };
 
-    let rf = c.scope("regfile", |c| c.mem("rf", w32, config.physical_regs as usize));
+    let rf = c.scope("regfile", |c| {
+        c.mem("rf", w32, config.physical_regs as usize)
+    });
     let rf_addr_w = Width::for_depth(config.physical_regs as usize).expect("depth ok");
 
     // Operand lookup: value and readiness.
@@ -529,7 +537,14 @@ pub fn build_boum(config: &CoreConfig) -> Design {
         v1.set(&take1);
         ir1.set_en(&ex1_ir, &!&ex_stall);
         val1.set_en(&result1, &!&ex_stall);
-        (v0.out(), ir0.out(), val0.out(), v1.out(), ir1.out(), val1.out())
+        (
+            v0.out(),
+            ir0.out(),
+            val0.out(),
+            v1.out(),
+            ir1.out(),
+            val1.out(),
+        )
     });
 
     let d_wb0 = decode(c, &wb0_ir);

@@ -210,7 +210,15 @@ mod tests {
         let grant = ctx.input("grant", w(1));
         let refill_valid = ctx.input("refill_valid", w(1));
         let refill_data = ctx.input("refill_data", w(32));
-        let cache = build_cache(&ctx, "dcache", capacity, &req, &grant, &refill_valid, &refill_data);
+        let cache = build_cache(
+            &ctx,
+            "dcache",
+            capacity,
+            &req,
+            &grant,
+            &refill_valid,
+            &refill_data,
+        );
         ctx.output("resp_valid", &cache.cpu.resp_valid);
         ctx.output("resp_data", &cache.cpu.resp_data);
         ctx.output("stall", &cache.cpu.stall);
@@ -343,7 +351,7 @@ mod tests {
         };
         refill(&mut sim, 0x000, 10); // line 0
         refill(&mut sim, 0x100, 20); // also maps to line 0 (16 lines × 16 B)
-        // 0x100 hits with the new data; 0x000 now misses.
+                                     // 0x100 hits with the new data; 0x000 now misses.
         sim.poke_by_name("addr", 0x100).unwrap();
         assert_eq!(sim.peek_output("resp_valid").unwrap(), 1);
         assert_eq!(sim.peek_output("resp_data").unwrap(), 20);

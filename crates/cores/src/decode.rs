@@ -1,8 +1,8 @@
 //! Instruction decode and the integer ALU, shared by both cores.
 
 use strober_dsl::{Ctx, Sig};
-use strober_rtl::Width;
 use strober_isa::Op;
+use strober_rtl::Width;
 
 fn w(bits: u32) -> Width {
     Width::new(bits).expect("static width")
@@ -251,11 +251,23 @@ mod tests {
     }
 
     fn r(op: Op, rd: u8, rs1: u8, rs2: u8) -> Instr {
-        Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(rs2), imm: 0 }
+        Instr {
+            op,
+            rd: Reg(rd),
+            rs1: Reg(rs1),
+            rs2: Reg(rs2),
+            imm: 0,
+        }
     }
 
     fn i(op: Op, rd: u8, rs1: u8, imm: i32) -> Instr {
-        Instr { op, rd: Reg(rd), rs1: Reg(rs1), rs2: Reg(0), imm }
+        Instr {
+            op,
+            rd: Reg(rd),
+            rs1: Reg(rs1),
+            rs2: Reg(0),
+            imm,
+        }
     }
 
     #[test]
@@ -276,7 +288,12 @@ mod tests {
             (r(Op::Mul, 1, 2, 3), 6, 7, 42),
             (i(Op::Addi, 1, 2, -5), 3, 0, (-2i32) as u32),
             (i(Op::Andi, 1, 2, -1), 0x1234_5678, 0, 0x5678), // zero-extended
-            (i(Op::Ori, 1, 2, 0x0F0F_u16 as i32), 0x1000_0000, 0, 0x1000_0F0F),
+            (
+                i(Op::Ori, 1, 2, 0x0F0F_u16 as i32),
+                0x1000_0000,
+                0,
+                0x1000_0F0F,
+            ),
             (i(Op::Slli, 1, 2, 8), 0xAB, 0, 0xAB00),
             (i(Op::Srai, 1, 2, 8), 0x8000_0000, 0, 0xFF80_0000),
             (i(Op::Lui, 1, 0, 0x1234), 0, 0, 0x1234_0000),
@@ -324,13 +341,20 @@ mod tests {
         let mut sim = Simulator::new(&design).unwrap();
 
         // R-type: rd=f1, rs1=f2, rs2=f3.
-        sim.poke_by_name("ir", u64::from(encode(r(Op::Add, 3, 4, 5)))).unwrap();
+        sim.poke_by_name("ir", u64::from(encode(r(Op::Add, 3, 4, 5))))
+            .unwrap();
         assert_eq!(sim.peek_output("rd").unwrap(), 3);
         assert_eq!(sim.peek_output("rs1").unwrap(), 4);
         assert_eq!(sim.peek_output("rs2").unwrap(), 5);
 
         // Store: rs1 = base, rs2 = data, no rd.
-        let sw = Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(7), rs2: Reg(9), imm: 4 };
+        let sw = Instr {
+            op: Op::Sw,
+            rd: Reg(0),
+            rs1: Reg(7),
+            rs2: Reg(9),
+            imm: 4,
+        };
         sim.poke_by_name("ir", u64::from(encode(sw))).unwrap();
         assert_eq!(sim.peek_output("rd").unwrap(), 0);
         assert_eq!(sim.peek_output("rs1").unwrap(), 7);
@@ -339,14 +363,21 @@ mod tests {
         assert_eq!(sim.peek_output("writes_rd").unwrap(), 0);
 
         // Branch: rs1/rs2, no rd.
-        let beq = Instr { op: Op::Beq, rd: Reg(0), rs1: Reg(6), rs2: Reg(8), imm: -2 };
+        let beq = Instr {
+            op: Op::Beq,
+            rd: Reg(0),
+            rs1: Reg(6),
+            rs2: Reg(8),
+            imm: -2,
+        };
         sim.poke_by_name("ir", u64::from(encode(beq))).unwrap();
         assert_eq!(sim.peek_output("rs1").unwrap(), 6);
         assert_eq!(sim.peek_output("rs2").unwrap(), 8);
         assert_eq!(sim.peek_output("rd").unwrap(), 0);
 
         // Load: writes rd.
-        sim.poke_by_name("ir", u64::from(encode(i(Op::Lw, 11, 12, 4)))).unwrap();
+        sim.poke_by_name("ir", u64::from(encode(i(Op::Lw, 11, 12, 4))))
+            .unwrap();
         assert_eq!(sim.peek_output("is_load").unwrap(), 1);
         assert_eq!(sim.peek_output("rd").unwrap(), 11);
         assert_eq!(sim.peek_output("writes_rd").unwrap(), 1);

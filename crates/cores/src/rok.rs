@@ -130,7 +130,9 @@ pub fn build_rok(config: &CoreConfig) -> Design {
 
     // Decode in ID, regfile read with WB bypass.
     let d_id = decode(c, &id_ir);
-    let rf = c.scope("regfile", |c| c.mem("rf", w32, config.physical_regs as usize));
+    let rf = c.scope("regfile", |c| {
+        c.mem("rf", w32, config.physical_regs as usize)
+    });
     let rf_addr_w = Width::for_depth(config.physical_regs as usize).expect("depth ok");
     let wb_info_w = c.wire(w(1 + 5 + 32)); // {valid&writes, rd, value}
     let wb_info = wb_info_w.sig();
@@ -228,8 +230,7 @@ pub fn build_rok(config: &CoreConfig) -> Design {
     // `halting` so fetch stops; the halt itself proceeds to WB.
     let halt_in_ex = &ex_valid & &d_ex.is_halt;
     halting_set_w.drive(&(&halt_in_ex & &!&freeze));
-    let do_redirect = &ex_valid
-        & &(&(&taken | &d_ex.is_jal) | &(&d_ex.is_jalr | &d_ex.is_halt));
+    let do_redirect = &ex_valid & &(&(&taken | &d_ex.is_jal) | &(&d_ex.is_jalr | &d_ex.is_halt));
     redirect_w.drive(&(&do_redirect & &!&freeze));
     let target = d_ex.is_jalr.mux(&jalr_target, &br_target);
     redirect_target_w.drive(&target);

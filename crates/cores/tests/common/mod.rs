@@ -47,12 +47,7 @@ impl TestMem {
                 inf.beat += 1;
             }
         }
-        if self
-            .inflight
-            .as_ref()
-            .map(|i| i.beat >= 4)
-            .unwrap_or(false)
-        {
+        if self.inflight.as_ref().map(|i| i.beat >= 4).unwrap_or(false) {
             self.inflight = None;
         }
         sim.poke_by_name("mem_resp_valid", resp.0).unwrap();

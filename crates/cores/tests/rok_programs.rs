@@ -73,7 +73,8 @@ fn function_calls() {
 #[test]
 fn counters_work() {
     // rdcyc/rdinst must be monotone and the program must halt cleanly.
-    let src = "rdcyc t0\nrdinst t1\nnop\nnop\nrdcyc t2\nsub a0, t2, t0\nsltu a1, zero, a0\nhalt a1\n";
+    let src =
+        "rdcyc t0\nrdinst t1\nnop\nnop\nrdcyc t2\nsub a0, t2, t0\nsltu a1, zero, a0\nhalt a1\n";
     let design = build_core(&CoreConfig::rok_tiny());
     let image = assemble(src).unwrap();
     let (code, _, _) = run_core(&design, &image.words, MEM, 20, 10_000).unwrap();

@@ -79,7 +79,10 @@ impl DramModel {
     /// Panics if `bytes` is not a positive multiple of 16 (the block
     /// size).
     pub fn new(cfg: DramConfig, bytes: usize) -> Self {
-        assert!(bytes > 0 && bytes.is_multiple_of(16), "memory must be whole blocks");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(16),
+            "memory must be whole blocks"
+        );
         let banks = cfg.banks as usize;
         DramModel {
             cfg,
@@ -235,9 +238,11 @@ impl DramModel {
     /// Panics if the design does not expose the core memory interface.
     pub fn tick_raw(&mut self, sim: &mut strober_sim::Simulator) {
         let resp = self.response();
-        sim.poke_by_name("mem_resp_valid", resp.0).expect("core port");
+        sim.poke_by_name("mem_resp_valid", resp.0)
+            .expect("core port");
         sim.poke_by_name("mem_resp_tag", resp.1).expect("core port");
-        sim.poke_by_name("mem_resp_rdata", resp.2).expect("core port");
+        sim.poke_by_name("mem_resp_rdata", resp.2)
+            .expect("core port");
         let valid = sim.peek_output("mem_req_valid").expect("core port") == 1;
         let rw = sim.peek_output("mem_req_rw").expect("core port") == 1;
         let addr = sim.peek_output("mem_req_addr").expect("core port") as u32;

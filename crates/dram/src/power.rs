@@ -87,8 +87,7 @@ impl LpddrPowerParams {
         } else {
             (counters.busy_cycles as f64 / cycles as f64).min(1.0)
         };
-        let background =
-            self.powerdown_mw + (self.background_mw - self.powerdown_mw) * busy_frac;
+        let background = self.powerdown_mw + (self.background_mw - self.powerdown_mw) * busy_frac;
 
         DramPowerBreakdown {
             background_mw: background,

@@ -249,9 +249,10 @@ impl Sig {
         if width == self.width {
             return self.clone();
         }
-        let pad = self
-            .ctx
-            .lit(0, Width::new(width.bits() - self.width.bits()).expect("nonzero pad"));
+        let pad = self.ctx.lit(
+            0,
+            Width::new(width.bits() - self.width.bits()).expect("nonzero pad"),
+        );
         pad.cat(self)
     }
 

@@ -61,7 +61,9 @@ impl Reg {
     /// Panics if already connected or on width errors.
     pub fn set_en(&self, next: &Sig, enable: &Sig) {
         let mut inner = self.ctx.inner.borrow_mut();
-        let res = inner.design.connect_reg(self.id, next.id(), Some(enable.id()));
+        let res = inner
+            .design
+            .connect_reg(self.id, next.id(), Some(enable.id()));
         drop(inner);
         self.ctx.lift(res);
     }

@@ -117,7 +117,9 @@ impl SnapshotController {
         let mut regs = Vec::with_capacity(self.meta.scan_chain.len());
         for elem in &self.meta.scan_chain {
             let raw = sim.peek_output(&ctl.scan_out)?;
-            let mask = Width::new(elem.width).expect("meta widths are valid").mask();
+            let mask = Width::new(elem.width)
+                .expect("meta widths are valid")
+                .mask();
             regs.push((elem.rtl_name.clone(), raw & mask));
             sim.step();
             self.overhead_cycles += 1;
@@ -275,8 +277,7 @@ mod tests {
         let pending = ctl.begin_snapshot(&mut sim).unwrap();
         assert_eq!(pending.cycle, 20);
         // acc = sum of 0..19 = 190; wa = 20 mod 16 = 4.
-        let regs: std::collections::HashMap<_, _> =
-            pending.regs.iter().cloned().collect();
+        let regs: std::collections::HashMap<_, _> = pending.regs.iter().cloned().collect();
         assert_eq!(regs["acc"], 190);
         assert_eq!(regs["wa"], 4);
         assert_eq!(pending.mems[0].1.len(), 16);
@@ -313,7 +314,14 @@ mod tests {
         // Running with a snapshot in the middle must give the same target
         // trajectory as running straight through.
         let target = build();
-        let fame = transform(&target, &FameConfig { replay_length: 4, warmup: 0 }).unwrap();
+        let fame = transform(
+            &target,
+            &FameConfig {
+                replay_length: 4,
+                warmup: 0,
+            },
+        )
+        .unwrap();
 
         let run = |with_snapshot: bool| -> u64 {
             let mut sim = Simulator::new(&fame.hub).unwrap();
@@ -342,7 +350,14 @@ mod tests {
     fn wrapping_trace_window_is_reassembled_correctly() {
         // Capture at a cycle that makes the ring buffer wrap.
         let target = build();
-        let fame = transform(&target, &FameConfig { replay_length: 8, warmup: 0 }).unwrap();
+        let fame = transform(
+            &target,
+            &FameConfig {
+                replay_length: 8,
+                warmup: 0,
+            },
+        )
+        .unwrap();
         let mut sim = Simulator::new(&fame.hub).unwrap();
         let mut ctl = SnapshotController::new(&fame.meta);
         ctl.set_fire(&mut sim, true).unwrap();

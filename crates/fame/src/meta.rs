@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// One element of the register scan chain.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, serde::Blob)]
 pub struct ScanElem {
     /// The RTL register's hierarchical name.
     pub rtl_name: String,
@@ -13,7 +13,7 @@ pub struct ScanElem {
 }
 
 /// Scan metadata for one memory.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, serde::Blob)]
 pub struct MemScanMeta {
     /// The RTL memory's hierarchical name.
     pub rtl_name: String,
@@ -26,7 +26,7 @@ pub struct MemScanMeta {
 }
 
 /// Trace-buffer metadata for one target I/O port.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, serde::Blob)]
 pub struct TraceMeta {
     /// The target port's name.
     pub port: String,
@@ -37,7 +37,7 @@ pub struct TraceMeta {
 }
 
 /// Names of the hub's control ports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, serde::Blob)]
 pub struct ControlPorts {
     /// Global target-advance enable (the FAME1 token "fire" signal).
     pub fire: String,
@@ -62,7 +62,7 @@ pub struct ControlPorts {
 /// Everything the host driver needs: chain order, trace geometry and
 /// control-port names. Serialisable to JSON, as the paper's flow dumps
 /// metadata for the simulation software driver.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, serde::Blob)]
 pub struct FameMeta {
     /// Name of the target design.
     pub target: String,

@@ -1,10 +1,10 @@
 //! The FAME1 + scan-chain + trace-buffer transform.
 
 use crate::meta::{ControlPorts, FameMeta, MemScanMeta, ScanElem, TraceMeta};
-use strober_rtl::{Design, MemId, NodeId, Node, RegId, RtlError, Width};
+use strober_rtl::{Design, MemId, Node, NodeId, RegId, RtlError, Width};
 
 /// Configuration for the transform.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct FameConfig {
     /// Cycles of I/O recorded per snapshot for the measurement window
     /// (`L` in the paper; 128 in the validation experiments, 1000 in the
@@ -26,7 +26,7 @@ impl Default for FameConfig {
 }
 
 /// The transform's output: the hub design and its metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct FameResult {
     /// The instrumented FAME1 simulator design ("hub").
     pub hub: Design,

@@ -39,7 +39,9 @@ use strober_sim::Simulator;
 use strober_synth::SynthResult;
 
 /// The verified RTL → netlist name correspondence.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(
+    Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob,
+)]
 pub struct NameMap {
     /// RTL register name → DFF instance names, LSB first.
     pub regs: HashMap<String, Vec<String>>,
@@ -200,12 +202,15 @@ pub fn match_designs(
         if synth.info.is_retimed(reg.name()) {
             continue;
         }
-        let mapped = synth.info.reg_map.get(reg.name()).ok_or_else(|| {
-            FormalError::UnmatchedRegister {
-                rtl_name: reg.name().to_owned(),
-                reason: "no entry in synthesis info".to_owned(),
-            }
-        })?;
+        let mapped =
+            synth
+                .info
+                .reg_map
+                .get(reg.name())
+                .ok_or_else(|| FormalError::UnmatchedRegister {
+                    rtl_name: reg.name().to_owned(),
+                    reason: "no entry in synthesis info".to_owned(),
+                })?;
         if mapped.len() != reg.width().bits() as usize {
             return Err(FormalError::UnmatchedRegister {
                 rtl_name: reg.name().to_owned(),
@@ -230,12 +235,15 @@ pub fn match_designs(
 
     let mut matched_mems = 0;
     for (_, mem) in design.memories() {
-        let macro_name = synth.info.mem_map.get(mem.name()).ok_or_else(|| {
-            FormalError::UnmatchedMemory {
-                rtl_name: mem.name().to_owned(),
-                reason: "no entry in synthesis info".to_owned(),
-            }
-        })?;
+        let macro_name =
+            synth
+                .info
+                .mem_map
+                .get(mem.name())
+                .ok_or_else(|| FormalError::UnmatchedMemory {
+                    rtl_name: mem.name().to_owned(),
+                    reason: "no entry in synthesis info".to_owned(),
+                })?;
         let sram = netlist
             .srams()
             .iter()
@@ -256,7 +264,9 @@ pub fn match_designs(
                 ),
             });
         }
-        name_map.mems.insert(mem.name().to_owned(), macro_name.clone());
+        name_map
+            .mems
+            .insert(mem.name().to_owned(), macro_name.clone());
         matched_mems += 1;
     }
 
@@ -290,24 +300,22 @@ pub fn match_designs(
         .collect();
     let outputs: Vec<String> = design.outputs().iter().map(|(n, _)| n.clone()).collect();
 
-    let compare = |rtl: &mut Simulator,
-                       gate: &mut GateSim,
-                       cycle: u64|
-     -> Result<(), FormalError> {
-        for out in &outputs {
-            let r = rtl.peek_output(out).expect("validated output");
-            let g = gate.peek_port(out).expect("validated output");
-            if r != g {
-                return Err(FormalError::NotEquivalent {
-                    output: out.clone(),
-                    cycle,
-                    rtl: r,
-                    gate: g,
-                });
+    let compare =
+        |rtl: &mut Simulator, gate: &mut GateSim, cycle: u64| -> Result<(), FormalError> {
+            for out in &outputs {
+                let r = rtl.peek_output(out).expect("validated output");
+                let g = gate.peek_port(out).expect("validated output");
+                if r != g {
+                    return Err(FormalError::NotEquivalent {
+                        output: out.clone(),
+                        cycle,
+                        rtl: r,
+                        gate: g,
+                    });
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     let mut checked_cycles = 0;
     for cycle in 0..options.stimulus_cycles {
@@ -328,7 +336,10 @@ pub fn match_designs(
         for round in 0..options.state_injections {
             // Scramble the RTL state randomly, push it through the map,
             // and require continued equivalence.
-            let reg_ids: Vec<_> = design.registers().map(|(id, r)| (id, r.width().mask(), r.name().to_owned())).collect();
+            let reg_ids: Vec<_> = design
+                .registers()
+                .map(|(id, r)| (id, r.width().mask(), r.name().to_owned()))
+                .collect();
             for (id, mask, name) in &reg_ids {
                 let v = rng.gen::<u64>() & mask;
                 rtl.set_reg_value(*id, v);
@@ -345,7 +356,8 @@ pub fn match_designs(
                 for addr in 0..*depth {
                     let v = rng.gen::<u64>() & mask;
                     rtl.set_mem_value(*id, addr, v);
-                    gate.set_sram_word(macro_name, addr, v).expect("matched macro");
+                    gate.set_sram_word(macro_name, addr, v)
+                        .expect("matched macro");
                 }
             }
             for cycle in 0..options.post_injection_cycles {
@@ -469,6 +481,9 @@ mod tests {
         assert_eq!(report.state_injections, 0);
         assert_eq!(report.name_map.retimed.len(), 2);
         // Random-stimulus equivalence still ran from reset.
-        assert_eq!(report.checked_cycles, MatchOptions::default().stimulus_cycles);
+        assert_eq!(
+            report.checked_cycles,
+            MatchOptions::default().stimulus_cycles
+        );
     }
 }

@@ -44,7 +44,12 @@ fn mutate_gate(nl: &Netlist, index: usize, replacement: CellKind) -> Option<Netl
     let mut mutated = false;
     for g in nl.gates() {
         match g {
-            Gate::Comb { kind, inputs, output, region } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                region,
+            } => {
                 let mut k = *kind;
                 if comb_seen == index
                     && kind.input_count() == replacement.input_count()
@@ -56,7 +61,13 @@ fn mutate_gate(nl: &Netlist, index: usize, replacement: CellKind) -> Option<Netl
                 comb_seen += 1;
                 out.add_gate(k, inputs.clone(), *output, *region);
             }
-            Gate::Dff { name, d, q, init, region } => {
+            Gate::Dff {
+                name,
+                d,
+                q,
+                init,
+                region,
+            } => {
                 out.add_dff(name.clone(), *d, *q, *init, *region);
             }
         }
@@ -128,10 +139,21 @@ fn dff_init_fault_is_caught() {
     let mut first = true;
     for g in synth.netlist.gates() {
         match g {
-            Gate::Comb { kind, inputs, output, region } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                region,
+            } => {
                 out.add_gate(*kind, inputs.clone(), *output, *region);
             }
-            Gate::Dff { name, d, q, init, region } => {
+            Gate::Dff {
+                name,
+                d,
+                q,
+                init,
+                region,
+            } => {
                 let init = if first { !*init } else { *init };
                 first = false;
                 out.add_dff(name.clone(), *d, *q, init, *region);

@@ -8,7 +8,19 @@ use std::fmt;
 /// A deliberately small, orthogonal library: every word-level RTL operator
 /// lowers to these cells plus SRAM macros. `Tie0`/`Tie1` drive constant
 /// nets, as tie cells do in real flows.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+    serde::Blob,
+)]
 pub enum CellKind {
     /// Inverter.
     Inv,

@@ -6,7 +6,19 @@ use std::error::Error;
 use std::fmt;
 
 /// Identifier of a single-bit net.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+    serde::Blob,
+)]
 pub struct NetId(pub(crate) u32);
 
 impl NetId {
@@ -28,7 +40,19 @@ impl fmt::Display for NetId {
 }
 
 /// Identifier of a gate instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    serde::Serialize,
+    serde::Deserialize,
+    serde::Blob,
+)]
 pub struct GateId(pub(crate) u32);
 
 impl GateId {
@@ -45,7 +69,7 @@ impl fmt::Display for GateId {
 }
 
 /// A gate instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub enum Gate {
     /// A combinational cell.
     Comb {
@@ -101,7 +125,7 @@ impl Gate {
 
 /// A read port of an SRAM macro: address bits (LSB first) in, data bits
 /// (LSB first) out. Reads are combinational, as in the RTL model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct SramReadPort {
     /// Address nets, least significant bit first.
     pub addr: Vec<NetId>,
@@ -111,7 +135,7 @@ pub struct SramReadPort {
 
 /// A write port of an SRAM macro; the write commits on the clock edge when
 /// `enable` is high.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct SramWritePort {
     /// Address nets, least significant bit first.
     pub addr: Vec<NetId>,
@@ -126,7 +150,7 @@ pub struct SramWritePort {
 /// Synthesis maps RTL memories to macros instead of bit-blasting them, as
 /// real flows map them to compiled RAMs; the power model charges per-access
 /// energy and per-bit leakage (see `strober-power`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct SramMacro {
     /// Instance name (mangled by synthesis).
     pub name: String,
@@ -193,7 +217,7 @@ impl Error for NetlistError {}
 ///
 /// Nets are single bits. Primary inputs/outputs use `port[i]` bit naming so
 /// word-level RTL ports map onto them deterministically.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct Netlist {
     name: String,
     net_names: Vec<String>,
@@ -348,9 +372,9 @@ impl Netlist {
     /// Iterates over the flip-flops with their gate ids.
     pub fn dffs(&self) -> impl Iterator<Item = (GateId, &str, NetId, NetId, bool)> {
         self.gates.iter().enumerate().filter_map(|(i, g)| match g {
-            Gate::Dff { name, d, q, init, .. } => {
-                Some((GateId(i as u32), name.as_str(), *d, *q, *init))
-            }
+            Gate::Dff {
+                name, d, q, init, ..
+            } => Some((GateId(i as u32), name.as_str(), *d, *q, *init)),
             _ => None,
         })
     }
@@ -414,7 +438,8 @@ impl Netlist {
     /// Returns [`NetlistError::CombinationalLoop`] on a cycle.
     pub fn levelize(&self) -> Result<Vec<usize>, NetlistError> {
         // Map: net -> driving element (comb gates + sram read port data bits).
-        let n_elems = self.gates.len() + self.srams.iter().map(|s| s.read_ports.len()).sum::<usize>();
+        let n_elems =
+            self.gates.len() + self.srams.iter().map(|s| s.read_ports.len()).sum::<usize>();
         let mut driver_of: Vec<Option<usize>> = vec![None; self.net_names.len()];
         for (i, g) in self.gates.iter().enumerate() {
             if let Gate::Comb { output, .. } = g {
@@ -433,12 +458,13 @@ impl Netlist {
 
         let mut indegree = vec![0u32; n_elems];
         let mut users: Vec<Vec<u32>> = vec![Vec::new(); n_elems];
-        let connect = |src_net: NetId, dst: usize, users: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
-            if let Some(drv) = driver_of[src_net.index()] {
-                users[drv].push(dst as u32);
-                indeg[dst] += 1;
-            }
-        };
+        let connect =
+            |src_net: NetId, dst: usize, users: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
+                if let Some(drv) = driver_of[src_net.index()] {
+                    users[drv].push(dst as u32);
+                    indeg[dst] += 1;
+                }
+            };
 
         for (i, g) in self.gates.iter().enumerate() {
             if let Gate::Comb { inputs, .. } = g {
@@ -492,7 +518,12 @@ impl Netlist {
         let mut drivers = vec![0u32; self.net_names.len()];
         for g in &self.gates {
             match g {
-                Gate::Comb { kind, inputs, output, .. } => {
+                Gate::Comb {
+                    kind,
+                    inputs,
+                    output,
+                    ..
+                } => {
                     if inputs.len() != kind.input_count() {
                         return Err(NetlistError::PinCountMismatch {
                             gate: format!("{kind}->{}", self.net_name(*output)),
@@ -531,11 +562,7 @@ impl Netlist {
 
     /// Total cell area in µm² under a library.
     pub fn area_um2(&self, lib: &crate::CellLibrary) -> f64 {
-        let cells: f64 = self
-            .gates
-            .iter()
-            .map(|g| lib.cell(g.kind()).area_um2)
-            .sum();
+        let cells: f64 = self.gates.iter().map(|g| lib.cell(g.kind()).area_um2).sum();
         let srams: f64 = self
             .srams
             .iter()
@@ -594,10 +621,7 @@ mod tests {
         let mut nl = tiny();
         let dangling = nl.add_net("dangling");
         nl.add_output("z", dangling);
-        assert!(matches!(
-            nl.validate(),
-            Err(NetlistError::Undriven { .. })
-        ));
+        assert!(matches!(nl.validate(), Err(NetlistError::Undriven { .. })));
     }
 
     #[test]

@@ -11,7 +11,13 @@ use std::fmt::Write as _;
 fn sanitize(name: &str) -> String {
     let s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.starts_with(|c: char| c.is_ascii_digit()) {
         format!("_{s}")
@@ -116,7 +122,12 @@ pub fn to_structural_verilog(netlist: &Netlist) -> Result<String, NetlistError> 
         )
         .unwrap();
         writeln!(v, "  integer i;").unwrap();
-        writeln!(v, "  initial for (i = 0; i <= {}; i = i + 1) mem[i] = 0;", s.depth - 1).unwrap();
+        writeln!(
+            v,
+            "  initial for (i = 0; i <= {}; i = i + 1) mem[i] = 0;",
+            s.depth - 1
+        )
+        .unwrap();
         for (p, _) in s.read_ports.iter().enumerate() {
             writeln!(v, "  assign RD{p} = mem[RA{p}];").unwrap();
         }
@@ -169,7 +180,12 @@ pub fn to_structural_verilog(netlist: &Netlist) -> Result<String, NetlistError> 
     // Gate instances.
     for (i, g) in netlist.gates().iter().enumerate() {
         match g {
-            Gate::Comb { kind, inputs, output, .. } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                ..
+            } => {
                 let pins = match kind {
                     CellKind::Mux2 => format!(
                         ".A0({}), .A1({}), .S({}), ",
@@ -189,7 +205,9 @@ pub fn to_structural_verilog(netlist: &Netlist) -> Result<String, NetlistError> 
                 )
                 .unwrap();
             }
-            Gate::Dff { name, d, q, init, .. } => {
+            Gate::Dff {
+                name, d, q, init, ..
+            } => {
                 writeln!(
                     v,
                     "  DFF #(.INIT(1'b{})) {} (.CK(clock), .D({}), .Q({}));",

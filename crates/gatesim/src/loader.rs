@@ -134,9 +134,8 @@ mod tests {
 
     #[test]
     fn vpi_is_fifty_times_faster() {
-        let values: Vec<(String, bool)> = (0..4)
-            .map(|i| (format!("state_reg_{i}_"), true))
-            .collect();
+        let values: Vec<(String, bool)> =
+            (0..4).map(|i| (format!("state_reg_{i}_"), true)).collect();
         let mut s1 = sim();
         let mut s2 = sim();
         let script = ScriptLoader::load(&mut s1, &values, &[]).unwrap();

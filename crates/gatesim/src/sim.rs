@@ -128,7 +128,9 @@ fn group_bits(bits: &[(String, NetId)]) -> HashMap<String, Vec<u32>> {
                 }
             }
         }
-        map.entry(name.clone()).or_default().push((0, net.index() as u32));
+        map.entry(name.clone())
+            .or_default()
+            .push((0, net.index() as u32));
     }
     map.into_iter()
         .map(|(k, mut v)| {
@@ -154,7 +156,12 @@ impl GateSim {
         let mut dff_by_name = HashMap::new();
         for g in netlist.gates() {
             match g {
-                Gate::Comb { kind, inputs, output, .. } => {
+                Gate::Comb {
+                    kind,
+                    inputs,
+                    output,
+                    ..
+                } => {
                     let pin = |i: usize| inputs.get(i).map_or(0, |n| n.index() as u32);
                     gate_ops.push(Some(GateOp {
                         kind: *kind,
@@ -233,10 +240,13 @@ impl GateSim {
     /// Returns [`GateSimError::UnknownName`] or
     /// [`GateSimError::ValueTooWide`].
     pub fn poke_port(&mut self, name: &str, value: u64) -> Result<(), GateSimError> {
-        let bits = self.port_bits.get(name).ok_or_else(|| GateSimError::UnknownName {
-            kind: "input port",
-            name: name.to_owned(),
-        })?;
+        let bits = self
+            .port_bits
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "input port",
+                name: name.to_owned(),
+            })?;
         let width = bits.len() as u32;
         if width < 64 && value >> width != 0 {
             return Err(GateSimError::ValueTooWide {
@@ -305,15 +315,9 @@ impl GateSim {
                     CellKind::Nor2 => {
                         !(self.values[op.in0 as usize] || self.values[op.in1 as usize])
                     }
-                    CellKind::And2 => {
-                        self.values[op.in0 as usize] && self.values[op.in1 as usize]
-                    }
-                    CellKind::Or2 => {
-                        self.values[op.in0 as usize] || self.values[op.in1 as usize]
-                    }
-                    CellKind::Xor2 => {
-                        self.values[op.in0 as usize] ^ self.values[op.in1 as usize]
-                    }
+                    CellKind::And2 => self.values[op.in0 as usize] && self.values[op.in1 as usize],
+                    CellKind::Or2 => self.values[op.in0 as usize] || self.values[op.in1 as usize],
+                    CellKind::Xor2 => self.values[op.in0 as usize] ^ self.values[op.in1 as usize],
                     CellKind::Xnor2 => {
                         !(self.values[op.in0 as usize] ^ self.values[op.in1 as usize])
                     }
@@ -439,10 +443,13 @@ impl GateSim {
     ///
     /// Returns [`GateSimError::UnknownName`] for an unknown instance.
     pub fn set_dff(&mut self, name: &str, value: bool) -> Result<(), GateSimError> {
-        let &idx = self.dff_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
-            kind: "flip-flop",
-            name: name.to_owned(),
-        })?;
+        let &idx = self
+            .dff_by_name
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "flip-flop",
+                name: name.to_owned(),
+            })?;
         let (_, q) = self.dffs[idx];
         self.values[q as usize] = value;
         self.prev_values[q as usize] = value;
@@ -456,10 +463,13 @@ impl GateSim {
     ///
     /// Returns [`GateSimError::UnknownName`] for an unknown instance.
     pub fn dff_value(&self, name: &str) -> Result<bool, GateSimError> {
-        let &idx = self.dff_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
-            kind: "flip-flop",
-            name: name.to_owned(),
-        })?;
+        let &idx = self
+            .dff_by_name
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "flip-flop",
+                name: name.to_owned(),
+            })?;
         let (_, q) = self.dffs[idx];
         Ok(self.values[q as usize])
     }
@@ -470,16 +480,27 @@ impl GateSim {
     ///
     /// Returns [`GateSimError::UnknownName`] or
     /// [`GateSimError::AddressOutOfRange`].
-    pub fn set_sram_word(&mut self, name: &str, addr: usize, value: u64) -> Result<(), GateSimError> {
-        let &idx = self.sram_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
-            kind: "SRAM macro",
-            name: name.to_owned(),
-        })?;
+    pub fn set_sram_word(
+        &mut self,
+        name: &str,
+        addr: usize,
+        value: u64,
+    ) -> Result<(), GateSimError> {
+        let &idx = self
+            .sram_by_name
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "SRAM macro",
+                name: name.to_owned(),
+            })?;
         let s = &mut self.srams[idx];
-        let slot = s.contents.get_mut(addr).ok_or_else(|| GateSimError::AddressOutOfRange {
-            sram: name.to_owned(),
-            addr,
-        })?;
+        let slot = s
+            .contents
+            .get_mut(addr)
+            .ok_or_else(|| GateSimError::AddressOutOfRange {
+                sram: name.to_owned(),
+                addr,
+            })?;
         *slot = value;
         self.dirty = true;
         Ok(())
@@ -492,10 +513,13 @@ impl GateSim {
     /// Returns [`GateSimError::UnknownName`] or
     /// [`GateSimError::AddressOutOfRange`].
     pub fn sram_word(&self, name: &str, addr: usize) -> Result<u64, GateSimError> {
-        let &idx = self.sram_by_name.get(name).ok_or_else(|| GateSimError::UnknownName {
-            kind: "SRAM macro",
-            name: name.to_owned(),
-        })?;
+        let &idx = self
+            .sram_by_name
+            .get(name)
+            .ok_or_else(|| GateSimError::UnknownName {
+                kind: "SRAM macro",
+                name: name.to_owned(),
+            })?;
         self.srams[idx]
             .contents
             .get(addr)

@@ -290,9 +290,11 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
         match item {
             Item::Word { value, label } => {
                 let v = match label {
-                    Some(l) => i64::from(*asm.symbols.get(l).ok_or_else(|| {
-                        err(0, format!("undefined label `{l}` in .word"))
-                    })?),
+                    Some(l) => i64::from(
+                        *asm.symbols
+                            .get(l)
+                            .ok_or_else(|| err(0, format!("undefined label `{l}` in .word")))?,
+                    ),
                     None => *value,
                 };
                 words.push(v as u32);
@@ -350,7 +352,10 @@ pub fn assemble(source: &str) -> Result<Image, AsmError> {
 
 fn want(ops: &[Operand], n: usize, line: usize, what: &str) -> Result<(), AsmError> {
     if ops.len() != n {
-        return Err(err(line, format!("{what} expects {n} operands, got {}", ops.len())));
+        return Err(err(
+            line,
+            format!("{what} expects {n} operands, got {}", ops.len()),
+        ));
     }
     Ok(())
 }
@@ -398,8 +403,7 @@ fn emit(asm: &mut Assembler, mnemonic: &str, ops: &[Operand], line: usize) -> Re
                 });
             }
         }
-        "add" | "sub" | "and" | "or" | "xor" | "slt" | "sltu" | "sll" | "srl" | "sra"
-        | "mul" => {
+        "add" | "sub" | "and" | "or" | "xor" | "slt" | "sltu" | "sll" | "srl" | "sra" | "mul" => {
             want(ops, 3, line, mnemonic)?;
             let op = match mnemonic {
                 "add" => Op::Add,
@@ -596,7 +600,11 @@ fn emit(asm: &mut Assembler, mnemonic: &str, ops: &[Operand], line: usize) -> Re
         "rdcyc" | "rdinst" => {
             want(ops, 1, line, mnemonic)?;
             let rd = reg_of(&ops[0], line)?;
-            let op = if mnemonic == "rdcyc" { Op::Rdcyc } else { Op::Rdinst };
+            let op = if mnemonic == "rdcyc" {
+                Op::Rdcyc
+            } else {
+                Op::Rdinst
+            };
             asm.push_instr(op, rd, z, z, 0, line);
         }
         "out" => {
@@ -630,7 +638,14 @@ fn emit_li(asm: &mut Assembler, rd: Reg, v: u32, line: usize) {
         );
         return;
     }
-    asm.push_instr(Op::Lui, rd, Reg::ZERO, Reg::ZERO, i64::from(hi as i16), line);
+    asm.push_instr(
+        Op::Lui,
+        rd,
+        Reg::ZERO,
+        Reg::ZERO,
+        i64::from(hi as i16),
+        line,
+    );
     if lo != 0 {
         asm.push_instr(Op::Ori, rd, rd, Reg::ZERO, i64::from(lo as i16), line);
     }

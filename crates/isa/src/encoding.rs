@@ -271,8 +271,17 @@ pub fn disassemble(i: Instr) -> String {
     let r = |reg: Reg| format!("x{}", reg.0);
     match i.op {
         Op::Halt => format!("halt {}", r(i.rs1)),
-        Op::Add | Op::Sub | Op::And | Op::Or | Op::Xor | Op::Slt | Op::Sltu | Op::Sll
-        | Op::Srl | Op::Sra | Op::Mul => {
+        Op::Add
+        | Op::Sub
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Slt
+        | Op::Sltu
+        | Op::Sll
+        | Op::Srl
+        | Op::Sra
+        | Op::Mul => {
             let m = match i.op {
                 Op::Add => "add",
                 Op::Sub => "sub",
@@ -288,8 +297,15 @@ pub fn disassemble(i: Instr) -> String {
             };
             format!("{m} {}, {}, {}", r(i.rd), r(i.rs1), r(i.rs2))
         }
-        Op::Addi | Op::Andi | Op::Ori | Op::Xori | Op::Slti | Op::Sltiu | Op::Slli
-        | Op::Srli | Op::Srai => {
+        Op::Addi
+        | Op::Andi
+        | Op::Ori
+        | Op::Xori
+        | Op::Slti
+        | Op::Sltiu
+        | Op::Slli
+        | Op::Srli
+        | Op::Srai => {
             let m = match i.op {
                 Op::Addi => "addi",
                 Op::Andi => "andi",
@@ -332,21 +348,88 @@ mod tests {
     #[test]
     fn round_trip_all_formats() {
         let cases = [
-            Instr { op: Op::Add, rd: Reg(3), rs1: Reg(4), rs2: Reg(5), imm: 0 },
-            Instr { op: Op::Addi, rd: Reg(1), rs1: Reg(2), rs2: Reg(0), imm: -42 },
-            Instr { op: Op::Lw, rd: Reg(7), rs1: Reg(8), rs2: Reg(0), imm: 100 },
-            Instr { op: Op::Sw, rd: Reg(0), rs1: Reg(9), rs2: Reg(10), imm: -4 },
-            Instr { op: Op::Beq, rd: Reg(0), rs1: Reg(11), rs2: Reg(12), imm: -7 },
-            Instr { op: Op::Jal, rd: Reg(1), rs1: Reg(0), rs2: Reg(0), imm: 200 },
-            Instr { op: Op::Jalr, rd: Reg(0), rs1: Reg(1), rs2: Reg(0), imm: 0 },
-            Instr { op: Op::Lui, rd: Reg(5), rs1: Reg(0), rs2: Reg(0), imm: 0x1234 },
-            Instr { op: Op::Halt, rd: Reg(10), rs1: Reg(10), rs2: Reg(0), imm: 0 },
-            Instr { op: Op::Rdcyc, rd: Reg(6), rs1: Reg(0), rs2: Reg(0), imm: 0 },
+            Instr {
+                op: Op::Add,
+                rd: Reg(3),
+                rs1: Reg(4),
+                rs2: Reg(5),
+                imm: 0,
+            },
+            Instr {
+                op: Op::Addi,
+                rd: Reg(1),
+                rs1: Reg(2),
+                rs2: Reg(0),
+                imm: -42,
+            },
+            Instr {
+                op: Op::Lw,
+                rd: Reg(7),
+                rs1: Reg(8),
+                rs2: Reg(0),
+                imm: 100,
+            },
+            Instr {
+                op: Op::Sw,
+                rd: Reg(0),
+                rs1: Reg(9),
+                rs2: Reg(10),
+                imm: -4,
+            },
+            Instr {
+                op: Op::Beq,
+                rd: Reg(0),
+                rs1: Reg(11),
+                rs2: Reg(12),
+                imm: -7,
+            },
+            Instr {
+                op: Op::Jal,
+                rd: Reg(1),
+                rs1: Reg(0),
+                rs2: Reg(0),
+                imm: 200,
+            },
+            Instr {
+                op: Op::Jalr,
+                rd: Reg(0),
+                rs1: Reg(1),
+                rs2: Reg(0),
+                imm: 0,
+            },
+            Instr {
+                op: Op::Lui,
+                rd: Reg(5),
+                rs1: Reg(0),
+                rs2: Reg(0),
+                imm: 0x1234,
+            },
+            Instr {
+                op: Op::Halt,
+                rd: Reg(10),
+                rs1: Reg(10),
+                rs2: Reg(0),
+                imm: 0,
+            },
+            Instr {
+                op: Op::Rdcyc,
+                rd: Reg(6),
+                rs1: Reg(0),
+                rs2: Reg(0),
+                imm: 0,
+            },
         ];
         for c in cases {
             let got = decode(encode(c)).unwrap();
             assert_eq!(got.op, c.op, "{c:?}");
-            assert_eq!(got.rd.0, if matches!(c.op, Op::Sw) || c.op.is_branch() { 0 } else { c.rd.0 });
+            assert_eq!(
+                got.rd.0,
+                if matches!(c.op, Op::Sw) || c.op.is_branch() {
+                    0
+                } else {
+                    c.rd.0
+                }
+            );
             assert_eq!(got.rs1, c.rs1, "{c:?}");
             if c.op.is_alu_reg() || c.op.is_branch() || c.op == Op::Sw {
                 assert_eq!(got.rs2, c.rs2, "{c:?}");

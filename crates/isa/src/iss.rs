@@ -65,7 +65,10 @@ impl Iss {
     ///
     /// Panics if `mem_bytes` is not a positive multiple of 4.
     pub fn new(mem_bytes: usize) -> Self {
-        assert!(mem_bytes > 0 && mem_bytes.is_multiple_of(4), "memory must be whole words");
+        assert!(
+            mem_bytes > 0 && mem_bytes.is_multiple_of(4),
+            "memory must be whole words"
+        );
         Iss {
             regs: [0; 32],
             mem: vec![0; mem_bytes / 4],
@@ -162,10 +165,7 @@ impl Iss {
             return Ok(());
         }
         let word = self.read_word(self.pc, "fetch")?;
-        let instr = decode(word).ok_or(IssError::IllegalInstruction {
-            pc: self.pc,
-            word,
-        })?;
+        let instr = decode(word).ok_or(IssError::IllegalInstruction { pc: self.pc, word })?;
         self.execute(instr)
     }
 
@@ -323,18 +323,14 @@ mod tests {
 
     #[test]
     fn shifts() {
-        let iss = run(
-            "li t0, -16\nsrai a0, t0, 2\nsrli a1, t0, 28\nadd a2, a0, a1\nhalt a2\n",
-        );
+        let iss = run("li t0, -16\nsrai a0, t0, 2\nsrli a1, t0, 28\nadd a2, a0, a1\nhalt a2\n");
         // srai(-16,2) = -4; srli(0xFFFFFFF0,28) = 15; sum = 11.
         assert_eq!(iss.exit_code(), Some(11));
     }
 
     #[test]
     fn function_calls() {
-        let iss = run(
-            "li a0, 5\ncall square\nhalt a0\nsquare: mul a0, a0, a0\nret\n",
-        );
+        let iss = run("li a0, 5\ncall square\nhalt a0\nsquare: mul a0, a0, a0\nret\n");
         assert_eq!(iss.exit_code(), Some(25));
     }
 
@@ -363,10 +359,7 @@ mod tests {
         let mut iss = Iss::new(1024);
         iss.load(&image.words, 0);
         iss.step().unwrap();
-        assert!(matches!(
-            iss.step(),
-            Err(IssError::OutOfBounds { .. })
-        ));
+        assert!(matches!(iss.step(), Err(IssError::OutOfBounds { .. })));
 
         let mut iss = Iss::new(1024);
         iss.load(&[63 << 26], 0);

@@ -66,7 +66,7 @@ impl OutputView<'_> {
 /// clock, a host synchronisation stall every 256 target cycles costing a
 /// host round trip (which yields the ~3.9 MHz "without sampling" rate of
 /// Table III), and 1.3 s of host readout latency per snapshot record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PlatformConfig {
     /// Raw FPGA fabric clock in Hz.
     pub raw_clock_hz: f64,
@@ -294,8 +294,7 @@ impl ZynqHost {
     /// Session statistics under the platform cost model.
     pub fn stats(&self) -> PlatformStats {
         let scan = self.ctl.overhead_cycles();
-        let fabric_cycles =
-            self.hub_cycles + scan + self.syncs * self.cfg.sync_penalty_cycles;
+        let fabric_cycles = self.hub_cycles + scan + self.syncs * self.cfg.sync_penalty_cycles;
         let modeled_seconds = fabric_cycles as f64 / self.cfg.raw_clock_hz
             + self.records as f64 * self.cfg.record_fixed_seconds;
         PlatformStats {
@@ -356,7 +355,10 @@ mod tests {
     #[test]
     fn host_services_the_model_every_cycle() {
         let mut host = ZynqHost::new(&fame(), PlatformConfig::default()).unwrap();
-        let mut model = Echo { last: 0, limit: u64::MAX };
+        let mut model = Echo {
+            last: 0,
+            limit: u64::MAX,
+        };
         host.run(&mut model, 10).unwrap();
         // acc = 0+1+...+9 = 45.
         assert_eq!(host.peek_output("value").unwrap(), 45);
@@ -374,7 +376,10 @@ mod tests {
     #[test]
     fn snapshot_capture_accounts_overhead_and_keeps_running() {
         let mut host = ZynqHost::new(&fame(), PlatformConfig::default()).unwrap();
-        let mut model = Echo { last: 0, limit: u64::MAX };
+        let mut model = Echo {
+            last: 0,
+            limit: u64::MAX,
+        };
         host.run(&mut model, 20).unwrap();
         let snap = host.capture_snapshot(&mut model).unwrap();
         assert_eq!(snap.cycle, 20);
@@ -406,7 +411,10 @@ mod tests {
     #[test]
     fn stats_modeled_seconds_include_records() {
         let mut host = ZynqHost::new(&fame(), PlatformConfig::default()).unwrap();
-        let mut model = Echo { last: 0, limit: u64::MAX };
+        let mut model = Echo {
+            last: 0,
+            limit: u64::MAX,
+        };
         host.run(&mut model, 100).unwrap();
         let before = host.stats().modeled_seconds;
         host.capture_snapshot(&mut model).unwrap();

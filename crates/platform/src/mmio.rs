@@ -85,10 +85,12 @@ impl MmioMap {
             outputs.push(&t.out_port);
         }
         for name in outputs {
-            let node = hub.output_by_name(name).ok_or_else(|| SimError::UnknownName {
-                kind: "hub status output",
-                name: name.clone(),
-            })?;
+            let node = hub
+                .output_by_name(name)
+                .ok_or_else(|| SimError::UnknownName {
+                    kind: "hub status output",
+                    name: name.clone(),
+                })?;
             let addr = next_addr;
             next_addr += 4;
             regs.push(MmioReg {
@@ -125,10 +127,13 @@ impl MmioMap {
     /// Returns [`SimError::UnknownName`] for an unmapped or read-only
     /// address.
     pub fn write(&self, sim: &mut Simulator, addr: u32, value: u64) -> Result<(), SimError> {
-        let port = self.write_ports.get(&addr).ok_or_else(|| SimError::UnknownName {
-            kind: "writable MMIO address",
-            name: format!("{addr:#x}"),
-        })?;
+        let port = self
+            .write_ports
+            .get(&addr)
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "writable MMIO address",
+                name: format!("{addr:#x}"),
+            })?;
         sim.poke(*port, value);
         Ok(())
     }
@@ -140,10 +145,13 @@ impl MmioMap {
     /// Returns [`SimError::UnknownName`] for an unmapped or write-only
     /// address.
     pub fn read(&self, sim: &mut Simulator, addr: u32) -> Result<u64, SimError> {
-        let node = self.read_nodes.get(&addr).ok_or_else(|| SimError::UnknownName {
-            kind: "readable MMIO address",
-            name: format!("{addr:#x}"),
-        })?;
+        let node = self
+            .read_nodes
+            .get(&addr)
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "readable MMIO address",
+                name: format!("{addr:#x}"),
+            })?;
         Ok(sim.peek(*node))
     }
 }

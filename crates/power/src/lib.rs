@@ -261,8 +261,7 @@ impl PowerAnalyzer {
         for (&(read_fj, write_fj, region), &(reads, writes)) in
             self.sram_energy.iter().zip(activity.sram_accesses())
         {
-            region_sram_fj[region as usize] +=
-                reads as f64 * read_fj + writes as f64 * write_fj;
+            region_sram_fj[region as usize] += reads as f64 * read_fj + writes as f64 * write_fj;
         }
 
         let mut by_region = BTreeMap::new();

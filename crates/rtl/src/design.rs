@@ -8,7 +8,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 /// A named top-level input.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct Port {
     name: String,
     width: Width,
@@ -33,7 +33,7 @@ impl Port {
 }
 
 /// A positive-edge register.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct Register {
     name: String,
     width: Width,
@@ -70,7 +70,7 @@ impl Register {
 }
 
 /// A combinational memory read port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct MemReadPort {
     addr: NodeId,
 }
@@ -83,7 +83,7 @@ impl MemReadPort {
 }
 
 /// A clocked memory write port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct WritePort {
     addr: NodeId,
     data: NodeId,
@@ -108,7 +108,7 @@ impl WritePort {
 }
 
 /// A word-addressed RAM with combinational reads and clocked writes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct Memory {
     name: String,
     width: Width,
@@ -164,7 +164,7 @@ impl Memory {
 ///
 /// See the [crate-level documentation](crate) for the data model and an
 /// example.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct Design {
     name: String,
     nodes: Vec<(Node, Width)>,
@@ -253,11 +253,7 @@ impl Design {
         let name = name.into();
         self.claim_name(&name)?;
         let id = PortId(self.ports.len() as u32);
-        self.ports.push(Port {
-            name,
-            width,
-            id,
-        });
+        self.ports.push(Port { name, width, id });
         Ok(self.push_node(Node::Input(id), width))
     }
 
@@ -861,28 +857,27 @@ impl Design {
                     }
                 }
                 Node::Mux { sel, t, f }
-                    if (self.width(sel) != Width::BIT || self.width(t) != self.width(f)) => {
-                        return Err(RtlError::WidthMismatch {
-                            context: "mux",
-                            left: self.width(t).bits(),
-                            right: self.width(f).bits(),
-                        });
-                    }
-                Node::Slice { a, hi, lo }
-                    if (hi < lo || hi >= self.width(a).bits()) => {
-                        return Err(RtlError::InvalidSlice {
-                            hi,
-                            lo,
-                            width: self.width(a).bits(),
-                        });
-                    }
+                    if (self.width(sel) != Width::BIT || self.width(t) != self.width(f)) =>
+                {
+                    return Err(RtlError::WidthMismatch {
+                        context: "mux",
+                        left: self.width(t).bits(),
+                        right: self.width(f).bits(),
+                    });
+                }
+                Node::Slice { a, hi, lo } if (hi < lo || hi >= self.width(a).bits()) => {
+                    return Err(RtlError::InvalidSlice {
+                        hi,
+                        lo,
+                        width: self.width(a).bits(),
+                    });
+                }
                 Node::Wire(wid) => {
-                    let driver = self.wires[wid.index()].ok_or_else(|| {
-                        RtlError::RegisterConnection {
+                    let driver =
+                        self.wires[wid.index()].ok_or_else(|| RtlError::RegisterConnection {
                             name: wid.to_string(),
                             problem: "wire never driven",
-                        }
-                    })?;
+                        })?;
                     if self.width(driver) != width {
                         return Err(RtlError::WidthMismatch {
                             context: "wire driver",
@@ -978,10 +973,7 @@ mod tests {
         let mut d = Design::new("t");
         let a = d.constant(1, w(4));
         let b = d.constant(1, w(8));
-        assert!(matches!(
-            d.add(a, b),
-            Err(RtlError::WidthMismatch { .. })
-        ));
+        assert!(matches!(d.add(a, b), Err(RtlError::WidthMismatch { .. })));
         assert!(d.mux(a, b, b).is_err()); // select must be 1 bit
     }
 

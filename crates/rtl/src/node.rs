@@ -8,6 +8,7 @@ macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[derive(serde::Serialize, serde::Deserialize, serde::Blob)]
         pub struct $name(pub(crate) u32);
 
         impl $name {
@@ -61,7 +62,9 @@ id_type!(
 );
 
 /// Unary combinational operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, serde::Blob,
+)]
 pub enum UnOp {
     /// Bitwise complement within the operand width.
     Not,
@@ -101,7 +104,9 @@ impl UnOp {
 /// Shifts treat the right operand as an unsigned count and saturate:
 /// shifting a `w`-bit value by ≥ `w` yields 0 (or the sign fill for
 /// [`BinOp::Sra`]), matching Verilog semantics for self-width shifts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, serde::Blob,
+)]
 pub enum BinOp {
     /// Wrapping addition.
     Add,
@@ -199,12 +204,9 @@ impl BinOp {
     /// The width of the result given operands of width `w`.
     pub fn result_width(self, w: Width) -> Width {
         match self {
-            BinOp::Eq
-            | BinOp::Neq
-            | BinOp::Ltu
-            | BinOp::Leu
-            | BinOp::Lts
-            | BinOp::Les => Width::BIT,
+            BinOp::Eq | BinOp::Neq | BinOp::Ltu | BinOp::Leu | BinOp::Lts | BinOp::Les => {
+                Width::BIT
+            }
             _ => w,
         }
     }
@@ -220,7 +222,7 @@ impl BinOp {
 /// Nodes form a DAG; [`crate::Design::validate`] rejects combinational
 /// cycles. The variants correspond one-to-one with the word-level operator
 /// set of a lowered hardware IR.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub enum Node {
     /// The value of a top-level input port.
     Input(PortId),

@@ -26,10 +26,11 @@ impl TopoOrder {
         let mut indegree = vec![0u32; n];
         let mut users: Vec<Vec<u32>> = vec![Vec::new(); n];
 
-        let add_edge = |from: NodeId, to: usize, users: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
-            users[from.index()].push(to as u32);
-            indeg[to] += 1;
-        };
+        let add_edge =
+            |from: NodeId, to: usize, users: &mut Vec<Vec<u32>>, indeg: &mut Vec<u32>| {
+                users[from.index()].push(to as u32);
+                indeg[to] += 1;
+            };
 
         for (id, node, _) in design.nodes() {
             let to = id.index();
@@ -64,7 +65,9 @@ impl TopoOrder {
             }
         }
 
-        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indegree[i as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         let mut order = Vec::with_capacity(n);
         let mut head = 0;
         while head < queue.len() {

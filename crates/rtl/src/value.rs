@@ -11,6 +11,34 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Width(u8);
 
+impl serde::Serialize for Width {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::from(self.bits())
+    }
+}
+
+impl serde::Deserialize for Width {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let bits = value
+            .as_u64()
+            .ok_or_else(|| serde::DeError::expected("width in bits", value))?;
+        let bits = u32::try_from(bits)
+            .map_err(|_| serde::DeError(format!("width {bits} out of range")))?;
+        Width::new(bits).map_err(|e| serde::DeError(e.to_string()))
+    }
+}
+
+impl serde::Blob for Width {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        out.push(self.0);
+    }
+
+    fn decode_blob(r: &mut serde::BlobReader<'_>) -> Result<Self, serde::DeError> {
+        let bits = r.byte()?;
+        Width::new(u32::from(bits)).map_err(|e| serde::DeError(e.to_string()))
+    }
+}
+
 impl Width {
     /// The maximum representable width.
     pub const MAX_BITS: u32 = 64;

@@ -39,7 +39,13 @@ impl Names {
         }
         let base: String = preferred
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let base = if base.starts_with(|c: char| c.is_ascii_digit()) {
             format!("_{base}")
@@ -112,7 +118,13 @@ pub fn to_verilog(design: &Design) -> Result<String, crate::error::RtlError> {
     let module_name: String = design
         .name()
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     writeln!(v, "module {module_name} (").unwrap();
     writeln!(v, "  {}", port_list.join(",\n  ")).unwrap();
@@ -180,11 +192,9 @@ pub fn to_verilog(design: &Design) -> Result<String, crate::error::RtlError> {
             Node::Slice { a, hi, lo } => {
                 format!("{}[{}:{}]", node_name(&names, a), hi, lo)
             }
-            Node::Cat { hi, lo } => format!(
-                "{{{}, {}}}",
-                node_name(&names, hi),
-                node_name(&names, lo)
-            ),
+            Node::Cat { hi, lo } => {
+                format!("{{{}, {}}}", node_name(&names, hi), node_name(&names, lo))
+            }
             Node::Mux { sel, t, f } => format!(
                 "{} ? {} : {}",
                 node_name(&names, sel),
@@ -209,19 +219,16 @@ pub fn to_verilog(design: &Design) -> Result<String, crate::error::RtlError> {
                     BinOp::Add => format!("{an} + {bn}"),
                     BinOp::Sub => format!("{an} - {bn}"),
                     BinOp::Mul => format!("{an} * {bn}"),
-                    BinOp::DivU => format!(
-                        "({bn} == {aw}'h0) ? {{{aw}{{1'b1}}}} : ({an} / {bn})"
-                    ),
+                    BinOp::DivU => format!("({bn} == {aw}'h0) ? {{{aw}{{1'b1}}}} : ({an} / {bn})"),
                     BinOp::RemU => format!("({bn} == {aw}'h0) ? {an} : ({an} % {bn})"),
                     BinOp::And => format!("{an} & {bn}"),
                     BinOp::Or => format!("{an} | {bn}"),
                     BinOp::Xor => format!("{an} ^ {bn}"),
                     BinOp::Shl => format!("{an} << {bn}"),
                     BinOp::Shr => format!("{an} >> {bn}"),
-                    BinOp::Sra => format!(
-                        "$signed({an}) >>> (({bn} > {w}) ? {w} : {bn})",
-                        w = aw - 1
-                    ),
+                    BinOp::Sra => {
+                        format!("$signed({an}) >>> (({bn} > {w}) ? {w} : {bn})", w = aw - 1)
+                    }
                     BinOp::Eq => format!("{an} == {bn}"),
                     BinOp::Neq => format!("{an} != {bn}"),
                     BinOp::Ltu => format!("{an} < {bn}"),
@@ -298,12 +305,7 @@ pub fn to_verilog(design: &Design) -> Result<String, crate::error::RtlError> {
         let rn = names.get(&format!("reg:{}", r.name())).to_owned();
         let next = node_name(&names, r.next().expect("validated"));
         match r.enable() {
-            Some(en) => writeln!(
-                v,
-                "    if ({}) {rn} <= {next};",
-                node_name(&names, en)
-            )
-            .unwrap(),
+            Some(en) => writeln!(v, "    if ({}) {rn} <= {next};", node_name(&names, en)).unwrap(),
             None => writeln!(v, "    {rn} <= {next};").unwrap(),
         }
     }

@@ -278,6 +278,9 @@ mod tests {
         let l = 1000;
         let paper = paper_record_count_model(n, total, l);
         let exact = expected_record_count(n, total / l);
-        assert!(paper > exact, "paper bound {paper} below expectation {exact}");
+        assert!(
+            paper > exact,
+            "paper bound {paper} below expectation {exact}"
+        );
     }
 }

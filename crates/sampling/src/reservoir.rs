@@ -170,7 +170,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut res = Reservoir::new(5);
         for i in 0..5u32 {
-            assert_eq!(res.offer(i, &mut rng), ReservoirEvent::Recorded { slot: i as usize });
+            assert_eq!(
+                res.offer(i, &mut rng),
+                ReservoirEvent::Recorded { slot: i as usize }
+            );
         }
         assert_eq!(res.records(), 5);
         assert_eq!(res.sample().len(), 5);

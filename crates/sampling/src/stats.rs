@@ -7,7 +7,7 @@ use crate::normal::z_quantile;
 ///
 /// The paper reports intervals at 99% and 99.9%; arbitrary levels are also
 /// supported through [`Confidence::Level`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Confidence {
     /// 95% confidence (`z ≈ 1.960`).
     C95,
@@ -301,7 +301,9 @@ mod tests {
     use super::*;
 
     fn sample() -> Vec<f64> {
-        (0..40).map(|i| 10.0 + ((i * 7) % 11) as f64 * 0.1).collect()
+        (0..40)
+            .map(|i| 10.0 + ((i * 7) % 11) as f64 * 0.1)
+            .collect()
     }
 
     #[test]
@@ -356,10 +358,7 @@ mod tests {
         // demands 30 for the CLT.
         let values: Vec<f64> = (0..32).map(|i| 100.0 + (i % 2) as f64 * 1e-6).collect();
         let s = SampleStats::from_measurements(&values).unwrap();
-        assert_eq!(
-            s.minimum_sample_size(0.05, Confidence::C999).unwrap(),
-            30
-        );
+        assert_eq!(s.minimum_sample_size(0.05, Confidence::C999).unwrap(), 30);
     }
 
     #[test]

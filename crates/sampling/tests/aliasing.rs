@@ -11,16 +11,18 @@ use strober_sampling::{Confidence, PopulationStats, Reservoir, SampleStats};
 /// `period`, amplitudes chosen so the true mean is 100.
 fn periodic_population(windows: usize, period: usize) -> Vec<f64> {
     (0..windows)
-        .map(|i| if (i / (period / 2)) % 2 == 0 { 150.0 } else { 50.0 })
+        .map(|i| {
+            if (i / (period / 2)).is_multiple_of(2) {
+                150.0
+            } else {
+                50.0
+            }
+        })
         .collect()
 }
 
 fn fixed_interval_sample(pop: &[f64], interval: usize, phase: usize) -> Vec<f64> {
-    pop.iter()
-        .skip(phase)
-        .step_by(interval)
-        .copied()
-        .collect()
+    pop.iter().skip(phase).step_by(interval).copied().collect()
 }
 
 #[test]

@@ -75,11 +75,9 @@ impl NaiveInterpreter {
             }
             Node::Const(c) => c,
             Node::Unary { op, a } => op.eval(self.eval(a, memo), self.design.width(a)),
-            Node::Binary { op, a, b } => op.eval(
-                self.eval(a, memo),
-                self.eval(b, memo),
-                self.design.width(a),
-            ),
+            Node::Binary { op, a, b } => {
+                op.eval(self.eval(a, memo), self.eval(b, memo), self.design.width(a))
+            }
             Node::Mux { sel, t, f } => {
                 if self.eval(sel, memo) != 0 {
                     self.eval(t, memo)
@@ -88,7 +86,9 @@ impl NaiveInterpreter {
                 }
             }
             Node::Slice { a, hi, lo } => {
-                let mask = strober_rtl::Width::new(hi - lo + 1).expect("validated").mask();
+                let mask = strober_rtl::Width::new(hi - lo + 1)
+                    .expect("validated")
+                    .mask();
                 (self.eval(a, memo) >> lo) & mask
             }
             Node::Cat { hi, lo } => {

@@ -96,7 +96,13 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
         let a = pick(&mut rng, &pool);
         let node = match choice {
             0 => {
-                let ops = [UnOp::Not, UnOp::Neg, UnOp::RedAnd, UnOp::RedOr, UnOp::RedXor];
+                let ops = [
+                    UnOp::Not,
+                    UnOp::Neg,
+                    UnOp::RedAnd,
+                    UnOp::RedOr,
+                    UnOp::RedXor,
+                ];
                 d.unary(ops[rng.gen_range(0..ops.len())], a)
             }
             1..=4 => {
@@ -198,8 +204,7 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
     // Connect registers: any same-width node, random 1-bit enable or none.
     for r in regs {
         let w = d.register(r).width();
-        let candidates: Vec<NodeId> =
-            pool.iter().copied().filter(|&n| d.width(n) == w).collect();
+        let candidates: Vec<NodeId> = pool.iter().copied().filter(|&n| d.width(n) == w).collect();
         let next = candidates[rng.gen_range(0..candidates.len())];
         let enable = if rng.gen_bool(0.5) {
             let sels: Vec<NodeId> = pool

@@ -9,15 +9,54 @@ use strober_rtl::{BinOp, Design, MemId, Node, NodeId, RegId, UnOp, Width};
 /// One pre-resolved operation on the evaluation tape.
 #[derive(Debug, Clone, Copy)]
 enum TapeOp {
-    Input { dst: u32, port: u32 },
-    Unary { dst: u32, op: UnOp, a: u32, w: Width },
-    Binary { dst: u32, op: BinOp, a: u32, b: u32, w: Width },
-    Mux { dst: u32, sel: u32, t: u32, f: u32 },
-    Slice { dst: u32, a: u32, shift: u8, mask: u64 },
-    Cat { dst: u32, hi: u32, lo: u32, shift: u8 },
-    RegOut { dst: u32, reg: u32 },
-    MemRead { dst: u32, mem: u32, addr: u32 },
-    Wire { dst: u32, src: u32 },
+    Input {
+        dst: u32,
+        port: u32,
+    },
+    Unary {
+        dst: u32,
+        op: UnOp,
+        a: u32,
+        w: Width,
+    },
+    Binary {
+        dst: u32,
+        op: BinOp,
+        a: u32,
+        b: u32,
+        w: Width,
+    },
+    Mux {
+        dst: u32,
+        sel: u32,
+        t: u32,
+        f: u32,
+    },
+    Slice {
+        dst: u32,
+        a: u32,
+        shift: u8,
+        mask: u64,
+    },
+    Cat {
+        dst: u32,
+        hi: u32,
+        lo: u32,
+        shift: u8,
+    },
+    RegOut {
+        dst: u32,
+        reg: u32,
+    },
+    MemRead {
+        dst: u32,
+        mem: u32,
+        addr: u32,
+    },
+    Wire {
+        dst: u32,
+        src: u32,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -230,10 +269,13 @@ impl Simulator {
     /// Returns [`SimError::UnknownName`] for an unknown port and
     /// [`SimError::ValueTooWide`] when the value does not fit.
     pub fn poke_by_name(&mut self, name: &str, value: u64) -> Result<(), SimError> {
-        let &(port, width) = self.port_index.get(name).ok_or_else(|| SimError::UnknownName {
-            kind: "input port",
-            name: name.to_owned(),
-        })?;
+        let &(port, width) = self
+            .port_index
+            .get(name)
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "input port",
+                name: name.to_owned(),
+            })?;
         if value > width.mask() {
             return Err(SimError::ValueTooWide {
                 port: name.to_owned(),
@@ -269,16 +311,17 @@ impl Simulator {
                         self.values[f as usize]
                     }
                 }
-                TapeOp::Slice { dst, a, shift, mask } => {
-                    self.values[dst as usize] = (self.values[a as usize] >> shift) & mask
-                }
+                TapeOp::Slice {
+                    dst,
+                    a,
+                    shift,
+                    mask,
+                } => self.values[dst as usize] = (self.values[a as usize] >> shift) & mask,
                 TapeOp::Cat { dst, hi, lo, shift } => {
                     self.values[dst as usize] =
                         (self.values[hi as usize] << shift) | self.values[lo as usize]
                 }
-                TapeOp::RegOut { dst, reg } => {
-                    self.values[dst as usize] = self.regs[reg as usize]
-                }
+                TapeOp::RegOut { dst, reg } => self.values[dst as usize] = self.regs[reg as usize],
                 TapeOp::MemRead { dst, mem, addr } => {
                     let m = &self.mems[mem as usize];
                     let a = self.values[addr as usize] as usize;
@@ -286,9 +329,7 @@ impl Simulator {
                     // flow pads memories to powers of two the same way).
                     self.values[dst as usize] = m.get(a).copied().unwrap_or(0);
                 }
-                TapeOp::Wire { dst, src } => {
-                    self.values[dst as usize] = self.values[src as usize]
-                }
+                TapeOp::Wire { dst, src } => self.values[dst as usize] = self.values[src as usize],
             }
         }
         self.dirty = false;
@@ -334,10 +375,13 @@ impl Simulator {
     ///
     /// Returns [`SimError::UnknownName`] for an unknown output.
     pub fn peek_output(&mut self, name: &str) -> Result<u64, SimError> {
-        let id = *self.output_index.get(name).ok_or_else(|| SimError::UnknownName {
-            kind: "output",
-            name: name.to_owned(),
-        })?;
+        let id = *self
+            .output_index
+            .get(name)
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "output",
+                name: name.to_owned(),
+            })?;
         Ok(self.peek(id))
     }
 

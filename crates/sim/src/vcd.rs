@@ -37,9 +37,21 @@ use std::fmt::Write as _;
 use strober_rtl::{Design, NodeId, RegId};
 
 enum Probe {
-    Port { name: String, id: strober_rtl::PortId, width: u32 },
-    Reg { name: String, id: RegId, width: u32 },
-    Output { name: String, id: NodeId, width: u32 },
+    Port {
+        name: String,
+        id: strober_rtl::PortId,
+        width: u32,
+    },
+    Reg {
+        name: String,
+        id: RegId,
+        width: u32,
+    },
+    Output {
+        name: String,
+        id: NodeId,
+        width: u32,
+    },
 }
 
 /// An incremental VCD recorder over a design's architectural signals.
@@ -72,7 +84,13 @@ fn ident(mut i: usize) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_graphic() && c != ' ' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_graphic() && c != ' ' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 

@@ -1,0 +1,198 @@
+//! The on-disk artifact format.
+//!
+//! Every cached object is one binary file: a fixed 24-byte header followed
+//! by the payload's [`Blob`](serde::Blob) encoding.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  b"STRB"
+//!      4     4  envelope version, u32 LE
+//!      8     8  fingerprint (cache key), u64 LE
+//!     16     8  FNV-1a checksum of the payload bytes, u64 LE
+//!     24     —  payload (Blob encoding)
+//! ```
+//!
+//! The `version` is the envelope format revision: any mismatch (older *or*
+//! newer) makes the object unreadable and is reported as a miss, never an
+//! error. The `fingerprint` is the cache key the object was stored under,
+//! so a file renamed or copied to the wrong key is rejected. The `checksum`
+//! is verified over the raw payload bytes before decoding is trusted, so a
+//! truncated or bit-flipped file is rejected up front; only
+//! checksum-clean bytes ever reach the decoder.
+//!
+//! Payloads use the binary codec rather than JSON because warm starts are
+//! the entire point of the store: decoding a megabyte-scale netlist from
+//! JSON costs more than re-running synthesis on small designs, which would
+//! silently turn every "cache hit" into a slowdown.
+//!
+//! Writes go to a temporary sibling file and are atomically renamed into
+//! place, so a crashed writer can never leave a half-written object under
+//! a valid name.
+
+use crate::fingerprint::{fingerprint_bytes, Fingerprint};
+use serde::Blob;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// File magic identifying a Strober artifact.
+pub const ENVELOPE_MAGIC: [u8; 4] = *b"STRB";
+
+/// Current envelope format revision.
+pub const ENVELOPE_VERSION: u32 = 2;
+
+/// Header length in bytes: magic + version + fingerprint + checksum.
+const HEADER_LEN: usize = 24;
+
+/// Why an on-disk object could not be used. All of these are cache misses;
+/// the store counts them separately so operators can tell corruption from
+/// format drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFailure {
+    /// File absent — a plain miss.
+    Absent,
+    /// Envelope version differs from [`ENVELOPE_VERSION`].
+    VersionMismatch,
+    /// Bad magic, checksum mismatch, fingerprint mismatch, or a payload
+    /// that no longer decodes: the object is untrustworthy.
+    Corrupt,
+}
+
+/// Serialises `payload` into an envelope and writes it atomically.
+///
+/// Returns the number of bytes written.
+///
+/// # Errors
+///
+/// Returns any I/O error from writing the temporary file or renaming it
+/// into place (callers treat this as best-effort and degrade to uncached
+/// operation).
+pub fn write_object<T: Blob>(
+    path: &Path,
+    fingerprint: Fingerprint,
+    payload: &T,
+) -> io::Result<u64> {
+    let mut bytes = Vec::with_capacity(HEADER_LEN + 4096);
+    bytes.extend_from_slice(&ENVELOPE_MAGIC);
+    bytes.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&fingerprint.0.to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 8]); // checksum backpatched below
+    payload.encode_blob(&mut bytes);
+    let checksum = fingerprint_bytes(&bytes[HEADER_LEN..]);
+    bytes[16..24].copy_from_slice(&checksum.0.to_le_bytes());
+
+    write_atomic(path, &bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and verifies an object written by [`write_object`].
+///
+/// Every failure mode maps to a [`ReadFailure`] — this function never
+/// panics on hostile file contents and never surfaces an error type the
+/// caller might be tempted to propagate.
+pub fn read_object<T: Blob>(path: &Path, expected: Fingerprint) -> Result<T, ReadFailure> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(ReadFailure::Absent),
+        Err(_) => return Err(ReadFailure::Corrupt),
+    };
+    if bytes.len() < HEADER_LEN || bytes[..4] != ENVELOPE_MAGIC {
+        return Err(ReadFailure::Corrupt);
+    }
+
+    let field = |at: usize| -> [u8; 8] { bytes[at..at + 8].try_into().expect("header sized") };
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("header sized"));
+    if version != ENVELOPE_VERSION {
+        return Err(ReadFailure::VersionMismatch);
+    }
+    if Fingerprint(u64::from_le_bytes(field(8))) != expected {
+        return Err(ReadFailure::Corrupt);
+    }
+    let checksum = Fingerprint(u64::from_le_bytes(field(16)));
+    let payload = &bytes[HEADER_LEN..];
+    if fingerprint_bytes(payload) != checksum {
+        return Err(ReadFailure::Corrupt);
+    }
+
+    serde::from_blob(payload).map_err(|_| ReadFailure::Corrupt)
+}
+
+/// Writes `bytes` to `path` via a unique temporary sibling + rename, so
+/// concurrent writers and crashes cannot produce a torn file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".tmp.{}.{n}.{}",
+        std::process::id(),
+        path.file_name()
+            .map(|f| f.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    ));
+    let result = fs::write(&tmp, bytes).and_then(|()| fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_of;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn round_trip() {
+        let dir = TempDir::new("envelope_round_trip");
+        let path = dir.path().join("obj.bin");
+        let value = vec![(String::from("a"), 1u64), (String::from("b"), 2)];
+        let fp = fingerprint_of(&value);
+        write_object(&path, fp, &value).unwrap();
+        let back: Vec<(String, u64)> = read_object(&path, fp).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn absent_is_a_plain_miss() {
+        let dir = TempDir::new("envelope_absent");
+        let err = read_object::<u64>(&dir.path().join("missing.bin"), Fingerprint(1));
+        assert_eq!(err.unwrap_err(), ReadFailure::Absent);
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_corrupt() {
+        let dir = TempDir::new("envelope_wrong_fp");
+        let path = dir.path().join("obj.bin");
+        write_object(&path, Fingerprint(7), &42u64).unwrap();
+        let err = read_object::<u64>(&path, Fingerprint(8));
+        assert_eq!(err.unwrap_err(), ReadFailure::Corrupt);
+    }
+
+    #[test]
+    fn future_version_is_a_version_mismatch() {
+        let dir = TempDir::new("envelope_version");
+        let path = dir.path().join("obj.bin");
+        write_object(&path, Fingerprint(7), &42u64).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(ENVELOPE_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, bytes).unwrap();
+        let err = read_object::<u64>(&path, Fingerprint(7));
+        assert_eq!(err.unwrap_err(), ReadFailure::VersionMismatch);
+    }
+
+    #[test]
+    fn bad_magic_is_corrupt() {
+        let dir = TempDir::new("envelope_magic");
+        let path = dir.path().join("obj.bin");
+        write_object(&path, Fingerprint(7), &42u64).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, bytes).unwrap();
+        let err = read_object::<u64>(&path, Fingerprint(7));
+        assert_eq!(err.unwrap_err(), ReadFailure::Corrupt);
+    }
+}

@@ -1,0 +1,168 @@
+//! Stable content fingerprints.
+//!
+//! Cache keys must be identical across processes and machine reboots, so
+//! they cannot come from [`std::collections::hash_map::DefaultHasher`]
+//! (SipHash with per-process random keys). Instead a fingerprint is the
+//! 64-bit FNV-1a hash of a value's *canonical serialization*: the compact
+//! JSON text of its [`serde::Value`] tree. Object keys are sorted and
+//! unordered collections are serialised in a canonical order (see the
+//! vendored `serde`), so any two processes that would produce equal
+//! artifacts derive equal fingerprints.
+
+use serde::Serialize;
+use std::fmt;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a hasher over bytes.
+///
+/// Deliberately minimal: the store only needs a stable, well-distributed
+/// 64-bit digest, not cryptographic strength.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv1a {
+    /// Starts a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// A stable 64-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// The fingerprint as a fixed-width lowercase hex string, used as the
+    /// on-disk object file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses a fixed-width hex string produced by [`Fingerprint::to_hex`].
+    pub fn from_hex(hex: &str) -> Option<Self> {
+        if hex.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok().map(Fingerprint)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// Hashes raw bytes.
+pub fn fingerprint_bytes(bytes: &[u8]) -> Fingerprint {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    Fingerprint(h.finish())
+}
+
+/// Fingerprints one serialisable value through its canonical serialization.
+pub fn fingerprint_of<T: Serialize + ?Sized>(value: &T) -> Fingerprint {
+    let text = serde_json::to_string(value).expect("canonical serialization is infallible");
+    fingerprint_bytes(text.as_bytes())
+}
+
+/// Fingerprints a sequence of serialisable parts as one key.
+///
+/// Each part's canonical text is hashed with a length prefix and separator
+/// so distinct part splits cannot collide by concatenation.
+pub fn fingerprint_parts(parts: &[&dyn erased::ErasedSerialize]) -> Fingerprint {
+    let mut h = Fnv1a::new();
+    for part in parts {
+        let text = serde_json::to_string(&part.erased_to_value())
+            .expect("canonical serialization is infallible");
+        h.write(&(text.len() as u64).to_le_bytes());
+        h.write(text.as_bytes());
+        h.write(b"\x1f");
+    }
+    Fingerprint(h.finish())
+}
+
+/// Object-safe serialization shim so [`fingerprint_parts`] can take a
+/// heterogeneous list of parts.
+pub mod erased {
+    use serde::{Serialize, Value};
+
+    /// Object-safe mirror of [`serde::Serialize`].
+    pub trait ErasedSerialize {
+        /// Converts to a canonical value tree.
+        fn erased_to_value(&self) -> Value;
+    }
+
+    impl<T: Serialize> ErasedSerialize for T {
+        fn erased_to_value(&self) -> Value {
+            self.to_value()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fingerprint_bytes(b"").0, FNV_OFFSET);
+        assert_eq!(fingerprint_bytes(b"a").0, 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fingerprint_bytes(b"foobar").0, 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let fp = fingerprint_bytes(b"strober");
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(""), None);
+    }
+
+    #[test]
+    fn parts_are_length_prefixed() {
+        let a = fingerprint_parts(&[&"ab", &"c"]);
+        let b = fingerprint_parts(&[&"a", &"bc"]);
+        assert_ne!(a, b, "part boundaries must be part of the key");
+    }
+
+    #[test]
+    fn value_equality_implies_fingerprint_equality() {
+        use std::collections::HashMap;
+        let mut m1 = HashMap::new();
+        let mut m2 = HashMap::new();
+        for i in 0..32u32 {
+            m1.insert(format!("k{i}"), i);
+        }
+        for i in (0..32u32).rev() {
+            m2.insert(format!("k{i}"), i);
+        }
+        assert_eq!(fingerprint_of(&m1), fingerprint_of(&m2));
+    }
+}

@@ -1,0 +1,52 @@
+//! Content-addressed artifact store and warm-start run cache.
+//!
+//! Preparing a Strober session — the FAME1 transform, synthesis and formal
+//! matching — is by far the most expensive part of short runs, and it is a
+//! pure function of the target design and the session configuration. This
+//! crate caches its outputs on disk so repeated runs over the same design
+//! start warm:
+//!
+//! * [`fingerprint`] derives a stable, process-independent cache key (an
+//!   in-crate FNV-1a digest over canonical serialization — deliberately
+//!   *not* [`std::collections::hash_map::DefaultHasher`], whose SipHash
+//!   keys are randomised per process).
+//! * [`envelope`] defines the versioned, checksummed on-disk object format
+//!   with atomic write-then-rename; any damage degrades to a cache miss.
+//! * [`store`] is the content-addressed [`Store`] with hit/miss/eviction
+//!   counters and size-bounded LRU eviction.
+//! * [`manifest`] records per-stage wall-clock timings of one run as JSON.
+//!
+//! The store is deliberately generic: it caches any artifact implementing
+//! the binary [`serde::Blob`] codec (cache keys additionally use the
+//! canonical `serde` value serialization). The Strober-specific
+//! composition (what constitutes a prepared session, which fields form
+//! the key) lives in `strober-core`'s `prepare_cached`.
+//!
+//! ```
+//! use strober_store::{fingerprint_of, Store};
+//!
+//! let root = std::env::temp_dir().join(format!("store-doc-{}", std::process::id()));
+//! let mut store = Store::open(&root).unwrap().with_max_bytes(1 << 20);
+//! let key = fingerprint_of(&("my-design", 42u32));
+//! if store.get::<Vec<u64>>(key).is_none() {
+//!     let artifact: Vec<u64> = vec![1, 2, 3]; // ... expensive build ...
+//!     store.put(key, &artifact);
+//! }
+//! assert_eq!(store.get::<Vec<u64>>(key), Some(vec![1, 2, 3]));
+//! # std::fs::remove_dir_all(&root).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod envelope;
+pub mod fingerprint;
+pub mod manifest;
+pub mod store;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use envelope::{read_object, write_object, ReadFailure, ENVELOPE_MAGIC, ENVELOPE_VERSION};
+pub use fingerprint::{fingerprint_bytes, fingerprint_of, fingerprint_parts, Fingerprint, Fnv1a};
+pub use manifest::{RunManifest, StageTiming};
+pub use store::{Store, StoreStats};

@@ -1,0 +1,124 @@
+//! Run manifests: a JSON record of one end-to-end Strober invocation.
+//!
+//! A manifest names the design and workload, the cache key the prepared
+//! artifacts were stored under, whether preparation was served warm, and
+//! the wall-clock time of each pipeline stage (prepare / sim / replay /
+//! power). The CLI writes one per run so speedups and regressions can be
+//! diffed across invocations without re-parsing logs.
+
+use crate::envelope::write_atomic;
+use std::io;
+use std::path::Path;
+use std::time::Duration;
+
+/// One timed pipeline stage.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`prepare`, `sim`, `replay`, `power`, ...).
+    pub name: String,
+    /// Wall-clock milliseconds spent in the stage.
+    pub millis: f64,
+}
+
+/// The JSON run record.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunManifest {
+    /// Target design name.
+    pub design: String,
+    /// Workload description (program name or image path).
+    pub workload: String,
+    /// Cache key of the prepared artifacts, as hex.
+    pub fingerprint: String,
+    /// Whether preparation was served from the artifact store.
+    pub cache_hit: bool,
+    /// Per-stage wall-clock timings, in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl RunManifest {
+    /// Starts a manifest for one run.
+    pub fn new(design: impl Into<String>, workload: impl Into<String>) -> Self {
+        RunManifest {
+            design: design.into(),
+            workload: workload.into(),
+            ..RunManifest::default()
+        }
+    }
+
+    /// Appends a stage timing.
+    pub fn record(&mut self, name: impl Into<String>, elapsed: Duration) {
+        self.stages.push(StageTiming {
+            name: name.into(),
+            millis: elapsed.as_secs_f64() * 1e3,
+        });
+    }
+
+    /// Looks up a recorded stage by name.
+    pub fn stage_millis(&self, name: &str) -> Option<f64> {
+        self.stages
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.millis)
+    }
+
+    /// Total recorded wall-clock milliseconds.
+    pub fn total_millis(&self) -> f64 {
+        self.stages.iter().map(|s| s.millis).sum()
+    }
+
+    /// Pretty JSON text of the manifest.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("canonical serialization is infallible")
+    }
+
+    /// Parses a manifest from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error for malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Writes the manifest atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the write or rename.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        write_atomic(path, self.to_json().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let mut manifest = RunManifest::new("rok", "vvadd(192)");
+        manifest.fingerprint = String::from("00117a5e57a0be55");
+        manifest.cache_hit = true;
+        manifest.record("prepare", Duration::from_millis(12));
+        manifest.record("sim", Duration::from_millis(340));
+        manifest.record("replay", Duration::from_millis(95));
+        manifest.record("power", Duration::from_millis(3));
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.stage_millis("sim"), Some(340.0));
+        assert!((back.total_millis() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn manifest_saves_to_disk() {
+        let dir = TempDir::new("manifest_save");
+        let path = dir.path().join("run.json");
+        let mut manifest = RunManifest::new("boum-2w", "dhrystone");
+        manifest.record("prepare", Duration::from_secs(1));
+        manifest.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back = RunManifest::from_json(&text).unwrap();
+        assert_eq!(back, manifest);
+    }
+}

@@ -1,0 +1,327 @@
+//! The content-addressed store: objects keyed by fingerprint with a
+//! size-bounded LRU index.
+//!
+//! On-disk layout under the store root:
+//!
+//! ```text
+//! <root>/
+//!   objects/<fingerprint-hex>.bin    one binary envelope per artifact
+//!   index.json                       LRU clock + per-object sizes + stats
+//! ```
+//!
+//! The index is advisory: if it is missing or corrupt the store rebuilds
+//! it by scanning `objects/`, so losing it can only forget recency
+//! information, never artifacts. All read paths degrade to a cache miss —
+//! a damaged store never fails a build, it only stops accelerating it.
+
+use crate::envelope::{read_object, write_atomic, write_object, ReadFailure};
+use crate::fingerprint::Fingerprint;
+use serde::Blob;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Counters describing how a store has behaved. Persisted in the index,
+/// so they accumulate across processes until [`Store::clear`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreStats {
+    /// Objects served from disk.
+    pub hits: u64,
+    /// Lookups that found no usable object (including the mismatch and
+    /// corruption cases below).
+    pub misses: u64,
+    /// Objects evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Objects rejected for checksum/fingerprint/parse damage.
+    pub corrupt: u64,
+    /// Objects rejected for an envelope format version mismatch.
+    pub version_mismatch: u64,
+}
+
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+struct IndexEntry {
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+struct Index {
+    clock: u64,
+    entries: BTreeMap<String, IndexEntry>,
+    stats: StoreStats,
+}
+
+/// A content-addressed artifact store with LRU eviction.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    max_bytes: Option<u64>,
+    index: Index,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`, with no byte
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error only when the directory tree cannot be
+    /// created; a damaged index is silently rebuilt from the objects on
+    /// disk.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(root.join("objects"))?;
+        let index = load_index(&root);
+        Ok(Store {
+            root,
+            max_bytes: None,
+            index,
+        })
+    }
+
+    /// Sets the byte budget; the next write evicts down to it.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Behaviour counters (cumulative since the store was last cleared).
+    pub fn stats(&self) -> StoreStats {
+        self.index.stats
+    }
+
+    /// Number of objects currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.entries.len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.index.entries.is_empty()
+    }
+
+    /// Total bytes of indexed objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.index.entries.values().map(|e| e.bytes).sum()
+    }
+
+    /// Looks up an artifact. Any unreadable object — absent, truncated,
+    /// bit-flipped, stored under the wrong key, or written by a different
+    /// format revision — is a miss, never an error; damaged files are
+    /// deleted so the next write rebuilds them.
+    pub fn get<T: Blob>(&mut self, fingerprint: Fingerprint) -> Option<T> {
+        let path = self.object_path(fingerprint);
+        match read_object::<T>(&path, fingerprint) {
+            Ok(value) => {
+                self.index.stats.hits += 1;
+                self.touch(fingerprint);
+                self.save_index();
+                Some(value)
+            }
+            Err(failure) => {
+                self.index.stats.misses += 1;
+                match failure {
+                    ReadFailure::Absent => {}
+                    ReadFailure::VersionMismatch => {
+                        self.index.stats.version_mismatch += 1;
+                        self.forget(fingerprint, &path);
+                    }
+                    ReadFailure::Corrupt => {
+                        self.index.stats.corrupt += 1;
+                        self.forget(fingerprint, &path);
+                    }
+                }
+                self.save_index();
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact under `fingerprint`, evicting least-recently-used
+    /// objects if a byte budget is set. Best-effort: an I/O failure leaves
+    /// the store unchanged and returns `false`.
+    pub fn put<T: Blob>(&mut self, fingerprint: Fingerprint, value: &T) -> bool {
+        let path = self.object_path(fingerprint);
+        match write_object(&path, fingerprint, value) {
+            Ok(bytes) => {
+                self.index.entries.insert(
+                    fingerprint.to_hex(),
+                    IndexEntry {
+                        bytes,
+                        last_used: 0,
+                    },
+                );
+                self.touch(fingerprint);
+                self.evict_to_budget();
+                self.save_index();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Deletes every object and resets the index and counters. Returns the
+    /// number of objects removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the objects directory cannot be recreated.
+    pub fn clear(&mut self) -> io::Result<usize> {
+        let removed = self.index.entries.len();
+        let objects = self.root.join("objects");
+        let _ = fs::remove_dir_all(&objects);
+        fs::create_dir_all(&objects)?;
+        self.index = Index::default();
+        self.save_index();
+        Ok(removed)
+    }
+
+    fn object_path(&self, fingerprint: Fingerprint) -> PathBuf {
+        self.root
+            .join("objects")
+            .join(format!("{}.bin", fingerprint.to_hex()))
+    }
+
+    fn touch(&mut self, fingerprint: Fingerprint) {
+        self.index.clock += 1;
+        let clock = self.index.clock;
+        if let Some(entry) = self.index.entries.get_mut(&fingerprint.to_hex()) {
+            entry.last_used = clock;
+        }
+    }
+
+    fn forget(&mut self, fingerprint: Fingerprint, path: &Path) {
+        let _ = fs::remove_file(path);
+        self.index.entries.remove(&fingerprint.to_hex());
+    }
+
+    fn evict_to_budget(&mut self) {
+        let Some(budget) = self.max_bytes else {
+            return;
+        };
+        while self.total_bytes() > budget {
+            let Some(oldest) = self
+                .index
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            let path = self.root.join("objects").join(format!("{oldest}.bin"));
+            let _ = fs::remove_file(&path);
+            self.index.entries.remove(&oldest);
+            self.index.stats.evictions += 1;
+        }
+    }
+
+    fn save_index(&self) {
+        let text = serde_json::to_string_pretty(&self.index)
+            .expect("canonical serialization is infallible");
+        let _ = write_atomic(&self.root.join("index.json"), text.as_bytes());
+    }
+}
+
+/// Loads the index, rebuilding it from the objects directory when the file
+/// is absent or unreadable (recency and counters are lost, objects are
+/// not).
+fn load_index(root: &Path) -> Index {
+    let parsed = fs::read_to_string(root.join("index.json"))
+        .ok()
+        .and_then(|text| serde_json::from_str::<Index>(&text).ok());
+    if let Some(index) = parsed {
+        return index;
+    }
+    let mut index = Index::default();
+    if let Ok(dir) = fs::read_dir(root.join("objects")) {
+        for entry in dir.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let Some(stem) = name.strip_suffix(".bin") else {
+                continue;
+            };
+            if Fingerprint::from_hex(stem).is_none() {
+                continue;
+            }
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            index.entries.insert(
+                stem.to_owned(),
+                IndexEntry {
+                    bytes,
+                    last_used: 0,
+                },
+            );
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::fingerprint_of;
+    use crate::testutil::TempDir;
+
+    #[test]
+    fn get_after_put_hits() {
+        let dir = TempDir::new("store_hit");
+        let mut store = Store::open(dir.path()).unwrap();
+        let value = vec![1u64, 2, 3];
+        let fp = fingerprint_of(&value);
+        assert!(store.get::<Vec<u64>>(fp).is_none());
+        assert!(store.put(fp, &value));
+        assert_eq!(store.get::<Vec<u64>>(fp), Some(value));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn reopen_preserves_objects_and_stats() {
+        let dir = TempDir::new("store_reopen");
+        let fp = Fingerprint(42);
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(fp, &String::from("persisted"));
+            store.get::<String>(fp).unwrap();
+        }
+        let mut store = Store::open(dir.path()).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get::<String>(fp).as_deref(), Some("persisted"));
+        assert_eq!(store.stats().hits, 2, "stats accumulate across opens");
+    }
+
+    #[test]
+    fn lost_index_is_rebuilt_from_objects() {
+        let dir = TempDir::new("store_lost_index");
+        let fp = Fingerprint(7);
+        {
+            let mut store = Store::open(dir.path()).unwrap();
+            store.put(fp, &123u64);
+        }
+        std::fs::write(dir.path().join("index.json"), b"not json at all").unwrap();
+        let mut store = Store::open(dir.path()).unwrap();
+        assert_eq!(store.len(), 1, "objects survive index loss");
+        assert_eq!(store.get::<u64>(fp), Some(123));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let dir = TempDir::new("store_clear");
+        let mut store = Store::open(dir.path()).unwrap();
+        for i in 0..4u64 {
+            store.put(Fingerprint(i), &i);
+        }
+        assert_eq!(store.clear().unwrap(), 4);
+        assert!(store.is_empty());
+        assert_eq!(store.total_bytes(), 0);
+        assert_eq!(store.stats(), StoreStats::default());
+        assert!(store.get::<u64>(Fingerprint(0)).is_none());
+    }
+}

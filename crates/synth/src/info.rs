@@ -11,7 +11,9 @@ use std::collections::HashMap;
 /// instances implementing each bit, and for every RTL memory the macro
 /// instance name. `strober-formal` validates this information independently
 /// before the replay flow trusts it.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(
+    Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize, serde::Blob,
+)]
 pub struct SynthInfo {
     /// RTL register name → DFF instance names, least significant bit first.
     pub reg_map: HashMap<String, Vec<String>>,

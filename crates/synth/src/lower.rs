@@ -8,11 +8,13 @@ use crate::retime;
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use strober_gates::{CellKind, NetId, Netlist, NetlistError, SramMacro, SramReadPort, SramWritePort};
+use strober_gates::{
+    CellKind, NetId, Netlist, NetlistError, SramMacro, SramReadPort, SramWritePort,
+};
 use strober_rtl::{BinOp, Design, Node, RtlError, UnOp};
 
 /// Synthesis options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SynthOptions {
     /// Run the optimisation passes (constant propagation, buffer elision,
     /// dead-gate sweep). On by default, as in any real flow.
@@ -36,7 +38,7 @@ impl Default for SynthOptions {
 }
 
 /// The output of synthesis: the netlist and the verification sidecar.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize, serde::Blob)]
 pub struct SynthResult {
     /// The gate-level netlist.
     pub netlist: Netlist,
@@ -112,7 +114,8 @@ impl Lower {
 
     fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
         let out = self.net();
-        self.nl.add_gate(kind, inputs.to_vec(), out, self.cur_region);
+        self.nl
+            .add_gate(kind, inputs.to_vec(), out, self.cur_region);
         out
     }
 
@@ -137,7 +140,9 @@ impl Lower {
     }
 
     fn const_bits(&mut self, value: u64, width: u32) -> Vec<NetId> {
-        (0..width).map(|i| self.tie((value >> i) & 1 == 1)).collect()
+        (0..width)
+            .map(|i| self.tie((value >> i) & 1 == 1))
+            .collect()
     }
 
     fn inv(&mut self, a: NetId) -> NetId {
@@ -332,13 +337,8 @@ impl Lower {
             let any = self.tree(CellKind::Or2, b);
             self.inv(any)
         };
-        let q = q
-            .iter()
-            .map(|&bit| self.mux2(bit, one, b_zero))
-            .collect();
-        let r = (0..w)
-            .map(|j| self.mux2(r[j], a[j], b_zero))
-            .collect();
+        let q = q.iter().map(|&bit| self.mux2(bit, one, b_zero)).collect();
+        let r = (0..w).map(|j| self.mux2(r[j], a[j], b_zero)).collect();
         (q, r)
     }
 }
@@ -421,9 +421,7 @@ pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, S
                 let src = design.wire_driver(wid).expect("validated");
                 lw.bits[src.index()].clone()
             }
-            Node::Slice { a, hi, lo } => {
-                lw.bits[a.index()][lo as usize..=hi as usize].to_vec()
-            }
+            Node::Slice { a, hi, lo } => lw.bits[a.index()][lo as usize..=hi as usize].to_vec(),
             Node::Cat { hi, lo } => {
                 let mut v = lw.bits[lo.index()].clone();
                 v.extend_from_slice(&lw.bits[hi.index()]);
@@ -460,13 +458,9 @@ pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, S
                     BinOp::Mul => lw.mul_bits(&ab, &bb),
                     BinOp::DivU => lw.divrem_bits(&ab, &bb).0,
                     BinOp::RemU => lw.divrem_bits(&ab, &bb).1,
-                    BinOp::And => {
-                        (0..ab.len()).map(|i| lw.and2(ab[i], bb[i])).collect()
-                    }
+                    BinOp::And => (0..ab.len()).map(|i| lw.and2(ab[i], bb[i])).collect(),
                     BinOp::Or => (0..ab.len()).map(|i| lw.or2(ab[i], bb[i])).collect(),
-                    BinOp::Xor => {
-                        (0..ab.len()).map(|i| lw.xor2(ab[i], bb[i])).collect()
-                    }
+                    BinOp::Xor => (0..ab.len()).map(|i| lw.xor2(ab[i], bb[i])).collect(),
                     BinOp::Shl | BinOp::Shr | BinOp::Sra => lw.shift_bits(&ab, &bb, op),
                     BinOp::Eq => vec![lw.eq_bits(&ab, &bb)],
                     BinOp::Neq => {
@@ -595,9 +589,8 @@ pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, S
     } else {
         HashMap::new()
     };
-    let mangled = |name: &str| -> String {
-        rename.get(name).cloned().unwrap_or_else(|| name.to_owned())
-    };
+    let mangled =
+        |name: &str| -> String { rename.get(name).cloned().unwrap_or_else(|| name.to_owned()) };
 
     // Build the verification sidecar with post-mangle names.
     for (ri, (_, r)) in design.registers().enumerate() {

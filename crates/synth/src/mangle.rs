@@ -69,11 +69,22 @@ pub fn mangle(netlist: &mut Netlist) -> HashMap<String, String> {
     }
     for g in netlist.gates() {
         match g {
-            Gate::Comb { kind, inputs, output, region } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                region,
+            } => {
                 let ins = inputs.iter().map(|&n| net_map[n.index()]).collect();
                 out.add_gate(*kind, ins, net_map[output.index()], *region);
             }
-            Gate::Dff { name, d, q, init, region } => {
+            Gate::Dff {
+                name,
+                d,
+                q,
+                init,
+                region,
+            } => {
                 let new = mangled_instance(name, &salt);
                 rename.insert(name.clone(), new.clone());
                 out.add_dff(new, net_map[d.index()], net_map[q.index()], *init, *region);

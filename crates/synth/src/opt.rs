@@ -49,7 +49,13 @@ fn simplify(nl: &Netlist) -> Netlist {
         if elem >= gates.len() {
             continue; // SRAM read ports are barriers, not simplifiable.
         }
-        let Gate::Comb { kind, inputs, output, region } = &gates[elem] else {
+        let Gate::Comb {
+            kind,
+            inputs,
+            output,
+            region,
+        } = &gates[elem]
+        else {
             continue; // DFF outputs stay Free.
         };
         let ins: Vec<NetVal> = inputs.iter().map(|&n| resolve(&alias, n)).collect();
@@ -71,10 +77,12 @@ fn simplify(nl: &Netlist) -> Netlist {
         // Local rewrites. `emit` falls through to keeping a gate.
         let rewritten: Option<NetVal> = match kind {
             CellKind::Buf => Some(ins[0]),
-            CellKind::And2 | CellKind::Or2 | CellKind::Xor2 | CellKind::Xnor2
-            | CellKind::Nand2 | CellKind::Nor2 => {
-                binary_rewrite(*kind, &ins, &consts, &mut kept, *output, *region)
-            }
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::Nand2
+            | CellKind::Nor2 => binary_rewrite(*kind, &ins, &consts, &mut kept, *output, *region),
             CellKind::Mux2 => {
                 // ins = [a0, a1, s]
                 match consts[2] {
@@ -176,7 +184,12 @@ fn rebuild(
             NetVal::Free(n) => net_map[n.index()],
             NetVal::Const(b) => *tie_cache.entry(b).or_insert_with(|| {
                 let n = out.add_net(if b { "tie1_opt" } else { "tie0_opt" });
-                out.add_gate(if b { CellKind::Tie1 } else { CellKind::Tie0 }, vec![], n, 0);
+                out.add_gate(
+                    if b { CellKind::Tie1 } else { CellKind::Tie0 },
+                    vec![],
+                    n,
+                    0,
+                );
                 n
             }),
         }
@@ -192,7 +205,14 @@ fn rebuild(
     }
 
     for g in nl.gates() {
-        if let Gate::Dff { name, d, q, init, region } = g {
+        if let Gate::Dff {
+            name,
+            d,
+            q,
+            init,
+            region,
+        } = g
+        {
             let dv = alias[d.index()];
             let d_net = materialise(dv, &mut out);
             out.add_dff(name.clone(), d_net, net_map[q.index()], *init, *region);
@@ -312,13 +332,24 @@ fn sweep(nl: &Netlist) -> Netlist {
     }
     for g in nl.gates() {
         match g {
-            Gate::Comb { kind, inputs, output, region } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                region,
+            } => {
                 if live[output.index()] {
                     let ins = inputs.iter().map(|&n| remap(n, &net_map)).collect();
                     out.add_gate(*kind, ins, remap(*output, &net_map), *region);
                 }
             }
-            Gate::Dff { name, d, q, init, region } => {
+            Gate::Dff {
+                name,
+                d,
+                q,
+                init,
+                region,
+            } => {
                 out.add_dff(
                     name.clone(),
                     remap(*d, &net_map),

@@ -39,11 +39,7 @@ pub fn forward_retime(netlist: &mut Netlist, annotated: &HashSet<String>) -> usi
     total_moves
 }
 
-fn retime_pass(
-    netlist: &mut Netlist,
-    annotated: &mut HashSet<String>,
-    fresh: &mut usize,
-) -> usize {
+fn retime_pass(netlist: &mut Netlist, annotated: &mut HashSet<String>, fresh: &mut usize) -> usize {
     let fanout = netlist.fanout();
 
     // Map net -> index of the DFF driving it, for annotated DFFs only.
@@ -171,14 +167,18 @@ fn retime_pass(
             continue;
         }
         match g {
-            Gate::Comb { kind, inputs, output, region } => {
+            Gate::Comb {
+                kind,
+                inputs,
+                output,
+                region,
+            } => {
                 if let Some((new_inputs, _, new_init)) = gate_rewire.get(&gi) {
                     // Gate now reads the removed DFFs' D nets and drives a
                     // fresh net; a new DFF connects that net to the old
                     // output.
                     let fresh_net = out.add_net(format!("rtn{}", *fresh));
-                    let ins: Vec<NetId> =
-                        new_inputs.iter().map(|&n| net_map[n.index()]).collect();
+                    let ins: Vec<NetId> = new_inputs.iter().map(|&n| net_map[n.index()]).collect();
                     out.add_gate(*kind, ins, fresh_net, *region);
                     let name = format!("rt{}_reg_", *fresh);
                     *fresh += 1;
@@ -190,7 +190,13 @@ fn retime_pass(
                     out.add_gate(*kind, ins, net_map[output.index()], *region);
                 }
             }
-            Gate::Dff { name, d, q, init, region } => {
+            Gate::Dff {
+                name,
+                d,
+                q,
+                init,
+                region,
+            } => {
                 out.add_dff(
                     name.clone(),
                     net_map[d.index()],

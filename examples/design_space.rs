@@ -11,7 +11,9 @@ use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_isa::{assemble, programs};
 
 fn main() -> Result<(), strober::StroberError> {
-    let image = assemble(&programs::coremark_like(30)).expect("assembles").words;
+    let image = assemble(&programs::coremark_like(30))
+        .expect("assembles")
+        .words;
     let dram_params = LpddrPowerParams::lpddr2_s4();
 
     println!(

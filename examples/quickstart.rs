@@ -88,7 +88,11 @@ fn main() -> Result<(), strober::StroberError> {
     //    turn the signal activity into power.
     let results = flow.replay_all(&run.snapshots, 4)?;
     let checked: u64 = results.iter().map(|r| r.outputs_checked).sum();
-    println!("replayed {} snapshots; {} output values checked against traces", results.len(), checked);
+    println!(
+        "replayed {} snapshots; {} output values checked against traces",
+        results.len(),
+        checked
+    );
 
     // 4. The estimate.
     let estimate = flow.estimate(&run, &results);

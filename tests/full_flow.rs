@@ -32,18 +32,18 @@ fn gate_level_truth(flow: &StroberFlow, image: &[u32], max_cycles: u64) -> (f64,
         }
     }
     let exit = dram.exit_code().expect("workload must halt at gate level");
-    let analyzer = PowerAnalyzer::new(
-        &flow.synth().netlist,
-        flow.library(),
-        flow.config().freq_hz,
-    );
+    let analyzer = PowerAnalyzer::new(&flow.synth().netlist, flow.library(), flow.config().freq_hz);
     let power = analyzer.analyze(&sim.activity());
     (power.total_mw(), cycles, exit)
 }
 
 #[test]
 fn sampled_estimate_matches_gate_level_truth() {
-    let src = programs::vvadd(48);
+    // 192 elements (vs the seed's 48) quadruples the cycle count so the
+    // larger sample below still covers a small fraction of the run, and it
+    // shrinks the weight of the high-power startup phase whose windows
+    // otherwise dominate the estimator's variance.
+    let src = programs::vvadd(192);
     let image = assemble(&src).unwrap();
 
     // Reference result from the ISS.
@@ -52,9 +52,12 @@ fn sampled_estimate_matches_gate_level_truth() {
     let iss_exit = iss.run(10_000_000).unwrap().unwrap();
 
     let design = build_core(&CoreConfig::rok_tiny());
+    // 60 windows keeps the estimator's noise comfortably inside the 10%
+    // assertion below for any reasonable RNG stream (the vendored `rand`
+    // stand-in draws a different stream than crates.io rand at n=20).
     let config = StroberConfig {
         replay_length: 128,
-        sample_size: 20,
+        sample_size: 60,
         ..StroberConfig::default()
     };
     let flow = StroberFlow::new(&design, config).unwrap();

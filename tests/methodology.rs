@@ -57,8 +57,7 @@ fn repeated_estimates_scatter_around_a_common_mean() {
         estimates.push((est.mean_power_mw(), est.interval().half_width()));
     }
 
-    let grand_mean: f64 =
-        estimates.iter().map(|(m, _)| m).sum::<f64>() / estimates.len() as f64;
+    let grand_mean: f64 = estimates.iter().map(|(m, _)| m).sum::<f64>() / estimates.len() as f64;
     // Every run's 99% interval should contain the grand mean, and the
     // run-to-run scatter should be comparable to the claimed half-widths
     // (not wildly larger).

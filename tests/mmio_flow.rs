@@ -61,7 +61,10 @@ fn scan_protocol_over_mmio_only() {
     let mut regs = Vec::new();
     for elem in &fame.meta.scan_chain {
         let raw = map.read(&mut sim, scan_out).unwrap();
-        regs.push((elem.rtl_name.clone(), raw & Width::new(elem.width).unwrap().mask()));
+        regs.push((
+            elem.rtl_name.clone(),
+            raw & Width::new(elem.width).unwrap().mask(),
+        ));
         sim.step();
     }
     map.write(&mut sim, scan_shift, 0).unwrap();

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-group API surface the workspace's benches use
+//! (`benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `b.iter`, `criterion_group!`/`criterion_main!`) over a simple
+//! wall-clock harness: a warm-up pass sizes the iteration count, then each
+//! sample is timed and the median/min/max are reported on stdout.
+//!
+//! There is no statistical analysis, plotting or result persistence —
+//! numbers printed by this harness are indicative, not rigorous. That is
+//! sufficient for the repo's relative comparisons (e.g. cold vs warm
+//! prepare), which span orders of magnitude.
+
+use std::time::{Duration, Instant};
+
+/// Measurement units for reported throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, 20, None, &mut f);
+        self
+    }
+}
+
+/// A collection of benchmarks sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput so rates are reported.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    /// Calibrate `iters_per_sample` from a single probe run.
+    Warmup,
+    /// Record `samples` timed runs.
+    Measure,
+}
+
+impl Bencher {
+    /// Runs `routine` under the timer.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BencherMode::Warmup => {
+                // One probe to size the sample loop towards ~50ms/sample,
+                // bounded so huge routines still complete quickly.
+                let start = Instant::now();
+                std::hint::black_box(routine());
+                let once = start.elapsed().max(Duration::from_nanos(1));
+                let target = Duration::from_millis(50);
+                self.iters_per_sample =
+                    (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    std::hint::black_box(routine());
+                }
+                self.samples
+                    .push(start.elapsed() / self.iters_per_sample as u32);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        mode: BencherMode::Warmup,
+    };
+    f(&mut b);
+    b.mode = BencherMode::Measure;
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    if b.samples.is_empty() {
+        println!("  {id}: no samples (closure never called iter)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = *b.samples.last().expect("nonempty");
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(
+            "  ({:.0} elem/s)",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+        Throughput::Bytes(n) => format!(
+            "  ({:.0} B/s)",
+            n as f64 / median.as_secs_f64().max(f64::MIN_POSITIVE)
+        ),
+    });
+    println!(
+        "  {id}: median {median:?}  [min {min:?}, max {max:?}]{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint` (API compatibility with the real crate).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("selftest");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop_sum", |b| {
+            b.iter(|| (0u64..10).sum::<u64>());
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        quick(&mut c);
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group!(self_group, quick);
+
+    #[test]
+    fn group_macro_invokes_targets() {
+        self_group();
+    }
+}

@@ -1,0 +1,376 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros the workspace's property
+//! tests use: `proptest!`, `prop_assert!`/`prop_assert_eq!`, `any`,
+//! integer/float range strategies, `prop_map`, `collection::vec` and
+//! `sample::select`.
+//!
+//! Unlike real proptest there is no shrinking and no persistence of
+//! failing seeds: each test runs a fixed number of deterministic random
+//! cases (seeded from the test's module path and name), and a failing
+//! case panics with the ordinary `assert!` message. That retains the
+//! bug-finding value of the properties while keeping this crate
+//! dependency-free.
+
+/// Number of random cases each `proptest!` test executes.
+pub const NUM_CASES: u32 = 96;
+
+pub mod test_runner {
+    //! The per-test random source.
+
+    use rand::{Rng, SeedableRng, StdRng};
+
+    /// Deterministic RNG handed to strategies during a test run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// Creates a generator whose stream is a pure function of `name`
+        /// (typically the test's `module_path!()::name`).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name gives every test its own stream
+            // while keeping runs reproducible.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        /// The raw output stream.
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.gen::<f64>()
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below: empty range");
+            self.inner.gen_range(0..bound)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite and sign-symmetric; unconstrained enough for the
+            // workspace's numeric properties.
+            rng.unit_f64() * 2e12 - 1e12
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "strategy range is empty");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "strategy range is empty");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "strategy range is empty");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "strategy range is empty");
+            lo + rng.unit_f64() * (hi - lo)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $t:ident),+))+) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+/// Returns the canonical strategy for `T` (mirrors `proptest::arbitrary::any`).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that pick from explicit value sets.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.options.is_empty(), "select: no options");
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each contained `#[test]` function over [`NUM_CASES`] random cases.
+///
+/// Supported argument form: `name in strategy_expr`. The body runs once per
+/// case with the arguments bound to freshly generated values.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($(($strat),)*);
+                #[allow(unused_variables, unused_mut)]
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..$crate::NUM_CASES {
+                    let ($($arg,)*) = {
+                        #[allow(unused_imports)]
+                        use $crate::strategy::Strategy as _;
+                        let ($(ref $arg,)*) = __strategies;
+                        ($($arg.generate(&mut __rng),)*)
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds for the current case (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts two expressions are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts two expressions are unequal for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 3u32..17, b in -5i32..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_and_collections(
+            w in (1u32..=64).prop_map(|b| b * 2),
+            v in crate::collection::vec(0u64..100, 2..20),
+        ) {
+            prop_assert!((2..=128).contains(&w));
+            prop_assert!(v.len() >= 2 && v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn select_picks_members(x in crate::sample::select(vec![1u8, 3, 5])) {
+            prop_assert!([1u8, 3, 5].contains(&x));
+        }
+
+        #[test]
+        fn any_is_unconstrained(x in any::<u64>(), flag in any::<bool>()) {
+            let _ = (x, flag);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::deterministic("t");
+        let mut b = crate::test_runner::TestRng::deterministic("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::test_runner::TestRng::deterministic("u");
+        assert_ne!(
+            crate::test_runner::TestRng::deterministic("t").next_u64(),
+            c.next_u64()
+        );
+    }
+}

@@ -1,0 +1,399 @@
+//! A compact binary codec, the offline analogue of `bincode`.
+//!
+//! [`Blob`] encodes a value as a flat byte string with no field names or
+//! self-description: fixed-width little-endian integers, `u32` length
+//! prefixes for sequences and strings, one tag byte for enum variants and
+//! `Option`. Field order is the struct declaration order, so the format is
+//! deterministic across processes but — like bincode — NOT self-describing:
+//! readers and writers must agree on the type, and any type change is a
+//! format change (callers version their containers, see `strober-store`).
+//!
+//! The trait exists for hot paths where the [`Value`](crate::Value) tree's
+//! per-node allocations dominate: decoding a megabyte-scale artifact
+//! through `Blob` is an order of magnitude faster than parsing the
+//! equivalent JSON.
+//!
+//! Unordered collections (`HashMap`, `HashSet`) are encoded in ascending
+//! key order so equal values always produce identical bytes.
+//!
+//! Decoding is total: every failure is a [`DeError`], never a panic, and
+//! allocations are capped by the remaining input so hostile length prefixes
+//! cannot balloon memory.
+
+use crate::DeError;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::Hash;
+
+/// Binary serialization in declaration order. See the [module
+/// docs](self) for the format.
+pub trait Blob: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode_blob(&self, out: &mut Vec<u8>);
+    /// Decodes one value from the reader's current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the input is exhausted or malformed.
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError>;
+}
+
+/// Encodes a value to a fresh byte vector.
+pub fn to_blob<T: Blob>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode_blob(&mut out);
+    out
+}
+
+/// Decodes a value from `bytes`, requiring the input to be fully consumed.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] on malformed input or trailing bytes.
+pub fn from_blob<T: Blob>(bytes: &[u8]) -> Result<T, DeError> {
+    let mut r = BlobReader::new(bytes);
+    let value = T::decode_blob(&mut r)?;
+    r.finish()?;
+    Ok(value)
+}
+
+/// A bounds-checked cursor over an encoded byte string.
+#[derive(Debug)]
+pub struct BlobReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BlobReader<'a> {
+    /// Starts reading at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BlobReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consumes exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| DeError(format!("blob: input exhausted ({n} bytes wanted)")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Consumes one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] at end of input.
+    pub fn byte(&mut self) -> Result<u8, DeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Requires the input to be fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when bytes are left over.
+    pub fn finish(self) -> Result<(), DeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DeError(format!(
+                "blob: {} trailing bytes after value",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// A sequence length prefix: `u32` little-endian.
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    let len = u32::try_from(len).expect("blob sequences are capped at u32::MAX elements");
+    out.extend_from_slice(&len.to_le_bytes());
+}
+
+fn decode_len(r: &mut BlobReader<'_>) -> Result<usize, DeError> {
+    Ok(u32::decode_blob(r)? as usize)
+}
+
+macro_rules! int_blob {
+    ($($ty:ty),*) => {$(
+        impl Blob for $ty {
+            fn encode_blob(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+                let raw = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(raw.try_into().expect("exact length taken")))
+            }
+        }
+    )*};
+}
+
+int_blob!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Blob for usize {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode_blob(out);
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        usize::try_from(u64::decode_blob(r)?)
+            .map_err(|_| DeError("blob: usize out of range".to_owned()))
+    }
+}
+
+impl Blob for bool {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        match r.byte()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DeError(format!("blob: invalid bool byte {other}"))),
+        }
+    }
+}
+
+impl Blob for f64 {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode_blob(out);
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        Ok(f64::from_bits(u64::decode_blob(r)?))
+    }
+}
+
+impl Blob for f32 {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode_blob(out);
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        Ok(f32::from_bits(u32::decode_blob(r)?))
+    }
+}
+
+impl Blob for () {
+    fn encode_blob(&self, _out: &mut Vec<u8>) {}
+    fn decode_blob(_r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl Blob for String {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        let len = decode_len(r)?;
+        let raw = r.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| DeError("blob: invalid UTF-8".to_owned()))
+    }
+}
+
+impl<T: Blob> Blob for Vec<T> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for item in self {
+            item.encode_blob(out);
+        }
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        let len = decode_len(r)?;
+        // Cap the up-front allocation by the bytes actually present so a
+        // corrupted length prefix cannot balloon memory.
+        let mut items = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            items.push(T::decode_blob(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl<T: Blob> Blob for Option<T> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode_blob(out);
+            }
+        }
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        match r.byte()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_blob(r)?)),
+            other => Err(DeError(format!("blob: invalid Option tag {other}"))),
+        }
+    }
+}
+
+macro_rules! tuple_blob {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Blob),+> Blob for ($($name,)+) {
+            fn encode_blob(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode_blob(out);)+
+            }
+            fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+                Ok(($($name::decode_blob(r)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_blob! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Blob + Ord, V: Blob> Blob for BTreeMap<K, V> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for (k, v) in self {
+            k.encode_blob(out);
+            v.encode_blob(out);
+        }
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        let len = decode_len(r)?;
+        let mut map = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode_blob(r)?;
+            let v = V::decode_blob(r)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<K: Blob + Ord + Hash + Eq, V: Blob> Blob for HashMap<K, V> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (k, v) in entries {
+            k.encode_blob(out);
+            v.encode_blob(out);
+        }
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        let len = decode_len(r)?;
+        let mut map = HashMap::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            let k = K::decode_blob(r)?;
+            let v = V::decode_blob(r)?;
+            map.insert(k, v);
+        }
+        Ok(map)
+    }
+}
+
+impl<T: Blob + Ord + Hash + Eq> Blob for HashSet<T> {
+    fn encode_blob(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        for item in items {
+            item.encode_blob(out);
+        }
+    }
+    fn decode_blob(r: &mut BlobReader<'_>) -> Result<Self, DeError> {
+        let len = decode_len(r)?;
+        let mut set = HashSet::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            set.insert(T::decode_blob(r)?);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Blob + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_blob(&value);
+        let back: T = from_blob(&bytes).expect("round trip decodes");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(1.5f64);
+        round_trip(f64::NEG_INFINITY.to_bits());
+        round_trip(String::from("héllo\nworld"));
+        round_trip(());
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<String>::new());
+        round_trip(Some(vec![false, true]));
+        round_trip(Option::<u8>::None);
+        round_trip((String::from("k"), 9u64, vec![1u8]));
+        round_trip(BTreeMap::from([(String::from("a"), 1u32)]));
+        round_trip(HashMap::from([(7u32, ()), (3, ())]));
+        round_trip(HashSet::from([String::from("x"), String::from("y")]));
+    }
+
+    #[test]
+    fn unordered_collections_encode_deterministically() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for i in 0..64u32 {
+            a.insert(i, i * 3);
+        }
+        for i in (0..64u32).rev() {
+            b.insert(i, i * 3);
+        }
+        assert_eq!(to_blob(&a), to_blob(&b));
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = to_blob(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(from_blob::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = to_blob(&7u32);
+        bytes.push(0);
+        assert!(from_blob::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_balloon() {
+        // Claims u32::MAX elements but provides none.
+        let bytes = u32::MAX.to_le_bytes();
+        assert!(from_blob::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_bool_and_option_tags_error() {
+        assert!(from_blob::<bool>(&[2]).is_err());
+        assert!(from_blob::<Option<u8>>(&[9, 1]).is_err());
+    }
+}

@@ -1,0 +1,518 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits impls of the vendored value-based `serde::Serialize` /
+//! `serde::Deserialize` traits. The input item is parsed directly from the
+//! `proc_macro::TokenStream` (no `syn`/`quote` — the container has no
+//! crates.io access) and the generated impl is assembled as source text and
+//! re-parsed.
+//!
+//! Supported shapes — everything the workspace derives on:
+//!
+//! * structs with named fields, tuple structs (including newtypes), unit
+//!   structs;
+//! * enums with unit, newtype, tuple and struct variants.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error, matching how the workspace uses the real derive.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item being derived for.
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — a single field is treated as a newtype.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with this many fields; one field gets newtype encoding.
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+#[proc_macro_derive(Blob)]
+pub fn derive_blob(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_blob(&name, &shape)
+        .parse()
+        .expect("serde_derive generated invalid Blob impl")
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: malformed struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    (name, shape)
+}
+
+/// Skips outer attributes (including doc comments) and a `pub`/`pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                it.next();
+                if matches!(
+                    it.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    it.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `a: T, b: U, ...` field lists, returning the field names. Types are
+/// skipped with angle-bracket awareness so `HashMap<String, Vec<String>>`
+/// does not split on its inner commas.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => {
+                fields.push(i.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde_derive: expected `:` after field, got {other:?}"),
+                }
+                skip_type(&mut it);
+            }
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Skips one type (everything up to the next top-level comma or the end).
+fn skip_type(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0i32;
+    for tok in it.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantShape::Named(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant and/or the trailing comma.
+        for tok in it.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __obj = ::serde::Value::new_object();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__obj.object_insert({f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("__obj");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => {{\n\
+                         let mut __obj = ::serde::Value::new_object();\n\
+                         __obj.object_insert({vn:?}, ::serde::Serialize::to_value(__f0));\n\
+                         __obj\n}}\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n\
+                             let mut __obj = ::serde::Value::new_object();\n\
+                             __obj.object_insert({vn:?}, ::serde::Value::Array(vec![{elems}]));\n\
+                             __obj\n}}\n",
+                            binds = binds.join(", "),
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut inner =
+                            String::from("let mut __inner = ::serde::Value::new_object();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.object_insert({f:?}, ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n\
+                             {inner}\
+                             let mut __obj = ::serde::Value::new_object();\n\
+                             __obj.object_insert({vn:?}, __inner);\n\
+                             __obj\n}}\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `field: Deserialize::from_value(obj lookup)?` for a named field.
+fn named_field_expr(f: &str, src: &str) -> String {
+    format!(
+        "{f}: ::serde::Deserialize::from_value(\
+         {src}.object_get({f:?}).ok_or_else(|| ::serde::DeError::missing_field({f:?}))?)?"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::core::result::Result::Ok({name}),\n\
+             __other => ::core::result::Result::Err(::serde::DeError::expected(\"null\", __other)),\n}}"
+        ),
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let ::serde::Value::Array(__items) = __v else {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::expected(\"array\", __v));\n}};\n\
+                 if __items.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::DeError(\
+                 format!(\"expected {n} elements, got {{}}\", __items.len())));\n}}\n\
+                 ::core::result::Result::Ok({name}({elems}))",
+                elems = elems.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_expr(f, "__v")).collect();
+            format!(
+                "if __v.as_object().is_none() {{\n\
+                 return ::core::result::Result::Err(::serde::DeError::expected(\"object\", __v));\n}}\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}\n}})",
+                inits = inits.join(",\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => ::core::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let ::serde::Value::Array(__items) = __inner else {{\n\
+                             return ::core::result::Result::Err(\
+                             ::serde::DeError::expected(\"array\", __inner));\n}};\n\
+                             if __items.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::DeError(\
+                             format!(\"expected {n} elements, got {{}}\", __items.len())));\n}}\n\
+                             ::core::result::Result::Ok({name}::{vn}({elems}))\n}}\n",
+                            elems = elems.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> =
+                            fields.iter().map(|f| named_field_expr(f, "__inner")).collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             if __inner.as_object().is_none() {{\n\
+                             return ::core::result::Result::Err(\
+                             ::serde::DeError::expected(\"object\", __inner));\n}}\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{inits}\n}})\n}}\n",
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                 return match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::unknown_variant(__other)),\n\
+                 }};\n}}\n\
+                 let __obj = match __v.as_object() {{\n\
+                 ::core::option::Option::Some(__m) if __m.len() == 1 => __m,\n\
+                 _ => return ::core::result::Result::Err(\
+                 ::serde::DeError::expected(\"single-key enum object\", __v)),\n}};\n\
+                 let (__tag, __inner) = __obj.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError::unknown_variant(__other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---- Blob codegen ----------------------------------------------------------
+
+/// Emits a `serde::Blob` impl: fields encode/decode in declaration order,
+/// enum variants carry their declaration index as a one-byte tag.
+fn gen_blob(name: &str, shape: &Shape) -> String {
+    let encode_body;
+    let decode_body;
+    match shape {
+        Shape::UnitStruct => {
+            encode_body = String::new();
+            decode_body = format!("::core::result::Result::Ok({name})");
+        }
+        Shape::TupleStruct(n) => {
+            let mut enc = String::new();
+            for i in 0..*n {
+                enc.push_str(&format!("::serde::Blob::encode_blob(&self.{i}, __out);\n"));
+            }
+            let fields: Vec<String> = (0..*n)
+                .map(|_| "::serde::Blob::decode_blob(__r)?".to_owned())
+                .collect();
+            encode_body = enc;
+            decode_body = format!(
+                "::core::result::Result::Ok({name}({fields}))",
+                fields = fields.join(", ")
+            );
+        }
+        Shape::NamedStruct(fields) => {
+            let mut enc = String::new();
+            for f in fields {
+                enc.push_str(&format!("::serde::Blob::encode_blob(&self.{f}, __out);\n"));
+            }
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Blob::decode_blob(__r)?"))
+                .collect();
+            encode_body = enc;
+            decode_body = format!(
+                "::core::result::Result::Ok({name} {{\n{inits}\n}})",
+                inits = inits.join(",\n")
+            );
+        }
+        Shape::Enum(variants) => {
+            assert!(
+                variants.len() <= 256,
+                "serde_derive: Blob enums are limited to 256 variants"
+            );
+            let mut enc_arms = String::new();
+            let mut dec_arms = String::new();
+            for (tag, v) in variants.iter().enumerate() {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        enc_arms.push_str(&format!("{name}::{vn} => __out.push({tag}u8),\n"));
+                        dec_arms.push_str(&format!(
+                            "{tag}u8 => ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut enc = String::new();
+                        for b in &binds {
+                            enc.push_str(&format!("::serde::Blob::encode_blob({b}, __out);\n"));
+                        }
+                        let fields: Vec<String> = (0..*n)
+                            .map(|_| "::serde::Blob::decode_blob(__r)?".to_owned())
+                            .collect();
+                        enc_arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => {{\n__out.push({tag}u8);\n{enc}}}\n",
+                            binds = binds.join(", ")
+                        ));
+                        dec_arms.push_str(&format!(
+                            "{tag}u8 => ::core::result::Result::Ok({name}::{vn}({fields})),\n",
+                            fields = fields.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut enc = String::new();
+                        for f in fields {
+                            enc.push_str(&format!("::serde::Blob::encode_blob({f}, __out);\n"));
+                        }
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::Blob::decode_blob(__r)?"))
+                            .collect();
+                        enc_arms.push_str(&format!(
+                            "{name}::{vn} {{ {fields} }} => {{\n__out.push({tag}u8);\n{enc}}}\n",
+                            fields = fields.join(", ")
+                        ));
+                        dec_arms.push_str(&format!(
+                            "{tag}u8 => ::core::result::Result::Ok({name}::{vn} {{\n{inits}\n}}),\n",
+                            inits = inits.join(",\n")
+                        ));
+                    }
+                }
+            }
+            encode_body = format!("match self {{\n{enc_arms}}}\n");
+            decode_body = format!(
+                "match __r.byte()? {{\n\
+                 {dec_arms}\
+                 __other => ::core::result::Result::Err(::serde::DeError(\
+                 format!(\"blob: invalid variant tag {{__other}} for {name}\"))),\n}}"
+            );
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Blob for {name} {{\n\
+         fn encode_blob(&self, __out: &mut ::std::vec::Vec<u8>) {{\n\
+         let _ = &__out;\n{encode_body}}}\n\
+         fn decode_blob(__r: &mut ::serde::BlobReader<'_>) \
+         -> ::core::result::Result<Self, ::serde::DeError> {{\n\
+         let _ = &__r;\n{decode_body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Works directly on the vendored `serde` crate's [`Value`] tree:
+//! `to_string`/`to_string_pretty` render a value, `from_str` parses JSON
+//! text back into a value and decodes it. The text format is standard JSON
+//! with sorted object keys (objects are `BTreeMap`s), so output is
+//! deterministic — which the artifact store relies on for checksumming.
+
+pub use serde::{Number, Value};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// JSON map type, as used for building documents by hand.
+///
+/// Real `serde_json` has a dedicated `Map<String, Value>`; the vendored
+/// value tree stores objects as `BTreeMap` directly, so the alias is exact.
+pub type Map = BTreeMap<String, Value>;
+
+/// Error produced by [`from_str`] (syntax) or decoding (shape mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails with the vendored value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable JSON (two-space indent).
+///
+/// # Errors
+///
+/// Never fails with the vendored value model; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text and decodes it into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or when the document's shape does not
+/// match `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Decodes a [`Value`] tree into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the value's shape does not match `T`.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Builds a [`Value`] in place.
+///
+/// Supports the subset the workspace uses: `null`, object literals with
+/// string keys, array literals, and arbitrary serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {{
+        let mut __map = $crate::Map::new();
+        $( __map.insert(($key).to_string(), $crate::json!($value)); )*
+        $crate::Value::Object(__map)
+    }};
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ($other:expr) => { $crate::__private::Serialize::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]; not part of the public API.
+#[doc(hidden)]
+pub mod __private {
+    pub use serde::Serialize;
+}
+
+// ---- rendering -------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(u) => out.push_str(&u.to_string()),
+        Number::I64(i) => out.push_str(&i.to_string()),
+        Number::F64(f) if f.is_finite() => {
+            let s = format!("{f}");
+            out.push_str(&s);
+            // Keep floats recognisable as floats on re-parse.
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/Infinity; match serde_json's lossy behaviour.
+        Number::F64(_) => out.push_str("null"),
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.eat_keyword("null", Value::Null),
+            b't' => self.eat_keyword("true", Value::Bool(true)),
+            b'f' => self.eat_keyword("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::String),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            if self.peek()? != b'"' {
+                return Err(Error(format!("expected object key at byte {}", self.pos)));
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, got `{}` at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            // Fast path: take the maximal span free of quotes and escapes in
+            // one go, validating its UTF-8 once. Per-character validation of
+            // the remaining input would make parsing quadratic.
+            let span = self.pos;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&b| b != b'"' && b != b'\\')
+            {
+                self.pos += 1;
+            }
+            if self.pos > span {
+                let chunk = std::str::from_utf8(&self.bytes[span..self.pos])
+                    .map_err(|_| Error("invalid UTF-8".into()))?;
+                out.push_str(chunk);
+            }
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("invalid \\u escape".into()))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape `\\{}`", other as char)));
+                        }
+                    }
+                }
+                // The fast path stops only at `"` or `\`.
+                _ => unreachable!("span scan stops only at quote or escape"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F64(f)))
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let mut m = Map::new();
+        m.insert("name".into(), json!("rok"));
+        m.insert("cycles".into(), json!(1000u64));
+        m.insert("power".into(), json!(12.5f64));
+        m.insert("tags".into(), json!([1u32, 2u32, 3u32]));
+        let doc = Value::Object(m);
+        for text in [to_string(&doc).unwrap(), to_string_pretty(&doc).unwrap()] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, doc);
+        }
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        let v = json!({ "a": 1u32, "b": [true, false] });
+        assert_eq!(v.object_get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            v.object_get("b"),
+            Some(&Value::Array(vec![Value::Bool(true), Value::Bool(false)]))
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = "line\n\"quoted\" \\ tab\t\u{1}µ".to_owned();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let v: Vec<(String, u64)> = vec![("a".into(), 1), ("b".into(), u64::MAX)];
+        let text = to_string(&v).unwrap();
+        let back: Vec<(String, u64)> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let back: i64 = from_str("-42").unwrap();
+        assert_eq!(back, -42);
+        let back: f64 = from_str("-1.5e3").unwrap();
+        assert_eq!(back, -1500.0);
+        let ser = to_string(&2.0f64).unwrap();
+        assert_eq!(ser, "2.0");
+    }
+
+    #[test]
+    fn syntax_errors_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nulL").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}
