@@ -1,0 +1,42 @@
+//! Cost of `strober-probe` instrumentation in each recorder state.
+//!
+//! `plain` is the uninstrumented baseline; `probed_disabled` adds one
+//! span and one counter update per work chunk with the recorder off (the
+//! shipping default — must be indistinguishable from `plain`);
+//! `probed_enabled` is the same with the recorder on, showing what a
+//! traced run pays. The asserting version of the disabled comparison
+//! lives in `tests/probe_overhead.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use strober_bench::overhead::{run_plain, run_probed};
+
+const ITERS: u64 = 2_000;
+
+fn bench_overhead(c: &mut Criterion) {
+    strober_probe::disable();
+
+    let mut group = c.benchmark_group("probe_overhead");
+    group.sample_size(20);
+
+    group.bench_function("plain", |b| {
+        b.iter(|| black_box(run_plain(ITERS)));
+    });
+
+    group.bench_function("probed_disabled", |b| {
+        b.iter(|| black_box(run_probed(ITERS)));
+    });
+
+    group.bench_function("probed_enabled", |b| {
+        strober_probe::reset();
+        strober_probe::enable();
+        b.iter(|| black_box(run_probed(ITERS)));
+        strober_probe::disable();
+        strober_probe::reset();
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

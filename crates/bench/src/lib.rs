@@ -177,6 +177,45 @@ pub fn table2_cores() -> Vec<(CoreConfig, Design)> {
         .collect()
 }
 
+/// Synthetic workloads for measuring the disabled-recorder overhead of
+/// `strober-probe` instrumentation (see `benches/probe_overhead.rs` and
+/// the asserting smoke check in `tests/probe_overhead.rs`).
+pub mod overhead {
+    /// One unit of deterministic CPU work (~a few hundred nanoseconds of
+    /// integer mixing), sized so a single disabled probe call per unit is
+    /// well under the 2% overhead budget while still being fine-grained
+    /// enough to notice a recorder that stopped being cheap.
+    #[inline(never)]
+    pub fn work_chunk(seed: u64) -> u64 {
+        let mut x = seed | 1;
+        for _ in 0..1_000 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            x ^= x >> 29;
+        }
+        x
+    }
+
+    /// The bare workload: `iters` chunks, no instrumentation.
+    pub fn run_plain(iters: u64) -> u64 {
+        (0..iters).map(work_chunk).fold(0u64, u64::wrapping_add)
+    }
+
+    /// The same workload with one span and one counter update per chunk —
+    /// the densest instrumentation anywhere in the flow. With the
+    /// recorder disabled each probe call is a single relaxed atomic load.
+    pub fn run_probed(iters: u64) -> u64 {
+        (0..iters)
+            .map(|i| {
+                let _span = strober_probe::span("strober.bench.overhead");
+                strober_probe::counter_add("strober.bench.overhead_chunks", 1);
+                work_chunk(i)
+            })
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
 /// Formats a number with thousands separators for table output.
 pub fn fmt_u64(v: u64) -> String {
     let s = v.to_string();

@@ -2,6 +2,15 @@
 
 use std::fmt;
 
+/// The fully parsed command line: global options plus one subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// Log filter from the global `--log-level` flag (None = default).
+    pub log_level: Option<strober_probe::Level>,
+    /// The subcommand.
+    pub command: Command,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -15,6 +24,8 @@ pub enum Command {
     Export(ExportArgs),
     /// `strober cache …` — inspect or clear the artifact store.
     Cache(CacheArgs),
+    /// `strober probe report …` — summarise a recorded trace/manifest.
+    Probe(ProbeArgs),
     /// `strober help` or `--help`.
     Help,
 }
@@ -46,6 +57,10 @@ pub struct EstimateArgs {
     pub no_cache: bool,
     /// Where to write the JSON run manifest (None = inside the cache dir).
     pub manifest: Option<String>,
+    /// Where to write a chrome://tracing JSON trace of the run.
+    pub trace_out: Option<String>,
+    /// Print the metrics snapshot table after the results.
+    pub metrics: bool,
 }
 
 impl Default for EstimateArgs {
@@ -65,6 +80,8 @@ impl Default for EstimateArgs {
             cache_dir: None,
             no_cache: false,
             manifest: None,
+            trace_out: None,
+            metrics: false,
         }
     }
 }
@@ -134,6 +151,15 @@ pub fn default_cache_dir() -> String {
     ".strober-cache".to_owned()
 }
 
+/// Arguments of the `probe report` subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeArgs {
+    /// Chrome-trace JSON file to profile (as written by `--trace-out`).
+    pub trace: Option<String>,
+    /// Run manifest whose timings and metrics should be summarised.
+    pub manifest: Option<String>,
+}
+
 /// Arguments of the `export` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExportArgs {
@@ -163,16 +189,42 @@ fn take_value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<
 
 /// Parses a command line (without the program name).
 ///
+/// The global `--log-level LEVEL` flag is accepted before the
+/// subcommand; everything after the subcommand belongs to it.
+///
 /// # Errors
 ///
 /// Returns [`ArgError`] with a user-facing message for unknown
 /// subcommands, unknown flags or malformed values.
-pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
+pub fn parse(args: &[&str]) -> Result<Cli, ArgError> {
     let mut it = args.iter().copied();
-    let sub = match it.next() {
-        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
-        Some(s) => s,
+    let mut log_level = None;
+    let sub = loop {
+        match it.next() {
+            None | Some("help") | Some("--help") | Some("-h") => {
+                return Ok(Cli {
+                    log_level,
+                    command: Command::Help,
+                })
+            }
+            Some("--log-level") => {
+                log_level = Some(
+                    take_value("--log-level", &mut it)?
+                        .parse::<strober_probe::Level>()
+                        .map_err(|e| ArgError(e.to_string()))?,
+                );
+            }
+            Some(s) => break s,
+        }
     };
+    let command = parse_command(sub, &mut it)?;
+    Ok(Cli { log_level, command })
+}
+
+fn parse_command<'a>(
+    sub: &str,
+    mut it: &mut impl Iterator<Item = &'a str>,
+) -> Result<Command, ArgError> {
     match sub {
         "workloads" => Ok(Command::Workloads),
         "estimate" => {
@@ -214,6 +266,8 @@ pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
                     "--cache-dir" => a.cache_dir = Some(take_value(flag, &mut it)?),
                     "--no-cache" => a.no_cache = true,
                     "--manifest" => a.manifest = Some(take_value(flag, &mut it)?),
+                    "--trace-out" => a.trace_out = Some(take_value(flag, &mut it)?),
+                    "--metrics" => a.metrics = true,
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -263,6 +317,31 @@ pub fn parse(args: &[&str]) -> Result<Command, ArgError> {
             }
             Ok(Command::Cache(a))
         }
+        "probe" => {
+            match it.next() {
+                Some("report") => {}
+                Some(other) => {
+                    return Err(ArgError(format!(
+                        "unknown probe action `{other}` (expected report)"
+                    )))
+                }
+                None => return Err(ArgError("probe expects an action: report".to_owned())),
+            }
+            let mut a = ProbeArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--trace" => a.trace = Some(take_value(flag, &mut it)?),
+                    "--manifest" => a.manifest = Some(take_value(flag, &mut it)?),
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if a.trace.is_none() && a.manifest.is_none() {
+                return Err(ArgError(
+                    "probe report needs --trace FILE and/or --manifest FILE".to_owned(),
+                ));
+            }
+            Ok(Command::Probe(a))
+        }
         "export" => {
             let mut a = ExportArgs {
                 core: "rok".to_owned(),
@@ -288,17 +367,26 @@ pub const HELP: &str = "\
 strober — sample-based energy simulation for arbitrary RTL
 
 USAGE:
+  strober [--log-level error|warn|info|debug|trace] <command> …
+      The global log filter defaults to info: progress and warnings
+      reach stderr, debug chatter does not.
+
   strober estimate [--core rok|boum-1w|boum-2w] [--workload NAME | --asm FILE]
                    [-n N] [-L CYCLES] [--seed S] [--jobs P]
                    [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
+                   [--trace-out FILE] [--metrics]
       Run the full flow: fast sampled simulation, gate-level replay,
       average power with a 99% confidence interval. Prepared artifacts
       (FAME hub, netlist, name map) are cached content-addressed under
       the cache dir, so repeated runs over the same design start warm;
-      a JSON run manifest with per-stage timings is written next to the
-      cache (or to --manifest FILE). Replay uses every hardware thread
-      unless --jobs (alias --parallel) says otherwise.
+      a JSON run manifest with span-derived per-stage timings and the
+      full metrics snapshot is written next to the cache (or to
+      --manifest FILE). --trace-out writes a chrome://tracing JSON
+      trace of the run (open it in Perfetto or chrome://tracing);
+      --metrics prints the metrics table after the results. Replay
+      uses every hardware thread unless --jobs (alias --parallel)
+      says otherwise.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -311,6 +399,10 @@ USAGE:
 
   strober cache    (stats | clear) [--cache-dir DIR]
       Inspect or empty the artifact store.
+
+  strober probe    report [--trace FILE] [--manifest FILE]
+      Summarise a recorded run: per-span profile of a --trace-out
+      file and/or the stage timings and metrics of a run manifest.
 ";
 
 #[cfg(test)]
@@ -319,7 +411,7 @@ mod tests {
 
     #[test]
     fn parses_estimate_flags() {
-        let cmd = parse(&[
+        let cli = parse(&[
             "estimate",
             "--core",
             "boum-2w",
@@ -330,9 +422,13 @@ mod tests {
             "-L",
             "256",
             "--json",
+            "--trace-out",
+            "trace.json",
+            "--metrics",
         ])
         .unwrap();
-        let Command::Estimate(a) = cmd else {
+        assert_eq!(cli.log_level, None);
+        let Command::Estimate(a) = cli.command else {
             panic!("wrong command")
         };
         assert_eq!(a.core, "boum-2w");
@@ -340,11 +436,56 @@ mod tests {
         assert_eq!(a.samples, 40);
         assert_eq!(a.replay_length, 256);
         assert!(a.json);
+        assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
+        assert!(a.metrics);
+    }
+
+    #[test]
+    fn global_log_level_precedes_the_subcommand() {
+        let cli = parse(&["--log-level", "debug", "run"]).unwrap();
+        assert_eq!(cli.log_level, Some(strober_probe::Level::Debug));
+        assert!(matches!(cli.command, Command::Run(_)));
+        assert!(parse(&["--log-level", "loud", "run"])
+            .unwrap_err()
+            .0
+            .contains("unknown log level"));
+        // A bare --log-level still shows help.
+        let cli = parse(&["--log-level", "trace"]).unwrap();
+        assert_eq!(cli.command, Command::Help);
+    }
+
+    #[test]
+    fn parses_probe_report() {
+        let cli = parse(&["probe", "report", "--trace", "t.json"]).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Probe(ProbeArgs {
+                trace: Some("t.json".to_owned()),
+                manifest: None,
+            })
+        );
+        let cli = parse(&["probe", "report", "--manifest", "run.json"]).unwrap();
+        let Command::Probe(a) = cli.command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.manifest.as_deref(), Some("run.json"));
+        assert!(parse(&["probe", "report"])
+            .unwrap_err()
+            .0
+            .contains("--trace"));
+        assert!(parse(&["probe", "bogus"])
+            .unwrap_err()
+            .0
+            .contains("unknown probe action"));
+        assert!(parse(&["probe"])
+            .unwrap_err()
+            .0
+            .contains("expects an action"));
     }
 
     #[test]
     fn defaults_apply() {
-        let Command::Run(a) = parse(&["run"]).unwrap() else {
+        let Command::Run(a) = parse(&["run"]).unwrap().command else {
             panic!("wrong command")
         };
         assert_eq!(a.core, "rok");
@@ -353,9 +494,9 @@ mod tests {
 
     #[test]
     fn help_variants() {
-        assert_eq!(parse(&[]).unwrap(), Command::Help);
-        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
-        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap().command, Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap().command, Command::Help);
+        assert_eq!(parse(&["help"]).unwrap().command, Command::Help);
     }
 
     #[test]
@@ -369,7 +510,9 @@ mod tests {
             "--jobs",
             "2",
         ])
-        .unwrap() else {
+        .unwrap()
+        .command
+        else {
             panic!("wrong command")
         };
         assert_eq!(a.cache_dir.as_deref(), Some("/tmp/store"));
@@ -377,7 +520,7 @@ mod tests {
         assert_eq!(a.parallel, 2);
         assert!(!a.no_cache);
 
-        let Command::Estimate(a) = parse(&["estimate", "--no-cache"]).unwrap() else {
+        let Command::Estimate(a) = parse(&["estimate", "--no-cache"]).unwrap().command else {
             panic!("wrong command")
         };
         assert!(a.no_cache);
@@ -385,7 +528,7 @@ mod tests {
 
     #[test]
     fn parallel_defaults_to_available_hardware() {
-        let Command::Estimate(a) = parse(&["estimate"]).unwrap() else {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap().command else {
             panic!("wrong command")
         };
         assert_eq!(a.parallel, default_parallelism());
@@ -399,14 +542,16 @@ mod tests {
     #[test]
     fn parses_cache_subcommand() {
         assert_eq!(
-            parse(&["cache", "stats"]).unwrap(),
+            parse(&["cache", "stats"]).unwrap().command,
             Command::Cache(CacheArgs {
                 action: CacheAction::Stats,
                 cache_dir: None,
             })
         );
         assert_eq!(
-            parse(&["cache", "clear", "--cache-dir", "/tmp/x"]).unwrap(),
+            parse(&["cache", "clear", "--cache-dir", "/tmp/x"])
+                .unwrap()
+                .command,
             Command::Cache(CacheArgs {
                 action: CacheAction::Clear,
                 cache_dir: Some("/tmp/x".to_owned()),

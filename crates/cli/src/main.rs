@@ -4,10 +4,10 @@
 mod args;
 
 use args::{
-    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, RunArgs, HELP,
+    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, ProbeArgs,
+    RunArgs, HELP,
 };
 use std::process::ExitCode;
-use std::time::Instant;
 use strober::{StroberConfig, StroberFlow};
 use strober_cores::{build_core, CoreConfig};
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
@@ -105,7 +105,7 @@ fn open_store(a: &EstimateArgs) -> Option<Store> {
     match Store::open(&dir) {
         Ok(store) => Some(store),
         Err(e) => {
-            eprintln!("warning: cannot open artifact store at `{dir}`: {e}; running cold");
+            strober_probe::warn!("cannot open artifact store at `{dir}`: {e}; running cold");
             None
         }
     }
@@ -127,12 +127,17 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     );
     manifest.fingerprint = StroberFlow::prepare_fingerprint(&design, &session).to_hex();
 
-    eprintln!(
+    // The estimate flow always records: the manifest's stage timings,
+    // --trace-out and --metrics all read from the recorder, and at CLI
+    // granularity its cost is far below measurement noise.
+    strober_probe::reset();
+    strober_probe::enable();
+
+    strober_probe::info!(
         "[1/4] instrumenting, synthesizing and formally matching {} ...",
         config.name
     );
     let mut store = open_store(a);
-    let stage = Instant::now();
     let (flow, cache_hit) = match store.as_mut() {
         Some(store) => StroberFlow::prepare_cached(&design, session, store)
             .map_err(|e| format!("flow setup failed: {e}"))?,
@@ -141,14 +146,12 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             false,
         ),
     };
-    manifest.record("prepare", stage.elapsed());
     manifest.cache_hit = cache_hit;
     if cache_hit {
-        eprintln!("      (prepared artifacts served from the store)");
+        strober_probe::info!("      (prepared artifacts served from the store)");
     }
 
-    eprintln!("[2/4] fast simulation with reservoir sampling ...");
-    let stage = Instant::now();
+    strober_probe::info!("[2/4] fast simulation with reservoir sampling ...");
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
     dram.load(&image, 0);
     let run = flow
@@ -160,27 +163,36 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             a.max_cycles
         ));
     }
-    manifest.record("sim", stage.elapsed());
 
-    eprintln!(
+    strober_probe::info!(
         "[3/4] replaying {} snapshots on gate-level simulation ({} workers) ...",
         run.snapshots.len(),
         a.parallel
     );
-    let stage = Instant::now();
     let results = flow
         .replay_all(&run.snapshots, a.parallel)
         .map_err(|e| format!("replay failed: {e}"))?;
-    manifest.record("replay", stage.elapsed());
 
-    eprintln!("[4/4] estimating ...");
-    let stage = Instant::now();
+    strober_probe::info!("[4/4] estimating ...");
     let estimate = flow.estimate(&run, &results);
     let instret = dram.instret();
     let dram_power = LpddrPowerParams::lpddr2_s4()
         .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
         .total_mw();
-    manifest.record("power", stage.elapsed());
+
+    // Fold everything the recorder captured into the manifest: stage
+    // timings come from the spans themselves, so they agree exactly with
+    // the exported trace.
+    let events = strober_probe::take_events();
+    manifest.record_spans(&events);
+    manifest.metrics = strober_probe::snapshot();
+    strober_probe::disable();
+
+    if let Some(path) = &a.trace_out {
+        std::fs::write(path, strober_probe::chrome_trace_json(&events))
+            .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+        strober_probe::info!("      chrome trace written to {path} (open in Perfetto)");
+    }
 
     let manifest_path = a.manifest.clone().or_else(|| {
         store.as_ref().map(|s| {
@@ -192,8 +204,8 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     });
     if let Some(path) = manifest_path {
         match manifest.save(std::path::Path::new(&path)) {
-            Ok(()) => eprintln!("      run manifest written to {path}"),
-            Err(e) => eprintln!("warning: cannot write run manifest to `{path}`: {e}"),
+            Ok(()) => strober_probe::info!("      run manifest written to {path}"),
+            Err(e) => strober_probe::warn!("cannot write run manifest to `{path}`: {e}"),
         }
     }
 
@@ -214,9 +226,9 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             "cache_hit": cache_hit,
             "timings_ms": serde_json::json!({
                 "prepare": manifest.stage_millis("prepare"),
-                "sim": manifest.stage_millis("sim"),
+                "sim": manifest.stage_millis("run_sampled"),
                 "replay": manifest.stage_millis("replay"),
-                "power": manifest.stage_millis("power"),
+                "estimate": manifest.stage_millis("estimate"),
             }),
             "core_power_mw": estimate.mean_power_mw(),
             "core_power_bound_mw": estimate.interval().half_width(),
@@ -255,6 +267,45 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         total * 1e-3 * (run.target_cycles as f64 / flow.config().freq_hz) / instret as f64 * 1e9;
     println!();
     println!("total (core + DRAM): {total:.3} mW;  EPI: {epi:.3} nJ/instruction");
+    if a.metrics {
+        println!();
+        print!("{}", manifest.metrics);
+    }
+    Ok(())
+}
+
+fn cmd_probe(a: &ProbeArgs) -> Result<(), String> {
+    if let Some(path) = &a.trace {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let events = strober_probe::parse_chrome_trace(&text)
+            .map_err(|e| format!("`{path}` is not a chrome trace: {e}"))?;
+        println!("trace: {path} ({} spans)", events.len());
+        print!(
+            "{}",
+            strober_probe::render_profile(&strober_probe::profile(&events))
+        );
+    }
+    if let Some(path) = &a.manifest {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let manifest = RunManifest::from_json(&text)
+            .map_err(|e| format!("`{path}` is not a run manifest: {e}"))?;
+        if a.trace.is_some() {
+            println!();
+        }
+        println!("manifest:  {path} (schema v{})", manifest.version);
+        println!("design:    {}", manifest.design);
+        println!("workload:  {}", manifest.workload);
+        println!("cache hit: {}", manifest.cache_hit);
+        for stage in &manifest.stages {
+            println!("  {:<20} {:>10.3} ms", stage.name, stage.millis);
+        }
+        if !manifest.metrics.is_empty() {
+            println!();
+            print!("{}", manifest.metrics);
+        }
+    }
     Ok(())
 }
 
@@ -298,15 +349,9 @@ fn cmd_cache(a: &CacheArgs) -> Result<(), String> {
         Store::open(&dir).map_err(|e| format!("cannot open artifact store at `{dir}`: {e}"))?;
     match a.action {
         CacheAction::Stats => {
-            let stats = store.stats();
-            println!("store:            {dir}");
-            println!("objects:          {}", store.len());
-            println!("bytes:            {}", store.total_bytes());
-            println!("hits:             {}", stats.hits);
-            println!("misses:           {}", stats.misses);
-            println!("evictions:        {}", stats.evictions);
-            println!("corrupt:          {}", stats.corrupt);
-            println!("version mismatch: {}", stats.version_mismatch);
+            let snap = store.metrics();
+            println!("store: {dir}");
+            print!("{snap}");
         }
         CacheAction::Clear => {
             let removed = store
@@ -321,14 +366,17 @@ fn cmd_cache(a: &CacheArgs) -> Result<(), String> {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
-    let command = match args::parse(&refs) {
+    let cli = match args::parse(&refs) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}");
+            strober_probe::error!("{e}");
             return ExitCode::FAILURE;
         }
     };
-    let result = match &command {
+    if let Some(level) = cli.log_level {
+        strober_probe::set_log_level(level);
+    }
+    let result = match &cli.command {
         Command::Help => {
             print!("{HELP}");
             Ok(())
@@ -344,11 +392,12 @@ fn main() -> ExitCode {
         Command::Estimate(a) => cmd_estimate(a),
         Command::Export(a) => cmd_export(a),
         Command::Cache(a) => cmd_cache(a),
+        Command::Probe(a) => cmd_probe(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
+            strober_probe::error!("{e}");
             ExitCode::FAILURE
         }
     }

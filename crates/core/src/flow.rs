@@ -85,6 +85,14 @@ impl StroberFlow {
     /// Returns a [`StroberError`] if the design is invalid, synthesis
     /// fails, or the formal matcher finds a discrepancy.
     pub fn new(design: &Design, config: StroberConfig) -> Result<Self, StroberError> {
+        let _span = strober_probe::span("strober.core.prepare");
+        Self::prepare_cold(design, config)
+    }
+
+    /// The uninstrumented cold-preparation pipeline, shared by [`Self::new`]
+    /// and [`Self::prepare_cached`] so each entry point records exactly one
+    /// `strober.core.prepare` span whether the store hits or not.
+    fn prepare_cold(design: &Design, config: StroberConfig) -> Result<Self, StroberError> {
         let fame = transform(
             design,
             &FameConfig {
@@ -159,11 +167,12 @@ impl StroberFlow {
         config: StroberConfig,
         store: &mut Store,
     ) -> Result<(Self, bool), StroberError> {
+        let _span = strober_probe::span("strober.core.prepare");
         let key = Self::prepare_fingerprint(design, &config);
         if let Some(parts) = store.get::<PreparedArtifact>(key) {
             return Ok((Self::from_parts(config, parts), true));
         }
-        let flow = Self::new(design, config)?;
+        let flow = Self::prepare_cold(design, config)?;
         store.put(
             key,
             &PreparedArtifact {
@@ -223,6 +232,8 @@ impl StroberFlow {
         model: &mut dyn HostModel,
         max_cycles: u64,
     ) -> Result<SampledRun, StroberError> {
+        let _span = strober_probe::span("strober.core.run_sampled");
+        let t0 = std::time::Instant::now();
         let mut host = ZynqHost::new(&self.fame, self.config.platform.clone())?;
         let window = host.trace_window();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
@@ -242,6 +253,15 @@ impl StroberFlow {
             windows += 1;
         }
 
+        if strober_probe::enabled() {
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                strober_probe::gauge_set(
+                    "strober.core.sim_cycles_per_sec",
+                    host.target_cycles() as f64 / elapsed,
+                );
+            }
+        }
         let records = reservoir.records();
         Ok(SampledRun {
             snapshots: reservoir.into_sample(),
@@ -265,6 +285,8 @@ impl StroberFlow {
     /// diverge from the trace, [`StroberError::UnmappedState`] for
     /// snapshot state with no mapping, and loader errors otherwise.
     pub fn replay(&self, snapshot: &FameSnapshot) -> Result<ReplayResult, StroberError> {
+        let _span = strober_probe::span("strober.core.replay_sample");
+        let t0 = strober_probe::enabled().then(std::time::Instant::now);
         let mut sim = GateSim::new(&self.synth.netlist)?;
 
         // Assemble the bulk load through the name map; retimed registers
@@ -327,6 +349,12 @@ impl StroberFlow {
         }
 
         let power = self.analyzer.analyze(&sim.activity());
+        if let Some(t0) = t0 {
+            strober_probe::histogram_record(
+                "strober.core.replay_sample_ms",
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
         Ok(ReplayResult {
             cycle: snapshot.cycle,
             power,
@@ -345,6 +373,7 @@ impl StroberFlow {
         snapshots: &[FameSnapshot],
         parallelism: usize,
     ) -> Result<Vec<ReplayResult>, StroberError> {
+        let _span = strober_probe::span("strober.core.replay");
         let parallelism = parallelism.max(1);
         if parallelism == 1 || snapshots.len() <= 1 {
             return snapshots.iter().map(|s| self.replay(s)).collect();
@@ -358,7 +387,10 @@ impl StroberFlow {
                 let flow = &*self;
                 handles.push((
                     ci,
-                    scope.spawn(move || block.iter().map(|s| flow.replay(s)).collect::<Vec<_>>()),
+                    scope.spawn(move || {
+                        let _span = strober_probe::span(format!("strober.core.replay_worker.{ci}"));
+                        block.iter().map(|s| flow.replay(s)).collect::<Vec<_>>()
+                    }),
                 ));
             }
             for (ci, h) in handles {
@@ -380,6 +412,7 @@ impl StroberFlow {
     ///
     /// Panics with fewer than two replay results.
     pub fn estimate(&self, run: &SampledRun, results: &[ReplayResult]) -> EnergyEstimate {
+        let _span = strober_probe::span("strober.core.estimate");
         EnergyEstimate::from_results(
             results,
             run.windows,

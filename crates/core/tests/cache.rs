@@ -70,8 +70,14 @@ fn warm_session_estimate_is_bit_identical_to_cold() {
         StroberFlow::prepare_cached(&design, small_config(), &mut store).unwrap();
     assert!(warm_hit, "second preparation must hit");
 
-    let stats = store.stats();
-    assert_eq!((stats.hits, stats.misses), (1, 1));
+    let snap = store.metrics();
+    assert_eq!(
+        (
+            snap.counter("strober.store.hits"),
+            snap.counter("strober.store.misses")
+        ),
+        (Some(1), Some(1))
+    );
 
     // The cached artifacts must reproduce preparation exactly.
     assert_eq!(

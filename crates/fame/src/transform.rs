@@ -49,6 +49,7 @@ pub struct FameResult {
 /// construction (e.g. name collisions with a target that already uses
 /// `fame/…` names).
 pub fn transform(target: &Design, config: &FameConfig) -> Result<FameResult, RtlError> {
+    let _span = strober_probe::span("strober.fame.transform");
     target.validate()?;
     let mut d = target.clone();
 

@@ -181,6 +181,7 @@ pub fn match_designs(
     synth: &SynthResult,
     options: &MatchOptions,
 ) -> Result<MatchReport, FormalError> {
+    let _span = strober_probe::span("strober.formal.match");
     let netlist = &synth.netlist;
 
     // ---- structural matching ------------------------------------------------

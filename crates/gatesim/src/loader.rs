@@ -82,6 +82,11 @@ fn apply(
     dff_values: &[(String, bool)],
     sram_words: &[(String, usize, u64)],
 ) -> Result<u64, GateSimError> {
+    let _span = strober_probe::span("strober.gatesim.load");
+    strober_probe::counter_add(
+        "strober.gatesim.load_commands",
+        (dff_values.len() + sram_words.len()) as u64,
+    );
     for (name, v) in dff_values {
         sim.set_dff(name, *v)?;
     }

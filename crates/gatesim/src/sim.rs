@@ -148,6 +148,7 @@ impl GateSim {
     /// Returns [`GateSimError::BadNetlist`] if the netlist fails
     /// validation.
     pub fn new(netlist: &Netlist) -> Result<Self, GateSimError> {
+        let _span = strober_probe::span("strober.gatesim.compile");
         netlist.validate()?;
         let order = netlist.levelize()?;
 

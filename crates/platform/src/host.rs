@@ -253,6 +253,8 @@ impl ZynqHost {
         &mut self,
         model: &mut dyn HostModel,
     ) -> Result<FameSnapshot, SimError> {
+        let _span = strober_probe::span("strober.platform.capture_snapshot");
+        let scan_before = self.ctl.overhead_cycles();
         let warmup = self.trace_window() - self.replay_length();
         for _ in 0..warmup {
             self.step_target(model)?;
@@ -267,6 +269,11 @@ impl ZynqHost {
         let snap = self.ctl.finish_snapshot(&mut self.sim, pending)?;
         self.ctl.set_fire(&mut self.sim, true)?;
         self.records += 1;
+        strober_probe::counter_add("strober.platform.records", 1);
+        strober_probe::counter_add(
+            "strober.platform.scan_cycles",
+            self.ctl.overhead_cycles() - scan_before,
+        );
         Ok(snap)
     }
 

@@ -1,0 +1,149 @@
+//! chrome://tracing ("Trace Event Format") export and import.
+//!
+//! Spans are rendered as complete (`"ph": "X"`) events with microsecond
+//! timestamps, one track per recorder thread id. The resulting JSON opens
+//! directly in Perfetto (<https://ui.perfetto.dev>) or `about:tracing`.
+
+use crate::record::SpanEvent;
+use serde_json::{json, Map, Value};
+
+/// Renders span events as a chrome-trace JSON document.
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let trace_events: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            let mut args = Map::new();
+            args.insert("seq".to_owned(), json!(e.seq));
+            args.insert("depth".to_owned(), json!(u64::from(e.depth)));
+            let mut event = Map::new();
+            event.insert("name".to_owned(), json!(e.name.as_str()));
+            event.insert("cat".to_owned(), json!("strober"));
+            event.insert("ph".to_owned(), json!("X"));
+            event.insert("ts".to_owned(), json!(e.start_us));
+            event.insert("dur".to_owned(), json!(e.dur_us));
+            event.insert("pid".to_owned(), json!(1u64));
+            event.insert("tid".to_owned(), json!(e.tid));
+            event.insert("args".to_owned(), Value::Object(args));
+            Value::Object(event)
+        })
+        .collect();
+    let mut doc = Map::new();
+    doc.insert("displayTimeUnit".to_owned(), json!("ms"));
+    doc.insert("traceEvents".to_owned(), Value::Array(trace_events));
+    serde_json::to_string_pretty(&Value::Object(doc)).expect("trace serialization is infallible")
+}
+
+/// Parses a chrome-trace JSON document back into span events.
+///
+/// Only complete (`"ph": "X"`) events are returned; other phases are
+/// ignored, so traces written by other tools degrade gracefully.
+///
+/// # Errors
+///
+/// Returns the parser error for malformed JSON, or a synthesized error
+/// when the document has no `traceEvents` array.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<SpanEvent>, serde_json::Error> {
+    let doc: Value = serde_json::from_str(text)?;
+    let events = doc
+        .object_get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| serde_json::Error("trace document has no traceEvents array".to_owned()))?;
+    let mut out = Vec::new();
+    for event in events {
+        if event.object_get("ph").and_then(Value::as_str) != Some("X") {
+            continue;
+        }
+        let field_u64 = |key: &str| event.object_get(key).and_then(Value::as_u64).unwrap_or(0);
+        let args = event.object_get("args");
+        let arg_u64 = |key: &str| {
+            args.and_then(|a| a.object_get(key))
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+        };
+        out.push(SpanEvent {
+            name: event
+                .object_get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_owned(),
+            tid: field_u64("tid"),
+            depth: u32::try_from(arg_u64("depth")).unwrap_or(u32::MAX),
+            seq: arg_u64("seq"),
+            start_us: field_u64("ts"),
+            dur_us: field_u64("dur"),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SpanEvent> {
+        vec![
+            SpanEvent {
+                name: "strober.core.prepare".to_owned(),
+                tid: 0,
+                depth: 0,
+                seq: 0,
+                start_us: 10,
+                dur_us: 500,
+            },
+            SpanEvent {
+                name: "strober.fame.transform".to_owned(),
+                tid: 0,
+                depth: 1,
+                seq: 1,
+                start_us: 20,
+                dur_us: 100,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_parses_back_losslessly() {
+        let events = sample_events();
+        let text = chrome_trace_json(&events);
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn export_has_the_expected_shape() {
+        let text = chrome_trace_json(&sample_events());
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            doc.object_get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+        let events = doc
+            .object_get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e.object_get("ph").and_then(Value::as_str), Some("X"));
+            assert!(e.object_get("ts").and_then(Value::as_u64).is_some());
+            assert!(e.object_get("dur").and_then(Value::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn foreign_phases_are_ignored() {
+        let text = r#"{"traceEvents":[
+            {"ph":"M","name":"process_name","pid":1},
+            {"ph":"X","name":"kept","ts":1,"dur":2,"tid":3,"pid":1}
+        ]}"#;
+        let events = parse_chrome_trace(text).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "kept");
+        assert_eq!(events[0].tid, 3);
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"no\": \"events\"}").is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! `strober-probe` — the in-tree observability layer: hierarchical timed
+//! spans, named metrics and leveled logging, with zero external
+//! dependencies (only the vendored serde stack, for snapshot and trace
+//! serialization).
+//!
+//! # Design
+//!
+//! Everything funnels through one process-global recorder that is **off by
+//! default**. Every instrumentation call starts with a single relaxed
+//! atomic load; when the recorder is disabled that load is the entire
+//! cost, so library code can be instrumented unconditionally — hot loops
+//! included — without a measurable penalty (see the
+//! `probe_overhead` check in `strober-bench`).
+//!
+//! Three primitive kinds:
+//!
+//! * **Spans** ([`span`]) — RAII-timed regions forming a per-thread tree
+//!   (nesting depth is tracked per thread, so worker threads show up as
+//!   separate tracks). Exported as chrome://tracing JSON via
+//!   [`chrome_trace_json`], viewable in Perfetto.
+//! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`]) —
+//!   named by the `strober.<crate>.<name>` convention, snapshotted as a
+//!   serializable [`MetricsSnapshot`] with a human-readable table form.
+//! * **Logs** ([`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`])
+//!   — leveled stderr diagnostics, gated on a global [`Level`]
+//!   (default [`Level::Info`]); logging works even when the recorder is
+//!   disabled, since it replaces ad-hoc `eprintln!` diagnostics.
+//!
+//! # Examples
+//!
+//! ```
+//! strober_probe::reset();
+//! strober_probe::enable();
+//! {
+//!     let _outer = strober_probe::span("strober.demo.outer");
+//!     let _inner = strober_probe::span("strober.demo.inner");
+//!     strober_probe::counter_add("strober.demo.widgets", 3);
+//! }
+//! let events = strober_probe::take_events();
+//! assert_eq!(events.len(), 2);
+//! let trace = strober_probe::chrome_trace_json(&events);
+//! assert!(trace.contains("traceEvents"));
+//! assert_eq!(
+//!     strober_probe::snapshot().counter("strober.demo.widgets"),
+//!     Some(3)
+//! );
+//! strober_probe::disable();
+//! ```
+
+mod chrome;
+mod log;
+mod metrics;
+mod profile;
+mod record;
+
+pub use chrome::{chrome_trace_json, parse_chrome_trace};
+pub use log::{log_enabled, log_message, set_log_level, Level, LevelParseError};
+pub use metrics::{
+    counter_add, counter_set, gauge_set, histogram_record, histogram_with_bounds, snapshot,
+    CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot,
+};
+pub use profile::{profile, render_profile, SpanStat};
+pub use record::{disable, enable, enabled, events, reset, span, take_events, Span, SpanEvent};
+
+/// Current level of the global log filter.
+pub fn log_level() -> Level {
+    log::log_level()
+}

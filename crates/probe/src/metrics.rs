@@ -1,0 +1,412 @@
+//! The global metric registry: named counters, gauges and histograms.
+//!
+//! Metric names follow the `strober.<crate>.<name>` convention. All
+//! mutation paths are gated on the recorder's enabled flag (one relaxed
+//! atomic load when disabled); [`snapshot`] always works, returning
+//! whatever has been registered so far.
+
+use crate::record::enabled;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// Upper bucket edges used when a histogram is first touched by
+/// [`histogram_record`] without a prior [`histogram_with_bounds`]
+/// registration. Decades around milliseconds, the usual span unit.
+pub(crate) const DEFAULT_BOUNDS: [f64; 7] = [0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Hist),
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    /// Upper-inclusive bucket edges; an implicit overflow bucket follows.
+    bounds: Vec<f64>,
+    /// One count per edge, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn new(bounds: &[f64]) -> Self {
+        Hist {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+static REGISTRY: Mutex<BTreeMap<String, Metric>> = Mutex::new(BTreeMap::new());
+
+fn with_registry<R>(f: impl FnOnce(&mut BTreeMap<String, Metric>) -> R) -> R {
+    f(&mut REGISTRY.lock().expect("probe metric registry lock"))
+}
+
+pub(crate) fn clear() {
+    with_registry(std::mem::take);
+}
+
+/// Adds `delta` to a named counter, creating it at zero first.
+#[inline]
+pub fn counter_add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(
+        |reg| match reg.entry(name.to_owned()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            other => *other = Metric::Counter(delta),
+        },
+    );
+}
+
+/// Sets a named counter to an absolute value (for mirroring counters whose
+/// source of truth lives elsewhere, e.g. the store's persisted index).
+#[inline]
+pub fn counter_set(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        reg.insert(name.to_owned(), Metric::Counter(value));
+    });
+}
+
+/// Sets a named gauge.
+#[inline]
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        reg.insert(name.to_owned(), Metric::Gauge(value));
+    });
+}
+
+/// Registers a histogram with explicit upper-inclusive bucket edges
+/// (sorted ascending). Values above the last edge land in an implicit
+/// overflow bucket. Re-registering an existing histogram is a no-op.
+pub fn histogram_with_bounds(name: &str, bounds: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        if !matches!(reg.get(name), Some(Metric::Histogram(_))) {
+            reg.insert(name.to_owned(), Metric::Histogram(Hist::new(bounds)));
+        }
+    });
+}
+
+/// Records one observation into a named histogram, creating it with
+/// [`DEFAULT_BOUNDS`]-style decade buckets if needed.
+#[inline]
+pub fn histogram_record(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_registry(|reg| {
+        match reg
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Hist::new(&DEFAULT_BOUNDS)))
+        {
+            Metric::Histogram(h) => h.record(value),
+            other => {
+                let mut h = Hist::new(&DEFAULT_BOUNDS);
+                h.record(value);
+                *other = Metric::Histogram(h);
+            }
+        }
+    });
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name.
+    pub name: String,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One histogram in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HistogramEntry {
+    /// Metric name.
+    pub name: String,
+    /// Upper-inclusive bucket edges.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (one per edge, plus the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramEntry {
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every registered metric, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// All counters.
+    pub counters: Vec<CounterEntry>,
+    /// All gauges.
+    pub gauges: Vec<GaugeEntry>,
+    /// All histograms.
+    pub histograms: Vec<HistogramEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Whether no metrics have been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The subset of metrics whose names start with `prefix`.
+    #[must_use]
+    pub fn filtered(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| g.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Renders the human-readable metrics table.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "(no metrics recorded)");
+        }
+        let width = self
+            .counters
+            .iter()
+            .map(|c| c.name.len())
+            .chain(self.gauges.iter().map(|g| g.name.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0);
+        for c in &self.counters {
+            writeln!(f, "counter    {:<width$}  {}", c.name, c.value)?;
+        }
+        for g in &self.gauges {
+            writeln!(f, "gauge      {:<width$}  {:.3}", g.name, g.value)?;
+        }
+        for h in &self.histograms {
+            writeln!(
+                f,
+                "histogram  {:<width$}  count={} mean={:.3} min={:.3} max={:.3}",
+                h.name,
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0.0 } else { h.min },
+                if h.count == 0 { 0.0 } else { h.max },
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshots every registered metric. Works whether or not the recorder
+/// is enabled (it simply reports whatever was captured while it was).
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|reg| {
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(v) => snap.counters.push(CounterEntry {
+                    name: name.clone(),
+                    value: *v,
+                }),
+                Metric::Gauge(v) => snap.gauges.push(GaugeEntry {
+                    name: name.clone(),
+                    value: *v,
+                }),
+                Metric::Histogram(h) => snap.histograms.push(HistogramEntry {
+                    name: name.clone(),
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: if h.count == 0 { 0.0 } else { h.min },
+                    max: if h.count == 0 { 0.0 } else { h.max },
+                }),
+            }
+        }
+        snap
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::testutil;
+    use crate::{disable, enable, reset};
+
+    #[test]
+    fn counters_and_gauges_register_and_snapshot() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.hits", 2);
+        counter_add("strober.test.hits", 3);
+        counter_set("strober.test.abs", 41);
+        counter_set("strober.test.abs", 42);
+        gauge_set("strober.test.rate", 1.5);
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counter("strober.test.hits"), Some(5));
+        assert_eq!(snap.counter("strober.test.abs"), Some(42));
+        assert_eq!(snap.gauge("strober.test.rate"), Some(1.5));
+        assert_eq!(snap.counter("strober.test.absent"), None);
+        let table = snap.to_string();
+        assert!(table.contains("strober.test.hits"));
+        assert!(table.contains("counter"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        histogram_with_bounds("strober.test.lat", &[1.0, 10.0, 100.0]);
+        // Edge values land in the bucket whose bound they equal.
+        for v in [0.5, 1.0, 1.0001, 10.0, 99.9, 100.0, 100.1, 1e9] {
+            histogram_record("strober.test.lat", v);
+        }
+        let snap = snapshot();
+        disable();
+        let h = snap.histogram("strober.test.lat").unwrap();
+        assert_eq!(h.bounds, vec![1.0, 10.0, 100.0]);
+        // <=1: {0.5, 1.0}; <=10: {1.0001, 10.0}; <=100: {99.9, 100.0};
+        // overflow: {100.1, 1e9}.
+        assert_eq!(h.counts, vec![2, 2, 2, 2]);
+        assert_eq!(h.count, 8);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 1e9);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn default_bounds_apply_when_unregistered() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        histogram_record("strober.test.auto", 5.0);
+        let snap = snapshot();
+        disable();
+        let h = snap.histogram("strober.test.auto").unwrap();
+        assert_eq!(h.bounds, DEFAULT_BOUNDS.to_vec());
+        assert_eq!(h.counts.iter().sum::<u64>(), 1);
+        // 5.0 lands in the (1, 10] bucket: index 3.
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.a", 7);
+        gauge_set("strober.test.b", 2.25);
+        histogram_record("strober.test.c", 3.0);
+        let snap = snapshot();
+        disable();
+        let text = serde_json::to_string_pretty(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn filtered_keeps_only_the_prefix() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.store.hits", 1);
+        counter_add("strober.core.replays", 1);
+        let snap = snapshot().filtered("strober.store.");
+        disable();
+        assert_eq!(snap.counters.len(), 1);
+        assert_eq!(snap.counter("strober.store.hits"), Some(1));
+    }
+}

@@ -1,0 +1,154 @@
+//! Flat profile aggregation over span events: per-name call counts,
+//! total/self/max wall-clock, for the `strober probe report` view.
+
+use crate::record::SpanEvent;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Aggregate statistics for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStat {
+    /// Span name.
+    pub name: String,
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall-clock microseconds across all instances.
+    pub total_us: u64,
+    /// Total microseconds minus time spent in nested child spans.
+    pub self_us: u64,
+    /// The longest single instance, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanStat {
+    /// Mean instance duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregates span events into per-name statistics, sorted by total time
+/// descending.
+///
+/// Self time subtracts immediate children: a child is an event on the
+/// same thread at depth `d + 1` whose interval lies inside the parent's.
+pub fn profile(events: &[SpanEvent]) -> Vec<SpanStat> {
+    let mut by_name: BTreeMap<&str, SpanStat> = BTreeMap::new();
+    for e in events {
+        let child_us: u64 = events
+            .iter()
+            .filter(|c| {
+                c.tid == e.tid
+                    && c.depth == e.depth + 1
+                    && c.start_us >= e.start_us
+                    && c.start_us + c.dur_us <= e.start_us + e.dur_us
+            })
+            .map(|c| c.dur_us)
+            .sum();
+        let stat = by_name.entry(e.name.as_str()).or_insert_with(|| SpanStat {
+            name: e.name.clone(),
+            count: 0,
+            total_us: 0,
+            self_us: 0,
+            max_us: 0,
+        });
+        stat.count += 1;
+        stat.total_us += e.dur_us;
+        stat.self_us += e.dur_us.saturating_sub(child_us);
+        stat.max_us = stat.max_us.max(e.dur_us);
+    }
+    let mut stats: Vec<SpanStat> = by_name.into_values().collect();
+    stats.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+    stats
+}
+
+/// A table of [`SpanStat`]s (what [`fmt::Display`] on the slice would be,
+/// if slices took impls): render with [`render_profile`].
+pub fn render_profile(stats: &[SpanStat]) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let width = stats
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(4)
+        .max("span".len());
+    writeln!(
+        out,
+        "{:<width$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "span", "count", "total ms", "self ms", "mean ms", "max ms"
+    )
+    .expect("string writes are infallible");
+    for s in stats {
+        writeln!(
+            out,
+            "{:<width$}  {:>7}  {:>12.3}  {:>12.3}  {:>12.3}  {:>12.3}",
+            s.name,
+            s.count,
+            s.total_us as f64 / 1e3,
+            s.self_us as f64 / 1e3,
+            s.mean_us() / 1e3,
+            s.max_us as f64 / 1e3,
+        )
+        .expect("string writes are infallible");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(name: &str, tid: u64, depth: u32, start_us: u64, dur_us: u64) -> SpanEvent {
+        SpanEvent {
+            name: name.to_owned(),
+            tid,
+            depth,
+            seq: start_us,
+            start_us,
+            dur_us,
+        }
+    }
+
+    #[test]
+    fn totals_and_self_time_aggregate() {
+        let events = vec![
+            event("parent", 0, 0, 0, 100),
+            event("child", 0, 1, 10, 30),
+            event("child", 0, 1, 50, 20),
+            // A different thread's span must not count as a child.
+            event("child", 1, 1, 20, 40),
+        ];
+        let stats = profile(&events);
+        let parent = stats.iter().find(|s| s.name == "parent").unwrap();
+        assert_eq!(parent.count, 1);
+        assert_eq!(parent.total_us, 100);
+        assert_eq!(parent.self_us, 50, "children on tid 0 subtract 30 + 20");
+        let child = stats.iter().find(|s| s.name == "child").unwrap();
+        assert_eq!(child.count, 3);
+        assert_eq!(child.total_us, 90);
+        assert_eq!(child.max_us, 40);
+        assert!((child.mean_us() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sorted_by_total_descending() {
+        let events = vec![event("small", 0, 0, 0, 10), event("large", 0, 0, 20, 90)];
+        let stats = profile(&events);
+        assert_eq!(stats[0].name, "large");
+        assert_eq!(stats[1].name, "small");
+    }
+
+    #[test]
+    fn render_is_a_readable_table() {
+        let stats = profile(&[event("strober.core.replay", 0, 0, 0, 1500)]);
+        let table = render_profile(&stats);
+        assert!(table.contains("span"));
+        assert!(table.contains("strober.core.replay"));
+        assert!(table.contains("1.500"));
+    }
+}

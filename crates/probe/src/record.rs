@@ -1,0 +1,274 @@
+//! The global span recorder.
+//!
+//! A [`Span`] is an RAII guard: creating one notes the start time and the
+//! current per-thread nesting depth, dropping it appends one completed
+//! [`SpanEvent`] to the global event buffer. Threads are identified by a
+//! small dense id assigned on first use, so worker threads appear as
+//! separate tracks in the exported trace.
+
+use std::borrow::Cow;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Whether the recorder captures spans and metrics. A single relaxed load
+/// of this flag is the entire cost of every probe call when disabled.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global begin-order sequence for span events.
+static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Next dense thread id.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// The time origin all span timestamps are relative to.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Completed span events, in completion order.
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Microseconds since the recorder's epoch (set on first use).
+pub(crate) fn now_us() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Whether the recorder is currently capturing.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder on. Spans and metrics recorded before `enable` are
+/// not retroactively captured.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns the recorder off. Already-open spans still record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Clears every recorded span event and metric (the log level and
+/// enabled state are left alone). Intended for tests and long-lived
+/// processes that export periodically.
+pub fn reset() {
+    EVENTS.lock().expect("probe events lock").clear();
+    crate::metrics::clear();
+}
+
+/// One completed timed span.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SpanEvent {
+    /// Span name, by convention `strober.<crate>.<name>`.
+    pub name: String,
+    /// Dense id of the thread the span ran on.
+    pub tid: u64,
+    /// Nesting depth on that thread when the span opened (0 = top level).
+    pub depth: u32,
+    /// Global begin-order sequence number.
+    pub seq: u64,
+    /// Start time in microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+struct SpanData {
+    name: Cow<'static, str>,
+    tid: u64,
+    depth: u32,
+    seq: u64,
+    start_us: u64,
+}
+
+/// An open timed span; records itself when dropped. Obtain via [`span`].
+#[must_use = "a span measures the region it is alive for"]
+pub struct Span {
+    data: Option<SpanData>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.data {
+            Some(d) => write!(f, "Span({})", d.name),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let event = SpanEvent {
+            dur_us: now_us().saturating_sub(data.start_us),
+            name: data.name.into_owned(),
+            tid: data.tid,
+            depth: data.depth,
+            seq: data.seq,
+            start_us: data.start_us,
+        };
+        EVENTS.lock().expect("probe events lock").push(event);
+    }
+}
+
+/// Opens a timed span. When the recorder is disabled this is one relaxed
+/// atomic load and the returned guard is inert.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    if !enabled() {
+        return Span { data: None };
+    }
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let tid = TID.with(|t| *t);
+    let depth = DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    Span {
+        data: Some(SpanData {
+            name: name.into(),
+            tid,
+            depth,
+            seq,
+            start_us: now_us(),
+        }),
+    }
+}
+
+/// Drains and returns every recorded span event (completion order).
+pub fn take_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *EVENTS.lock().expect("probe events lock"))
+}
+
+/// A copy of the recorded span events without draining them.
+pub fn events() -> Vec<SpanEvent> {
+    EVENTS.lock().expect("probe events lock").clone()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes tests that touch the process-global recorder.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_depth_and_order() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        {
+            let _a = span("outer");
+            {
+                let _b = span("inner");
+            }
+            let _c = span("sibling");
+        }
+        disable();
+        let events = take_events();
+        // Completion order: inner, sibling, outer.
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["inner", "sibling", "outer"]);
+        let outer = &events[2];
+        let inner = &events[0];
+        let sibling = &events[1];
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert_eq!(sibling.depth, 1);
+        // Begin order via seq: outer first, then inner, then sibling.
+        assert!(outer.seq < inner.seq && inner.seq < sibling.seq);
+        // The parent's interval encloses the children's.
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+        assert_eq!(outer.tid, inner.tid);
+    }
+
+    #[test]
+    fn disabled_recorder_captures_nothing() {
+        let _guard = testutil::exclusive();
+        reset();
+        disable();
+        {
+            let _s = span("ignored");
+            crate::counter_add("ignored.counter", 1);
+            crate::gauge_set("ignored.gauge", 1.0);
+            crate::histogram_record("ignored.hist", 1.0);
+        }
+        assert!(take_events().is_empty());
+        let snap = crate::snapshot();
+        assert!(
+            snap.is_empty(),
+            "disabled recorder must not register metrics"
+        );
+    }
+
+    #[test]
+    fn worker_threads_get_distinct_tids() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        {
+            let _outer = span("main");
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        let _w = span("worker");
+                    });
+                }
+            });
+        }
+        disable();
+        let events = take_events();
+        let main_tid = events.iter().find(|e| e.name == "main").unwrap().tid;
+        let worker_tids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "worker")
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(worker_tids.len(), 2);
+        assert!(worker_tids.iter().all(|&t| t != main_tid));
+        assert_ne!(worker_tids[0], worker_tids[1]);
+        // Worker spans start at depth 0 on their own thread.
+        assert!(events
+            .iter()
+            .filter(|e| e.name == "worker")
+            .all(|e| e.depth == 0));
+    }
+
+    #[test]
+    fn spans_opened_while_enabled_record_after_disable() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        let open = span("straddles");
+        disable();
+        drop(open);
+        let events = take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "straddles");
+    }
+}

@@ -106,6 +106,7 @@ impl<T> Reservoir<T> {
         self.seen += 1;
         if self.slots.len() < self.capacity {
             self.records += 1;
+            strober_probe::counter_add("strober.sampling.accepts", 1);
             // The slot index the caller must fill next.
             Some(self.slots.len())
         } else {
@@ -114,8 +115,11 @@ impl<T> Reservoir<T> {
             let idx = rng.gen_range(0..k);
             if (idx as usize) < self.capacity {
                 self.records += 1;
+                strober_probe::counter_add("strober.sampling.accepts", 1);
+                strober_probe::counter_add("strober.sampling.evictions", 1);
                 Some(idx as usize)
             } else {
+                strober_probe::counter_add("strober.sampling.skips", 1);
                 None
             }
         }

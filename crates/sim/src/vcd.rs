@@ -186,6 +186,12 @@ impl VcdTrace {
 
     /// Renders the complete VCD document.
     pub fn finish(self) -> String {
+        strober_probe::debug!(
+            "vcd: rendered {} probes over {} timesteps ({} bytes)",
+            self.probes.len(),
+            self.time,
+            self.header.len() + self.body.len()
+        );
         format!("{}{}", self.header, self.body)
     }
 }

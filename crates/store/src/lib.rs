@@ -12,8 +12,10 @@
 //!   keys are randomised per process).
 //! * [`envelope`] defines the versioned, checksummed on-disk object format
 //!   with atomic write-then-rename; any damage degrades to a cache miss.
-//! * [`store`] is the content-addressed [`Store`] with hit/miss/eviction
-//!   counters and size-bounded LRU eviction.
+//! * [`store`] is the content-addressed [`Store`] with size-bounded LRU
+//!   eviction; its hit/miss/eviction counters surface through the
+//!   `strober-probe` metrics registry under `strober.store.*` (see
+//!   [`Store::metrics`]).
 //! * [`manifest`] records per-stage wall-clock timings of one run as JSON.
 //!
 //! The store is deliberately generic: it caches any artifact implementing
@@ -48,5 +50,5 @@ pub(crate) mod testutil;
 
 pub use envelope::{read_object, write_object, ReadFailure, ENVELOPE_MAGIC, ENVELOPE_VERSION};
 pub use fingerprint::{fingerprint_bytes, fingerprint_of, fingerprint_parts, Fingerprint, Fnv1a};
-pub use manifest::{RunManifest, StageTiming};
-pub use store::{Store, StoreStats};
+pub use manifest::{RunManifest, StageTiming, MANIFEST_VERSION};
+pub use store::Store;

@@ -1,15 +1,21 @@
 //! Run manifests: a JSON record of one end-to-end Strober invocation.
 //!
 //! A manifest names the design and workload, the cache key the prepared
-//! artifacts were stored under, whether preparation was served warm, and
-//! the wall-clock time of each pipeline stage (prepare / sim / replay /
-//! power). The CLI writes one per run so speedups and regressions can be
-//! diffed across invocations without re-parsing logs.
+//! artifacts were stored under, whether preparation was served warm, the
+//! wall-clock time of each pipeline stage (derived from probe spans via
+//! [`RunManifest::record_spans`]) and the run's full metrics snapshot.
+//! The CLI writes one per run so speedups and regressions can be diffed
+//! across invocations without re-parsing logs.
 
 use crate::envelope::write_atomic;
 use std::io;
 use std::path::Path;
 use std::time::Duration;
+
+/// Manifest schema version. Bumped to 2 when the `version` and `metrics`
+/// fields were added and stage timings moved to span-derived values;
+/// version-1 documents (no `version` field) no longer parse.
+pub const MANIFEST_VERSION: u32 = 2;
 
 /// One timed pipeline stage.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -23,6 +29,9 @@ pub struct StageTiming {
 /// The JSON run record.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RunManifest {
+    /// Schema version ([`MANIFEST_VERSION`] for manifests written by this
+    /// build).
+    pub version: u32,
     /// Target design name.
     pub design: String,
     /// Workload description (program name or image path).
@@ -33,12 +42,15 @@ pub struct RunManifest {
     pub cache_hit: bool,
     /// Per-stage wall-clock timings, in execution order.
     pub stages: Vec<StageTiming>,
+    /// Every metric the probe registry held at the end of the run.
+    pub metrics: strober_probe::MetricsSnapshot,
 }
 
 impl RunManifest {
     /// Starts a manifest for one run.
     pub fn new(design: impl Into<String>, workload: impl Into<String>) -> Self {
         RunManifest {
+            version: MANIFEST_VERSION,
             design: design.into(),
             workload: workload.into(),
             ..RunManifest::default()
@@ -51,6 +63,35 @@ impl RunManifest {
             name: name.into(),
             millis: elapsed.as_secs_f64() * 1e3,
         });
+    }
+
+    /// Derives stage timings from recorded probe spans: every *top-level*
+    /// span (nesting depth 0) of the orchestrating thread becomes one
+    /// stage, named by the last dot-segment of the span name
+    /// (`strober.core.prepare` → `prepare`), in completion order.
+    /// Repeated spans merge by summing durations. Worker threads'
+    /// top-level spans (parallel replay) are excluded — they remain
+    /// visible in the trace and profile, but are not pipeline stages.
+    /// Unlike hand-placed `Instant::now()` pairs, these timings measure
+    /// exactly the instrumented region and agree with the exported
+    /// chrome trace.
+    pub fn record_spans(&mut self, events: &[strober_probe::SpanEvent]) {
+        // The orchestrating thread completes the first span: worker
+        // threads only exist inside an already-open stage span.
+        let Some(main_tid) = events.iter().min_by_key(|e| e.seq).map(|e| e.tid) else {
+            return;
+        };
+        for event in events.iter().filter(|e| e.depth == 0 && e.tid == main_tid) {
+            let name = event.name.rsplit('.').next().unwrap_or(&event.name);
+            let millis = event.dur_us as f64 / 1e3;
+            match self.stages.iter_mut().find(|s| s.name == name) {
+                Some(stage) => stage.millis += millis,
+                None => self.stages.push(StageTiming {
+                    name: name.to_owned(),
+                    millis,
+                }),
+            }
+        }
     }
 
     /// Looks up a recorded stage by name.
@@ -108,6 +149,58 @@ mod tests {
         assert_eq!(back, manifest);
         assert_eq!(back.stage_millis("sim"), Some(340.0));
         assert!((back.total_millis() - 450.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_version_is_bumped_and_enforced() {
+        let manifest = RunManifest::new("rok", "vvadd");
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert_eq!(MANIFEST_VERSION, 2, "bump this test with the schema");
+        let text = manifest.to_json();
+        assert!(text.contains("\"version\""));
+        assert!(text.contains("\"metrics\""));
+        // A version-1 document predates the `version` and `metrics`
+        // fields; it must be rejected, not silently half-parsed.
+        let v1 = r#"{
+            "design": "rok",
+            "workload": "vvadd",
+            "fingerprint": "00117a5e57a0be55",
+            "cache_hit": false,
+            "stages": []
+        }"#;
+        assert!(RunManifest::from_json(v1).is_err());
+    }
+
+    #[test]
+    fn record_spans_derives_stages_from_top_level_spans() {
+        let mk =
+            |name: &str, tid: u64, depth: u32, seq: u64, dur_us: u64| strober_probe::SpanEvent {
+                name: name.to_owned(),
+                tid,
+                depth,
+                seq,
+                start_us: 0,
+                dur_us,
+            };
+        let events = vec![
+            // Nested spans must not become stages of their own.
+            mk("strober.synth.lower", 0, 1, 0, 1_500),
+            mk("strober.core.prepare", 0, 0, 1, 2_000),
+            mk("strober.core.run_sampled", 0, 0, 2, 40_000),
+            // Worker-thread top-level spans are not pipeline stages.
+            mk("strober.core.replay_worker.0", 3, 0, 3, 900),
+            // Repeated top-level spans merge into one stage.
+            mk("strober.core.replay_sample", 0, 0, 4, 600),
+            mk("strober.core.replay_sample", 0, 0, 5, 400),
+        ];
+        let mut manifest = RunManifest::new("rok", "vvadd");
+        manifest.record_spans(&events);
+        assert_eq!(manifest.stages.len(), 3);
+        assert_eq!(manifest.stage_millis("prepare"), Some(2.0));
+        assert_eq!(manifest.stage_millis("run_sampled"), Some(40.0));
+        assert_eq!(manifest.stage_millis("replay_sample"), Some(1.0));
+        assert_eq!(manifest.stage_millis("lower"), None);
+        assert_eq!(manifest.stage_millis("0"), None, "no worker stages");
     }
 
     #[test]

@@ -22,21 +22,36 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Counters describing how a store has behaved. Persisted in the index,
-/// so they accumulate across processes until [`Store::clear`].
+/// Behaviour counters, persisted in the index so they accumulate across
+/// processes until [`Store::clear`]. This is the persistence format only;
+/// the public view is the probe-registry snapshot from [`Store::metrics`],
+/// under the `strober.store.*` names.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub struct StoreStats {
+struct Counters {
     /// Objects served from disk.
-    pub hits: u64,
+    hits: u64,
     /// Lookups that found no usable object (including the mismatch and
     /// corruption cases below).
-    pub misses: u64,
+    misses: u64,
     /// Objects evicted to respect the byte budget.
-    pub evictions: u64,
+    evictions: u64,
     /// Objects rejected for checksum/fingerprint/parse damage.
-    pub corrupt: u64,
+    corrupt: u64,
     /// Objects rejected for an envelope format version mismatch.
-    pub version_mismatch: u64,
+    version_mismatch: u64,
+}
+
+impl Counters {
+    /// The counters as `(probe metric name, value)` pairs.
+    fn named(&self) -> [(&'static str, u64); 5] {
+        [
+            ("strober.store.hits", self.hits),
+            ("strober.store.misses", self.misses),
+            ("strober.store.evictions", self.evictions),
+            ("strober.store.corrupt", self.corrupt),
+            ("strober.store.version_mismatch", self.version_mismatch),
+        ]
+    }
 }
 
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -49,7 +64,7 @@ struct IndexEntry {
 struct Index {
     clock: u64,
     entries: BTreeMap<String, IndexEntry>,
-    stats: StoreStats,
+    stats: Counters,
 }
 
 /// A content-addressed artifact store with LRU eviction.
@@ -92,9 +107,43 @@ impl Store {
         &self.root
     }
 
-    /// Behaviour counters (cumulative since the store was last cleared).
-    pub fn stats(&self) -> StoreStats {
-        self.index.stats
+    /// The store's counters and size gauges as a probe metrics snapshot
+    /// (cumulative since the store was last cleared), under the
+    /// `strober.store.*` names. Built from this store's own state, so it
+    /// is exact even when several stores share the process; the same
+    /// values are also mirrored into the global probe registry whenever
+    /// the recorder is enabled.
+    pub fn metrics(&self) -> strober_probe::MetricsSnapshot {
+        let mut snap = strober_probe::MetricsSnapshot::default();
+        for (name, value) in self.index.stats.named() {
+            snap.counters.push(strober_probe::CounterEntry {
+                name: name.to_owned(),
+                value,
+            });
+        }
+        snap.gauges.push(strober_probe::GaugeEntry {
+            name: "strober.store.objects".to_owned(),
+            value: self.len() as f64,
+        });
+        snap.gauges.push(strober_probe::GaugeEntry {
+            name: "strober.store.bytes".to_owned(),
+            value: self.total_bytes() as f64,
+        });
+        snap
+    }
+
+    /// Mirrors the store's counters into the global probe registry (a
+    /// no-op while the recorder is disabled). Absolute-set semantics, so
+    /// re-publishing after every mutation cannot double count.
+    fn publish_metrics(&self) {
+        if !strober_probe::enabled() {
+            return;
+        }
+        for (name, value) in self.index.stats.named() {
+            strober_probe::counter_set(name, value);
+        }
+        strober_probe::gauge_set("strober.store.objects", self.len() as f64);
+        strober_probe::gauge_set("strober.store.bytes", self.total_bytes() as f64);
     }
 
     /// Number of objects currently indexed.
@@ -224,6 +273,7 @@ impl Store {
     }
 
     fn save_index(&self) {
+        self.publish_metrics();
         let text = serde_json::to_string_pretty(&self.index)
             .expect("canonical serialization is infallible");
         let _ = write_atomic(&self.root.join("index.json"), text.as_bytes());
@@ -278,8 +328,14 @@ mod tests {
         assert!(store.get::<Vec<u64>>(fp).is_none());
         assert!(store.put(fp, &value));
         assert_eq!(store.get::<Vec<u64>>(fp), Some(value));
-        let stats = store.stats();
-        assert_eq!((stats.hits, stats.misses), (1, 1));
+        let snap = store.metrics();
+        assert_eq!(
+            (
+                snap.counter("strober.store.hits"),
+                snap.counter("strober.store.misses")
+            ),
+            (Some(1), Some(1))
+        );
     }
 
     #[test]
@@ -294,7 +350,11 @@ mod tests {
         let mut store = Store::open(dir.path()).unwrap();
         assert_eq!(store.len(), 1);
         assert_eq!(store.get::<String>(fp).as_deref(), Some("persisted"));
-        assert_eq!(store.stats().hits, 2, "stats accumulate across opens");
+        assert_eq!(
+            store.metrics().counter("strober.store.hits"),
+            Some(2),
+            "stats accumulate across opens"
+        );
     }
 
     #[test]
@@ -321,7 +381,11 @@ mod tests {
         assert_eq!(store.clear().unwrap(), 4);
         assert!(store.is_empty());
         assert_eq!(store.total_bytes(), 0);
-        assert_eq!(store.stats(), StoreStats::default());
+        let snap = store.metrics();
+        for entry in &snap.counters {
+            assert_eq!(entry.value, 0, "{} survives clear", entry.name);
+        }
+        assert_eq!(snap.gauge("strober.store.objects"), Some(0.0));
         assert!(store.get::<u64>(Fingerprint(0)).is_none());
     }
 }

@@ -52,9 +52,13 @@ fn truncated_object_is_a_silent_miss() {
     std::fs::write(&path, &full[..full.len() / 2]).unwrap();
 
     assert_eq!(store.get::<Vec<u64>>(fp), None, "truncation must be a miss");
-    let stats = store.stats();
-    assert_eq!(stats.corrupt, 1, "truncation counts as corruption");
-    assert_eq!(stats.misses, 1);
+    let snap = store.metrics();
+    assert_eq!(
+        snap.counter("strober.store.corrupt"),
+        Some(1),
+        "truncation counts as corruption"
+    );
+    assert_eq!(snap.counter("strober.store.misses"), Some(1));
     assert!(!path.exists(), "damaged object is deleted for rebuild");
 
     // The slot is rebuildable: a fresh put makes it hit again.
@@ -80,7 +84,7 @@ fn bit_flipped_object_is_a_silent_miss() {
     std::fs::write(&path, &bytes).unwrap();
 
     assert_eq!(store.get::<Vec<u64>>(fp), None, "bit flip must be a miss");
-    assert_eq!(store.stats().corrupt, 1);
+    assert_eq!(store.metrics().counter("strober.store.corrupt"), Some(1));
 }
 
 #[test]
@@ -96,10 +100,18 @@ fn version_mismatch_is_counted_separately() {
     std::fs::write(&path, bytes).unwrap();
 
     assert_eq!(store.get::<u64>(fp), None);
-    let stats = store.stats();
-    assert_eq!(stats.version_mismatch, 1);
-    assert_eq!(stats.corrupt, 0, "format drift is not corruption");
-    assert_eq!(stats.misses, 1, "format drift is still a miss");
+    let snap = store.metrics();
+    assert_eq!(snap.counter("strober.store.version_mismatch"), Some(1));
+    assert_eq!(
+        snap.counter("strober.store.corrupt"),
+        Some(0),
+        "format drift is not corruption"
+    );
+    assert_eq!(
+        snap.counter("strober.store.misses"),
+        Some(1),
+        "format drift is still a miss"
+    );
 }
 
 #[test]
@@ -124,7 +136,7 @@ fn lru_eviction_respects_byte_budget() {
     store.put(Fingerprint(3), &probe);
 
     assert!(store.total_bytes() <= budget, "budget holds after eviction");
-    assert_eq!(store.stats().evictions, 1);
+    assert_eq!(store.metrics().counter("strober.store.evictions"), Some(1));
     assert!(
         store.get::<Vec<u64>>(Fingerprint(1)).is_none(),
         "the least recently used object is the one evicted"

@@ -354,7 +354,9 @@ impl Lower {
 /// [`SynthError::Netlist`] if an internal bug produces a malformed netlist
 /// (the output is always re-validated before being returned).
 pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, SynthError> {
+    let _span = strober_probe::span("strober.synth.synthesize");
     design.validate()?;
+    let lower_span = strober_probe::span("strober.synth.lower");
     let topo = design.topo_order()?;
     let regions = assign_regions(design);
 
@@ -561,9 +563,11 @@ pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, S
 
     let mut netlist = lw.nl;
     let mut info = SynthInfo::default();
+    drop(lower_span);
 
     // Retiming of annotated register groups.
     if !opts.retime_prefixes.is_empty() {
+        let _span = strober_probe::span("strober.synth.retime");
         let mut annotated_dffs: HashSet<String> = HashSet::new();
         for (ri, (_, r)) in design.registers().enumerate() {
             if opts
@@ -581,6 +585,7 @@ pub fn synthesize(design: &Design, opts: &SynthOptions) -> Result<SynthResult, S
     }
 
     if opts.optimize {
+        let _span = strober_probe::span("strober.synth.opt");
         opt::optimize(&mut netlist);
     }
 
