@@ -47,6 +47,8 @@ pub struct EstimateArgs {
     pub seed: u64,
     /// Replay worker threads.
     pub parallel: usize,
+    /// Bit-parallel replay lanes per worker (1..=64; 1 = scalar replay).
+    pub batch_lanes: usize,
     /// Cycle budget.
     pub max_cycles: u64,
     /// Emit the result as JSON.
@@ -75,6 +77,9 @@ impl Default for EstimateArgs {
             // One replay worker per hardware thread; snapshots are
             // independent, so replay scales until the machine runs out.
             parallel: default_parallelism(),
+            // Pack 64 snapshots per u64 bit-lane pass; composes with the
+            // worker threads above (threads × lanes concurrent replays).
+            batch_lanes: 64,
             max_cycles: 200_000_000,
             json: false,
             cache_dir: None,
@@ -257,6 +262,14 @@ fn parse_command<'a>(
                             return Err(ArgError(format!("{flag}: must be at least 1")));
                         }
                     }
+                    "--batch-lanes" => {
+                        a.batch_lanes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.batch_lanes == 0 || a.batch_lanes > 64 {
+                            return Err(ArgError(format!("{flag}: must be in 1..=64")));
+                        }
+                    }
                     "--max-cycles" => {
                         a.max_cycles = take_value(flag, &mut it)?
                             .parse()
@@ -373,7 +386,7 @@ USAGE:
 
   strober estimate [--core rok|boum-1w|boum-2w] [--workload NAME | --asm FILE]
                    [-n N] [-L CYCLES] [--seed S] [--jobs P]
-                   [--max-cycles N] [--json]
+                   [--batch-lanes K] [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
                    [--trace-out FILE] [--metrics]
       Run the full flow: fast sampled simulation, gate-level replay,
@@ -386,7 +399,9 @@ USAGE:
       trace of the run (open it in Perfetto or chrome://tracing);
       --metrics prints the metrics table after the results. Replay
       uses every hardware thread unless --jobs (alias --parallel)
-      says otherwise.
+      says otherwise, and packs up to --batch-lanes snapshots (default
+      64, max 64) into the bit-lanes of each gate-level pass; set
+      --batch-lanes 1 for the scalar reference replay.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -537,6 +552,24 @@ mod tests {
             .unwrap_err()
             .0
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn batch_lanes_default_and_bounds() {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.batch_lanes, 64);
+
+        let Command::Estimate(a) = parse(&["estimate", "--batch-lanes", "8"]).unwrap().command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.batch_lanes, 8);
+
+        for bad in ["0", "65", "many"] {
+            assert!(parse(&["estimate", "--batch-lanes", bad]).is_err(), "{bad}");
+        }
     }
 
     #[test]

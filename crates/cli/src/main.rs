@@ -165,12 +165,13 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     }
 
     strober_probe::info!(
-        "[3/4] replaying {} snapshots on gate-level simulation ({} workers) ...",
+        "[3/4] replaying {} snapshots on gate-level simulation ({} workers x {} bit-lanes) ...",
         run.snapshots.len(),
-        a.parallel
+        a.parallel,
+        a.batch_lanes
     );
     let results = flow
-        .replay_all(&run.snapshots, a.parallel)
+        .replay_all_batched(&run.snapshots, a.parallel, a.batch_lanes)
         .map_err(|e| format!("replay failed: {e}"))?;
 
     strober_probe::info!("[4/4] estimating ...");

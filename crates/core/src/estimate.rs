@@ -24,7 +24,11 @@ pub struct SampledRun {
 }
 
 /// The product of replaying one snapshot on gate-level simulation.
-#[derive(Debug, Clone)]
+///
+/// Equality is exact: the batched bit-parallel replay path produces
+/// results `==` to the scalar path's, a property the differential test
+/// suite leans on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReplayResult {
     /// The target cycle the snapshot was captured at.
     pub cycle: u64,

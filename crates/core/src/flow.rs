@@ -7,7 +7,7 @@ use rand::SeedableRng;
 use strober_fame::{transform, FameConfig, FameResult, FameSnapshot};
 use strober_formal::{match_designs, MatchOptions, NameMap};
 use strober_gates::CellLibrary;
-use strober_gatesim::{GateSim, VpiLoader};
+use strober_gatesim::{BatchSim, GateSim, GateSimError, VpiLoader, MAX_LANES};
 use strober_platform::{HostModel, PlatformConfig, ZynqHost};
 use strober_power::PowerAnalyzer;
 use strober_rtl::Design;
@@ -272,25 +272,14 @@ impl StroberFlow {
         })
     }
 
-    /// Replays one snapshot on gate-level simulation: forces the recorded
-    /// inputs for the `warmup` prefix (recovering retimed-datapath state,
-    /// §IV-C3), loads the scanned architectural state through the verified
-    /// name map (via the VPI-style bulk loader) at the measurement-window
-    /// boundary, checks every recorded output inside the window, and
-    /// measures power over the `L`-cycle window.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StroberError::ReplayMismatch`] when gate-level outputs
-    /// diverge from the trace, [`StroberError::UnmappedState`] for
-    /// snapshot state with no mapping, and loader errors otherwise.
-    pub fn replay(&self, snapshot: &FameSnapshot) -> Result<ReplayResult, StroberError> {
-        let _span = strober_probe::span("strober.core.replay_sample");
-        let t0 = strober_probe::enabled().then(std::time::Instant::now);
-        let mut sim = GateSim::new(&self.synth.netlist)?;
-
-        // Assemble the bulk load through the name map; retimed registers
-        // are recovered by the warmup prefix instead.
+    /// Assembles one snapshot's bulk-load state through the verified name
+    /// map: per-flop booleans plus per-address SRAM words. Retimed
+    /// registers are skipped — the warmup prefix recovers them instead.
+    #[allow(clippy::type_complexity)]
+    fn scan_state(
+        &self,
+        snapshot: &FameSnapshot,
+    ) -> Result<(Vec<(String, bool)>, Vec<(String, usize, u64)>), StroberError> {
         let mut dff_values = Vec::new();
         for (name, value) in &snapshot.regs {
             if self.name_map.retimed.iter().any(|r| r == name) {
@@ -316,6 +305,27 @@ impl StroberFlow {
                 sram_words.push((macro_name.clone(), addr, *word));
             }
         }
+        Ok((dff_values, sram_words))
+    }
+
+    /// Replays one snapshot on gate-level simulation: forces the recorded
+    /// inputs for the `warmup` prefix (recovering retimed-datapath state,
+    /// §IV-C3), loads the scanned architectural state through the verified
+    /// name map (via the VPI-style bulk loader) at the measurement-window
+    /// boundary, checks every recorded output inside the window, and
+    /// measures power over the `L`-cycle window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::ReplayMismatch`] when gate-level outputs
+    /// diverge from the trace, [`StroberError::UnmappedState`] for
+    /// snapshot state with no mapping, and loader errors otherwise.
+    pub fn replay(&self, snapshot: &FameSnapshot) -> Result<ReplayResult, StroberError> {
+        let _span = strober_probe::span("strober.core.replay_sample");
+        let t0 = strober_probe::enabled().then(std::time::Instant::now);
+        let mut sim = GateSim::new(&self.synth.netlist)?;
+
+        let (dff_values, sram_words) = self.scan_state(snapshot)?;
         let warmup = self.config.warmup as usize;
         let total = snapshot.trace_len();
         let mut outputs_checked = 0u64;
@@ -362,8 +372,231 @@ impl StroberFlow {
         })
     }
 
+    /// Replays a batch of up to 64 snapshots simultaneously on the
+    /// bit-parallel [`BatchSim`], one snapshot per bit-lane. Semantics
+    /// are identical to calling [`StroberFlow::replay`] on each snapshot
+    /// (same warmup forcing, same bulk load at the window boundary, same
+    /// output checking, same power analysis), and results are
+    /// bit-identical — only the evaluation is shared.
+    ///
+    /// All snapshots must have the same trace length: lanes share one
+    /// instruction stream, hence one cycle count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::GateSim`] for an empty or over-64 batch,
+    /// and the same errors as [`StroberFlow::replay`] otherwise; a
+    /// mismatch on any lane fails the whole batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshots' trace lengths differ
+    /// ([`StroberFlow::replay_all_batched`] groups by length for you).
+    pub fn replay_batch(
+        &self,
+        snapshots: &[&FameSnapshot],
+    ) -> Result<Vec<ReplayResult>, StroberError> {
+        let _span = strober_probe::span("strober.core.replay_batch");
+        let t0 = strober_probe::enabled().then(std::time::Instant::now);
+        let lanes = snapshots.len();
+        if lanes == 0 || lanes > MAX_LANES {
+            return Err(GateSimError::BadLaneCount { lanes }.into());
+        }
+        let total = snapshots[0].trace_len();
+        assert!(
+            snapshots.iter().all(|s| s.trace_len() == total),
+            "batched snapshots must share one trace length"
+        );
+        let mut sim = BatchSim::with_lanes(&self.synth.netlist, lanes)?;
+
+        // Pack every lane's scanned state: one word per flop (bit l =
+        // lane l's value), one lane-vector per SRAM word.
+        let mut dff_words: Vec<(String, u64)> = Vec::new();
+        let mut dff_slots: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        let mut sram_words: Vec<(String, usize, Vec<u64>)> = Vec::new();
+        let mut sram_slots: std::collections::HashMap<(String, usize), usize> =
+            std::collections::HashMap::new();
+        for (lane, snap) in snapshots.iter().enumerate() {
+            let (dffs, srams) = self.scan_state(snap)?;
+            for (name, v) in dffs {
+                let slot = *dff_slots.entry(name.clone()).or_insert_with(|| {
+                    dff_words.push((name, 0));
+                    dff_words.len() - 1
+                });
+                dff_words[slot].1 |= u64::from(v) << lane;
+            }
+            for (name, addr, word) in srams {
+                let slot = *sram_slots.entry((name.clone(), addr)).or_insert_with(|| {
+                    sram_words.push((name, addr, vec![0; lanes]));
+                    sram_words.len() - 1
+                });
+                sram_words[slot].2[lane] = word;
+            }
+        }
+
+        let warmup = self.config.warmup as usize;
+        let mut checked_per_lane = 0u64;
+        let mut lane_vals = vec![0u64; lanes];
+        for t in 0..total {
+            for (pi, (port, _)) in snapshots[0].inputs.iter().enumerate() {
+                for (lane, snap) in snapshots.iter().enumerate() {
+                    debug_assert_eq!(snap.inputs[pi].0, *port);
+                    lane_vals[lane] = snap.inputs[pi].1[t];
+                }
+                sim.poke_port_lanes(port, &lane_vals)?;
+            }
+            if t == warmup {
+                VpiLoader::load_batch(&mut sim, &dff_words, &sram_words)?;
+                sim.reset_activity();
+            }
+            if t >= warmup {
+                for (pi, (port, _)) in snapshots[0].outputs.iter().enumerate() {
+                    sim.peek_port_lanes_into(port, &mut lane_vals)?;
+                    for (lane, snap) in snapshots.iter().enumerate() {
+                        debug_assert_eq!(snap.outputs[pi].0, *port);
+                        let expected = snap.outputs[pi].1[t];
+                        if lane_vals[lane] != expected {
+                            return Err(StroberError::ReplayMismatch {
+                                output: port.clone(),
+                                offset: t,
+                                expected,
+                                got: lane_vals[lane],
+                            });
+                        }
+                    }
+                    checked_per_lane += 1;
+                }
+            }
+            sim.step();
+        }
+
+        let powers = self.analyzer.analyze_all(&sim.activities());
+        strober_probe::counter_add("strober.core.replay_batches", 1);
+        strober_probe::counter_add("strober.core.replay_batch_lanes", lanes as u64);
+        if let Some(t0) = t0 {
+            strober_probe::histogram_record(
+                "strober.core.replay_batch_ms",
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        Ok(powers
+            .into_iter()
+            .zip(snapshots)
+            .map(|(power, snap)| ReplayResult {
+                cycle: snap.cycle,
+                power,
+                outputs_checked: checked_per_lane,
+            })
+            .collect())
+    }
+
+    /// Replays all snapshots with bit-parallel batching and worker
+    /// threads composed: snapshots are grouped by trace length, packed
+    /// into batches of up to `batch_lanes` lanes, and the batches are
+    /// distributed over `parallelism` threads (`threads × lanes`
+    /// concurrent replays). Results come back in snapshot order and are
+    /// bit-identical to the scalar path.
+    ///
+    /// `batch_lanes == 1` selects the scalar [`StroberFlow::replay`]
+    /// reference path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::GateSim`] for a `batch_lanes` outside
+    /// `1..=64`, otherwise the first replay error encountered.
+    pub fn replay_all_batched(
+        &self,
+        snapshots: &[FameSnapshot],
+        parallelism: usize,
+        batch_lanes: usize,
+    ) -> Result<Vec<ReplayResult>, StroberError> {
+        let _span = strober_probe::span("strober.core.replay");
+        if batch_lanes == 0 || batch_lanes > MAX_LANES {
+            return Err(GateSimError::BadLaneCount { lanes: batch_lanes }.into());
+        }
+        let parallelism = parallelism.max(1);
+        if batch_lanes == 1 {
+            return self.replay_all_scalar(snapshots, parallelism);
+        }
+
+        // Batch formation: group by trace length (lanes share one
+        // instruction stream), then cut each group into lane-sized runs,
+        // keeping the original order inside every batch.
+        let mut by_len: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, s) in snapshots.iter().enumerate() {
+            let len = s.trace_len();
+            match by_len.iter_mut().find(|(l, _)| *l == len) {
+                Some((_, v)) => v.push(i),
+                None => by_len.push((len, vec![i])),
+            }
+        }
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        for (_, idxs) in by_len {
+            for chunk in idxs.chunks(batch_lanes) {
+                batches.push(chunk.to_vec());
+            }
+        }
+
+        let mut slots: Vec<Option<ReplayResult>> = (0..snapshots.len()).map(|_| None).collect();
+        if parallelism == 1 || batches.len() <= 1 {
+            for b in &batches {
+                let refs: Vec<&FameSnapshot> = b.iter().map(|&i| &snapshots[i]).collect();
+                for (&i, r) in b.iter().zip(self.replay_batch(&refs)?) {
+                    slots[i] = Some(r);
+                }
+            }
+        } else {
+            let chunk = batches.len().div_ceil(parallelism);
+            let mut results: Vec<Option<Result<Vec<ReplayResult>, StroberError>>> =
+                (0..batches.len()).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (ci, block) in batches.chunks(chunk).enumerate() {
+                    let flow = &*self;
+                    handles.push((
+                        ci,
+                        scope.spawn(move || {
+                            let _span =
+                                strober_probe::span(format!("strober.core.replay_worker.{ci}"));
+                            block
+                                .iter()
+                                .map(|b| {
+                                    let refs: Vec<&FameSnapshot> =
+                                        b.iter().map(|&i| &snapshots[i]).collect();
+                                    flow.replay_batch(&refs)
+                                })
+                                .collect::<Vec<_>>()
+                        }),
+                    ));
+                }
+                for (ci, h) in handles {
+                    for (j, r) in h
+                        .join()
+                        .expect("replay worker panicked")
+                        .into_iter()
+                        .enumerate()
+                    {
+                        results[ci * chunk + j] = Some(r);
+                    }
+                }
+            });
+            for (b, r) in batches.iter().zip(results) {
+                for (&i, r) in b.iter().zip(r.expect("all slots filled")?) {
+                    slots[i] = Some(r);
+                }
+            }
+        }
+        Ok(slots
+            .into_iter()
+            .map(|r| r.expect("every snapshot replayed"))
+            .collect())
+    }
+
     /// Replays all snapshots, distributing them over `parallelism` worker
     /// threads — snapshots are independent, exactly as §III-B observes.
+    /// Uses full 64-lane bit-parallel batching; call
+    /// [`StroberFlow::replay_all_batched`] to pick the lane count.
     ///
     /// # Errors
     ///
@@ -373,8 +606,16 @@ impl StroberFlow {
         snapshots: &[FameSnapshot],
         parallelism: usize,
     ) -> Result<Vec<ReplayResult>, StroberError> {
-        let _span = strober_probe::span("strober.core.replay");
-        let parallelism = parallelism.max(1);
+        self.replay_all_batched(snapshots, parallelism, MAX_LANES)
+    }
+
+    /// The scalar reference path: one snapshot per replay, chunked over
+    /// worker threads.
+    fn replay_all_scalar(
+        &self,
+        snapshots: &[FameSnapshot],
+        parallelism: usize,
+    ) -> Result<Vec<ReplayResult>, StroberError> {
         if parallelism == 1 || snapshots.len() <= 1 {
             return snapshots.iter().map(|s| self.replay(s)).collect();
         }
@@ -483,6 +724,43 @@ mod tests {
         snap.regs[0].1 ^= 0x5A;
         let err = flow.replay(&snap).unwrap_err();
         assert!(matches!(err, StroberError::ReplayMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn batched_replay_is_bit_identical_to_sequential() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 2_000).unwrap();
+        let sequential: Vec<ReplayResult> = run
+            .snapshots
+            .iter()
+            .map(|s| flow.replay(s).unwrap())
+            .collect();
+        // Full-width lanes, narrow lanes, and the scalar fallback must
+        // all agree exactly — power reports included.
+        for lanes in [64, 2, 1] {
+            let batched = flow.replay_all_batched(&run.snapshots, 1, lanes).unwrap();
+            assert_eq!(batched, sequential, "lane count {lanes} diverged");
+        }
+    }
+
+    #[test]
+    fn batched_replay_detects_corrupted_lanes() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let mut snapshots = run.snapshots.clone();
+        // Corrupt one lane in the middle of the batch.
+        snapshots[2].regs[0].1 ^= 0x5A;
+        let err = flow.replay_all_batched(&snapshots, 1, 64).unwrap_err();
+        assert!(matches!(err, StroberError::ReplayMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn bad_lane_counts_are_rejected() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        for lanes in [0, 65] {
+            let err = flow.replay_all_batched(&[], 1, lanes).unwrap_err();
+            assert!(matches!(err, StroberError::GateSim(_)), "{err}");
+        }
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! Both load identical state; they differ only in the modelled wall-clock
 //! cost, which the replay performance model uses.
 //!
+//! Two evaluation engines share one compiled program (the levelized op
+//! tape, see `DESIGN.md` §9):
+//!
+//! * [`GateSim`] — scalar reference engine, one replay at a time.
+//! * [`BatchSim`] — bit-parallel engine packing up to 64 independent
+//!   replays into the bit-lanes of a `u64` per net, with lane-wise SRAM
+//!   state and per-lane activity counting. Bit-identical to 64 scalar
+//!   runs, at a fraction of the cost.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,9 +55,12 @@
 #![deny(missing_debug_implementations)]
 
 mod activity;
+mod batch;
+mod compile;
 mod loader;
 mod sim;
 
 pub use activity::ActivityReport;
+pub use batch::{BatchSim, MAX_LANES};
 pub use loader::{LoadStats, ScriptLoader, VpiLoader};
 pub use sim::{GateSim, GateSimError};

@@ -1,12 +1,13 @@
 //! The levelized gate-level simulator.
 
 use crate::activity::ActivityReport;
+use crate::compile::{Step, Tape};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use strober_gates::{CellKind, Gate, NetId, Netlist, NetlistError};
+use strober_gates::{CellKind, Netlist, NetlistError};
 
-/// Errors produced by the gate-level simulator.
+/// Errors produced by the gate-level simulators.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum GateSimError {
@@ -35,6 +36,18 @@ pub enum GateSimError {
         /// The offending address.
         addr: usize,
     },
+    /// A batch simulator was asked for an unsupported lane count.
+    BadLaneCount {
+        /// The requested lane count (must be 1..=64).
+        lanes: usize,
+    },
+    /// A lane index addressed past the batch's active lanes.
+    LaneOutOfRange {
+        /// The offending lane index.
+        lane: usize,
+        /// The number of active lanes.
+        lanes: usize,
+    },
 }
 
 impl fmt::Display for GateSimError {
@@ -47,6 +60,12 @@ impl fmt::Display for GateSimError {
             }
             GateSimError::AddressOutOfRange { sram, addr } => {
                 write!(f, "address {addr} out of range for macro `{sram}`")
+            }
+            GateSimError::BadLaneCount { lanes } => {
+                write!(f, "batch lane count {lanes} not in 1..=64")
+            }
+            GateSimError::LaneOutOfRange { lane, lanes } => {
+                write!(f, "lane {lane} out of range for a {lanes}-lane batch")
             }
         }
     }
@@ -67,16 +86,6 @@ impl From<NetlistError> for GateSimError {
     }
 }
 
-/// One compiled combinational element.
-#[derive(Debug, Clone, Copy)]
-struct GateOp {
-    kind: CellKind,
-    in0: u32,
-    in1: u32,
-    in2: u32,
-    out: u32,
-}
-
 #[derive(Debug, Clone)]
 struct SramState {
     contents: Vec<u64>,
@@ -88,56 +97,29 @@ struct SramState {
 
 /// The levelized zero-delay gate-level simulator.
 ///
+/// Construction compiles the netlist once into a flat op tape (the
+/// `compile` module, `DESIGN.md` §9); every cycle then interprets it over one
+/// `bool` per net. For replaying many independent samples at once, prefer
+/// [`crate::BatchSim`], which interprets the same tape over one 64-lane
+/// word per net.
+///
 /// See the [crate documentation](crate) for an example.
 #[derive(Debug, Clone)]
 pub struct GateSim {
     netlist: Netlist,
-    /// Evaluation order over the combined element space (gates then SRAM
-    /// read ports), with DFFs skipped at evaluation time.
-    order: Vec<usize>,
-    gate_ops: Vec<Option<GateOp>>,
+    tape: Tape,
     values: Vec<bool>,
     prev_values: Vec<bool>,
     toggles: Vec<u64>,
-    /// (d net, q net) per DFF, in gate order.
-    dffs: Vec<(u32, u32)>,
+    /// Clock-edge scratch for DFF next-state values; reused every cycle so
+    /// [`GateSim::step`] allocates nothing.
+    dff_scratch: Vec<bool>,
     srams: Vec<SramState>,
-    /// port name -> bit nets, LSB first.
-    port_bits: HashMap<String, Vec<u32>>,
-    output_bits: HashMap<String, Vec<u32>>,
-    dff_by_name: HashMap<String, usize>,
-    sram_by_name: HashMap<String, usize>,
     inputs: Vec<(u32, bool)>,
     input_index: HashMap<u32, usize>,
     cycle: u64,
     dirty: bool,
     settled_once: bool,
-}
-
-/// Groups `name[i]` bit names back into word ports.
-fn group_bits(bits: &[(String, NetId)]) -> HashMap<String, Vec<u32>> {
-    let mut map: HashMap<String, Vec<(u32, u32)>> = HashMap::new();
-    for (name, net) in bits {
-        if let Some(open) = name.rfind('[') {
-            if let Some(stripped) = name[open + 1..].strip_suffix(']') {
-                if let Ok(idx) = stripped.parse::<u32>() {
-                    map.entry(name[..open].to_owned())
-                        .or_default()
-                        .push((idx, net.index() as u32));
-                    continue;
-                }
-            }
-        }
-        map.entry(name.clone())
-            .or_default()
-            .push((0, net.index() as u32));
-    }
-    map.into_iter()
-        .map(|(k, mut v)| {
-            v.sort_unstable_by_key(|&(i, _)| i);
-            (k, v.into_iter().map(|(_, n)| n).collect())
-        })
-        .collect()
 }
 
 impl GateSim {
@@ -149,41 +131,10 @@ impl GateSim {
     /// validation.
     pub fn new(netlist: &Netlist) -> Result<Self, GateSimError> {
         let _span = strober_probe::span("strober.gatesim.compile");
-        netlist.validate()?;
-        let order = netlist.levelize()?;
-
-        let mut gate_ops = Vec::with_capacity(netlist.gates().len());
-        let mut dffs = Vec::new();
-        let mut dff_by_name = HashMap::new();
-        for g in netlist.gates() {
-            match g {
-                Gate::Comb {
-                    kind,
-                    inputs,
-                    output,
-                    ..
-                } => {
-                    let pin = |i: usize| inputs.get(i).map_or(0, |n| n.index() as u32);
-                    gate_ops.push(Some(GateOp {
-                        kind: *kind,
-                        in0: pin(0),
-                        in1: pin(1),
-                        in2: pin(2),
-                        out: output.index() as u32,
-                    }));
-                }
-                Gate::Dff { name, d, q, .. } => {
-                    dff_by_name.insert(name.clone(), dffs.len());
-                    dffs.push((d.index() as u32, q.index() as u32));
-                    gate_ops.push(None);
-                }
-            }
-        }
+        let tape = Tape::compile(netlist)?;
 
         let mut srams = Vec::new();
-        let mut sram_by_name = HashMap::new();
         for s in netlist.srams() {
-            sram_by_name.insert(s.name.clone(), srams.len());
             let mut contents = s.init.clone();
             contents.resize(s.depth, 0);
             srams.push(SramState {
@@ -194,27 +145,19 @@ impl GateSim {
             });
         }
 
-        let mut values = vec![false; netlist.net_count()];
+        let mut values = vec![false; tape.net_count];
         // Initialise DFF outputs to their reset values.
-        for (_, _, _, q, init) in netlist.dffs() {
-            values[q.index()] = init;
+        for (&(_, q), &init) in tape.dffs.iter().zip(&tape.dff_inits) {
+            values[q as usize] = init;
         }
 
-        let port_bits = group_bits(netlist.inputs());
-        let output_bits = group_bits(netlist.outputs());
-
         Ok(GateSim {
-            order,
-            gate_ops,
             prev_values: values.clone(),
-            toggles: vec![0; netlist.net_count()],
+            toggles: vec![0; tape.net_count],
             values,
-            dffs,
+            dff_scratch: vec![false; tape.dffs.len()],
+            tape,
             srams,
-            port_bits,
-            output_bits,
-            dff_by_name,
-            sram_by_name,
             inputs: Vec::new(),
             input_index: HashMap::new(),
             cycle: 0,
@@ -242,6 +185,7 @@ impl GateSim {
     /// [`GateSimError::ValueTooWide`].
     pub fn poke_port(&mut self, name: &str, value: u64) -> Result<(), GateSimError> {
         let bits = self
+            .tape
             .port_bits
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
@@ -256,7 +200,7 @@ impl GateSim {
                 width,
             });
         }
-        for (i, &net) in bits.clone().iter().enumerate() {
+        for (i, &net) in bits.iter().enumerate() {
             let bit = (value >> i) & 1 == 1;
             match self.input_index.get(&net) {
                 Some(&slot) => self.inputs[slot].1 = bit,
@@ -276,15 +220,15 @@ impl GateSim {
     ///
     /// Returns [`GateSimError::UnknownName`] for an unknown output.
     pub fn peek_port(&mut self, name: &str) -> Result<u64, GateSimError> {
+        self.settle();
         let bits = self
+            .tape
             .output_bits
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
                 kind: "output port",
                 name: name.to_owned(),
-            })?
-            .clone();
-        self.settle();
+            })?;
         let mut v = 0u64;
         for (i, &net) in bits.iter().enumerate() {
             if self.values[net as usize] {
@@ -301,57 +245,56 @@ impl GateSim {
         for &(net, bit) in &self.inputs {
             self.values[net as usize] = bit;
         }
-        let n_gates = self.gate_ops.len();
-        for &elem in &self.order {
-            if elem < n_gates {
-                let Some(op) = self.gate_ops[elem] else {
-                    continue; // DFF: output already holds state.
-                };
-                let v = match op.kind {
-                    CellKind::Inv => !self.values[op.in0 as usize],
-                    CellKind::Buf => self.values[op.in0 as usize],
-                    CellKind::Nand2 => {
-                        !(self.values[op.in0 as usize] && self.values[op.in1 as usize])
-                    }
-                    CellKind::Nor2 => {
-                        !(self.values[op.in0 as usize] || self.values[op.in1 as usize])
-                    }
-                    CellKind::And2 => self.values[op.in0 as usize] && self.values[op.in1 as usize],
-                    CellKind::Or2 => self.values[op.in0 as usize] || self.values[op.in1 as usize],
-                    CellKind::Xor2 => self.values[op.in0 as usize] ^ self.values[op.in1 as usize],
-                    CellKind::Xnor2 => {
-                        !(self.values[op.in0 as usize] ^ self.values[op.in1 as usize])
-                    }
-                    CellKind::Mux2 => {
-                        if self.values[op.in2 as usize] {
-                            self.values[op.in1 as usize]
-                        } else {
-                            self.values[op.in0 as usize]
+        for step in &self.tape.steps {
+            match *step {
+                Step::Gate(op) => {
+                    let v = match op.kind {
+                        CellKind::Inv => !self.values[op.in0 as usize],
+                        CellKind::Buf => self.values[op.in0 as usize],
+                        CellKind::Nand2 => {
+                            !(self.values[op.in0 as usize] && self.values[op.in1 as usize])
+                        }
+                        CellKind::Nor2 => {
+                            !(self.values[op.in0 as usize] || self.values[op.in1 as usize])
+                        }
+                        CellKind::And2 => {
+                            self.values[op.in0 as usize] && self.values[op.in1 as usize]
+                        }
+                        CellKind::Or2 => {
+                            self.values[op.in0 as usize] || self.values[op.in1 as usize]
+                        }
+                        CellKind::Xor2 => {
+                            self.values[op.in0 as usize] ^ self.values[op.in1 as usize]
+                        }
+                        CellKind::Xnor2 => {
+                            !(self.values[op.in0 as usize] ^ self.values[op.in1 as usize])
+                        }
+                        CellKind::Mux2 => {
+                            if self.values[op.in2 as usize] {
+                                self.values[op.in1 as usize]
+                            } else {
+                                self.values[op.in0 as usize]
+                            }
+                        }
+                        CellKind::Tie0 => false,
+                        CellKind::Tie1 => true,
+                        CellKind::Dff => unreachable!("DFFs are not tape steps"),
+                    };
+                    self.values[op.out as usize] = v;
+                }
+                Step::SramRead { sram, port } => {
+                    let si = sram as usize;
+                    let rp = &self.netlist.srams()[si].read_ports[port as usize];
+                    let mut addr = 0usize;
+                    for (i, a) in rp.addr.iter().enumerate() {
+                        if self.values[a.index()] {
+                            addr |= 1 << i;
                         }
                     }
-                    CellKind::Tie0 => false,
-                    CellKind::Tie1 => true,
-                    CellKind::Dff => unreachable!("DFFs have no GateOp"),
-                };
-                self.values[op.out as usize] = v;
-            } else {
-                // SRAM read port element.
-                let mut idx = elem - n_gates;
-                let mut si = 0;
-                while idx >= self.netlist.srams()[si].read_ports.len() {
-                    idx -= self.netlist.srams()[si].read_ports.len();
-                    si += 1;
-                }
-                let rp = &self.netlist.srams()[si].read_ports[idx];
-                let mut addr = 0usize;
-                for (i, a) in rp.addr.iter().enumerate() {
-                    if self.values[a.index()] {
-                        addr |= 1 << i;
+                    let word = self.srams[si].contents.get(addr).copied().unwrap_or(0);
+                    for (i, d) in rp.data.iter().enumerate() {
+                        self.values[d.index()] = (word >> i) & 1 == 1;
                     }
-                }
-                let word = self.srams[si].contents.get(addr).copied().unwrap_or(0);
-                for (i, d) in rp.data.iter().enumerate() {
-                    self.values[d.index()] = (word >> i) & 1 == 1;
                 }
             }
         }
@@ -416,13 +359,14 @@ impl GateSim {
             }
         }
 
-        // Latch flip-flops.
-        let updates: Vec<(u32, bool)> = self
-            .dffs
-            .iter()
-            .map(|&(d, q)| (q, self.values[d as usize]))
-            .collect();
-        for (q, v) in updates {
+        // Latch flip-flops: capture every D into the reusable scratch
+        // buffer first, then commit, so a flop feeding another flop's D
+        // input transfers its pre-edge value (two-phase clock-edge
+        // semantics, no per-cycle allocation).
+        for (slot, &(d, _)) in self.dff_scratch.iter_mut().zip(&self.tape.dffs) {
+            *slot = self.values[d as usize];
+        }
+        for (&v, &(_, q)) in self.dff_scratch.iter().zip(&self.tape.dffs) {
             self.values[q as usize] = v;
         }
 
@@ -445,13 +389,14 @@ impl GateSim {
     /// Returns [`GateSimError::UnknownName`] for an unknown instance.
     pub fn set_dff(&mut self, name: &str, value: bool) -> Result<(), GateSimError> {
         let &idx = self
+            .tape
             .dff_by_name
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
                 kind: "flip-flop",
                 name: name.to_owned(),
             })?;
-        let (_, q) = self.dffs[idx];
+        let (_, q) = self.tape.dffs[idx];
         self.values[q as usize] = value;
         self.prev_values[q as usize] = value;
         self.dirty = true;
@@ -465,13 +410,14 @@ impl GateSim {
     /// Returns [`GateSimError::UnknownName`] for an unknown instance.
     pub fn dff_value(&self, name: &str) -> Result<bool, GateSimError> {
         let &idx = self
+            .tape
             .dff_by_name
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
                 kind: "flip-flop",
                 name: name.to_owned(),
             })?;
-        let (_, q) = self.dffs[idx];
+        let (_, q) = self.tape.dffs[idx];
         Ok(self.values[q as usize])
     }
 
@@ -488,6 +434,7 @@ impl GateSim {
         value: u64,
     ) -> Result<(), GateSimError> {
         let &idx = self
+            .tape
             .sram_by_name
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
@@ -515,6 +462,7 @@ impl GateSim {
     /// [`GateSimError::AddressOutOfRange`].
     pub fn sram_word(&self, name: &str, addr: usize) -> Result<u64, GateSimError> {
         let &idx = self
+            .tape
             .sram_by_name
             .get(name)
             .ok_or_else(|| GateSimError::UnknownName {
@@ -539,8 +487,7 @@ impl GateSim {
     pub fn reset_activity(&mut self) {
         self.settle();
         self.toggles.iter_mut().for_each(|t| *t = 0);
-        let srams = self.netlist.srams().to_vec();
-        for (si, s) in srams.iter().enumerate() {
+        for (si, s) in self.netlist.srams().iter().enumerate() {
             self.srams[si].reads = 0;
             self.srams[si].writes = 0;
             for (pi, rp) in s.read_ports.iter().enumerate() {
@@ -639,6 +586,38 @@ mod tests {
         assert_eq!(sim.peek_port("value").unwrap(), 0x2A);
         assert!(sim.dff_value("count_reg_1_").unwrap());
         assert!(sim.set_dff("nope", true).is_err());
+    }
+
+    #[test]
+    fn dff_chain_latches_pre_edge_values() {
+        // A flop feeding another flop's D input: on a clock edge the
+        // second stage must capture the first stage's *pre-edge* value,
+        // whatever order the netlist lists the flops in. Regression test
+        // for the two-phase (capture-then-commit) latch in `step`.
+        let ctx = Ctx::new("shift");
+        let x = ctx.input("x", Width::BIT);
+        let s1 = ctx.reg("s1", Width::BIT, 0);
+        let s2 = ctx.reg("s2", Width::BIT, 0);
+        s1.set(&x);
+        s2.set(&s1.out());
+        ctx.output("y", &s2.out());
+        let nl = synthesize(&ctx.finish().unwrap(), &plain())
+            .unwrap()
+            .netlist;
+        let mut sim = GateSim::new(&nl).unwrap();
+        let pattern = [1u64, 0, 0, 1, 1, 0, 1, 0];
+        let mut seen = Vec::new();
+        for &bit in &pattern {
+            sim.poke_port("x", bit).unwrap();
+            sim.step();
+            seen.push(sim.peek_port("y").unwrap());
+        }
+        // Reading y after step k must show pattern[k-2]: the first edge
+        // moves pattern[0] only into s1, so y still shows the reset value;
+        // the second edge moves it to s2. A commit that lets s2 see s1's
+        // *post-edge* value would collapse the chain to a one-cycle delay
+        // ([1, 0, 0, 1, ...] here).
+        assert_eq!(seen, vec![0, 1, 0, 0, 1, 1, 0, 1]);
     }
 
     #[test]

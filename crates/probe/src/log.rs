@@ -105,7 +105,7 @@ pub fn log_enabled(level: Level) -> bool {
 }
 
 /// Emits one log line to stderr if `level` passes the filter. Prefer the
-/// [`error!`]/[`warn!`]/[`info!`]/[`debug!`]/[`trace!`] macros.
+/// `error!`/`warn!`/`info!`/`debug!`/`trace!` macros.
 pub fn log_message(level: Level, args: fmt::Arguments<'_>) {
     if log_enabled(level) {
         match level {

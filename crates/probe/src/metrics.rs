@@ -121,8 +121,8 @@ pub fn histogram_with_bounds(name: &str, bounds: &[f64]) {
     });
 }
 
-/// Records one observation into a named histogram, creating it with
-/// [`DEFAULT_BOUNDS`]-style decade buckets if needed.
+/// Records one observation into a named histogram, creating it with the
+/// default decade buckets if needed.
 #[inline]
 pub fn histogram_record(name: &str, value: f64) {
     if !enabled() {

@@ -1,7 +1,7 @@
 //! The on-disk artifact format.
 //!
 //! Every cached object is one binary file: a fixed 24-byte header followed
-//! by the payload's [`Blob`](serde::Blob) encoding.
+//! by the payload's [`serde::Blob`] encoding.
 //!
 //! ```text
 //! offset  size  field

@@ -32,9 +32,16 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
     let run = flow.run_sampled(&mut dram, 2_000_000).expect("sampled run");
     assert!(dram.exit_code().is_some(), "workload must halt");
     assert!(run.snapshots.len() >= 2, "need snapshots to replay");
-    // Parallelism 2 forces the worker-thread replay path so worker spans
-    // land on their own chrome-trace tracks.
-    let results = flow.replay_all(&run.snapshots, 2).expect("replays");
+    // Parallelism 2 with 1 bit-lane forces the scalar worker-thread
+    // replay path, so worker spans land on their own chrome-trace tracks
+    // and each snapshot gets a replay_sample span.
+    let results = flow
+        .replay_all_batched(&run.snapshots, 2, 1)
+        .expect("replays");
+    // The default 64-lane packed path must agree exactly and emit the
+    // batch span/metric family instead.
+    let batched = flow.replay_all(&run.snapshots, 2).expect("batched replays");
+    assert_eq!(batched, results, "packed lanes diverge from scalar replay");
     let estimate = flow.estimate(&run, &results);
     assert!(estimate.mean_power_mw() > 0.0);
 
@@ -57,6 +64,9 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
         "strober.core.replay_worker.1",
         "strober.core.replay_sample",
         "strober.gatesim.load",
+        "strober.core.replay_batch",
+        "strober.gatesim.batch_compile",
+        "strober.gatesim.load_batch",
         "strober.core.estimate",
     ] {
         assert!(
@@ -144,6 +154,17 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
         .histogram("strober.core.replay_sample_ms")
         .expect("replay histogram");
     assert_eq!(hist.count, results.len() as u64);
+
+    // The packed path accounted its lanes: all snapshots fit one batch.
+    assert_eq!(metrics.counter("strober.core.replay_batches"), Some(1));
+    assert_eq!(
+        metrics.counter("strober.core.replay_batch_lanes"),
+        Some(run.snapshots.len() as u64)
+    );
+    let bhist = metrics
+        .histogram("strober.core.replay_batch_ms")
+        .expect("batch replay histogram");
+    assert_eq!(bhist.count, 1);
 
     // And the whole manifest — stages plus metrics — survives the JSON
     // round trip at the current schema version.
