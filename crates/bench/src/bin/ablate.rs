@@ -42,7 +42,7 @@ fn main() {
         dram.load(&image, 0);
         let run = flow.run_sampled(&mut dram, 100_000_000).expect("run");
         let results = flow.replay_all(&run.snapshots, 8).expect("replay");
-        let est = flow.estimate(&run, &results);
+        let est = flow.estimate(&run, &results).expect("estimate");
         (
             est.interval().relative_error_bound() * 100.0,
             (est.mean_power_mw() - truth).abs() / truth * 100.0,

@@ -62,7 +62,7 @@ fn main() {
             let results = flow_rep
                 .replay_all(&run.snapshots, 8)
                 .expect("replays verify");
-            let est = flow_rep.estimate(&run, &results);
+            let est = flow_rep.estimate(&run, &results).expect("estimate");
 
             let bound = est.interval().relative_error_bound() * 100.0;
             let actual = (est.mean_power_mw() - true_power).abs() / true_power * 100.0;

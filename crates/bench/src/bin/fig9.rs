@@ -84,7 +84,7 @@ fn main() {
                 cfg.name
             );
             let results = flow.replay_all(&run.snapshots, 8).expect("replay");
-            let estimate = flow.estimate(&run, &results);
+            let estimate = flow.estimate(&run, &results).expect("estimate");
 
             let mut breakdown: BTreeMap<&'static str, f64> = BTreeMap::new();
             for (region, mw) in estimate.per_region_mw() {

@@ -26,8 +26,46 @@ pub enum Command {
     Cache(CacheArgs),
     /// `strober probe report …` — summarise a recorded trace/manifest.
     Probe(ProbeArgs),
+    /// `strober fuzz …` — differential fuzzing of the execution engines.
+    Fuzz(FuzzArgs),
     /// `strober help` or `--help`.
     Help,
+}
+
+/// Arguments of the `fuzz` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzArgs {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Workload length per design, in cycles.
+    pub cycles: u32,
+    /// Batch lane counts to cross-check.
+    pub lanes: Vec<usize>,
+    /// Skip the `StroberFlow` round-trip oracle.
+    pub no_flow: bool,
+    /// Name of the bug to inject (`xor-as-or`), for harness self-tests.
+    pub inject: Option<String>,
+    /// Directory minimized reproducers are written to.
+    pub corpus: String,
+    /// Oracle-evaluation budget for the shrinker.
+    pub shrink_evals: usize,
+}
+
+impl Default for FuzzArgs {
+    fn default() -> Self {
+        FuzzArgs {
+            seed_start: 0,
+            seed_end: 200,
+            cycles: 48,
+            lanes: vec![1, 7, 63, 64],
+            no_flow: false,
+            inject: None,
+            corpus: "fuzz/corpus".to_owned(),
+            shrink_evals: 2000,
+        }
+    }
 }
 
 /// Arguments of the `estimate` subcommand.
@@ -369,6 +407,74 @@ fn parse_command<'a>(
             }
             Ok(Command::Export(a))
         }
+        "fuzz" => {
+            let mut a = FuzzArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--seeds" => {
+                        let v = take_value(flag, &mut it)?;
+                        let Some((lo, hi)) = v.split_once("..") else {
+                            return Err(ArgError(format!("{flag}: expected a range like 0..200")));
+                        };
+                        a.seed_start = lo
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        a.seed_end = hi
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.seed_end <= a.seed_start {
+                            return Err(ArgError(format!("{flag}: empty range {v}")));
+                        }
+                    }
+                    "--cycles" => {
+                        a.cycles = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.cycles == 0 {
+                            return Err(ArgError(format!("{flag}: must be at least 1")));
+                        }
+                    }
+                    "--lanes" => {
+                        let v = take_value(flag, &mut it)?;
+                        a.lanes = v
+                            .split(',')
+                            .map(|s| {
+                                s.trim()
+                                    .parse::<usize>()
+                                    .ok()
+                                    .filter(|&l| (1..=64).contains(&l))
+                                    .ok_or_else(|| {
+                                        ArgError(format!(
+                                            "{flag}: `{s}` is not a lane count in 1..=64"
+                                        ))
+                                    })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?;
+                        if a.lanes.is_empty() {
+                            return Err(ArgError(format!("{flag}: needs at least one lane count")));
+                        }
+                    }
+                    "--no-flow" => a.no_flow = true,
+                    "--inject" => {
+                        let v = take_value(flag, &mut it)?;
+                        if v != "xor-as-or" {
+                            return Err(ArgError(format!(
+                                "{flag}: unknown bug `{v}` (expected xor-as-or)"
+                            )));
+                        }
+                        a.inject = Some(v);
+                    }
+                    "--corpus" => a.corpus = take_value(flag, &mut it)?,
+                    "--shrink-evals" => {
+                        a.shrink_evals = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Fuzz(a))
+        }
         other => Err(ArgError(format!(
             "unknown subcommand `{other}` (try `strober help`)"
         ))),
@@ -418,6 +524,21 @@ USAGE:
   strober probe    report [--trace FILE] [--manifest FILE]
       Summarise a recorded run: per-span profile of a --trace-out
       file and/or the stage timings and metrics of a run manifest.
+
+  strober fuzz     [--seeds A..B] [--cycles N] [--lanes L1,L2,…]
+                   [--no-flow] [--inject xor-as-or] [--corpus DIR]
+                   [--shrink-evals N]
+      Differential fuzzing: generate one random design per seed and
+      drive it through every execution engine — naive interpreter,
+      compiled tape, FAME1 hub, scalar gate-level simulation, and the
+      bit-parallel batch engine at each --lanes count — plus a full
+      sample→replay round trip, failing on any disagreement in
+      outputs, architectural state, toggle counts or power. On a
+      divergence the design is automatically minimized and a
+      reproducer (seed, config, divergence report) is written to the
+      corpus dir for the regression suite to replay. --inject plants
+      a known bug in the synthesized netlist to self-test the
+      harness; --no-flow skips the (slower) flow round trip.
 ";
 
 #[cfg(test)]
@@ -598,6 +719,68 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown cache action"));
+    }
+
+    #[test]
+    fn parses_fuzz_flags() {
+        let Command::Fuzz(a) = parse(&["fuzz"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a, FuzzArgs::default());
+
+        let Command::Fuzz(a) = parse(&[
+            "fuzz",
+            "--seeds",
+            "10..20",
+            "--cycles",
+            "12",
+            "--lanes",
+            "1,64",
+            "--no-flow",
+            "--inject",
+            "xor-as-or",
+            "--corpus",
+            "/tmp/corpus",
+            "--shrink-evals",
+            "500",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.seed_start, 10);
+        assert_eq!(a.seed_end, 20);
+        assert_eq!(a.cycles, 12);
+        assert_eq!(a.lanes, vec![1, 64]);
+        assert!(a.no_flow);
+        assert_eq!(a.inject.as_deref(), Some("xor-as-or"));
+        assert_eq!(a.corpus, "/tmp/corpus");
+        assert_eq!(a.shrink_evals, 500);
+    }
+
+    #[test]
+    fn fuzz_flag_validation() {
+        assert!(parse(&["fuzz", "--seeds", "7"])
+            .unwrap_err()
+            .0
+            .contains("range"));
+        assert!(parse(&["fuzz", "--seeds", "9..9"])
+            .unwrap_err()
+            .0
+            .contains("empty range"));
+        assert!(parse(&["fuzz", "--cycles", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+        assert!(parse(&["fuzz", "--lanes", "1,65"])
+            .unwrap_err()
+            .0
+            .contains("1..=64"));
+        assert!(parse(&["fuzz", "--inject", "nop"])
+            .unwrap_err()
+            .0
+            .contains("unknown bug"));
     }
 
     #[test]

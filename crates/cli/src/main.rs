@@ -4,8 +4,8 @@
 mod args;
 
 use args::{
-    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, ProbeArgs,
-    RunArgs, HELP,
+    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, FuzzArgs,
+    ProbeArgs, RunArgs, HELP,
 };
 use std::process::ExitCode;
 use strober::{StroberConfig, StroberFlow};
@@ -175,7 +175,9 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         .map_err(|e| format!("replay failed: {e}"))?;
 
     strober_probe::info!("[4/4] estimating ...");
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow
+        .estimate(&run, &results)
+        .map_err(|e| format!("estimate failed: {e}"))?;
     let instret = dram.instret();
     let dram_power = LpddrPowerParams::lpddr2_s4()
         .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
@@ -364,6 +366,74 @@ fn cmd_cache(a: &CacheArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(a: &FuzzArgs) -> Result<(), String> {
+    let opts = strober_fuzz::FuzzOptions {
+        seed_start: a.seed_start,
+        seed_end: a.seed_end,
+        cycles: a.cycles,
+        oracle: strober_fuzz::OracleConfig {
+            lanes: a.lanes.clone(),
+            flow: !a.no_flow,
+            inject: match a.inject.as_deref() {
+                Some("xor-as-or") => Some(strober_fuzz::InjectedBug::XorAsOr),
+                Some(other) => return Err(format!("unknown injected bug `{other}`")),
+                None => None,
+            },
+        },
+        corpus_dir: Some(std::path::PathBuf::from(&a.corpus)),
+        shrink_evals: a.shrink_evals,
+    };
+    let total = opts.seed_end - opts.seed_start;
+    strober_probe::info!(
+        "fuzzing seeds {}..{} ({} designs, {} cycles each, lanes {:?}{}{})",
+        opts.seed_start,
+        opts.seed_end,
+        total,
+        opts.cycles,
+        opts.oracle.lanes,
+        if opts.oracle.flow { ", with flow" } else { "" },
+        if opts.oracle.inject.is_some() {
+            ", bug injected"
+        } else {
+            ""
+        }
+    );
+    let outcome = strober_fuzz::run_fuzz(&opts, |seed, designs| {
+        if designs % 25 == 0 {
+            strober_probe::info!("  … seed {seed}: {designs}/{total} designs agree");
+        }
+    })?;
+    match outcome.failure {
+        None => {
+            println!(
+                "fuzz: {} designs, all oracles agree ({:.1} s, {:.1} designs/s)",
+                outcome.designs,
+                outcome.elapsed_secs,
+                outcome.designs_per_sec()
+            );
+            Ok(())
+        }
+        Some(f) => {
+            println!("fuzz: DIVERGENCE at seed {}", f.seed);
+            println!("  original:  {}", f.original);
+            println!("  minimized: {}", f.reproducer.divergence);
+            println!(
+                "  reproducer: {} nodes, {} genes",
+                f.min_nodes,
+                f.reproducer.genome.gene_count()
+            );
+            if let Some(path) = &f.written_to {
+                println!("  written to {}", path.display());
+            }
+            Err(format!(
+                "oracles diverged at seed {} ({})",
+                f.seed,
+                f.reproducer.divergence.kind()
+            ))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
@@ -394,6 +464,7 @@ fn main() -> ExitCode {
         Command::Export(a) => cmd_export(a),
         Command::Cache(a) => cmd_cache(a),
         Command::Probe(a) => cmd_probe(a),
+        Command::Fuzz(a) => cmd_fuzz(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

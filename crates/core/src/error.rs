@@ -15,6 +15,20 @@ pub enum StroberError {
     Sim(strober_sim::SimError),
     /// A gate-level simulator problem during replay.
     GateSim(strober_gatesim::GateSimError),
+    /// A statistics problem: an invalid confidence level in the
+    /// configuration, or too few replay results to estimate a variance.
+    Stats(strober_sampling::StatsError),
+    /// A batch of snapshots handed to [`crate::StroberFlow::replay_batch`]
+    /// mixed trace lengths — lanes share one instruction stream, so one
+    /// cycle count.
+    BatchTraceLengthMismatch {
+        /// Trace length of the batch's first snapshot.
+        expected: usize,
+        /// The first diverging trace length.
+        got: usize,
+        /// Lane (batch index) of the diverging snapshot.
+        lane: usize,
+    },
     /// A replayed output diverged from the recorded trace — the §IV-C
     /// replay self-check failed.
     ReplayMismatch {
@@ -42,6 +56,15 @@ impl fmt::Display for StroberError {
             StroberError::Formal(e) => write!(f, "formal matching error: {e}"),
             StroberError::Sim(e) => write!(f, "simulation error: {e}"),
             StroberError::GateSim(e) => write!(f, "gate-level simulation error: {e}"),
+            StroberError::Stats(e) => write!(f, "statistics error: {e}"),
+            StroberError::BatchTraceLengthMismatch {
+                expected,
+                got,
+                lane,
+            } => write!(
+                f,
+                "batched snapshots must share one trace length: lane {lane} has {got} cycles, lane 0 has {expected}"
+            ),
             StroberError::ReplayMismatch {
                 output,
                 offset,
@@ -66,6 +89,7 @@ impl Error for StroberError {
             StroberError::Formal(e) => Some(e),
             StroberError::Sim(e) => Some(e),
             StroberError::GateSim(e) => Some(e),
+            StroberError::Stats(e) => Some(e),
             _ => None,
         }
     }
@@ -98,5 +122,11 @@ impl From<strober_sim::SimError> for StroberError {
 impl From<strober_gatesim::GateSimError> for StroberError {
     fn from(e: strober_gatesim::GateSimError) -> Self {
         StroberError::GateSim(e)
+    }
+}
+
+impl From<strober_sampling::StatsError> for StroberError {
+    fn from(e: strober_sampling::StatsError) -> Self {
+        StroberError::Stats(e)
     }
 }

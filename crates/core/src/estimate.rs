@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use strober_fame::FameSnapshot;
 use strober_platform::PlatformStats;
 use strober_power::PowerReport;
-use strober_sampling::{Confidence, ConfidenceInterval, SampleStats};
+use strober_sampling::{Confidence, ConfidenceInterval, SampleStats, StatsError};
 
 /// The product of one sampled fast-simulation run.
 #[derive(Debug, Clone)]
@@ -54,19 +54,22 @@ pub struct EnergyEstimate {
 impl EnergyEstimate {
     /// Builds the estimate from per-snapshot total powers.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with fewer than two replay results (no variance estimate).
+    /// Returns [`StatsError::SampleTooSmall`] with fewer than two replay
+    /// results (no variance estimate) and
+    /// [`StatsError::InvalidParameter`] for a confidence level outside
+    /// `(0, 1)` — both previously process-aborting panics.
     pub fn from_results(
         results: &[ReplayResult],
         windows: u64,
         target_cycles: u64,
         freq_hz: f64,
         confidence: Confidence,
-    ) -> Self {
+    ) -> Result<Self, StatsError> {
+        confidence.validate()?;
         let powers: Vec<f64> = results.iter().map(|r| r.power.total_mw()).collect();
-        let stats =
-            SampleStats::from_measurements(&powers).expect("need at least two replayed snapshots");
+        let stats = SampleStats::from_measurements(&powers)?;
         let interval = stats.confidence_interval(windows as usize, confidence);
 
         let mut per_region_mw = BTreeMap::new();
@@ -79,14 +82,14 @@ impl EnergyEstimate {
             *v /= results.len() as f64;
         }
 
-        EnergyEstimate {
+        Ok(EnergyEstimate {
             interval,
             per_region_mw,
             sample_size: results.len(),
             population: windows as usize,
             target_cycles,
             freq_hz,
-        }
+        })
     }
 
     /// The estimated average power in mW.

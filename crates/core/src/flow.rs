@@ -93,6 +93,11 @@ impl StroberFlow {
     /// and [`Self::prepare_cached`] so each entry point records exactly one
     /// `strober.core.prepare` span whether the store hits or not.
     fn prepare_cold(design: &Design, config: StroberConfig) -> Result<Self, StroberError> {
+        // Reject an invalid confidence level before the expensive pipeline
+        // runs: a bad `Level(p)` from a config file or CLI flag would
+        // otherwise only surface as a panic inside `estimate`, hours into
+        // a sampled run.
+        config.confidence.validate()?;
         let fame = transform(
             design,
             &FameConfig {
@@ -168,6 +173,7 @@ impl StroberFlow {
         store: &mut Store,
     ) -> Result<(Self, bool), StroberError> {
         let _span = strober_probe::span("strober.core.prepare");
+        config.confidence.validate()?;
         let key = Self::prepare_fingerprint(design, &config);
         if let Some(parts) = store.get::<PreparedArtifact>(key) {
             return Ok((Self::from_parts(config, parts), true));
@@ -385,13 +391,10 @@ impl StroberFlow {
     /// # Errors
     ///
     /// Returns [`StroberError::GateSim`] for an empty or over-64 batch,
-    /// and the same errors as [`StroberFlow::replay`] otherwise; a
-    /// mismatch on any lane fails the whole batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the snapshots' trace lengths differ
-    /// ([`StroberFlow::replay_all_batched`] groups by length for you).
+    /// [`StroberError::BatchTraceLengthMismatch`] if the snapshots' trace
+    /// lengths differ ([`StroberFlow::replay_all_batched`] groups by
+    /// length for you), and the same errors as [`StroberFlow::replay`]
+    /// otherwise; a mismatch on any lane fails the whole batch.
     pub fn replay_batch(
         &self,
         snapshots: &[&FameSnapshot],
@@ -403,10 +406,15 @@ impl StroberFlow {
             return Err(GateSimError::BadLaneCount { lanes }.into());
         }
         let total = snapshots[0].trace_len();
-        assert!(
-            snapshots.iter().all(|s| s.trace_len() == total),
-            "batched snapshots must share one trace length"
-        );
+        for (lane, s) in snapshots.iter().enumerate() {
+            if s.trace_len() != total {
+                return Err(StroberError::BatchTraceLengthMismatch {
+                    expected: total,
+                    got: s.trace_len(),
+                    lane,
+                });
+            }
+        }
         let mut sim = BatchSim::with_lanes(&self.synth.netlist, lanes)?;
 
         // Pack every lane's scanned state: one word per flop (bit l =
@@ -649,18 +657,24 @@ impl StroberFlow {
     /// Combines a sampled run and its replay results into the final
     /// energy estimate with a confidence interval.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with fewer than two replay results.
-    pub fn estimate(&self, run: &SampledRun, results: &[ReplayResult]) -> EnergyEstimate {
+    /// Returns [`StroberError::Stats`] with fewer than two replay results
+    /// or an invalid configured confidence level — both previously
+    /// process-aborting panics.
+    pub fn estimate(
+        &self,
+        run: &SampledRun,
+        results: &[ReplayResult],
+    ) -> Result<EnergyEstimate, StroberError> {
         let _span = strober_probe::span("strober.core.estimate");
-        EnergyEstimate::from_results(
+        Ok(EnergyEstimate::from_results(
             results,
             run.windows,
             run.target_cycles,
             self.config.freq_hz,
             self.config.confidence,
-        )
+        )?)
     }
 }
 
@@ -708,10 +722,55 @@ mod tests {
             assert!(r.power.total_mw() > 0.0);
         }
 
-        let estimate = flow.estimate(&run, &results);
+        let estimate = flow.estimate(&run, &results).unwrap();
         assert!(estimate.mean_power_mw() > 0.0);
         assert!(estimate.region_mw("core") > 0.0);
         assert!(estimate.total_energy_mj() > 0.0);
+    }
+
+    #[test]
+    fn estimate_with_too_few_results_is_a_typed_error() {
+        // Previously an `expect` panic inside `EnergyEstimate`.
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let results = flow.replay_all(&run.snapshots[..1], 1).unwrap();
+        let err = flow.estimate(&run, &results).unwrap_err();
+        assert!(matches!(err, StroberError::Stats(_)), "{err}");
+    }
+
+    #[test]
+    fn invalid_confidence_is_rejected_before_the_run() {
+        // Previously the bad level would only panic inside `estimate`,
+        // after the full sampled run and replay had already been paid for.
+        let config = StroberConfig {
+            confidence: Confidence::Level(1.5),
+            ..small_config()
+        };
+        let err = StroberFlow::new(&counter_design(), config).unwrap_err();
+        assert!(matches!(err, StroberError::Stats(_)), "{err}");
+    }
+
+    #[test]
+    fn mixed_trace_lengths_are_a_typed_error() {
+        // Previously an `assert!` abort inside `replay_batch`.
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let mut short = run.snapshots[1].clone();
+        for (_, values) in short.inputs.iter_mut().chain(short.outputs.iter_mut()) {
+            values.truncate(4);
+        }
+        let err = flow.replay_batch(&[&run.snapshots[0], &short]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StroberError::BatchTraceLengthMismatch {
+                    lane: 1,
+                    got: 4,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@
 //!     let flow = StroberFlow::new(&design, config)?;
 //!     let run = flow.run_sampled(&mut NoIo, 2_000)?;
 //!     let results = flow.replay_all(&run.snapshots, 2)?;
-//!     let estimate = flow.estimate(&run, &results);
+//!     let estimate = flow.estimate(&run, &results)?;
 //!     assert!(estimate.mean_power_mw() > 0.0);
 //!     Ok(())
 //! }

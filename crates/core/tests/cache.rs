@@ -49,7 +49,7 @@ fn estimate_bits(flow: &StroberFlow, image: &[u32]) -> (u64, usize) {
     let results = flow
         .replay_all(&run.snapshots, StroberFlow::default_parallelism())
         .expect("replays succeed");
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow.estimate(&run, &results).expect("estimate");
     (estimate.mean_power_mw().to_bits(), results.len())
 }
 

@@ -1,0 +1,81 @@
+//! Checked-in reproducers.
+//!
+//! When the fuzzer finds (and shrinks) a divergence, it writes a
+//! [`Reproducer`] — the minimized genome, the oracle configuration, and
+//! the divergence report — as JSON into `fuzz/corpus/`. The corpus
+//! regression test replays every entry through the full oracle matrix
+//! *without* the recorded injection on every `cargo test`, so a fixed bug
+//! stays fixed forever (and an entry for a still-open bug fails loudly).
+
+use crate::genome::Genome;
+use crate::oracle::{Divergence, InjectedBug, OracleConfig};
+use std::path::{Path, PathBuf};
+
+/// Schema version for corpus files.
+pub const CORPUS_VERSION: u32 = 1;
+
+/// One minimized, replayable reproducer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Reproducer {
+    /// Schema version ([`CORPUS_VERSION`]).
+    pub version: u32,
+    /// Where the entry came from (seed, tool invocation, date).
+    pub provenance: String,
+    /// The bug that was injected when this entry was produced, if any.
+    /// Replays run **without** it: an entry earns its place in the corpus
+    /// by reproducing on (a past version of) the real code, or by
+    /// documenting an injected bug the harness provably catches.
+    pub inject: Option<InjectedBug>,
+    /// The oracle configuration the divergence was found under.
+    pub oracle: OracleConfig,
+    /// The minimized genome.
+    pub genome: Genome,
+    /// The divergence observed when the entry was written.
+    pub divergence: Divergence,
+}
+
+impl Reproducer {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reproducer serialization is infallible")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("corpus entry parse error: {e}"))
+    }
+}
+
+/// Loads every `*.json` reproducer under `dir`, sorted by file name.
+/// A missing directory is an empty corpus, not an error.
+pub fn load_corpus(dir: &Path) -> Result<Vec<(PathBuf, Reproducer)>, String> {
+    let mut entries = Vec::new();
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(format!("cannot read corpus dir `{}`: {e}", dir.display())),
+    };
+    let mut paths: Vec<PathBuf> = rd
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+        let rep = Reproducer::from_json(&text).map_err(|e| format!("`{}`: {e}", path.display()))?;
+        entries.push((path, rep));
+    }
+    Ok(entries)
+}
+
+/// Writes a reproducer into `dir` as `<stem>.json`, creating the
+/// directory if needed. Returns the written path.
+pub fn write_reproducer(dir: &Path, stem: &str, rep: &Reproducer) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create corpus dir `{}`: {e}", dir.display()))?;
+    let path = dir.join(format!("{stem}.json"));
+    std::fs::write(&path, rep.to_json())
+        .map_err(|e| format!("cannot write `{}`: {e}", path.display()))?;
+    Ok(path)
+}

@@ -1,0 +1,185 @@
+//! The fuzz campaign driver: seed loop, config sweep, shrink-on-failure.
+
+use crate::corpus::{write_reproducer, Reproducer, CORPUS_VERSION};
+use crate::genome::rand_genome;
+use crate::oracle::{check, Divergence, OracleConfig};
+use crate::shrink::shrink;
+use std::path::PathBuf;
+use strober_sim::rand_design::RandDesignConfig;
+
+/// Options for one fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// First seed (inclusive).
+    pub seed_start: u64,
+    /// Last seed (exclusive).
+    pub seed_end: u64,
+    /// Workload length per design, in cycles.
+    pub cycles: u32,
+    /// Oracle configuration (lanes, flow round trip, injection).
+    pub oracle: OracleConfig,
+    /// Where to write minimized reproducers; `None` disables writing.
+    pub corpus_dir: Option<PathBuf>,
+    /// Oracle-evaluation budget for the shrinker.
+    pub shrink_evals: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> Self {
+        FuzzOptions {
+            seed_start: 0,
+            seed_end: 50,
+            cycles: 48,
+            oracle: OracleConfig::default(),
+            corpus_dir: Some(PathBuf::from("fuzz/corpus")),
+            shrink_evals: 2000,
+        }
+    }
+}
+
+/// A found-and-minimized divergence.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The seed that produced the diverging design.
+    pub seed: u64,
+    /// The divergence as first observed (pre-shrink).
+    pub original: Divergence,
+    /// The minimized reproducer.
+    pub reproducer: Reproducer,
+    /// Node count of the minimized design.
+    pub min_nodes: usize,
+    /// Where the reproducer was written, if a corpus dir was set.
+    pub written_to: Option<PathBuf>,
+}
+
+/// A completed campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzOutcome {
+    /// Designs checked (seeds × one config each).
+    pub designs: u64,
+    /// Wall-clock seconds spent.
+    pub elapsed_secs: f64,
+    /// The first failure, if any (the campaign stops at the first).
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzOutcome {
+    /// Designs fully checked per wall-clock second.
+    pub fn designs_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.designs as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The per-seed design-shape sweep: cycles through representative
+/// configurations, including the degenerate corners the generator is
+/// hardened against, so every campaign covers the whole config space.
+pub fn config_for_seed(seed: u64) -> RandDesignConfig {
+    let base = RandDesignConfig::default();
+    match seed % 8 {
+        0 => base,
+        1 => RandDesignConfig {
+            with_memory: false,
+            ..base
+        },
+        2 => RandDesignConfig {
+            ops: 120,
+            regs: 10,
+            ..base
+        },
+        3 => RandDesignConfig {
+            widths: vec![64],
+            ..base
+        },
+        4 => RandDesignConfig {
+            widths: vec![1, 4],
+            ..base
+        },
+        5 => RandDesignConfig {
+            inputs: 0,
+            regs: 2,
+            ..base
+        },
+        6 => RandDesignConfig {
+            regs: 0,
+            with_memory: false,
+            ..base
+        },
+        _ => RandDesignConfig {
+            inputs: 1,
+            ops: 8,
+            regs: 1,
+            with_memory: false,
+            outputs: 1,
+            ..base
+        },
+    }
+}
+
+/// Runs a fuzz campaign: for each seed, generate a genome under the
+/// seed's sweep config, run the oracle matrix, and on the first
+/// divergence shrink it and (optionally) write a reproducer.
+///
+/// `progress` is called after each seed with `(seed, designs_so_far)`.
+pub fn run_fuzz(
+    opts: &FuzzOptions,
+    mut progress: impl FnMut(u64, u64),
+) -> Result<FuzzOutcome, String> {
+    let t0 = std::time::Instant::now();
+    let mut designs = 0u64;
+    for seed in opts.seed_start..opts.seed_end {
+        let cfg = config_for_seed(seed);
+        let genome = rand_genome(seed, &cfg, opts.cycles);
+        match check(&genome, &opts.oracle) {
+            Ok(()) => {
+                designs += 1;
+                progress(seed, designs);
+            }
+            Err(original) => {
+                let shrunk = shrink(&genome, &original, &opts.oracle, opts.shrink_evals);
+                let min_nodes = shrunk.genome.build().node_count();
+                let reproducer = Reproducer {
+                    version: CORPUS_VERSION,
+                    provenance: format!(
+                        "strober fuzz, seed {seed}, cycles {}, {} shrink evals",
+                        opts.cycles, shrunk.evals
+                    ),
+                    inject: opts.oracle.inject,
+                    oracle: OracleConfig {
+                        inject: None,
+                        ..opts.oracle.clone()
+                    },
+                    genome: shrunk.genome,
+                    divergence: shrunk.divergence,
+                };
+                let written_to = match &opts.corpus_dir {
+                    Some(dir) => Some(write_reproducer(
+                        dir,
+                        &format!("seed{seed}-{}", reproducer.divergence.kind()),
+                        &reproducer,
+                    )?),
+                    None => None,
+                };
+                return Ok(FuzzOutcome {
+                    designs: designs + 1,
+                    elapsed_secs: t0.elapsed().as_secs_f64(),
+                    failure: Some(FuzzFailure {
+                        seed,
+                        original,
+                        reproducer,
+                        min_nodes,
+                        written_to,
+                    }),
+                });
+            }
+        }
+    }
+    Ok(FuzzOutcome {
+        designs,
+        elapsed_secs: t0.elapsed().as_secs_f64(),
+        failure: None,
+    })
+}

@@ -1,0 +1,582 @@
+//! The design genome: a serializable, *totally interpretable* recipe for
+//! a random design plus its workload.
+//!
+//! `strober_sim::rand_design` builds a [`Design`] directly, which makes
+//! shrinking awkward: removing a node invalidates every later reference.
+//! The genome instead stores operand references as plain integers that
+//! are resolved **modulo the current pool size** at build time, so any
+//! structural edit (drop an op, drop a register, narrow a width, shorten
+//! the workload) still yields a valid design. That totality is what the
+//! shrinker leans on: every candidate edit produces *some* design, and
+//! the oracle decides whether the divergence still reproduces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use strober_rtl::{BinOp, Design, NodeId, UnOp, Width};
+use strober_sim::rand_design::RandDesignConfig;
+
+/// Unary operators the genome can pick, indexed by `OpGene::Unary::op`.
+pub const UNOPS: [UnOp; 5] = [
+    UnOp::Not,
+    UnOp::Neg,
+    UnOp::RedAnd,
+    UnOp::RedOr,
+    UnOp::RedXor,
+];
+
+/// Binary operators the genome can pick, indexed by `OpGene::Binary::op`.
+pub const BINOPS: [BinOp; 17] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Shr,
+    BinOp::Sra,
+    BinOp::Eq,
+    BinOp::Neq,
+    BinOp::Ltu,
+    BinOp::Leu,
+    BinOp::Lts,
+    BinOp::Les,
+    BinOp::DivU,
+    BinOp::RemU,
+];
+
+/// One combinational operator gene. Operand fields are pool references,
+/// resolved modulo the pool size at build time.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OpGene {
+    /// A unary operator (`op` indexes [`UNOPS`]).
+    Unary {
+        /// Operator table index.
+        op: u8,
+        /// Operand reference.
+        a: u32,
+    },
+    /// A binary operator (`op` indexes [`BINOPS`]); `b` is coerced to
+    /// `a`'s width.
+    Binary {
+        /// Operator table index.
+        op: u8,
+        /// Left operand reference.
+        a: u32,
+        /// Right operand reference.
+        b: u32,
+    },
+    /// A two-way mux; the select is coerced to one bit and `f` to `t`'s
+    /// width.
+    Mux {
+        /// Select reference.
+        sel: u32,
+        /// Taken-when-one reference.
+        t: u32,
+        /// Taken-when-zero reference.
+        f: u32,
+    },
+    /// A bit slice; `hi`/`lo` are normalized into the operand's width.
+    Slice {
+        /// Operand reference.
+        a: u32,
+        /// Raw high bound (normalized modulo the remaining width).
+        hi: u32,
+        /// Raw low bound (normalized modulo the operand width).
+        lo: u32,
+    },
+    /// A concatenation; the low part is truncated so the result fits in
+    /// 64 bits (aliasing `hi` when there is no room at all).
+    Cat {
+        /// High part reference.
+        hi: u32,
+        /// Low part reference.
+        lo: u32,
+    },
+    /// A memory read port (aliases `addr` when the genome has no memory).
+    MemRead {
+        /// Address reference, coerced to the memory's address width.
+        addr: u32,
+    },
+}
+
+/// A register gene: declared before the ops (so ops can reference its
+/// output) and connected after them (so feedback through ops is possible).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegGene {
+    /// Register width in bits (clamped to `1..=64`).
+    pub width: u32,
+    /// Power-on value (masked to the width).
+    pub init: u64,
+    /// Next-value reference, coerced to the register width.
+    pub src: u32,
+    /// Optional enable reference, coerced to one bit.
+    pub enable: Option<u32>,
+}
+
+/// A memory gene: a 16-bit RAM with one read and one write port.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MemGene {
+    /// Number of words (clamped to `2..=32`).
+    pub depth: u32,
+    /// Read-port address reference.
+    pub rd_addr: u32,
+    /// Write-port address reference.
+    pub wr_addr: u32,
+    /// Write-port data reference, coerced to 16 bits.
+    pub wr_data: u32,
+    /// Write-enable reference, coerced to one bit.
+    pub wr_en: u32,
+}
+
+/// A complete design-plus-workload recipe. See the module docs for the
+/// reference-resolution rules that make every genome buildable.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Genome {
+    /// Input port widths (clamped to `1..=64`).
+    pub inputs: Vec<u32>,
+    /// Seeded constants (value masked to the width).
+    pub consts: Vec<(u64, u32)>,
+    /// Registers.
+    pub regs: Vec<RegGene>,
+    /// The optional memory.
+    pub mem: Option<MemGene>,
+    /// Combinational operators, appended to the pool in order.
+    pub ops: Vec<OpGene>,
+    /// Output references into the final pool.
+    pub outputs: Vec<u32>,
+    /// Workload length in cycles.
+    pub cycles: u32,
+    /// Seed for the deterministic input stimulus (see [`stimulus`]).
+    pub stim_seed: u64,
+}
+
+fn clamp_width(w: u32) -> Width {
+    Width::new(w.clamp(1, 64)).expect("clamped width is valid")
+}
+
+/// The deterministic stimulus function: the value driven on input
+/// `input_idx` at `cycle` for a given stream seed (before masking to the
+/// port width). SplitMix64-style so that shrinking the workload never
+/// changes the values of the cycles that remain.
+pub fn stimulus(stim_seed: u64, input_idx: usize, cycle: u64) -> u64 {
+    let mut z = stim_seed
+        .wrapping_add((input_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Genome {
+    /// Builds the genome into a validated [`Design`].
+    ///
+    /// Total: every genome builds, including empty ones. Panics only on
+    /// internal builder bugs (the produced design always passes
+    /// [`Design::validate`]).
+    pub fn build(&self) -> Design {
+        let mut d = Design::new("fuzz");
+        let mut pool: Vec<NodeId> = Vec::new();
+
+        for (i, &w) in self.inputs.iter().enumerate() {
+            let w = clamp_width(w);
+            pool.push(d.input(format!("in{i}"), w).expect("fresh input name"));
+        }
+        for &(v, w) in &self.consts {
+            let w = clamp_width(w);
+            pool.push(d.constant(v & w.mask(), w));
+        }
+
+        let mut regs = Vec::new();
+        for (i, g) in self.regs.iter().enumerate() {
+            let w = clamp_width(g.width);
+            let r = d
+                .reg(format!("reg{i}"), w, g.init & w.mask())
+                .expect("fresh reg name");
+            pool.push(d.reg_out(r));
+            regs.push(r);
+        }
+
+        // Anything that needs an operand (ops, outputs, memory ports)
+        // must find a non-empty pool; an empty genome prefix gets one
+        // seeded constant.
+        let needs_pool = self.mem.is_some() || !self.ops.is_empty() || !self.outputs.is_empty();
+        if pool.is_empty() && needs_pool {
+            pool.push(d.constant(0, Width::BIT));
+        }
+
+        let mem = self.mem.as_ref().map(|g| {
+            let depth = g.depth.clamp(2, 32) as usize;
+            let w = Width::new(16).expect("static");
+            let m = d.mem("ram", w, depth, vec![]).expect("fresh mem name");
+            (m, g)
+        });
+
+        let resolve = |pool: &[NodeId], r: u32| pool[r as usize % pool.len()];
+
+        for op in &self.ops {
+            let node = match *op {
+                OpGene::Unary { op, a } => {
+                    let a = resolve(&pool, a);
+                    d.unary(UNOPS[op as usize % UNOPS.len()], a)
+                }
+                OpGene::Binary { op, a, b } => {
+                    let a = resolve(&pool, a);
+                    let b = resolve(&pool, b);
+                    let wa = d.width(a);
+                    let b = coerce(&mut d, b, wa);
+                    d.binary(BINOPS[op as usize % BINOPS.len()], a, b)
+                        .expect("coerced to same width")
+                }
+                OpGene::Mux { sel, t, f } => {
+                    let sel = resolve(&pool, sel);
+                    let t = resolve(&pool, t);
+                    let f = resolve(&pool, f);
+                    let sel = coerce(&mut d, sel, Width::BIT);
+                    let wt = d.width(t);
+                    let f = coerce(&mut d, f, wt);
+                    d.mux(sel, t, f).expect("coerced widths")
+                }
+                OpGene::Slice { a, hi, lo } => {
+                    let a = resolve(&pool, a);
+                    let w = d.width(a).bits();
+                    let lo = lo % w;
+                    let hi = lo + hi % (w - lo);
+                    d.slice(a, hi, lo).expect("normalized bounds")
+                }
+                OpGene::Cat { hi, lo } => {
+                    let hi = resolve(&pool, hi);
+                    let lo = resolve(&pool, lo);
+                    let room = 64 - d.width(hi).bits();
+                    if room == 0 {
+                        hi
+                    } else {
+                        let lo_w = d.width(lo).bits().min(room);
+                        let lo = coerce(&mut d, lo, clamp_width(lo_w));
+                        d.cat(hi, lo).expect("fits in 64 bits")
+                    }
+                }
+                OpGene::MemRead { addr } => {
+                    let a = resolve(&pool, addr);
+                    match mem {
+                        Some((m, _)) => {
+                            let aw = d.memory(m).addr_width();
+                            let addr = coerce(&mut d, a, aw);
+                            d.mem_read(m, addr).expect("coerced address width")
+                        }
+                        None => a,
+                    }
+                }
+            };
+            pool.push(node);
+        }
+
+        for (r, g) in regs.iter().zip(&self.regs) {
+            let w = d.register(*r).width();
+            let src = resolve(&pool, g.src);
+            let src = coerce(&mut d, src, w);
+            let enable = g.enable.map(|e| {
+                let e = resolve(&pool, e);
+                coerce(&mut d, e, Width::BIT)
+            });
+            d.reconnect_reg(*r, src, enable).expect("coerced widths");
+        }
+
+        if let Some((m, g)) = mem {
+            let aw = d.memory(m).addr_width();
+            let dw = d.memory(m).width();
+            let rd = resolve(&pool, g.rd_addr);
+            let rd = coerce(&mut d, rd, aw);
+            let read = d.mem_read(m, rd).expect("coerced address width");
+            pool.push(read);
+            let wa = resolve(&pool, g.wr_addr);
+            let wa = coerce(&mut d, wa, aw);
+            let wd = resolve(&pool, g.wr_data);
+            let wd = coerce(&mut d, wd, dw);
+            let we = resolve(&pool, g.wr_en);
+            let we = coerce(&mut d, we, Width::BIT);
+            d.mem_write(m, wa, wd, we).expect("coerced port widths");
+        }
+
+        for (i, &r) in self.outputs.iter().enumerate() {
+            if pool.is_empty() {
+                break;
+            }
+            let n = resolve(&pool, r);
+            d.output(format!("out{i}"), n).expect("fresh output name");
+        }
+
+        d.validate().expect("genome builds a valid design");
+        d
+    }
+
+    /// The number of pool slots that exist before the first op: inputs,
+    /// constants, register outputs, and (for otherwise-empty genomes that
+    /// still need operands) the seeded constant.
+    pub fn pool_base(&self) -> usize {
+        let n = self.inputs.len() + self.consts.len() + self.regs.len();
+        let needs_pool = self.mem.is_some() || !self.ops.is_empty() || !self.outputs.is_empty();
+        n + usize::from(n == 0 && needs_pool)
+    }
+
+    /// Rewrites every reference to the pool index it actually resolves
+    /// to, without changing the built design.
+    ///
+    /// Raw genomes carry arbitrary `u32` references that [`build`]
+    /// reduces modulo the pool size *at the point of use* — which means
+    /// removing any gene reshuffles every later resolution. A canonical
+    /// genome's references are already reduced, so the shrinker can
+    /// remove a pool slot and renumber the survivors exactly, leaving
+    /// the rest of the design bit-identical.
+    ///
+    /// [`build`]: Genome::build
+    pub fn canonicalize(&self) -> Genome {
+        let mut g = self.clone();
+        let base = g.pool_base();
+        let m = |r: &mut u32, len: usize| *r %= len as u32;
+        for (j, op) in g.ops.iter_mut().enumerate() {
+            let len = base + j;
+            match op {
+                OpGene::Unary { a, .. } | OpGene::Slice { a, .. } => m(a, len),
+                OpGene::Binary { a, b, .. } => {
+                    m(a, len);
+                    m(b, len);
+                }
+                OpGene::Mux { sel, t, f } => {
+                    m(sel, len);
+                    m(t, len);
+                    m(f, len);
+                }
+                OpGene::Cat { hi, lo } => {
+                    m(hi, len);
+                    m(lo, len);
+                }
+                OpGene::MemRead { addr } => m(addr, len),
+            }
+        }
+        let full = base + g.ops.len();
+        for r in &mut g.regs {
+            m(&mut r.src, full);
+            if let Some(e) = &mut r.enable {
+                m(e, full);
+            }
+        }
+        let final_len = full + usize::from(g.mem.is_some());
+        if let Some(mem) = &mut g.mem {
+            m(&mut mem.rd_addr, full);
+            m(&mut mem.wr_addr, final_len);
+            m(&mut mem.wr_data, final_len);
+            m(&mut mem.wr_en, final_len);
+        }
+        for r in &mut g.outputs {
+            m(r, final_len);
+        }
+        g
+    }
+
+    /// Total number of genes — the size metric the shrinker minimizes.
+    pub fn gene_count(&self) -> usize {
+        self.inputs.len()
+            + self.consts.len()
+            + self.regs.len()
+            + usize::from(self.mem.is_some())
+            + self.ops.len()
+            + self.outputs.len()
+    }
+}
+
+/// Width coercion that keeps genome interpretation total: slice down to
+/// narrow, zero-extend (via concatenation with a zero constant) to widen.
+fn coerce(d: &mut Design, n: NodeId, w: Width) -> NodeId {
+    let have = d.width(n).bits();
+    let want = w.bits();
+    if have == want {
+        n
+    } else if have > want {
+        d.slice(n, want - 1, 0).expect("narrowing slice in range")
+    } else {
+        let pad = d.constant(0, Width::new(want - have).expect("1..=63 bits"));
+        d.cat(pad, n).expect("widening cat fits")
+    }
+}
+
+/// Generates a random genome from a seed and a
+/// [`RandDesignConfig`]-shaped budget (the same knobs `rand_design`
+/// takes, so the fuzzer's config sweep can reuse its degenerate corners).
+pub fn rand_genome(seed: u64, cfg: &RandDesignConfig, cycles: u32) -> Genome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let widths: Vec<u32> = if cfg.widths.is_empty() {
+        vec![1]
+    } else {
+        cfg.widths.clone()
+    };
+    let pick_w = |rng: &mut StdRng| widths[rng.gen_range(0..widths.len())];
+
+    let inputs: Vec<u32> = (0..cfg.inputs).map(|_| pick_w(&mut rng)).collect();
+    let consts: Vec<(u64, u32)> = (0..3)
+        .map(|_| {
+            let w = pick_w(&mut rng);
+            (rng.gen::<u64>(), w)
+        })
+        .collect();
+    let regs: Vec<RegGene> = (0..cfg.regs)
+        .map(|_| RegGene {
+            width: pick_w(&mut rng),
+            init: rng.gen(),
+            src: rng.gen(),
+            enable: if rng.gen_bool(0.5) {
+                Some(rng.gen())
+            } else {
+                None
+            },
+        })
+        .collect();
+    let mem = cfg.with_memory.then(|| MemGene {
+        depth: rng.gen_range(2..=32),
+        rd_addr: rng.gen(),
+        wr_addr: rng.gen(),
+        wr_data: rng.gen(),
+        wr_en: rng.gen(),
+    });
+    let ops: Vec<OpGene> = (0..cfg.ops)
+        .map(|_| match rng.gen_range(0..10) {
+            0 => OpGene::Unary {
+                op: rng.gen(),
+                a: rng.gen(),
+            },
+            1..=4 => OpGene::Binary {
+                op: rng.gen(),
+                a: rng.gen(),
+                b: rng.gen(),
+            },
+            5 => OpGene::Mux {
+                sel: rng.gen(),
+                t: rng.gen(),
+                f: rng.gen(),
+            },
+            6 => OpGene::Slice {
+                a: rng.gen(),
+                hi: rng.gen(),
+                lo: rng.gen(),
+            },
+            7 => OpGene::Cat {
+                hi: rng.gen(),
+                lo: rng.gen(),
+            },
+            8 => OpGene::MemRead { addr: rng.gen() },
+            _ => OpGene::Unary {
+                op: 0,
+                a: rng.gen(),
+            },
+        })
+        .collect();
+    let outputs: Vec<u32> = (0..cfg.outputs).map(|_| rng.gen()).collect();
+
+    Genome {
+        inputs,
+        consts,
+        regs,
+        mem,
+        ops,
+        outputs,
+        cycles,
+        stim_seed: seed ^ 0x5EED_CAFE_F00D_BEEF,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_random_genome_builds() {
+        let cfg = RandDesignConfig::default();
+        for seed in 0..100 {
+            let g = rand_genome(seed, &cfg, 16);
+            let d = g.build();
+            assert!(d.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_genome_builds() {
+        let g = Genome {
+            inputs: vec![],
+            consts: vec![],
+            regs: vec![],
+            mem: None,
+            ops: vec![],
+            outputs: vec![],
+            cycles: 0,
+            stim_seed: 0,
+        };
+        let d = g.build();
+        assert_eq!(d.node_count(), 0);
+    }
+
+    #[test]
+    fn genome_roundtrips_through_json() {
+        let g = rand_genome(7, &RandDesignConfig::default(), 32);
+        let text = serde_json::to_string(&g).unwrap();
+        let back: Genome = serde_json::from_str(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn canonicalize_preserves_the_built_design() {
+        use strober_sim::Simulator;
+        let cfg = RandDesignConfig::default();
+        for seed in 0..30 {
+            let g = rand_genome(seed, &cfg, 8);
+            let c = g.canonicalize();
+            let (da, db) = (g.build(), c.build());
+            assert_eq!(da.node_count(), db.node_count(), "seed {seed}");
+            let mut sa = Simulator::new(&da).unwrap();
+            let mut sb = Simulator::new(&db).unwrap();
+            let outputs: Vec<String> = da.outputs().iter().map(|(n, _)| n.clone()).collect();
+            for cycle in 0..8u64 {
+                for (i, p) in da.ports().iter().enumerate() {
+                    let v = stimulus(g.stim_seed, i, cycle) & p.width().mask();
+                    sa.poke_by_name(p.name(), v).unwrap();
+                    sb.poke_by_name(p.name(), v).unwrap();
+                }
+                for out in &outputs {
+                    assert_eq!(
+                        sa.peek_output(out).unwrap(),
+                        sb.peek_output(out).unwrap(),
+                        "seed {seed}: `{out}` diverged after canonicalize"
+                    );
+                }
+                sa.step();
+                sb.step();
+            }
+            assert_eq!(sa.state(), sb.state(), "seed {seed}");
+            // Canonicalizing twice is a fixpoint.
+            assert_eq!(c, c.canonicalize(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn build_is_total_under_arbitrary_gene_edits() {
+        // Dropping any single gene from a valid genome must still build.
+        let g = rand_genome(11, &RandDesignConfig::default(), 16);
+        for i in 0..g.ops.len() {
+            let mut e = g.clone();
+            e.ops.remove(i);
+            e.build();
+        }
+        for i in 0..g.regs.len() {
+            let mut e = g.clone();
+            e.regs.remove(i);
+            e.build();
+        }
+        let mut e = g.clone();
+        e.mem = None;
+        e.build();
+        for i in 0..g.inputs.len() {
+            let mut e = g.clone();
+            e.inputs.remove(i);
+            e.build();
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Greedy structural shrinking of a diverging genome.
+//!
+//! Given a genome whose oracle run produced a divergence, the shrinker
+//! repeatedly tries structural edits — shorten the workload, drop ops,
+//! registers, the memory, constants, inputs, outputs, narrow widths —
+//! keeping an edit only if "the same bug" (same divergence kind, same
+//! oracle, per [`Divergence::same_bug`]) still reproduces.
+//!
+//! Raw genome references resolve modulo the pool size, so naively
+//! deleting a gene reshuffles every later resolution and the divergence
+//! usually evaporates. The shrinker therefore works on
+//! [canonicalized](Genome::canonicalize) genomes: references are exact
+//! pool indices, and removing pool slot `s` renumbers references above
+//! `s` down by one while redirecting references *to* `s` at a designated
+//! replacement — every other node keeps its exact structure. Dead code
+//! thus drops out one oracle evaluation per gene, and the fixpoint loop
+//! converges to a near-minimal reproducer.
+
+use crate::genome::{Genome, OpGene};
+use crate::oracle::{check, Divergence, OracleConfig};
+
+/// The shrinker's outcome: the smallest reproducing genome found and the
+/// divergence it still produces.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized genome.
+    pub genome: Genome,
+    /// The divergence the minimized genome reproduces.
+    pub divergence: Divergence,
+    /// Oracle evaluations spent shrinking.
+    pub evals: usize,
+}
+
+/// Renumbers every reference in a canonical genome after pool slot
+/// `slot` was removed: references to `slot` become `redirect`, references
+/// above it shift down by one.
+fn remap_refs(g: &mut Genome, slot: u32, redirect: u32) {
+    let m = |r: &mut u32| {
+        if *r == slot {
+            *r = redirect;
+        } else if *r > slot {
+            *r -= 1;
+        }
+    };
+    for op in &mut g.ops {
+        match op {
+            OpGene::Unary { a, .. } | OpGene::Slice { a, .. } => m(a),
+            OpGene::Binary { a, b, .. } => {
+                m(a);
+                m(b);
+            }
+            OpGene::Mux { sel, t, f } => {
+                m(sel);
+                m(t);
+                m(f);
+            }
+            OpGene::Cat { hi, lo } => {
+                m(hi);
+                m(lo);
+            }
+            OpGene::MemRead { addr } => m(addr),
+        }
+    }
+    for r in &mut g.regs {
+        m(&mut r.src);
+        if let Some(e) = &mut r.enable {
+            m(e);
+        }
+    }
+    if let Some(mem) = &mut g.mem {
+        m(&mut mem.rd_addr);
+        m(&mut mem.wr_addr);
+        m(&mut mem.wr_data);
+        m(&mut mem.wr_en);
+    }
+    for r in &mut g.outputs {
+        m(r);
+    }
+}
+
+/// A reference the op's consumers can be redirected to when the op is
+/// removed — its first operand, which dominates it in the pool order.
+fn op_replacement(op: &OpGene) -> u32 {
+    match op {
+        OpGene::Unary { a, .. } | OpGene::Slice { a, .. } => *a,
+        OpGene::Binary { a, .. } => *a,
+        OpGene::Mux { t, .. } => *t,
+        OpGene::Cat { hi, .. } => *hi,
+        OpGene::MemRead { addr } => *addr,
+    }
+}
+
+/// Shrinks `genome` while `original`'s bug keeps reproducing.
+///
+/// `max_evals` bounds the number of oracle evaluations (each one runs
+/// the full matrix, so this is the shrinker's time budget).
+pub fn shrink(
+    genome: &Genome,
+    original: &Divergence,
+    cfg: &OracleConfig,
+    max_evals: usize,
+) -> Shrunk {
+    let mut best = genome.canonicalize();
+    let mut best_div = original.clone();
+    let mut evals = 0usize;
+
+    let reproduces = |candidate: &Genome, evals: &mut usize| -> Option<Divergence> {
+        if *evals >= max_evals {
+            return None;
+        }
+        *evals += 1;
+        match check(candidate, cfg) {
+            Err(d) if d.same_bug(original) => Some(d),
+            _ => None,
+        }
+    };
+
+    loop {
+        let before = best.gene_count() + best.cycles as usize;
+
+        // Shorten the workload first — every later oracle run gets cheaper.
+        for target in [1u32, best.cycles / 2, best.cycles.saturating_sub(1)] {
+            if target < best.cycles {
+                let mut c = best.clone();
+                c.cycles = target.max(1);
+                if let Some(d) = reproduces(&c, &mut evals) {
+                    best = c;
+                    best_div = d;
+                }
+            }
+        }
+
+        // Drop ops from the end (dead code first), redirecting consumers
+        // of a dropped op to its first operand.
+        let mut i = best.ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut c = best.clone();
+            let slot = (c.pool_base() + i) as u32;
+            let redirect = op_replacement(&c.ops[i]);
+            c.ops.remove(i);
+            remap_refs(&mut c, slot, redirect);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c;
+                best_div = d;
+            }
+        }
+
+        // Drop registers, constants, and inputs (pool slots below the
+        // ops, so every op reference above shifts down by one).
+        let mut i = best.regs.len();
+        while i > 0 {
+            i -= 1;
+            let mut c = best.clone();
+            let slot = (c.inputs.len() + c.consts.len() + i) as u32;
+            c.regs.remove(i);
+            remap_refs(&mut c, slot, 0);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c.canonicalize();
+                best_div = d;
+            }
+        }
+        let mut i = best.consts.len();
+        while i > 0 {
+            i -= 1;
+            let mut c = best.clone();
+            let slot = (c.inputs.len() + i) as u32;
+            c.consts.remove(i);
+            remap_refs(&mut c, slot, 0);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c.canonicalize();
+                best_div = d;
+            }
+        }
+        let mut i = best.inputs.len();
+        while i > 0 {
+            i -= 1;
+            let mut c = best.clone();
+            c.inputs.remove(i);
+            remap_refs(&mut c, i as u32, 0);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c.canonicalize();
+                best_div = d;
+            }
+        }
+
+        // Drop the memory (its read port is the last pool slot).
+        if best.mem.is_some() {
+            let mut c = best.clone();
+            let slot = (c.pool_base() + c.ops.len()) as u32;
+            c.mem = None;
+            remap_refs(&mut c, slot, 0);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c.canonicalize();
+                best_div = d;
+            }
+        }
+
+        // Drop extra outputs (no pool slot — plain list removal).
+        let mut i = best.outputs.len();
+        while i > 0 && best.outputs.len() > 1 {
+            i -= 1;
+            let mut c = best.clone();
+            c.outputs.remove(i);
+            if let Some(d) = reproduces(&c, &mut evals) {
+                best = c;
+                best_div = d;
+            }
+        }
+
+        // Narrow widths down the ladder.
+        for i in 0..best.inputs.len() {
+            for w in [32u32, 16, 8, 4, 1] {
+                if w < best.inputs[i].clamp(1, 64) {
+                    let mut c = best.clone();
+                    c.inputs[i] = w;
+                    if let Some(d) = reproduces(&c, &mut evals) {
+                        best = c;
+                        best_div = d;
+                        break;
+                    }
+                }
+            }
+        }
+        for i in 0..best.regs.len() {
+            for w in [32u32, 16, 8, 4, 1] {
+                if w < best.regs[i].width.clamp(1, 64) {
+                    let mut c = best.clone();
+                    c.regs[i].width = w;
+                    if let Some(d) = reproduces(&c, &mut evals) {
+                        best = c;
+                        best_div = d;
+                        break;
+                    }
+                }
+            }
+        }
+        for i in 0..best.consts.len() {
+            for w in [32u32, 16, 8, 4, 1] {
+                if w < best.consts[i].1.clamp(1, 64) {
+                    let mut c = best.clone();
+                    c.consts[i].1 = w;
+                    if let Some(d) = reproduces(&c, &mut evals) {
+                        best = c;
+                        best_div = d;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let after = best.gene_count() + best.cycles as usize;
+        if after >= before || evals >= max_evals {
+            break;
+        }
+    }
+
+    Shrunk {
+        genome: best,
+        divergence: best_div,
+        evals,
+    }
+}

@@ -20,6 +20,48 @@ pub enum Confidence {
 }
 
 impl Confidence {
+    /// Creates an arbitrary confidence level, validating it at the API
+    /// boundary.
+    ///
+    /// This is the sanctioned way to build [`Confidence::Level`] from
+    /// configuration or CLI input: a bad probability is rejected here with
+    /// a typed error instead of aborting the process hours later when the
+    /// z-value is finally needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `p` is strictly
+    /// between 0 and 1 (and therefore finite).
+    pub fn new_level(p: f64) -> Result<Self, StatsError> {
+        let c = Confidence::Level(p);
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// Checks that this confidence level denotes a probability in
+    /// `(0, 1)`.
+    ///
+    /// The named levels are always valid; a [`Confidence::Level`] built
+    /// directly (e.g. deserialized from a config file) may not be, and
+    /// every consumer that cannot afford a panic should validate before
+    /// calling [`Confidence::z`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if the level is not
+    /// strictly between 0 and 1.
+    pub fn validate(self) -> Result<(), StatsError> {
+        let p = self.level();
+        if p > 0.0 && p < 1.0 {
+            Ok(())
+        } else {
+            Err(StatsError::InvalidParameter {
+                name: "confidence",
+                constraint: "must be strictly between 0 and 1",
+            })
+        }
+    }
+
     /// The confidence level as a probability in `(0, 1)`.
     pub fn level(self) -> f64 {
         match self {
@@ -35,7 +77,8 @@ impl Confidence {
     /// # Panics
     ///
     /// Panics if a [`Confidence::Level`] value is not strictly between 0
-    /// and 1.
+    /// and 1; call [`Confidence::validate`] first when the level comes
+    /// from untrusted input.
     pub fn z(self) -> f64 {
         z_quantile(self.level())
     }
@@ -275,6 +318,7 @@ impl SampleStats {
                 constraint: "sample mean must be nonzero for a relative error bound",
             });
         }
+        confidence.validate()?;
         let z = confidence.z();
         let n = z * z * self.variance / (epsilon * epsilon * self.mean * self.mean);
         Ok((n.ceil() as usize).max(30))
@@ -388,6 +432,36 @@ mod tests {
         ));
         let s = SampleStats::from_measurements(&sample()).unwrap();
         assert!(s.minimum_sample_size(0.0, Confidence::C99).is_err());
+    }
+
+    #[test]
+    fn bad_confidence_levels_are_rejected_at_the_boundary() {
+        // Each of these would previously have aborted the process inside
+        // `z_quantile` the first time a z-value was computed.
+        for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    Confidence::new_level(bad),
+                    Err(StatsError::InvalidParameter {
+                        name: "confidence",
+                        ..
+                    })
+                ),
+                "{bad} accepted"
+            );
+            assert!(Confidence::Level(bad).validate().is_err(), "{bad}");
+        }
+        let s = SampleStats::from_measurements(&sample()).unwrap();
+        assert!(matches!(
+            s.minimum_sample_size(0.05, Confidence::Level(1.5)),
+            Err(StatsError::InvalidParameter { .. })
+        ));
+        // Valid levels pass through unchanged.
+        let c = Confidence::new_level(0.9).unwrap();
+        assert_eq!(c, Confidence::Level(0.9));
+        for good in [Confidence::C95, Confidence::C99, Confidence::C999] {
+            good.validate().unwrap();
+        }
     }
 
     #[test]

@@ -24,6 +24,12 @@ pub struct RandDesignConfig {
     pub with_memory: bool,
     /// Number of named outputs.
     pub outputs: usize,
+    /// The width ladder node widths are drawn from. Entries outside
+    /// `1..=64` are ignored; an empty (or all-invalid) ladder falls back
+    /// to `[1]`. Skewed ladders like `[64]` (no 1-bit nodes for mux
+    /// selects and enables) or `[1]` (no node wide enough for a memory
+    /// address) are valid and exercise the generator's fallback paths.
+    pub widths: Vec<u32>,
 }
 
 impl Default for RandDesignConfig {
@@ -34,6 +40,7 @@ impl Default for RandDesignConfig {
             regs: 6,
             with_memory: true,
             outputs: 4,
+            widths: vec![1, 4, 8, 13, 16, 32, 64],
         }
     }
 }
@@ -41,6 +48,13 @@ impl Default for RandDesignConfig {
 /// Generates a random valid design from a seed.
 ///
 /// The same `(seed, config)` pair always produces the same design.
+///
+/// Every configuration is valid, including degenerate corners
+/// (`inputs: 0`, `ops: 0`, `regs: 0`, `outputs: 0`, restricted width
+/// ladders): seeded per-width constants keep the operand pool non-empty,
+/// and every selection site that filters the pool by width has a
+/// derivation fallback (slice a bit out of a wide node, synthesize a
+/// constant) for when the filter comes up empty.
 ///
 /// # Panics
 ///
@@ -50,10 +64,14 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut d = Design::new(format!("rand_{seed}"));
 
-    let widths: Vec<Width> = [1u32, 4, 8, 13, 16, 32, 64]
+    let mut widths: Vec<Width> = config
+        .widths
         .iter()
-        .map(|&b| Width::new(b).expect("static widths"))
+        .filter_map(|&b| Width::new(b).ok())
         .collect();
+    if widths.is_empty() {
+        widths.push(Width::BIT);
+    }
     let pick_width = |rng: &mut StdRng| widths[rng.gen_range(0..widths.len())];
 
     // Pools of available nodes per width for operand selection.
@@ -134,16 +152,22 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
                     .expect("same width")
             }
             5 => {
-                // Mux: need a 1-bit select.
+                // Mux: need a 1-bit select. With a ladder like `[64]`
+                // the pool holds no 1-bit nodes, so derive one by
+                // slicing bit 0 out of `a`.
                 let wa = d.width(a);
                 let sels: Vec<NodeId> = pool
                     .iter()
                     .copied()
                     .filter(|&n| d.width(n) == Width::BIT)
                     .collect();
+                let sel = if sels.is_empty() {
+                    d.slice(a, 0, 0).expect("bit 0 always in range")
+                } else {
+                    sels[rng.gen_range(0..sels.len())]
+                };
                 let partners: Vec<NodeId> =
                     pool.iter().copied().filter(|&n| d.width(n) == wa).collect();
-                let sel = sels[rng.gen_range(0..sels.len())];
                 let f = partners[rng.gen_range(0..partners.len())];
                 d.mux(sel, a, f).expect("checked widths")
             }
@@ -206,12 +230,14 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
         let w = d.register(r).width();
         let candidates: Vec<NodeId> = pool.iter().copied().filter(|&n| d.width(n) == w).collect();
         let next = candidates[rng.gen_range(0..candidates.len())];
-        let enable = if rng.gen_bool(0.5) {
-            let sels: Vec<NodeId> = pool
-                .iter()
-                .copied()
-                .filter(|&n| d.width(n) == Width::BIT)
-                .collect();
+        // An always-enabled register is the natural fallback when the
+        // width ladder left no 1-bit node to use as an enable.
+        let sels: Vec<NodeId> = pool
+            .iter()
+            .copied()
+            .filter(|&n| d.width(n) == Width::BIT)
+            .collect();
+        let enable = if rng.gen_bool(0.5) && !sels.is_empty() {
             Some(sels[rng.gen_range(0..sels.len())])
         } else {
             None
@@ -219,28 +245,41 @@ pub fn rand_design(seed: u64, config: &RandDesignConfig) -> Design {
         d.reconnect_reg(r, next, enable).expect("checked widths");
     }
 
-    // Memory write port.
+    // Memory write port. Narrow ladders may leave no node wide enough
+    // for the address or data, and no 1-bit node for the write enable;
+    // synthesize constants (address/data) or slice a bit (enable) then.
     if let Some(m) = mem {
-        let addr_src = loop {
-            let n = pick(&mut rng, &pool);
-            if d.width(n).bits() >= 5 {
-                break n;
+        let slice_or_const = |d: &mut Design, rng: &mut StdRng, pool: &[NodeId], bits: u32| {
+            let w = Width::new(bits).expect("static width");
+            let wide: Vec<NodeId> = pool
+                .iter()
+                .copied()
+                .filter(|&n| d.width(n).bits() >= bits)
+                .collect();
+            if wide.is_empty() {
+                d.constant(rng.gen::<u64>() & w.mask(), w)
+            } else {
+                let src = wide[rng.gen_range(0..wide.len())];
+                if d.width(src).bits() == bits {
+                    src
+                } else {
+                    d.slice(src, bits - 1, 0).expect("in range")
+                }
             }
         };
-        let addr = d.slice(addr_src, 4, 0).expect("in range");
-        let data_src = loop {
-            let n = pick(&mut rng, &pool);
-            if d.width(n).bits() >= 16 {
-                break n;
-            }
-        };
-        let data = d.slice(data_src, 15, 0).expect("in range");
+        let addr = slice_or_const(&mut d, &mut rng, &pool, 5);
+        let data = slice_or_const(&mut d, &mut rng, &pool, 16);
         let sels: Vec<NodeId> = pool
             .iter()
             .copied()
             .filter(|&n| d.width(n) == Width::BIT)
             .collect();
-        let we = sels[rng.gen_range(0..sels.len())];
+        let we = if sels.is_empty() {
+            let src = pick(&mut rng, &pool);
+            d.slice(src, 0, 0).expect("bit 0 always in range")
+        } else {
+            sels[rng.gen_range(0..sels.len())]
+        };
         d.mem_write(m, addr, data, we).expect("checked widths");
     }
 

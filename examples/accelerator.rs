@@ -99,7 +99,7 @@ fn main() -> Result<(), strober::StroberError> {
 
     let run = flow.run_sampled(&mut VectorFeeder, 100_000)?;
     let results = flow.replay_all(&run.snapshots, 4)?;
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow.estimate(&run, &results)?;
 
     println!();
     print!("{estimate}");

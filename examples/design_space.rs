@@ -39,7 +39,7 @@ fn main() -> Result<(), strober::StroberError> {
         assert!(dram.exit_code().is_some(), "workload must finish");
 
         let results = flow.replay_all(&run.snapshots, 4)?;
-        let estimate = flow.estimate(&run, &results);
+        let estimate = flow.estimate(&run, &results)?;
 
         let instret = dram.instret();
         let cpi = run.target_cycles as f64 / instret as f64;

@@ -95,7 +95,7 @@ fn main() -> Result<(), strober::StroberError> {
     );
 
     // 4. The estimate.
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow.estimate(&run, &results)?;
     println!();
     print!("{estimate}");
     println!(

@@ -83,7 +83,7 @@ fn sampled_estimate_matches_gate_level_truth() {
     for r in &results {
         assert!(r.outputs_checked > 0, "replay must verify outputs");
     }
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow.estimate(&run, &results).expect("estimate");
 
     // The coverage is a few percent of the cycles, as in Table IV.
     let covered =

@@ -53,7 +53,7 @@ fn repeated_estimates_scatter_around_a_common_mean() {
         let mut driver = PhaseDriver { period: 160 };
         let run = flow.run_sampled(&mut driver, 40_000).unwrap();
         let results = flow.replay_all(&run.snapshots, 4).unwrap();
-        let est = flow.estimate(&run, &results);
+        let est = flow.estimate(&run, &results).expect("estimate");
         estimates.push((est.mean_power_mw(), est.interval().half_width()));
     }
 
@@ -91,7 +91,7 @@ fn larger_samples_give_tighter_intervals() {
         let mut driver = PhaseDriver { period: 160 };
         let run = flow.run_sampled(&mut driver, 60_000).unwrap();
         let results = flow.replay_all(&run.snapshots, 4).unwrap();
-        let est = flow.estimate(&run, &results);
+        let est = flow.estimate(&run, &results).expect("estimate");
         widths.push(est.interval().relative_error_bound());
     }
     assert!(

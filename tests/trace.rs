@@ -42,7 +42,7 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
     // batch span/metric family instead.
     let batched = flow.replay_all(&run.snapshots, 2).expect("batched replays");
     assert_eq!(batched, results, "packed lanes diverge from scalar replay");
-    let estimate = flow.estimate(&run, &results);
+    let estimate = flow.estimate(&run, &results).expect("estimate");
     assert!(estimate.mean_power_mw() > 0.0);
 
     let events = strober_probe::take_events();
