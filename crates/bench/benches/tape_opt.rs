@@ -1,0 +1,64 @@
+//! Optimizing tape compiler throughput (EXPERIMENTS.md "Tape optimizer"):
+//! the FAME1-transformed Rok hub — the exact workload `ZynqHost::run`
+//! steps every target cycle — with the pass pipeline off, each pass
+//! enabled alone, and the full pipeline. Throughput is reported in hub
+//! cycles per second, so the criterion numbers line up with the
+//! `strober.core.sim_cycles_per_sec` gauge.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use strober_cores::{build_core, CoreConfig};
+use strober_fame::{transform, FameConfig};
+use strober_sim::{Simulator, TapeOptions};
+
+const CYCLES: u64 = 2048;
+
+fn bench_tape_opt(c: &mut Criterion) {
+    let design = build_core(&CoreConfig::rok_tiny());
+    let fame = transform(&design, &FameConfig::default()).expect("transform");
+
+    let off = TapeOptions {
+        const_fold: false,
+        copy_prop: false,
+        dce: false,
+        fuse: false,
+    };
+    let configs = [
+        ("unoptimized", TapeOptions::none()),
+        (
+            "const_fold",
+            TapeOptions {
+                const_fold: true,
+                ..off
+            },
+        ),
+        (
+            "copy_prop",
+            TapeOptions {
+                copy_prop: true,
+                ..off
+            },
+        ),
+        ("dce", TapeOptions { dce: true, ..off }),
+        ("fuse", TapeOptions { fuse: true, ..off }),
+        ("optimized", TapeOptions::all()),
+    ];
+
+    let mut group = c.benchmark_group("tape_opt");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(CYCLES));
+    for (name, options) in configs {
+        group.bench_function(name, |b| {
+            let mut sim = Simulator::with_options(&fame.hub, &options).expect("hub");
+            sim.poke_by_name(&fame.meta.control.fire, 1).expect("fire");
+            b.iter(|| {
+                sim.step_n(CYCLES);
+                black_box(sim.cycle());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tape_opt);
+criterion_main!(benches);

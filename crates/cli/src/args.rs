@@ -101,6 +101,8 @@ pub struct EstimateArgs {
     pub trace_out: Option<String>,
     /// Print the metrics snapshot table after the results.
     pub metrics: bool,
+    /// Disable the optimizing tape compiler on the hub simulator.
+    pub no_tape_opt: bool,
 }
 
 impl Default for EstimateArgs {
@@ -125,6 +127,7 @@ impl Default for EstimateArgs {
             manifest: None,
             trace_out: None,
             metrics: false,
+            no_tape_opt: false,
         }
     }
 }
@@ -319,6 +322,7 @@ fn parse_command<'a>(
                     "--manifest" => a.manifest = Some(take_value(flag, &mut it)?),
                     "--trace-out" => a.trace_out = Some(take_value(flag, &mut it)?),
                     "--metrics" => a.metrics = true,
+                    "--no-tape-opt" => a.no_tape_opt = true,
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -494,7 +498,7 @@ USAGE:
                    [-n N] [-L CYCLES] [--seed S] [--jobs P]
                    [--batch-lanes K] [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
-                   [--trace-out FILE] [--metrics]
+                   [--trace-out FILE] [--metrics] [--no-tape-opt]
       Run the full flow: fast sampled simulation, gate-level replay,
       average power with a 99% confidence interval. Prepared artifacts
       (FAME hub, netlist, name map) are cached content-addressed under
@@ -507,7 +511,10 @@ USAGE:
       uses every hardware thread unless --jobs (alias --parallel)
       says otherwise, and packs up to --batch-lanes snapshots (default
       64, max 64) into the bit-lanes of each gate-level pass; set
-      --batch-lanes 1 for the scalar reference replay.
+      --batch-lanes 1 for the scalar reference replay. --no-tape-opt
+      disables the hub simulator's optimizing tape compiler (constant
+      folding, copy propagation, dead code elimination, fusion) — an
+      escape hatch for isolating a suspected optimizer miscompile.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -574,6 +581,15 @@ mod tests {
         assert!(a.json);
         assert_eq!(a.trace_out.as_deref(), Some("trace.json"));
         assert!(a.metrics);
+        assert!(!a.no_tape_opt);
+    }
+
+    #[test]
+    fn parses_no_tape_opt() {
+        let Command::Estimate(a) = parse(&["estimate", "--no-tape-opt"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert!(a.no_tape_opt);
     }
 
     #[test]

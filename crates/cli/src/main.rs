@@ -115,12 +115,13 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     let config = core_config(&a.core)?;
     let image = load_image(&a.workload, &a.asm)?;
     let design = build_core(&config);
-    let session = StroberConfig {
+    let mut session = StroberConfig {
         replay_length: a.replay_length,
         sample_size: a.samples,
         seed: a.seed,
         ..StroberConfig::default()
     };
+    session.platform.tape_opt = !a.no_tape_opt;
     let mut manifest = RunManifest::new(
         config.name.clone(),
         a.asm.clone().unwrap_or_else(|| a.workload.clone()),

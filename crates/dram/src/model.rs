@@ -1,6 +1,85 @@
 //! The DRAM timing model and activity counters.
 
-use strober_platform::{HostModel, OutputView};
+use strober_platform::{HostModel, OutputView, TargetInput, TargetOutput};
+use strober_sim::{NodeId, PortId};
+
+/// The core memory-interface ports of a FAME hub, resolved once on the
+/// first [`HostModel::tick`] so the per-cycle loop never hashes a name.
+#[derive(Debug, Clone, Copy)]
+struct HubPorts {
+    resp_valid: TargetInput,
+    resp_tag: TargetInput,
+    resp_rdata: TargetInput,
+    req_valid: TargetOutput,
+    req_rw: TargetOutput,
+    req_addr: TargetOutput,
+    req_wdata: TargetOutput,
+    req_tag: TargetOutput,
+    console_valid: TargetOutput,
+    console_byte: TargetOutput,
+    tohost: TargetOutput,
+    instret: TargetOutput,
+}
+
+impl HubPorts {
+    fn resolve(io: &OutputView<'_>) -> Self {
+        HubPorts {
+            resp_valid: io.input("mem_resp_valid"),
+            resp_tag: io.input("mem_resp_tag"),
+            resp_rdata: io.input("mem_resp_rdata"),
+            req_valid: io.output("mem_req_valid"),
+            req_rw: io.output("mem_req_rw"),
+            req_addr: io.output("mem_req_addr"),
+            req_wdata: io.output("mem_req_wdata"),
+            req_tag: io.output("mem_req_tag"),
+            console_valid: io.output("console_valid"),
+            console_byte: io.output("console_byte"),
+            tohost: io.output("tohost"),
+            instret: io.output("instret"),
+        }
+    }
+}
+
+/// The same interface resolved against a bare simulator for
+/// [`DramModel::tick_raw`]. The console ports are optional there (cores
+/// without a console still run bare workloads).
+#[derive(Debug, Clone, Copy)]
+struct RawPorts {
+    resp_valid: PortId,
+    resp_tag: PortId,
+    resp_rdata: PortId,
+    req_valid: NodeId,
+    req_rw: NodeId,
+    req_addr: NodeId,
+    req_wdata: NodeId,
+    req_tag: NodeId,
+    console: Option<(NodeId, NodeId)>,
+    tohost: NodeId,
+    instret: NodeId,
+}
+
+impl RawPorts {
+    fn resolve(sim: &strober_sim::Simulator) -> Self {
+        let port = |n: &str| sim.resolve_port(n).expect("core port");
+        let out = |n: &str| sim.resolve_output(n).expect("core port");
+        RawPorts {
+            resp_valid: port("mem_resp_valid"),
+            resp_tag: port("mem_resp_tag"),
+            resp_rdata: port("mem_resp_rdata"),
+            req_valid: out("mem_req_valid"),
+            req_rw: out("mem_req_rw"),
+            req_addr: out("mem_req_addr"),
+            req_wdata: out("mem_req_wdata"),
+            req_tag: out("mem_req_tag"),
+            console: sim
+                .resolve_output("console_valid")
+                .ok()
+                .zip(sim.resolve_output("console_byte").ok()),
+            tohost: out("tohost"),
+            instret: out("instret"),
+        }
+    }
+}
 
 /// Timing and geometry parameters.
 ///
@@ -58,6 +137,10 @@ struct Inflight {
 /// Backing storage plus the timing model; drives a core's external memory
 /// port either through [`HostModel`] (on the FAME platform) or directly
 /// via [`DramModel::tick_raw`] (on a bare simulator).
+///
+/// Port names are resolved to numeric handles on the first serviced cycle
+/// and cached, so one model instance must keep driving the same target it
+/// first ticked.
 #[derive(Debug, Clone)]
 pub struct DramModel {
     cfg: DramConfig,
@@ -69,6 +152,8 @@ pub struct DramModel {
     console: Vec<u8>,
     tohost: u64,
     instret: u64,
+    hub_ports: Option<HubPorts>,
+    raw_ports: Option<RawPorts>,
 }
 
 impl DramModel {
@@ -94,6 +179,8 @@ impl DramModel {
             console: Vec::new(),
             tohost: 0,
             instret: 0,
+            hub_ports: None,
+            raw_ports: None,
         }
     }
 
@@ -237,27 +324,28 @@ impl DramModel {
     ///
     /// Panics if the design does not expose the core memory interface.
     pub fn tick_raw(&mut self, sim: &mut strober_sim::Simulator) {
+        let p = *self.raw_ports.get_or_insert_with(|| RawPorts::resolve(sim));
         let resp = self.response();
-        sim.poke_by_name("mem_resp_valid", resp.0)
-            .expect("core port");
-        sim.poke_by_name("mem_resp_tag", resp.1).expect("core port");
-        sim.poke_by_name("mem_resp_rdata", resp.2)
-            .expect("core port");
-        let valid = sim.peek_output("mem_req_valid").expect("core port") == 1;
-        let rw = sim.peek_output("mem_req_rw").expect("core port") == 1;
-        let addr = sim.peek_output("mem_req_addr").expect("core port") as u32;
-        let wdata = sim.peek_output("mem_req_wdata").expect("core port") as u32;
-        let tag = sim.peek_output("mem_req_tag").expect("core port");
+        sim.poke(p.resp_valid, resp.0);
+        sim.poke(p.resp_tag, resp.1);
+        sim.poke(p.resp_rdata, resp.2);
+        let valid = sim.peek(p.req_valid) == 1;
+        let rw = sim.peek(p.req_rw) == 1;
+        let addr = sim.peek(p.req_addr) as u32;
+        let wdata = sim.peek(p.req_wdata) as u32;
+        let tag = sim.peek(p.req_tag);
         self.request(valid, rw, addr, wdata, tag);
         if valid || self.inflight.is_some() {
             self.counters.busy_cycles += 1;
         }
-        if sim.peek_output("console_valid").unwrap_or(0) == 1 {
-            let byte = sim.peek_output("console_byte").unwrap_or(0) as u8;
-            self.console.push(byte);
+        if let Some((console_valid, console_byte)) = p.console {
+            if sim.peek(console_valid) == 1 {
+                let byte = sim.peek(console_byte) as u8;
+                self.console.push(byte);
+            }
         }
-        self.tohost = sim.peek_output("tohost").expect("core port");
-        self.instret = sim.peek_output("instret").expect("core port");
+        self.tohost = sim.peek(p.tohost);
+        self.instret = sim.peek(p.instret);
         sim.step();
         self.now += 1;
     }
@@ -293,25 +381,26 @@ impl DramModel {
 
 impl HostModel for DramModel {
     fn tick(&mut self, _cycle: u64, io: &mut OutputView<'_>) {
+        let p = *self.hub_ports.get_or_insert_with(|| HubPorts::resolve(io));
         let resp = self.response();
-        io.set("mem_resp_valid", resp.0);
-        io.set("mem_resp_tag", resp.1);
-        io.set("mem_resp_rdata", resp.2);
-        let valid = io.get("mem_req_valid") == 1;
-        let rw = io.get("mem_req_rw") == 1;
-        let addr = io.get("mem_req_addr") as u32;
-        let wdata = io.get("mem_req_wdata") as u32;
-        let tag = io.get("mem_req_tag");
+        io.write(p.resp_valid, resp.0);
+        io.write(p.resp_tag, resp.1);
+        io.write(p.resp_rdata, resp.2);
+        let valid = io.read(p.req_valid) == 1;
+        let rw = io.read(p.req_rw) == 1;
+        let addr = io.read(p.req_addr) as u32;
+        let wdata = io.read(p.req_wdata) as u32;
+        let tag = io.read(p.req_tag);
         self.request(valid, rw, addr, wdata, tag);
         if valid || self.inflight.is_some() {
             self.counters.busy_cycles += 1;
         }
-        if io.get("console_valid") == 1 {
-            let byte = io.get("console_byte") as u8;
+        if io.read(p.console_valid) == 1 {
+            let byte = io.read(p.console_byte) as u8;
             self.console.push(byte);
         }
-        self.tohost = io.get("tohost");
-        self.instret = io.get("instret");
+        self.tohost = io.read(p.tohost);
+        self.instret = io.read(p.instret);
         self.now += 1;
     }
 

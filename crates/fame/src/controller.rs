@@ -103,20 +103,26 @@ impl SnapshotController {
     ///
     /// Returns [`SimError`] for a mismatched simulator.
     pub fn begin_snapshot(&mut self, sim: &mut Simulator) -> Result<PendingSnapshot, SimError> {
-        let ctl = self.meta.control.clone();
+        // Resolve every control name once — the shift and stream loops
+        // below run once per register and per memory word, so per-cycle
+        // string hashing would dominate the scan cost on large targets.
+        let ctl = &self.meta.control;
         let cycle = sim.peek_output(&ctl.cycle)?;
+        let scan_capture = sim.resolve_port(&ctl.scan_capture)?;
+        let scan_shift = sim.resolve_port(&ctl.scan_shift)?;
+        let scan_out = sim.resolve_output(&ctl.scan_out)?;
 
         // Capture strobe: shadow chain loads every register in one cycle.
-        sim.poke_by_name(&ctl.scan_capture, 1)?;
+        sim.poke(scan_capture, 1);
         sim.step();
-        sim.poke_by_name(&ctl.scan_capture, 0)?;
+        sim.poke(scan_capture, 0);
         self.overhead_cycles += 1;
 
         // Shift the chain out one element per cycle.
-        sim.poke_by_name(&ctl.scan_shift, 1)?;
+        sim.poke(scan_shift, 1);
         let mut regs = Vec::with_capacity(self.meta.scan_chain.len());
         for elem in &self.meta.scan_chain {
-            let raw = sim.peek_output(&ctl.scan_out)?;
+            let raw = sim.peek(scan_out);
             let mask = Width::new(elem.width)
                 .expect("meta widths are valid")
                 .mask();
@@ -124,17 +130,26 @@ impl SnapshotController {
             sim.step();
             self.overhead_cycles += 1;
         }
-        sim.poke_by_name(&ctl.scan_shift, 0)?;
+        sim.poke(scan_shift, 0);
 
         // Stream each memory through its borrowed read port.
         let mut mems = Vec::with_capacity(self.meta.mem_scans.len());
         if !self.meta.mem_scans.is_empty() {
-            sim.poke_by_name(&ctl.mem_scan_rst, 1)?;
+            let mem_scan_rst = sim.resolve_port(&ctl.mem_scan_rst)?;
+            let mem_scan_en = sim.resolve_port(&ctl.mem_scan_en)?;
+            let out_ports = self
+                .meta
+                .mem_scans
+                .iter()
+                .map(|m| sim.resolve_output(&m.out_port))
+                .collect::<Result<Vec<_>, _>>()?;
+
+            sim.poke(mem_scan_rst, 1);
             sim.step();
-            sim.poke_by_name(&ctl.mem_scan_rst, 0)?;
+            sim.poke(mem_scan_rst, 0);
             self.overhead_cycles += 1;
 
-            sim.poke_by_name(&ctl.mem_scan_en, 1)?;
+            sim.poke(mem_scan_en, 1);
             let max_depth = self
                 .meta
                 .mem_scans
@@ -151,13 +166,13 @@ impl SnapshotController {
             for addr in 0..max_depth {
                 for (mi, m) in self.meta.mem_scans.iter().enumerate() {
                     if addr < m.depth {
-                        contents[mi].push(sim.peek_output(&m.out_port)?);
+                        contents[mi].push(sim.peek(out_ports[mi]));
                     }
                 }
                 sim.step();
                 self.overhead_cycles += 1;
             }
-            sim.poke_by_name(&ctl.mem_scan_en, 0)?;
+            sim.poke(mem_scan_en, 0);
             for (m, c) in self.meta.mem_scans.iter().zip(contents) {
                 mems.push((m.rtl_name.clone(), c));
             }
@@ -184,10 +199,24 @@ impl SnapshotController {
         sim: &mut Simulator,
         pending: PendingSnapshot,
     ) -> Result<FameSnapshot, SimError> {
-        let ctl = self.meta.control.clone();
         let window = (self.meta.replay_length + self.meta.warmup) as usize;
         let depth = self.meta.trace_depth;
         let trace_start = pending.cycle.saturating_sub(u64::from(self.meta.warmup));
+
+        // One name resolution per port, not one per traced cycle.
+        let trace_raddr = sim.resolve_port(&self.meta.control.trace_raddr)?;
+        let in_nodes = self
+            .meta
+            .traces_in
+            .iter()
+            .map(|t| sim.resolve_output(&t.out_port))
+            .collect::<Result<Vec<_>, _>>()?;
+        let out_nodes = self
+            .meta
+            .traces_out
+            .iter()
+            .map(|t| sim.resolve_output(&t.out_port))
+            .collect::<Result<Vec<_>, _>>()?;
 
         // Trace entry for target cycle t lives at index t mod depth.
         let mut inputs: Vec<(String, Vec<u64>)> = self
@@ -204,12 +233,12 @@ impl SnapshotController {
             .collect();
         for k in 0..window as u64 {
             let idx = (trace_start + k) % depth as u64;
-            sim.poke_by_name(&ctl.trace_raddr, idx)?;
-            for (ti, t) in self.meta.traces_in.iter().enumerate() {
-                inputs[ti].1.push(sim.peek_output(&t.out_port)?);
+            sim.poke(trace_raddr, idx);
+            for (ti, &node) in in_nodes.iter().enumerate() {
+                inputs[ti].1.push(sim.peek(node));
             }
-            for (ti, t) in self.meta.traces_out.iter().enumerate() {
-                outputs[ti].1.push(sim.peek_output(&t.out_port)?);
+            for (ti, &node) in out_nodes.iter().enumerate() {
+                outputs[ti].1.push(sim.peek(node));
             }
         }
         // Trace readout happens over the host interface; account one host

@@ -6,7 +6,8 @@
 //! | oracle      | engine                                   | compared against |
 //! |-------------|------------------------------------------|------------------|
 //! | `naive`     | tree-walking interpreter                 | (reference)      |
-//! | `tape`      | compiled op-tape simulator               | `naive`          |
+//! | `tape`      | compiled op-tape, optimizing compiler    | `naive`          |
+//! | `tape-raw`  | compiled op-tape, optimizer disabled     | `naive`          |
 //! | `fame`      | FAME1 hub with `fire` held high          | `naive`          |
 //! | `gate`      | scalar gate-level sim of the netlist     | `naive`/`tape`   |
 //! | `batch@L`   | L-lane bit-parallel gate-level sim       | `gate`           |
@@ -24,9 +25,9 @@ use strober::{StroberConfig, StroberFlow};
 use strober_fame::{transform, FameConfig};
 use strober_gates::{CellKind, CellLibrary, Gate, Netlist};
 use strober_gatesim::{ActivityReport, BatchSim, GateSim};
-use strober_platform::{HostModel, OutputView};
+use strober_platform::{HostModel, OutputView, TargetInput};
 use strober_power::PowerAnalyzer;
-use strober_sim::{NaiveInterpreter, Simulator};
+use strober_sim::{NaiveInterpreter, Simulator, TapeOptions};
 use strober_synth::{synthesize, SynthOptions};
 
 /// A deliberately-introduced netlist bug, applied after synthesis to
@@ -346,23 +347,32 @@ pub fn check(genome: &Genome, cfg: &OracleConfig) -> Result<(), Divergence> {
         refs.push(run);
     }
 
-    // --- Oracle: compiled tape simulator, both streams. ---
-    for (stream_lane, reference) in refs.iter().enumerate() {
-        let stream = lane_stream(genome, stream_lane);
-        let mut tape = Simulator::new(&design).map_err(|e| err("tape", e.to_string()))?;
-        let run = run_rtl(
-            &mut tape,
-            &ports,
-            &outputs,
-            stream,
-            cycles,
-            |e, n, v| e.poke_by_name(n, v).map_err(|e| e.to_string()),
-            |e, n| e.peek_output(n).map_err(|e| e.to_string()),
-            |e| e.step(),
-            |e| e.state(),
-        )
-        .map_err(|d| err("tape", d))?;
-        compare_rtl("tape", &run, reference, &outputs)?;
+    // --- Oracle: compiled tape simulator, both streams, with the
+    // optimizing tape compiler both enabled (the default) and disabled.
+    // Running both lanes over the same stimulus makes every fuzz seed a
+    // differential test of the optimizer passes themselves.
+    for (oracle, options) in [
+        ("tape", TapeOptions::all()),
+        ("tape-raw", TapeOptions::none()),
+    ] {
+        for (stream_lane, reference) in refs.iter().enumerate() {
+            let stream = lane_stream(genome, stream_lane);
+            let mut tape = Simulator::with_options(&design, &options)
+                .map_err(|e| err(oracle, e.to_string()))?;
+            let run = run_rtl(
+                &mut tape,
+                &ports,
+                &outputs,
+                stream,
+                cycles,
+                |e, n, v| e.poke_by_name(n, v).map_err(|e| e.to_string()),
+                |e, n| e.peek_output(n).map_err(|e| e.to_string()),
+                |e| e.step(),
+                |e| e.state(),
+            )
+            .map_err(|d| err(oracle, d))?;
+            compare_rtl(oracle, &run, reference, &outputs)?;
+        }
     }
 
     // --- Oracle: FAME1 hub with fire held high (stream A only). ---
@@ -584,12 +594,17 @@ struct StimDriver {
     inputs: Vec<String>,
     masks: Vec<u64>,
     stream: u64,
+    handles: Option<Vec<TargetInput>>,
 }
 
 impl HostModel for StimDriver {
     fn tick(&mut self, c: u64, io: &mut OutputView<'_>) {
-        for (i, name) in self.inputs.iter().enumerate() {
-            io.set(name, stimulus(self.stream, i, c) & self.masks[i]);
+        let inputs = &self.inputs;
+        let handles = self
+            .handles
+            .get_or_insert_with(|| inputs.iter().map(|n| io.input(n)).collect());
+        for (i, &h) in handles.iter().enumerate() {
+            io.write(h, stimulus(self.stream, i, c) & self.masks[i]);
         }
     }
 }
@@ -612,6 +627,7 @@ fn check_flow(
         inputs: ports.iter().map(|(n, _)| n.clone()).collect(),
         masks: ports.iter().map(|(_, m)| *m).collect(),
         stream: lane_stream(genome, 0),
+        handles: None,
     };
     let max_cycles = u64::from(genome.cycles).max(64) * 4;
     let run = flow

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use strober_fame::{FameResult, FameSnapshot, SnapshotController};
 use strober_rtl::{NodeId, PortId};
-use strober_sim::{SimError, Simulator};
+use strober_sim::{SimError, Simulator, TapeOptions};
 
 /// Host-side models of the target's environment (main memory, I/O
 /// devices), serviced once per target cycle — the software half of the
@@ -23,6 +23,17 @@ pub trait HostModel {
         false
     }
 }
+
+/// A pre-resolved handle to a target output, obtained from
+/// [`OutputView::output`]. Lets host models skip the name hash on every
+/// cycle of the hot driver loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetOutput(NodeId);
+
+/// A pre-resolved handle to a target input, obtained from
+/// [`OutputView::input`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInput(PortId);
 
 /// The host model's window onto the target's ports.
 #[derive(Debug)]
@@ -58,6 +69,46 @@ impl OutputView<'_> {
             .unwrap_or_else(|| panic!("host model drove unknown target input `{name}`"));
         self.sim.poke(port, value);
     }
+
+    /// Resolves a target output name once; pair with
+    /// [`read`](OutputView::read) in per-cycle loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown output name — a host-model programming error.
+    pub fn output(&self, name: &str) -> TargetOutput {
+        TargetOutput(
+            *self
+                .out_map
+                .get(name)
+                .unwrap_or_else(|| panic!("host model resolved unknown target output `{name}`")),
+        )
+    }
+
+    /// Resolves a target input name once; pair with
+    /// [`write`](OutputView::write) in per-cycle loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown input name — a host-model programming error.
+    pub fn input(&self, name: &str) -> TargetInput {
+        TargetInput(
+            *self
+                .in_map
+                .get(name)
+                .unwrap_or_else(|| panic!("host model resolved unknown target input `{name}`")),
+        )
+    }
+
+    /// Reads a target output through a pre-resolved handle (no hashing).
+    pub fn read(&mut self, port: TargetOutput) -> u64 {
+        self.sim.peek(port.0)
+    }
+
+    /// Drives a target input through a pre-resolved handle (no hashing).
+    pub fn write(&mut self, port: TargetInput, value: u64) {
+        self.sim.poke(port.0, value);
+    }
 }
 
 /// Cost-model parameters for the simulated platform.
@@ -78,6 +129,9 @@ pub struct PlatformConfig {
     /// Fixed host-side seconds per snapshot record (the paper's measured
     /// 1.3 s per replayable RTL snapshot readout).
     pub record_fixed_seconds: f64,
+    /// Whether the hub simulator runs the optimizing tape compiler
+    /// (default `true`); the CLI `--no-tape-opt` escape hatch clears it.
+    pub tape_opt: bool,
 }
 
 impl Default for PlatformConfig {
@@ -87,6 +141,7 @@ impl Default for PlatformConfig {
             sync_period: 256,
             sync_penalty_cycles: 3020,
             record_fixed_seconds: 1.3,
+            tape_opt: true,
         }
     }
 }
@@ -162,10 +217,16 @@ impl ZynqHost {
     /// Returns [`SimError`] when the hub design is malformed, or the hub's
     /// validation error via `strober-sim`.
     pub fn new(fame: &FameResult, cfg: PlatformConfig) -> Result<Self, SimError> {
-        let mut sim = Simulator::new(&fame.hub).map_err(|e| SimError::UnknownName {
-            kind: "hub design",
-            name: e.to_string(),
-        })?;
+        let options = if cfg.tape_opt {
+            TapeOptions::all()
+        } else {
+            TapeOptions::none()
+        };
+        let mut sim =
+            Simulator::with_options(&fame.hub, &options).map_err(|e| SimError::UnknownName {
+                kind: "hub design",
+                name: e.to_string(),
+            })?;
         let ctl = SnapshotController::new(&fame.meta);
         let out_map: HashMap<String, NodeId> = fame
             .hub

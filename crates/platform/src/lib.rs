@@ -32,5 +32,7 @@ mod host;
 mod mmio;
 
 pub use channel::TokenChannel;
-pub use host::{HostModel, OutputView, PlatformConfig, PlatformStats, ZynqHost};
+pub use host::{
+    HostModel, OutputView, PlatformConfig, PlatformStats, TargetInput, TargetOutput, ZynqHost,
+};
 pub use mmio::{MmioMap, MmioReg};

@@ -5,9 +5,13 @@
 //! any [`strober_rtl::Design`]. Where the paper maps the FAME1-transformed
 //! design onto FPGA fabric, we compile the design's combinational graph once
 //! into a flat *op tape* — a topologically ordered array of pre-resolved
-//! operations — and evaluate it per cycle. The tape simulator is orders of
-//! magnitude faster than gate-level simulation of the same design, which is
-//! precisely the speed differential the sample-based methodology exploits.
+//! operations — and evaluate it per cycle. An optimizing pass pipeline
+//! (constant folding, copy propagation, dead-code elimination, peephole
+//! fusion and dense slot renumbering — see [`TapeOptions`] and DESIGN.md
+//! §11) shrinks the tape before the first step. The tape simulator is
+//! orders of magnitude faster than gate-level simulation of the same
+//! design, which is precisely the speed differential the sample-based
+//! methodology exploits.
 //!
 //! Two engines are provided:
 //!
@@ -55,6 +59,7 @@
 
 mod error;
 mod interp;
+mod opt;
 pub mod rand_design;
 mod state;
 mod tape;
@@ -62,6 +67,10 @@ mod vcd;
 
 pub use error::SimError;
 pub use interp::NaiveInterpreter;
+pub use opt::{PassStats, TapeOptions};
 pub use state::SimState;
+// The id types the peek/poke/resolve APIs traffic in, re-exported so
+// callers holding pre-resolved handles need not depend on `strober-rtl`.
+pub use strober_rtl::{NodeId, PortId};
 pub use tape::Simulator;
 pub use vcd::VcdTrace;

@@ -1,14 +1,24 @@
 //! The compiled-tape simulator.
 
 use crate::error::SimError;
+use crate::opt::{PassStats, TapeOptions};
 use crate::state::SimState;
 use std::collections::HashMap;
 use std::sync::Arc;
-use strober_rtl::{BinOp, Design, MemId, Node, NodeId, RegId, UnOp, Width};
+use strober_rtl::{BinOp, Design, MemId, Node, NodeId, PortId, RegId, UnOp, Width};
+
+/// Sentinel slot for nodes the optimizer removed from the tape; reads of
+/// such nodes fall back to the tree-walking slow path.
+pub(crate) const DEAD: u32 = u32::MAX;
 
 /// One pre-resolved operation on the evaluation tape.
+///
+/// `dst`/operand fields are *value slots*, not node ids: the optimizer
+/// renumbers surviving ops into a dense evaluation-ordered layout.
+/// [`SliceBin`](TapeOp::SliceBin) and [`BinMux`](TapeOp::BinMux) are fused
+/// superops produced by the peephole pass.
 #[derive(Debug, Clone, Copy)]
-enum TapeOp {
+pub(crate) enum TapeOp {
     Input {
         dst: u32,
         port: u32,
@@ -57,21 +67,88 @@ enum TapeOp {
         dst: u32,
         src: u32,
     },
+    /// Fused slice-then-binary: one operand of the binary is
+    /// `(values[src] >> shift) & mask`, inlined.
+    SliceBin {
+        dst: u32,
+        op: BinOp,
+        src: u32,
+        shift: u8,
+        mask: u64,
+        other: u32,
+        w: Width,
+        slice_lhs: bool,
+    },
+    /// Fused binary-then-mux: the mux select is the binary's result,
+    /// computed inline.
+    BinMux {
+        dst: u32,
+        op: BinOp,
+        a: u32,
+        b: u32,
+        w: Width,
+        t: u32,
+        f: u32,
+    },
+    /// Fused mux-then-mux: one branch is a single-use inner mux, computed
+    /// inline (the scan-chain capture/shift cascade shape).
+    MuxMux {
+        dst: u32,
+        sel: u32,
+        other: u32,
+        inner_sel: u32,
+        inner_t: u32,
+        inner_f: u32,
+        /// Whether the inner mux sits on the true branch of the outer mux.
+        inner_in_true: bool,
+    },
+    /// Specialized `Binary { op: And, .. }`: operands are pre-masked, so
+    /// no width bookkeeping or operator dispatch is needed.
+    BitAnd {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `Binary { op: Or, .. }`.
+    BitOr {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `Binary { op: Xor, .. }`.
+    BitXor {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `Binary { op: Eq, .. }`.
+    CmpEq {
+        dst: u32,
+        a: u32,
+        b: u32,
+    },
+    /// Specialized `Unary { op: Not, .. }` with the width pre-baked as a
+    /// mask.
+    NotMask {
+        dst: u32,
+        a: u32,
+        mask: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
-struct RegPlan {
-    next: u32,
-    enable: Option<u32>,
-    mask: u64,
+pub(crate) struct RegPlan {
+    pub(crate) next: u32,
+    pub(crate) enable: Option<u32>,
+    pub(crate) mask: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
-struct WritePlan {
-    mem: u32,
-    addr: u32,
-    data: u32,
-    enable: u32,
+pub(crate) struct WritePlan {
+    pub(crate) mem: u32,
+    pub(crate) addr: u32,
+    pub(crate) data: u32,
+    pub(crate) enable: u32,
 }
 
 /// The compiled-tape cycle-accurate simulator.
@@ -89,109 +166,53 @@ pub struct Simulator {
     reg_plans: Vec<RegPlan>,
     write_plans: Vec<WritePlan>,
     values: Vec<u64>,
+    node_slot: Vec<u32>,
     regs: Vec<u64>,
     reg_next: Vec<u64>,
     mems: Vec<Vec<u64>>,
     inputs: Vec<u64>,
     cycle: u64,
     dirty: bool,
+    stats: PassStats,
     output_index: HashMap<String, NodeId>,
     port_index: HashMap<String, (u32, Width)>,
 }
 
 impl Simulator {
-    /// Compiles a design into a tape simulator.
+    /// Compiles a design into a tape simulator with the full optimizing
+    /// pass pipeline ([`TapeOptions::all`]).
     ///
     /// # Errors
     ///
     /// Returns the design's validation error if it is malformed (e.g.
     /// combinational loops or unconnected registers).
     pub fn new(design: &Design) -> Result<Self, strober_rtl::RtlError> {
+        Self::with_options(design, &TapeOptions::default())
+    }
+
+    /// Compiles a design with an explicit optimizer pass selection.
+    ///
+    /// [`TapeOptions::none`] bypasses the pipeline entirely and reproduces
+    /// the unoptimized one-op-per-node tape (slot == node index); this is
+    /// the `--no-tape-opt` path and the baseline for the per-pass golden
+    /// equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns the design's validation error if it is malformed.
+    pub fn with_options(
+        design: &Design,
+        options: &TapeOptions,
+    ) -> Result<Self, strober_rtl::RtlError> {
         design.validate()?;
         let topo = design.topo_order()?;
-
-        let mut values = vec![0u64; design.node_count()];
-        let mut tape = Vec::with_capacity(design.node_count());
-        for id in topo.iter() {
-            let dst = id.index() as u32;
-            match *design.node(id) {
-                Node::Const(v) => values[id.index()] = v,
-                Node::Input(p) => tape.push(TapeOp::Input {
-                    dst,
-                    port: p.index() as u32,
-                }),
-                Node::Unary { op, a } => tape.push(TapeOp::Unary {
-                    dst,
-                    op,
-                    a: a.index() as u32,
-                    w: design.width(a),
-                }),
-                Node::Binary { op, a, b } => tape.push(TapeOp::Binary {
-                    dst,
-                    op,
-                    a: a.index() as u32,
-                    b: b.index() as u32,
-                    w: design.width(a),
-                }),
-                Node::Mux { sel, t, f } => tape.push(TapeOp::Mux {
-                    dst,
-                    sel: sel.index() as u32,
-                    t: t.index() as u32,
-                    f: f.index() as u32,
-                }),
-                Node::Slice { a, hi, lo } => tape.push(TapeOp::Slice {
-                    dst,
-                    a: a.index() as u32,
-                    shift: lo as u8,
-                    mask: Width::new(hi - lo + 1).expect("validated").mask(),
-                }),
-                Node::Cat { hi, lo } => tape.push(TapeOp::Cat {
-                    dst,
-                    hi: hi.index() as u32,
-                    lo: lo.index() as u32,
-                    shift: design.width(lo).bits() as u8,
-                }),
-                Node::RegOut(r) => tape.push(TapeOp::RegOut {
-                    dst,
-                    reg: r.index() as u32,
-                }),
-                Node::MemRead { mem, port } => {
-                    let addr = design.memory(mem).read_ports()[port].addr();
-                    tape.push(TapeOp::MemRead {
-                        dst,
-                        mem: mem.index() as u32,
-                        addr: addr.index() as u32,
-                    });
-                }
-                Node::Wire(wid) => {
-                    let src = design.wire_driver(wid).expect("validated");
-                    tape.push(TapeOp::Wire {
-                        dst,
-                        src: src.index() as u32,
-                    });
-                }
-            }
-        }
-
-        let reg_plans = design
-            .registers()
-            .map(|(_, r)| RegPlan {
-                next: r.next().expect("validated").index() as u32,
-                enable: r.enable().map(|e| e.index() as u32),
-                mask: r.width().mask(),
-            })
-            .collect();
-
-        let mut write_plans = Vec::new();
-        for (mid, m) in design.memories() {
-            for wp in m.write_ports() {
-                write_plans.push(WritePlan {
-                    mem: mid.index() as u32,
-                    addr: wp.addr().index() as u32,
-                    data: wp.data().index() as u32,
-                    enable: wp.enable().index() as u32,
-                });
-            }
+        let plan = if options.any() {
+            crate::opt::compile(design, &topo, options)
+        } else {
+            crate::opt::lower_identity(design, &topo)
+        };
+        if options.any() {
+            record_pass_stats(&plan.stats);
         }
 
         let regs: Vec<u64> = design.registers().map(|(_, r)| r.init()).collect();
@@ -219,19 +240,58 @@ impl Simulator {
         let n_inputs = design.ports().len();
         Ok(Simulator {
             design: Arc::new(design.clone()),
-            tape,
-            reg_plans,
-            write_plans,
-            values,
+            tape: plan.tape,
+            reg_plans: plan.reg_plans,
+            write_plans: plan.write_plans,
+            values: plan.values,
+            node_slot: plan.node_slot,
             regs,
             reg_next,
             mems,
             inputs: vec![0; n_inputs],
             cycle: 0,
             dirty: true,
+            stats: plan.stats,
             output_index,
             port_index,
         })
+    }
+
+    /// What the optimizer did to this simulator's tape. All-zero pass
+    /// counters (with `ops_final == ops_initial`) indicate the unoptimized
+    /// [`TapeOptions::none`] lowering.
+    pub fn pass_stats(&self) -> PassStats {
+        self.stats
+    }
+
+    /// Counts of tape ops by kind, for optimizer diagnostics.
+    pub fn tape_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for op in &self.tape {
+            let kind = match op {
+                TapeOp::Input { .. } => "input".to_owned(),
+                TapeOp::Unary { op, .. } => format!("unary:{op:?}"),
+                TapeOp::Binary { op, .. } => format!("binary:{op:?}"),
+                TapeOp::Mux { .. } => "mux".to_owned(),
+                TapeOp::Slice { .. } => "slice".to_owned(),
+                TapeOp::Cat { .. } => "cat".to_owned(),
+                TapeOp::RegOut { .. } => "reg_out".to_owned(),
+                TapeOp::MemRead { .. } => "mem_read".to_owned(),
+                TapeOp::Wire { .. } => "wire".to_owned(),
+                TapeOp::SliceBin { op, .. } => format!("slice_bin:{op:?}"),
+                TapeOp::BinMux { op, .. } => format!("bin_mux:{op:?}"),
+                TapeOp::MuxMux { .. } => "mux_mux".to_owned(),
+                TapeOp::BitAnd { .. } => "and".to_owned(),
+                TapeOp::BitOr { .. } => "or".to_owned(),
+                TapeOp::BitXor { .. } => "xor".to_owned(),
+                TapeOp::CmpEq { .. } => "eq".to_owned(),
+                TapeOp::NotMask { .. } => "not".to_owned(),
+            };
+            *counts.entry(kind).or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
     }
 
     /// The design this simulator was compiled from.
@@ -330,6 +390,73 @@ impl Simulator {
                     self.values[dst as usize] = m.get(a).copied().unwrap_or(0);
                 }
                 TapeOp::Wire { dst, src } => self.values[dst as usize] = self.values[src as usize],
+                TapeOp::SliceBin {
+                    dst,
+                    op,
+                    src,
+                    shift,
+                    mask,
+                    other,
+                    w,
+                    slice_lhs,
+                } => {
+                    let sv = (self.values[src as usize] >> shift) & mask;
+                    let ov = self.values[other as usize];
+                    let (a, b) = if slice_lhs { (sv, ov) } else { (ov, sv) };
+                    self.values[dst as usize] = op.eval(a, b, w);
+                }
+                TapeOp::BinMux {
+                    dst,
+                    op,
+                    a,
+                    b,
+                    w,
+                    t,
+                    f,
+                } => {
+                    self.values[dst as usize] =
+                        if op.eval(self.values[a as usize], self.values[b as usize], w) != 0 {
+                            self.values[t as usize]
+                        } else {
+                            self.values[f as usize]
+                        }
+                }
+                TapeOp::MuxMux {
+                    dst,
+                    sel,
+                    other,
+                    inner_sel,
+                    inner_t,
+                    inner_f,
+                    inner_in_true,
+                } => {
+                    let take_inner = (self.values[sel as usize] != 0) == inner_in_true;
+                    self.values[dst as usize] = if take_inner {
+                        if self.values[inner_sel as usize] != 0 {
+                            self.values[inner_t as usize]
+                        } else {
+                            self.values[inner_f as usize]
+                        }
+                    } else {
+                        self.values[other as usize]
+                    };
+                }
+                TapeOp::BitAnd { dst, a, b } => {
+                    self.values[dst as usize] = self.values[a as usize] & self.values[b as usize]
+                }
+                TapeOp::BitOr { dst, a, b } => {
+                    self.values[dst as usize] = self.values[a as usize] | self.values[b as usize]
+                }
+                TapeOp::BitXor { dst, a, b } => {
+                    self.values[dst as usize] = self.values[a as usize] ^ self.values[b as usize]
+                }
+                TapeOp::CmpEq { dst, a, b } => {
+                    self.values[dst as usize] =
+                        u64::from(self.values[a as usize] == self.values[b as usize])
+                }
+                TapeOp::NotMask { dst, a, mask } => {
+                    self.values[dst as usize] = !self.values[a as usize] & mask
+                }
             }
         }
         self.dirty = false;
@@ -386,9 +513,98 @@ impl Simulator {
     }
 
     /// Reads any node's settled value.
+    ///
+    /// Nodes whose slot the optimizer removed (folded, dead or fused away)
+    /// are recomputed on demand by a tree-walking fallback; outputs,
+    /// register inputs and memory ports always stay on the fast path.
     pub fn peek(&mut self, node: NodeId) -> u64 {
         self.settle();
-        self.values[node.index()]
+        match self.node_slot[node.index()] {
+            DEAD => self.peek_slow(node, &mut HashMap::new()),
+            slot => self.values[slot as usize],
+        }
+    }
+
+    /// Recomputes a node the optimizer removed from the tape, reading live
+    /// slots where available. Mirrors [`crate::NaiveInterpreter`] semantics.
+    fn peek_slow(&self, id: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
+        let slot = self.node_slot[id.index()];
+        if slot != DEAD {
+            return self.values[slot as usize];
+        }
+        if let Some(&v) = memo.get(&id) {
+            return v;
+        }
+        let v = match *self.design.node(id) {
+            Node::Input(p) => self.inputs[p.index()],
+            Node::Const(c) => c,
+            Node::Unary { op, a } => op.eval(self.peek_slow(a, memo), self.design.width(a)),
+            Node::Binary { op, a, b } => op.eval(
+                self.peek_slow(a, memo),
+                self.peek_slow(b, memo),
+                self.design.width(a),
+            ),
+            Node::Mux { sel, t, f } => {
+                if self.peek_slow(sel, memo) != 0 {
+                    self.peek_slow(t, memo)
+                } else {
+                    self.peek_slow(f, memo)
+                }
+            }
+            Node::Slice { a, hi, lo } => {
+                let mask = Width::new(hi - lo + 1).expect("validated").mask();
+                (self.peek_slow(a, memo) >> lo) & mask
+            }
+            Node::Cat { hi, lo } => {
+                let shift = self.design.width(lo).bits();
+                (self.peek_slow(hi, memo) << shift) | self.peek_slow(lo, memo)
+            }
+            Node::RegOut(r) => self.regs[r.index()],
+            Node::MemRead { mem, port } => {
+                let addr_node = self.design.memory(mem).read_ports()[port].addr();
+                let addr = self.peek_slow(addr_node, memo) as usize;
+                self.mems[mem.index()].get(addr).copied().unwrap_or(0)
+            }
+            Node::Wire(wid) => {
+                let src = self.design.wire_driver(wid).expect("validated");
+                self.peek_slow(src, memo)
+            }
+        };
+        let v = v & self.design.width(id).mask();
+        memo.insert(id, v);
+        v
+    }
+
+    /// Resolves an output name to its node id once, for hot loops that
+    /// would otherwise hash the name on every [`peek`](Simulator::peek).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unknown output.
+    pub fn resolve_output(&self, name: &str) -> Result<NodeId, SimError> {
+        self.output_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "output",
+                name: name.to_owned(),
+            })
+    }
+
+    /// Resolves an input port name to its port id once, for hot loops that
+    /// would otherwise hash the name on every [`poke`](Simulator::poke).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownName`] for an unknown port.
+    pub fn resolve_port(&self, name: &str) -> Result<PortId, SimError> {
+        self.port_index
+            .get(name)
+            .map(|&(idx, _)| PortId::from_index(idx as usize))
+            .ok_or_else(|| SimError::UnknownName {
+                kind: "input port",
+                name: name.to_owned(),
+            })
     }
 
     /// The current value of a register.
@@ -483,6 +699,28 @@ impl Simulator {
         self.cycle = 0;
         self.dirty = true;
     }
+}
+
+/// Mirrors one tape's [`PassStats`] into the probe registry so
+/// `strober probe report` aggregates optimizer effectiveness across a flow.
+fn record_pass_stats(stats: &PassStats) {
+    if !strober_probe::enabled() {
+        return;
+    }
+    strober_probe::counter_add("strober.sim.tape.ops_before", stats.ops_initial as u64);
+    strober_probe::counter_add("strober.sim.tape.ops_after", stats.ops_final as u64);
+    strober_probe::counter_add("strober.sim.tape.const_folded", stats.const_folded as u64);
+    strober_probe::counter_add(
+        "strober.sim.tape.copies_propagated",
+        stats.copies_propagated as u64,
+    );
+    strober_probe::counter_add(
+        "strober.sim.tape.dead_eliminated",
+        stats.dead_eliminated as u64,
+    );
+    strober_probe::counter_add("strober.sim.tape.ops_fused", stats.ops_fused as u64);
+    strober_probe::counter_add("strober.sim.tape.slots_before", stats.slots_initial as u64);
+    strober_probe::counter_add("strober.sim.tape.slots_after", stats.slots_final as u64);
 }
 
 #[cfg(test)]
