@@ -28,8 +28,132 @@ pub enum Command {
     Probe(ProbeArgs),
     /// `strober fuzz …` — differential fuzzing of the execution engines.
     Fuzz(FuzzArgs),
+    /// `strober serve …` — run the persistent estimation server.
+    Serve(ServeArgs),
+    /// `strober submit …` — submit a job to a running server.
+    Submit(SubmitArgs),
+    /// `strober jobs …` — list a running server's jobs.
+    Jobs(JobsArgs),
+    /// `strober cancel …` — cancel a job on a running server.
+    Cancel(CancelArgs),
     /// `strober help` or `--help`.
     Help,
+}
+
+/// The default TCP address the server listens on and clients dial.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7207";
+
+/// Arguments of the `serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// TCP listen address (port 0 = ephemeral).
+    pub addr: String,
+    /// Additional Unix-socket listen path.
+    pub unix_socket: Option<String>,
+    /// Worker threads (0 = server default).
+    pub workers: usize,
+    /// Artifact store directory (None = default location).
+    pub cache_dir: Option<String>,
+    /// Disable the on-disk artifact store.
+    pub no_cache: bool,
+    /// Graceful-shutdown drain deadline, in milliseconds.
+    pub drain_ms: u64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            addr: DEFAULT_ADDR.to_owned(),
+            unix_socket: None,
+            workers: 0,
+            cache_dir: None,
+            no_cache: false,
+            drain_ms: 30_000,
+        }
+    }
+}
+
+/// Arguments of the `submit` subcommand. The estimate knobs mirror
+/// `strober estimate`; the fuzz knobs mirror `strober fuzz`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Server address to dial.
+    pub addr: String,
+    /// Job kind: `estimate`, `replay` or `fuzz`.
+    pub kind: String,
+    /// Scheduling class: `high`, `normal` or `low`.
+    pub priority: String,
+    /// Submit and return the job id without streaming events.
+    pub detach: bool,
+    /// Emit the result as JSON.
+    pub json: bool,
+    /// Core configuration name (estimate/replay).
+    pub core: String,
+    /// Bundled workload name (estimate/replay).
+    pub workload: String,
+    /// Path to an assembly file sent inline instead of a workload name.
+    pub asm: Option<String>,
+    /// Sample size `n`.
+    pub samples: usize,
+    /// Replay length `L`.
+    pub replay_length: u32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Replay worker threads (0 = server default).
+    pub parallel: usize,
+    /// Bit-parallel replay lanes per worker (1..=64).
+    pub batch_lanes: usize,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Disable the optimizing tape compiler.
+    pub no_tape_opt: bool,
+    /// First fuzz seed (inclusive).
+    pub seed_start: u64,
+    /// Last fuzz seed (exclusive).
+    pub seed_end: u64,
+    /// Fuzz workload length per design, in cycles.
+    pub cycles: u32,
+}
+
+impl Default for SubmitArgs {
+    fn default() -> Self {
+        SubmitArgs {
+            addr: DEFAULT_ADDR.to_owned(),
+            kind: "estimate".to_owned(),
+            priority: "normal".to_owned(),
+            detach: false,
+            json: false,
+            core: "rok".to_owned(),
+            workload: "dhrystone".to_owned(),
+            asm: None,
+            samples: 30,
+            replay_length: 128,
+            seed: 0x57_0BE5,
+            parallel: 0,
+            batch_lanes: 64,
+            max_cycles: 200_000_000,
+            no_tape_opt: false,
+            seed_start: 0,
+            seed_end: 50,
+            cycles: 48,
+        }
+    }
+}
+
+/// Arguments of the `jobs` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobsArgs {
+    /// Server address to dial.
+    pub addr: String,
+}
+
+/// Arguments of the `cancel` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CancelArgs {
+    /// Server address to dial.
+    pub addr: String,
+    /// Job id to cancel.
+    pub job: u64,
 }
 
 /// Arguments of the `fuzz` subcommand.
@@ -479,6 +603,151 @@ fn parse_command<'a>(
             }
             Ok(Command::Fuzz(a))
         }
+        "serve" => {
+            let mut a = ServeArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => a.addr = take_value(flag, &mut it)?,
+                    "--unix-socket" => a.unix_socket = Some(take_value(flag, &mut it)?),
+                    "--workers" => {
+                        a.workers = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--cache-dir" => a.cache_dir = Some(take_value(flag, &mut it)?),
+                    "--no-cache" => a.no_cache = true,
+                    "--drain-ms" => {
+                        a.drain_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Serve(a))
+        }
+        "submit" => {
+            let mut a = SubmitArgs::default();
+            match it.next() {
+                Some(kind @ ("estimate" | "replay" | "fuzz")) => a.kind = kind.to_owned(),
+                Some(other) => {
+                    return Err(ArgError(format!(
+                        "unknown job kind `{other}` (expected estimate, replay or fuzz)"
+                    )))
+                }
+                None => {
+                    return Err(ArgError(
+                        "submit expects a job kind: estimate, replay or fuzz".to_owned(),
+                    ))
+                }
+            }
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => a.addr = take_value(flag, &mut it)?,
+                    "--priority" => {
+                        let v = take_value(flag, &mut it)?;
+                        if !matches!(v.as_str(), "high" | "normal" | "low") {
+                            return Err(ArgError(format!(
+                                "{flag}: `{v}` is not high, normal or low"
+                            )));
+                        }
+                        a.priority = v;
+                    }
+                    "--detach" => a.detach = true,
+                    "--json" => a.json = true,
+                    "--core" => a.core = take_value(flag, &mut it)?,
+                    "--workload" => a.workload = take_value(flag, &mut it)?,
+                    "--asm" => a.asm = Some(take_value(flag, &mut it)?),
+                    "-n" | "--samples" => {
+                        a.samples = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "-L" | "--replay-length" => {
+                        a.replay_length = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--seed" => {
+                        a.seed = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--parallel" | "--jobs" | "-j" => {
+                        a.parallel = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--batch-lanes" => {
+                        a.batch_lanes = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.batch_lanes == 0 || a.batch_lanes > 64 {
+                            return Err(ArgError(format!("{flag}: must be in 1..=64")));
+                        }
+                    }
+                    "--max-cycles" => {
+                        a.max_cycles = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--no-tape-opt" => a.no_tape_opt = true,
+                    "--seeds" => {
+                        let v = take_value(flag, &mut it)?;
+                        let Some((lo, hi)) = v.split_once("..") else {
+                            return Err(ArgError(format!("{flag}: expected a range like 0..200")));
+                        };
+                        a.seed_start = lo
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        a.seed_end = hi
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.seed_end <= a.seed_start {
+                            return Err(ArgError(format!("{flag}: empty range {v}")));
+                        }
+                    }
+                    "--cycles" => {
+                        a.cycles = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Submit(a))
+        }
+        "jobs" => {
+            let mut a = JobsArgs {
+                addr: DEFAULT_ADDR.to_owned(),
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => a.addr = take_value(flag, &mut it)?,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Jobs(a))
+        }
+        "cancel" => {
+            let Some(id) = it.next() else {
+                return Err(ArgError("cancel expects a job id".to_owned()));
+            };
+            let job = id
+                .parse()
+                .map_err(|_| ArgError(format!("`{id}` is not a job id")))?;
+            let mut a = CancelArgs {
+                addr: DEFAULT_ADDR.to_owned(),
+                job,
+            };
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => a.addr = take_value(flag, &mut it)?,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Cancel(a))
+        }
         other => Err(ArgError(format!(
             "unknown subcommand `{other}` (try `strober help`)"
         ))),
@@ -546,6 +815,36 @@ USAGE:
       corpus dir for the regression suite to replay. --inject plants
       a known bug in the synthesized netlist to self-test the
       harness; --no-flow skips the (slower) flow round trip.
+
+  strober serve    [--addr HOST:PORT] [--unix-socket PATH] [--workers N]
+                   [--cache-dir DIR] [--no-cache] [--drain-ms MS]
+      Run the persistent estimation server (default 127.0.0.1:7207).
+      Prepared designs — FAME hub, synthesized netlist, lowered
+      simulator, compiled gate tape — stay hot in memory for the
+      daemon's lifetime, so repeat jobs against the same design skip
+      preparation entirely and served results stay bit-identical to
+      the one-shot flow. Jobs are scheduled by priority class on
+      --workers threads; SIGINT/SIGTERM (or a client Shutdown
+      request) drains in-flight jobs for up to --drain-ms before
+      cancelling them, then flushes the server trace and metrics.
+
+  strober submit   (estimate | replay | fuzz) [--addr HOST:PORT]
+                   [--priority high|normal|low] [--detach] [--json]
+                   [estimate/replay: --core NAME, --workload NAME | --asm FILE,
+                    -n N, -L CYCLES, --seed S, --jobs P, --batch-lanes K,
+                    --max-cycles N, --no-tape-opt]
+                   [fuzz: --seeds A..B, --cycles N]
+      Submit a job to a running server. By default the client follows
+      the job, streaming progress events until the result arrives;
+      --detach prints the job id and returns immediately. An --asm
+      file is read locally and sent inline as assembly text.
+
+  strober jobs     [--addr HOST:PORT]
+      List every job the server knows about.
+
+  strober cancel   ID [--addr HOST:PORT]
+      Cancel a queued or running job. Running jobs stop cooperatively
+      at the next sample-window or replay-batch boundary.
 ";
 
 #[cfg(test)]
@@ -797,6 +1096,122 @@ mod tests {
             .unwrap_err()
             .0
             .contains("unknown bug"));
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let Command::Serve(a) = parse(&["serve"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a, ServeArgs::default());
+        assert_eq!(a.addr, DEFAULT_ADDR);
+
+        let Command::Serve(a) = parse(&[
+            "serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--unix-socket",
+            "/tmp/strober.sock",
+            "--workers",
+            "4",
+            "--no-cache",
+            "--drain-ms",
+            "5000",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.unix_socket.as_deref(), Some("/tmp/strober.sock"));
+        assert_eq!(a.workers, 4);
+        assert!(a.no_cache);
+        assert_eq!(a.drain_ms, 5000);
+    }
+
+    #[test]
+    fn parses_submit_flags() {
+        let Command::Submit(a) = parse(&["submit", "estimate"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a, SubmitArgs::default());
+
+        let Command::Submit(a) = parse(&[
+            "submit",
+            "replay",
+            "--core",
+            "rok-tiny",
+            "--workload",
+            "vvadd",
+            "--priority",
+            "high",
+            "--detach",
+            "-n",
+            "12",
+            "--batch-lanes",
+            "8",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.kind, "replay");
+        assert_eq!(a.core, "rok-tiny");
+        assert_eq!(a.workload, "vvadd");
+        assert_eq!(a.priority, "high");
+        assert!(a.detach);
+        assert_eq!(a.samples, 12);
+        assert_eq!(a.batch_lanes, 8);
+
+        let Command::Submit(a) = parse(&["submit", "fuzz", "--seeds", "5..9", "--cycles", "16"])
+            .unwrap()
+            .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.kind, "fuzz");
+        assert_eq!((a.seed_start, a.seed_end, a.cycles), (5, 9, 16));
+    }
+
+    #[test]
+    fn submit_validation() {
+        assert!(parse(&["submit"]).unwrap_err().0.contains("job kind"));
+        assert!(parse(&["submit", "bake"])
+            .unwrap_err()
+            .0
+            .contains("unknown job kind"));
+        assert!(parse(&["submit", "estimate", "--priority", "urgent"])
+            .unwrap_err()
+            .0
+            .contains("not high, normal or low"));
+        assert!(parse(&["submit", "estimate", "--batch-lanes", "65"])
+            .unwrap_err()
+            .0
+            .contains("1..=64"));
+    }
+
+    #[test]
+    fn parses_jobs_and_cancel() {
+        let Command::Jobs(a) = parse(&["jobs"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.addr, DEFAULT_ADDR);
+
+        let Command::Cancel(a) = parse(&["cancel", "17", "--addr", "127.0.0.1:9"])
+            .unwrap()
+            .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.job, 17);
+        assert_eq!(a.addr, "127.0.0.1:9");
+        assert!(parse(&["cancel"]).unwrap_err().0.contains("job id"));
+        assert!(parse(&["cancel", "soon"])
+            .unwrap_err()
+            .0
+            .contains("not a job id"));
     }
 
     #[test]

@@ -4,55 +4,34 @@
 mod args;
 
 use args::{
-    default_cache_dir, CacheAction, CacheArgs, Command, EstimateArgs, ExportArgs, FuzzArgs,
-    ProbeArgs, RunArgs, HELP,
+    default_cache_dir, CacheAction, CacheArgs, CancelArgs, Command, EstimateArgs, ExportArgs,
+    FuzzArgs, JobsArgs, ProbeArgs, RunArgs, ServeArgs, SubmitArgs, HELP,
 };
 use std::process::ExitCode;
 use strober::{StroberConfig, StroberFlow};
-use strober_cores::{build_core, CoreConfig};
+use strober_cores::build_core;
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
-use strober_isa::{assemble, programs};
+use strober_isa::programs;
+use strober_server::catalog::{self, core_config};
+use strober_server::protocol::{
+    EstimateSpec, Event, FuzzSpec, JobResult, JobSpec, Priority, Request, Response,
+};
+use strober_server::{Client, Server, ServerConfig};
 use strober_store::{RunManifest, Store};
 
-type WorkloadGen = fn() -> String;
-
-const WORKLOADS: &[(&str, WorkloadGen)] = &[
-    ("vvadd", || programs::vvadd(640)),
-    ("towers", || programs::towers(14)),
-    ("dhrystone", || programs::dhrystone(2800)),
-    ("qsort", || programs::qsort(768)),
-    ("spmv", || programs::spmv(256, 12)),
-    ("dgemm", || programs::dgemm(36)),
-    ("coremark", || programs::coremark_like(60)),
-    ("linux-boot", || programs::linux_boot_like(16, 1500)),
-    ("gcc", || programs::gcc_like(40_000, 2048)),
-];
-
-fn core_config(name: &str) -> Result<CoreConfig, String> {
-    match name {
-        "rok" => Ok(CoreConfig::rok()),
-        "boum-1w" => Ok(CoreConfig::boum_1w()),
-        "boum-2w" => Ok(CoreConfig::boum_2w()),
-        other => Err(format!(
-            "unknown core `{other}` (expected rok, boum-1w or boum-2w)"
-        )),
-    }
+/// Resolves a workload reference the way the CLI spells it: `--asm` is a
+/// *path* read from disk, then assembled via the same catalog the server
+/// uses for inline sources.
+fn load_image(workload: &str, asm: &Option<String>) -> Result<Vec<u32>, String> {
+    let inline = read_asm(asm)?;
+    catalog::image_for(workload, &inline)
 }
 
-fn load_image(workload: &str, asm: &Option<String>) -> Result<Vec<u32>, String> {
-    let source = match asm {
-        Some(path) => {
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?
-        }
-        None => WORKLOADS
-            .iter()
-            .find(|(n, _)| *n == workload)
-            .map(|(_, f)| f())
-            .ok_or_else(|| format!("unknown workload `{workload}` (see `strober workloads`)"))?,
-    };
-    Ok(assemble(&source)
-        .map_err(|e| format!("assembly failed: {e}"))?
-        .words)
+/// Reads an `--asm FILE` argument into inline assembly text.
+fn read_asm(asm: &Option<String>) -> Result<Option<String>, String> {
+    asm.as_ref()
+        .map(|path| std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}")))
+        .transpose()
 }
 
 fn cmd_run(a: &RunArgs) -> Result<(), String> {
@@ -147,7 +126,7 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             false,
         ),
     };
-    manifest.cache_hit = cache_hit;
+    manifest.set_prepare(if cache_hit { "store" } else { "cold" });
     if cache_hit {
         strober_probe::info!("      (prepared artifacts served from the store)");
     }
@@ -301,7 +280,16 @@ fn cmd_probe(a: &ProbeArgs) -> Result<(), String> {
         println!("manifest:  {path} (schema v{})", manifest.version);
         println!("design:    {}", manifest.design);
         println!("workload:  {}", manifest.workload);
-        println!("cache hit: {}", manifest.cache_hit);
+        println!(
+            "prepare:   {} (cache hit: {})",
+            manifest.prepare, manifest.cache_hit
+        );
+        if let Some(job) = &manifest.job {
+            println!(
+                "job:       #{} from `{}` (queued {:.1} ms)",
+                job.id, job.client, job.queue_wait_ms
+            );
+        }
         for stage in &manifest.stages {
             println!("  {:<20} {:>10.3} ms", stage.name, stage.millis);
         }
@@ -435,6 +423,219 @@ fn cmd_fuzz(a: &FuzzArgs) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(a: &ServeArgs) -> Result<(), String> {
+    let store_dir = if a.no_cache {
+        None
+    } else {
+        Some(a.cache_dir.clone().unwrap_or_else(default_cache_dir))
+    };
+    let server = Server::bind(ServerConfig {
+        addr: a.addr.clone(),
+        unix_socket: a.unix_socket.clone(),
+        workers: a.workers,
+        store_dir,
+        drain_ms: a.drain_ms,
+    })
+    .map_err(|e| format!("cannot bind `{}`: {e}", a.addr))?;
+    strober_probe::info!("strober server listening on {}", server.local_addr());
+    if let Some(path) = &a.unix_socket {
+        strober_probe::info!("  … and on unix socket {path}");
+    }
+    server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// Dials the server and introduces this process.
+fn dial(addr: &str) -> Result<Client, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("cannot reach server at `{addr}`: {e}"))?;
+    let name = format!("strober-cli[{}]", std::process::id());
+    match client.hello(&name) {
+        Ok(Response::Hello { protocol, .. })
+            if protocol == strober_server::protocol::PROTOCOL_VERSION =>
+        {
+            Ok(client)
+        }
+        Ok(Response::Hello { protocol, .. }) => Err(format!(
+            "server at `{addr}` speaks protocol v{protocol}, this client v{}",
+            strober_server::protocol::PROTOCOL_VERSION
+        )),
+        Ok(other) => Err(format!("unexpected hello response: {other:?}")),
+        Err(e) => Err(format!("hello failed: {e}")),
+    }
+}
+
+fn submit_spec(a: &SubmitArgs) -> Result<JobSpec, String> {
+    let estimate = || -> Result<EstimateSpec, String> {
+        Ok(EstimateSpec {
+            core: a.core.clone(),
+            workload: a.workload.clone(),
+            asm: read_asm(&a.asm)?,
+            samples: a.samples,
+            replay_length: a.replay_length,
+            seed: a.seed,
+            max_cycles: a.max_cycles,
+            parallel: a.parallel,
+            batch_lanes: a.batch_lanes,
+            tape_opt: !a.no_tape_opt,
+        })
+    };
+    match a.kind.as_str() {
+        "estimate" => Ok(JobSpec::Estimate(estimate()?)),
+        "replay" => Ok(JobSpec::Replay(estimate()?)),
+        "fuzz" => Ok(JobSpec::Fuzz(FuzzSpec {
+            seed_start: a.seed_start,
+            seed_end: a.seed_end,
+            cycles: a.cycles,
+        })),
+        other => Err(format!("unknown job kind `{other}`")),
+    }
+}
+
+fn print_job_result(result: &JobResult, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(result).expect("serialisable")
+        );
+        return;
+    }
+    match result {
+        JobResult::Estimate(o) => {
+            println!("core:        {}", o.core);
+            println!("workload:    {}", o.workload);
+            println!(
+                "cycles:      {} ({} windows; {} records)",
+                o.cycles, o.windows, o.records
+            );
+            println!("CPI:         {:.3}", o.cycles as f64 / o.instret as f64);
+            println!("prepare:     {}", o.provenance);
+            println!(
+                "core power:  {:.3} mW ± {:.3} mW ({:.0}% confidence, {} samples)",
+                o.core_power_mw,
+                o.half_width_mw,
+                o.confidence * 100.0,
+                o.samples
+            );
+            println!("DRAM power:  {:.3} mW", o.dram_power_mw);
+            println!(
+                "total:       {:.3} mW;  EPI: {:.3} nJ/instruction",
+                o.core_power_mw + o.dram_power_mw,
+                o.epi_nj
+            );
+        }
+        JobResult::Replay(o) => {
+            println!(
+                "replayed {} samples: mean {:.3} mW, {} outputs checked, prepare {}",
+                o.samples, o.mean_power_mw, o.outputs_checked, o.provenance
+            );
+        }
+        JobResult::Fuzz(o) => {
+            let status = match (o.diverged, o.cancelled) {
+                (true, _) => "DIVERGENCE",
+                (false, true) => "cancelled",
+                (false, false) => "all oracles agree",
+            };
+            print!("fuzz: {} designs, {status}", o.designs);
+            match o.failure_seed {
+                Some(seed) => println!(" (seed {seed})"),
+                None => println!(),
+            }
+        }
+    }
+}
+
+fn cmd_submit(a: &SubmitArgs) -> Result<(), String> {
+    let spec = submit_spec(a)?;
+    let priority = match a.priority.as_str() {
+        "high" => Priority::High,
+        "low" => Priority::Low,
+        _ => Priority::Normal,
+    };
+    let mut client = dial(&a.addr)?;
+    let resp = client
+        .request(&Request::Submit {
+            spec,
+            priority,
+            follow: !a.detach,
+        })
+        .map_err(|e| format!("submit failed: {e}"))?;
+    let job = match resp {
+        Response::Submitted { job } => job,
+        Response::Error { error } => return Err(format!("server rejected the job: {error}")),
+        other => return Err(format!("unexpected submit response: {other:?}")),
+    };
+    if a.detach {
+        println!("{job}");
+        return Ok(());
+    }
+    strober_probe::info!("job #{job} submitted to {}; following …", a.addr);
+    let result = client.wait_result(job, |ev| match ev {
+        Event::Started { queue_wait_ms, .. } => {
+            strober_probe::info!("  job #{job} started after {queue_wait_ms:.1} ms in queue");
+        }
+        Event::Stage { stage, millis, .. } => {
+            strober_probe::info!("  {stage}: {millis:.1} ms");
+        }
+        Event::Progress {
+            phase, done, total, ..
+        } => {
+            if *total > 0 {
+                strober_probe::debug!("  {phase}: {done}/{total}");
+            } else {
+                strober_probe::debug!("  {phase}: {done}");
+            }
+        }
+        Event::Log { message, .. } => strober_probe::info!("  {message}"),
+        _ => {}
+    })?;
+    print_job_result(&result, a.json);
+    Ok(())
+}
+
+fn cmd_jobs(a: &JobsArgs) -> Result<(), String> {
+    let mut client = dial(&a.addr)?;
+    match client
+        .request(&Request::Jobs)
+        .map_err(|e| format!("jobs query failed: {e}"))?
+    {
+        Response::Jobs { jobs } if jobs.is_empty() => println!("no jobs"),
+        Response::Jobs { jobs } => {
+            println!(
+                "{:>5}  {:<9} {:<10} {:<8} {:>12}  CLIENT",
+                "ID", "KIND", "STATE", "PRIO", "QUEUED (ms)"
+            );
+            for j in jobs {
+                println!(
+                    "{:>5}  {:<9} {:<10} {:<8} {:>12.1}  {}",
+                    j.id,
+                    j.kind,
+                    j.state.as_str(),
+                    j.priority.as_str(),
+                    j.queue_wait_ms,
+                    j.client
+                );
+            }
+        }
+        other => return Err(format!("unexpected jobs response: {other:?}")),
+    }
+    Ok(())
+}
+
+fn cmd_cancel(a: &CancelArgs) -> Result<(), String> {
+    let mut client = dial(&a.addr)?;
+    match client
+        .request(&Request::Cancel { job: a.job })
+        .map_err(|e| format!("cancel failed: {e}"))?
+    {
+        Response::Cancelled { job, state } => {
+            println!("job #{job}: {}", state.as_str());
+            Ok(())
+        }
+        Response::Error { error } => Err(format!("cancel rejected: {error}")),
+        other => Err(format!("unexpected cancel response: {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = argv.iter().map(String::as_str).collect();
@@ -455,7 +656,7 @@ fn main() -> ExitCode {
         }
         Command::Workloads => {
             println!("bundled workloads (scaled versions of the paper's benchmarks):");
-            for (name, _) in WORKLOADS {
+            for (name, _) in catalog::WORKLOADS {
                 println!("  {name}");
             }
             Ok(())
@@ -466,6 +667,10 @@ fn main() -> ExitCode {
         Command::Cache(a) => cmd_cache(a),
         Command::Probe(a) => cmd_probe(a),
         Command::Fuzz(a) => cmd_fuzz(a),
+        Command::Serve(a) => cmd_serve(a),
+        Command::Submit(a) => cmd_submit(a),
+        Command::Jobs(a) => cmd_jobs(a),
+        Command::Cancel(a) => cmd_cancel(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -46,6 +46,10 @@ pub enum StroberError {
         /// The RTL state element's name.
         name: String,
     },
+    /// The run was stopped by its [`crate::CancelToken`] at a sample or
+    /// batch boundary — cooperative cancellation, not a failure of the
+    /// flow itself.
+    Cancelled,
 }
 
 impl fmt::Display for StroberError {
@@ -77,6 +81,7 @@ impl fmt::Display for StroberError {
             StroberError::UnmappedState { name } => {
                 write!(f, "snapshot state `{name}` has no netlist mapping")
             }
+            StroberError::Cancelled => write!(f, "run cancelled"),
         }
     }
 }

@@ -1,17 +1,21 @@
 //! The end-to-end Strober flow.
 
+use crate::control::{Progress, RunControl};
 use crate::error::StroberError;
 use crate::estimate::{EnergyEstimate, ReplayResult, SampledRun};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use strober_fame::{transform, FameConfig, FameResult, FameSnapshot};
 use strober_formal::{match_designs, MatchOptions, NameMap};
 use strober_gates::CellLibrary;
-use strober_gatesim::{BatchSim, GateSim, GateSimError, VpiLoader, MAX_LANES};
+use strober_gatesim::{BatchSim, GateSim, GateSimError, Tape, VpiLoader, MAX_LANES};
 use strober_platform::{HostModel, PlatformConfig, ZynqHost};
 use strober_power::PowerAnalyzer;
 use strober_rtl::Design;
 use strober_sampling::{Confidence, Reservoir};
+use strober_sim::{Simulator, TapeOptions};
 use strober_store::{fingerprint_parts, Fingerprint, Store};
 use strober_synth::{synthesize, SynthOptions, SynthResult};
 
@@ -67,6 +71,14 @@ pub struct PreparedArtifact {
 
 /// A fully prepared Strober session for one target design: the FAME1 hub,
 /// the synthesized netlist and the verified name map.
+///
+/// A session additionally caches two derived executables the first run
+/// builds — the lowered (and tape-optimized) hub simulator and the
+/// compiled gate-level op tape — so a long-lived session (the estimation
+/// server holds one per design fingerprint) pays lowering and netlist
+/// compilation once, not once per job. Reuse is observable through the
+/// `strober.core.hub_tape_reused` and `strober.core.gate_tape_reused`
+/// probe counters.
 #[derive(Debug)]
 pub struct StroberFlow {
     config: StroberConfig,
@@ -75,6 +87,10 @@ pub struct StroberFlow {
     name_map: NameMap,
     lib: CellLibrary,
     analyzer: PowerAnalyzer,
+    /// Pristine lowered hub simulator, cloned per sampled run.
+    hub: OnceLock<Simulator>,
+    /// Compiled gate-level op tape, shared by every replay engine.
+    gate_tape: OnceLock<Arc<Tape>>,
 }
 
 impl StroberFlow {
@@ -116,6 +132,8 @@ impl StroberFlow {
             name_map: report.name_map,
             lib,
             analyzer,
+            hub: OnceLock::new(),
+            gate_tape: OnceLock::new(),
         })
     }
 
@@ -132,6 +150,8 @@ impl StroberFlow {
             name_map: parts.name_map,
             lib,
             analyzer,
+            hub: OnceLock::new(),
+            gate_tape: OnceLock::new(),
         }
     }
 
@@ -223,6 +243,47 @@ impl StroberFlow {
         &self.lib
     }
 
+    /// A ready-to-run hub simulator: lowered and tape-optimized on first
+    /// use, cloned from the pristine cached copy afterwards. Cloning
+    /// reproduces the fresh-lowering state exactly (cycle 0, reset
+    /// registers/memories), so reuse is bit-invisible.
+    fn hub_sim(&self) -> Result<Simulator, StroberError> {
+        if let Some(sim) = self.hub.get() {
+            strober_probe::counter_add("strober.core.hub_tape_reused", 1);
+            return Ok(sim.clone());
+        }
+        let options = if self.config.platform.tape_opt {
+            TapeOptions::all()
+        } else {
+            TapeOptions::none()
+        };
+        let sim = Simulator::with_options(&self.fame.hub, &options).map_err(|e| {
+            strober_sim::SimError::UnknownName {
+                kind: "hub design",
+                name: e.to_string(),
+            }
+        })?;
+        strober_probe::counter_add("strober.core.hub_tape_lowered", 1);
+        // A concurrent first run may have won the race; either copy is
+        // equivalent, so the loser's work is merely discarded.
+        let _ = self.hub.set(sim.clone());
+        Ok(sim)
+    }
+
+    /// The compiled gate-level op tape, built from the synthesized
+    /// netlist on first use and shared (via `Arc`) by every subsequent
+    /// replay engine.
+    fn replay_tape(&self) -> Result<Arc<Tape>, StroberError> {
+        if let Some(tape) = self.gate_tape.get() {
+            strober_probe::counter_add("strober.core.gate_tape_reused", 1);
+            return Ok(tape.clone());
+        }
+        let tape = Arc::new(Tape::compile(&self.synth.netlist)?);
+        strober_probe::counter_add("strober.core.gate_tape_compiled", 1);
+        let _ = self.gate_tape.set(tape.clone());
+        Ok(tape)
+    }
+
     /// Runs the workload on the host platform with reservoir sampling:
     /// the execution is divided into `L`-cycle windows, each window is a
     /// population element, and selected windows are captured as replayable
@@ -238,15 +299,40 @@ impl StroberFlow {
         model: &mut dyn HostModel,
         max_cycles: u64,
     ) -> Result<SampledRun, StroberError> {
+        self.run_sampled_controlled(model, max_cycles, &RunControl::default())
+    }
+
+    /// [`StroberFlow::run_sampled`] with cooperative run control: the
+    /// cancellation token is checked at every sample-window boundary
+    /// (returning [`StroberError::Cancelled`] when tripped), and
+    /// [`Progress::SimWindows`] is reported every
+    /// [`RunControl::window_stride`] windows. The default control
+    /// reproduces [`StroberFlow::run_sampled`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::Cancelled`] when the token trips, and the
+    /// same errors as [`StroberFlow::run_sampled`] otherwise.
+    pub fn run_sampled_controlled(
+        &self,
+        model: &mut dyn HostModel,
+        max_cycles: u64,
+        ctl: &RunControl<'_>,
+    ) -> Result<SampledRun, StroberError> {
         let _span = strober_probe::span("strober.core.run_sampled");
         let t0 = std::time::Instant::now();
-        let mut host = ZynqHost::new(&self.fame, self.config.platform.clone())?;
+        let mut host =
+            ZynqHost::with_sim(&self.fame, self.config.platform.clone(), self.hub_sim()?)?;
         let window = host.trace_window();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut reservoir: Reservoir<FameSnapshot> = Reservoir::new(self.config.sample_size);
 
+        let stride = ctl.window_stride();
         let mut windows = 0u64;
         while host.target_cycles() < max_cycles && !model.is_done() {
+            if ctl.is_cancelled() {
+                return Err(StroberError::Cancelled);
+            }
             match reservoir.decide(&mut rng) {
                 Some(slot) => {
                     let snap = host.capture_snapshot(model)?;
@@ -257,7 +343,17 @@ impl StroberFlow {
                 }
             }
             windows += 1;
+            if windows.is_multiple_of(stride) {
+                ctl.report(Progress::SimWindows {
+                    windows,
+                    target_cycles: host.target_cycles(),
+                });
+            }
         }
+        ctl.report(Progress::SimWindows {
+            windows,
+            target_cycles: host.target_cycles(),
+        });
 
         if strober_probe::enabled() {
             let elapsed = t0.elapsed().as_secs_f64();
@@ -329,7 +425,7 @@ impl StroberFlow {
     pub fn replay(&self, snapshot: &FameSnapshot) -> Result<ReplayResult, StroberError> {
         let _span = strober_probe::span("strober.core.replay_sample");
         let t0 = strober_probe::enabled().then(std::time::Instant::now);
-        let mut sim = GateSim::new(&self.synth.netlist)?;
+        let mut sim = GateSim::with_tape(self.replay_tape()?, &self.synth.netlist);
 
         let (dff_values, sram_words) = self.scan_state(snapshot)?;
         let warmup = self.config.warmup as usize;
@@ -415,7 +511,7 @@ impl StroberFlow {
                 });
             }
         }
-        let mut sim = BatchSim::with_lanes(&self.synth.netlist, lanes)?;
+        let mut sim = BatchSim::with_tape_lanes(self.replay_tape()?, &self.synth.netlist, lanes)?;
 
         // Pack every lane's scanned state: one word per flop (bit l =
         // lane l's value), one lane-vector per SRAM word.
@@ -519,13 +615,34 @@ impl StroberFlow {
         parallelism: usize,
         batch_lanes: usize,
     ) -> Result<Vec<ReplayResult>, StroberError> {
+        self.replay_all_controlled(snapshots, parallelism, batch_lanes, &RunControl::default())
+    }
+
+    /// [`StroberFlow::replay_all_batched`] with cooperative run control:
+    /// the cancellation token is checked before every batch (on every
+    /// worker thread), and [`Progress::ReplayBatches`] is reported as
+    /// each batch completes. The default control reproduces
+    /// [`StroberFlow::replay_all_batched`] exactly — results are
+    /// bit-identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StroberError::Cancelled`] when the token trips, and the
+    /// same errors as [`StroberFlow::replay_all_batched`] otherwise.
+    pub fn replay_all_controlled(
+        &self,
+        snapshots: &[FameSnapshot],
+        parallelism: usize,
+        batch_lanes: usize,
+        ctl: &RunControl<'_>,
+    ) -> Result<Vec<ReplayResult>, StroberError> {
         let _span = strober_probe::span("strober.core.replay");
         if batch_lanes == 0 || batch_lanes > MAX_LANES {
             return Err(GateSimError::BadLaneCount { lanes: batch_lanes }.into());
         }
         let parallelism = parallelism.max(1);
         if batch_lanes == 1 {
-            return self.replay_all_scalar(snapshots, parallelism);
+            return self.replay_all_scalar(snapshots, parallelism, ctl);
         }
 
         // Batch formation: group by trace length (lanes share one
@@ -546,13 +663,27 @@ impl StroberFlow {
             }
         }
 
+        let total_batches = batches.len() as u64;
+        let done_batches = AtomicU64::new(0);
+        let bump = |ctl: &RunControl<'_>| {
+            let done = done_batches.fetch_add(1, Ordering::Relaxed) + 1;
+            ctl.report(Progress::ReplayBatches {
+                done,
+                total: total_batches,
+            });
+        };
+
         let mut slots: Vec<Option<ReplayResult>> = (0..snapshots.len()).map(|_| None).collect();
         if parallelism == 1 || batches.len() <= 1 {
             for b in &batches {
+                if ctl.is_cancelled() {
+                    return Err(StroberError::Cancelled);
+                }
                 let refs: Vec<&FameSnapshot> = b.iter().map(|&i| &snapshots[i]).collect();
                 for (&i, r) in b.iter().zip(self.replay_batch(&refs)?) {
                     slots[i] = Some(r);
                 }
+                bump(ctl);
             }
         } else {
             let chunk = batches.len().div_ceil(parallelism);
@@ -562,6 +693,7 @@ impl StroberFlow {
                 let mut handles = Vec::new();
                 for (ci, block) in batches.chunks(chunk).enumerate() {
                     let flow = &*self;
+                    let bump = &bump;
                     handles.push((
                         ci,
                         scope.spawn(move || {
@@ -570,9 +702,16 @@ impl StroberFlow {
                             block
                                 .iter()
                                 .map(|b| {
+                                    if ctl.is_cancelled() {
+                                        return Err(StroberError::Cancelled);
+                                    }
                                     let refs: Vec<&FameSnapshot> =
                                         b.iter().map(|&i| &snapshots[i]).collect();
-                                    flow.replay_batch(&refs)
+                                    let r = flow.replay_batch(&refs);
+                                    if r.is_ok() {
+                                        bump(ctl);
+                                    }
+                                    r
                                 })
                                 .collect::<Vec<_>>()
                         }),
@@ -618,14 +757,29 @@ impl StroberFlow {
     }
 
     /// The scalar reference path: one snapshot per replay, chunked over
-    /// worker threads.
+    /// worker threads. Each snapshot is one cancellation / progress
+    /// quantum (a batch of one).
     fn replay_all_scalar(
         &self,
         snapshots: &[FameSnapshot],
         parallelism: usize,
+        ctl: &RunControl<'_>,
     ) -> Result<Vec<ReplayResult>, StroberError> {
+        let total = snapshots.len() as u64;
+        let done = AtomicU64::new(0);
+        let one = |s: &FameSnapshot| {
+            if ctl.is_cancelled() {
+                return Err(StroberError::Cancelled);
+            }
+            let r = self.replay(s)?;
+            ctl.report(Progress::ReplayBatches {
+                done: done.fetch_add(1, Ordering::Relaxed) + 1,
+                total,
+            });
+            Ok(r)
+        };
         if parallelism == 1 || snapshots.len() <= 1 {
-            return snapshots.iter().map(|s| self.replay(s)).collect();
+            return snapshots.iter().map(one).collect();
         }
         let chunk = snapshots.len().div_ceil(parallelism);
         let mut out: Vec<Option<Result<ReplayResult, StroberError>>> =
@@ -633,12 +787,12 @@ impl StroberFlow {
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (ci, block) in snapshots.chunks(chunk).enumerate() {
-                let flow = &*self;
+                let one = &one;
                 handles.push((
                     ci,
                     scope.spawn(move || {
                         let _span = strober_probe::span(format!("strober.core.replay_worker.{ci}"));
-                        block.iter().map(|s| flow.replay(s)).collect::<Vec<_>>()
+                        block.iter().map(one).collect::<Vec<_>>()
                     }),
                 ));
             }
@@ -820,6 +974,77 @@ mod tests {
             let err = flow.replay_all_batched(&[], 1, lanes).unwrap_err();
             assert!(matches!(err, StroberError::GateSim(_)), "{err}");
         }
+    }
+
+    #[test]
+    fn cancelled_token_stops_sim_and_replay() {
+        use crate::control::{CancelToken, RunControl};
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let ctl = RunControl::cancellable(&token);
+        let err = flow
+            .run_sampled_controlled(&mut NoIo, 2_000, &ctl)
+            .unwrap_err();
+        assert!(matches!(err, StroberError::Cancelled), "{err}");
+
+        // Capture a run with an inert control, then cancel its replay.
+        let run = flow.run_sampled(&mut NoIo, 2_000).unwrap();
+        for (parallelism, lanes) in [(1, 64), (2, 64), (1, 1), (2, 1)] {
+            let err = flow
+                .replay_all_controlled(&run.snapshots, parallelism, lanes, &ctl)
+                .unwrap_err();
+            assert!(matches!(err, StroberError::Cancelled), "{err}");
+        }
+    }
+
+    #[test]
+    fn controlled_replay_reports_progress_and_matches_uncontrolled() {
+        use crate::control::{Progress, RunControl};
+        use std::sync::Mutex;
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        let run = flow.run_sampled(&mut NoIo, 2_000).unwrap();
+        let baseline = flow.replay_all(&run.snapshots, 1).unwrap();
+
+        let seen = Mutex::new(Vec::new());
+        let hook = |p: Progress| seen.lock().unwrap().push(p);
+        let ctl = RunControl {
+            cancel: None,
+            progress: Some(&hook),
+            progress_window_stride: 0,
+        };
+        let controlled = flow
+            .replay_all_controlled(&run.snapshots, 2, 2, &ctl)
+            .unwrap();
+        assert_eq!(controlled, baseline, "control must not change results");
+        let seen = seen.lock().unwrap();
+        let batches: Vec<_> = seen
+            .iter()
+            .filter(|p| matches!(p, Progress::ReplayBatches { .. }))
+            .collect();
+        // 5 snapshots at 2 lanes = 3 batches, each reported once.
+        assert_eq!(batches.len(), 3, "{seen:?}");
+    }
+
+    #[test]
+    fn second_run_reuses_the_lowered_hub_and_gate_tape() {
+        let flow = StroberFlow::new(&counter_design(), small_config()).unwrap();
+        assert!(flow.hub.get().is_none() && flow.gate_tape.get().is_none());
+        let run = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let first = flow.replay_all(&run.snapshots, 1).unwrap();
+
+        // The first run populated both caches; the second run must hand
+        // back the very same tape (pointer-identical) and the pristine
+        // hub clone — and stay bit-identical to the first.
+        let tape = flow.gate_tape.get().expect("gate tape cached").clone();
+        assert!(flow.hub.get().is_some(), "hub simulator cached");
+        let run2 = flow.run_sampled(&mut NoIo, 1_000).unwrap();
+        let second = flow.replay_all(&run2.snapshots, 1).unwrap();
+        assert!(
+            Arc::ptr_eq(&tape, &flow.replay_tape().unwrap()),
+            "replays share one compiled tape"
+        );
+        assert_eq!(first, second);
     }
 
     #[test]

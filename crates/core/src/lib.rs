@@ -63,11 +63,13 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod control;
 mod error;
 mod estimate;
 mod flow;
 mod perf_model;
 
+pub use control::{CancelToken, Progress, RunControl};
 pub use error::StroberError;
 pub use estimate::{EnergyEstimate, ReplayResult, SampledRun};
 pub use flow::{PreparedArtifact, StroberConfig, StroberFlow};

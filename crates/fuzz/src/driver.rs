@@ -61,6 +61,9 @@ pub struct FuzzOutcome {
     pub elapsed_secs: f64,
     /// The first failure, if any (the campaign stops at the first).
     pub failure: Option<FuzzFailure>,
+    /// Whether the campaign stopped early because the caller's
+    /// cancellation predicate tripped (see [`run_fuzz_cancellable`]).
+    pub cancelled: bool,
 }
 
 impl FuzzOutcome {
@@ -124,13 +127,35 @@ pub fn config_for_seed(seed: u64) -> RandDesignConfig {
 /// divergence shrink it and (optionally) write a reproducer.
 ///
 /// `progress` is called after each seed with `(seed, designs_so_far)`.
-pub fn run_fuzz(
+pub fn run_fuzz(opts: &FuzzOptions, progress: impl FnMut(u64, u64)) -> Result<FuzzOutcome, String> {
+    run_fuzz_cancellable(opts, || false, progress)
+}
+
+/// [`run_fuzz`] with a cooperative cancellation predicate, checked
+/// between seeds: when `cancelled` returns `true` the campaign stops
+/// cleanly and the outcome reports the designs checked so far with
+/// `cancelled` set. A long-lived server uses this to abort a queued
+/// sweep without killing the worker.
+///
+/// # Errors
+///
+/// As [`run_fuzz`].
+pub fn run_fuzz_cancellable(
     opts: &FuzzOptions,
+    cancelled: impl Fn() -> bool,
     mut progress: impl FnMut(u64, u64),
 ) -> Result<FuzzOutcome, String> {
     let t0 = std::time::Instant::now();
     let mut designs = 0u64;
     for seed in opts.seed_start..opts.seed_end {
+        if cancelled() {
+            return Ok(FuzzOutcome {
+                designs,
+                elapsed_secs: t0.elapsed().as_secs_f64(),
+                failure: None,
+                cancelled: true,
+            });
+        }
         let cfg = config_for_seed(seed);
         let genome = rand_genome(seed, &cfg, opts.cycles);
         match check(&genome, &opts.oracle) {
@@ -173,6 +198,7 @@ pub fn run_fuzz(
                         min_nodes,
                         written_to,
                     }),
+                    cancelled: false,
                 });
             }
         }
@@ -181,5 +207,6 @@ pub fn run_fuzz(
         designs,
         elapsed_secs: t0.elapsed().as_secs_f64(),
         failure: None,
+        cancelled: false,
     })
 }

@@ -29,7 +29,9 @@ pub mod oracle;
 pub mod shrink;
 
 pub use corpus::{load_corpus, write_reproducer, Reproducer, CORPUS_VERSION};
-pub use driver::{config_for_seed, run_fuzz, FuzzFailure, FuzzOptions, FuzzOutcome};
+pub use driver::{
+    config_for_seed, run_fuzz, run_fuzz_cancellable, FuzzFailure, FuzzOptions, FuzzOutcome,
+};
 pub use genome::{rand_genome, stimulus, Genome, MemGene, OpGene, RegGene};
 pub use oracle::{check, inject_bug, Divergence, InjectedBug, OracleConfig};
 pub use shrink::{shrink, Shrunk};

@@ -81,7 +81,7 @@ struct BatchSramState {
 #[derive(Debug, Clone)]
 pub struct BatchSim {
     netlist: Netlist,
-    tape: Tape,
+    tape: std::sync::Arc<Tape>,
     lanes: usize,
     /// Bits `0..lanes` set; everything lane-visible is masked with this.
     lane_mask: u64,
@@ -122,10 +122,26 @@ impl BatchSim {
     /// or [`GateSimError::BadNetlist`] for an invalid netlist.
     pub fn with_lanes(netlist: &Netlist, lanes: usize) -> Result<Self, GateSimError> {
         let _span = strober_probe::span("strober.gatesim.batch_compile");
+        let tape = std::sync::Arc::new(Tape::compile(netlist)?);
+        Self::with_tape_lanes(tape, netlist, lanes)
+    }
+
+    /// Builds a batched simulator from a tape compiled earlier with
+    /// [`Tape::compile`], skipping compilation entirely. The tape **must**
+    /// have been compiled from this exact `netlist` (see
+    /// [`GateSim::with_tape`](crate::GateSim::with_tape)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateSimError::BadLaneCount`] unless `1 <= lanes <= 64`.
+    pub fn with_tape_lanes(
+        tape: std::sync::Arc<Tape>,
+        netlist: &Netlist,
+        lanes: usize,
+    ) -> Result<Self, GateSimError> {
         if lanes == 0 || lanes > MAX_LANES {
             return Err(GateSimError::BadLaneCount { lanes });
         }
-        let tape = Tape::compile(netlist)?;
         let lane_mask = mask_for(lanes);
 
         let mut srams = Vec::new();

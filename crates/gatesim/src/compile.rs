@@ -50,23 +50,23 @@ pub(crate) enum Step {
 /// The compiled program plus the name-resolution side tables every engine
 /// needs: sequential elements, port bit groupings, and lookup maps.
 #[derive(Debug, Clone)]
-pub(crate) struct Tape {
+pub struct Tape {
     /// Combinational steps in topological (levelized) order.
-    pub steps: Vec<Step>,
+    pub(crate) steps: Vec<Step>,
     /// `(d net, q net)` per flip-flop, in gate order.
-    pub dffs: Vec<(u32, u32)>,
+    pub(crate) dffs: Vec<(u32, u32)>,
     /// Reset value per flip-flop, aligned with `dffs`.
-    pub dff_inits: Vec<bool>,
+    pub(crate) dff_inits: Vec<bool>,
     /// Flip-flop instance name → index into `dffs`.
-    pub dff_by_name: HashMap<String, usize>,
+    pub(crate) dff_by_name: HashMap<String, usize>,
     /// SRAM macro instance name → index into [`Netlist::srams`].
-    pub sram_by_name: HashMap<String, usize>,
+    pub(crate) sram_by_name: HashMap<String, usize>,
     /// Input port name → bit nets, LSB first.
-    pub port_bits: HashMap<String, Vec<u32>>,
+    pub(crate) port_bits: HashMap<String, Vec<u32>>,
     /// Output port name → bit nets, LSB first.
-    pub output_bits: HashMap<String, Vec<u32>>,
+    pub(crate) output_bits: HashMap<String, Vec<u32>>,
     /// Number of nets in the netlist (the value vector length).
-    pub net_count: usize,
+    pub(crate) net_count: usize,
 }
 
 impl Tape {

@@ -62,5 +62,6 @@ mod sim;
 
 pub use activity::ActivityReport;
 pub use batch::{BatchSim, MAX_LANES};
+pub use compile::Tape;
 pub use loader::{LoadStats, ScriptLoader, VpiLoader};
 pub use sim::{GateSim, GateSimError};

@@ -107,7 +107,7 @@ struct SramState {
 #[derive(Debug, Clone)]
 pub struct GateSim {
     netlist: Netlist,
-    tape: Tape,
+    tape: std::sync::Arc<Tape>,
     values: Vec<bool>,
     prev_values: Vec<bool>,
     toggles: Vec<u64>,
@@ -131,8 +131,16 @@ impl GateSim {
     /// validation.
     pub fn new(netlist: &Netlist) -> Result<Self, GateSimError> {
         let _span = strober_probe::span("strober.gatesim.compile");
-        let tape = Tape::compile(netlist)?;
+        let tape = std::sync::Arc::new(Tape::compile(netlist)?);
+        Ok(Self::with_tape(tape, netlist))
+    }
 
+    /// Builds a simulator from a tape compiled earlier with
+    /// [`Tape::compile`], skipping compilation entirely. The tape **must**
+    /// have been compiled from this exact `netlist`; a session that caches
+    /// the tape keyed by the design fingerprint (as the estimation server
+    /// does) satisfies this by construction.
+    pub fn with_tape(tape: std::sync::Arc<Tape>, netlist: &Netlist) -> Self {
         let mut srams = Vec::new();
         for s in netlist.srams() {
             let mut contents = s.init.clone();
@@ -151,7 +159,7 @@ impl GateSim {
             values[q as usize] = init;
         }
 
-        Ok(GateSim {
+        GateSim {
             prev_values: values.clone(),
             toggles: vec![0; tape.net_count],
             values,
@@ -164,7 +172,7 @@ impl GateSim {
             dirty: true,
             settled_once: false,
             netlist: netlist.clone(),
-        })
+        }
     }
 
     /// The netlist being simulated.

@@ -222,11 +222,29 @@ impl ZynqHost {
         } else {
             TapeOptions::none()
         };
-        let mut sim =
+        let sim =
             Simulator::with_options(&fame.hub, &options).map_err(|e| SimError::UnknownName {
                 kind: "hub design",
                 name: e.to_string(),
             })?;
+        Self::with_sim(fame, cfg, sim)
+    }
+
+    /// Boots a host session from an already-lowered hub simulator,
+    /// skipping the lowering + tape-optimization pipeline entirely. The
+    /// simulator **must** have been built from `fame.hub` (and not yet
+    /// stepped): a session that caches the pristine lowered simulator
+    /// keyed by the design fingerprint — as `StroberFlow` and the
+    /// estimation server do — satisfies this by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the hub's control ports cannot be driven.
+    pub fn with_sim(
+        fame: &FameResult,
+        cfg: PlatformConfig,
+        mut sim: Simulator,
+    ) -> Result<Self, SimError> {
         let ctl = SnapshotController::new(&fame.meta);
         let out_map: HashMap<String, NodeId> = fame
             .hub

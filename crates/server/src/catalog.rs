@@ -1,0 +1,112 @@
+//! The shared design and workload catalog.
+//!
+//! Both the one-shot CLI and the estimation server resolve cores and
+//! workloads through this module, so a job submitted over the wire
+//! builds *exactly* the design and memory image the equivalent
+//! `strober estimate` invocation would — the bit-identity guarantee
+//! between served and one-shot runs starts here.
+
+use strober_cores::CoreConfig;
+use strober_isa::{assemble, programs};
+
+/// Generator of one bundled workload's assembly source.
+pub type WorkloadGen = fn() -> String;
+
+/// The bundled workloads: scaled versions of the paper's benchmarks.
+pub const WORKLOADS: &[(&str, WorkloadGen)] = &[
+    ("vvadd", || programs::vvadd(640)),
+    ("towers", || programs::towers(14)),
+    ("dhrystone", || programs::dhrystone(2800)),
+    ("qsort", || programs::qsort(768)),
+    ("spmv", || programs::spmv(256, 12)),
+    ("dgemm", || programs::dgemm(36)),
+    ("coremark", || programs::coremark_like(60)),
+    ("linux-boot", || programs::linux_boot_like(16, 1500)),
+    ("gcc", || programs::gcc_like(40_000, 2048)),
+];
+
+/// The catalogued core configuration names.
+pub const CORES: &[&str] = &["rok", "rok-tiny", "boum-1w", "boum-2w"];
+
+/// Resolves a core configuration by catalog name.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown names.
+pub fn core_config(name: &str) -> Result<CoreConfig, String> {
+    match name {
+        "rok" => Ok(CoreConfig::rok()),
+        "rok-tiny" => Ok(CoreConfig::rok_tiny()),
+        "boum-1w" => Ok(CoreConfig::boum_1w()),
+        "boum-2w" => Ok(CoreConfig::boum_2w()),
+        other => Err(format!(
+            "unknown core `{other}` (expected rok, rok-tiny, boum-1w or boum-2w)"
+        )),
+    }
+}
+
+/// The assembly source of a bundled workload.
+pub fn workload_source(name: &str) -> Option<String> {
+    WORKLOADS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, gen)| gen())
+}
+
+/// Assembles a program source into a memory image.
+///
+/// # Errors
+///
+/// Returns a user-facing message for assembly failures.
+pub fn image_from_source(source: &str) -> Result<Vec<u32>, String> {
+    Ok(assemble(source)
+        .map_err(|e| format!("assembly failed: {e}"))?
+        .words)
+}
+
+/// The memory image for a workload reference: `inline_asm` (assembly
+/// text) wins over the bundled `workload` name.
+///
+/// # Errors
+///
+/// Returns a user-facing message for unknown workloads or assembly
+/// failures.
+pub fn image_for(workload: &str, inline_asm: &Option<String>) -> Result<Vec<u32>, String> {
+    let source = match inline_asm {
+        Some(text) => text.clone(),
+        None => workload_source(workload)
+            .ok_or_else(|| format!("unknown workload `{workload}` (see `strober workloads`)"))?,
+    };
+    image_from_source(&source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalogued_core_resolves() {
+        for name in CORES {
+            assert_eq!(core_config(name).unwrap().name, *name);
+        }
+        assert!(core_config("rocket").is_err());
+    }
+
+    #[test]
+    fn every_bundled_workload_assembles() {
+        for (name, _) in WORKLOADS {
+            assert!(
+                !image_for(name, &None).unwrap().is_empty(),
+                "workload {name}"
+            );
+        }
+        assert!(image_for("nonesuch", &None).is_err());
+    }
+
+    #[test]
+    fn inline_asm_overrides_the_workload_name() {
+        let inline = Some(programs::vvadd(16));
+        let img = image_for("ignored", &inline).unwrap();
+        assert_eq!(img, image_from_source(&programs::vvadd(16)).unwrap());
+    }
+}

@@ -1,0 +1,215 @@
+//! Blocking client for the estimation server.
+//!
+//! A [`Client`] owns one connection (TCP or Unix socket) and speaks the
+//! framed request/response protocol from [`crate::protocol`]. Because
+//! the server interleaves streamed [`Event`]s for followed jobs with
+//! request [`Response`]s on the same stream, [`Client::request`] buffers
+//! any events that arrive while waiting for its response; they are
+//! replayed in order by [`Client::next_msg`] and [`Client::wait_result`].
+
+use crate::frame::{read_frame, write_frame, FrameError};
+use crate::protocol::{Event, JobResult, Request, Response, ServerMsg};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One blocking connection to a strober estimation server.
+pub struct Client {
+    reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    /// Events that arrived while a response was awaited.
+    pending: VecDeque<Event>,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connects over TCP, e.g. `Client::connect("127.0.0.1:7007")`.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Io`] if the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, FrameError> {
+        let stream = TcpStream::connect(addr).map_err(|e| FrameError::Io(e.to_string()))?;
+        let _ = stream.set_nodelay(true);
+        let reader = stream
+            .try_clone()
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        Ok(Self::from_parts(Box::new(reader), Box::new(stream)))
+    }
+
+    /// Connects over a Unix domain socket.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Io`] if the connection cannot be established.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> Result<Self, FrameError> {
+        let stream = std::os::unix::net::UnixStream::connect(path)
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        Ok(Self::from_parts(Box::new(reader), Box::new(stream)))
+    }
+
+    /// Builds a client from an already-connected stream pair. Useful for
+    /// tests and in-process transports.
+    pub fn from_parts(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Self {
+        Client {
+            reader,
+            writer,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Introduces this client to the server and returns its
+    /// [`Response::Hello`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::request`].
+    pub fn hello(&mut self, name: &str) -> Result<Response, FrameError> {
+        self.request(&Request::Hello {
+            client: name.to_owned(),
+        })
+    }
+
+    /// Sends one request and blocks for its response. Events streamed
+    /// for followed jobs in the meantime are buffered, not dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the underlying stream; a server that
+    /// replies with [`Response::Error`] still yields `Ok` — protocol
+    /// errors are data, not transport failures.
+    pub fn request(&mut self, req: &Request) -> Result<Response, FrameError> {
+        write_frame(&mut self.writer, req)?;
+        loop {
+            match read_frame::<ServerMsg>(&mut self.reader)? {
+                ServerMsg::Response(resp) => return Ok(resp),
+                ServerMsg::Event(ev) => self.pending.push_back(ev),
+            }
+        }
+    }
+
+    /// Returns the next message: first any buffered event, then whatever
+    /// the stream yields.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the underlying stream.
+    pub fn next_msg(&mut self) -> Result<ServerMsg, FrameError> {
+        if let Some(ev) = self.pending.pop_front() {
+            return Ok(ServerMsg::Event(ev));
+        }
+        read_frame::<ServerMsg>(&mut self.reader)
+    }
+
+    /// Consumes streamed events for `job` (this client must have
+    /// submitted it with `follow: true`) until a terminal one arrives.
+    /// Every event for the job — including the terminal one — is handed
+    /// to `on_event` first.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message if the job failed, was cancelled, or the
+    /// stream broke before a terminal event.
+    pub fn wait_result(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<JobResult, String> {
+        loop {
+            let msg = self
+                .next_msg()
+                .map_err(|e| format!("job {job}: stream ended before a result: {e}"))?;
+            let ev = match msg {
+                ServerMsg::Event(ev) if ev.job() == job => ev,
+                // Responses and other jobs' events are not ours to handle.
+                _ => continue,
+            };
+            on_event(&ev);
+            match ev {
+                Event::Done { result, .. } => return Ok(result),
+                Event::Failed { error, .. } => return Err(format!("job {job} failed: {error}")),
+                Event::Cancelled { .. } => return Err(format!("job {job} was cancelled")),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{FuzzJobOutcome, WireError};
+    use std::net::TcpListener;
+
+    /// A fake server on a loopback socket: reads one request, streams the
+    /// given messages back.
+    fn fake_server(msgs: Vec<ServerMsg>) -> std::net::SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _req: Request = read_frame(&mut conn).unwrap();
+            for msg in &msgs {
+                write_frame(&mut conn, msg).unwrap();
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn request_buffers_events_that_arrive_before_the_response() {
+        let addr = fake_server(vec![
+            ServerMsg::Event(Event::Started {
+                job: 3,
+                queue_wait_ms: 1.5,
+            }),
+            ServerMsg::Response(Response::Pong),
+            ServerMsg::Event(Event::Done {
+                job: 3,
+                result: JobResult::Fuzz(FuzzJobOutcome {
+                    designs: 2,
+                    diverged: false,
+                    failure_seed: None,
+                    cancelled: false,
+                }),
+            }),
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+        // The early event was buffered, and the terminal one still reads.
+        let mut seen = Vec::new();
+        let result = client.wait_result(3, |ev| seen.push(ev.clone())).unwrap();
+        assert!(matches!(result, JobResult::Fuzz(ref f) if f.designs == 2));
+        assert_eq!(seen.len(), 2);
+        assert!(matches!(seen[0], Event::Started { job: 3, .. }));
+    }
+
+    #[test]
+    fn wait_result_surfaces_failures_and_skips_other_jobs() {
+        let addr = fake_server(vec![
+            ServerMsg::Event(Event::Log {
+                job: 9,
+                message: "someone else's job".to_owned(),
+            }),
+            ServerMsg::Event(Event::Failed {
+                job: 4,
+                error: WireError::new(crate::protocol::ErrorKind::Internal, "boom"),
+            }),
+        ]);
+        let mut client = Client::connect(addr).unwrap();
+        write_frame(&mut client.writer, &Request::Ping).unwrap();
+        let err = client.wait_result(4, |_| {}).unwrap_err();
+        assert!(err.contains("boom"), "got: {err}");
+    }
+}

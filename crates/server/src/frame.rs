@@ -1,0 +1,251 @@
+//! Length-prefixed message framing.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of JSON. The length cap
+//! ([`MAX_FRAME_LEN`]) bounds a malicious or corrupted header before any
+//! allocation happens, and every failure mode is a typed [`FrameError`]
+//! so the server can distinguish "this frame was garbage, drop it and
+//! keep the connection" ([`FrameError::Malformed`]) from "the stream
+//! itself is broken, hang up" (everything else).
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame's payload length (16 MiB). Chosen to fit any
+/// realistic manifest-bearing result while rejecting corrupted headers
+/// (which otherwise read as multi-gigabyte allocations).
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header announced a payload longer than [`MAX_FRAME_LEN`].
+    Oversized {
+        /// The announced payload length.
+        len: u64,
+    },
+    /// The stream ended mid-frame.
+    Truncated {
+        /// Bytes the frame still owed.
+        expected: usize,
+        /// Bytes actually read before EOF.
+        got: usize,
+    },
+    /// The stream ended cleanly between frames.
+    Closed,
+    /// An I/O error from the underlying stream.
+    Io(String),
+    /// The payload was not valid JSON for the expected type. The stream
+    /// position is intact — the caller may keep reading frames.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { len } => {
+                write!(
+                    f,
+                    "frame of {len} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            FrameError::Truncated { expected, got } => {
+                write!(f, "stream ended mid-frame ({got} of {expected} bytes)")
+            }
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::Malformed(e) => write!(f, "malformed frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Serializes `msg` and writes it as one frame.
+///
+/// # Errors
+///
+/// [`FrameError::Oversized`] if the encoded message exceeds
+/// [`MAX_FRAME_LEN`], [`FrameError::Io`] on write failure.
+pub fn write_frame<T: serde::Serialize + ?Sized>(
+    w: &mut impl Write,
+    msg: &T,
+) -> Result<(), FrameError> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| FrameError::Malformed(e.to_string()))?
+        .into_bytes();
+    if body.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len: body.len() as u64,
+        });
+    }
+    let header = (body.len() as u32).to_be_bytes();
+    w.write_all(&header)
+        .and_then(|()| w.write_all(&body))
+        .and_then(|()| w.flush())
+        .map_err(|e| FrameError::Io(e.to_string()))
+}
+
+/// Reads one frame's payload bytes. Blocks until a full frame arrives.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF between frames,
+/// [`FrameError::Truncated`] on EOF mid-frame, [`FrameError::Oversized`]
+/// for a header over the cap, [`FrameError::Io`] otherwise.
+pub fn read_frame_bytes(r: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    match read_frame_bytes_while(r, || true)? {
+        Some(bytes) => Ok(bytes),
+        None => unreachable!("keep_waiting is constant true"),
+    }
+}
+
+/// [`read_frame_bytes`] for polled streams (sockets with a read
+/// timeout): timeouts *between* frames consult `keep_waiting` — returning
+/// `Ok(None)` once it goes false — while timeouts *inside* a frame always
+/// retry, so a slow writer never desynchronizes the stream.
+///
+/// # Errors
+///
+/// As [`read_frame_bytes`].
+pub fn read_frame_bytes_while(
+    r: &mut impl Read,
+    keep_waiting: impl Fn() -> bool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; 4];
+    let Some(()) = read_exact_polled(r, &mut header, false, &keep_waiting)? else {
+        return Ok(None);
+    };
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len: len as u64 });
+    }
+    let mut body = vec![0u8; len];
+    match read_exact_polled(r, &mut body, true, &keep_waiting)? {
+        Some(()) => Ok(Some(body)),
+        None => unreachable!("mid-frame reads always retry"),
+    }
+}
+
+/// Fills `buf`, treating timeouts as retries. With `committed` false, a
+/// clean EOF before the first byte is [`FrameError::Closed`] and a
+/// timeout consults `keep_waiting`; once any byte has arrived (or
+/// `committed` is true) EOF is [`FrameError::Truncated`] and timeouts
+/// always retry.
+fn read_exact_polled(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    committed: bool,
+    keep_waiting: &impl Fn() -> bool,
+) -> Result<Option<()>, FrameError> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 && !committed {
+                    FrameError::Closed
+                } else {
+                    FrameError::Truncated {
+                        expected: buf.len(),
+                        got,
+                    }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if got == 0 && !committed && !keep_waiting() {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(Some(()))
+}
+
+/// Decodes a frame payload into a message.
+///
+/// # Errors
+///
+/// [`FrameError::Malformed`] if the bytes are not UTF-8 JSON for `T`.
+pub fn decode<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, FrameError> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|e| FrameError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Reads and decodes one frame.
+///
+/// # Errors
+///
+/// The union of [`read_frame_bytes`] and [`decode`] failures.
+pub fn read_frame<T: serde::Deserialize>(r: &mut impl Read) -> Result<T, FrameError> {
+    decode(&read_frame_bytes(r)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![1u32, 2, 3]).unwrap();
+        write_frame(&mut buf, &String::from("hello")).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame::<Vec<u32>>(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(read_frame::<String>(&mut r).unwrap(), "hello");
+        assert_eq!(read_frame::<String>(&mut r), Err(FrameError::Closed));
+    }
+
+    #[test]
+    fn truncated_streams_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &String::from("truncate me please")).unwrap();
+        // Mid-body cut.
+        let mut r = Cursor::new(&buf[..buf.len() - 5]);
+        assert!(matches!(
+            read_frame::<String>(&mut r),
+            Err(FrameError::Truncated { .. })
+        ));
+        // Mid-header cut.
+        let mut r = Cursor::new(&buf[..2]);
+        assert!(matches!(
+            read_frame::<String>(&mut r),
+            Err(FrameError::Truncated {
+                expected: 4,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected_before_allocating() {
+        let mut buf = (u32::MAX).to_be_bytes().to_vec();
+        buf.extend_from_slice(b"junk");
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame::<String>(&mut r),
+            Err(FrameError::Oversized {
+                len: u64::from(u32::MAX)
+            })
+        );
+    }
+
+    #[test]
+    fn garbage_payload_is_malformed_but_stream_continues() {
+        let mut buf = Vec::new();
+        let body = b"{definitely not json";
+        buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        buf.extend_from_slice(body);
+        write_frame(&mut buf, &String::from("after")).unwrap();
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame::<String>(&mut r),
+            Err(FrameError::Malformed(_))
+        ));
+        // The bad frame was fully consumed; the next one parses fine.
+        assert_eq!(read_frame::<String>(&mut r).unwrap(), "after");
+    }
+}

@@ -1,0 +1,361 @@
+//! Worker-side job execution: from a [`JobSpec`] to a [`JobResult`].
+//!
+//! The bit-identity contract with the one-shot CLI lives here: a job
+//! resolves its design and image through the same [`crate::catalog`],
+//! builds the same [`StroberConfig`], and drives the same
+//! [`StroberFlow`] entry points — the only differences are the warm
+//! in-memory flow cache (which changes *where* the prepared artifacts
+//! come from, never what they contain) and the cancellation/progress
+//! control threaded through the run.
+
+use crate::catalog;
+use crate::protocol::{
+    ErrorKind, EstimateOutcome, EstimateSpec, Event, FuzzJobOutcome, FuzzSpec, JobResult, JobSpec,
+    ReplayOutcome, WireError,
+};
+use crate::queue::JobEntry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use strober::{Progress, ReplayResult, RunControl, StroberConfig, StroberError, StroberFlow};
+use strober_cores::build_core;
+use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
+use strober_fuzz::{run_fuzz_cancellable, FuzzOptions, OracleConfig};
+use strober_isa::programs;
+use strober_rtl::Design;
+use strober_store::{Fingerprint, Fnv1a, JobProvenance, RunManifest, Store};
+
+/// How a job ended without producing a result.
+#[derive(Debug)]
+pub(crate) enum JobFailure {
+    /// The job's cancel token tripped; not an error.
+    Cancelled,
+    /// A real failure, reported to followers as [`Event::Failed`].
+    Error(WireError),
+}
+
+impl From<StroberError> for JobFailure {
+    fn from(e: StroberError) -> Self {
+        match e {
+            StroberError::Cancelled => JobFailure::Cancelled,
+            other => JobFailure::Error(WireError::new(ErrorKind::Internal, other.to_string())),
+        }
+    }
+}
+
+fn bad_spec(message: String) -> JobFailure {
+    JobFailure::Error(WireError::new(ErrorKind::BadSpec, message))
+}
+
+/// Checks a spec at submission time, before it costs a queue slot.
+pub(crate) fn validate(spec: &JobSpec) -> Result<(), WireError> {
+    let bad = |m: String| Err(WireError::new(ErrorKind::BadSpec, m));
+    match spec {
+        JobSpec::Estimate(e) | JobSpec::Replay(e) => {
+            if let Err(m) = catalog::core_config(&e.core) {
+                return bad(m);
+            }
+            if e.asm.is_none() && catalog::workload_source(&e.workload).is_none() {
+                return bad(format!("unknown workload `{}`", e.workload));
+            }
+            if e.samples < 2 {
+                return bad("samples: need at least 2 for a variance estimate".to_owned());
+            }
+            if e.replay_length == 0 {
+                return bad("replay_length: must be at least 1".to_owned());
+            }
+            if e.batch_lanes == 0 || e.batch_lanes > 64 {
+                return bad("batch_lanes: must be in 1..=64".to_owned());
+            }
+            if e.max_cycles == 0 {
+                return bad("max_cycles: must be at least 1".to_owned());
+            }
+        }
+        JobSpec::Fuzz(f) => {
+            if f.seed_end <= f.seed_start {
+                return bad(format!("empty seed range {}..{}", f.seed_start, f.seed_end));
+            }
+            if f.cycles == 0 {
+                return bad("cycles: must be at least 1".to_owned());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Order-sensitive fingerprint of a replay's results: each sample's
+/// capture cycle, total window power (exact bits) and checked-output
+/// count. Two runs agree on this hex string iff they replayed the same
+/// snapshots to the same power — the currency of the served-vs-one-shot
+/// bit-identity tests.
+pub fn replay_fingerprint(results: &[ReplayResult]) -> String {
+    let mut h = Fnv1a::new();
+    for r in results {
+        h.write(&r.cycle.to_le_bytes());
+        h.write(&r.power.total_mw().to_bits().to_le_bytes());
+        h.write(&r.outputs_checked.to_le_bytes());
+    }
+    Fingerprint(h.finish()).to_hex()
+}
+
+/// The server's warm flow cache: one prepared [`StroberFlow`] per design
+/// fingerprint, held for the daemon's lifetime. The flow itself caches
+/// its lowered hub simulator and compiled gate tape, so a warm hit skips
+/// *all* per-design work. Hits and misses are observable as the
+/// `strober.server.prepare_{warm,store,cold}` counters.
+#[derive(Debug, Default)]
+pub(crate) struct FlowCache {
+    flows: Mutex<HashMap<String, Arc<StroberFlow>>>,
+}
+
+impl FlowCache {
+    /// Returns the prepared flow for `design` under `config`, and where
+    /// it came from: `warm` (this cache), `store` (artifact store) or
+    /// `cold` (full prepare).
+    pub(crate) fn obtain(
+        &self,
+        design: &Design,
+        config: StroberConfig,
+        store: Option<&Mutex<Store>>,
+    ) -> Result<(Arc<StroberFlow>, &'static str), StroberError> {
+        let key = StroberFlow::prepare_fingerprint(design, &config).to_hex();
+        if let Some(flow) = self.flows.lock().expect("flow cache lock").get(&key) {
+            strober_probe::counter_add("strober.server.prepare_warm", 1);
+            return Ok((flow.clone(), "warm"));
+        }
+        // Prepare outside the cache lock — it can take seconds, and
+        // other designs' warm hits must not wait behind it.
+        let (flow, provenance) = match store {
+            Some(store) => {
+                let mut store = store.lock().expect("store lock");
+                let (flow, hit) = StroberFlow::prepare_cached(design, config, &mut store)?;
+                (flow, if hit { "store" } else { "cold" })
+            }
+            None => (StroberFlow::new(design, config)?, "cold"),
+        };
+        strober_probe::counter_add(
+            match provenance {
+                "store" => "strober.server.prepare_store",
+                _ => "strober.server.prepare_cold",
+            },
+            1,
+        );
+        let flow = Arc::new(flow);
+        let mut flows = self.flows.lock().expect("flow cache lock");
+        // If a concurrent job prepared the same design, keep the first —
+        // both are bit-identical by construction.
+        let kept = flows.entry(key).or_insert_with(|| flow.clone()).clone();
+        strober_probe::gauge_set("strober.server.warm_designs", flows.len() as f64);
+        Ok((kept, provenance))
+    }
+}
+
+/// Runs one job to completion on the calling worker thread.
+pub(crate) fn run_job(
+    job: &JobEntry,
+    flows: &FlowCache,
+    store: Option<&Mutex<Store>>,
+    default_parallelism: usize,
+) -> Result<JobResult, JobFailure> {
+    match &job.spec {
+        JobSpec::Estimate(spec) => run_estimate(job, spec, flows, store, default_parallelism, true),
+        JobSpec::Replay(spec) => run_estimate(job, spec, flows, store, default_parallelism, false),
+        JobSpec::Fuzz(spec) => run_fuzz_job(job, spec),
+    }
+}
+
+/// Publishes a finished stage to followers and records it in the
+/// manifest.
+fn stage(job: &JobEntry, manifest: &mut RunManifest, name: &str, since: Instant) {
+    let elapsed = since.elapsed();
+    manifest.record(name, elapsed);
+    job.publish(Event::Stage {
+        job: job.id,
+        stage: name.to_owned(),
+        millis: elapsed.as_secs_f64() * 1e3,
+    });
+}
+
+fn run_estimate(
+    job: &JobEntry,
+    spec: &EstimateSpec,
+    flows: &FlowCache,
+    store: Option<&Mutex<Store>>,
+    default_parallelism: usize,
+    want_estimate: bool,
+) -> Result<JobResult, JobFailure> {
+    let core = catalog::core_config(&spec.core).map_err(bad_spec)?;
+    let image = catalog::image_for(&spec.workload, &spec.asm).map_err(bad_spec)?;
+    let design = build_core(&core);
+    let mut session = StroberConfig {
+        replay_length: spec.replay_length,
+        sample_size: spec.samples,
+        seed: spec.seed,
+        ..StroberConfig::default()
+    };
+    session.platform.tape_opt = spec.tape_opt;
+
+    let workload_desc = if spec.asm.is_some() {
+        "inline-asm".to_owned()
+    } else {
+        spec.workload.clone()
+    };
+    let mut manifest = RunManifest::new(core.name.clone(), workload_desc.clone());
+    manifest.fingerprint = StroberFlow::prepare_fingerprint(&design, &session).to_hex();
+    manifest.job = Some(JobProvenance {
+        id: job.id,
+        client: job.client.clone(),
+        queue_wait_ms: job.queue_wait_ms(),
+    });
+
+    let t = Instant::now();
+    let (flow, provenance) = flows.obtain(&design, session, store)?;
+    manifest.set_prepare(provenance);
+    stage(job, &mut manifest, "prepare", t);
+
+    let progress_hook = |p: Progress| {
+        let (phase, done, total) = match p {
+            Progress::SimWindows { windows, .. } => ("sim", windows, 0),
+            Progress::ReplayBatches { done, total } => ("replay", done, total),
+        };
+        job.publish(Event::Progress {
+            job: job.id,
+            phase: phase.to_owned(),
+            done,
+            total,
+        });
+    };
+    let ctl = RunControl {
+        cancel: Some(&job.cancel),
+        progress: Some(&progress_hook),
+        progress_window_stride: 0,
+    };
+
+    let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
+    dram.load(&image, 0);
+    let t = Instant::now();
+    let run = flow.run_sampled_controlled(&mut dram, spec.max_cycles, &ctl)?;
+    if dram.exit_code().is_none() {
+        return Err(JobFailure::Error(WireError::new(
+            ErrorKind::Internal,
+            format!("workload did not halt within {} cycles", spec.max_cycles),
+        )));
+    }
+    stage(job, &mut manifest, "sim", t);
+
+    let parallel = if spec.parallel == 0 {
+        default_parallelism
+    } else {
+        spec.parallel
+    };
+    let t = Instant::now();
+    let results = flow.replay_all_controlled(&run.snapshots, parallel, spec.batch_lanes, &ctl)?;
+    stage(job, &mut manifest, "replay", t);
+
+    let snapshot_fingerprint = replay_fingerprint(&results);
+    let outputs_checked: u64 = results.iter().map(|r| r.outputs_checked).sum();
+
+    if !want_estimate {
+        let mean_power_mw = if results.is_empty() {
+            0.0
+        } else {
+            results.iter().map(|r| r.power.total_mw()).sum::<f64>() / results.len() as f64
+        };
+        return Ok(JobResult::Replay(ReplayOutcome {
+            samples: results.len(),
+            mean_power_mw,
+            outputs_checked,
+            snapshot_fingerprint,
+            provenance: provenance.to_owned(),
+        }));
+    }
+
+    let t = Instant::now();
+    let estimate = flow.estimate(&run, &results)?;
+    let instret = dram.instret();
+    let dram_power_mw = LpddrPowerParams::lpddr2_s4()
+        .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
+        .total_mw();
+    stage(job, &mut manifest, "estimate", t);
+
+    manifest.metrics = strober_probe::snapshot();
+    if let Some(store) = store {
+        let store = store.lock().expect("store lock");
+        let path = store.root().join(format!("job-{}.json", job.id));
+        if let Err(e) = manifest.save(&path) {
+            strober_probe::warn!("cannot write job manifest to {}: {e}", path.display());
+        }
+    }
+
+    let epi_nj = (estimate.mean_power_mw() + dram_power_mw)
+        * 1e-3
+        * (run.target_cycles as f64 / flow.config().freq_hz)
+        / instret as f64
+        * 1e9;
+    Ok(JobResult::Estimate(EstimateOutcome {
+        core: core.name.clone(),
+        workload: workload_desc,
+        cycles: run.target_cycles,
+        instret,
+        windows: run.windows,
+        records: run.records,
+        samples: results.len(),
+        core_power_mw: estimate.mean_power_mw(),
+        half_width_mw: estimate.interval().half_width(),
+        confidence: estimate.interval().confidence(),
+        dram_power_mw,
+        epi_nj,
+        provenance: provenance.to_owned(),
+        snapshot_fingerprint,
+        manifest,
+    }))
+}
+
+fn run_fuzz_job(job: &JobEntry, spec: &FuzzSpec) -> Result<JobResult, JobFailure> {
+    let opts = FuzzOptions {
+        seed_start: spec.seed_start,
+        seed_end: spec.seed_end,
+        cycles: spec.cycles,
+        oracle: OracleConfig::default(),
+        // Served campaigns never write reproducer files: the divergence
+        // report goes back over the wire instead.
+        corpus_dir: None,
+        shrink_evals: 500,
+    };
+    let total = spec.seed_end - spec.seed_start;
+    let outcome = run_fuzz_cancellable(
+        &opts,
+        || job.cancel.is_cancelled(),
+        |_seed, designs| {
+            if designs % 10 == 0 {
+                job.publish(Event::Progress {
+                    job: job.id,
+                    phase: "fuzz".to_owned(),
+                    done: designs,
+                    total,
+                });
+            }
+        },
+    )
+    .map_err(|e| JobFailure::Error(WireError::new(ErrorKind::Internal, e)))?;
+    if outcome.cancelled {
+        return Err(JobFailure::Cancelled);
+    }
+    if let Some(f) = &outcome.failure {
+        job.publish(Event::Log {
+            job: job.id,
+            message: format!(
+                "divergence at seed {}: {} (minimized to {} nodes)",
+                f.seed,
+                f.reproducer.divergence.kind(),
+                f.min_nodes
+            ),
+        });
+    }
+    Ok(JobResult::Fuzz(FuzzJobOutcome {
+        designs: outcome.designs,
+        diverged: outcome.failure.is_some(),
+        failure_seed: outcome.failure.as_ref().map(|f| f.seed),
+        cancelled: false,
+    }))
+}

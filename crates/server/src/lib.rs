@@ -1,0 +1,42 @@
+//! Strober-as-a-service: a persistent estimation server.
+//!
+//! The one-shot CLI pays design preparation — FAME1 transform,
+//! synthesis, formal matching, simulator lowering, gate-tape compilation
+//! — on every invocation. This crate keeps all of that *hot in memory*
+//! in a long-lived daemon: clients submit estimate/replay/fuzz jobs over
+//! a socket, a worker pool schedules them by priority, and followed jobs
+//! stream progress events back as they run. A second job against an
+//! already-prepared design skips preparation and lowering entirely (the
+//! `warm` provenance) and returns results bit-identical to the one-shot
+//! flow — determinism is load-bearing, so serving is purely a caching
+//! layer, never a semantic one.
+//!
+//! The pieces:
+//!
+//! * [`protocol`] — the typed [`Request`]/[`Response`]/[`Event`] schema.
+//! * [`frame`] — length-prefixed JSON framing with typed errors.
+//! * [`catalog`] — the design/workload catalog shared with the CLI.
+//! * [`server`] — the daemon: listeners, job queue, worker pool,
+//!   graceful shutdown.
+//! * [`client`] — a blocking client used by `strober submit`/`jobs`/
+//!   `cancel` and the integration tests.
+//!
+//! [`Request`]: protocol::Request
+//! [`Response`]: protocol::Response
+//! [`Event`]: protocol::Event
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod catalog;
+pub mod client;
+pub mod frame;
+mod jobs;
+pub mod protocol;
+mod queue;
+pub mod server;
+pub mod signal;
+
+pub use client::Client;
+pub use jobs::replay_fingerprint;
+pub use server::{Server, ServerConfig, ServerHandle};

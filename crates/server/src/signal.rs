@@ -1,0 +1,65 @@
+//! Minimal SIGINT/SIGTERM latching without a libc crate.
+//!
+//! The daemon needs exactly one bit from the OS — "a shutdown signal
+//! arrived" — and the container has no `libc`/`signal-hook` crates to
+//! lean on. `std` always links the platform C library, so the two
+//! symbols we need (`signal(2)` semantics are fine for a latch-only
+//! handler: no reentrancy, no siginfo) are declared by hand. Non-Unix
+//! builds compile to a no-op installer.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn latch(_signum: i32) {
+        // Async-signal-safe: one relaxed store, nothing else.
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, latch as *const () as usize);
+            signal(SIGTERM, latch as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM latch. Idempotent; call once at daemon
+/// start. On non-Unix targets this does nothing and [`triggered`] only
+/// reflects [`trigger`] calls.
+pub fn install() {
+    imp::install();
+}
+
+/// Whether a shutdown signal has arrived (or [`trigger`] was called).
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Latches the flag from code — lets tests (and the `Shutdown` request
+/// path) share the signal-driven shutdown machinery.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+/// Clears the latch (test isolation).
+pub fn reset() {
+    TRIGGERED.store(false, Ordering::Relaxed);
+}

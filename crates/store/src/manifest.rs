@@ -14,8 +14,22 @@ use std::time::Duration;
 
 /// Manifest schema version. Bumped to 2 when the `version` and `metrics`
 /// fields were added and stage timings moved to span-derived values;
-/// version-1 documents (no `version` field) no longer parse.
-pub const MANIFEST_VERSION: u32 = 2;
+/// bumped to 3 when the estimation server landed and manifests grew job
+/// provenance (`job`) and prepare provenance (`prepare`). Older
+/// documents no longer parse: every field is required.
+pub const MANIFEST_VERSION: u32 = 3;
+
+/// Which job a served run belonged to — absent for one-shot CLI runs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobProvenance {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Submitting client's display name.
+    pub client: String,
+    /// Milliseconds the job waited in the queue before a worker
+    /// picked it up.
+    pub queue_wait_ms: f64,
+}
 
 /// One timed pipeline stage.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -38,8 +52,15 @@ pub struct RunManifest {
     pub workload: String,
     /// Cache key of the prepared artifacts, as hex.
     pub fingerprint: String,
-    /// Whether preparation was served from the artifact store.
+    /// Whether preparation was served from a cache (`prepare` says
+    /// which): `prepare != "cold"`.
     pub cache_hit: bool,
+    /// How preparation was served: `cold` (full
+    /// transform/synthesis/matching), `store` (artifact store hit) or
+    /// `warm` (in-memory prepared flow reused by a long-lived server).
+    pub prepare: String,
+    /// Job provenance, for runs executed by the estimation server.
+    pub job: Option<JobProvenance>,
     /// Per-stage wall-clock timings, in execution order.
     pub stages: Vec<StageTiming>,
     /// Every metric the probe registry held at the end of the run.
@@ -53,8 +74,16 @@ impl RunManifest {
             version: MANIFEST_VERSION,
             design: design.into(),
             workload: workload.into(),
+            prepare: "cold".to_owned(),
             ..RunManifest::default()
         }
+    }
+
+    /// Records how preparation was served (`cold`, `store`, `warm`),
+    /// keeping the boolean `cache_hit` consistent.
+    pub fn set_prepare(&mut self, provenance: impl Into<String>) {
+        self.prepare = provenance.into();
+        self.cache_hit = self.prepare != "cold";
     }
 
     /// Appends a stage timing.
@@ -155,10 +184,12 @@ mod tests {
     fn schema_version_is_bumped_and_enforced() {
         let manifest = RunManifest::new("rok", "vvadd");
         assert_eq!(manifest.version, MANIFEST_VERSION);
-        assert_eq!(MANIFEST_VERSION, 2, "bump this test with the schema");
+        assert_eq!(MANIFEST_VERSION, 3, "bump this test with the schema");
         let text = manifest.to_json();
         assert!(text.contains("\"version\""));
         assert!(text.contains("\"metrics\""));
+        assert!(text.contains("\"prepare\""));
+        assert!(text.contains("\"job\""));
         // A version-1 document predates the `version` and `metrics`
         // fields; it must be rejected, not silently half-parsed.
         let v1 = r#"{
@@ -169,6 +200,37 @@ mod tests {
             "stages": []
         }"#;
         assert!(RunManifest::from_json(v1).is_err());
+        // A version-2 document predates the provenance fields; it must
+        // be rejected too.
+        let v2 = r#"{
+            "version": 2,
+            "design": "rok",
+            "workload": "vvadd",
+            "fingerprint": "00117a5e57a0be55",
+            "cache_hit": false,
+            "stages": [],
+            "metrics": {"counters": [], "gauges": [], "histograms": []}
+        }"#;
+        assert!(RunManifest::from_json(v2).is_err());
+    }
+
+    #[test]
+    fn job_and_prepare_provenance_round_trip() {
+        let mut manifest = RunManifest::new("rok", "vvadd");
+        assert_eq!(manifest.prepare, "cold");
+        assert!(!manifest.cache_hit);
+        assert_eq!(manifest.job, None);
+        manifest.set_prepare("warm");
+        manifest.job = Some(JobProvenance {
+            id: 42,
+            client: "ci-runner".to_owned(),
+            queue_wait_ms: 12.5,
+        });
+        assert!(manifest.cache_hit);
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.job.as_ref().unwrap().id, 42);
+        assert_eq!(back.prepare, "warm");
     }
 
     #[test]

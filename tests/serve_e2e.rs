@@ -1,0 +1,305 @@
+//! End-to-end test of the estimation server: a served job must return
+//! results bit-identical to the one-shot in-process flow, a second job
+//! against the same design must be served from the warm in-memory cache
+//! (skipping preparation and lowering entirely), concurrent clients must
+//! both get correct results, and running jobs must cancel cooperatively.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use strober::{StroberConfig, StroberFlow};
+use strober_cores::build_core;
+use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
+use strober_isa::programs;
+use strober_server::catalog;
+use strober_server::protocol::{
+    EstimateOutcome, EstimateSpec, Event, FuzzSpec, JobResult, JobSpec, JobState, Priority,
+    Request, Response,
+};
+use strober_server::{replay_fingerprint, Client, Server, ServerConfig, ServerHandle};
+
+/// The shared job parameters: a tiny core and workload so the whole flow
+/// runs in seconds, with explicit parallelism/lanes so the direct run
+/// below is exactly comparable.
+fn spec() -> EstimateSpec {
+    EstimateSpec {
+        core: "rok-tiny".to_owned(),
+        workload: "inline".to_owned(),
+        asm: Some(programs::vvadd(48)),
+        samples: 6,
+        replay_length: 64,
+        seed: 0x57_0BE5,
+        max_cycles: 2_000_000,
+        parallel: 2,
+        batch_lanes: 8,
+        tape_opt: true,
+    }
+}
+
+/// What the one-shot flow computes for [`spec`], with f64s kept exact.
+struct DirectRun {
+    cycles: u64,
+    instret: u64,
+    windows: u64,
+    samples: usize,
+    core_power_mw: f64,
+    half_width_mw: f64,
+    dram_power_mw: f64,
+    epi_nj: f64,
+    snapshot_fingerprint: String,
+}
+
+/// Runs [`spec`] directly in-process, the way `strober estimate` does.
+fn direct_run() -> DirectRun {
+    let s = spec();
+    let core = catalog::core_config(&s.core).unwrap();
+    let image = catalog::image_for(&s.workload, &s.asm).unwrap();
+    let design = build_core(&core);
+    let mut session = StroberConfig {
+        replay_length: s.replay_length,
+        sample_size: s.samples,
+        seed: s.seed,
+        ..StroberConfig::default()
+    };
+    session.platform.tape_opt = s.tape_opt;
+    let flow = StroberFlow::new(&design, session).unwrap();
+    let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
+    dram.load(&image, 0);
+    let run = flow.run_sampled(&mut dram, s.max_cycles).unwrap();
+    assert!(dram.exit_code().is_some(), "workload halts");
+    let results = flow
+        .replay_all_batched(&run.snapshots, s.parallel, s.batch_lanes)
+        .unwrap();
+    let estimate = flow.estimate(&run, &results).unwrap();
+    let instret = dram.instret();
+    let dram_power_mw = LpddrPowerParams::lpddr2_s4()
+        .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
+        .total_mw();
+    let epi_nj = (estimate.mean_power_mw() + dram_power_mw)
+        * 1e-3
+        * (run.target_cycles as f64 / flow.config().freq_hz)
+        / instret as f64
+        * 1e9;
+    DirectRun {
+        cycles: run.target_cycles,
+        instret,
+        windows: run.windows,
+        samples: results.len(),
+        core_power_mw: estimate.mean_power_mw(),
+        half_width_mw: estimate.interval().half_width(),
+        dram_power_mw,
+        epi_nj,
+        snapshot_fingerprint: replay_fingerprint(&results),
+    }
+}
+
+fn start_server(workers: usize) -> (SocketAddr, ServerHandle, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServerConfig {
+        workers,
+        store_dir: None,
+        drain_ms: 10_000,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+fn connect(addr: SocketAddr, name: &str) -> Client {
+    let mut client = Client::connect(addr).unwrap();
+    let hello = client.hello(name).unwrap();
+    assert!(
+        matches!(hello, Response::Hello { protocol: 1, .. }),
+        "unexpected hello: {hello:?}"
+    );
+    client
+}
+
+fn submit_and_wait(client: &mut Client, spec: JobSpec, seen: &mut Vec<Event>) -> EstimateOutcome {
+    let resp = client
+        .request(&Request::Submit {
+            spec,
+            priority: Priority::Normal,
+            follow: true,
+        })
+        .unwrap();
+    let Response::Submitted { job } = resp else {
+        panic!("submit rejected: {resp:?}");
+    };
+    let result = client.wait_result(job, |ev| seen.push(ev.clone())).unwrap();
+    let JobResult::Estimate(outcome) = result else {
+        panic!("wrong result kind");
+    };
+    outcome
+}
+
+fn assert_bit_identical(outcome: &EstimateOutcome, direct: &DirectRun) {
+    assert_eq!(outcome.cycles, direct.cycles);
+    assert_eq!(outcome.instret, direct.instret);
+    assert_eq!(outcome.windows, direct.windows);
+    assert_eq!(outcome.samples, direct.samples);
+    assert_eq!(
+        outcome.core_power_mw.to_bits(),
+        direct.core_power_mw.to_bits(),
+        "core power must be bit-identical: served {} vs direct {}",
+        outcome.core_power_mw,
+        direct.core_power_mw
+    );
+    assert_eq!(
+        outcome.half_width_mw.to_bits(),
+        direct.half_width_mw.to_bits()
+    );
+    assert_eq!(
+        outcome.dram_power_mw.to_bits(),
+        direct.dram_power_mw.to_bits()
+    );
+    assert_eq!(outcome.epi_nj.to_bits(), direct.epi_nj.to_bits());
+    assert_eq!(
+        outcome.snapshot_fingerprint, direct.snapshot_fingerprint,
+        "every replayed sample must match bit for bit"
+    );
+}
+
+#[test]
+fn served_estimates_are_bit_identical_and_warm_on_the_second_job() {
+    let direct = direct_run();
+    let (addr, handle, join) = start_server(2);
+
+    // First job: the server has never seen this design — a cold prepare.
+    let mut client = connect(addr, "e2e-client");
+    let mut events = Vec::new();
+    let first = submit_and_wait(&mut client, JobSpec::Estimate(spec()), &mut events);
+    assert_eq!(first.provenance, "cold", "first job prepares from scratch");
+    assert_bit_identical(&first, &direct);
+    assert!(
+        events.iter().any(|e| matches!(e, Event::Started { .. })),
+        "followed jobs stream a start event"
+    );
+    for stage in ["prepare", "sim", "replay", "estimate"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Stage { stage: s, .. } if s == stage)),
+            "followed jobs stream the `{stage}` stage"
+        );
+    }
+    let run_manifest = &first.manifest;
+    assert_eq!(run_manifest.prepare, "cold");
+    let job = run_manifest
+        .job
+        .as_ref()
+        .expect("served runs carry job provenance");
+    assert_eq!(job.client, "e2e-client");
+
+    // Second job, same design: served from the warm in-memory flow —
+    // preparation and lowering are skipped entirely. The probe registry
+    // is process-global, so the counter is checked as a monotonic delta.
+    let warm_before = strober_probe::snapshot()
+        .counter("strober.server.prepare_warm")
+        .unwrap_or(0);
+    let second = submit_and_wait(&mut client, JobSpec::Estimate(spec()), &mut Vec::new());
+    assert_eq!(second.provenance, "warm", "second job skips preparation");
+    assert_bit_identical(&second, &direct);
+    let warm_after = strober_probe::snapshot()
+        .counter("strober.server.prepare_warm")
+        .unwrap_or(0);
+    assert!(
+        warm_after > warm_before,
+        "warm hit counter must advance ({warm_before} -> {warm_after})"
+    );
+    assert!(
+        second.manifest.cache_hit,
+        "warm provenance implies a cache hit in the manifest"
+    );
+
+    // Two concurrent clients, both against the warm design: both get
+    // the same bit-identical answer.
+    let mut threads = Vec::new();
+    for i in 0..2 {
+        threads.push(std::thread::spawn(move || {
+            let mut client = connect(addr, &format!("concurrent-{i}"));
+            submit_and_wait(&mut client, JobSpec::Estimate(spec()), &mut Vec::new())
+        }));
+    }
+    for t in threads {
+        let outcome = t.join().unwrap();
+        assert_eq!(outcome.provenance, "warm");
+        assert_bit_identical(&outcome, &direct);
+    }
+
+    // The server lists all four jobs as done.
+    let resp = client.request(&Request::Jobs).unwrap();
+    let Response::Jobs { jobs } = resp else {
+        panic!("jobs query failed: {resp:?}");
+    };
+    assert_eq!(jobs.len(), 4);
+    assert!(jobs.iter().all(|j| j.state == JobState::Done));
+
+    handle.shutdown(false);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(handle.is_finished(), "shutdown must complete");
+    join.join().unwrap();
+}
+
+#[test]
+fn running_jobs_cancel_cooperatively() {
+    let (addr, handle, join) = start_server(1);
+    let mut client = connect(addr, "canceller");
+
+    // A fuzz campaign far too large to ever finish; it checks the cancel
+    // token between seeds.
+    let resp = client
+        .request(&Request::Submit {
+            spec: JobSpec::Fuzz(FuzzSpec {
+                seed_start: 0,
+                seed_end: 1_000_000,
+                cycles: 48,
+            }),
+            priority: Priority::High,
+            follow: true,
+        })
+        .unwrap();
+    let Response::Submitted { job } = resp else {
+        panic!("submit rejected: {resp:?}");
+    };
+
+    // Wait until a worker picks it up, then cancel mid-run.
+    loop {
+        let resp = client.request(&Request::Status { job }).unwrap();
+        let Response::Status { job: summary } = resp else {
+            panic!("status failed: {resp:?}");
+        };
+        match summary.state {
+            JobState::Running => break,
+            JobState::Queued => std::thread::sleep(Duration::from_millis(10)),
+            other => panic!("job reached {other:?} before cancellation"),
+        }
+    }
+    let resp = client.request(&Request::Cancel { job }).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Cancelled {
+                state: JobState::Running | JobState::Cancelled,
+                ..
+            }
+        ),
+        "cancel acknowledged: {resp:?}"
+    );
+
+    // The follow stream must end with the cancellation, promptly.
+    let err = client.wait_result(job, |_| {}).unwrap_err();
+    assert!(err.contains("cancelled"), "got: {err}");
+    let resp = client.request(&Request::Status { job }).unwrap();
+    let Response::Status { job: summary } = resp else {
+        panic!("status failed: {resp:?}");
+    };
+    assert_eq!(summary.state, JobState::Cancelled);
+
+    handle.shutdown(false);
+    join.join().unwrap();
+}

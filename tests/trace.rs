@@ -65,7 +65,6 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
         "strober.core.replay_sample",
         "strober.gatesim.load",
         "strober.core.replay_batch",
-        "strober.gatesim.batch_compile",
         "strober.gatesim.load_batch",
         "strober.core.estimate",
     ] {
@@ -154,6 +153,21 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
         .histogram("strober.core.replay_sample_ms")
         .expect("replay histogram");
     assert_eq!(hist.count, results.len() as u64);
+
+    // The gate-level op tape is compiled on first use and shared by
+    // every replay engine after that — the scalar workers and the packed
+    // path all reuse it, so the batch path never compiles its own. The
+    // two first-replay workers may race the OnceLock (the loser's tape
+    // is discarded), so up to `parallelism` compiles are tolerated.
+    let compiled = metrics.counter("strober.core.gate_tape_compiled").unwrap();
+    assert!((1..=2).contains(&compiled), "compiled {compiled} tapes");
+    assert!(metrics.counter("strober.core.gate_tape_reused").unwrap() >= 1);
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.name == "strober.gatesim.batch_compile"),
+        "batch replay must reuse the session tape, not recompile"
+    );
 
     // The packed path accounted its lanes: all snapshots fit one batch.
     assert_eq!(metrics.counter("strober.core.replay_batches"), Some(1));
