@@ -202,14 +202,19 @@ pub mod overhead {
         (0..iters).map(work_chunk).fold(0u64, u64::wrapping_add)
     }
 
-    /// The same workload with one span and one counter update per chunk —
-    /// the densest instrumentation anywhere in the flow. With the
-    /// recorder disabled each probe call is a single relaxed atomic load.
+    /// The same workload with one span, one counter update and one
+    /// *labeled* counter update per chunk — the densest instrumentation
+    /// anywhere in the flow, dimensional series included. With the
+    /// recorder disabled each probe call is a single relaxed atomic
+    /// load; the labeled call in particular must not render or allocate
+    /// its series key when disabled.
     pub fn run_probed(iters: u64) -> u64 {
+        let labels = strober_probe::Labels::new().phase("bench");
         (0..iters)
             .map(|i| {
                 let _span = strober_probe::span("strober.bench.overhead");
                 strober_probe::counter_add("strober.bench.overhead_chunks", 1);
+                strober_probe::counter_add_labeled("strober.bench.overhead_labeled", &labels, 1);
                 work_chunk(i)
             })
             .fold(0u64, u64::wrapping_add)

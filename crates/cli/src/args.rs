@@ -36,6 +36,11 @@ pub enum Command {
     Jobs(JobsArgs),
     /// `strober cancel …` — cancel a job on a running server.
     Cancel(CancelArgs),
+    /// `strober top …` — live telemetry view of a running server.
+    Top(TopArgs),
+    /// `strober bench report …` — run the micro-benchmark suite and
+    /// emit a JSON report.
+    Bench(BenchArgs),
     /// `strober help` or `--help`.
     Help,
 }
@@ -58,6 +63,14 @@ pub struct ServeArgs {
     pub no_cache: bool,
     /// Graceful-shutdown drain deadline, in milliseconds.
     pub drain_ms: u64,
+    /// HTTP listen address for Prometheus `GET /metrics` scraping
+    /// (None = no HTTP endpoint; the framed `Scrape` request always
+    /// works).
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder frame interval in milliseconds (0 = default).
+    pub flight_interval_ms: u64,
+    /// Flight-recorder ring capacity in frames (0 = default).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeArgs {
@@ -69,6 +82,50 @@ impl Default for ServeArgs {
             cache_dir: None,
             no_cache: false,
             drain_ms: 30_000,
+            metrics_addr: None,
+            flight_interval_ms: 0,
+            flight_capacity: 0,
+        }
+    }
+}
+
+/// Arguments of the `top` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopArgs {
+    /// Server address to dial.
+    pub addr: String,
+    /// Refresh interval in milliseconds.
+    pub interval_ms: u64,
+    /// Stop after this many rendered frames (0 = run until the server
+    /// goes away or the process is interrupted).
+    pub frames: u64,
+    /// Render plainly without ANSI cursor control (implied by
+    /// `frames == 1`).
+    pub plain: bool,
+}
+
+impl Default for TopArgs {
+    fn default() -> Self {
+        TopArgs {
+            addr: DEFAULT_ADDR.to_owned(),
+            interval_ms: 1_000,
+            frames: 0,
+            plain: false,
+        }
+    }
+}
+
+/// Arguments of the `bench report` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// Where to write the JSON report.
+    pub out: String,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            out: "BENCH_7.json".to_owned(),
         }
     }
 }
@@ -621,6 +678,17 @@ fn parse_command<'a>(
                             .parse()
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
                     }
+                    "--metrics-addr" => a.metrics_addr = Some(take_value(flag, &mut it)?),
+                    "--flight-interval-ms" => {
+                        a.flight_interval_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--flight-capacity" => {
+                        a.flight_capacity = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -748,6 +816,50 @@ fn parse_command<'a>(
             }
             Ok(Command::Cancel(a))
         }
+        "top" => {
+            let mut a = TopArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => a.addr = take_value(flag, &mut it)?,
+                    "--interval-ms" => {
+                        a.interval_ms = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.interval_ms == 0 {
+                            return Err(ArgError(format!("{flag}: must be at least 1")));
+                        }
+                    }
+                    "--frames" => {
+                        a.frames = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                    }
+                    "--once" => a.frames = 1,
+                    "--plain" => a.plain = true,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Top(a))
+        }
+        "bench" => {
+            match it.next() {
+                Some("report") => {}
+                Some(other) => {
+                    return Err(ArgError(format!(
+                        "unknown bench action `{other}` (expected report)"
+                    )))
+                }
+                None => return Err(ArgError("bench expects an action: report".to_owned())),
+            }
+            let mut a = BenchArgs::default();
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--out" => a.out = take_value(flag, &mut it)?,
+                    other => return Err(ArgError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Bench(a))
+        }
         other => Err(ArgError(format!(
             "unknown subcommand `{other}` (try `strober help`)"
         ))),
@@ -818,6 +930,8 @@ USAGE:
 
   strober serve    [--addr HOST:PORT] [--unix-socket PATH] [--workers N]
                    [--cache-dir DIR] [--no-cache] [--drain-ms MS]
+                   [--metrics-addr HOST:PORT] [--flight-interval-ms MS]
+                   [--flight-capacity N]
       Run the persistent estimation server (default 127.0.0.1:7207).
       Prepared designs — FAME hub, synthesized netlist, lowered
       simulator, compiled gate tape — stay hot in memory for the
@@ -827,6 +941,11 @@ USAGE:
       --workers threads; SIGINT/SIGTERM (or a client Shutdown
       request) drains in-flight jobs for up to --drain-ms before
       cancelling them, then flushes the server trace and metrics.
+      --metrics-addr additionally serves Prometheus text exposition
+      over HTTP at GET /metrics; the flight recorder keeps a bounded
+      ring of periodic metric snapshots (--flight-interval-ms between
+      frames, --flight-capacity frames) flushed to server-flight.json
+      at shutdown.
 
   strober submit   (estimate | replay | fuzz) [--addr HOST:PORT]
                    [--priority high|normal|low] [--detach] [--json]
@@ -845,6 +964,20 @@ USAGE:
   strober cancel   ID [--addr HOST:PORT]
       Cancel a queued or running job. Running jobs stop cooperatively
       at the next sample-window or replay-batch boundary.
+
+  strober top      [--addr HOST:PORT] [--interval-ms MS] [--frames N]
+                   [--once] [--plain]
+      Live view of a running server, refreshed from its metric watch
+      stream: queue depth, per-worker utilization, and every active
+      job's phase, progress, simulation and replay throughput, and
+      prepare provenance (warm/store/cold). --once renders a single
+      frame and exits (for scripts and CI); --frames N stops after N
+      frames; --plain skips ANSI screen clearing.
+
+  strober bench    report [--out FILE]
+      Run the in-process micro-benchmark suite (probe overhead on/off,
+      labeled-metric overhead, end-to-end flow timing on a small core)
+      and write a JSON report (default BENCH_7.json).
 ";
 
 #[cfg(test)]
@@ -1212,6 +1345,87 @@ mod tests {
             .unwrap_err()
             .0
             .contains("not a job id"));
+    }
+
+    #[test]
+    fn parses_top_flags() {
+        let Command::Top(a) = parse(&["top"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a, TopArgs::default());
+
+        let Command::Top(a) = parse(&[
+            "top",
+            "--addr",
+            "127.0.0.1:9",
+            "--interval-ms",
+            "250",
+            "--frames",
+            "3",
+            "--plain",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.addr, "127.0.0.1:9");
+        assert_eq!(a.interval_ms, 250);
+        assert_eq!(a.frames, 3);
+        assert!(a.plain);
+
+        let Command::Top(a) = parse(&["top", "--once"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.frames, 1);
+        assert!(parse(&["top", "--interval-ms", "0"])
+            .unwrap_err()
+            .0
+            .contains("at least 1"));
+    }
+
+    #[test]
+    fn parses_bench_report() {
+        let Command::Bench(a) = parse(&["bench", "report"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.out, "BENCH_7.json");
+        let Command::Bench(a) = parse(&["bench", "report", "--out", "/tmp/b.json"])
+            .unwrap()
+            .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.out, "/tmp/b.json");
+        assert!(parse(&["bench"])
+            .unwrap_err()
+            .0
+            .contains("expects an action"));
+        assert!(parse(&["bench", "race"])
+            .unwrap_err()
+            .0
+            .contains("unknown bench action"));
+    }
+
+    #[test]
+    fn parses_serve_telemetry_flags() {
+        let Command::Serve(a) = parse(&[
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:9100",
+            "--flight-interval-ms",
+            "500",
+            "--flight-capacity",
+            "120",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(a.flight_interval_ms, 500);
+        assert_eq!(a.flight_capacity, 120);
     }
 
     #[test]

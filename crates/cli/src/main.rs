@@ -4,8 +4,8 @@
 mod args;
 
 use args::{
-    default_cache_dir, CacheAction, CacheArgs, CancelArgs, Command, EstimateArgs, ExportArgs,
-    FuzzArgs, JobsArgs, ProbeArgs, RunArgs, ServeArgs, SubmitArgs, HELP,
+    default_cache_dir, BenchArgs, CacheAction, CacheArgs, CancelArgs, Command, EstimateArgs,
+    ExportArgs, FuzzArgs, JobsArgs, ProbeArgs, RunArgs, ServeArgs, SubmitArgs, TopArgs, HELP,
 };
 use std::process::ExitCode;
 use strober::{StroberConfig, StroberFlow};
@@ -435,13 +435,367 @@ fn cmd_serve(a: &ServeArgs) -> Result<(), String> {
         workers: a.workers,
         store_dir,
         drain_ms: a.drain_ms,
+        metrics_addr: a.metrics_addr.clone(),
+        flight_interval_ms: a.flight_interval_ms,
+        flight_capacity: a.flight_capacity,
     })
     .map_err(|e| format!("cannot bind `{}`: {e}", a.addr))?;
     strober_probe::info!("strober server listening on {}", server.local_addr());
     if let Some(path) = &a.unix_socket {
         strober_probe::info!("  … and on unix socket {path}");
     }
+    if let Some(maddr) = server.metrics_local_addr() {
+        strober_probe::info!("  … and serving metrics on http://{maddr}/metrics");
+    }
     server.run().map_err(|e| format!("server failed: {e}"))
+}
+
+/// One active job's row in the `strober top` table, assembled from the
+/// per-job labeled series the server publishes while the job runs.
+#[derive(Default)]
+struct TopJob {
+    design: String,
+    worker: String,
+    phase: String,
+    progress: f64,
+    sim_rate: Option<f64>,
+    replay_rate: Option<f64>,
+    provenance: String,
+}
+
+/// Orders the pipeline phases so a job's row shows the furthest stage
+/// reached (per-phase progress gauges persist until the job's series
+/// are retired, so both `sim` and `replay` can be present at once).
+fn phase_rank(phase: &str) -> u32 {
+    match phase {
+        "sim" => 1,
+        "replay" => 2,
+        _ => 0,
+    }
+}
+
+/// Pulls the label value for `key` out of a parsed series label list.
+fn label<'a>(labels: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    labels
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Looks up (inserting if new) the row for the `job` label of a series,
+/// refreshing the row's design/worker attribution as a side effect.
+fn note_job<'a>(
+    jobs: &'a mut std::collections::BTreeMap<u64, TopJob>,
+    labels: &[(String, String)],
+) -> Option<&'a mut TopJob> {
+    let id: u64 = label(labels, "job")?.parse().ok()?;
+    let row = jobs.entry(id).or_default();
+    if let Some(d) = label(labels, "design") {
+        row.design = d.to_owned();
+    }
+    if let Some(w) = label(labels, "worker") {
+        row.worker = w.to_owned();
+    }
+    Some(row)
+}
+
+/// Finds an unlabeled gauge by exact name.
+fn gauge(snap: &strober_probe::MetricsSnapshot, name: &str) -> Option<f64> {
+    snap.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+}
+
+/// Finds an unlabeled counter by exact name (0 when never bumped).
+fn counter(snap: &strober_probe::MetricsSnapshot, name: &str) -> u64 {
+    snap.counters
+        .iter()
+        .find(|c| c.name == name)
+        .map_or(0, |c| c.value)
+}
+
+/// Formats a rate with an SI suffix (`1.2M`, `345k`, `87`).
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+/// Renders one frame of the `strober top` dashboard from the merged
+/// metrics snapshot maintained by the watch session.
+fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSnapshot) {
+    println!(
+        "strober top — {addr}  (frame {seq}, t+{:.1}s)",
+        at_ms as f64 / 1000.0
+    );
+    println!();
+
+    let accepted = counter(snap, "strober.server.jobs_accepted");
+    let completed = counter(snap, "strober.server.jobs_completed");
+    let failed = counter(snap, "strober.server.jobs_failed");
+    let cancelled = counter(snap, "strober.server.jobs_cancelled");
+    println!(
+        "jobs:     accepted {accepted}   completed {completed}   failed {failed}   cancelled {cancelled}   queued {:.0}",
+        gauge(snap, "strober.server.queue_depth").unwrap_or(0.0)
+    );
+    println!(
+        "prepare:  warm {}   store {}   cold {}   (warm designs {:.0})",
+        counter(snap, "strober.server.prepare_warm"),
+        counter(snap, "strober.server.prepare_store"),
+        counter(snap, "strober.server.prepare_cold"),
+        gauge(snap, "strober.server.warm_designs").unwrap_or(0.0)
+    );
+    if let Some(h) = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "strober.server.queue_wait_ms")
+    {
+        println!(
+            "queue:    waits {}   mean {:.1} ms   max {:.1} ms",
+            h.count,
+            h.mean(),
+            h.max
+        );
+    }
+
+    // Per-worker busy/idle flags come from the labeled worker_busy gauge.
+    let mut workers: Vec<(String, f64)> = Vec::new();
+    let mut jobs: std::collections::BTreeMap<u64, TopJob> = std::collections::BTreeMap::new();
+    for g in &snap.gauges {
+        let (base, labels) = strober_probe::parse_series(&g.name);
+        match base {
+            "strober.server.worker_busy" => {
+                if let Some(w) = label(&labels, "worker") {
+                    workers.push((w.to_owned(), g.value));
+                }
+            }
+            "strober.server.job_progress" => {
+                if let Some(row) = note_job(&mut jobs, &labels) {
+                    let phase = label(&labels, "phase").unwrap_or("?");
+                    if phase_rank(phase) >= phase_rank(&row.phase) {
+                        row.phase = phase.to_owned();
+                        row.progress = g.value;
+                    }
+                }
+            }
+            "strober.core.sim_cycles_per_sec" => {
+                if let Some(row) = note_job(&mut jobs, &labels) {
+                    row.sim_rate = Some(g.value);
+                }
+            }
+            "strober.core.replay_samples_per_sec" => {
+                if let Some(row) = note_job(&mut jobs, &labels) {
+                    row.replay_rate = Some(g.value);
+                }
+            }
+            _ => {}
+        }
+    }
+    for c in &snap.counters {
+        let (base, labels) = strober_probe::parse_series(&c.name);
+        if base == "strober.server.job_prepare" {
+            if let Some(row) = note_job(&mut jobs, &labels) {
+                if let Some(p) = label(&labels, "provenance") {
+                    row.provenance = p.to_owned();
+                }
+            }
+        }
+    }
+
+    workers.sort_by(|a, b| a.0.cmp(&b.0));
+    let busy = workers.iter().filter(|(_, v)| *v > 0.0).count();
+    print!("workers:  {busy}/{} busy ", workers.len());
+    for (name, v) in &workers {
+        print!(" [{}:{}]", name, if *v > 0.0 { "busy" } else { "idle" });
+    }
+    println!();
+    println!();
+
+    if jobs.is_empty() {
+        println!("no active jobs");
+    } else {
+        println!(
+            "{:>5}  {:<14} {:>6}  {:<7} {:>9}  {:>10}  {:>12}  {:<6}",
+            "JOB", "DESIGN", "WORKER", "PHASE", "PROGRESS", "SIM c/s", "REPLAY s/s", "CACHE"
+        );
+        for (id, row) in &jobs {
+            println!(
+                "{:>5}  {:<14} {:>6}  {:<7} {:>9}  {:>10}  {:>12}  {:<6}",
+                id,
+                row.design,
+                row.worker,
+                // A row exists only once a worker emitted a job-labeled
+                // series, so pre-progress the job is mid-prepare/sim.
+                if row.phase.is_empty() {
+                    "running"
+                } else {
+                    &row.phase
+                },
+                format!("{:.0}", row.progress),
+                row.sim_rate.map_or_else(|| "-".to_owned(), fmt_rate),
+                row.replay_rate.map_or_else(|| "-".to_owned(), fmt_rate),
+                row.provenance
+            );
+        }
+    }
+}
+
+fn cmd_top(a: &TopArgs) -> Result<(), String> {
+    let mut client = dial(&a.addr)?;
+    let interval_ms = match client.request(&Request::Watch {
+        interval_ms: a.interval_ms,
+    }) {
+        Ok(Response::Watching { interval_ms }) => interval_ms,
+        Ok(other) => return Err(format!("unexpected watch response: {other:?}")),
+        Err(e) => return Err(format!("watch failed: {e}")),
+    };
+    let ansi = !a.plain && a.frames != 1;
+    let mut session = strober_server::WatchSession::new();
+    let mut rendered = 0u64;
+    loop {
+        let frame = match client.next_watch() {
+            Ok(f) => f,
+            // The stream ends when the server shuts down; with a frame
+            // budget that is an error (we were cut short), without one
+            // it is the normal way out.
+            Err(e) if a.frames == 0 => {
+                strober_probe::info!("server went away ({e}); exiting");
+                return Ok(());
+            }
+            Err(e) => return Err(format!("watch stream ended early: {e}")),
+        };
+        let (seq, at_ms) = (frame.seq, frame.at_ms);
+        if !session.apply(&frame) {
+            // Desynced (missed a frame); skip until the next reset frame.
+            continue;
+        }
+        if ansi {
+            // Clear the screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&a.addr, seq, at_ms, session.metrics());
+        if ansi {
+            println!();
+            println!("refreshing every {interval_ms} ms — press Ctrl-C to quit");
+        }
+        rendered += 1;
+        if a.frames > 0 && rendered >= a.frames {
+            return Ok(());
+        }
+    }
+}
+
+fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
+    use std::hint::black_box;
+    use std::time::Instant;
+    use strober_bench::overhead::{run_plain, run_probed};
+
+    // Mirror tests/probe_overhead.rs: compare minima over interleaved
+    // trials so the report is stable on a noisy machine.
+    const ITERS: u64 = 2_000;
+    const TRIALS: usize = 9;
+    let min_nanos = |f: &dyn Fn() -> u64| -> u128 {
+        let mut best = u128::MAX;
+        for _ in 0..TRIALS {
+            let t0 = Instant::now();
+            black_box(f());
+            best = best.min(t0.elapsed().as_nanos());
+        }
+        best
+    };
+
+    strober_probe::disable();
+    strober_probe::reset();
+    black_box(run_plain(ITERS));
+    black_box(run_probed(ITERS));
+    let plain_ns = min_nanos(&|| run_plain(ITERS));
+    let disabled_ns = min_nanos(&|| run_probed(ITERS));
+    let disabled_pct = (disabled_ns as f64 / plain_ns as f64 - 1.0) * 100.0;
+
+    // One enabled run to report the live cost and the series the labeled
+    // instrumentation actually produces.
+    strober_probe::enable();
+    let enabled_ns = min_nanos(&|| run_probed(ITERS));
+    let enabled_pct = (enabled_ns as f64 / plain_ns as f64 - 1.0) * 100.0;
+    let snap = strober_probe::snapshot();
+    let labeled_series = snap
+        .counters
+        .iter()
+        .filter(|c| c.name.contains('{'))
+        .count();
+    strober_probe::disable();
+    strober_probe::reset();
+
+    // One end-to-end simulator-speed scenario so the report tracks the
+    // flow itself, not just the probe: vvadd on the smallest core, the
+    // same pairing the bench crate's smoke test uses.
+    let design = build_core(&strober_cores::CoreConfig::rok_tiny());
+    let (outcome, _) = strober_bench::run_on_rtl(
+        &design,
+        &strober_bench::Workload::Vvadd.image(),
+        DramConfig::default(),
+        10_000_000,
+    );
+    let sim_cycles_per_sec = outcome.cycles as f64 / outcome.wall_seconds;
+
+    let mut report = serde_json::Map::new();
+    report.insert("bench".to_owned(), serde_json::json!("telemetry_overhead"));
+    report.insert("iters".to_owned(), serde_json::json!(ITERS));
+    report.insert("trials".to_owned(), serde_json::json!(TRIALS));
+    report.insert("plain_ns".to_owned(), serde_json::json!(plain_ns as u64));
+    report.insert(
+        "disabled_probed_ns".to_owned(),
+        serde_json::json!(disabled_ns as u64),
+    );
+    report.insert(
+        "disabled_overhead_pct".to_owned(),
+        serde_json::json!(disabled_pct),
+    );
+    report.insert(
+        "enabled_probed_ns".to_owned(),
+        serde_json::json!(enabled_ns as u64),
+    );
+    report.insert(
+        "enabled_overhead_pct".to_owned(),
+        serde_json::json!(enabled_pct),
+    );
+    report.insert(
+        "labeled_series".to_owned(),
+        serde_json::json!(labeled_series as u64),
+    );
+    report.insert("budget_pct".to_owned(), serde_json::json!(2.0));
+    report.insert(
+        "within_budget".to_owned(),
+        serde_json::json!(disabled_pct < 2.0),
+    );
+    report.insert(
+        "sim_workload".to_owned(),
+        serde_json::json!("vvadd/rok-tiny"),
+    );
+    report.insert("sim_cycles".to_owned(), serde_json::json!(outcome.cycles));
+    report.insert(
+        "sim_cycles_per_sec".to_owned(),
+        serde_json::json!(sim_cycles_per_sec),
+    );
+    let text = serde_json::to_string_pretty(&serde_json::Value::Object(report))
+        .map_err(|e| format!("cannot serialize report: {e}"))?;
+    std::fs::write(&a.out, text + "\n").map_err(|e| format!("cannot write `{}`: {e}", a.out))?;
+
+    println!("probe overhead ({ITERS} chunks, best of {TRIALS}):");
+    println!("  plain:            {plain_ns} ns");
+    println!("  probed, disabled: {disabled_ns} ns ({disabled_pct:+.2}%)");
+    println!("  probed, enabled:  {enabled_ns} ns ({enabled_pct:+.2}%)");
+    println!("  labeled series:   {labeled_series}");
+    println!(
+        "sim speed (vvadd/rok-tiny): {} cycles in {:.2} s ({} cycles/s)",
+        strober_bench::fmt_u64(outcome.cycles),
+        outcome.wall_seconds,
+        strober_bench::fmt_u64(sim_cycles_per_sec as u64)
+    );
+    println!("report written to {}", a.out);
+    Ok(())
 }
 
 /// Dials the server and introduces this process.
@@ -671,6 +1025,8 @@ fn main() -> ExitCode {
         Command::Submit(a) => cmd_submit(a),
         Command::Jobs(a) => cmd_jobs(a),
         Command::Cancel(a) => cmd_cancel(a),
+        Command::Top(a) => cmd_top(a),
+        Command::Bench(a) => cmd_bench(a),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -79,6 +79,12 @@ pub struct RunControl<'a> {
     /// Simulation windows between `SimWindows` reports (0 = default
     /// stride of 4096). Replay batches always report each batch.
     pub progress_window_stride: u64,
+    /// Dimensional labels for the run's throughput metrics. When set,
+    /// the flow records `strober.core.sim_cycles_per_sec` and
+    /// `strober.core.replay_samples_per_sec` both globally and as
+    /// labeled series (the estimation server passes its job/design/
+    /// worker labels here so live telemetry can attribute throughput).
+    pub labels: Option<&'a strober_probe::Labels>,
 }
 
 impl std::fmt::Debug for RunControl<'_> {
@@ -87,6 +93,7 @@ impl std::fmt::Debug for RunControl<'_> {
             .field("cancel", &self.cancel)
             .field("progress", &self.progress.map(|_| "Fn(Progress)"))
             .field("progress_window_stride", &self.progress_window_stride)
+            .field("labels", &self.labels)
             .finish()
     }
 }
@@ -156,6 +163,7 @@ mod tests {
             cancel: Some(&token),
             progress: Some(&hook),
             progress_window_stride: 2,
+            labels: None,
         };
         ctl.report(Progress::ReplayBatches { done: 1, total: 3 });
         assert_eq!(ctl.window_stride(), 2);

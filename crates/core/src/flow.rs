@@ -358,10 +358,15 @@ impl StroberFlow {
         if strober_probe::enabled() {
             let elapsed = t0.elapsed().as_secs_f64();
             if elapsed > 0.0 {
-                strober_probe::gauge_set(
-                    "strober.core.sim_cycles_per_sec",
-                    host.target_cycles() as f64 / elapsed,
-                );
+                let rate = host.target_cycles() as f64 / elapsed;
+                strober_probe::gauge_set("strober.core.sim_cycles_per_sec", rate);
+                if let Some(labels) = ctl.labels {
+                    strober_probe::gauge_set_labeled(
+                        "strober.core.sim_cycles_per_sec",
+                        labels,
+                        rate,
+                    );
+                }
             }
         }
         let records = reservoir.records();
@@ -641,8 +646,11 @@ impl StroberFlow {
             return Err(GateSimError::BadLaneCount { lanes: batch_lanes }.into());
         }
         let parallelism = parallelism.max(1);
+        let replay_t0 = std::time::Instant::now();
         if batch_lanes == 1 {
-            return self.replay_all_scalar(snapshots, parallelism, ctl);
+            let out = self.replay_all_scalar(snapshots, parallelism, ctl)?;
+            record_replay_rate(out.len(), replay_t0, ctl);
+            return Ok(out);
         }
 
         // Batch formation: group by trace length (lanes share one
@@ -734,6 +742,7 @@ impl StroberFlow {
                 }
             }
         }
+        record_replay_rate(snapshots.len(), replay_t0, ctl);
         Ok(slots
             .into_iter()
             .map(|r| r.expect("every snapshot replayed"))
@@ -829,6 +838,24 @@ impl StroberFlow {
             self.config.freq_hz,
             self.config.confidence,
         )?)
+    }
+}
+
+/// Records replay throughput (`strober.core.replay_samples_per_sec`) —
+/// globally, and as a labeled series when the control carries run
+/// labels — so live telemetry can attribute a replay to its job.
+fn record_replay_rate(samples: usize, since: std::time::Instant, ctl: &RunControl<'_>) {
+    if !strober_probe::enabled() {
+        return;
+    }
+    let elapsed = since.elapsed().as_secs_f64();
+    if elapsed <= 0.0 {
+        return;
+    }
+    let rate = samples as f64 / elapsed;
+    strober_probe::gauge_set("strober.core.replay_samples_per_sec", rate);
+    if let Some(labels) = ctl.labels {
+        strober_probe::gauge_set_labeled("strober.core.replay_samples_per_sec", labels, rate);
     }
 }
 
@@ -1012,6 +1039,7 @@ mod tests {
             cancel: None,
             progress: Some(&hook),
             progress_window_stride: 0,
+            labels: None,
         };
         let controlled = flow
             .replay_all_controlled(&run.snapshots, 2, 2, &ctl)

@@ -7,26 +7,57 @@
 use crate::record::SpanEvent;
 use serde_json::{json, Map, Value};
 
-/// Renders span events as a chrome-trace JSON document.
+/// Renders span events as a chrome-trace JSON document, labeling each
+/// thread track with the OS thread name the recorder captured (see
+/// [`crate::thread_names`]). Use [`chrome_trace_json_with_threads`] to
+/// supply names explicitly (e.g. for parsed foreign traces).
 pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
-    let trace_events: Vec<Value> = events
-        .iter()
-        .map(|e| {
-            let mut args = Map::new();
-            args.insert("seq".to_owned(), json!(e.seq));
-            args.insert("depth".to_owned(), json!(u64::from(e.depth)));
-            let mut event = Map::new();
-            event.insert("name".to_owned(), json!(e.name.as_str()));
-            event.insert("cat".to_owned(), json!("strober"));
-            event.insert("ph".to_owned(), json!("X"));
-            event.insert("ts".to_owned(), json!(e.start_us));
-            event.insert("dur".to_owned(), json!(e.dur_us));
-            event.insert("pid".to_owned(), json!(1u64));
-            event.insert("tid".to_owned(), json!(e.tid));
-            event.insert("args".to_owned(), Value::Object(args));
-            Value::Object(event)
-        })
-        .collect();
+    chrome_trace_json_with_threads(events, &crate::record::thread_names())
+}
+
+/// Renders span events as a chrome-trace JSON document with explicit
+/// `(tid, name)` thread labels. Each tid that both appears in `events`
+/// and has a name gets a `"ph": "M"` `thread_name` metadata event, so
+/// concurrent worker threads render as separate, labeled rows; a
+/// `process_name` metadata event names the process track. Metadata
+/// phases are ignored by [`parse_chrome_trace`], so round-tripping stays
+/// lossless.
+pub fn chrome_trace_json_with_threads(events: &[SpanEvent], threads: &[(u64, String)]) -> String {
+    let metadata = |name: &str, tid: Option<u64>, label: &str| {
+        let mut args = Map::new();
+        args.insert("name".to_owned(), json!(label));
+        let mut event = Map::new();
+        event.insert("name".to_owned(), json!(name));
+        event.insert("ph".to_owned(), json!("M"));
+        event.insert("pid".to_owned(), json!(1u64));
+        if let Some(tid) = tid {
+            event.insert("tid".to_owned(), json!(tid));
+        }
+        event.insert("args".to_owned(), Value::Object(args));
+        Value::Object(event)
+    };
+    let mut trace_events: Vec<Value> = Vec::with_capacity(events.len() + threads.len() + 1);
+    trace_events.push(metadata("process_name", None, "strober"));
+    for (tid, name) in threads {
+        if events.iter().any(|e| e.tid == *tid) {
+            trace_events.push(metadata("thread_name", Some(*tid), name));
+        }
+    }
+    trace_events.extend(events.iter().map(|e| {
+        let mut args = Map::new();
+        args.insert("seq".to_owned(), json!(e.seq));
+        args.insert("depth".to_owned(), json!(u64::from(e.depth)));
+        let mut event = Map::new();
+        event.insert("name".to_owned(), json!(e.name.as_str()));
+        event.insert("cat".to_owned(), json!("strober"));
+        event.insert("ph".to_owned(), json!("X"));
+        event.insert("ts".to_owned(), json!(e.start_us));
+        event.insert("dur".to_owned(), json!(e.dur_us));
+        event.insert("pid".to_owned(), json!(1u64));
+        event.insert("tid".to_owned(), json!(e.tid));
+        event.insert("args".to_owned(), Value::Object(args));
+        Value::Object(event)
+    }));
     let mut doc = Map::new();
     doc.insert("displayTimeUnit".to_owned(), json!("ms"));
     doc.insert("traceEvents".to_owned(), Value::Array(trace_events));
@@ -121,12 +152,52 @@ mod tests {
             .object_get("traceEvents")
             .and_then(Value::as_array)
             .unwrap();
-        assert_eq!(events.len(), 2);
-        for e in events {
-            assert_eq!(e.object_get("ph").and_then(Value::as_str), Some("X"));
+        let complete: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.object_get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        for e in complete {
             assert!(e.object_get("ts").and_then(Value::as_u64).is_some());
             assert!(e.object_get("dur").and_then(Value::as_u64).is_some());
         }
+        // The process track is always labeled.
+        assert!(events.iter().any(|e| {
+            e.object_get("ph").and_then(Value::as_str) == Some("M")
+                && e.object_get("name").and_then(Value::as_str) == Some("process_name")
+        }));
+    }
+
+    #[test]
+    fn thread_name_metadata_labels_only_present_tids() {
+        let threads = vec![
+            (0, "strober-worker-0".to_owned()),
+            (7, "strober-worker-7".to_owned()),
+        ];
+        let text = chrome_trace_json_with_threads(&sample_events(), &threads);
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        let events = doc
+            .object_get("traceEvents")
+            .and_then(Value::as_array)
+            .unwrap();
+        let names: Vec<(u64, &str)> = events
+            .iter()
+            .filter(|e| e.object_get("name").and_then(Value::as_str) == Some("thread_name"))
+            .map(|e| {
+                (
+                    e.object_get("tid").and_then(Value::as_u64).unwrap(),
+                    e.object_get("args")
+                        .and_then(|a| a.object_get("name"))
+                        .and_then(Value::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        // tid 7 has no spans, so it gets no row label; tid 0 does.
+        assert_eq!(names, vec![(0, "strober-worker-0")]);
+        // Metadata events do not disturb the parsed span stream.
+        let back = parse_chrome_trace(&text).unwrap();
+        assert_eq!(back, sample_events());
     }
 
     #[test]

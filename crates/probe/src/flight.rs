@@ -1,0 +1,291 @@
+//! The flight recorder: a fixed-size ring of periodic registry
+//! snapshots.
+//!
+//! Long-lived processes (the estimation server in particular) want a
+//! recent history of every metric — enough to compute rates and deltas
+//! for a live view — without unbounded growth. A [`FlightRecorder`]
+//! keeps the last `capacity` [`FlightFrame`]s; pushing beyond capacity
+//! evicts the oldest frame, so memory is bounded by
+//! `capacity × live series count` regardless of uptime.
+//!
+//! [`start_flight_recorder`] spawns a background sampler thread that
+//! records a frame every `interval_ms`; drop (or [`FlightHandle::stop`])
+//! joins it. Recording reads the registry via [`crate::snapshot`], which
+//! works whether or not the recorder is enabled — frames captured while
+//! disabled are simply empty.
+
+use crate::metrics::MetricsSnapshot;
+use crate::record::now_us;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Sampler configuration for [`start_flight_recorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Milliseconds between snapshots (clamped to at least 10).
+    pub interval_ms: u64,
+    /// Ring capacity in frames (clamped to at least 2, so a rate is
+    /// always computable once the ring is warm).
+    pub capacity: usize,
+}
+
+impl Default for FlightConfig {
+    /// One frame per second, ten minutes of history.
+    fn default() -> FlightConfig {
+        FlightConfig {
+            interval_ms: 1_000,
+            capacity: 600,
+        }
+    }
+}
+
+/// One timestamped registry snapshot in the ring.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FlightFrame {
+    /// Milliseconds since the recorder epoch.
+    pub at_ms: u64,
+    /// The registry at that instant.
+    pub metrics: MetricsSnapshot,
+}
+
+/// A bounded ring of periodic [`FlightFrame`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<FlightFrame>>,
+}
+
+impl FlightRecorder {
+    /// An empty ring holding at most `capacity` frames (min 2).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(2);
+        FlightRecorder {
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// The configured frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of frames currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("flight ring lock").len()
+    }
+
+    /// Whether no frames have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records a snapshot of the registry now.
+    pub fn record_now(&self) {
+        self.record_at(now_us() / 1_000);
+    }
+
+    /// Records a snapshot of the registry stamped `at_ms` (for
+    /// deterministic tests; [`FlightRecorder::record_now`] otherwise).
+    pub fn record_at(&self, at_ms: u64) {
+        let frame = FlightFrame {
+            at_ms,
+            metrics: crate::metrics::snapshot(),
+        };
+        let mut ring = self.ring.lock().expect("flight ring lock");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(frame);
+    }
+
+    /// A copy of the held frames, oldest first.
+    pub fn frames(&self) -> Vec<FlightFrame> {
+        self.ring
+            .lock()
+            .expect("flight ring lock")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The per-second rate series of a counter: one `(at_ms, per_sec)`
+    /// point per consecutive frame pair in which the counter appears.
+    /// Counter resets (a decrease between frames) yield a 0 point rather
+    /// than a negative rate.
+    pub fn counter_rates(&self, name: &str) -> Vec<(u64, f64)> {
+        let ring = self.ring.lock().expect("flight ring lock");
+        let mut out = Vec::new();
+        for pair in ring.iter().collect::<Vec<_>>().windows(2) {
+            let (prev, cur) = (pair[0], pair[1]);
+            let (Some(a), Some(b)) = (prev.metrics.counter(name), cur.metrics.counter(name)) else {
+                continue;
+            };
+            let dt_ms = cur.at_ms.saturating_sub(prev.at_ms);
+            if dt_ms == 0 {
+                continue;
+            }
+            let delta = b.saturating_sub(a) as f64;
+            out.push((cur.at_ms, delta * 1_000.0 / dt_ms as f64));
+        }
+        out
+    }
+
+    /// The value series of a gauge: one `(at_ms, value)` point per frame
+    /// in which the gauge appears.
+    pub fn gauge_series(&self, name: &str) -> Vec<(u64, f64)> {
+        self.ring
+            .lock()
+            .expect("flight ring lock")
+            .iter()
+            .filter_map(|f| f.metrics.gauge(name).map(|v| (f.at_ms, v)))
+            .collect()
+    }
+}
+
+/// A running background sampler; joins its thread on drop.
+#[derive(Debug)]
+pub struct FlightHandle {
+    recorder: Arc<FlightRecorder>,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FlightHandle {
+    /// The ring the sampler is filling.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Stops the sampler, joins it, and returns the captured frames.
+    pub fn stop(mut self) -> Vec<FlightFrame> {
+        self.shutdown();
+        self.recorder.frames()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for FlightHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawns the background sampler thread (named `strober-flight`)
+/// recording one frame every `config.interval_ms` into a fresh ring of
+/// `config.capacity` frames. An initial frame is recorded immediately so
+/// the ring is never empty once this returns.
+pub fn start_flight_recorder(config: FlightConfig) -> FlightHandle {
+    let recorder = Arc::new(FlightRecorder::new(config.capacity));
+    let stop = Arc::new(AtomicBool::new(false));
+    recorder.record_now();
+    let join = {
+        let recorder = Arc::clone(&recorder);
+        let stop = Arc::clone(&stop);
+        let interval = Duration::from_millis(config.interval_ms.max(10));
+        std::thread::Builder::new()
+            .name("strober-flight".to_owned())
+            .spawn(move || {
+                let tick = Duration::from_millis(25).min(interval);
+                let mut since_frame = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    since_frame += tick;
+                    if since_frame >= interval {
+                        since_frame = Duration::ZERO;
+                        recorder.record_now();
+                    }
+                }
+            })
+            .expect("spawn flight sampler")
+    };
+    FlightHandle {
+        recorder,
+        stop,
+        join: Some(join),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::testutil;
+    use crate::{counter_add, disable, enable, gauge_set, reset};
+
+    #[test]
+    fn ring_is_bounded_by_capacity() {
+        let _guard = testutil::exclusive();
+        reset();
+        let rec = FlightRecorder::new(3);
+        assert!(rec.is_empty());
+        for i in 0..10 {
+            rec.record_at(i * 100);
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.capacity(), 3);
+        let frames = rec.frames();
+        // Oldest frames were evicted; the last three survive in order.
+        let stamps: Vec<u64> = frames.iter().map(|f| f.at_ms).collect();
+        assert_eq!(stamps, vec![700, 800, 900]);
+    }
+
+    #[test]
+    fn counter_rates_and_gauge_series_come_from_frame_deltas() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        let rec = FlightRecorder::new(8);
+        counter_add("strober.test.flight", 10);
+        gauge_set("strober.test.depth", 2.0);
+        rec.record_at(1_000);
+        counter_add("strober.test.flight", 30);
+        gauge_set("strober.test.depth", 5.0);
+        rec.record_at(2_000);
+        counter_add("strober.test.flight", 5);
+        rec.record_at(4_000);
+        disable();
+        // 30 in 1 s, then 5 in 2 s.
+        assert_eq!(
+            rec.counter_rates("strober.test.flight"),
+            vec![(2_000, 30.0), (4_000, 2.5)]
+        );
+        assert_eq!(
+            rec.gauge_series("strober.test.depth"),
+            vec![(1_000, 2.0), (2_000, 5.0), (4_000, 5.0)]
+        );
+        assert!(rec.counter_rates("strober.test.absent").is_empty());
+    }
+
+    #[test]
+    fn sampler_thread_records_and_stops() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.sampled", 1);
+        let handle = start_flight_recorder(FlightConfig {
+            interval_ms: 10,
+            capacity: 4,
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handle.recorder().len() < 2 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let frames = handle.stop();
+        disable();
+        assert!(
+            frames.len() >= 2,
+            "sampler captured {} frames",
+            frames.len()
+        );
+        assert!(frames.len() <= 4, "ring respected capacity");
+        assert_eq!(frames[0].metrics.counter("strober.test.sampled"), Some(1));
+    }
+}

@@ -21,6 +21,11 @@
 //! * **Metrics** ([`counter_add`], [`gauge_set`], [`histogram_record`]) —
 //!   named by the `strober.<crate>.<name>` convention, snapshotted as a
 //!   serializable [`MetricsSnapshot`] with a human-readable table form.
+//!   Dimensional series carry a bounded [`Labels`] set
+//!   (`design`/`job`/`phase`/`provenance`/`worker`) encoded into the
+//!   series key; [`prometheus_text`] renders any snapshot as Prometheus
+//!   text exposition, and a [`FlightRecorder`] ring keeps a bounded
+//!   history of periodic snapshots for rate/delta time series.
 //! * **Logs** ([`error!`], [`warn!`], [`info!`], [`debug!`], [`trace!`])
 //!   — leveled stderr diagnostics, gated on a global [`Level`]
 //!   (default [`Level::Info`]); logging works even when the recorder is
@@ -48,19 +53,30 @@
 //! ```
 
 mod chrome;
+mod flight;
+mod labels;
 mod log;
 mod metrics;
 mod profile;
+mod prometheus;
 mod record;
 
-pub use chrome::{chrome_trace_json, parse_chrome_trace};
+pub use chrome::{chrome_trace_json, chrome_trace_json_with_threads, parse_chrome_trace};
+pub use flight::{start_flight_recorder, FlightConfig, FlightFrame, FlightHandle, FlightRecorder};
+pub use labels::{
+    counter_add_labeled, gauge_set_labeled, histogram_record_labeled, parse_series, Labels,
+};
 pub use log::{log_enabled, log_message, set_log_level, Level, LevelParseError};
 pub use metrics::{
-    counter_add, counter_set, gauge_set, histogram_record, histogram_with_bounds, snapshot,
-    CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot,
+    counter_add, counter_set, gauge_set, histogram_record, histogram_with_bounds,
+    remove_series_with_label, snapshot, CounterEntry, GaugeEntry, HistogramEntry, MetricsSnapshot,
 };
 pub use profile::{profile, render_profile, SpanStat};
-pub use record::{disable, enable, enabled, events, reset, span, take_events, Span, SpanEvent};
+pub use prometheus::{prometheus_text, PROMETHEUS_CONTENT_TYPE};
+pub use record::{
+    disable, enable, enabled, events, now_ms, reset, span, take_events, thread_names, Span,
+    SpanEvent,
+};
 
 /// Current level of the global log filter.
 pub fn log_level() -> Level {

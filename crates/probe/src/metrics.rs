@@ -143,6 +143,21 @@ pub fn histogram_record(name: &str, value: f64) {
     });
 }
 
+/// Drops every registered series carrying the label pair
+/// `key="value"` (in the canonical encoding produced by
+/// [`crate::Labels`]). Used to retire per-job series once a job
+/// finishes, keeping registry cardinality bounded by the number of
+/// *active* jobs rather than growing forever. Works whether or not the
+/// recorder is enabled.
+pub fn remove_series_with_label(key: &str, value: &str) {
+    with_registry(|reg| {
+        reg.retain(|name, _| {
+            let (_, pairs) = crate::labels::parse_series(name);
+            !pairs.iter().any(|(k, v)| k == key && v == value)
+        });
+    });
+}
+
 /// One counter in a [`MetricsSnapshot`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CounterEntry {
@@ -224,6 +239,83 @@ impl MetricsSnapshot {
     /// Looks up a histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramEntry> {
         self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Every series name in the snapshot, in kind order.
+    pub fn names(&self) -> Vec<&str> {
+        self.counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.gauges.iter().map(|g| g.name.as_str()))
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .collect()
+    }
+
+    /// The entries of `self` that are new or changed relative to `prev` —
+    /// the incremental payload of one `Watch` frame. Applying the result
+    /// to `prev` with [`MetricsSnapshot::merge`] (together with
+    /// [`MetricsSnapshot::removed_since`]) reconstructs `self` exactly.
+    #[must_use]
+    pub fn delta_from(&self, prev: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| prev.counter(&c.name) != Some(c.value))
+                .cloned()
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|g| prev.gauge(&g.name).map(f64::to_bits) != Some(g.value.to_bits()))
+                .cloned()
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| prev.histogram(&h.name) != Some(h))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The series names present in `prev` but no longer in `self`
+    /// (retired series, e.g. a finished job's labeled gauges).
+    #[must_use]
+    pub fn removed_since(&self, prev: &MetricsSnapshot) -> Vec<String> {
+        let keep: std::collections::BTreeSet<&str> = self.names().into_iter().collect();
+        prev.names()
+            .into_iter()
+            .filter(|n| !keep.contains(n))
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Applies one incremental frame: upserts every entry of `delta` and
+    /// drops every series named in `removed`. Entries stay sorted by
+    /// name, matching what [`snapshot`] produces.
+    pub fn merge(&mut self, delta: &MetricsSnapshot, removed: &[String]) {
+        fn apply<T: Clone>(
+            dst: &mut Vec<T>,
+            src: &[T],
+            removed: &[String],
+            name: impl Fn(&T) -> &str,
+        ) {
+            let mut by_name: BTreeMap<String, T> =
+                dst.drain(..).map(|e| (name(&e).to_owned(), e)).collect();
+            for e in src {
+                by_name.insert(name(e).to_owned(), e.clone());
+            }
+            for n in removed {
+                by_name.remove(n);
+            }
+            dst.extend(by_name.into_values());
+        }
+        apply(&mut self.counters, &delta.counters, removed, |c| &c.name);
+        apply(&mut self.gauges, &delta.gauges, removed, |g| &g.name);
+        apply(&mut self.histograms, &delta.histograms, removed, |h| {
+            &h.name
+        });
     }
 
     /// The subset of metrics whose names start with `prefix`.
@@ -408,5 +500,61 @@ mod tests {
         disable();
         assert_eq!(snap.counters.len(), 1);
         assert_eq!(snap.counter("strober.store.hits"), Some(1));
+    }
+
+    #[test]
+    fn delta_merge_round_trips_and_reports_removals() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.a", 1);
+        gauge_set("strober.test.g", 1.0);
+        histogram_record("strober.test.h", 2.0);
+        let before = snapshot();
+        counter_add("strober.test.a", 4);
+        counter_add("strober.test.b", 1);
+        gauge_set("strober.test.g", 1.0); // unchanged
+        let after = snapshot();
+        disable();
+
+        let delta = after.delta_from(&before);
+        // Only the changed counter and the new one travel; the unchanged
+        // gauge and histogram do not.
+        assert_eq!(delta.counters.len(), 2);
+        assert!(delta.gauges.is_empty());
+        assert!(delta.histograms.is_empty());
+
+        let mut merged = before.clone();
+        merged.merge(&delta, &after.removed_since(&before));
+        assert_eq!(merged, after);
+
+        // A series present before but gone after is reported removed.
+        let mut shrunk = after.clone();
+        shrunk.counters.retain(|c| c.name != "strober.test.b");
+        let removed = shrunk.removed_since(&after);
+        assert_eq!(removed, vec!["strober.test.b".to_owned()]);
+        let mut merged = after.clone();
+        merged.merge(&shrunk.delta_from(&after), &removed);
+        assert_eq!(merged, shrunk);
+    }
+
+    #[test]
+    fn remove_series_with_label_retires_only_matching_series() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        let l3 = crate::Labels::new().job(3);
+        let l4 = crate::Labels::new().job(4);
+        crate::counter_add_labeled("strober.test.jobs", &l3, 1);
+        crate::counter_add_labeled("strober.test.jobs", &l4, 1);
+        crate::gauge_set_labeled("strober.test.run", &l3, 1.0);
+        counter_add("strober.test.global", 1);
+        remove_series_with_label("job", "3");
+        let snap = snapshot();
+        disable();
+        assert_eq!(snap.counter(r#"strober.test.jobs{job="3"}"#), None);
+        assert_eq!(snap.gauge(r#"strober.test.run{job="3"}"#), None);
+        assert_eq!(snap.counter(r#"strober.test.jobs{job="4"}"#), Some(1));
+        assert_eq!(snap.counter("strober.test.global"), Some(1));
     }
 }

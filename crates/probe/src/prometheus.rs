@@ -1,0 +1,221 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`MetricsSnapshot`].
+//!
+//! Registry names (`strober.server.queue_depth`) are sanitized to the
+//! Prometheus charset by mapping every character outside
+//! `[a-zA-Z0-9_:]` to `_` (`strober_server_queue_depth`); the label
+//! block produced by [`crate::Labels`] is already in exposition syntax
+//! and passes through unchanged. Counters are suffixed `_total`;
+//! histograms expand to cumulative `_bucket{le=...}` series plus `_sum`
+//! and `_count`, merging the `le` label into any dimensional labels the
+//! series carries.
+
+use crate::labels::parse_series;
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write;
+
+/// The `Content-Type` a scrape endpoint should serve this text under.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a registry base name to the Prometheus metric-name charset.
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.starts_with(|c: char| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders a label pair list (optionally extended with `le`) as an
+/// exposition label block, or "" when empty.
+fn label_block(pairs: &[(String, String)], le: Option<&str>) -> String {
+    if pairs.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let escaped = v
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        let _ = write!(out, "{k}=\"{escaped}\"");
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Formats an f64 the exposition format accepts (`+Inf`/`-Inf`/`NaN`
+/// spellings included).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot as Prometheus text exposition. Series sharing a
+/// base name emit one `# TYPE` header covering all their label
+/// combinations, as the format requires.
+#[must_use]
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        if last_typed != name {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            last_typed = name.to_owned();
+        }
+    };
+
+    for c in &snap.counters {
+        let (base, pairs) = parse_series(&c.name);
+        let name = format!("{}_total", sanitize(base));
+        type_line(&mut out, &name, "counter");
+        let _ = writeln!(out, "{name}{} {}", label_block(&pairs, None), c.value);
+    }
+    for g in &snap.gauges {
+        let (base, pairs) = parse_series(&g.name);
+        let name = sanitize(base);
+        type_line(&mut out, &name, "gauge");
+        let _ = writeln!(
+            out,
+            "{name}{} {}",
+            label_block(&pairs, None),
+            fmt_f64(g.value)
+        );
+    }
+    for h in &snap.histograms {
+        let (base, pairs) = parse_series(&h.name);
+        let name = sanitize(base);
+        type_line(&mut out, &name, "histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.bounds.iter().zip(&h.counts) {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {cumulative}",
+                label_block(&pairs, Some(&fmt_f64(*bound)))
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {}",
+            label_block(&pairs, Some("+Inf")),
+            h.count
+        );
+        let _ = writeln!(
+            out,
+            "{name}_sum{} {}",
+            label_block(&pairs, None),
+            fmt_f64(h.sum)
+        );
+        let _ = writeln!(out, "{name}_count{} {}", label_block(&pairs, None), h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::testutil;
+    use crate::{
+        counter_add, counter_add_labeled, disable, enable, gauge_set, histogram_record,
+        histogram_with_bounds, reset, snapshot, Labels,
+    };
+
+    #[test]
+    fn renders_all_kinds_with_types_and_cumulative_buckets() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.hits", 5);
+        gauge_set("strober.test.depth", 3.0);
+        histogram_with_bounds("strober.test.lat_ms", &[1.0, 10.0]);
+        for v in [0.5, 5.0, 100.0] {
+            histogram_record("strober.test.lat_ms", v);
+        }
+        let text = prometheus_text(&snapshot());
+        disable();
+        assert!(text.contains("# TYPE strober_test_hits_total counter"));
+        assert!(text.contains("strober_test_hits_total 5"));
+        assert!(text.contains("# TYPE strober_test_depth gauge"));
+        assert!(text.contains("strober_test_depth 3"));
+        assert!(text.contains("# TYPE strober_test_lat_ms histogram"));
+        assert!(text.contains("strober_test_lat_ms_bucket{le=\"1\"} 1"));
+        assert!(text.contains("strober_test_lat_ms_bucket{le=\"10\"} 2"));
+        assert!(text.contains("strober_test_lat_ms_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("strober_test_lat_ms_sum 105.5"));
+        assert!(text.contains("strober_test_lat_ms_count 3"));
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_header() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add_labeled("strober.test.jobs", &Labels::new().job(1), 2);
+        counter_add_labeled("strober.test.jobs", &Labels::new().job(2), 3);
+        let text = prometheus_text(&snapshot());
+        disable();
+        assert_eq!(
+            text.matches("# TYPE strober_test_jobs_total counter")
+                .count(),
+            1
+        );
+        assert!(text.contains("strober_test_jobs_total{job=\"1\"} 2"));
+        assert!(text.contains("strober_test_jobs_total{job=\"2\"} 3"));
+    }
+
+    #[test]
+    fn exposition_lines_are_well_formed() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        counter_add("strober.test.a", 1);
+        gauge_set("strober.test.b", 0.5);
+        histogram_record("strober.test.c", 1.0);
+        let text = prometheus_text(&snapshot());
+        disable();
+        for line in text.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "header: {line}");
+                continue;
+            }
+            // Every sample line is `name[{labels}] value`.
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "numeric value: {line}");
+            let name_end = series.find('{').unwrap_or(series.len());
+            assert!(
+                series[..name_end]
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "sanitized name: {line}"
+            );
+        }
+    }
+}

@@ -28,15 +28,51 @@ static EPOCH: OnceLock<Instant> = OnceLock::new();
 /// Completed span events, in completion order.
 static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
 
+/// OS thread name per dense recorder tid, captured when the tid is
+/// assigned. Never cleared by [`reset`]: the threads are still alive and
+/// their ids stay valid for the next export.
+static THREAD_NAMES: Mutex<std::collections::BTreeMap<u64, String>> =
+    Mutex::new(std::collections::BTreeMap::new());
+
 thread_local! {
-    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static TID: u64 = {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map_or_else(|| format!("thread-{tid}"), str::to_owned);
+        THREAD_NAMES
+            .lock()
+            .expect("probe thread names lock")
+            .insert(tid, name);
+        tid
+    };
     static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The `(tid, OS thread name)` pairs known to the recorder, for every
+/// thread that has opened at least one span. Unnamed threads get a
+/// synthetic `thread-<tid>` name. Used by the chrome-trace exporter to
+/// emit `thread_name` metadata so worker threads render as labeled rows.
+pub fn thread_names() -> Vec<(u64, String)> {
+    THREAD_NAMES
+        .lock()
+        .expect("probe thread names lock")
+        .iter()
+        .map(|(&tid, name)| (tid, name.clone()))
+        .collect()
 }
 
 /// Microseconds since the recorder's epoch (set on first use).
 pub(crate) fn now_us() -> u64 {
     let epoch = EPOCH.get_or_init(Instant::now);
     u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Milliseconds since the recorder's epoch (set on first use). A cheap
+/// monotonic timestamp for flight-recorder frames and watch streams;
+/// comparable across calls within one process, not across processes.
+pub fn now_ms() -> u64 {
+    now_us() / 1_000
 }
 
 /// Whether the recorder is currently capturing.
@@ -257,6 +293,32 @@ mod tests {
             .iter()
             .filter(|e| e.name == "worker")
             .all(|e| e.depth == 0));
+    }
+
+    #[test]
+    fn named_threads_register_their_os_name() {
+        let _guard = testutil::exclusive();
+        reset();
+        enable();
+        let tid = std::thread::Builder::new()
+            .name("strober-test-thread".to_owned())
+            .spawn(|| {
+                let _s = span("named");
+                TID.with(|t| *t)
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        disable();
+        take_events();
+        let names = thread_names();
+        assert_eq!(
+            names
+                .iter()
+                .find(|(t, _)| *t == tid)
+                .map(|(_, n)| n.as_str()),
+            Some("strober-test-thread")
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! replayed in order by [`Client::next_msg`] and [`Client::wait_result`].
 
 use crate::frame::{read_frame, write_frame, FrameError};
-use crate::protocol::{Event, JobResult, Request, Response, ServerMsg};
+use crate::protocol::{Event, JobResult, Request, Response, ServerMsg, WatchFrame};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -19,12 +19,15 @@ pub struct Client {
     writer: Box<dyn Write + Send>,
     /// Events that arrived while a response was awaited.
     pending: VecDeque<Event>,
+    /// Watch frames that arrived while a response was awaited.
+    pending_watch: VecDeque<WatchFrame>,
 }
 
 impl std::fmt::Debug for Client {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Client")
             .field("pending", &self.pending.len())
+            .field("pending_watch", &self.pending_watch.len())
             .finish()
     }
 }
@@ -66,6 +69,7 @@ impl Client {
             reader,
             writer,
             pending: VecDeque::new(),
+            pending_watch: VecDeque::new(),
         }
     }
 
@@ -95,12 +99,13 @@ impl Client {
             match read_frame::<ServerMsg>(&mut self.reader)? {
                 ServerMsg::Response(resp) => return Ok(resp),
                 ServerMsg::Event(ev) => self.pending.push_back(ev),
+                ServerMsg::Watch(frame) => self.pending_watch.push_back(frame),
             }
         }
     }
 
-    /// Returns the next message: first any buffered event, then whatever
-    /// the stream yields.
+    /// Returns the next message: first any buffered event, then any
+    /// buffered watch frame, then whatever the stream yields.
     ///
     /// # Errors
     ///
@@ -109,7 +114,36 @@ impl Client {
         if let Some(ev) = self.pending.pop_front() {
             return Ok(ServerMsg::Event(ev));
         }
+        if let Some(frame) = self.pending_watch.pop_front() {
+            return Ok(ServerMsg::Watch(frame));
+        }
         read_frame::<ServerMsg>(&mut self.reader)
+    }
+
+    /// Blocks for the next watch frame of an active [`Request::Watch`]
+    /// subscription. Events that arrive in between are buffered for
+    /// [`Client::next_msg`] / [`Client::wait_result`], not dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FrameError`] from the underlying stream.
+    pub fn next_watch(&mut self) -> Result<WatchFrame, FrameError> {
+        if let Some(frame) = self.pending_watch.pop_front() {
+            return Ok(frame);
+        }
+        loop {
+            match read_frame::<ServerMsg>(&mut self.reader)? {
+                ServerMsg::Watch(frame) => return Ok(frame),
+                ServerMsg::Event(ev) => self.pending.push_back(ev),
+                // A response with no request outstanding is a protocol
+                // violation; surface it rather than spinning.
+                ServerMsg::Response(resp) => {
+                    return Err(FrameError::Io(format!(
+                        "unexpected response while watching: {resp:?}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Consumes streamed events for `job` (this client must have
@@ -146,11 +180,104 @@ impl Client {
     }
 }
 
+/// Client-side state of one watch subscription: merges incremental
+/// [`WatchFrame`]s into a live mirror of the server's registry.
+///
+/// Feed every received frame to [`WatchSession::apply`] and read the
+/// reconstructed registry from [`WatchSession::metrics`]. `apply`
+/// returns `false` on a sequence gap — frames were lost, and the mirror
+/// is stale until the server's next `reset` frame (resubscribing forces
+/// one immediately).
+#[derive(Debug, Clone, Default)]
+pub struct WatchSession {
+    snapshot: strober_probe::MetricsSnapshot,
+    next_seq: u64,
+    synced: bool,
+}
+
+impl WatchSession {
+    /// An empty session awaiting its first frame.
+    #[must_use]
+    pub fn new() -> WatchSession {
+        WatchSession::default()
+    }
+
+    /// Applies one frame to the mirror. Returns whether the mirror is in
+    /// sync afterwards: `reset` frames always sync; incremental frames
+    /// sync only when their `seq` is the expected successor.
+    pub fn apply(&mut self, frame: &WatchFrame) -> bool {
+        if frame.reset {
+            self.snapshot = frame.metrics.clone();
+            self.next_seq = frame.seq + 1;
+            self.synced = true;
+            return true;
+        }
+        if !self.synced || frame.seq != self.next_seq {
+            self.synced = false;
+            return false;
+        }
+        self.snapshot.merge(&frame.metrics, &frame.removed);
+        self.next_seq = frame.seq + 1;
+        true
+    }
+
+    /// The reconstructed registry (exactly the server's, when synced).
+    pub fn metrics(&self) -> &strober_probe::MetricsSnapshot {
+        &self.snapshot
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::protocol::{FuzzJobOutcome, WireError};
     use std::net::TcpListener;
+
+    #[test]
+    fn watch_session_mirrors_frames_and_flags_gaps() {
+        let mut session = WatchSession::new();
+        let mut full = strober_probe::MetricsSnapshot::default();
+        full.counters.push(strober_probe::CounterEntry {
+            name: "strober.test.jobs".to_owned(),
+            value: 1,
+        });
+        assert!(!session.apply(&WatchFrame {
+            seq: 5,
+            at_ms: 10,
+            reset: false,
+            removed: Vec::new(),
+            metrics: full.clone(),
+        }));
+        assert!(session.apply(&WatchFrame {
+            seq: 5,
+            at_ms: 10,
+            reset: true,
+            removed: Vec::new(),
+            metrics: full.clone(),
+        }));
+        assert_eq!(session.metrics().counter("strober.test.jobs"), Some(1));
+        let mut delta = strober_probe::MetricsSnapshot::default();
+        delta.counters.push(strober_probe::CounterEntry {
+            name: "strober.test.jobs".to_owned(),
+            value: 3,
+        });
+        assert!(session.apply(&WatchFrame {
+            seq: 6,
+            at_ms: 20,
+            reset: false,
+            removed: Vec::new(),
+            metrics: delta.clone(),
+        }));
+        assert_eq!(session.metrics().counter("strober.test.jobs"), Some(3));
+        // A gap desyncs until the next reset.
+        assert!(!session.apply(&WatchFrame {
+            seq: 9,
+            at_ms: 40,
+            reset: false,
+            removed: Vec::new(),
+            metrics: delta,
+        }));
+    }
 
     /// A fake server on a loopback socket: reads one request, streams the
     /// given messages back.

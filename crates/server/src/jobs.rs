@@ -150,6 +150,17 @@ impl FlowCache {
     }
 }
 
+/// The executing worker's index, derived from the worker thread's name
+/// (`strober-worker-<i>`). Jobs run from other threads (tests, direct
+/// calls) report `"?"` — still a valid, bounded label value.
+pub(crate) fn worker_name() -> String {
+    std::thread::current()
+        .name()
+        .and_then(|n| n.strip_prefix("strober-worker-"))
+        .unwrap_or("?")
+        .to_owned()
+}
+
 /// Runs one job to completion on the calling worker thread.
 pub(crate) fn run_job(
     job: &JobEntry,
@@ -200,17 +211,29 @@ fn run_estimate(
     } else {
         spec.workload.clone()
     };
+    let worker = worker_name();
+    let labels = strober_probe::Labels::new()
+        .design(&core.name)
+        .job(job.id)
+        .worker(&worker);
+
     let mut manifest = RunManifest::new(core.name.clone(), workload_desc.clone());
     manifest.fingerprint = StroberFlow::prepare_fingerprint(&design, &session).to_hex();
     manifest.job = Some(JobProvenance {
         id: job.id,
         client: job.client.clone(),
         queue_wait_ms: job.queue_wait_ms(),
+        worker: worker.clone(),
     });
 
     let t = Instant::now();
     let (flow, provenance) = flows.obtain(&design, session, store)?;
     manifest.set_prepare(provenance);
+    strober_probe::counter_add_labeled(
+        "strober.server.job_prepare",
+        &labels.clone().provenance(provenance),
+        1,
+    );
     stage(job, &mut manifest, "prepare", t);
 
     let progress_hook = |p: Progress| {
@@ -218,6 +241,11 @@ fn run_estimate(
             Progress::SimWindows { windows, .. } => ("sim", windows, 0),
             Progress::ReplayBatches { done, total } => ("replay", done, total),
         };
+        strober_probe::gauge_set_labeled(
+            "strober.server.job_progress",
+            &labels.clone().phase(phase),
+            done as f64,
+        );
         job.publish(Event::Progress {
             job: job.id,
             phase: phase.to_owned(),
@@ -229,6 +257,7 @@ fn run_estimate(
         cancel: Some(&job.cancel),
         progress: Some(&progress_hook),
         progress_window_stride: 0,
+        labels: Some(&labels),
     };
 
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);

@@ -19,7 +19,14 @@
 //! * [`server`] — the daemon: listeners, job queue, worker pool,
 //!   graceful shutdown.
 //! * [`client`] — a blocking client used by `strober submit`/`jobs`/
-//!   `cancel` and the integration tests.
+//!   `cancel`/`top` and the integration tests, with a [`WatchSession`]
+//!   that mirrors the server's registry from incremental watch frames.
+//!
+//! Live telemetry rides the same connection: `Watch` subscriptions
+//! stream labeled metric deltas at a client-chosen interval, `Scrape`
+//! (and the optional HTTP `/metrics` listener) serve Prometheus text
+//! exposition, and a flight-recorder ring keeps a bounded snapshot
+//! history for post-hoc rate analysis.
 //!
 //! [`Request`]: protocol::Request
 //! [`Response`]: protocol::Response
@@ -37,6 +44,6 @@ mod queue;
 pub mod server;
 pub mod signal;
 
-pub use client::Client;
+pub use client::{Client, WatchSession};
 pub use jobs::replay_fingerprint;
 pub use server::{Server, ServerConfig, ServerHandle};

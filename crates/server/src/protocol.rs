@@ -14,7 +14,10 @@ use strober_store::RunManifest;
 /// Protocol revision spoken by this build. The server reports its
 /// revision in [`Response::Hello`]; clients should refuse to talk to a
 /// server with a different one.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// Revision 2 added the telemetry surface: [`Request::Watch`],
+/// [`Request::Scrape`], and the [`ServerMsg::Watch`] frame.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Scheduling class of a job. Higher classes are always dequeued before
 /// lower ones; within a class jobs run in submission order.
@@ -197,6 +200,20 @@ pub enum Request {
     },
     /// Fetch the server's metrics snapshot.
     Metrics,
+    /// Subscribe this connection to the live metric stream: the server
+    /// answers [`Response::Watching`], then sends one [`ServerMsg::Watch`]
+    /// frame roughly every `interval_ms` until the connection closes or
+    /// the server shuts down. The first frame is a full snapshot
+    /// (`reset = true`); later frames carry only changed and removed
+    /// series.
+    Watch {
+        /// Requested frame interval in milliseconds (clamped server-side
+        /// to a sane minimum).
+        interval_ms: u64,
+    },
+    /// Fetch the metrics registry rendered as Prometheus text exposition
+    /// (the same document the HTTP `/metrics` listener serves).
+    Scrape,
     /// Ask the server to shut down.
     Shutdown {
         /// `true` = finish queued and running jobs first (up to the
@@ -309,6 +326,16 @@ pub enum Response {
         /// (including the `strober.server.*` queue metrics).
         metrics: MetricsSnapshot,
     },
+    /// Answer to [`Request::Watch`]: the subscription is live.
+    Watching {
+        /// The effective frame interval in milliseconds, after clamping.
+        interval_ms: u64,
+    },
+    /// Answer to [`Request::Scrape`].
+    Scrape {
+        /// Prometheus text exposition (format 0.0.4) of the registry.
+        text: String,
+    },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown {
         /// Whether in-flight jobs are drained or cancelled.
@@ -357,7 +384,7 @@ pub struct EstimateOutcome {
     /// Order-sensitive fingerprint of every replayed sample
     /// (cycle, per-sample power, outputs checked), as hex.
     pub snapshot_fingerprint: String,
-    /// The run manifest (schema v3, with job provenance).
+    /// The run manifest (schema v4, with job and worker provenance).
     pub manifest: RunManifest,
 }
 
@@ -488,9 +515,32 @@ impl Event {
     }
 }
 
-/// Any server-to-client message: responses and events share one
-/// connection, so every frame the server writes is tagged with which of
-/// the two it carries.
+/// One frame of a [`Request::Watch`] subscription: an incremental
+/// metrics update. A frame with `reset = true` carries the complete
+/// registry; every other frame carries only the series that changed
+/// since the previous frame, plus the names of series that disappeared
+/// (e.g. a finished job's labeled gauges). Applying frames in `seq`
+/// order with [`strober_probe::MetricsSnapshot::merge`] reconstructs the
+/// registry exactly; a gap in `seq` means frames were lost and the
+/// client should resubscribe.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WatchFrame {
+    /// Frame number within this subscription, starting at 0.
+    pub seq: u64,
+    /// Milliseconds since the server's probe epoch.
+    pub at_ms: u64,
+    /// Whether `metrics` is a full snapshot (first frame) rather than a
+    /// delta.
+    pub reset: bool,
+    /// Series present in the previous frame's registry but gone now.
+    pub removed: Vec<String>,
+    /// New and changed series (or everything, when `reset`).
+    pub metrics: MetricsSnapshot,
+}
+
+/// Any server-to-client message: responses, job events and watch frames
+/// share one connection, so every frame the server writes is tagged with
+/// which of the three it carries.
 #[allow(clippy::large_enum_variant)] // transient wire message; see JobResult
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ServerMsg {
@@ -498,4 +548,6 @@ pub enum ServerMsg {
     Response(Response),
     /// Streamed job progress.
     Event(Event),
+    /// Streamed metrics for a [`Request::Watch`] subscription.
+    Watch(WatchFrame),
 }

@@ -34,6 +34,13 @@ impl ConnWriter {
         }
     }
 
+    /// Whether the connection has not yet failed a write. Streaming
+    /// loops (watch subscriptions) poll this to stop ticking once the
+    /// client hangs up.
+    pub(crate) fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
     /// Sends one message, best-effort.
     pub(crate) fn send(&self, msg: &ServerMsg) {
         if !self.alive.load(Ordering::Relaxed) {

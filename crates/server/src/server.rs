@@ -17,7 +17,8 @@
 use crate::frame::{decode, read_frame_bytes_while, FrameError};
 use crate::jobs::{self, FlowCache, JobFailure};
 use crate::protocol::{
-    ErrorKind, Event, JobState, Request, Response, ServerMsg, WireError, PROTOCOL_VERSION,
+    ErrorKind, Event, JobState, Request, Response, ServerMsg, WatchFrame, WireError,
+    PROTOCOL_VERSION,
 };
 use crate::queue::{ConnWriter, JobEntry, JobPhase, JobQueue, JobTable};
 use crate::signal;
@@ -48,6 +49,20 @@ pub struct ServerConfig {
     /// Graceful-shutdown drain deadline in milliseconds: how long
     /// in-flight jobs get to finish before their cancel tokens trip.
     pub drain_ms: u64,
+    /// Optional HTTP listen address for Prometheus scraping. When set,
+    /// a minimal HTTP/1.1 listener answers `GET /metrics` with the text
+    /// exposition of the registry (the bound address is available from
+    /// [`Server::metrics_local_addr`]). `None` disables the endpoint;
+    /// [`Request::Scrape`] over the framed protocol always works.
+    ///
+    /// [`Request::Scrape`]: crate::protocol::Request::Scrape
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder frame interval in milliseconds (0 = the probe
+    /// default of one frame per second).
+    pub flight_interval_ms: u64,
+    /// Flight-recorder ring capacity in frames (0 = the probe default
+    /// of 600, ten minutes at the default interval).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +73,9 @@ impl Default for ServerConfig {
             workers: 0,
             store_dir: None,
             drain_ms: 30_000,
+            metrics_addr: None,
+            flight_interval_ms: 0,
+            flight_capacity: 0,
         }
     }
 }
@@ -80,6 +98,9 @@ pub(crate) struct Shared {
     done: AtomicBool,
     /// Jobs currently executing.
     active: AtomicUsize,
+    /// Streamer threads serving `Watch` subscriptions, joined at
+    /// shutdown. Each exits on `done` or when its connection dies.
+    watchers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Shared {
@@ -135,6 +156,9 @@ pub struct Server {
     #[cfg(unix)]
     unix: Option<std::os::unix::net::UnixListener>,
     unix_path: Option<String>,
+    metrics: Option<TcpListener>,
+    metrics_addr: Option<SocketAddr>,
+    flight: strober_probe::FlightConfig,
 }
 
 impl Server {
@@ -179,10 +203,31 @@ impl Server {
         // Each job replays on its own worker; split the machine's
         // threads between concurrent jobs instead of oversubscribing.
         let per_job_parallelism = (strober::StroberFlow::default_parallelism() / workers).max(1);
-        strober_probe::histogram_with_bounds(
-            "strober.server.job_latency_ms",
-            &[10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 600_000.0],
-        );
+        let metrics = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let flight_defaults = strober_probe::FlightConfig::default();
+        let flight = strober_probe::FlightConfig {
+            interval_ms: if config.flight_interval_ms == 0 {
+                flight_defaults.interval_ms
+            } else {
+                config.flight_interval_ms
+            },
+            capacity: if config.flight_capacity == 0 {
+                flight_defaults.capacity
+            } else {
+                config.flight_capacity
+            },
+        };
         Ok(Server {
             shared: Arc::new(Shared {
                 workers,
@@ -197,18 +242,29 @@ impl Server {
                 drain: AtomicBool::new(true),
                 done: AtomicBool::new(false),
                 active: AtomicUsize::new(0),
+                watchers: Mutex::new(Vec::new()),
             }),
             tcp,
             addr,
             #[cfg(unix)]
             unix,
             unix_path: config.unix_socket,
+            metrics,
+            metrics_addr,
+            flight,
         })
     }
 
     /// The bound TCP address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus HTTP address, when
+    /// [`ServerConfig::metrics_addr`] was set (resolves ephemeral
+    /// ports).
+    pub fn metrics_local_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// A remote control for this server.
@@ -228,6 +284,17 @@ impl Server {
     pub fn run(self) -> io::Result<()> {
         signal::install();
         strober_probe::enable();
+        // Bounds registration is a no-op while the recorder is disabled,
+        // so it must come after `enable` to take effect.
+        strober_probe::histogram_with_bounds(
+            "strober.server.job_latency_ms",
+            &[10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 600_000.0],
+        );
+        strober_probe::histogram_with_bounds(
+            "strober.server.queue_wait_ms",
+            &[1.0, 10.0, 100.0, 1_000.0, 10_000.0, 60_000.0],
+        );
+        let flight = strober_probe::start_flight_recorder(self.flight);
         let shared = self.shared;
 
         let worker_handles: Vec<_> = (0..shared.workers)
@@ -235,10 +302,21 @@ impl Server {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("strober-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker")
             })
             .collect();
+
+        let metrics_handle = self.metrics.map(|listener| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("strober-metrics-http".to_owned())
+                .spawn(move || accept_metrics_http(&shared, &listener))
+                .expect("spawn metrics listener")
+        });
+        if let Some(addr) = self.metrics_addr {
+            strober_probe::info!("prometheus exposition on http://{addr}/metrics");
+        }
 
         let mut conn_handles = Vec::new();
         #[cfg(unix)]
@@ -324,7 +402,19 @@ impl Server {
         if let Some(handle) = unix_handle {
             let _ = handle.join();
         }
+        if let Some(handle) = metrics_handle {
+            let _ = handle.join();
+        }
         for handle in conn_handles {
+            let _ = handle.join();
+        }
+        for handle in shared
+            .watchers
+            .lock()
+            .expect("watchers lock")
+            .drain(..)
+            .collect::<Vec<_>>()
+        {
             let _ = handle.join();
         }
         if let Some(path) = &self.unix_path {
@@ -333,6 +423,7 @@ impl Server {
 
         // Flush what the probe recorder captured over the daemon's life.
         let events = strober_probe::take_events();
+        let flight_frames = flight.stop();
         if let Some(store) = &shared.store {
             let store = store.lock().expect("store lock");
             let trace = store.root().join("server-trace.json");
@@ -345,6 +436,11 @@ impl Server {
                 &metrics,
                 serde_json::to_string_pretty(&snap).expect("metrics serialize"),
             );
+            let flight_path = store.root().join("server-flight.json");
+            let _ = std::fs::write(
+                &flight_path,
+                serde_json::to_string_pretty(&flight_frames).expect("flight serialize"),
+            );
         }
         strober_probe::info!("server metrics at exit:\n{}", strober_probe::snapshot());
         Ok(())
@@ -352,25 +448,36 @@ impl Server {
 }
 
 /// One worker: pull, execute, publish, repeat until the queue closes.
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let worker_labels = strober_probe::Labels::new().worker(&index.to_string());
+    // Publish the idle gauge up front so every worker has a series from
+    // startup — `strober top` shows the full pool, not just workers that
+    // have already run a job.
+    strober_probe::gauge_set_labeled("strober.server.worker_busy", &worker_labels, 0.0);
     while let Some(id) = shared.queue.pop() {
         let Some(job) = shared.table.get(id) else {
             continue;
         };
         let started = Instant::now();
         *job.phase.lock().expect("phase lock") = JobPhase::Running { started };
+        let queue_wait_ms = job.queue_wait_ms();
+        strober_probe::histogram_record("strober.server.queue_wait_ms", queue_wait_ms);
         job.publish(Event::Started {
             job: job.id,
-            queue_wait_ms: job.queue_wait_ms(),
+            queue_wait_ms,
         });
-        shared.active.fetch_add(1, Ordering::SeqCst);
+        let busy = shared.active.fetch_add(1, Ordering::SeqCst) + 1;
+        strober_probe::gauge_set("strober.server.workers_busy", busy as f64);
+        strober_probe::gauge_set_labeled("strober.server.worker_busy", &worker_labels, 1.0);
         let result = jobs::run_job(
             &job,
             &shared.flows,
             shared.store.as_ref(),
             shared.per_job_parallelism,
         );
-        shared.active.fetch_sub(1, Ordering::SeqCst);
+        let busy = shared.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        strober_probe::gauge_set("strober.server.workers_busy", busy as f64);
+        strober_probe::gauge_set_labeled("strober.server.worker_busy", &worker_labels, 0.0);
         strober_probe::histogram_record(
             "strober.server.job_latency_ms",
             started.elapsed().as_secs_f64() * 1e3,
@@ -379,7 +486,10 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Moves a job to its terminal phase and tells the followers.
+/// Moves a job to its terminal phase, tells the followers, and retires
+/// the job's labeled series from the registry (its manifest already
+/// captured them), so watch streams and scrapes only carry live jobs
+/// and registry cardinality stays bounded by concurrency, not history.
 fn finish_job(job: &JobEntry, result: Result<crate::protocol::JobResult, JobFailure>) {
     let waited = job.waited();
     match result {
@@ -406,6 +516,7 @@ fn finish_job(job: &JobEntry, result: Result<crate::protocol::JobResult, JobFail
             });
         }
     }
+    strober_probe::remove_series_with_label("job", &job.id.to_string());
 }
 
 fn serve_tcp_conn(
@@ -567,12 +678,124 @@ fn handle_request(
         Request::Metrics => respond(Response::Metrics {
             metrics: strober_probe::snapshot(),
         }),
+        Request::Watch { interval_ms } => {
+            let interval_ms = interval_ms.clamp(50, 60_000);
+            respond(Response::Watching { interval_ms });
+            let handle = {
+                let shared2 = shared.clone();
+                let writer = writer.clone();
+                std::thread::Builder::new()
+                    .name("strober-watch".to_owned())
+                    .spawn(move || watch_loop(&shared2, &writer, interval_ms))
+                    .expect("spawn watch streamer")
+            };
+            shared.watchers.lock().expect("watchers lock").push(handle);
+        }
+        Request::Scrape => respond(Response::Scrape {
+            text: strober_probe::prometheus_text(&strober_probe::snapshot()),
+        }),
         Request::Shutdown { drain } => {
             shared.begin_shutdown(drain);
             respond(Response::ShuttingDown { drain });
         }
         Request::Ping => respond(Response::Pong),
     }
+}
+
+/// Streams incremental [`WatchFrame`]s over one subscribed connection
+/// until the connection dies or the server finishes. Frame 0 is a full
+/// snapshot (`reset`); every later tick diffs the registry against the
+/// previous tick and ships only changed entries plus retired names, so
+/// steady-state frames are near-empty heartbeats.
+fn watch_loop(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, interval_ms: u64) {
+    let interval = Duration::from_millis(interval_ms);
+    let mut prev = strober_probe::MetricsSnapshot::default();
+    let mut seq = 0u64;
+    loop {
+        let cur = strober_probe::snapshot();
+        let frame = WatchFrame {
+            seq,
+            at_ms: strober_probe::now_ms(),
+            reset: seq == 0,
+            removed: if seq == 0 {
+                Vec::new()
+            } else {
+                cur.removed_since(&prev)
+            },
+            metrics: if seq == 0 {
+                cur.clone()
+            } else {
+                cur.delta_from(&prev)
+            },
+        };
+        writer.send(&ServerMsg::Watch(frame));
+        prev = cur;
+        seq += 1;
+        // Sleep in POLL-sized slices so shutdown and hangup are noticed
+        // promptly even at long intervals.
+        let deadline = Instant::now() + interval;
+        loop {
+            if shared.done.load(Ordering::SeqCst) || !writer.is_alive() {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep(POLL.min(deadline - now));
+        }
+    }
+}
+
+/// Accepts Prometheus scrapes on the dedicated HTTP listener. Each
+/// connection gets one request answered and is closed — the exposition
+/// endpoint serves scrapers, not browsers holding keep-alive sockets.
+fn accept_metrics_http(shared: &Arc<Shared>, listener: &TcpListener) {
+    while !shared.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = answer_metrics_http(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Answers one HTTP/1.1 request: `GET /metrics` gets the text
+/// exposition, anything else a 404. The request line is all we parse;
+/// headers are read until the blank line and ignored.
+fn answer_metrics_http(mut stream: std::net::TcpStream) -> io::Result<()> {
+    use std::io::{BufRead, BufReader, Write};
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let target = request_line.split_whitespace().nth(1).unwrap_or("");
+    let response = if target == "/metrics" || target.starts_with("/metrics?") {
+        let body = strober_probe::prometheus_text(&strober_probe::snapshot());
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            strober_probe::PROMETHEUS_CONTENT_TYPE,
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found; try /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ fn sample_manifest() -> RunManifest {
         id: 42,
         client: "test-client".to_owned(),
         queue_wait_ms: 12.25,
+        worker: "1".to_owned(),
     });
     m.record("prepare", std::time::Duration::from_millis(3));
     m

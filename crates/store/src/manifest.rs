@@ -15,9 +15,11 @@ use std::time::Duration;
 /// Manifest schema version. Bumped to 2 when the `version` and `metrics`
 /// fields were added and stage timings moved to span-derived values;
 /// bumped to 3 when the estimation server landed and manifests grew job
-/// provenance (`job`) and prepare provenance (`prepare`). Older
+/// provenance (`job`) and prepare provenance (`prepare`); bumped to 4
+/// when the telemetry layer added worker attribution (`job.worker`) and
+/// the metrics snapshot started carrying labeled per-job series. Older
 /// documents no longer parse: every field is required.
-pub const MANIFEST_VERSION: u32 = 3;
+pub const MANIFEST_VERSION: u32 = 4;
 
 /// Which job a served run belonged to — absent for one-shot CLI runs.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -29,6 +31,9 @@ pub struct JobProvenance {
     /// Milliseconds the job waited in the queue before a worker
     /// picked it up.
     pub queue_wait_ms: f64,
+    /// Index of the server worker that executed the job (the `worker`
+    /// label of the run's dimensional metrics).
+    pub worker: String,
 }
 
 /// One timed pipeline stage.
@@ -184,7 +189,7 @@ mod tests {
     fn schema_version_is_bumped_and_enforced() {
         let manifest = RunManifest::new("rok", "vvadd");
         assert_eq!(manifest.version, MANIFEST_VERSION);
-        assert_eq!(MANIFEST_VERSION, 3, "bump this test with the schema");
+        assert_eq!(MANIFEST_VERSION, 4, "bump this test with the schema");
         let text = manifest.to_json();
         assert!(text.contains("\"version\""));
         assert!(text.contains("\"metrics\""));
@@ -212,6 +217,20 @@ mod tests {
             "metrics": {"counters": [], "gauges": [], "histograms": []}
         }"#;
         assert!(RunManifest::from_json(v2).is_err());
+        // A version-3 document's job provenance predates worker
+        // attribution; a served manifest without it must be rejected.
+        let v3 = r#"{
+            "version": 3,
+            "design": "rok",
+            "workload": "vvadd",
+            "fingerprint": "00117a5e57a0be55",
+            "cache_hit": false,
+            "prepare": "cold",
+            "job": {"id": 1, "client": "ci", "queue_wait_ms": 0.5},
+            "stages": [],
+            "metrics": {"counters": [], "gauges": [], "histograms": []}
+        }"#;
+        assert!(RunManifest::from_json(v3).is_err());
     }
 
     #[test]
@@ -225,6 +244,7 @@ mod tests {
             id: 42,
             client: "ci-runner".to_owned(),
             queue_wait_ms: 12.5,
+            worker: "1".to_owned(),
         });
         assert!(manifest.cache_hit);
         let back = RunManifest::from_json(&manifest.to_json()).unwrap();

@@ -110,7 +110,11 @@ fn connect(addr: SocketAddr, name: &str) -> Client {
     let mut client = Client::connect(addr).unwrap();
     let hello = client.hello(name).unwrap();
     assert!(
-        matches!(hello, Response::Hello { protocol: 1, .. }),
+        matches!(
+            hello,
+            Response::Hello { protocol, .. }
+                if protocol == strober_server::protocol::PROTOCOL_VERSION
+        ),
         "unexpected hello: {hello:?}"
     );
     client
@@ -184,6 +188,7 @@ fn served_estimates_are_bit_identical_and_warm_on_the_second_job() {
             "followed jobs stream the `{stage}` stage"
         );
     }
+    assert_event_contract(&events);
     let run_manifest = &first.manifest;
     assert_eq!(run_manifest.prepare, "cold");
     let job = run_manifest
@@ -235,6 +240,183 @@ fn served_estimates_are_bit_identical_and_warm_on_the_second_job() {
     };
     assert_eq!(jobs.len(), 4);
     assert!(jobs.iter().all(|j| j.state == JobState::Done));
+
+    handle.shutdown(false);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !handle.is_finished() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert!(handle.is_finished(), "shutdown must complete");
+    join.join().unwrap();
+}
+
+/// Event-stream contract for followed jobs: the `Started` event arrives
+/// before any `Progress`/`Stage` event, and exactly one terminal event
+/// (`Done`/`Failed`/`Cancelled`) closes the stream.
+fn assert_event_contract(events: &[Event]) {
+    let started = events
+        .iter()
+        .position(|e| matches!(e, Event::Started { .. }))
+        .expect("followed jobs stream a start event");
+    let first_work = events
+        .iter()
+        .position(|e| matches!(e, Event::Progress { .. } | Event::Stage { .. }));
+    if let Some(first_work) = first_work {
+        assert!(
+            started < first_work,
+            "Started (index {started}) must precede the first Progress/Stage \
+             (index {first_work}): {events:?}"
+        );
+    }
+    let terminals: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            matches!(
+                e,
+                Event::Done { .. } | Event::Failed { .. } | Event::Cancelled { .. }
+            )
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(
+        terminals.len(),
+        1,
+        "exactly one terminal event per followed job: {events:?}"
+    );
+    assert_eq!(
+        terminals[0],
+        events.len() - 1,
+        "the terminal event must close the stream: {events:?}"
+    );
+}
+
+/// The live telemetry path end-to-end: a `Watch` subscription streams
+/// incremental frames whose merged mirror stays consistent (counters
+/// monotone) while concurrent jobs run, per-job labeled series surface
+/// in the stream, `Scrape` returns parseable Prometheus exposition, and
+/// every followed job honors the event-ordering contract.
+#[test]
+fn watch_streams_stay_consistent_under_concurrent_jobs() {
+    let (addr, handle, join) = start_server(2);
+
+    // Subscribe to the metrics stream on a dedicated connection before
+    // any job exists; frame 0 must be a reset carrying a full snapshot.
+    let mut watcher = connect(addr, "watcher");
+    let resp = watcher
+        .request(&Request::Watch { interval_ms: 50 })
+        .unwrap();
+    assert!(
+        matches!(resp, Response::Watching { interval_ms: 50 }),
+        "watch rejected: {resp:?}"
+    );
+    let first = watcher.next_watch().unwrap();
+    assert!(first.reset, "the first frame is a full snapshot");
+    let mut session = strober_server::WatchSession::new();
+    assert!(session.apply(&first));
+    // The registry is process-global and other tests in this binary run
+    // jobs too, so all counter assertions are deltas from this baseline.
+    let completed_of = |s: &strober_server::WatchSession| {
+        s.metrics()
+            .counters
+            .iter()
+            .find(|c| c.name == "strober.server.jobs_completed")
+            .map_or(0, |c| c.value)
+    };
+    let baseline = completed_of(&session);
+
+    // Two concurrent followed jobs on their own connections.
+    let mut threads = Vec::new();
+    for i in 0..2 {
+        threads.push(std::thread::spawn(move || {
+            let mut client = connect(addr, &format!("watched-{i}"));
+            let mut events = Vec::new();
+            let outcome = submit_and_wait(&mut client, JobSpec::Estimate(spec()), &mut events);
+            (outcome, events)
+        }));
+    }
+
+    // Drain frames while the jobs run. The merged mirror must never see
+    // a counter regress, and the per-job labeled series must appear.
+    let mut last = baseline;
+    let mut saw_job_series = false;
+    let mut frames = 0u32;
+    while completed_of(&session) < baseline + 2 {
+        let frame = watcher.next_watch().unwrap();
+        assert!(
+            session.apply(&frame),
+            "no frame was dropped, so the mirror must stay in sync"
+        );
+        let now = completed_of(&session);
+        assert!(
+            now >= last,
+            "jobs_completed regressed across frames: {last} -> {now}"
+        );
+        last = now;
+        saw_job_series |= session.metrics().gauges.iter().any(|g| {
+            let (base, labels) = strober_probe::parse_series(&g.name);
+            base == "strober.server.job_progress" && labels.iter().any(|(k, _)| k == "job")
+        });
+        frames += 1;
+        assert!(
+            frames < 2_000,
+            "jobs did not complete within ~100 s of frames"
+        );
+    }
+    assert!(
+        saw_job_series,
+        "per-job labeled series must surface in the watch stream"
+    );
+
+    for t in threads {
+        let (outcome, events) = t.join().unwrap();
+        assert!(outcome.cycles > 0);
+        assert_event_contract(&events);
+        let job = outcome.manifest.job.as_ref().expect("job provenance");
+        assert!(
+            !job.worker.is_empty(),
+            "the manifest attributes the job to a worker"
+        );
+    }
+
+    // After the jobs are done their series are retired from the registry;
+    // a fresh scrape must still carry the server-level series, in
+    // parseable exposition text.
+    let resp = watcher.request(&Request::Scrape).unwrap();
+    let Response::Scrape { text } = resp else {
+        panic!("scrape failed: {resp:?}");
+    };
+    for series in [
+        "strober_server_jobs_accepted_total",
+        "strober_server_jobs_completed_total",
+        "strober_server_queue_depth",
+        "strober_server_queue_wait_ms_bucket",
+        "strober_server_queue_wait_ms_count",
+    ] {
+        assert!(
+            text.contains(series),
+            "scrape must expose {series}:\n{text}"
+        );
+    }
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .expect("exposition line is `series value`");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable sample value in `{line}`"
+        );
+        let name_end = series.find('{').unwrap_or(series.len());
+        assert!(
+            series[..name_end]
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "metric name outside the exposition charset in `{line}`"
+        );
+    }
 
     handle.shutdown(false);
     let deadline = Instant::now() + Duration::from_secs(30);

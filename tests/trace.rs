@@ -107,11 +107,21 @@ fn estimate_run_emits_the_expected_span_tree_and_trace_json() {
         serde_json::Value::Object(m) => m,
         other => panic!("trace root must be an object, got {other:?}"),
     };
-    let n_trace_events = match obj.get("traceEvents") {
-        Some(serde_json::Value::Array(evs)) => evs.len(),
+    let (n_spans, n_meta) = match obj.get("traceEvents") {
+        Some(serde_json::Value::Array(evs)) => {
+            let meta = evs
+                .iter()
+                .filter(|e| e.object_get("ph").and_then(serde_json::Value::as_str) == Some("M"))
+                .count();
+            (evs.len() - meta, meta)
+        }
         other => panic!("traceEvents must be an array, got {other:?}"),
     };
-    assert_eq!(n_trace_events, events.len());
+    assert_eq!(n_spans, events.len());
+    // Named threads get `thread_name` metadata events so concurrent
+    // workers render on their own labeled rows: at least the
+    // orchestrating thread and the two replay workers are named.
+    assert!(n_meta >= 3, "expected thread_name metadata, got {n_meta}");
     let back = strober_probe::parse_chrome_trace(&trace).expect("trace parses back");
     assert_eq!(back.len(), events.len());
     let mut names: Vec<_> = back.iter().map(|e| e.name.clone()).collect();
