@@ -1,0 +1,60 @@
+//! Quick probe: hub tape sizes and partition plans for candidate
+//! floor-test workloads. Not part of the suite; run by hand with
+//! `cargo run --release -p strober-bench --example hubsize`.
+
+use std::time::Instant;
+use strober_dsl::Ctx;
+use strober_rtl::Width;
+
+fn wide_design(blocks: u32) -> strober_rtl::Design {
+    let ctx = Ctx::new("wide");
+    let w32 = Width::new(32).unwrap();
+    let stir = ctx.input("stir", w32);
+    for b in 0..blocks {
+        let a = ctx.reg(&format!("a{b}"), w32, u64::from(b) * 7 + 1);
+        let c = ctx.reg(&format!("c{b}"), w32, u64::from(b) * 13 + 3);
+        let mut x = &a.out() ^ &stir;
+        for k in 0..24 {
+            x = if k % 3 == 0 {
+                &x + &c.out()
+            } else if k % 3 == 1 {
+                &x ^ &a.out()
+            } else {
+                &(&x & &c.out()) | &x
+            };
+        }
+        a.set(&x);
+        c.set(&(&c.out() + &a.out()));
+        ctx.output(&format!("o{b}"), &x);
+    }
+    ctx.finish().unwrap()
+}
+
+fn main() {
+    for blocks in [32u32, 64, 128] {
+        let d = wide_design(blocks);
+        let fame = strober_fame::transform(&d, &strober_fame::FameConfig::default()).unwrap();
+        let mut sim = strober_sim::Simulator::new(&fame.hub).unwrap();
+        let fire = sim.resolve_port(&fame.meta.control.fire).unwrap();
+        sim.poke(fire, 1);
+        sim.step_n(128);
+        let t0 = Instant::now();
+        sim.step_n(1024);
+        let ns = t0.elapsed().as_nanos();
+        let mut par = strober_sim::Simulator::new(&fame.hub).unwrap();
+        par.set_threads(4);
+        let stats = par.partition_stats().unwrap();
+        println!(
+            "wide-{blocks}: {} ops, seq {:.0} ns/settle ({:.1} ns/op), plan: {} levels -> {} phases, cut {} -> {}, sizes {}..{}",
+            stats.ops,
+            ns as f64 / 1024.0,
+            ns as f64 / 1024.0 / stats.ops as f64,
+            stats.levels,
+            stats.phases,
+            stats.cut_edges_initial,
+            stats.cut_edges,
+            stats.min_partition_ops,
+            stats.max_partition_ops,
+        );
+    }
+}

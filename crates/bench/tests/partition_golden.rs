@@ -1,0 +1,137 @@
+//! Golden equivalence of the partitioned multi-threaded engine on real
+//! processor cores and their FAME1 hubs.
+//!
+//! The randomized sweep lives in `strober-sim`'s own test suite; this one
+//! drives the actual workloads `--hub-threads` parallelizes — a bundled
+//! core design and its FAME1-transformed hub (scan chains, trace buffers,
+//! fire gating) — at 1/2/4/7 settle workers, checking bit-identical step
+//! behavior against the sequential engine. A flow-level run proves the
+//! whole sampled pipeline (reservoir draws, scanned snapshots, traced
+//! windows) is unchanged by the worker count.
+
+use strober::{StroberConfig, StroberFlow};
+use strober_cores::{build_core, CoreConfig};
+use strober_fame::{transform, FameConfig};
+use strober_platform::{HostModel, OutputView, PlatformConfig};
+use strober_rtl::Design;
+use strober_sim::Simulator;
+
+const CYCLES: u64 = 256;
+const WORKERS: [usize; 4] = [1, 2, 4, 7];
+
+/// Deterministic per-(port, cycle) stimulus (splitmix64 finalizer).
+fn stim(port: usize, cycle: u64) -> u64 {
+    let mut z = (port as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Steps the design for [`CYCLES`] sequentially and at each worker
+/// count, comparing every output every cycle plus the final state.
+fn assert_workers_transparent(label: &str, design: &Design) {
+    let ports: Vec<(String, u64)> = design
+        .ports()
+        .iter()
+        .map(|p| (p.name().to_owned(), p.width().mask()))
+        .collect();
+    let outputs: Vec<String> = design.outputs().iter().map(|(n, _)| n.clone()).collect();
+
+    let mut golden = Simulator::new(design).expect("valid");
+    let mut trace: Vec<Vec<u64>> = Vec::new();
+    for cycle in 0..CYCLES {
+        for (i, (name, mask)) in ports.iter().enumerate() {
+            golden
+                .poke_by_name(name, stim(i, cycle) & mask)
+                .expect("port");
+        }
+        trace.push(
+            outputs
+                .iter()
+                .map(|o| golden.peek_output(o).expect("output"))
+                .collect(),
+        );
+        golden.step();
+    }
+    let golden_state = golden.state();
+
+    for workers in WORKERS {
+        let mut sim = Simulator::new(design).expect("valid");
+        sim.set_threads(workers);
+        for cycle in 0..CYCLES {
+            for (i, (name, mask)) in ports.iter().enumerate() {
+                sim.poke_by_name(name, stim(i, cycle) & mask).expect("port");
+            }
+            for (oi, o) in outputs.iter().enumerate() {
+                assert_eq!(
+                    sim.peek_output(o).expect("output"),
+                    trace[cycle as usize][oi],
+                    "{label}, {workers} workers: output `{o}` diverged at cycle {cycle}"
+                );
+            }
+            sim.step();
+        }
+        assert_eq!(
+            sim.state(),
+            golden_state,
+            "{label}, {workers} workers: final state diverged"
+        );
+    }
+}
+
+#[test]
+fn workers_are_transparent_on_the_rok_core() {
+    assert_workers_transparent("rok_tiny", &build_core(&CoreConfig::rok_tiny()));
+}
+
+#[test]
+fn workers_are_transparent_on_the_boum_core() {
+    assert_workers_transparent("boum_tiny", &build_core(&CoreConfig::boum_tiny(1)));
+}
+
+#[test]
+fn workers_are_transparent_on_the_fame1_hub() {
+    // The hub is the workload `--hub-threads` targets: scan-chain padding
+    // cats, capture/shift mux cascades, fire gating. Drive it with
+    // stimulus on the pass-through target ports and the control ports.
+    let design = build_core(&CoreConfig::rok_tiny());
+    let fame = transform(&design, &FameConfig::default()).expect("transform");
+    assert_workers_transparent("rok_tiny fame1 hub", &fame.hub);
+}
+
+struct NoIo;
+impl HostModel for NoIo {
+    fn tick(&mut self, _c: u64, _io: &mut OutputView<'_>) {}
+}
+
+#[test]
+fn sampled_flow_is_identical_across_hub_thread_counts() {
+    // End-to-end regression for `--hub-threads`: the full sampled run —
+    // reservoir draws, scanned snapshots, traced windows — must not
+    // change with the worker count.
+    let design = build_core(&CoreConfig::rok_tiny());
+    let run_with = |hub_threads: usize| {
+        let config = StroberConfig {
+            sample_size: 4,
+            replay_length: 16,
+            warmup: 0,
+            platform: PlatformConfig {
+                hub_threads,
+                ..PlatformConfig::default()
+            },
+            ..StroberConfig::default()
+        };
+        let flow = StroberFlow::new(&design, config).expect("prepare");
+        flow.run_sampled(&mut NoIo, 20_000).expect("sampled run")
+    };
+    let sequential = run_with(1);
+    for workers in [2, 4] {
+        let parallel = run_with(workers);
+        assert_eq!(
+            sequential.snapshots, parallel.snapshots,
+            "{workers} hub threads changed the sampled snapshots"
+        );
+    }
+}

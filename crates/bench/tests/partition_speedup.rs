@@ -1,0 +1,150 @@
+//! The partitioned-engine acceptance gate, enforced: at 4 settle workers
+//! the parallel engine must deliver at least 1.5x the sequential tape's
+//! throughput on a FAME1 hub wide enough to feed 4 workers.
+//!
+//! Two hubs are measured. The Rok core hub — the workload the flow
+//! actually runs — is reported for the BENCH trajectory but not gated:
+//! its optimized tape is ~500 ops (~1.3 us per settle), so per-phase
+//! barrier costs are the same order as the useful work and the speedup
+//! is structurally noise-bound. The gated workload is the hub of a wide
+//! 128-block datapath (~5000 ops, 3 barrier phases after min-cut
+//! refinement), where the partitioned engine has real parallelism to
+//! exploit; see DESIGN.md §14's "which engine when" table.
+//!
+//! Like the tape-optimizer and batch-replay floors, the comparison uses
+//! the minimum over several interleaved trials — the minimum is the run
+//! least disturbed by the machine, so the ratio is stable enough to
+//! assert on in CI. Hosts with fewer than 4 hardware threads (where 4
+//! workers just time-slice one core and every barrier costs context
+//! switches) skip the floor assertion and only check completion.
+
+use std::hint::black_box;
+use std::time::Instant;
+use strober_dsl::Ctx;
+use strober_fame::{transform, FameConfig};
+use strober_rtl::{Design, Width};
+use strober_sim::Simulator;
+
+const CYCLES: u64 = 1024;
+const TRIALS: usize = 5;
+const WORKERS: usize = 4;
+const FLOOR: f64 = 1.5;
+
+fn min_nanos(mut f: impl FnMut()) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos());
+    }
+    best
+}
+
+/// A wide target: `blocks` independent 24-op mixing datapaths sharing
+/// one stirred input. After the FAME1 transform (scan chain, trace
+/// buffers, fire gating) the hub tape is ~40 ops per block and
+/// partitions into ~3 phases at any worker count, because the blocks
+/// only couple through the input broadcast and the scan chain's
+/// register-to-register hops.
+fn wide_design(blocks: u32) -> Design {
+    let ctx = Ctx::new("wide");
+    let w32 = Width::new(32).expect("static width");
+    let stir = ctx.input("stir", w32);
+    for b in 0..blocks {
+        let a = ctx.reg(&format!("a{b}"), w32, u64::from(b) * 7 + 1);
+        let c = ctx.reg(&format!("c{b}"), w32, u64::from(b) * 13 + 3);
+        let mut x = &a.out() ^ &stir;
+        for k in 0..24 {
+            x = if k % 3 == 0 {
+                &x + &c.out()
+            } else if k % 3 == 1 {
+                &x ^ &a.out()
+            } else {
+                &(&x & &c.out()) | &x
+            };
+        }
+        a.set(&x);
+        c.set(&(&c.out() + &a.out()));
+        ctx.output(&format!("o{b}"), &x);
+    }
+    ctx.finish().expect("valid design")
+}
+
+/// Builds the design's FAME1 hub twice (sequential + `WORKERS` workers),
+/// fires both, and returns `(sequential_ns, parallel_ns)` over [`CYCLES`]
+/// steps, printing the partition plan.
+fn measure(label: &str, design: &Design) -> (u128, u128) {
+    let fame = transform(design, &FameConfig::default()).expect("transform");
+    let mut seq = Simulator::new(&fame.hub).expect("hub");
+    let mut par = Simulator::new(&fame.hub).expect("hub");
+    par.set_threads(WORKERS);
+    let fire = seq
+        .resolve_port(&fame.meta.control.fire)
+        .expect("fire port");
+    seq.poke(fire, 1);
+    par.poke(fire, 1);
+
+    // Warm both paths (page in code, spawn the pool, settle the
+    // frequency governor), then print the plan the numbers depend on.
+    seq.step_n(CYCLES);
+    par.step_n(CYCLES);
+    let stats = par.partition_stats().expect("parallel engine");
+    println!(
+        "{label} partition plan: {} ops over {} workers, {} levels -> {} phases, \
+         cut {} -> {} edges, partition sizes {}..{}",
+        stats.ops,
+        stats.workers,
+        stats.levels,
+        stats.phases,
+        stats.cut_edges_initial,
+        stats.cut_edges,
+        stats.min_partition_ops,
+        stats.max_partition_ops,
+    );
+
+    let sequential = min_nanos(|| {
+        seq.step_n(CYCLES);
+        black_box(seq.cycle());
+    });
+    let parallel = min_nanos(|| {
+        par.step_n(CYCLES);
+        black_box(par.cycle());
+    });
+    println!(
+        "{label}: sequential {sequential} ns, {WORKERS} workers {parallel} ns, \
+         speedup {:.2}x",
+        sequential as f64 / parallel as f64
+    );
+    (sequential, parallel)
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "the 1.5x floor is a property of optimized builds; CI runs \
+              this test with --release."
+)]
+fn partitioned_wide_hub_settle_is_at_least_1_5x_sequential_at_4_workers() {
+    // Informational: the production core hub (too small to gate on).
+    let rok = strober_cores::build_core(&strober_cores::CoreConfig::rok_tiny());
+    measure("rok_tiny hub", &rok);
+
+    let (sequential, parallel) = measure("wide-128 hub", &wide_design(128));
+    let speedup = sequential as f64 / parallel as f64;
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if cores < WORKERS {
+        println!(
+            "host has {cores} hardware thread(s) < {WORKERS} workers; \
+             skipping the {FLOOR}x floor assertion (equivalence still ran)"
+        );
+        return;
+    }
+    assert!(
+        speedup >= FLOOR,
+        "partitioned settle speedup {speedup:.2}x is below the {FLOOR}x acceptance \
+         floor at {WORKERS} workers (sequential {sequential} ns, parallel {parallel} ns)"
+    );
+}

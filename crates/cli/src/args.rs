@@ -125,7 +125,7 @@ pub struct BenchArgs {
 impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
-            out: "BENCH_7.json".to_owned(),
+            out: "BENCH_8.json".to_owned(),
         }
     }
 }
@@ -164,6 +164,8 @@ pub struct SubmitArgs {
     pub max_cycles: u64,
     /// Disable the optimizing tape compiler.
     pub no_tape_opt: bool,
+    /// Hub-simulator settle worker threads (1 = sequential).
+    pub hub_threads: usize,
     /// First fuzz seed (inclusive).
     pub seed_start: u64,
     /// Last fuzz seed (exclusive).
@@ -190,6 +192,7 @@ impl Default for SubmitArgs {
             batch_lanes: 64,
             max_cycles: 200_000_000,
             no_tape_opt: false,
+            hub_threads: 1,
             seed_start: 0,
             seed_end: 50,
             cycles: 48,
@@ -284,6 +287,9 @@ pub struct EstimateArgs {
     pub metrics: bool,
     /// Disable the optimizing tape compiler on the hub simulator.
     pub no_tape_opt: bool,
+    /// Hub-simulator settle worker threads (1 = sequential; more selects
+    /// the partitioned parallel engine).
+    pub hub_threads: usize,
 }
 
 impl Default for EstimateArgs {
@@ -309,6 +315,7 @@ impl Default for EstimateArgs {
             trace_out: None,
             metrics: false,
             no_tape_opt: false,
+            hub_threads: 1,
         }
     }
 }
@@ -504,6 +511,14 @@ fn parse_command<'a>(
                     "--trace-out" => a.trace_out = Some(take_value(flag, &mut it)?),
                     "--metrics" => a.metrics = true,
                     "--no-tape-opt" => a.no_tape_opt = true,
+                    "--hub-threads" => {
+                        a.hub_threads = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.hub_threads == 0 || a.hub_threads > 64 {
+                            return Err(ArgError(format!("{flag}: must be in 1..=64")));
+                        }
+                    }
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -760,6 +775,14 @@ fn parse_command<'a>(
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
                     }
                     "--no-tape-opt" => a.no_tape_opt = true,
+                    "--hub-threads" => {
+                        a.hub_threads = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.hub_threads == 0 || a.hub_threads > 64 {
+                            return Err(ArgError(format!("{flag}: must be in 1..=64")));
+                        }
+                    }
                     "--seeds" => {
                         let v = take_value(flag, &mut it)?;
                         let Some((lo, hi)) = v.split_once("..") else {
@@ -880,6 +903,7 @@ USAGE:
                    [--batch-lanes K] [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
                    [--trace-out FILE] [--metrics] [--no-tape-opt]
+                   [--hub-threads T]
       Run the full flow: fast sampled simulation, gate-level replay,
       average power with a 99% confidence interval. Prepared artifacts
       (FAME hub, netlist, name map) are cached content-addressed under
@@ -896,6 +920,9 @@ USAGE:
       disables the hub simulator's optimizing tape compiler (constant
       folding, copy propagation, dead code elimination, fusion) — an
       escape hatch for isolating a suspected optimizer miscompile.
+      --hub-threads T (default 1, max 64) runs the hub simulator's
+      combinational settle on T workers via the partitioned parallel
+      engine; results are bit-identical to the sequential default.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -951,7 +978,7 @@ USAGE:
                    [--priority high|normal|low] [--detach] [--json]
                    [estimate/replay: --core NAME, --workload NAME | --asm FILE,
                     -n N, -L CYCLES, --seed S, --jobs P, --batch-lanes K,
-                    --max-cycles N, --no-tape-opt]
+                    --max-cycles N, --no-tape-opt, --hub-threads T]
                    [fuzz: --seeds A..B, --cycles N]
       Submit a job to a running server. By default the client follows
       the job, streaming progress events until the result arrives;
@@ -977,7 +1004,7 @@ USAGE:
   strober bench    report [--out FILE]
       Run the in-process micro-benchmark suite (probe overhead on/off,
       labeled-metric overhead, end-to-end flow timing on a small core)
-      and write a JSON report (default BENCH_7.json).
+      and write a JSON report (default BENCH_8.json).
 ";
 
 #[cfg(test)]
@@ -1022,6 +1049,39 @@ mod tests {
             panic!("wrong command")
         };
         assert!(a.no_tape_opt);
+    }
+
+    #[test]
+    fn hub_threads_default_and_bounds() {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.hub_threads, 1);
+
+        let Command::Estimate(a) = parse(&["estimate", "--hub-threads", "4"]).unwrap().command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.hub_threads, 4);
+
+        for bad in ["0", "65", "many"] {
+            assert!(parse(&["estimate", "--hub-threads", bad]).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn submit_parses_hub_threads() {
+        let Command::Submit(a) = parse(&["submit", "estimate", "--hub-threads", "2"])
+            .unwrap()
+            .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.hub_threads, 2);
+        assert!(parse(&["submit", "estimate", "--hub-threads", "65"])
+            .unwrap_err()
+            .0
+            .contains("1..=64"));
     }
 
     #[test]
@@ -1389,7 +1449,7 @@ mod tests {
         let Command::Bench(a) = parse(&["bench", "report"]).unwrap().command else {
             panic!("wrong command")
         };
-        assert_eq!(a.out, "BENCH_7.json");
+        assert_eq!(a.out, "BENCH_8.json");
         let Command::Bench(a) = parse(&["bench", "report", "--out", "/tmp/b.json"])
             .unwrap()
             .command

@@ -101,6 +101,7 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         ..StroberConfig::default()
     };
     session.platform.tape_opt = !a.no_tape_opt;
+    session.platform.hub_threads = a.hub_threads;
     let mut manifest = RunManifest::new(
         config.name.clone(),
         a.asm.clone().unwrap_or_else(|| a.workload.clone()),
@@ -740,6 +741,39 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
     );
     let sim_cycles_per_sec = outcome.cycles as f64 / outcome.wall_seconds;
 
+    // Hub settle throughput at 1/2/4/8 workers on the FAME1-transformed
+    // hub — the BENCH_8 trajectory behind the partitioned engine. Each
+    // entry records the engine variant so entries stay comparable across
+    // report versions.
+    const SWEEP_CYCLES: u64 = 4096;
+    let fame = strober_fame::transform(&design, &strober_fame::FameConfig::default())
+        .map_err(|e| format!("fame transform failed: {e}"))?;
+    let mut sweep = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let mut hub = strober_sim::Simulator::new(&fame.hub)
+            .map_err(|e| format!("hub lowering failed: {e}"))?;
+        hub.set_threads(threads);
+        let fire = hub
+            .resolve_port(&fame.meta.control.fire)
+            .map_err(|e| format!("hub fire port: {e}"))?;
+        hub.poke(fire, 1);
+        hub.step_n(SWEEP_CYCLES); // warm: spawn pool, page in code
+        let mut ns = u128::MAX;
+        for _ in 0..TRIALS {
+            let t0 = Instant::now();
+            hub.step_n(SWEEP_CYCLES);
+            black_box(hub.cycle());
+            ns = ns.min(t0.elapsed().as_nanos());
+        }
+        let rate = SWEEP_CYCLES as f64 / (ns as f64 / 1e9);
+        let engine = if threads > 1 {
+            "tape-partitioned"
+        } else {
+            "tape"
+        };
+        sweep.push((threads, engine, rate));
+    }
+
     let mut report = serde_json::Map::new();
     report.insert("bench".to_owned(), serde_json::json!("telemetry_overhead"));
     report.insert("iters".to_owned(), serde_json::json!(ITERS));
@@ -779,6 +813,25 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
         "sim_cycles_per_sec".to_owned(),
         serde_json::json!(sim_cycles_per_sec),
     );
+    // The engine variant and thread count behind `sim_cycles_per_sec`,
+    // so BENCH_*.json entries are comparable across PRs.
+    report.insert("sim_engine".to_owned(), serde_json::json!("tape"));
+    report.insert("sim_hub_threads".to_owned(), serde_json::json!(1));
+    report.insert(
+        "hub_threads_sweep".to_owned(),
+        serde_json::Value::Array(
+            sweep
+                .iter()
+                .map(|&(threads, engine, rate)| {
+                    serde_json::json!({
+                        "engine": engine,
+                        "hub_threads": threads,
+                        "sim_cycles_per_sec": rate,
+                    })
+                })
+                .collect(),
+        ),
+    );
     let text = serde_json::to_string_pretty(&serde_json::Value::Object(report))
         .map_err(|e| format!("cannot serialize report: {e}"))?;
     std::fs::write(&a.out, text + "\n").map_err(|e| format!("cannot write `{}`: {e}", a.out))?;
@@ -794,6 +847,13 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
         outcome.wall_seconds,
         strober_bench::fmt_u64(sim_cycles_per_sec as u64)
     );
+    println!("hub settle sweep (rok-tiny fame1 hub, best of {TRIALS}):");
+    for &(threads, engine, rate) in &sweep {
+        println!(
+            "  {threads} thread(s) [{engine}]: {} cycles/s",
+            strober_bench::fmt_u64(rate as u64),
+        );
+    }
     println!("report written to {}", a.out);
     Ok(())
 }
@@ -831,6 +891,7 @@ fn submit_spec(a: &SubmitArgs) -> Result<JobSpec, String> {
             parallel: a.parallel,
             batch_lanes: a.batch_lanes,
             tape_opt: !a.no_tape_opt,
+            hub_threads: a.hub_threads,
         })
     };
     match a.kind.as_str() {

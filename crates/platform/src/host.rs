@@ -132,6 +132,11 @@ pub struct PlatformConfig {
     /// Whether the hub simulator runs the optimizing tape compiler
     /// (default `true`); the CLI `--no-tape-opt` escape hatch clears it.
     pub tape_opt: bool,
+    /// Worker threads for the hub simulator's combinational settle
+    /// (default 1 = sequential). Values above 1 select the partitioned
+    /// parallel engine (DESIGN.md §14); results are bit-identical either
+    /// way. The CLI `--hub-threads` flag sets this.
+    pub hub_threads: usize,
 }
 
 impl Default for PlatformConfig {
@@ -142,6 +147,7 @@ impl Default for PlatformConfig {
             sync_penalty_cycles: 3020,
             record_fixed_seconds: 1.3,
             tape_opt: true,
+            hub_threads: 1,
         }
     }
 }
@@ -258,6 +264,9 @@ impl ZynqHost {
             .iter()
             .map(|p| (p.name().to_owned(), p.id()))
             .collect();
+        // Single choke point for the engine selection: both the flow's
+        // cached-simulator path and `ZynqHost::new` funnel through here.
+        sim.set_threads(cfg.hub_threads.max(1));
         ctl.set_fire(&mut sim, true)?;
         Ok(ZynqHost {
             sim,

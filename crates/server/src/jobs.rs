@@ -67,6 +67,9 @@ pub(crate) fn validate(spec: &JobSpec) -> Result<(), WireError> {
             if e.batch_lanes == 0 || e.batch_lanes > 64 {
                 return bad("batch_lanes: must be in 1..=64".to_owned());
             }
+            if e.hub_threads == 0 || e.hub_threads > 64 {
+                return bad("hub_threads: must be in 1..=64".to_owned());
+            }
             if e.max_cycles == 0 {
                 return bad("max_cycles: must be at least 1".to_owned());
             }
@@ -205,6 +208,7 @@ fn run_estimate(
         ..StroberConfig::default()
     };
     session.platform.tape_opt = spec.tape_opt;
+    session.platform.hub_threads = spec.hub_threads.max(1);
 
     let workload_desc = if spec.asm.is_some() {
         "inline-asm".to_owned()

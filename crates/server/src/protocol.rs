@@ -17,7 +17,10 @@ use strober_store::RunManifest;
 ///
 /// Revision 2 added the telemetry surface: [`Request::Watch`],
 /// [`Request::Scrape`], and the [`ServerMsg::Watch`] frame.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Revision 3 added [`EstimateSpec::hub_threads`] (the partitioned
+/// multi-threaded hub engine); every field is always present on the
+/// wire, so older clients cannot interoperate and the revision bumps.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Scheduling class of a job. Higher classes are always dequeued before
 /// lower ones; within a class jobs run in submission order.
@@ -105,6 +108,9 @@ pub struct EstimateSpec {
     pub batch_lanes: usize,
     /// Run the hub simulator's optimizing tape compiler.
     pub tape_opt: bool,
+    /// Hub-simulator settle worker threads (1 = sequential; 2..=64
+    /// selects the partitioned parallel engine, bit-identical results).
+    pub hub_threads: usize,
 }
 
 impl Default for EstimateSpec {
@@ -120,6 +126,7 @@ impl Default for EstimateSpec {
             parallel: 0,
             batch_lanes: 64,
             tape_opt: true,
+            hub_threads: 1,
         }
     }
 }

@@ -81,6 +81,7 @@ fn every_request_variant_round_trips() {
                 parallel: 3,
                 batch_lanes: 8,
                 tape_opt: false,
+                hub_threads: 4,
                 ..EstimateSpec::default()
             }),
             priority: Priority::Low,

@@ -4,6 +4,13 @@
 //! and as the "unoptimised software simulator" baseline in the ablation
 //! benchmarks (DESIGN.md §4). It re-walks the expression tree of every
 //! register input, memory port and output each cycle, memoising per cycle.
+//!
+//! This is the slowest rung of the engine ladder and the trust anchor for
+//! the faster ones: the optimized tape (DESIGN.md §11) and the partitioned
+//! multi-threaded settle ([`crate::partition`], selected via
+//! [`crate::Simulator::set_threads`]) are both held bit-identical to this
+//! interpreter by the golden equivalence suites and by the fuzz oracle
+//! matrix, which uses it as the reference lane for every other engine.
 
 use crate::error::SimError;
 use crate::state::SimState;

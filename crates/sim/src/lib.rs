@@ -13,14 +13,20 @@
 //! design, which is precisely the speed differential the sample-based
 //! methodology exploits.
 //!
-//! Two engines are provided:
+//! Three engines are provided:
 //!
 //! * [`Simulator`] — the compiled-tape engine used everywhere.
+//! * [`Simulator::set_threads`] with `threads > 1` switches the same
+//!   simulator to the partitioned multi-threaded settle engine: the tape
+//!   is cut into balanced partitions (with a min-cut refinement pass on
+//!   cross-partition edges) and executed on a persistent worker pool with
+//!   phase barriers, bit-identical to the sequential walk. See
+//!   [`PartitionStats`] and DESIGN.md §14.
 //! * [`NaiveInterpreter`] — a deliberately simple tree-walking reference
 //!   engine, used for differential testing and as the slow baseline in the
 //!   ablation benchmarks.
 //!
-//! Both engines implement identical semantics: combinational settle, then
+//! All engines implement identical semantics: combinational settle, then
 //! clock edge (registers capture, memory writes commit).
 //!
 //! The gate-level side of the flow mirrors this architecture one layer
@@ -60,6 +66,7 @@
 mod error;
 mod interp;
 mod opt;
+mod partition;
 pub mod rand_design;
 mod state;
 mod tape;
@@ -68,6 +75,7 @@ mod vcd;
 pub use error::SimError;
 pub use interp::NaiveInterpreter;
 pub use opt::{PassStats, TapeOptions};
+pub use partition::PartitionStats;
 pub use state::SimState;
 // The id types the peek/poke/resolve APIs traffic in, re-exported so
 // callers holding pre-resolved handles need not depend on `strober-rtl`.

@@ -23,6 +23,15 @@
 //! tape bit-for-bit; `Simulator::peek` falls back to a tree-walking
 //! evaluator for nodes whose slot was optimized away. See DESIGN.md §11
 //! for the per-pass invariants.
+//!
+//! Beyond the dense `values` layout, slot renumbering leaves the emitted
+//! tape in *single-assignment* form: constants are materialized before
+//! the first op runs and every surviving op writes exactly one slot no
+//! other op writes. The [`crate::partition`] engine
+//! ([`crate::Simulator::set_threads`]) depends on that shape — it lets
+//! disjoint tape chunks execute from different worker threads with no
+//! write conflicts, so the only synchronization the parallel settle needs
+//! is a barrier per dependency *phase*, not per op.
 
 use crate::tape::{RegPlan, TapeOp, WritePlan, DEAD};
 use std::collections::HashMap;

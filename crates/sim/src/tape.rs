@@ -1,7 +1,30 @@
 //! The compiled-tape simulator.
+//!
+//! # Tape IR
+//!
+//! Construction lowers the design's combinational graph into a flat,
+//! topologically ordered array of [`TapeOp`]s over dense *value slots*.
+//! The optimizer ([`crate::opt`]) emits every design constant into a
+//! leading block of slots and then exactly one fresh slot per surviving
+//! op, so each op writes a unique `dst` and reads only slots produced
+//! earlier in the tape (or constants). That single-assignment shape is
+//! what the multi-threaded engine in [`crate::partition`] relies on: ops
+//! can be reordered across workers as long as producer-before-consumer
+//! order is preserved, because no two ops ever race on a slot.
+//!
+//! # Execution
+//!
+//! Each [`Simulator::step`] settles the combinational tape, captures
+//! register next-values, commits memory writes and advances the clock.
+//! `settle` runs sequentially by default; after
+//! [`Simulator::set_threads`] with `threads > 1` it dispatches to the
+//! partitioned parallel engine instead, which is bit-identical by
+//! construction (the sequential state-update epilogue in `step` is
+//! shared by both paths).
 
 use crate::error::SimError;
 use crate::opt::{PassStats, TapeOptions};
+use crate::partition::{self, PartitionStats};
 use crate::state::SimState;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -159,7 +182,7 @@ pub(crate) struct WritePlan {
 /// [crate documentation](crate) for an example.
 ///
 /// [`step`]: Simulator::step
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Simulator {
     design: Arc<Design>,
     tape: Vec<TapeOp>,
@@ -176,6 +199,35 @@ pub struct Simulator {
     stats: PassStats,
     output_index: HashMap<String, NodeId>,
     port_index: HashMap<String, (u32, Width)>,
+    /// Worker count for `settle`; 1 = sequential (the default).
+    threads: usize,
+    /// Lazily built partitioned engine, present only while `threads > 1`.
+    /// Never cloned: each clone rebuilds its own worker pool on first use.
+    engine: Option<Box<partition::Engine>>,
+}
+
+impl Clone for Simulator {
+    fn clone(&self) -> Self {
+        Simulator {
+            design: self.design.clone(),
+            tape: self.tape.clone(),
+            reg_plans: self.reg_plans.clone(),
+            write_plans: self.write_plans.clone(),
+            values: self.values.clone(),
+            node_slot: self.node_slot.clone(),
+            regs: self.regs.clone(),
+            reg_next: self.reg_next.clone(),
+            mems: self.mems.clone(),
+            inputs: self.inputs.clone(),
+            cycle: self.cycle,
+            dirty: self.dirty,
+            stats: self.stats,
+            output_index: self.output_index.clone(),
+            port_index: self.port_index.clone(),
+            threads: self.threads,
+            engine: None,
+        }
+    }
 }
 
 impl Simulator {
@@ -254,7 +306,52 @@ impl Simulator {
             stats: plan.stats,
             output_index,
             port_index,
+            threads: 1,
+            engine: None,
         })
+    }
+
+    /// Selects the settle engine: `1` (the default) keeps the sequential
+    /// tape walk, anything larger dispatches combinational evaluation to
+    /// the partitioned parallel engine (`partition` module, DESIGN.md
+    /// §14) with that many workers. Values are clamped to at least 1.
+    /// Changing the count drops any existing worker pool; the new one is
+    /// built lazily on the next settle.
+    ///
+    /// Register capture and memory commit stay sequential on the calling
+    /// thread either way, so results are bit-identical across settings.
+    pub fn set_threads(&mut self, threads: usize) {
+        let threads = threads.max(1);
+        if threads != self.threads {
+            self.threads = threads;
+            self.engine = None;
+        }
+    }
+
+    /// The configured settle worker count (1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The partition plan shape of the parallel engine, or `None` while
+    /// running sequentially. Builds the engine if it has not run yet.
+    pub fn partition_stats(&mut self) -> Option<PartitionStats> {
+        if self.threads <= 1 {
+            return None;
+        }
+        self.ensure_engine();
+        self.engine.as_ref().map(|e| e.stats())
+    }
+
+    /// Builds the worker pool for the current tape if it is not yet built.
+    fn ensure_engine(&mut self) {
+        if self.engine.is_none() {
+            self.engine = Some(Box::new(partition::Engine::new(
+                &self.tape,
+                self.values.len(),
+                self.threads,
+            )));
+        }
     }
 
     /// What the optimizer did to this simulator's tape. All-zero pass
@@ -350,6 +447,13 @@ impl Simulator {
     /// Evaluates the combinational tape with the current inputs and state.
     fn settle(&mut self) {
         if !self.dirty {
+            return;
+        }
+        if self.threads > 1 && !self.tape.is_empty() {
+            self.ensure_engine();
+            let engine = self.engine.as_ref().expect("just built");
+            engine.settle(&mut self.values, &self.inputs, &self.regs, &self.mems);
+            self.dirty = false;
             return;
         }
         for op in &self.tape {
@@ -852,6 +956,52 @@ mod tests {
         let mut sim = Simulator::new(&design).unwrap();
         sim.step_n(2);
         assert_eq!(sim.peek_output("o").unwrap(), 7);
+    }
+
+    #[test]
+    fn threaded_counter_matches_sequential() {
+        let mut seq = Simulator::new(&counter()).unwrap();
+        let mut par = Simulator::new(&counter()).unwrap();
+        par.set_threads(3);
+        assert_eq!(par.threads(), 3);
+        for sim in [&mut seq, &mut par] {
+            sim.poke_by_name("en", 1).unwrap();
+            sim.step_n(37);
+        }
+        assert_eq!(
+            seq.peek_output("value").unwrap(),
+            par.peek_output("value").unwrap()
+        );
+        assert!(par.partition_stats().is_some());
+        assert!(seq.partition_stats().is_none());
+    }
+
+    #[test]
+    fn clone_with_threads_rebuilds_its_own_pool() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.set_threads(2);
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(5);
+        let mut twin = sim.clone();
+        assert_eq!(twin.threads(), 2);
+        sim.step_n(5);
+        twin.step_n(5);
+        assert_eq!(
+            sim.peek_output("value").unwrap(),
+            twin.peek_output("value").unwrap()
+        );
+    }
+
+    #[test]
+    fn set_threads_back_to_one_restores_sequential() {
+        let mut sim = Simulator::new(&counter()).unwrap();
+        sim.set_threads(4);
+        sim.poke_by_name("en", 1).unwrap();
+        sim.step_n(3);
+        sim.set_threads(1);
+        sim.step_n(3);
+        assert_eq!(sim.peek_output("value").unwrap(), 6);
+        assert!(sim.partition_stats().is_none());
     }
 
     #[test]

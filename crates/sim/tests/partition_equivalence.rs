@@ -1,0 +1,222 @@
+//! Golden equivalence tests for the partitioned multi-threaded engine.
+//!
+//! The parallel settle must be invisible: a simulator running its
+//! combinational tape on any worker count must be cycle-for-cycle,
+//! bit-for-bit identical to the naive tree-walking reference — per-cycle
+//! outputs and final architectural state. The sweep covers random
+//! designs at 1/2/4/7 workers (1 exercises the sequential fast path the
+//! `--hub-threads` default takes), plus the degenerate tape shapes the
+//! planner special-cases.
+
+use strober_rtl::{BinOp, Design, Width};
+use strober_sim::rand_design::{rand_design, RandDesignConfig};
+use strober_sim::{NaiveInterpreter, Simulator, TapeOptions};
+
+const SEEDS: u64 = 30;
+const CYCLES: u64 = 32;
+const WORKERS: [usize; 4] = [1, 2, 4, 7];
+
+/// Deterministic per-(port, cycle) stimulus (splitmix64 finalizer).
+fn stim(seed: u64, port: usize, cycle: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add((port as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(cycle.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs `design` for [`CYCLES`] at every worker count (on both the
+/// optimized and the identity-lowered tape) and asserts every output
+/// every cycle, and the final state, matches the naive reference.
+fn assert_equivalent(design: &Design, seed: u64) {
+    let ports: Vec<(String, u64)> = design
+        .ports()
+        .iter()
+        .map(|p| (p.name().to_owned(), p.width().mask()))
+        .collect();
+    let outputs: Vec<String> = design.outputs().iter().map(|(n, _)| n.clone()).collect();
+
+    let mut naive = NaiveInterpreter::new(design).expect("valid design");
+    let mut trace: Vec<Vec<u64>> = Vec::new();
+    for cycle in 0..CYCLES {
+        for (i, (name, mask)) in ports.iter().enumerate() {
+            naive
+                .poke_by_name(name, stim(seed, i, cycle) & mask)
+                .expect("port");
+        }
+        trace.push(
+            outputs
+                .iter()
+                .map(|o| naive.peek_output(o).expect("output"))
+                .collect(),
+        );
+        naive.step();
+    }
+    let golden_state = naive.state();
+
+    for (label, options) in [
+        ("opt", TapeOptions::all()),
+        ("identity", TapeOptions::none()),
+    ] {
+        for workers in WORKERS {
+            let mut sim = Simulator::with_options(design, &options).expect("valid design");
+            sim.set_threads(workers);
+            for cycle in 0..CYCLES {
+                for (i, (name, mask)) in ports.iter().enumerate() {
+                    sim.poke_by_name(name, stim(seed, i, cycle) & mask)
+                        .expect("port");
+                }
+                for (oi, o) in outputs.iter().enumerate() {
+                    let got = sim.peek_output(o).expect("output");
+                    let expected = trace[cycle as usize][oi];
+                    assert_eq!(
+                        got, expected,
+                        "seed {seed}, tape `{label}`, {workers} workers: \
+                         output `{o}` diverged at cycle {cycle}"
+                    );
+                }
+                sim.step();
+            }
+            assert_eq!(
+                sim.state(),
+                golden_state,
+                "seed {seed}, tape `{label}`, {workers} workers: \
+                 final architectural state diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioned_engine_is_transparent_on_random_designs() {
+    let cfg = RandDesignConfig::default();
+    for seed in 0..SEEDS {
+        assert_equivalent(&rand_design(seed, &cfg), seed);
+    }
+}
+
+#[test]
+fn partitioned_engine_is_transparent_without_memories() {
+    let cfg = RandDesignConfig {
+        with_memory: false,
+        regs: 3,
+        ops: 40,
+        ..RandDesignConfig::default()
+    };
+    for seed in 0..SEEDS {
+        assert_equivalent(&rand_design(2000 + seed, &cfg), 2000 + seed);
+    }
+}
+
+fn w(bits: u32) -> Width {
+    Width::new(bits).expect("static width")
+}
+
+#[test]
+fn empty_tape_runs_without_workers() {
+    // A fully constant design folds to zero tape ops; the engine must
+    // not spin up a pool (stats report zero phases) and peeks still see
+    // the folded value.
+    let mut d = Design::new("const");
+    let a = d.constant(5, w(8));
+    let b = d.constant(3, w(8));
+    let sum = d.binary(BinOp::Add, a, b).expect("widths");
+    d.output("out", sum).expect("fresh");
+    let mut sim = Simulator::new(&d).expect("valid");
+    sim.set_threads(4);
+    sim.step_n(3);
+    assert_eq!(sim.peek_output("out").expect("out"), 8);
+    assert_eq!(sim.pass_stats().ops_final, 0);
+}
+
+#[test]
+fn single_level_tape_settles_in_one_phase() {
+    // Independent per-input inverters: each Input/Not pair is its own
+    // connected component, so affinity keeps pairs together and the
+    // whole tape settles in one barrier phase with zero cut edges
+    // regardless of the worker count. (A truly single-level graph —
+    // every op at ASAP level 0 — is covered by the planner unit tests.)
+    let mut d = Design::new("flat");
+    for i in 0..12 {
+        let x = d.input(format!("x{i}"), w(8)).expect("fresh");
+        let n = d.unary(strober_rtl::UnOp::Not, x);
+        d.output(format!("o{i}"), n).expect("fresh");
+    }
+    let mut sim = Simulator::new(&d).expect("valid");
+    sim.set_threads(4);
+    for i in 0..12 {
+        sim.poke_by_name(&format!("x{i}"), i).expect("port");
+    }
+    for i in 0..12u64 {
+        assert_eq!(sim.peek_output(&format!("o{i}")).expect("out"), !i & 0xFF);
+    }
+    let stats = sim.partition_stats().expect("parallel engine");
+    assert_eq!(stats.levels, 2, "input load + inverter: {stats:?}");
+    assert_eq!(stats.phases, 1, "stats: {stats:?}");
+    assert_eq!(stats.cut_edges, 0, "stats: {stats:?}");
+}
+
+#[test]
+fn single_worker_request_reports_no_partition_plan() {
+    let design = rand_design(5, &RandDesignConfig::default());
+    let mut sim = Simulator::new(&design).expect("valid");
+    sim.set_threads(1);
+    assert!(sim.partition_stats().is_none());
+    // Clamped-to-one requests behave the same.
+    sim.set_threads(0);
+    assert_eq!(sim.threads(), 1);
+    assert!(sim.partition_stats().is_none());
+}
+
+#[test]
+fn partition_stats_cover_every_op() {
+    let design = rand_design(9, &RandDesignConfig::default());
+    for workers in [2usize, 4, 7] {
+        let mut sim = Simulator::new(&design).expect("valid");
+        let ops_final = sim.pass_stats().ops_final;
+        sim.set_threads(workers);
+        let stats = sim.partition_stats().expect("parallel engine");
+        assert_eq!(stats.workers, workers);
+        assert_eq!(stats.ops, ops_final, "stats: {stats:?}");
+        assert!(stats.phases >= 1, "stats: {stats:?}");
+        assert!(
+            stats.cut_edges <= stats.cut_edges_initial,
+            "refinement must not grow the cut: {stats:?}"
+        );
+        assert!(stats.max_partition_ops >= stats.min_partition_ops);
+    }
+}
+
+#[test]
+fn threaded_simulators_clone_mid_run() {
+    // Snapshot replay clones simulators mid-flight; the clone must
+    // rebuild its own worker pool and stay bit-identical.
+    let design = rand_design(11, &RandDesignConfig::default());
+    let ports: Vec<(String, u64)> = design
+        .ports()
+        .iter()
+        .map(|p| (p.name().to_owned(), p.width().mask()))
+        .collect();
+    let mut sim = Simulator::new(&design).expect("valid");
+    sim.set_threads(4);
+    for cycle in 0..10 {
+        for (i, (name, mask)) in ports.iter().enumerate() {
+            sim.poke_by_name(name, stim(3, i, cycle) & mask)
+                .expect("port");
+        }
+        sim.step();
+    }
+    let mut fork = sim.clone();
+    for cycle in 10..20 {
+        for (i, (name, mask)) in ports.iter().enumerate() {
+            sim.poke_by_name(name, stim(3, i, cycle) & mask)
+                .expect("port");
+            fork.poke_by_name(name, stim(3, i, cycle) & mask)
+                .expect("port");
+        }
+        sim.step();
+        fork.step();
+    }
+    assert_eq!(sim.state(), fork.state());
+}

@@ -32,6 +32,7 @@ fn spec() -> EstimateSpec {
         parallel: 2,
         batch_lanes: 8,
         tape_opt: true,
+        hub_threads: 1,
     }
 }
 
