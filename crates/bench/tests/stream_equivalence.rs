@@ -1,0 +1,90 @@
+//! Golden equivalence of the streaming capture→replay pipeline on real
+//! processor cores.
+//!
+//! The flow-level unit tests cover small synthetic designs; this one
+//! drives the bundled cores the CLI actually estimates — Rok and Boum —
+//! and checks that `replay_streaming` with stopping disabled is
+//! bit-identical to the sequential `run_sampled` + `replay_all_batched`
+//! path at several worker/lane shapes. Identity must hold for the
+//! sampled run itself (reservoir draws, scanned snapshots, traced
+//! windows) *and* for every per-snapshot replay result, because the
+//! streaming pipeline re-batches snapshots opportunistically and evicted
+//! reservoir slots are replayed more than once.
+
+use strober::{RunControl, StroberConfig, StroberFlow};
+use strober_cores::{build_core, CoreConfig};
+use strober_platform::{HostModel, OutputView};
+use strober_rtl::Design;
+
+struct NoIo;
+impl HostModel for NoIo {
+    fn tick(&mut self, _c: u64, _io: &mut OutputView<'_>) {}
+}
+
+const MAX_CYCLES: u64 = 20_000;
+
+/// Worker/lane shapes exercised for each core: degenerate (1 worker, 1
+/// lane — pure pipelining, no batching), the CLI default-ish shape, and
+/// an oversubscribed one where workers outnumber in-flight snapshots.
+const SHAPES: [(usize, usize); 3] = [(1, 1), (2, 2), (4, 8)];
+
+fn assert_stream_equivalent(label: &str, design: &Design) {
+    let config = StroberConfig {
+        sample_size: 4,
+        replay_length: 16,
+        warmup: 0,
+        ..StroberConfig::default()
+    };
+    let flow = StroberFlow::new(design, config).expect("prepare");
+
+    let golden = flow
+        .run_sampled(&mut NoIo, MAX_CYCLES)
+        .expect("sampled run");
+    let golden_results = flow
+        .replay_all_batched(&golden.snapshots, 2, 2)
+        .expect("replay");
+
+    for (parallelism, lanes) in SHAPES {
+        let (run, results) = flow
+            .replay_streaming(
+                &mut NoIo,
+                MAX_CYCLES,
+                parallelism,
+                lanes,
+                None,
+                &RunControl::default(),
+            )
+            .expect("streaming run");
+        assert_eq!(
+            run.snapshots, golden.snapshots,
+            "{label}, {parallelism}x{lanes}: streaming changed the reservoir"
+        );
+        assert_eq!(
+            (run.windows, run.records, run.target_cycles),
+            (golden.windows, golden.records, golden.target_cycles),
+            "{label}, {parallelism}x{lanes}: streaming changed the sampled run"
+        );
+        assert_eq!(
+            results, golden_results,
+            "{label}, {parallelism}x{lanes}: streaming changed a replay result"
+        );
+        // Same inputs, same estimator: the final number is bit-identical.
+        let a = flow.estimate(&golden, &golden_results).expect("estimate");
+        let b = flow.estimate(&run, &results).expect("estimate");
+        assert_eq!(
+            a.mean_power_mw().to_bits(),
+            b.mean_power_mw().to_bits(),
+            "{label}, {parallelism}x{lanes}: estimate diverged"
+        );
+    }
+}
+
+#[test]
+fn streaming_is_transparent_on_the_rok_core() {
+    assert_stream_equivalent("rok_tiny", &build_core(&CoreConfig::rok_tiny()));
+}
+
+#[test]
+fn streaming_is_transparent_on_the_boum_core() {
+    assert_stream_equivalent("boum_tiny", &build_core(&CoreConfig::boum_tiny(1)));
+}

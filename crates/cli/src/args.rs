@@ -125,7 +125,7 @@ pub struct BenchArgs {
 impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
-            out: "BENCH_8.json".to_owned(),
+            out: "BENCH_9.json".to_owned(),
         }
     }
 }
@@ -166,6 +166,10 @@ pub struct SubmitArgs {
     pub no_tape_opt: bool,
     /// Hub-simulator settle worker threads (1 = sequential).
     pub hub_threads: usize,
+    /// Target relative error ε for adaptive stopping (0 = disabled).
+    pub target_error: f64,
+    /// Minimum replayed samples before the stopping rule may fire.
+    pub min_samples: usize,
     /// First fuzz seed (inclusive).
     pub seed_start: u64,
     /// Last fuzz seed (exclusive).
@@ -193,6 +197,8 @@ impl Default for SubmitArgs {
             max_cycles: 200_000_000,
             no_tape_opt: false,
             hub_threads: 1,
+            target_error: 0.0,
+            min_samples: 30,
             seed_start: 0,
             seed_end: 50,
             cycles: 48,
@@ -290,6 +296,14 @@ pub struct EstimateArgs {
     /// Hub-simulator settle worker threads (1 = sequential; more selects
     /// the partitioned parallel engine).
     pub hub_threads: usize,
+    /// Target relative error ε for confidence-driven adaptive stopping
+    /// (0 = disabled). Implies the streaming capture→replay pipeline.
+    pub target_error: f64,
+    /// Minimum replayed samples before the stopping rule may fire.
+    pub min_samples: usize,
+    /// Use the streaming capture→replay pipeline even without a stopping
+    /// rule (replay overlaps capture; results stay bit-identical).
+    pub stream: bool,
 }
 
 impl Default for EstimateArgs {
@@ -316,6 +330,9 @@ impl Default for EstimateArgs {
             metrics: false,
             no_tape_opt: false,
             hub_threads: 1,
+            target_error: 0.0,
+            min_samples: 30,
+            stream: false,
         }
     }
 }
@@ -519,6 +536,23 @@ fn parse_command<'a>(
                             return Err(ArgError(format!("{flag}: must be in 1..=64")));
                         }
                     }
+                    "--target-error" => {
+                        a.target_error = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if !(a.target_error > 0.0 && a.target_error < 1.0) {
+                            return Err(ArgError(format!("{flag}: must be in (0, 1)")));
+                        }
+                    }
+                    "--min-samples" => {
+                        a.min_samples = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.min_samples < 2 {
+                            return Err(ArgError(format!("{flag}: must be at least 2")));
+                        }
+                    }
+                    "--stream" => a.stream = true,
                     other => return Err(ArgError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -783,6 +817,22 @@ fn parse_command<'a>(
                             return Err(ArgError(format!("{flag}: must be in 1..=64")));
                         }
                     }
+                    "--target-error" => {
+                        a.target_error = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if !(a.target_error > 0.0 && a.target_error < 1.0) {
+                            return Err(ArgError(format!("{flag}: must be in (0, 1)")));
+                        }
+                    }
+                    "--min-samples" => {
+                        a.min_samples = take_value(flag, &mut it)?
+                            .parse()
+                            .map_err(|_| ArgError(format!("{flag}: not a number")))?;
+                        if a.min_samples < 2 {
+                            return Err(ArgError(format!("{flag}: must be at least 2")));
+                        }
+                    }
                     "--seeds" => {
                         let v = take_value(flag, &mut it)?;
                         let Some((lo, hi)) = v.split_once("..") else {
@@ -903,7 +953,8 @@ USAGE:
                    [--batch-lanes K] [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
                    [--trace-out FILE] [--metrics] [--no-tape-opt]
-                   [--hub-threads T]
+                   [--hub-threads T] [--target-error E] [--min-samples M]
+                   [--stream]
       Run the full flow: fast sampled simulation, gate-level replay,
       average power with a 99% confidence interval. Prepared artifacts
       (FAME hub, netlist, name map) are cached content-addressed under
@@ -923,6 +974,15 @@ USAGE:
       --hub-threads T (default 1, max 64) runs the hub simulator's
       combinational settle on T workers via the partitioned parallel
       engine; results are bit-identical to the sequential default.
+      --stream pipelines capture and replay: snapshots flow through a
+      bounded queue to persistent replay workers while simulation
+      continues, with bit-identical results. --target-error E (in
+      (0, 1)) additionally enables confidence-driven adaptive stopping
+      on that pipeline: the run stops capturing as soon as the
+      confidence interval's relative error bound reaches E, after at
+      least --min-samples M (default 30) replayed samples — fewer
+      simulated cycles and fewer replays when the workload's power
+      converges early.
 
   strober run      [--core NAME] [--workload NAME | --asm FILE] [--max-cycles N]
       Fast performance-only simulation (cycles, CPI, exit code).
@@ -978,7 +1038,8 @@ USAGE:
                    [--priority high|normal|low] [--detach] [--json]
                    [estimate/replay: --core NAME, --workload NAME | --asm FILE,
                     -n N, -L CYCLES, --seed S, --jobs P, --batch-lanes K,
-                    --max-cycles N, --no-tape-opt, --hub-threads T]
+                    --max-cycles N, --no-tape-opt, --hub-threads T,
+                    --target-error E, --min-samples M]
                    [fuzz: --seeds A..B, --cycles N]
       Submit a job to a running server. By default the client follows
       the job, streaming progress events until the result arrives;
@@ -1003,8 +1064,9 @@ USAGE:
 
   strober bench    report [--out FILE]
       Run the in-process micro-benchmark suite (probe overhead on/off,
-      labeled-metric overhead, end-to-end flow timing on a small core)
-      and write a JSON report (default BENCH_8.json).
+      labeled-metric overhead, end-to-end flow timing on a small core,
+      sequential vs streaming vs adaptive pipeline modes with achieved
+      relative error) and write a JSON report (default BENCH_9.json).
 ";
 
 #[cfg(test)]
@@ -1067,6 +1129,67 @@ mod tests {
         for bad in ["0", "65", "many"] {
             assert!(parse(&["estimate", "--hub-threads", bad]).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn target_error_flags_default_and_bounds() {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.target_error, 0.0);
+        assert_eq!(a.min_samples, 30);
+        assert!(!a.stream);
+
+        let Command::Estimate(a) = parse(&[
+            "estimate",
+            "--target-error",
+            "0.05",
+            "--min-samples",
+            "10",
+            "--stream",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.target_error, 0.05);
+        assert_eq!(a.min_samples, 10);
+        assert!(a.stream);
+
+        for bad in ["0", "1", "1.5", "-0.1", "lots"] {
+            assert!(
+                parse(&["estimate", "--target-error", bad]).is_err(),
+                "{bad}"
+            );
+        }
+        assert!(parse(&["estimate", "--min-samples", "1"])
+            .unwrap_err()
+            .0
+            .contains("at least 2"));
+    }
+
+    #[test]
+    fn submit_parses_target_error() {
+        let Command::Submit(a) = parse(&[
+            "submit",
+            "estimate",
+            "--target-error",
+            "0.1",
+            "--min-samples",
+            "5",
+        ])
+        .unwrap()
+        .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.target_error, 0.1);
+        assert_eq!(a.min_samples, 5);
+        assert!(parse(&["submit", "estimate", "--target-error", "2"])
+            .unwrap_err()
+            .0
+            .contains("(0, 1)"));
     }
 
     #[test]
@@ -1449,7 +1572,7 @@ mod tests {
         let Command::Bench(a) = parse(&["bench", "report"]).unwrap().command else {
             panic!("wrong command")
         };
-        assert_eq!(a.out, "BENCH_8.json");
+        assert_eq!(a.out, "BENCH_9.json");
         let Command::Bench(a) = parse(&["bench", "report", "--out", "/tmp/b.json"])
             .unwrap()
             .command

@@ -8,7 +8,7 @@ use args::{
     ExportArgs, FuzzArgs, JobsArgs, ProbeArgs, RunArgs, ServeArgs, SubmitArgs, TopArgs, HELP,
 };
 use std::process::ExitCode;
-use strober::{StroberConfig, StroberFlow};
+use strober::{RunControl, StoppingRule, StroberConfig, StroberFlow};
 use strober_cores::build_core;
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_isa::programs;
@@ -17,7 +17,7 @@ use strober_server::protocol::{
     EstimateSpec, Event, FuzzSpec, JobResult, JobSpec, Priority, Request, Response,
 };
 use strober_server::{Client, Server, ServerConfig};
-use strober_store::{RunManifest, Store};
+use strober_store::{RunManifest, SamplingOutcome, Store};
 
 /// Resolves a workload reference the way the CLI spells it: `--asm` is a
 /// *path* read from disk, then assembled via the same catalog the server
@@ -102,6 +102,8 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     };
     session.platform.tape_opt = !a.no_tape_opt;
     session.platform.hub_threads = a.hub_threads;
+    session.platform.target_error = a.target_error;
+    session.platform.min_samples = a.min_samples;
     let mut manifest = RunManifest::new(
         config.name.clone(),
         a.asm.clone().unwrap_or_else(|| a.workload.clone()),
@@ -132,28 +134,68 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         strober_probe::info!("      (prepared artifacts served from the store)");
     }
 
-    strober_probe::info!("[2/4] fast simulation with reservoir sampling ...");
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
     dram.load(&image, 0);
-    let run = flow
-        .run_sampled(&mut dram, a.max_cycles)
-        .map_err(|e| format!("sampled run failed: {e}"))?;
-    if dram.exit_code().is_none() {
-        return Err(format!(
-            "workload did not halt within {} cycles",
-            a.max_cycles
-        ));
-    }
+    let (run, results) = if a.stream || a.target_error > 0.0 {
+        strober_probe::info!(
+            "[2/4] streaming simulation with overlapped gate-level replay \
+             ({} workers x {} bit-lanes) ...",
+            a.parallel,
+            a.batch_lanes
+        );
+        let rule = if a.target_error > 0.0 {
+            Some(
+                StoppingRule::new(a.target_error, flow.config().confidence, a.min_samples)
+                    .map_err(|e| format!("invalid stopping rule: {e}"))?,
+            )
+        } else {
+            None
+        };
+        let (run, results) = flow
+            .replay_streaming(
+                &mut dram,
+                a.max_cycles,
+                a.parallel,
+                a.batch_lanes,
+                rule,
+                &RunControl::default(),
+            )
+            .map_err(|e| format!("streaming run failed: {e}"))?;
+        if dram.exit_code().is_none() && !run.stop.is_converged() {
+            return Err(format!(
+                "workload did not halt within {} cycles",
+                a.max_cycles
+            ));
+        }
+        strober_probe::info!(
+            "[3/4] replay of {} snapshots already overlapped with simulation ({})",
+            results.len(),
+            run.stop.as_str()
+        );
+        (run, results)
+    } else {
+        strober_probe::info!("[2/4] fast simulation with reservoir sampling ...");
+        let run = flow
+            .run_sampled(&mut dram, a.max_cycles)
+            .map_err(|e| format!("sampled run failed: {e}"))?;
+        if dram.exit_code().is_none() {
+            return Err(format!(
+                "workload did not halt within {} cycles",
+                a.max_cycles
+            ));
+        }
 
-    strober_probe::info!(
-        "[3/4] replaying {} snapshots on gate-level simulation ({} workers x {} bit-lanes) ...",
-        run.snapshots.len(),
-        a.parallel,
-        a.batch_lanes
-    );
-    let results = flow
-        .replay_all_batched(&run.snapshots, a.parallel, a.batch_lanes)
-        .map_err(|e| format!("replay failed: {e}"))?;
+        strober_probe::info!(
+            "[3/4] replaying {} snapshots on gate-level simulation ({} workers x {} bit-lanes) ...",
+            run.snapshots.len(),
+            a.parallel,
+            a.batch_lanes
+        );
+        let results = flow
+            .replay_all_batched(&run.snapshots, a.parallel, a.batch_lanes)
+            .map_err(|e| format!("replay failed: {e}"))?;
+        (run, results)
+    };
 
     strober_probe::info!("[4/4] estimating ...");
     let estimate = flow
@@ -163,6 +205,15 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     let dram_power = LpddrPowerParams::lpddr2_s4()
         .average_power_mw(dram.counters(), run.target_cycles, flow.config().freq_hz)
         .total_mw();
+    let achieved_epsilon = match run.stop {
+        strober::StopReason::Converged { achieved, .. } => Some(achieved),
+        _ => None,
+    };
+    manifest.sampling = Some(SamplingOutcome {
+        stop_reason: run.stop.as_str().to_owned(),
+        target_epsilon: (a.target_error > 0.0).then_some(a.target_error),
+        achieved_epsilon,
+    });
 
     // Fold everything the recorder captured into the manifest: stage
     // timings come from the spans themselves, so they agree exactly with
@@ -207,6 +258,9 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             "samples": results.len(),
             "windows": run.windows,
             "records": run.records,
+            "stop_reason": run.stop.as_str(),
+            "target_error": a.target_error,
+            "achieved_epsilon": achieved_epsilon,
             "cache_hit": cache_hit,
             "timings_ms": serde_json::json!({
                 "prepare": manifest.stage_millis("prepare"),
@@ -240,6 +294,13 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         "CPI:         {:.3}",
         run.target_cycles as f64 / instret as f64
     );
+    if let Some(eps) = achieved_epsilon {
+        println!(
+            "stopping:    converged at epsilon {eps:.4} (target {:.4}, {} samples)",
+            a.target_error,
+            results.len()
+        );
+    }
     println!();
     print!("{estimate}");
     println!(
@@ -461,6 +522,7 @@ struct TopJob {
     progress: f64,
     sim_rate: Option<f64>,
     replay_rate: Option<f64>,
+    epsilon: Option<f64>,
     provenance: String,
 }
 
@@ -471,6 +533,9 @@ fn phase_rank(phase: &str) -> u32 {
     match phase {
         "sim" => 1,
         "replay" => 2,
+        // Adaptive runs: one interval observation per replayed batch,
+        // reported after the batch itself, so it outranks `replay`.
+        "interval" => 3,
         _ => 0,
     }
 }
@@ -591,6 +656,11 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
                     row.replay_rate = Some(g.value);
                 }
             }
+            "strober.sampling.stop.relative_error" => {
+                if let Some(row) = note_job(&mut jobs, &labels) {
+                    row.epsilon = Some(g.value);
+                }
+            }
             _ => {}
         }
     }
@@ -618,12 +688,12 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
         println!("no active jobs");
     } else {
         println!(
-            "{:>5}  {:<14} {:>6}  {:<7} {:>9}  {:>10}  {:>12}  {:<6}",
-            "JOB", "DESIGN", "WORKER", "PHASE", "PROGRESS", "SIM c/s", "REPLAY s/s", "CACHE"
+            "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}",
+            "JOB", "DESIGN", "WORKER", "PHASE", "PROGRESS", "SIM c/s", "REPLAY s/s", "EPS", "CACHE"
         );
         for (id, row) in &jobs {
             println!(
-                "{:>5}  {:<14} {:>6}  {:<7} {:>9}  {:>10}  {:>12}  {:<6}",
+                "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}",
                 id,
                 row.design,
                 row.worker,
@@ -637,6 +707,10 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
                 format!("{:.0}", row.progress),
                 row.sim_rate.map_or_else(|| "-".to_owned(), fmt_rate),
                 row.replay_rate.map_or_else(|| "-".to_owned(), fmt_rate),
+                // Achieved relative error bound of an adaptive job's
+                // running estimate (absent for fixed-size runs).
+                row.epsilon
+                    .map_or_else(|| "-".to_owned(), |e| format!("{e:.3}")),
                 row.provenance
             );
         }
@@ -774,6 +848,112 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
         sweep.push((threads, engine, rate));
     }
 
+    // Pipeline-mode rows: one small estimate flow (vvadd on rok-tiny) run
+    // through each capture→replay pipeline, so the report tracks the
+    // sim/replay overlap and the adaptive stop alongside the raw engine
+    // numbers. Wall times here are single-shot trend indicators; the
+    // enforced overlap gate lives in crates/bench/tests/stream_overlap.rs.
+    const PIPE_CYCLES: u64 = 60_000;
+    const PIPE_TARGET: f64 = 0.25;
+    let pipe_flow = StroberFlow::new(
+        &design,
+        StroberConfig {
+            sample_size: 12,
+            replay_length: 64,
+            ..StroberConfig::default()
+        },
+    )
+    .map_err(|e| format!("flow setup failed: {e}"))?;
+    let pipe_image = strober_bench::Workload::Vvadd.image();
+    let pipe_dram = || {
+        let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
+        dram.load(&pipe_image, 0);
+        dram
+    };
+    struct PipeRow {
+        mode: &'static str,
+        samples: usize,
+        windows: u64,
+        wall_seconds: f64,
+        stop_reason: &'static str,
+        achieved_epsilon: f64,
+        target_error: Option<f64>,
+    }
+    let pipe_row = |mode: &'static str,
+                    wall: f64,
+                    run: &strober::SampledRun,
+                    results: &[strober::ReplayResult]|
+     -> Result<PipeRow, String> {
+        let est = pipe_flow
+            .estimate(run, results)
+            .map_err(|e| format!("estimate failed: {e}"))?;
+        Ok(PipeRow {
+            mode,
+            samples: results.len(),
+            windows: run.windows,
+            wall_seconds: wall,
+            stop_reason: run.stop.as_str(),
+            achieved_epsilon: est.interval().relative_error_bound(),
+            target_error: None,
+        })
+    };
+    let mut pipeline_rows: Vec<PipeRow> = Vec::new();
+    {
+        let mut dram = pipe_dram();
+        let t0 = Instant::now();
+        let run = pipe_flow
+            .run_sampled(&mut dram, PIPE_CYCLES)
+            .map_err(|e| format!("sampled run failed: {e}"))?;
+        let results = pipe_flow
+            .replay_all_batched(&run.snapshots, 2, 2)
+            .map_err(|e| format!("replay failed: {e}"))?;
+        pipeline_rows.push(pipe_row(
+            "sequential",
+            t0.elapsed().as_secs_f64(),
+            &run,
+            &results,
+        )?);
+    }
+    {
+        let mut dram = pipe_dram();
+        let t0 = Instant::now();
+        let (run, results) = pipe_flow
+            .replay_streaming(
+                &mut dram,
+                PIPE_CYCLES,
+                2,
+                2,
+                None,
+                &strober::RunControl::default(),
+            )
+            .map_err(|e| format!("streaming run failed: {e}"))?;
+        pipeline_rows.push(pipe_row(
+            "streaming",
+            t0.elapsed().as_secs_f64(),
+            &run,
+            &results,
+        )?);
+    }
+    {
+        let rule = strober::StoppingRule::new(PIPE_TARGET, pipe_flow.config().confidence, 4)
+            .map_err(|e| format!("invalid stopping rule: {e}"))?;
+        let mut dram = pipe_dram();
+        let t0 = Instant::now();
+        let (run, results) = pipe_flow
+            .replay_streaming(
+                &mut dram,
+                PIPE_CYCLES,
+                2,
+                2,
+                Some(rule),
+                &strober::RunControl::default(),
+            )
+            .map_err(|e| format!("streaming run failed: {e}"))?;
+        let mut row = pipe_row("adaptive", t0.elapsed().as_secs_f64(), &run, &results)?;
+        row.target_error = Some(PIPE_TARGET);
+        pipeline_rows.push(row);
+    }
+
     let mut report = serde_json::Map::new();
     report.insert("bench".to_owned(), serde_json::json!("telemetry_overhead"));
     report.insert("iters".to_owned(), serde_json::json!(ITERS));
@@ -832,6 +1012,25 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
                 .collect(),
         ),
     );
+    report.insert(
+        "pipeline_modes".to_owned(),
+        serde_json::Value::Array(
+            pipeline_rows
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "mode": r.mode,
+                        "samples": r.samples,
+                        "windows": r.windows,
+                        "wall_seconds": r.wall_seconds,
+                        "stop_reason": r.stop_reason,
+                        "achieved_epsilon": r.achieved_epsilon,
+                        "target_error": r.target_error,
+                    })
+                })
+                .collect(),
+        ),
+    );
     let text = serde_json::to_string_pretty(&serde_json::Value::Object(report))
         .map_err(|e| format!("cannot serialize report: {e}"))?;
     std::fs::write(&a.out, text + "\n").map_err(|e| format!("cannot write `{}`: {e}", a.out))?;
@@ -852,6 +1051,13 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
         println!(
             "  {threads} thread(s) [{engine}]: {} cycles/s",
             strober_bench::fmt_u64(rate as u64),
+        );
+    }
+    println!("pipeline modes (vvadd/rok-tiny, {PIPE_CYCLES} cycles):");
+    for row in &pipeline_rows {
+        println!(
+            "  {:<10} {:>2} samples in {:.2} s  (stop: {}, epsilon {:.3})",
+            row.mode, row.samples, row.wall_seconds, row.stop_reason, row.achieved_epsilon,
         );
     }
     println!("report written to {}", a.out);
@@ -892,6 +1098,8 @@ fn submit_spec(a: &SubmitArgs) -> Result<JobSpec, String> {
             batch_lanes: a.batch_lanes,
             tape_opt: !a.no_tape_opt,
             hub_threads: a.hub_threads,
+            target_error: a.target_error,
+            min_samples: a.min_samples,
         })
     };
     match a.kind.as_str() {
@@ -931,6 +1139,9 @@ fn print_job_result(result: &JobResult, json: bool) {
                 o.confidence * 100.0,
                 o.samples
             );
+            if let Some(eps) = o.achieved_epsilon {
+                println!("stopping:    {} at epsilon {eps:.4}", o.stop_reason);
+            }
             println!("DRAM power:  {:.3} mW", o.dram_power_mw);
             println!(
                 "total:       {:.3} mW;  EPI: {:.3} nJ/instruction",

@@ -58,8 +58,23 @@ pub enum Progress {
     ReplayBatches {
         /// Batches finished so far (across all workers).
         done: u64,
-        /// Total batches in this replay.
+        /// Total batches in this replay (0 when streaming — the total is
+        /// unknown while capture is still running).
         total: u64,
+    },
+    /// The adaptive stopping rule re-evaluated the running estimate after
+    /// a replayed batch (streaming pipeline only) — `strober top` and
+    /// `watch` render these as live convergence.
+    IntervalUpdate {
+        /// Samples contributing to the estimate so far.
+        samples: u64,
+        /// Running mean power, mW.
+        mean_mw: f64,
+        /// Confidence-interval half width, mW.
+        half_width_mw: f64,
+        /// Relative error bound (half width / mean); infinite while it
+        /// cannot be computed.
+        relative_error: f64,
     },
 }
 

@@ -6,6 +6,41 @@ use strober_platform::PlatformStats;
 use strober_power::PowerReport;
 use strober_sampling::{Confidence, ConfidenceInterval, SampleStats, StatsError};
 
+/// Why a sampled run stopped simulating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopReason {
+    /// The host model reported workload completion.
+    WorkloadDone,
+    /// The cycle budget (`max_cycles`) was exhausted first.
+    MaxCycles,
+    /// The adaptive stopping rule converged before the workload ended
+    /// (streaming pipeline only): the estimate covers the executed prefix
+    /// at the requested relative error.
+    Converged {
+        /// The relative error bound achieved over the final sample.
+        achieved: f64,
+        /// The requested target ε.
+        target: f64,
+    },
+}
+
+impl StopReason {
+    /// Whether the run was ended by the adaptive stopping rule.
+    pub fn is_converged(self) -> bool {
+        matches!(self, StopReason::Converged { .. })
+    }
+
+    /// A stable lower-case identifier (`workload-done`, `max-cycles`,
+    /// `converged`) for manifests and wire formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::WorkloadDone => "workload-done",
+            StopReason::MaxCycles => "max-cycles",
+            StopReason::Converged { .. } => "converged",
+        }
+    }
+}
+
 /// The product of one sampled fast-simulation run.
 #[derive(Debug, Clone)]
 pub struct SampledRun {
@@ -21,6 +56,8 @@ pub struct SampledRun {
     pub records: u64,
     /// Platform cost-model statistics.
     pub stats: PlatformStats,
+    /// Why the simulation stopped.
+    pub stop: StopReason,
 }
 
 /// The product of replaying one snapshot on gate-level simulation.

@@ -68,9 +68,11 @@ mod error;
 mod estimate;
 mod flow;
 mod perf_model;
+mod pipeline;
 
 pub use control::{CancelToken, Progress, RunControl};
 pub use error::StroberError;
-pub use estimate::{EnergyEstimate, ReplayResult, SampledRun};
+pub use estimate::{EnergyEstimate, ReplayResult, SampledRun, StopReason};
 pub use flow::{PreparedArtifact, StroberConfig, StroberFlow};
 pub use perf_model::PerfModel;
+pub use strober_sampling::{StopDecision, StoppingRule};

@@ -1,0 +1,426 @@
+//! Moving parts of the streaming capture→replay pipeline (DESIGN.md §15).
+//!
+//! [`crate::StroberFlow::replay_streaming`] runs the sampled fast
+//! simulation on the calling thread and hands every captured snapshot
+//! through a [`BoundedQueue`] to a pool of replay workers, so gate-level
+//! replay proceeds while simulation continues. Reservoir evictions are the
+//! subtle part: a slot can be recaptured while its previous snapshot is
+//! still queued or already replayed, and the final estimate must only see
+//! the snapshots that survive in the reservoir. The [`StreamShared`]
+//! ledger solves this with per-slot epochs — every placement bumps the
+//! slot's epoch, workers drop work items whose epoch is stale, and a
+//! recorded result is superseded the moment a fresher epoch's result
+//! lands.
+
+use crate::control::{Progress, RunControl};
+use crate::error::StroberError;
+use crate::estimate::ReplayResult;
+use crate::flow::StroberFlow;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use strober_fame::FameSnapshot;
+use strober_sampling::{SampleStats, StoppingRule};
+
+/// One captured snapshot in flight from the simulation thread to a replay
+/// worker, tagged with the reservoir slot it was placed into and that
+/// slot's epoch at placement time.
+pub(crate) struct WorkItem {
+    pub(crate) slot: usize,
+    pub(crate) epoch: u64,
+    pub(crate) snap: Arc<FameSnapshot>,
+}
+
+/// A minimal bounded MPMC queue (mutex + condvars; the workspace is
+/// dependency-free, and `std::sync::mpsc` receivers cannot be shared by a
+/// worker pool). `push` blocks while the queue is full — that is the
+/// backpressure that keeps the simulation thread from racing arbitrarily
+/// far ahead of replay.
+pub(crate) struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns `false`
+    /// (dropping the item) if the queue was closed — a worker closes the
+    /// queue when it hits an error, which unblocks a waiting producer.
+    pub(crate) fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        while state.items.len() >= self.capacity && !state.closed {
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues one item, blocking while the queue is open and empty.
+    /// Returns `None` once the queue is closed and drained.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Dequeues one item if one is ready, without blocking.
+    pub(crate) fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        let item = state.items.pop_front();
+        drop(state);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Closes the queue: pending pops drain the backlog then observe the
+    /// close, pending and future pushes fail. Idempotent.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (for the depth gauge; racy by nature).
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+}
+
+/// Per-slot bookkeeping shared by the producer and every worker. One lock
+/// covers both epochs and results so a staleness check and the action it
+/// guards are atomic.
+struct Ledger {
+    /// Current epoch of each reservoir slot; bumped on every placement.
+    epochs: Vec<u64>,
+    /// Freshest replay result per slot, tagged with its epoch.
+    results: Vec<Option<(u64, ReplayResult)>>,
+}
+
+/// Everything [`crate::StroberFlow::replay_streaming`]'s producer and
+/// replay workers share.
+pub(crate) struct StreamShared {
+    pub(crate) queue: BoundedQueue<WorkItem>,
+    ledger: Mutex<Ledger>,
+    /// Windows simulated so far — the population `N` the stopping rule's
+    /// finite-population correction sees.
+    pub(crate) windows: AtomicU64,
+    /// Replay batches completed, for streamed progress reports.
+    pub(crate) batches: AtomicU64,
+    /// Trips on error or cancellation: workers bail without draining.
+    abort: AtomicBool,
+    /// Trips on convergence: the producer stops capturing; workers still
+    /// drain the (bounded) backlog so the final sample is consistent.
+    stop: AtomicBool,
+    error: Mutex<Option<StroberError>>,
+    /// `(achieved ε, target ε)` at the moment the stopping rule fired.
+    converged: Mutex<Option<(f64, f64)>>,
+}
+
+impl StreamShared {
+    pub(crate) fn new(slots: usize, queue_capacity: usize) -> Self {
+        StreamShared {
+            queue: BoundedQueue::new(queue_capacity),
+            ledger: Mutex::new(Ledger {
+                epochs: vec![0; slots],
+                results: (0..slots).map(|_| None).collect(),
+            }),
+            windows: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            abort: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            error: Mutex::new(None),
+            converged: Mutex::new(None),
+        }
+    }
+
+    /// Bumps `slot`'s epoch for a new placement and returns it. Any
+    /// queued or completed replay of the slot's previous snapshot is
+    /// invalidated from this moment on.
+    pub(crate) fn advance_epoch(&self, slot: usize) -> u64 {
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        ledger.epochs[slot] += 1;
+        ledger.epochs[slot]
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Records the first error, trips the abort flag and closes the
+    /// queue so a producer blocked in `push` wakes up.
+    pub(crate) fn record_error(&self, e: StroberError) {
+        let mut slot = self.error.lock().expect("error lock");
+        if slot.is_none() {
+            *slot = Some(e);
+        }
+        drop(slot);
+        self.abort.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    pub(crate) fn take_error(&self) -> Option<StroberError> {
+        self.error.lock().expect("error lock").take()
+    }
+
+    /// Drops stale items (slot recaptured since) from a worker's batch,
+    /// so evicted snapshots never burn a replay lane.
+    fn retain_fresh(&self, batch: &mut Vec<WorkItem>) {
+        let mut stale = 0u64;
+        {
+            let ledger = self.ledger.lock().expect("ledger lock");
+            batch.retain(|it| {
+                let fresh = ledger.epochs[it.slot] == it.epoch;
+                stale += u64::from(!fresh);
+                fresh
+            });
+        }
+        if stale > 0 {
+            strober_probe::counter_add("strober.core.pipeline.stale_dropped", stale);
+        }
+    }
+
+    /// Stores a batch's results, epoch-guarded: a result only lands if it
+    /// is fresher than what the slot already holds, and a later, fresher
+    /// placement supersedes it in turn.
+    fn record(&self, items: &[WorkItem], results: Vec<ReplayResult>) {
+        let mut superseded = 0u64;
+        let mut ledger = self.ledger.lock().expect("ledger lock");
+        for (it, r) in items.iter().zip(results) {
+            match &ledger.results[it.slot] {
+                Some((epoch, _)) if *epoch >= it.epoch => {}
+                prev => {
+                    superseded += u64::from(prev.is_some());
+                    ledger.results[it.slot] = Some((it.epoch, r));
+                }
+            }
+        }
+        drop(ledger);
+        if superseded > 0 {
+            strober_probe::counter_add("strober.core.pipeline.results_superseded", superseded);
+        }
+    }
+
+    /// Total powers of the results that are current (their epoch matches
+    /// the slot's), i.e. the replayed portion of the *live* sample.
+    fn current_powers(&self) -> Vec<f64> {
+        let ledger = self.ledger.lock().expect("ledger lock");
+        ledger
+            .results
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, entry)| match entry {
+                Some((epoch, r)) if *epoch == ledger.epochs[slot] => Some(r.power.total_mw()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Re-evaluates the stopping rule against the currently replayed
+    /// sample, reports [`Progress::IntervalUpdate`], and requests a stop
+    /// on convergence. Called by workers after every recorded batch.
+    fn evaluate_stop(&self, rule: &StoppingRule, ctl: &RunControl<'_>) {
+        let powers = self.current_powers();
+        if powers.len() < 2 {
+            return;
+        }
+        let Ok(stats) = SampleStats::from_measurements(&powers) else {
+            return;
+        };
+        // The population is the windows simulated so far; replay can
+        // momentarily lead the producer's counter during the fill phase,
+        // so clamp to keep the finite-population correction sane.
+        let population = (self.windows.load(Ordering::Relaxed) as usize).max(stats.size());
+        let interval = stats.confidence_interval(population, rule.confidence());
+        let relative_error = interval.relative_error_bound();
+        strober_probe::counter_add("strober.sampling.stop.evaluations", 1);
+        if relative_error.is_finite() {
+            strober_probe::gauge_set("strober.sampling.stop.relative_error", relative_error);
+            if let Some(labels) = ctl.labels {
+                strober_probe::gauge_set_labeled(
+                    "strober.sampling.stop.relative_error",
+                    labels,
+                    relative_error,
+                );
+            }
+        }
+        ctl.report(Progress::IntervalUpdate {
+            samples: stats.size() as u64,
+            mean_mw: interval.mean(),
+            half_width_mw: interval.half_width(),
+            relative_error,
+        });
+        if rule.evaluate(&stats, population).is_converged() {
+            let mut converged = self.converged.lock().expect("converged lock");
+            if converged.is_none() {
+                *converged = Some((relative_error, rule.target_epsilon()));
+                strober_probe::counter_add("strober.sampling.stop.converged", 1);
+            }
+            drop(converged);
+            self.stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Consumes the ledger into slot-ordered results for the first
+    /// `filled` slots. Only valid after every worker has exited cleanly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot was never replayed or holds a stale result — both
+    /// are pipeline invariant violations, not runtime conditions.
+    pub(crate) fn into_results(self, filled: usize) -> Vec<ReplayResult> {
+        let ledger = self.ledger.into_inner().expect("ledger lock");
+        let epochs = ledger.epochs;
+        ledger
+            .results
+            .into_iter()
+            .take(filled)
+            .enumerate()
+            .map(|(slot, entry)| {
+                let (epoch, result) = entry.expect("reservoir slot was never replayed");
+                assert_eq!(epoch, epochs[slot], "stale replay survived for slot {slot}");
+                result
+            })
+            .collect()
+    }
+}
+
+/// One replay worker: pops captured snapshots, packs same-trace-length
+/// batches up to `batch_lanes` wide, replays them on the batch engine and
+/// records the results. Exits when the queue is closed and drained, on
+/// abort/cancellation, or on the first replay error (which aborts the
+/// whole pipeline).
+pub(crate) fn replay_worker(
+    flow: &StroberFlow,
+    shared: &StreamShared,
+    batch_lanes: usize,
+    rule: Option<&StoppingRule>,
+    ctl: &RunControl<'_>,
+) {
+    // An item popped while forming a batch but belonging to a different
+    // trace length; it seeds the next batch instead.
+    let mut carry: Option<WorkItem> = None;
+    loop {
+        if shared.aborted() || ctl.is_cancelled() {
+            // Close the queue on the way out so a producer blocked in
+            // `push` (and fellow workers blocked in `pop`) wake up —
+            // without this, cancellation could deadlock the pipeline.
+            shared.queue.close();
+            return;
+        }
+        let Some(first) = carry.take().or_else(|| shared.queue.pop()) else {
+            return;
+        };
+        let len = first.snap.trace_len();
+        let mut batch = vec![first];
+        while batch.len() < batch_lanes {
+            match shared.queue.try_pop() {
+                Some(it) if it.snap.trace_len() == len => batch.push(it),
+                Some(it) => {
+                    carry = Some(it);
+                    break;
+                }
+                None => break,
+            }
+        }
+        shared.retain_fresh(&mut batch);
+        if batch.is_empty() {
+            continue;
+        }
+        let refs: Vec<&FameSnapshot> = batch.iter().map(|it| &*it.snap).collect();
+        match flow.replay_batch(&refs) {
+            Ok(results) => {
+                shared.record(&batch, results);
+                strober_probe::counter_add("strober.core.pipeline.batches", 1);
+                let done = shared.batches.fetch_add(1, Ordering::Relaxed) + 1;
+                ctl.report(Progress::ReplayBatches { done, total: 0 });
+                if let Some(rule) = rule {
+                    shared.evaluate_stop(rule, ctl);
+                }
+            }
+            Err(e) => {
+                shared.record_error(e);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_blocks_and_drains_across_threads() {
+        let q = Arc::new(BoundedQueue::new(2));
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    assert!(q.push(i), "queue closed early");
+                }
+                q.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(q.try_pop().is_none());
+        assert!(!q.push(1), "push after close must fail");
+    }
+
+    #[test]
+    fn closing_wakes_a_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(0u32));
+        let blocked = {
+            let q = q.clone();
+            std::thread::spawn(move || q.push(1))
+        };
+        // Give the producer a moment to block on the full queue, then
+        // close it out from under them.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert!(!blocked.join().unwrap(), "close must fail the push");
+    }
+}

@@ -137,6 +137,16 @@ pub struct PlatformConfig {
     /// parallel engine (DESIGN.md §14); results are bit-identical either
     /// way. The CLI `--hub-threads` flag sets this.
     pub hub_threads: usize,
+    /// Target relative error ε for confidence-driven adaptive sampling
+    /// (default 0 = disabled). Any value in `(0, 1)` makes the streaming
+    /// pipeline stop capture once the estimate's relative error bound
+    /// reaches ε (DESIGN.md §15). The CLI `--target-error` flag sets
+    /// this.
+    pub target_error: f64,
+    /// Minimum replayed samples before the adaptive stopping rule may
+    /// fire (default 30, eq. 8's CLT floor). Ignored when `target_error`
+    /// is 0. The CLI `--min-samples` flag sets this.
+    pub min_samples: usize,
 }
 
 impl Default for PlatformConfig {
@@ -148,6 +158,8 @@ impl Default for PlatformConfig {
             record_fixed_seconds: 1.3,
             tape_opt: true,
             hub_threads: 1,
+            target_error: 0.0,
+            min_samples: 30,
         }
     }
 }

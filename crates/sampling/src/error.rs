@@ -25,6 +25,17 @@ pub enum StatsError {
         /// Human-readable description of the constraint that was violated.
         constraint: &'static str,
     },
+    /// A [`crate::Reservoir::place`] call named a slot the reservoir cannot
+    /// hold: beyond its capacity, or ahead of the fill front (slots fill
+    /// densely from index 0, so a gap would leave an uninitialised hole).
+    BadReservoirSlot {
+        /// The slot the caller asked for.
+        slot: usize,
+        /// How many slots are currently filled (the fill front).
+        filled: usize,
+        /// The reservoir's fixed capacity `n`.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for StatsError {
@@ -40,6 +51,14 @@ impl fmt::Display for StatsError {
             StatsError::InvalidParameter { name, constraint } => {
                 write!(f, "invalid parameter `{name}`: {constraint}")
             }
+            StatsError::BadReservoirSlot {
+                slot,
+                filled,
+                capacity,
+            } => write!(
+                f,
+                "reservoir slot {slot} is not placeable ({filled} of {capacity} slots filled)"
+            ),
         }
     }
 }

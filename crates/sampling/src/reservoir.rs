@@ -8,6 +8,7 @@
 //! reservoir holds a uniform random sample of size `n` drawn without
 //! replacement (§III-B, [Vitter 1985]).
 
+use crate::error::StatsError;
 use rand::Rng;
 
 /// The outcome of offering one stream element to a [`Reservoir`].
@@ -88,7 +89,10 @@ impl<T> Reservoir<T> {
     ///
     /// This is the quantity reported in Table III of the paper ("Record
     /// Counts"): each record corresponds to one snapshot capture on the
-    /// FPGA simulator.
+    /// FPGA simulator. A record is counted when the element is actually
+    /// stored by [`Reservoir::place`] — a [`Reservoir::decide`] that is
+    /// never followed by a `place` (failed capture, adaptive stop) does
+    /// not count, so `records()` matches the snapshots that truly exist.
     pub fn records(&self) -> u64 {
         self.records
     }
@@ -105,8 +109,6 @@ impl<T> Reservoir<T> {
     pub fn decide<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<usize> {
         self.seen += 1;
         if self.slots.len() < self.capacity {
-            self.records += 1;
-            strober_probe::counter_add("strober.sampling.accepts", 1);
             // The slot index the caller must fill next.
             Some(self.slots.len())
         } else {
@@ -114,9 +116,6 @@ impl<T> Reservoir<T> {
             let k = self.seen;
             let idx = rng.gen_range(0..k);
             if (idx as usize) < self.capacity {
-                self.records += 1;
-                strober_probe::counter_add("strober.sampling.accepts", 1);
-                strober_probe::counter_add("strober.sampling.evictions", 1);
                 Some(idx as usize)
             } else {
                 strober_probe::counter_add("strober.sampling.skips", 1);
@@ -126,24 +125,47 @@ impl<T> Reservoir<T> {
     }
 
     /// Stores `value` into `slot`, as directed by a previous
-    /// [`Reservoir::decide`] call.
+    /// [`Reservoir::decide`] call, and counts the record.
     ///
-    /// # Panics
+    /// Record accounting (and the `strober.sampling.accepts` /
+    /// `strober.sampling.evictions` counters) happens here rather than in
+    /// [`Reservoir::decide`], so a decision abandoned before the element
+    /// is materialised — a failed snapshot capture, or an adaptive stop
+    /// between `decide` and `place` — never inflates [`Reservoir::records`].
     ///
-    /// Panics if `slot` is out of bounds or skips ahead of the fill front.
-    pub fn place(&mut self, slot: usize, value: T) {
-        if slot == self.slots.len() && slot < self.capacity {
-            self.slots.push(value);
-        } else {
-            self.slots[slot] = value;
+    /// # Errors
+    ///
+    /// Returns [`StatsError::BadReservoirSlot`] when `slot` is at or
+    /// beyond the capacity, or skips ahead of the fill front (slots fill
+    /// densely from index 0). The reservoir is unchanged on error.
+    pub fn place(&mut self, slot: usize, value: T) -> Result<(), StatsError> {
+        if slot >= self.capacity || slot > self.slots.len() {
+            return Err(StatsError::BadReservoirSlot {
+                slot,
+                filled: self.slots.len(),
+                capacity: self.capacity,
+            });
         }
+        let evicting = slot < self.slots.len();
+        if evicting {
+            self.slots[slot] = value;
+        } else {
+            self.slots.push(value);
+        }
+        self.records += 1;
+        strober_probe::counter_add("strober.sampling.accepts", 1);
+        if evicting && self.slots.len() == self.capacity {
+            strober_probe::counter_add("strober.sampling.evictions", 1);
+        }
+        Ok(())
     }
 
     /// Offers one element to the reservoir.
     pub fn offer<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) -> ReservoirEvent {
         match self.decide(rng) {
             Some(slot) => {
-                self.place(slot, value);
+                self.place(slot, value)
+                    .expect("decide always yields a placeable slot");
                 ReservoirEvent::Recorded { slot }
             }
             None => ReservoirEvent::Skipped,
@@ -258,13 +280,53 @@ mod tests {
         let mut res = Reservoir::new(4);
         for i in 0..1_000u32 {
             if let Some(slot) = res.decide(&mut rng) {
-                res.place(slot, i);
+                res.place(slot, i).unwrap();
             }
         }
         assert_eq!(res.sample().len(), 4);
         for &v in res.sample() {
             assert!(v < 1_000);
         }
+    }
+
+    #[test]
+    fn abandoned_decides_do_not_count_as_records() {
+        // A `decide` whose element is never materialised (failed capture,
+        // adaptive stop) must not inflate `records()` — Table III reports
+        // the number of snapshots that actually exist.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut res = Reservoir::new(3);
+        let slot = res.decide(&mut rng).expect("fill phase always accepts");
+        assert_eq!(res.records(), 0, "no record until place");
+        res.place(slot, 1u32).unwrap();
+        assert_eq!(res.records(), 1);
+        // Abandon the next decision entirely.
+        let _ = res.decide(&mut rng).expect("fill phase always accepts");
+        assert_eq!(res.records(), 1);
+    }
+
+    #[test]
+    fn place_rejects_bad_slots_with_a_typed_error() {
+        let mut res = Reservoir::new(3);
+        // Skipping the fill front (slot 1 while slot 0 is empty).
+        assert_eq!(
+            res.place(1, 9u32),
+            Err(StatsError::BadReservoirSlot {
+                slot: 1,
+                filled: 0,
+                capacity: 3,
+            })
+        );
+        // At or beyond the capacity.
+        assert!(matches!(
+            res.place(3, 9u32),
+            Err(StatsError::BadReservoirSlot { slot: 3, .. })
+        ));
+        // The reservoir is untouched by the failed placements.
+        assert_eq!(res.records(), 0);
+        assert!(res.sample().is_empty());
+        res.place(0, 9u32).unwrap();
+        assert_eq!(res.records(), 1);
     }
 
     #[test]

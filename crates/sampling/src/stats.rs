@@ -147,12 +147,21 @@ impl ConfidenceInterval {
 
 impl std::fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Bounded precision, trailing zeros trimmed: 0.999 must render as
+        // "99.9%", not the shortest-roundtrip "99.89999999999999%".
+        let mut pct = format!("{:.4}", self.confidence * 100.0);
+        if pct.contains('.') {
+            while pct.ends_with('0') {
+                pct.pop();
+            }
+            if pct.ends_with('.') {
+                pct.pop();
+            }
+        }
         write!(
             f,
-            "{:.6} ± {:.6} ({}% confidence)",
-            self.mean,
-            self.half_width,
-            self.confidence * 100.0
+            "{:.6} ± {:.6} ({pct}% confidence)",
+            self.mean, self.half_width
         )
     }
 }
@@ -462,6 +471,17 @@ mod tests {
         for good in [Confidence::C95, Confidence::C99, Confidence::C999] {
             good.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn display_formats_confidence_with_bounded_precision() {
+        let show = |level: f64| format!("{}", ConfidenceInterval::new(10.0, 0.5, level));
+        // 0.999 * 100.0 == 99.89999999999999 in f64; the display must not
+        // leak the shortest-roundtrip representation.
+        assert_eq!(show(0.999), "10.000000 ± 0.500000 (99.9% confidence)");
+        assert_eq!(show(0.99), "10.000000 ± 0.500000 (99% confidence)");
+        assert_eq!(show(0.95), "10.000000 ± 0.500000 (95% confidence)");
+        assert_eq!(show(0.9995), "10.000000 ± 0.500000 (99.95% confidence)");
     }
 
     #[test]

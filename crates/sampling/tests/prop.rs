@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use strober_sampling::{
     expected_record_count, Confidence, PopulationStats, RecordCountSim, Reservoir, SampleStats,
+    StoppingRule,
 };
 
 proptest! {
@@ -119,5 +120,54 @@ proptest! {
         let loose = stats.minimum_sample_size(0.10, Confidence::C99).unwrap();
         prop_assert!(loose <= tight);
         prop_assert!(loose >= 30);
+    }
+
+    #[test]
+    fn stopping_rule_never_fires_below_the_minimum_floor(
+        powers in proptest::collection::vec(1.0f64..1.0e4, 2..120),
+        epsilon in 0.001f64..0.9,
+        min_samples in 2usize..60,
+        pop_scale in 1usize..50,
+    ) {
+        // Walk a synthetic power stream exactly like the streaming
+        // pipeline does: re-evaluate after each additional replayed
+        // sample, against the population observed so far.
+        let rule = StoppingRule::new(epsilon, Confidence::C99, min_samples).unwrap();
+        for n in 2..=powers.len() {
+            let stats = SampleStats::from_measurements(&powers[..n]).unwrap();
+            let population = n * pop_scale;
+            let decision = rule.evaluate(&stats, population);
+            if n < min_samples {
+                prop_assert!(
+                    !decision.is_converged(),
+                    "fired at n = {} below the floor {}",
+                    n,
+                    min_samples
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converged_decisions_achieve_the_requested_epsilon(
+        powers in proptest::collection::vec(1.0f64..1.0e4, 2..120),
+        epsilon in 0.001f64..0.9,
+        min_samples in 2usize..60,
+        pop_scale in 1usize..50,
+    ) {
+        let rule = StoppingRule::new(epsilon, Confidence::C999, min_samples).unwrap();
+        for n in 2..=powers.len() {
+            let stats = SampleStats::from_measurements(&powers[..n]).unwrap();
+            let population = n * pop_scale;
+            if let strober_sampling::StopDecision::Converged { achieved } =
+                rule.evaluate(&stats, population)
+            {
+                // The decision's achieved ε must satisfy the request and
+                // agree with the interval it was derived from.
+                prop_assert!(achieved <= epsilon);
+                let ci = stats.confidence_interval(population, Confidence::C999);
+                prop_assert!((achieved - ci.relative_error_bound()).abs() < 1e-12);
+            }
+        }
     }
 }

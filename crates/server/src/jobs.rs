@@ -17,13 +17,15 @@ use crate::queue::JobEntry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
-use strober::{Progress, ReplayResult, RunControl, StroberConfig, StroberError, StroberFlow};
+use strober::{
+    Progress, ReplayResult, RunControl, StoppingRule, StroberConfig, StroberError, StroberFlow,
+};
 use strober_cores::build_core;
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_fuzz::{run_fuzz_cancellable, FuzzOptions, OracleConfig};
 use strober_isa::programs;
 use strober_rtl::Design;
-use strober_store::{Fingerprint, Fnv1a, JobProvenance, RunManifest, Store};
+use strober_store::{Fingerprint, Fnv1a, JobProvenance, RunManifest, SamplingOutcome, Store};
 
 /// How a job ended without producing a result.
 #[derive(Debug)]
@@ -72,6 +74,20 @@ pub(crate) fn validate(spec: &JobSpec) -> Result<(), WireError> {
             }
             if e.max_cycles == 0 {
                 return bad("max_cycles: must be at least 1".to_owned());
+            }
+            if e.target_error != 0.0 {
+                if !(e.target_error > 0.0 && e.target_error < 1.0) {
+                    return bad("target_error: must be 0 (disabled) or in (0, 1)".to_owned());
+                }
+                if e.min_samples < 2 {
+                    return bad("min_samples: need at least 2 for a variance estimate".to_owned());
+                }
+                if e.min_samples > e.samples {
+                    return bad(format!(
+                        "min_samples: floor {} exceeds the sample size {} — the stopping rule could never fire",
+                        e.min_samples, e.samples
+                    ));
+                }
             }
         }
         JobSpec::Fuzz(f) => {
@@ -209,6 +225,8 @@ fn run_estimate(
     };
     session.platform.tape_opt = spec.tape_opt;
     session.platform.hub_threads = spec.hub_threads.max(1);
+    session.platform.target_error = spec.target_error;
+    session.platform.min_samples = spec.min_samples;
 
     let workload_desc = if spec.asm.is_some() {
         "inline-asm".to_owned()
@@ -244,6 +262,11 @@ fn run_estimate(
         let (phase, done, total) = match p {
             Progress::SimWindows { windows, .. } => ("sim", windows, 0),
             Progress::ReplayBatches { done, total } => ("replay", done, total),
+            // The stopping rule re-evaluated the running interval; the ε
+            // itself flows through the labeled
+            // `strober.sampling.stop.relative_error` gauge the pipeline
+            // maintains (watch/`strober top` read it from there).
+            Progress::IntervalUpdate { samples, .. } => ("interval", samples, 0),
         };
         strober_probe::gauge_set_labeled(
             "strober.server.job_progress",
@@ -266,24 +289,66 @@ fn run_estimate(
 
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
     dram.load(&image, 0);
-    let t = Instant::now();
-    let run = flow.run_sampled_controlled(&mut dram, spec.max_cycles, &ctl)?;
-    if dram.exit_code().is_none() {
-        return Err(JobFailure::Error(WireError::new(
-            ErrorKind::Internal,
-            format!("workload did not halt within {} cycles", spec.max_cycles),
-        )));
-    }
-    stage(job, &mut manifest, "sim", t);
-
     let parallel = if spec.parallel == 0 {
         default_parallelism
     } else {
         spec.parallel
     };
-    let t = Instant::now();
-    let results = flow.replay_all_controlled(&run.snapshots, parallel, spec.batch_lanes, &ctl)?;
-    stage(job, &mut manifest, "replay", t);
+    let (run, results) = if spec.target_error > 0.0 {
+        // Adaptive runs take the streaming pipeline: capture and replay
+        // overlap as one stage, and the rule may stop the run before the
+        // workload halts — that is the point, so the halt check only
+        // applies when the rule did *not* fire.
+        let rule = StoppingRule::new(
+            spec.target_error,
+            flow.config().confidence,
+            spec.min_samples,
+        )
+        .map_err(|e| bad_spec(e.to_string()))?;
+        let t = Instant::now();
+        let (run, results) = flow.replay_streaming(
+            &mut dram,
+            spec.max_cycles,
+            parallel,
+            spec.batch_lanes,
+            Some(rule),
+            &ctl,
+        )?;
+        stage(job, &mut manifest, "stream", t);
+        if dram.exit_code().is_none() && !run.stop.is_converged() {
+            return Err(JobFailure::Error(WireError::new(
+                ErrorKind::Internal,
+                format!("workload did not halt within {} cycles", spec.max_cycles),
+            )));
+        }
+        (run, results)
+    } else {
+        let t = Instant::now();
+        let run = flow.run_sampled_controlled(&mut dram, spec.max_cycles, &ctl)?;
+        if dram.exit_code().is_none() {
+            return Err(JobFailure::Error(WireError::new(
+                ErrorKind::Internal,
+                format!("workload did not halt within {} cycles", spec.max_cycles),
+            )));
+        }
+        stage(job, &mut manifest, "sim", t);
+
+        let t = Instant::now();
+        let results =
+            flow.replay_all_controlled(&run.snapshots, parallel, spec.batch_lanes, &ctl)?;
+        stage(job, &mut manifest, "replay", t);
+        (run, results)
+    };
+
+    let achieved_epsilon = match run.stop {
+        strober::StopReason::Converged { achieved, .. } => Some(achieved),
+        _ => None,
+    };
+    manifest.sampling = Some(SamplingOutcome {
+        stop_reason: run.stop.as_str().to_owned(),
+        target_epsilon: (spec.target_error > 0.0).then_some(spec.target_error),
+        achieved_epsilon,
+    });
 
     let snapshot_fingerprint = replay_fingerprint(&results);
     let outputs_checked: u64 = results.iter().map(|r| r.outputs_checked).sum();
@@ -340,6 +405,8 @@ fn run_estimate(
         epi_nj,
         provenance: provenance.to_owned(),
         snapshot_fingerprint,
+        stop_reason: run.stop.as_str().to_owned(),
+        achieved_epsilon,
         manifest,
     }))
 }

@@ -20,7 +20,12 @@ use strober_store::RunManifest;
 /// Revision 3 added [`EstimateSpec::hub_threads`] (the partitioned
 /// multi-threaded hub engine); every field is always present on the
 /// wire, so older clients cannot interoperate and the revision bumps.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// Revision 4 added the adaptive sampling surface:
+/// [`EstimateSpec::target_error`] and [`EstimateSpec::min_samples`]
+/// select the streaming capture→replay pipeline with a confidence-driven
+/// stopping rule, and [`EstimateOutcome`] reports `stop_reason` and
+/// `achieved_epsilon`.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Scheduling class of a job. Higher classes are always dequeued before
 /// lower ones; within a class jobs run in submission order.
@@ -111,6 +116,15 @@ pub struct EstimateSpec {
     /// Hub-simulator settle worker threads (1 = sequential; 2..=64
     /// selects the partitioned parallel engine, bit-identical results).
     pub hub_threads: usize,
+    /// Target relative error ε for the adaptive stopping rule; 0 disables
+    /// adaptive stopping and runs the sequential capture-then-replay
+    /// flow. Any value in `(0, 1)` selects the streaming pipeline, which
+    /// stops capture as soon as the confidence interval's relative error
+    /// bound reaches ε.
+    pub target_error: f64,
+    /// Minimum replayed samples before the stopping rule may fire
+    /// (ignored when `target_error` is 0).
+    pub min_samples: usize,
 }
 
 impl Default for EstimateSpec {
@@ -127,6 +141,8 @@ impl Default for EstimateSpec {
             batch_lanes: 64,
             tape_opt: true,
             hub_threads: 1,
+            target_error: 0.0,
+            min_samples: 30,
         }
     }
 }
@@ -391,7 +407,14 @@ pub struct EstimateOutcome {
     /// Order-sensitive fingerprint of every replayed sample
     /// (cycle, per-sample power, outputs checked), as hex.
     pub snapshot_fingerprint: String,
-    /// The run manifest (schema v4, with job and worker provenance).
+    /// Why the sampled simulation stopped (`workload-done`,
+    /// `max-cycles`, or `converged` for adaptive runs).
+    pub stop_reason: String,
+    /// The relative error bound achieved by the adaptive stopping rule;
+    /// `None` for non-adaptive runs.
+    pub achieved_epsilon: Option<f64>,
+    /// The run manifest (schema v5, with job, worker and sampling
+    /// provenance).
     pub manifest: RunManifest,
 }
 

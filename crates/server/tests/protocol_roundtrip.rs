@@ -60,6 +60,8 @@ fn sample_estimate_outcome() -> EstimateOutcome {
         epi_nj: 1.125,
         provenance: "warm".to_owned(),
         snapshot_fingerprint: "cafe1234".to_owned(),
+        stop_reason: "converged".to_owned(),
+        achieved_epsilon: Some(0.042),
         manifest: sample_manifest(),
     }
 }

@@ -17,9 +17,11 @@ use std::time::Duration;
 /// bumped to 3 when the estimation server landed and manifests grew job
 /// provenance (`job`) and prepare provenance (`prepare`); bumped to 4
 /// when the telemetry layer added worker attribution (`job.worker`) and
-/// the metrics snapshot started carrying labeled per-job series. Older
-/// documents no longer parse: every field is required.
-pub const MANIFEST_VERSION: u32 = 4;
+/// the metrics snapshot started carrying labeled per-job series; bumped
+/// to 5 when confidence-driven adaptive sampling landed and manifests
+/// grew the `sampling` outcome (stop reason, target and achieved ε).
+/// Older documents no longer parse: every field is required.
+pub const MANIFEST_VERSION: u32 = 5;
 
 /// Which job a served run belonged to — absent for one-shot CLI runs.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -34,6 +36,22 @@ pub struct JobProvenance {
     /// Index of the server worker that executed the job (the `worker`
     /// label of the run's dimensional metrics).
     pub worker: String,
+}
+
+/// How the run's sampling ended — stop reason plus the adaptive
+/// stopping rule's target and achieved relative error (both absent for
+/// runs without adaptive stopping).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SamplingOutcome {
+    /// Why the sampled simulation stopped: `workload-done`, `max-cycles`
+    /// or `converged`.
+    pub stop_reason: String,
+    /// The requested target relative error ε, when adaptive stopping was
+    /// enabled.
+    pub target_epsilon: Option<f64>,
+    /// The relative error bound achieved over the final sample, when
+    /// adaptive stopping was enabled.
+    pub achieved_epsilon: Option<f64>,
 }
 
 /// One timed pipeline stage.
@@ -66,6 +84,9 @@ pub struct RunManifest {
     pub prepare: String,
     /// Job provenance, for runs executed by the estimation server.
     pub job: Option<JobProvenance>,
+    /// How sampling ended — absent only for runs that never reached the
+    /// sampled simulation (e.g. failed during prepare).
+    pub sampling: Option<SamplingOutcome>,
     /// Per-stage wall-clock timings, in execution order.
     pub stages: Vec<StageTiming>,
     /// Every metric the probe registry held at the end of the run.
@@ -189,7 +210,7 @@ mod tests {
     fn schema_version_is_bumped_and_enforced() {
         let manifest = RunManifest::new("rok", "vvadd");
         assert_eq!(manifest.version, MANIFEST_VERSION);
-        assert_eq!(MANIFEST_VERSION, 4, "bump this test with the schema");
+        assert_eq!(MANIFEST_VERSION, 5, "bump this test with the schema");
         let text = manifest.to_json();
         assert!(text.contains("\"version\""));
         assert!(text.contains("\"metrics\""));
@@ -231,6 +252,35 @@ mod tests {
             "metrics": {"counters": [], "gauges": [], "histograms": []}
         }"#;
         assert!(RunManifest::from_json(v3).is_err());
+        // A version-4 document predates the sampling outcome; it must be
+        // rejected.
+        let v4 = r#"{
+            "version": 4,
+            "design": "rok",
+            "workload": "vvadd",
+            "fingerprint": "00117a5e57a0be55",
+            "cache_hit": false,
+            "prepare": "cold",
+            "job": null,
+            "stages": [],
+            "metrics": {"counters": [], "gauges": [], "histograms": []}
+        }"#;
+        assert!(RunManifest::from_json(v4).is_err());
+    }
+
+    #[test]
+    fn sampling_outcome_round_trips() {
+        let mut manifest = RunManifest::new("rok", "vvadd");
+        manifest.sampling = Some(SamplingOutcome {
+            stop_reason: "converged".to_owned(),
+            target_epsilon: Some(0.05),
+            achieved_epsilon: Some(0.031),
+        });
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+        let sampling = back.sampling.unwrap();
+        assert_eq!(sampling.stop_reason, "converged");
+        assert_eq!(sampling.achieved_epsilon, Some(0.031));
     }
 
     #[test]

@@ -33,6 +33,8 @@ fn spec() -> EstimateSpec {
         batch_lanes: 8,
         tape_opt: true,
         hub_threads: 1,
+        target_error: 0.0,
+        min_samples: 30,
     }
 }
 
