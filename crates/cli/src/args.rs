@@ -125,7 +125,7 @@ pub struct BenchArgs {
 impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
-            out: "BENCH_9.json".to_owned(),
+            out: "BENCH_10.json".to_owned(),
         }
     }
 }
@@ -166,6 +166,8 @@ pub struct SubmitArgs {
     pub no_tape_opt: bool,
     /// Hub-simulator settle worker threads (1 = sequential).
     pub hub_threads: usize,
+    /// Hub settle engine: `auto`, `interp`, `partitioned` or `jit`.
+    pub hub_engine: String,
     /// Target relative error ε for adaptive stopping (0 = disabled).
     pub target_error: f64,
     /// Minimum replayed samples before the stopping rule may fire.
@@ -197,6 +199,7 @@ impl Default for SubmitArgs {
             max_cycles: 200_000_000,
             no_tape_opt: false,
             hub_threads: 1,
+            hub_engine: "auto".to_owned(),
             target_error: 0.0,
             min_samples: 30,
             seed_start: 0,
@@ -296,6 +299,9 @@ pub struct EstimateArgs {
     /// Hub-simulator settle worker threads (1 = sequential; more selects
     /// the partitioned parallel engine).
     pub hub_threads: usize,
+    /// Hub settle engine: `auto` (threads decide), `interp`,
+    /// `partitioned` or `jit` (native code compiled from the op tape).
+    pub hub_engine: String,
     /// Target relative error ε for confidence-driven adaptive stopping
     /// (0 = disabled). Implies the streaming capture→replay pipeline.
     pub target_error: f64,
@@ -330,6 +336,7 @@ impl Default for EstimateArgs {
             metrics: false,
             no_tape_opt: false,
             hub_threads: 1,
+            hub_engine: "auto".to_owned(),
             target_error: 0.0,
             min_samples: 30,
             stream: false,
@@ -534,6 +541,17 @@ fn parse_command<'a>(
                             .map_err(|_| ArgError(format!("{flag}: not a number")))?;
                         if a.hub_threads == 0 || a.hub_threads > 64 {
                             return Err(ArgError(format!("{flag}: must be in 1..=64")));
+                        }
+                    }
+                    "--hub-engine" => {
+                        a.hub_engine = take_value(flag, &mut it)?;
+                        if !matches!(
+                            a.hub_engine.as_str(),
+                            "auto" | "interp" | "partitioned" | "jit"
+                        ) {
+                            return Err(ArgError(format!(
+                                "{flag}: must be one of auto|interp|partitioned|jit"
+                            )));
                         }
                     }
                     "--target-error" => {
@@ -817,6 +835,17 @@ fn parse_command<'a>(
                             return Err(ArgError(format!("{flag}: must be in 1..=64")));
                         }
                     }
+                    "--hub-engine" => {
+                        a.hub_engine = take_value(flag, &mut it)?;
+                        if !matches!(
+                            a.hub_engine.as_str(),
+                            "auto" | "interp" | "partitioned" | "jit"
+                        ) {
+                            return Err(ArgError(format!(
+                                "{flag}: must be one of auto|interp|partitioned|jit"
+                            )));
+                        }
+                    }
                     "--target-error" => {
                         a.target_error = take_value(flag, &mut it)?
                             .parse()
@@ -953,8 +982,8 @@ USAGE:
                    [--batch-lanes K] [--max-cycles N] [--json]
                    [--cache-dir DIR] [--no-cache] [--manifest FILE]
                    [--trace-out FILE] [--metrics] [--no-tape-opt]
-                   [--hub-threads T] [--target-error E] [--min-samples M]
-                   [--stream]
+                   [--hub-threads T] [--hub-engine E] [--target-error E]
+                   [--min-samples M] [--stream]
       Run the full flow: fast sampled simulation, gate-level replay,
       average power with a 99% confidence interval. Prepared artifacts
       (FAME hub, netlist, name map) are cached content-addressed under
@@ -974,6 +1003,14 @@ USAGE:
       --hub-threads T (default 1, max 64) runs the hub simulator's
       combinational settle on T workers via the partitioned parallel
       engine; results are bit-identical to the sequential default.
+      --hub-engine picks the settle engine explicitly: auto (default;
+      the thread count decides), interp (sequential interpreter),
+      partitioned (multi-threaded interpreter) or jit — the op tape is
+      lowered to Rust, compiled once with rustc into a cached dylib,
+      and attached as a native settle function; compiles are keyed by
+      design + tape options + rustc version in the artifact store, so
+      warm runs skip rustc entirely, and the engine falls back to the
+      interpreter (bit-identically) when rustc is unavailable.
       --stream pipelines capture and replay: snapshots flow through a
       bounded queue to persistent replay workers while simulation
       continues, with bit-identical results. --target-error E (in
@@ -1039,7 +1076,7 @@ USAGE:
                    [estimate/replay: --core NAME, --workload NAME | --asm FILE,
                     -n N, -L CYCLES, --seed S, --jobs P, --batch-lanes K,
                     --max-cycles N, --no-tape-opt, --hub-threads T,
-                    --target-error E, --min-samples M]
+                    --hub-engine E, --target-error E, --min-samples M]
                    [fuzz: --seeds A..B, --cycles N]
       Submit a job to a running server. By default the client follows
       the job, streaming progress events until the result arrives;
@@ -1057,8 +1094,8 @@ USAGE:
                    [--once] [--plain]
       Live view of a running server, refreshed from its metric watch
       stream: queue depth, per-worker utilization, and every active
-      job's phase, progress, simulation and replay throughput, and
-      prepare provenance (warm/store/cold). --once renders a single
+      job's phase, progress, simulation and replay throughput, hub
+      engine, and prepare provenance (warm/store/cold). --once renders a single
       frame and exits (for scripts and CI); --frames N stops after N
       frames; --plain skips ANSI screen clearing.
 
@@ -1066,7 +1103,9 @@ USAGE:
       Run the in-process micro-benchmark suite (probe overhead on/off,
       labeled-metric overhead, end-to-end flow timing on a small core,
       sequential vs streaming vs adaptive pipeline modes with achieved
-      relative error) and write a JSON report (default BENCH_9.json).
+      relative error, and a hub-engine sweep of the interpreted vs
+      JIT-compiled settle engines) and write a JSON report (default
+      BENCH_10.json).
 ";
 
 #[cfg(test)]
@@ -1129,6 +1168,29 @@ mod tests {
         for bad in ["0", "65", "many"] {
             assert!(parse(&["estimate", "--hub-threads", bad]).is_err(), "{bad}");
         }
+    }
+
+    #[test]
+    fn hub_engine_default_and_bounds() {
+        let Command::Estimate(a) = parse(&["estimate"]).unwrap().command else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.hub_engine, "auto");
+
+        for engine in ["auto", "interp", "partitioned", "jit"] {
+            let Command::Estimate(a) = parse(&["estimate", "--hub-engine", engine])
+                .unwrap()
+                .command
+            else {
+                panic!("wrong command")
+            };
+            assert_eq!(a.hub_engine, engine);
+        }
+
+        assert!(parse(&["estimate", "--hub-engine", "llvm"])
+            .unwrap_err()
+            .0
+            .contains("auto|interp|partitioned|jit"));
     }
 
     #[test]
@@ -1205,6 +1267,21 @@ mod tests {
             .unwrap_err()
             .0
             .contains("1..=64"));
+    }
+
+    #[test]
+    fn submit_parses_hub_engine() {
+        let Command::Submit(a) = parse(&["submit", "estimate", "--hub-engine", "jit"])
+            .unwrap()
+            .command
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(a.hub_engine, "jit");
+        assert!(parse(&["submit", "estimate", "--hub-engine", "fast"])
+            .unwrap_err()
+            .0
+            .contains("auto|interp|partitioned|jit"));
     }
 
     #[test]
@@ -1572,7 +1649,7 @@ mod tests {
         let Command::Bench(a) = parse(&["bench", "report"]).unwrap().command else {
             panic!("wrong command")
         };
-        assert_eq!(a.out, "BENCH_9.json");
+        assert_eq!(a.out, "BENCH_10.json");
         let Command::Bench(a) = parse(&["bench", "report", "--out", "/tmp/b.json"])
             .unwrap()
             .command

@@ -8,7 +8,7 @@ use args::{
     ExportArgs, FuzzArgs, JobsArgs, ProbeArgs, RunArgs, ServeArgs, SubmitArgs, TopArgs, HELP,
 };
 use std::process::ExitCode;
-use strober::{RunControl, StoppingRule, StroberConfig, StroberFlow};
+use strober::{HubEngine, RunControl, StoppingRule, StroberConfig, StroberFlow};
 use strober_cores::build_core;
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_isa::programs;
@@ -17,7 +17,7 @@ use strober_server::protocol::{
     EstimateSpec, Event, FuzzSpec, JobResult, JobSpec, Priority, Request, Response,
 };
 use strober_server::{Client, Server, ServerConfig};
-use strober_store::{RunManifest, SamplingOutcome, Store};
+use strober_store::{CodegenProvenance, RunManifest, SamplingOutcome, Store};
 
 /// Resolves a workload reference the way the CLI spells it: `--asm` is a
 /// *path* read from disk, then assembled via the same catalog the server
@@ -102,6 +102,8 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     };
     session.platform.tape_opt = !a.no_tape_opt;
     session.platform.hub_threads = a.hub_threads;
+    session.platform.hub_engine =
+        HubEngine::from_name(&a.hub_engine).expect("validated by the arg parser");
     session.platform.target_error = a.target_error;
     session.platform.min_samples = a.min_samples;
     let mut manifest = RunManifest::new(
@@ -132,6 +134,14 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
     manifest.set_prepare(if cache_hit { "store" } else { "cold" });
     if cache_hit {
         strober_probe::info!("      (prepared artifacts served from the store)");
+    }
+    // With --hub-engine jit, compile (or fetch) the native settle dylib
+    // up front so the cost is attributed to preparation, not the first
+    // simulated window; a no-op for every other engine.
+    if let Some((provenance, compile_ms)) = flow.prepare_jit(store.as_mut()) {
+        strober_probe::info!(
+            "      (native settle engine ready: {provenance}, compile {compile_ms} ms)"
+        );
     }
 
     let mut dram = DramModel::new(DramConfig::default(), programs::MEM_BYTES);
@@ -214,6 +224,13 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
         target_epsilon: (a.target_error > 0.0).then_some(a.target_error),
         achieved_epsilon,
     });
+    manifest.hub_engine = flow.hub_engine_name().to_owned();
+    manifest.jit = flow
+        .jit_info()
+        .map(|(provenance, compile_ms)| CodegenProvenance {
+            provenance: provenance.to_owned(),
+            compile_ms,
+        });
 
     // Fold everything the recorder captured into the manifest: stage
     // timings come from the spans themselves, so they agree exactly with
@@ -262,6 +279,8 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
             "target_error": a.target_error,
             "achieved_epsilon": achieved_epsilon,
             "cache_hit": cache_hit,
+            "hub_engine": manifest.hub_engine,
+            "jit_compile_ms": manifest.jit.as_ref().map(|j| j.compile_ms),
             "timings_ms": serde_json::json!({
                 "prepare": manifest.stage_millis("prepare"),
                 "sim": manifest.stage_millis("run_sampled"),
@@ -286,6 +305,7 @@ fn cmd_estimate(a: &EstimateArgs) -> Result<(), String> {
 
     println!("core:        {}", config.name);
     println!("workload:    {}", a.workload);
+    println!("engine:      {}", manifest.hub_engine);
     println!(
         "cycles:      {} ({} windows of {}; {} records)",
         run.target_cycles, run.windows, a.replay_length, run.records
@@ -524,6 +544,7 @@ struct TopJob {
     replay_rate: Option<f64>,
     epsilon: Option<f64>,
     provenance: String,
+    engine: String,
 }
 
 /// Orders the pipeline phases so a job's row shows the furthest stage
@@ -561,6 +582,9 @@ fn note_job<'a>(
     }
     if let Some(w) = label(labels, "worker") {
         row.worker = w.to_owned();
+    }
+    if let Some(e) = label(labels, "engine") {
+        row.engine = e.to_owned();
     }
     Some(row)
 }
@@ -673,6 +697,11 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
                 }
             }
         }
+        // The engine rides in every post-prepare labeled series; this
+        // counter pins it even before the first progress tick.
+        if base == "strober.server.job_engine" {
+            note_job(&mut jobs, &labels);
+        }
     }
 
     workers.sort_by(|a, b| a.0.cmp(&b.0));
@@ -688,12 +717,21 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
         println!("no active jobs");
     } else {
         println!(
-            "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}",
-            "JOB", "DESIGN", "WORKER", "PHASE", "PROGRESS", "SIM c/s", "REPLAY s/s", "EPS", "CACHE"
+            "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}  {:<16}",
+            "JOB",
+            "DESIGN",
+            "WORKER",
+            "PHASE",
+            "PROGRESS",
+            "SIM c/s",
+            "REPLAY s/s",
+            "EPS",
+            "CACHE",
+            "ENGINE"
         );
         for (id, row) in &jobs {
             println!(
-                "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}",
+                "{:>5}  {:<14} {:>6}  {:<8} {:>9}  {:>10}  {:>12}  {:>7}  {:<6}  {:<16}",
                 id,
                 row.design,
                 row.worker,
@@ -711,7 +749,14 @@ fn render_top(addr: &str, seq: u64, at_ms: u64, snap: &strober_probe::MetricsSna
                 // running estimate (absent for fixed-size runs).
                 row.epsilon
                     .map_or_else(|| "-".to_owned(), |e| format!("{e:.3}")),
-                row.provenance
+                row.provenance,
+                // The hub settle engine after fallback (tape, tape-jit,
+                // tape-partitioned); unknown until prepare finishes.
+                if row.engine.is_empty() {
+                    "-"
+                } else {
+                    &row.engine
+                }
             );
         }
     }
@@ -846,6 +891,39 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
             "tape"
         };
         sweep.push((threads, engine, rate));
+    }
+
+    // Hub-engine sweep at one thread: the interpreted tape vs the
+    // JIT-compiled native settle code over the same hub. Rows are
+    // labeled by the simulator's own engine name; omitted (with a
+    // warning) when no rustc is on PATH to compile the dylib.
+    let mut engine_sweep: Vec<(&'static str, f64)> = Vec::new();
+    if strober_jit::rustc_version().is_some() {
+        for jit in [false, true] {
+            let mut hub = strober_sim::Simulator::new(&fame.hub)
+                .map_err(|e| format!("hub lowering failed: {e}"))?;
+            if jit {
+                strober_jit::JitCompiler::in_temp()
+                    .attach(&mut hub)
+                    .map_err(|e| format!("jit compile failed: {e}"))?;
+            }
+            let fire = hub
+                .resolve_port(&fame.meta.control.fire)
+                .map_err(|e| format!("hub fire port: {e}"))?;
+            hub.poke(fire, 1);
+            hub.step_n(SWEEP_CYCLES); // warm: page in the dylib
+            let mut ns = u128::MAX;
+            for _ in 0..TRIALS {
+                let t0 = Instant::now();
+                hub.step_n(SWEEP_CYCLES);
+                black_box(hub.cycle());
+                ns = ns.min(t0.elapsed().as_nanos());
+            }
+            let rate = SWEEP_CYCLES as f64 / (ns as f64 / 1e9);
+            engine_sweep.push((hub.active_engine_name(), rate));
+        }
+    } else {
+        strober_probe::warn!("no rustc on PATH; hub_engine_sweep omitted from the report");
     }
 
     // Pipeline-mode rows: one small estimate flow (vvadd on rok-tiny) run
@@ -1013,6 +1091,21 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
         ),
     );
     report.insert(
+        "hub_engine_sweep".to_owned(),
+        serde_json::Value::Array(
+            engine_sweep
+                .iter()
+                .map(|&(engine, rate)| {
+                    serde_json::json!({
+                        "engine": engine,
+                        "hub_threads": 1,
+                        "sim_cycles_per_sec": rate,
+                    })
+                })
+                .collect(),
+        ),
+    );
+    report.insert(
         "pipeline_modes".to_owned(),
         serde_json::Value::Array(
             pipeline_rows
@@ -1052,6 +1145,17 @@ fn cmd_bench(a: &BenchArgs) -> Result<(), String> {
             "  {threads} thread(s) [{engine}]: {} cycles/s",
             strober_bench::fmt_u64(rate as u64),
         );
+    }
+    if engine_sweep.is_empty() {
+        println!("hub engine sweep: skipped (no rustc on PATH)");
+    } else {
+        println!("hub engine sweep (rok-tiny fame1 hub, 1 thread, best of {TRIALS}):");
+        for &(engine, rate) in &engine_sweep {
+            println!(
+                "  [{engine}]: {} cycles/s",
+                strober_bench::fmt_u64(rate as u64),
+            );
+        }
     }
     println!("pipeline modes (vvadd/rok-tiny, {PIPE_CYCLES} cycles):");
     for row in &pipeline_rows {
@@ -1098,6 +1202,7 @@ fn submit_spec(a: &SubmitArgs) -> Result<JobSpec, String> {
             batch_lanes: a.batch_lanes,
             tape_opt: !a.no_tape_opt,
             hub_threads: a.hub_threads,
+            hub_engine: a.hub_engine.clone(),
             target_error: a.target_error,
             min_samples: a.min_samples,
         })
@@ -1126,6 +1231,7 @@ fn print_job_result(result: &JobResult, json: bool) {
         JobResult::Estimate(o) => {
             println!("core:        {}", o.core);
             println!("workload:    {}", o.workload);
+            println!("engine:      {}", o.manifest.hub_engine);
             println!(
                 "cycles:      {} ({} windows; {} records)",
                 o.cycles, o.windows, o.records

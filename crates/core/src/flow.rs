@@ -12,7 +12,8 @@ use strober_fame::{transform, FameConfig, FameResult, FameSnapshot};
 use strober_formal::{match_designs, MatchOptions, NameMap};
 use strober_gates::CellLibrary;
 use strober_gatesim::{BatchSim, GateSim, GateSimError, Tape, VpiLoader, MAX_LANES};
-use strober_platform::{HostModel, PlatformConfig, ZynqHost};
+use strober_jit::{JitArtifact, JitCompiler, JitProvenance};
+use strober_platform::{HostModel, HubEngine, PlatformConfig, ZynqHost};
 use strober_power::PowerAnalyzer;
 use strober_rtl::Design;
 use strober_sampling::{Confidence, Reservoir, SampleStats, StoppingRule};
@@ -92,6 +93,18 @@ pub struct StroberFlow {
     hub: OnceLock<Simulator>,
     /// Compiled gate-level op tape, shared by every replay engine.
     gate_tape: OnceLock<Arc<Tape>>,
+    /// Prepared native settle engine (hub_engine = jit only); `None`
+    /// inside means preparation was attempted and fell back.
+    jit: OnceLock<Option<JitPrep>>,
+}
+
+/// A prepared native settle engine plus its provenance, shared (via
+/// `Arc`) by every hub simulator clone of the session.
+#[derive(Debug)]
+struct JitPrep {
+    engine: Arc<strober_jit::DylibEngine>,
+    provenance: JitProvenance,
+    compile_ms: u64,
 }
 
 impl StroberFlow {
@@ -135,6 +148,7 @@ impl StroberFlow {
             analyzer,
             hub: OnceLock::new(),
             gate_tape: OnceLock::new(),
+            jit: OnceLock::new(),
         })
     }
 
@@ -153,6 +167,7 @@ impl StroberFlow {
             analyzer,
             hub: OnceLock::new(),
             gate_tape: OnceLock::new(),
+            jit: OnceLock::new(),
         }
     }
 
@@ -249,9 +264,25 @@ impl StroberFlow {
     /// reproduces the fresh-lowering state exactly (cycle 0, reset
     /// registers/memories), so reuse is bit-invisible.
     fn hub_sim(&self) -> Result<Simulator, StroberError> {
+        let mut sim = self.pristine_hub()?.clone();
+        // With the JIT engine selected, share the session's prepared
+        // native settle code with every clone; compile it now (through
+        // the temp cache) if no store-backed preparation ran first.
+        if self.config.platform.hub_engine == HubEngine::Jit {
+            if let Some(prep) = self.jit_prep(None) {
+                sim.attach_jit(prep)
+                    .expect("session engine was prepared from this very tape");
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The pristine lowered hub simulator (never stepped, no engine
+    /// attached), built on first use.
+    fn pristine_hub(&self) -> Result<&Simulator, StroberError> {
         if let Some(sim) = self.hub.get() {
             strober_probe::counter_add("strober.core.hub_tape_reused", 1);
-            return Ok(sim.clone());
+            return Ok(sim);
         }
         let options = if self.config.platform.tape_opt {
             TapeOptions::all()
@@ -267,8 +298,154 @@ impl StroberFlow {
         strober_probe::counter_add("strober.core.hub_tape_lowered", 1);
         // A concurrent first run may have won the race; either copy is
         // equivalent, so the loser's work is merely discarded.
-        let _ = self.hub.set(sim.clone());
-        Ok(sim)
+        let _ = self.hub.set(sim);
+        Ok(self.hub.get().expect("just set"))
+    }
+
+    /// The artifact-store key for this session's compiled settle dylib:
+    /// generated-source signature (a content hash of the design's
+    /// optimized tape and the codegen revision) + tape options + rustc
+    /// version, so any of the three changing misses cleanly.
+    fn jit_fingerprint(sig: u64, tape_opt: bool, rustc: &str) -> Fingerprint {
+        fingerprint_parts(&[&"strober-jit", &sig, &tape_opt, &rustc])
+    }
+
+    /// Prepares the native settle engine through the artifact store,
+    /// mirroring [`prepare_cached`](Self::prepare_cached)'s ladder: a
+    /// stored dylib attaches without invoking `rustc` (provenance
+    /// `store`), a fresh compile is persisted for next time (`cold`), and
+    /// the in-between case — compiled earlier into the same cache
+    /// directory — is `warm`. No-op unless the session's
+    /// [`HubEngine::Jit`] is selected; on any failure the engines fall
+    /// back (see `strober.jit.fallback`) and results are unaffected.
+    ///
+    /// Returns `(provenance, compile_ms)` when a native engine is ready.
+    /// Without a store the compile still runs (and dedupes) through the
+    /// on-disk temp cache; only the artifact-store round-trip is skipped.
+    pub fn prepare_jit(&self, store: Option<&mut Store>) -> Option<(&'static str, u64)> {
+        if self.config.platform.hub_engine != HubEngine::Jit {
+            return None;
+        }
+        self.jit_prep(store);
+        self.jit_info()
+    }
+
+    /// The settle engine this session's hub simulators run under, after
+    /// fallback: `tape-jit` only when a compiled engine is actually
+    /// prepared, `tape-partitioned` when the thread count selects the
+    /// parallel engine, `tape` otherwise. For run manifests and the
+    /// `engine` metric label.
+    pub fn hub_engine_name(&self) -> &'static str {
+        match self.config.platform.hub_engine {
+            HubEngine::Interp => "tape",
+            HubEngine::Partitioned => "tape-partitioned",
+            HubEngine::Jit => {
+                if self.jit_info().is_some() {
+                    "tape-jit"
+                } else {
+                    "tape"
+                }
+            }
+            HubEngine::Auto => {
+                if self.config.platform.hub_threads > 1 {
+                    "tape-partitioned"
+                } else {
+                    "tape"
+                }
+            }
+        }
+    }
+
+    /// The prepared native engine's `(provenance, compile_ms)`, if one is
+    /// attached to this session. For run manifests.
+    pub fn jit_info(&self) -> Option<(&'static str, u64)> {
+        self.jit
+            .get()
+            .and_then(|p| p.as_ref())
+            .map(|p| (p.provenance.as_str(), p.compile_ms))
+    }
+
+    /// Builds (once) and returns the shared native settle engine. With a
+    /// store, compiled dylibs round-trip through it as [`JitArtifact`]s;
+    /// without one, the temp-directory file cache still dedupes compiles
+    /// across sessions. `None` means preparation failed and interpreted
+    /// engines take over.
+    fn jit_prep(&self, store: Option<&mut Store>) -> Option<Arc<strober_jit::DylibEngine>> {
+        let prep = self.jit.get_or_init(|| {
+            let _span = strober_probe::span("strober.core.jit_prepare");
+            let source = match self.pristine_hub() {
+                Ok(sim) => sim.jit_source(),
+                Err(e) => {
+                    strober_jit::record_fallback(&e.to_string());
+                    return None;
+                }
+            };
+            let Some(rustc) = strober_jit::rustc_version() else {
+                strober_jit::record_fallback("no rustc on PATH");
+                return None;
+            };
+            let (compiler, store) = match store {
+                Some(store) => (JitCompiler::new(store.root().join("jit")), Some(store)),
+                None => (JitCompiler::in_temp(), None),
+            };
+            let key = Self::jit_fingerprint(source.sig, self.config.platform.tape_opt, rustc);
+            let mut store = store;
+            // Store hit: materialize the cached bytes, skip rustc.
+            let stored = store.as_deref_mut().and_then(|s| s.get::<JitArtifact>(key));
+            if let Some(artifact) = stored {
+                match compiler.prepare_artifact(&source, &artifact) {
+                    Ok((engine, outcome)) => {
+                        strober_probe::counter_add("strober.jit.prepare_store", 1);
+                        return Some(JitPrep {
+                            engine: Arc::new(engine),
+                            provenance: outcome.provenance,
+                            compile_ms: artifact.compile_ms,
+                        });
+                    }
+                    Err(e) => {
+                        // A stale store entry under a content key should
+                        // not happen; recompile below rather than fail.
+                        strober_probe::warn!("stored jit artifact unusable: {e}");
+                    }
+                }
+            }
+            match compiler.prepare(&source) {
+                Ok((engine, outcome)) => {
+                    strober_probe::counter_add(
+                        match outcome.provenance {
+                            JitProvenance::Cold => "strober.jit.prepare_cold",
+                            _ => "strober.jit.prepare_warm",
+                        },
+                        1,
+                    );
+                    if outcome.provenance == JitProvenance::Cold {
+                        if let Some(store) = store {
+                            if let Ok(dylib) = std::fs::read(&outcome.dylib_path) {
+                                store.put(
+                                    key,
+                                    &JitArtifact {
+                                        rustc: rustc.to_owned(),
+                                        sig: source.sig,
+                                        dylib,
+                                        compile_ms: outcome.compile_ms,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Some(JitPrep {
+                        engine: Arc::new(engine),
+                        provenance: outcome.provenance,
+                        compile_ms: outcome.compile_ms,
+                    })
+                }
+                Err(e) => {
+                    strober_jit::record_fallback(&e.to_string());
+                    None
+                }
+            }
+        });
+        prep.as_ref().map(|p| p.engine.clone())
     }
 
     /// The compiled gate-level op tape, built from the synthesized

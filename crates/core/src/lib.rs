@@ -75,4 +75,5 @@ pub use error::StroberError;
 pub use estimate::{EnergyEstimate, ReplayResult, SampledRun, StopReason};
 pub use flow::{PreparedArtifact, StroberConfig, StroberFlow};
 pub use perf_model::PerfModel;
+pub use strober_platform::HubEngine;
 pub use strober_sampling::{StopDecision, StoppingRule};

@@ -9,6 +9,7 @@
 //! | `tape`      | compiled op-tape, optimizing compiler    | `naive`          |
 //! | `tape-raw`  | compiled op-tape, optimizer disabled     | `naive`          |
 //! | `tape-par@T`| optimized op-tape on T settle workers    | `naive`          |
+//! | `tape-jit`  | rustc-compiled native settle dylib       | `naive`          |
 //! | `fame`      | FAME1 hub with `fire` held high          | `naive`          |
 //! | `gate`      | scalar gate-level sim of the netlist     | `naive`/`tape`   |
 //! | `batch@L`   | L-lane bit-parallel gate-level sim       | `gate`           |
@@ -310,6 +311,16 @@ fn run_rtl<E>(
     })
 }
 
+/// Logs — once per process — that the `tape-jit` oracle lane is being
+/// skipped for lack of a `rustc` on PATH, so campaign logs record why
+/// the matrix is one lane short rather than silently narrowing.
+fn jit_lane_skip_notice() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        strober_probe::warn!("no rustc on PATH; skipping the tape-jit oracle lane");
+    });
+}
+
 /// Runs the full oracle matrix on one genome.
 ///
 /// `Ok(())` means every oracle agreed on every compared quantity;
@@ -400,6 +411,40 @@ pub fn check(genome: &Genome, cfg: &OracleConfig) -> Result<(), Divergence> {
             .map_err(|d| err(&oracle, d))?;
             compare_rtl(&oracle, &run, reference, &outputs)?;
         }
+    }
+
+    // --- Oracle: JIT-compiled native settle code, both streams. The
+    // optimized op tape is lowered to Rust, compiled into a dylib and
+    // attached as the settle engine, so every fuzz seed differentially
+    // tests the codegen (and the dylib loader) against the tree-walking
+    // reference. Skipped — with one logged notice per process — when no
+    // rustc is on PATH to compile the dylib; the cross-seed file cache
+    // makes the second stream's attach a warm hit.
+    if strober_jit::rustc_version().is_some() {
+        let oracle = "tape-jit";
+        let compiler = strober_jit::JitCompiler::in_temp();
+        for (stream_lane, reference) in refs.iter().enumerate() {
+            let stream = lane_stream(genome, stream_lane);
+            let mut tape = Simulator::new(&design).map_err(|e| err(oracle, e.to_string()))?;
+            compiler
+                .attach(&mut tape)
+                .map_err(|e| err(oracle, e.to_string()))?;
+            let run = run_rtl(
+                &mut tape,
+                &ports,
+                &outputs,
+                stream,
+                cycles,
+                |e, n, v| e.poke_by_name(n, v).map_err(|e| e.to_string()),
+                |e, n| e.peek_output(n).map_err(|e| e.to_string()),
+                |e| e.step(),
+                |e| e.state(),
+            )
+            .map_err(|d| err(oracle, d))?;
+            compare_rtl(oracle, &run, reference, &outputs)?;
+        }
+    } else {
+        jit_lane_skip_notice();
     }
 
     // --- Oracle: FAME1 hub with fire held high (stream A only). ---

@@ -1,0 +1,175 @@
+//! `dlopen` plumbing for compiled settle engines.
+//!
+//! The loader is raw `libdl` FFI — no external crates — and the loaded
+//! handle lives as long as the [`DylibEngine`], which the simulator holds
+//! behind an `Arc`. The handle is closed on drop, after every clone of
+//! the owning simulator has released it, so the settle function pointer
+//! can never outlive its code.
+
+use crate::JitError;
+use std::ffi::{c_char, c_int, c_void, CString};
+use std::path::{Path, PathBuf};
+use strober_sim::NativeSettle;
+
+#[link(name = "dl")]
+extern "C" {
+    fn dlopen(filename: *const c_char, flags: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlclose(handle: *mut c_void) -> c_int;
+    fn dlerror() -> *mut c_char;
+}
+
+const RTLD_NOW: c_int = 2;
+
+/// Mirrors the `#[repr(C)] MemSpan` the generated code declares: one
+/// memory array flattened to a pointer/length pair for the C ABI.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct MemSpan {
+    ptr: *const u64,
+    len: usize,
+}
+
+type SettleFn = unsafe extern "C" fn(*mut u64, *const u64, *const u64, *const MemSpan);
+type SigFn = unsafe extern "C" fn() -> u64;
+
+/// The last `dlerror` as a string, or a placeholder when libdl reports
+/// nothing.
+fn last_dl_error() -> String {
+    // Safety: dlerror returns a thread-local NUL-terminated string or null.
+    unsafe {
+        let msg = dlerror();
+        if msg.is_null() {
+            "unknown dlopen error".to_owned()
+        } else {
+            std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+        }
+    }
+}
+
+/// A native settle engine loaded from a compiled dylib.
+///
+/// Implements [`NativeSettle`]; attach with
+/// [`Simulator::attach_jit`](strober_sim::Simulator::attach_jit), which
+/// verifies [`signature`](NativeSettle::signature) against the tape's
+/// own generated source first.
+pub struct DylibEngine {
+    handle: *mut c_void,
+    settle: SettleFn,
+    sig: u64,
+    path: PathBuf,
+}
+
+// Safety: the dylib's code section is immutable and the settle function
+// writes only through the pointers passed per call; the raw handle is
+// only used again on drop.
+unsafe impl Send for DylibEngine {}
+unsafe impl Sync for DylibEngine {}
+
+impl std::fmt::Debug for DylibEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DylibEngine")
+            .field("path", &self.path)
+            .field("sig", &format_args!("{:#x}", self.sig))
+            .finish()
+    }
+}
+
+impl DylibEngine {
+    /// Loads a compiled settle dylib and resolves its entry points.
+    ///
+    /// # Errors
+    ///
+    /// [`JitError::Dlopen`] when the file cannot be loaded and
+    /// [`JitError::MissingSymbol`] when it is not a strober-jit dylib.
+    pub fn load(path: &Path) -> Result<Self, JitError> {
+        let c_path = CString::new(path.as_os_str().as_encoded_bytes())
+            .map_err(|_| JitError::Dlopen("path contains NUL".to_owned()))?;
+        // Safety: plain dlopen of a regular file path.
+        let handle = unsafe { dlopen(c_path.as_ptr(), RTLD_NOW) };
+        if handle.is_null() {
+            return Err(JitError::Dlopen(last_dl_error()));
+        }
+        let lookup = |name: &'static str| -> Result<*mut c_void, JitError> {
+            let c_name = CString::new(name).expect("static name");
+            // Safety: handle is the live handle opened above.
+            let sym = unsafe { dlsym(handle, c_name.as_ptr()) };
+            if sym.is_null() {
+                // Safety: closing the handle we just opened.
+                unsafe { dlclose(handle) };
+                Err(JitError::MissingSymbol(name))
+            } else {
+                Ok(sym)
+            }
+        };
+        let settle_sym = lookup("strober_jit_settle")?;
+        let sig_sym = lookup("strober_jit_sig")?;
+        // Safety: the symbols were emitted by our own codegen with these
+        // exact signatures; transmuting a data pointer to a function
+        // pointer is what dlsym requires on every Unix.
+        let settle: SettleFn = unsafe { std::mem::transmute(settle_sym) };
+        let sig_fn: SigFn = unsafe { std::mem::transmute(sig_sym) };
+        // Safety: nullary pure function exported by the generated code.
+        let sig = unsafe { sig_fn() };
+        Ok(DylibEngine {
+            handle,
+            settle,
+            sig,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Where the dylib was loaded from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for DylibEngine {
+    fn drop(&mut self) {
+        // Safety: the handle is live and no call can be in flight — the
+        // simulator's Arc keeps the engine alive across every clone.
+        unsafe { dlclose(self.handle) };
+    }
+}
+
+impl NativeSettle for DylibEngine {
+    fn settle(&self, values: &mut [u64], inputs: &[u64], regs: &[u64], mems: &[Vec<u64>]) {
+        // Flatten memories to C spans on the stack for the common case;
+        // designs with very many memories fall back to a heap vector.
+        let mut stack = [MemSpan {
+            ptr: std::ptr::null(),
+            len: 0,
+        }; 16];
+        let mut heap;
+        let spans: &[MemSpan] = if mems.len() <= stack.len() {
+            for (slot, m) in stack.iter_mut().zip(mems) {
+                slot.ptr = m.as_ptr();
+                slot.len = m.len();
+            }
+            &stack[..mems.len()]
+        } else {
+            heap = Vec::with_capacity(mems.len());
+            heap.extend(mems.iter().map(|m| MemSpan {
+                ptr: m.as_ptr(),
+                len: m.len(),
+            }));
+            &heap
+        };
+        // Safety: attach-time signature verification proved this code was
+        // generated from the exact tape whose slab we are passing, so
+        // every baked index is in bounds for these slices.
+        unsafe {
+            (self.settle)(
+                values.as_mut_ptr(),
+                inputs.as_ptr(),
+                regs.as_ptr(),
+                spans.as_ptr(),
+            );
+        }
+    }
+
+    fn signature(&self) -> u64 {
+        self.sig
+    }
+}

@@ -111,6 +111,62 @@ impl OutputView<'_> {
     }
 }
 
+/// Which settle engine drives the hub simulator.
+///
+/// Selected with `--hub-engine` on `estimate`/`submit` and threaded
+/// through [`PlatformConfig::hub_engine`]. All variants are bit-identical
+/// — they differ only in how the combinational settle is evaluated (see
+/// DESIGN.md §16's which-engine-when table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum HubEngine {
+    /// Backward-compatible default: [`PlatformConfig::hub_threads`]
+    /// decides — 1 keeps the sequential tape walk, more selects the
+    /// partitioned engine. Never JIT-compiles on its own, but keeps a
+    /// pre-attached native engine if the flow installed one.
+    #[default]
+    Auto,
+    /// Force the sequential interpreted tape walk, detaching any native
+    /// engine and ignoring `hub_threads`.
+    Interp,
+    /// Force the partitioned multi-threaded settle engine with
+    /// `hub_threads.max(2)` workers (DESIGN.md §14).
+    Partitioned,
+    /// JIT-compile the tape to native code via `strober-jit`. Falls back
+    /// down the ladder (partitioned if `hub_threads > 1`, else the
+    /// sequential walk) when no `rustc` is on `PATH` or compilation
+    /// fails, counting `strober.jit.fallback`.
+    Jit,
+}
+
+impl HubEngine {
+    /// The wire/CLI name (`auto`, `interp`, `partitioned`, `jit`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HubEngine::Auto => "auto",
+            HubEngine::Interp => "interp",
+            HubEngine::Partitioned => "partitioned",
+            HubEngine::Jit => "jit",
+        }
+    }
+
+    /// Parses a wire/CLI name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "auto" => Some(HubEngine::Auto),
+            "interp" => Some(HubEngine::Interp),
+            "partitioned" => Some(HubEngine::Partitioned),
+            "jit" => Some(HubEngine::Jit),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for HubEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Cost-model parameters for the simulated platform.
 ///
 /// Defaults reproduce the paper's measured environment: a ~50 MHz fabric
@@ -137,6 +193,9 @@ pub struct PlatformConfig {
     /// parallel engine (DESIGN.md §14); results are bit-identical either
     /// way. The CLI `--hub-threads` flag sets this.
     pub hub_threads: usize,
+    /// Which settle engine drives the hub (default [`HubEngine::Auto`]:
+    /// `hub_threads` decides). The CLI `--hub-engine` flag sets this.
+    pub hub_engine: HubEngine,
     /// Target relative error ε for confidence-driven adaptive sampling
     /// (default 0 = disabled). Any value in `(0, 1)` makes the streaming
     /// pipeline stop capture once the estimate's relative error bound
@@ -158,6 +217,7 @@ impl Default for PlatformConfig {
             record_fixed_seconds: 1.3,
             tape_opt: true,
             hub_threads: 1,
+            hub_engine: HubEngine::Auto,
             target_error: 0.0,
             min_samples: 30,
         }
@@ -227,6 +287,42 @@ pub struct ZynqHost {
     records: u64,
 }
 
+/// Applies [`PlatformConfig::hub_engine`] to a hub simulator — the one
+/// place engine selection happens.
+///
+/// `Jit` keeps a native engine the flow pre-attached (the store-backed
+/// warm path); otherwise it compiles into the temp cache here. Failures
+/// walk the fallback ladder — partitioned when `hub_threads > 1`, else
+/// the sequential walk — and count `strober.jit.fallback`, so a missing
+/// `rustc` degrades a run's speed, never its results.
+fn apply_engine(sim: &mut Simulator, cfg: &PlatformConfig) {
+    match cfg.hub_engine {
+        HubEngine::Auto => {
+            // PR8-compatible: thread count decides. A pre-attached native
+            // engine (which dispatches ahead of both) is left in place.
+            sim.set_threads(cfg.hub_threads.max(1));
+        }
+        HubEngine::Interp => {
+            sim.detach_jit();
+            sim.set_threads(1);
+        }
+        HubEngine::Partitioned => {
+            sim.detach_jit();
+            sim.set_threads(cfg.hub_threads.max(2));
+        }
+        HubEngine::Jit => {
+            sim.set_threads(cfg.hub_threads.max(1));
+            if sim.has_jit() {
+                return;
+            }
+            match strober_jit::JitCompiler::in_temp().attach(sim) {
+                Ok(_) => {}
+                Err(e) => strober_jit::record_fallback(&e.to_string()),
+            }
+        }
+    }
+}
+
 impl ZynqHost {
     /// Boots a host session for a transformed design.
     ///
@@ -278,7 +374,7 @@ impl ZynqHost {
             .collect();
         // Single choke point for the engine selection: both the flow's
         // cached-simulator path and `ZynqHost::new` funnel through here.
-        sim.set_threads(cfg.hub_threads.max(1));
+        apply_engine(&mut sim, &cfg);
         ctl.set_fire(&mut sim, true)?;
         Ok(ZynqHost {
             sim,
@@ -291,6 +387,12 @@ impl ZynqHost {
             syncs: 0,
             records: 0,
         })
+    }
+
+    /// The settle engine actually in effect after selection and any
+    /// fallback (`"tape"`, `"tape-partitioned"` or `"tape-jit"`).
+    pub fn engine_name(&self) -> &'static str {
+        self.sim.active_engine_name()
     }
 
     /// The full traced window length (`replay_length + warmup`) in cycles.

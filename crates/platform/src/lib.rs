@@ -33,6 +33,7 @@ mod mmio;
 
 pub use channel::TokenChannel;
 pub use host::{
-    HostModel, OutputView, PlatformConfig, PlatformStats, TargetInput, TargetOutput, ZynqHost,
+    HostModel, HubEngine, OutputView, PlatformConfig, PlatformStats, TargetInput, TargetOutput,
+    ZynqHost,
 };
 pub use mmio::{MmioMap, MmioReg};

@@ -1,9 +1,10 @@
 //! Dimensional metrics: a small, bounded label set layered on the flat
 //! registry.
 //!
-//! A [`Labels`] value carries at most one value for each of the five
-//! supported label keys — `design`, `job`, `phase`, `provenance`,
-//! `worker` — so series cardinality stays bounded by construction: there
+//! A [`Labels`] value carries at most one value for each of the six
+//! supported label keys — `design`, `engine`, `job`, `phase`,
+//! `provenance`, `worker` — so series cardinality stays bounded by
+//! construction: there
 //! is no free-form key API. Labeled series are stored in the same
 //! registry as unlabeled ones, under a canonical encoded name of the
 //! Prometheus form `name{key="value",...}` with keys sorted; everything
@@ -17,7 +18,7 @@
 use crate::record::enabled;
 
 /// The fixed label keys, in canonical (sorted) order.
-const LABEL_KEYS: [&str; 5] = ["design", "job", "phase", "provenance", "worker"];
+const LABEL_KEYS: [&str; 6] = ["design", "engine", "job", "phase", "provenance", "worker"];
 
 /// A bounded set of label key/value pairs for dimensional metrics.
 ///
@@ -33,7 +34,7 @@ const LABEL_KEYS: [&str; 5] = ["design", "job", "phase", "provenance", "worker"]
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Labels {
     /// Values for [`LABEL_KEYS`], index-aligned; `None` = unset.
-    values: [Option<String>; 5],
+    values: [Option<String>; 6],
 }
 
 impl Labels {
@@ -56,6 +57,13 @@ impl Labels {
     #[must_use]
     pub fn design(self, design: &str) -> Labels {
         self.set("design", design.to_owned())
+    }
+
+    /// Sets the `engine` label (the hub settle engine, e.g. `tape`,
+    /// `tape-partitioned`, `tape-jit`).
+    #[must_use]
+    pub fn engine(self, engine: &str) -> Labels {
+        self.set("engine", engine.to_owned())
     }
 
     /// Sets the `job` label (a server job id).
@@ -234,9 +242,20 @@ mod tests {
 
     #[test]
     fn labels_render_sorted_and_canonical() {
-        let a = Labels::new().worker("2").job(9).design("rok");
-        let b = Labels::new().design("rok").job(9).worker("2");
-        assert_eq!(a.render(), r#"{design="rok",job="9",worker="2"}"#);
+        let a = Labels::new()
+            .worker("2")
+            .job(9)
+            .engine("tape-jit")
+            .design("rok");
+        let b = Labels::new()
+            .design("rok")
+            .engine("tape-jit")
+            .job(9)
+            .worker("2");
+        assert_eq!(
+            a.render(),
+            r#"{design="rok",engine="tape-jit",job="9",worker="2"}"#
+        );
         assert_eq!(a, b);
         assert!(Labels::new().is_empty());
         assert_eq!(Labels::new().render(), "");

@@ -18,14 +18,17 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use strober::{
-    Progress, ReplayResult, RunControl, StoppingRule, StroberConfig, StroberError, StroberFlow,
+    HubEngine, Progress, ReplayResult, RunControl, StoppingRule, StroberConfig, StroberError,
+    StroberFlow,
 };
 use strober_cores::build_core;
 use strober_dram::{DramConfig, DramModel, LpddrPowerParams};
 use strober_fuzz::{run_fuzz_cancellable, FuzzOptions, OracleConfig};
 use strober_isa::programs;
 use strober_rtl::Design;
-use strober_store::{Fingerprint, Fnv1a, JobProvenance, RunManifest, SamplingOutcome, Store};
+use strober_store::{
+    CodegenProvenance, Fingerprint, Fnv1a, JobProvenance, RunManifest, SamplingOutcome, Store,
+};
 
 /// How a job ended without producing a result.
 #[derive(Debug)]
@@ -71,6 +74,12 @@ pub(crate) fn validate(spec: &JobSpec) -> Result<(), WireError> {
             }
             if e.hub_threads == 0 || e.hub_threads > 64 {
                 return bad("hub_threads: must be in 1..=64".to_owned());
+            }
+            if HubEngine::from_name(&e.hub_engine).is_none() {
+                return bad(format!(
+                    "hub_engine: unknown engine `{}` (must be one of auto|interp|partitioned|jit)",
+                    e.hub_engine
+                ));
             }
             if e.max_cycles == 0 {
                 return bad("max_cycles: must be at least 1".to_owned());
@@ -225,6 +234,7 @@ fn run_estimate(
     };
     session.platform.tape_opt = spec.tape_opt;
     session.platform.hub_threads = spec.hub_threads.max(1);
+    session.platform.hub_engine = HubEngine::from_name(&spec.hub_engine).unwrap_or(HubEngine::Auto);
     session.platform.target_error = spec.target_error;
     session.platform.min_samples = spec.min_samples;
 
@@ -250,12 +260,36 @@ fn run_estimate(
 
     let t = Instant::now();
     let (flow, provenance) = flows.obtain(&design, session, store)?;
+    // With the JIT engine selected, compile (or fetch) the native settle
+    // dylib now so its cost lands in the prepare stage and the manifest
+    // can attribute provenance; other engines make this a no-op.
+    match store {
+        Some(store) => {
+            let mut store = store.lock().expect("store lock");
+            flow.prepare_jit(Some(&mut store));
+        }
+        None => {
+            flow.prepare_jit(None);
+        }
+    }
     manifest.set_prepare(provenance);
+    manifest.hub_engine = flow.hub_engine_name().to_owned();
+    manifest.jit = flow
+        .jit_info()
+        .map(|(provenance, compile_ms)| CodegenProvenance {
+            provenance: provenance.to_owned(),
+            compile_ms,
+        });
     strober_probe::counter_add_labeled(
         "strober.server.job_prepare",
         &labels.clone().provenance(provenance),
         1,
     );
+    // Every later labeled series for this job carries the effective
+    // engine; this counter pins it even for jobs that finish before
+    // their first progress tick (`strober top` reads the label).
+    let labels = labels.engine(flow.hub_engine_name());
+    strober_probe::counter_add_labeled("strober.server.job_engine", &labels, 1);
     stage(job, &mut manifest, "prepare", t);
 
     let progress_hook = |p: Progress| {

@@ -25,7 +25,11 @@ use strober_store::RunManifest;
 /// select the streaming capture→replay pipeline with a confidence-driven
 /// stopping rule, and [`EstimateOutcome`] reports `stop_reason` and
 /// `achieved_epsilon`.
-pub const PROTOCOL_VERSION: u32 = 4;
+/// Revision 5 added [`EstimateSpec::hub_engine`] (explicit hub settle
+/// engine selection, including the JIT-compiled native engine) and the
+/// manifest carried in [`EstimateOutcome`] moved to schema v6 with
+/// codegen provenance.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Scheduling class of a job. Higher classes are always dequeued before
 /// lower ones; within a class jobs run in submission order.
@@ -116,6 +120,12 @@ pub struct EstimateSpec {
     /// Hub-simulator settle worker threads (1 = sequential; 2..=64
     /// selects the partitioned parallel engine, bit-identical results).
     pub hub_threads: usize,
+    /// Hub settle engine: `auto` (threads decide), `interp` (sequential
+    /// interpreter), `partitioned` (multi-threaded interpreter) or `jit`
+    /// (native code compiled from the op tape; falls back to the
+    /// interpreter when no `rustc` is available). All engines are
+    /// bit-identical.
+    pub hub_engine: String,
     /// Target relative error ε for the adaptive stopping rule; 0 disables
     /// adaptive stopping and runs the sequential capture-then-replay
     /// flow. Any value in `(0, 1)` selects the streaming pipeline, which
@@ -141,6 +151,7 @@ impl Default for EstimateSpec {
             batch_lanes: 64,
             tape_opt: true,
             hub_threads: 1,
+            hub_engine: "auto".to_owned(),
             target_error: 0.0,
             min_samples: 30,
         }
@@ -413,8 +424,8 @@ pub struct EstimateOutcome {
     /// The relative error bound achieved by the adaptive stopping rule;
     /// `None` for non-adaptive runs.
     pub achieved_epsilon: Option<f64>,
-    /// The run manifest (schema v5, with job, worker and sampling
-    /// provenance).
+    /// The run manifest (schema v6, with job, worker, sampling and
+    /// codegen provenance).
     pub manifest: RunManifest,
 }
 

@@ -26,6 +26,15 @@ pub enum SimError {
         /// Description of the mismatch.
         what: &'static str,
     },
+    /// A native settle engine was compiled from a different tape than the
+    /// one it is being attached to (stale dylib, different design or
+    /// optimizer options).
+    EngineSignatureMismatch {
+        /// The signature the simulator's own tape generates.
+        expected: u64,
+        /// The signature the offered engine reports.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +47,11 @@ impl fmt::Display for SimError {
             SimError::StateShapeMismatch { what } => {
                 write!(f, "state shape mismatch: {what}")
             }
+            SimError::EngineSignatureMismatch { expected, actual } => write!(
+                f,
+                "native settle engine signature {actual:#x} does not match \
+                 this tape's generated source ({expected:#x})"
+            ),
         }
     }
 }

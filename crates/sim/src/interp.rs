@@ -12,10 +12,11 @@
 //! interpreter by the golden equivalence suites and by the fuzz oracle
 //! matrix, which uses it as the reference lane for every other engine.
 
+use crate::engine::Engine;
 use crate::error::SimError;
 use crate::state::SimState;
 use std::collections::HashMap;
-use strober_rtl::{Design, Node, NodeId};
+use strober_rtl::{Design, Node, NodeId, PortId};
 
 /// A tree-walking interpreter with identical semantics to
 /// [`crate::Simulator`].
@@ -190,6 +191,40 @@ impl NaiveInterpreter {
             mems: self.mems.clone(),
             cycle: self.cycle,
         }
+    }
+
+    /// Reads any node's value with a fresh per-call memo.
+    pub fn peek(&self, node: NodeId) -> u64 {
+        self.eval(node, &mut HashMap::new())
+    }
+}
+
+impl Engine for NaiveInterpreter {
+    fn poke(&mut self, port: PortId, value: u64) {
+        let p = &self.design.ports()[port.index()];
+        let masked = value & p.width().mask();
+        let name = p.name().to_owned();
+        self.inputs.insert(name, masked);
+    }
+
+    fn peek(&mut self, node: NodeId) -> u64 {
+        NaiveInterpreter::peek(self, node)
+    }
+
+    /// A no-op: the interpreter evaluates on demand from a fresh memo at
+    /// every read, so there is no settled cache to build.
+    fn settle(&mut self) {}
+
+    fn clock_edge(&mut self) {
+        self.step();
+    }
+
+    fn state(&self) -> SimState {
+        NaiveInterpreter::state(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        "naive"
     }
 }
 

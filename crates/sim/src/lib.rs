@@ -13,7 +13,7 @@
 //! design, which is precisely the speed differential the sample-based
 //! methodology exploits.
 //!
-//! Three engines are provided:
+//! Four engines are provided:
 //!
 //! * [`Simulator`] — the compiled-tape engine used everywhere.
 //! * [`Simulator::set_threads`] with `threads > 1` switches the same
@@ -22,12 +22,19 @@
 //!   cross-partition edges) and executed on a persistent worker pool with
 //!   phase barriers, bit-identical to the sequential walk. See
 //!   [`PartitionStats`] and DESIGN.md §14.
+//! * [`Simulator::attach_jit`] replaces the settle loop with native code
+//!   compiled from the tape by `strober-jit`: [`Simulator::jit_source`]
+//!   lowers the tape to one straight-line Rust function (constants,
+//!   masks and slot indices baked in, no per-op dispatch), and any
+//!   [`NativeSettle`] whose signature matches can be plugged in. See
+//!   DESIGN.md §16.
 //! * [`NaiveInterpreter`] — a deliberately simple tree-walking reference
 //!   engine, used for differential testing and as the slow baseline in the
 //!   ablation benchmarks.
 //!
-//! All engines implement identical semantics: combinational settle, then
-//! clock edge (registers capture, memory writes commit).
+//! All engines implement identical semantics — combinational settle, then
+//! clock edge (registers capture, memory writes commit) — made explicit
+//! by the [`Engine`] trait.
 //!
 //! The gate-level side of the flow mirrors this architecture one layer
 //! down: `strober-gatesim` compiles the synthesized netlist into its own
@@ -63,6 +70,8 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+mod codegen;
+mod engine;
 mod error;
 mod interp;
 mod opt;
@@ -72,6 +81,8 @@ mod state;
 mod tape;
 mod vcd;
 
+pub use codegen::JitSource;
+pub use engine::{Engine, NativeSettle};
 pub use error::SimError;
 pub use interp::NaiveInterpreter;
 pub use opt::{PassStats, TapeOptions};

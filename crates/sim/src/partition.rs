@@ -96,7 +96,7 @@ pub(crate) struct PartitionPlan {
 }
 
 /// The `values` slots an op reads, appended to `out`.
-fn operands(op: &TapeOp, out: &mut Vec<u32>) {
+pub(crate) fn operands(op: &TapeOp, out: &mut Vec<u32>) {
     match *op {
         TapeOp::Input { .. } | TapeOp::RegOut { .. } => {}
         TapeOp::Unary { a, .. }
@@ -149,7 +149,7 @@ fn operands(op: &TapeOp, out: &mut Vec<u32>) {
 }
 
 /// The `values` slot an op writes.
-fn dst(op: &TapeOp) -> u32 {
+pub(crate) fn dst(op: &TapeOp) -> u32 {
     match *op {
         TapeOp::Input { dst, .. }
         | TapeOp::Unary { dst, .. }

@@ -22,6 +22,8 @@
 //! construction (the sequential state-update epilogue in `step` is
 //! shared by both paths).
 
+use crate::codegen::JitSource;
+use crate::engine::{Engine, NativeSettle};
 use crate::error::SimError;
 use crate::opt::{PassStats, TapeOptions};
 use crate::partition::{self, PartitionStats};
@@ -204,6 +206,17 @@ pub struct Simulator {
     /// Lazily built partitioned engine, present only while `threads > 1`.
     /// Never cloned: each clone rebuilds its own worker pool on first use.
     engine: Option<Box<partition::Engine>>,
+    /// Native settle engine attached by `strober-jit`, taking priority
+    /// over both the sequential walk and the partitioned engine. Shared
+    /// across clones: the compiled code is immutable and thread-safe, so
+    /// unlike the partitioned worker pool it travels with the clone.
+    jit: Option<Arc<dyn NativeSettle>>,
+    /// Per-slot "the native engine materializes this slot" mask, present
+    /// while a JIT engine is attached. The generated code keeps internal
+    /// temporaries in locals and stores only externally observed slots
+    /// (outputs, register next/enable, memory ports); peeks of any other
+    /// live slot reroute to the tree-walking recompute, like `DEAD` ones.
+    jit_stored: Option<Arc<[bool]>>,
 }
 
 impl Clone for Simulator {
@@ -226,6 +239,8 @@ impl Clone for Simulator {
             port_index: self.port_index.clone(),
             threads: self.threads,
             engine: None,
+            jit: self.jit.clone(),
+            jit_stored: self.jit_stored.clone(),
         }
     }
 }
@@ -308,6 +323,8 @@ impl Simulator {
             port_index,
             threads: 1,
             engine: None,
+            jit: None,
+            jit_stored: None,
         })
     }
 
@@ -444,9 +461,117 @@ impl Simulator {
         Ok(())
     }
 
+    /// Attaches a native settle engine (see [`NativeSettle`]), after
+    /// verifying that its signature matches the source this simulator's
+    /// own tape generates. From then on `settle` calls into the native
+    /// code instead of walking the tape; register capture and memory
+    /// commit stay on the interpreted epilogue, so results are
+    /// bit-identical by the same argument as the partitioned engine.
+    ///
+    /// The engine is shared by reference across [`Clone`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EngineSignatureMismatch`] when the engine was
+    /// compiled from a different tape (stale dylib, different design or
+    /// optimizer options).
+    pub fn attach_jit(&mut self, engine: Arc<dyn NativeSettle>) -> Result<(), SimError> {
+        let expected = self.jit_source().sig;
+        let actual = engine.signature();
+        if actual != expected {
+            return Err(SimError::EngineSignatureMismatch { expected, actual });
+        }
+        self.jit = Some(engine);
+        self.jit_stored = Some(self.stored_slots().into());
+        self.dirty = true;
+        Ok(())
+    }
+
+    /// Drops any attached native settle engine, reverting to the
+    /// interpreted tape walk (sequential or partitioned per
+    /// [`set_threads`](Simulator::set_threads)). Marks the simulator
+    /// dirty so the next settle rebuilds the full value slab — the
+    /// native engine only materializes observed slots.
+    pub fn detach_jit(&mut self) {
+        self.jit = None;
+        self.jit_stored = None;
+        self.dirty = true;
+    }
+
+    /// The per-slot set the native engine must store back to the slab:
+    /// everything read outside `settle` — output nodes, register
+    /// next/enable slots, memory write ports. Internal temporaries stay
+    /// in locals in the generated code; reads of those slots reroute to
+    /// the tree-walking recompute (see [`peek`](Simulator::peek)).
+    fn stored_slots(&self) -> Vec<bool> {
+        let mut stored = vec![false; self.values.len()];
+        let mut mark = |slot: u32| {
+            if slot != DEAD {
+                stored[slot as usize] = true;
+            }
+        };
+        for id in self.output_index.values() {
+            mark(self.node_slot[id.index()]);
+        }
+        for plan in &self.reg_plans {
+            mark(plan.next);
+            if let Some(e) = plan.enable {
+                mark(e);
+            }
+        }
+        for plan in &self.write_plans {
+            mark(plan.enable);
+            mark(plan.addr);
+            mark(plan.data);
+        }
+        stored
+    }
+
+    /// Whether reads of `slot` must bypass the slab because the attached
+    /// native engine keeps it in a local instead of storing it.
+    fn jit_skips(&self, slot: u32) -> bool {
+        self.jit.is_some() && self.jit_stored.as_ref().is_some_and(|s| !s[slot as usize])
+    }
+
+    /// Whether a native settle engine is currently attached.
+    pub fn has_jit(&self) -> bool {
+        self.jit.is_some()
+    }
+
+    /// Generates the Rust source of this tape's native settle function
+    /// (see [`crate::JitSource`]). `strober-jit` compiles this to a
+    /// `cdylib` and attaches the result via
+    /// [`attach_jit`](Simulator::attach_jit).
+    pub fn jit_source(&self) -> JitSource {
+        crate::codegen::emit(&self.tape, self.values.len(), &self.stored_slots())
+    }
+
+    /// The label of the settle engine currently in effect, as used for
+    /// benchmark rows and manifests: `"tape-jit"`, `"tape-partitioned"`
+    /// or `"tape"` in priority order.
+    pub fn active_engine_name(&self) -> &'static str {
+        if self.jit.is_some() {
+            "tape-jit"
+        } else if self.threads > 1 {
+            "tape-partitioned"
+        } else {
+            "tape"
+        }
+    }
+
     /// Evaluates the combinational tape with the current inputs and state.
-    fn settle(&mut self) {
+    /// Idempotent until the next poke, state change or clock edge.
+    ///
+    /// Dispatches to the native JIT engine when one is attached, else the
+    /// partitioned engine when `threads > 1`, else the sequential walk —
+    /// all bit-identical.
+    pub fn settle(&mut self) {
         if !self.dirty {
+            return;
+        }
+        if let Some(jit) = &self.jit {
+            jit.settle(&mut self.values, &self.inputs, &self.regs, &self.mems);
+            self.dirty = false;
             return;
         }
         if self.threads > 1 && !self.tape.is_empty() {
@@ -570,6 +695,16 @@ impl Simulator {
     /// commit memory writes, bump the cycle counter.
     pub fn step(&mut self) {
         self.settle();
+        self.clock_edge();
+    }
+
+    /// The synchronous half of a cycle: registers capture their next
+    /// values, memory writes commit, the cycle counter increments.
+    /// Settles first if needed, so calling this alone is a full
+    /// [`step`](Simulator::step). This epilogue is sequential and shared
+    /// by every settle engine, which is what makes them bit-identical.
+    pub fn clock_edge(&mut self) {
+        self.settle();
         for (i, plan) in self.reg_plans.iter().enumerate() {
             let en = plan.enable.is_none_or(|e| self.values[e as usize] != 0);
             self.reg_next[i] = if en {
@@ -625,6 +760,7 @@ impl Simulator {
         self.settle();
         match self.node_slot[node.index()] {
             DEAD => self.peek_slow(node, &mut HashMap::new()),
+            slot if self.jit_skips(slot) => self.peek_slow(node, &mut HashMap::new()),
             slot => self.values[slot as usize],
         }
     }
@@ -633,7 +769,7 @@ impl Simulator {
     /// slots where available. Mirrors [`crate::NaiveInterpreter`] semantics.
     fn peek_slow(&self, id: NodeId, memo: &mut HashMap<NodeId, u64>) -> u64 {
         let slot = self.node_slot[id.index()];
-        if slot != DEAD {
+        if slot != DEAD && !self.jit_skips(slot) {
             return self.values[slot as usize];
         }
         if let Some(&v) = memo.get(&id) {
@@ -802,6 +938,32 @@ impl Simulator {
         }
         self.cycle = 0;
         self.dirty = true;
+    }
+}
+
+impl Engine for Simulator {
+    fn poke(&mut self, port: PortId, value: u64) {
+        Simulator::poke(self, port, value);
+    }
+
+    fn peek(&mut self, node: NodeId) -> u64 {
+        Simulator::peek(self, node)
+    }
+
+    fn settle(&mut self) {
+        Simulator::settle(self);
+    }
+
+    fn clock_edge(&mut self) {
+        Simulator::clock_edge(self);
+    }
+
+    fn state(&self) -> SimState {
+        Simulator::state(self)
+    }
+
+    fn engine_name(&self) -> &'static str {
+        self.active_engine_name()
     }
 }
 

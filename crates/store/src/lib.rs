@@ -50,5 +50,7 @@ pub(crate) mod testutil;
 
 pub use envelope::{read_object, write_object, ReadFailure, ENVELOPE_MAGIC, ENVELOPE_VERSION};
 pub use fingerprint::{fingerprint_bytes, fingerprint_of, fingerprint_parts, Fingerprint, Fnv1a};
-pub use manifest::{JobProvenance, RunManifest, SamplingOutcome, StageTiming, MANIFEST_VERSION};
+pub use manifest::{
+    CodegenProvenance, JobProvenance, RunManifest, SamplingOutcome, StageTiming, MANIFEST_VERSION,
+};
 pub use store::Store;

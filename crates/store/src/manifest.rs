@@ -19,9 +19,12 @@ use std::time::Duration;
 /// when the telemetry layer added worker attribution (`job.worker`) and
 /// the metrics snapshot started carrying labeled per-job series; bumped
 /// to 5 when confidence-driven adaptive sampling landed and manifests
-/// grew the `sampling` outcome (stop reason, target and achieved ε).
+/// grew the `sampling` outcome (stop reason, target and achieved ε);
+/// bumped to 6 when tape-to-native codegen landed and manifests grew
+/// the `hub_engine` name plus the `jit` codegen provenance
+/// (cold/warm/store, compile wall-time).
 /// Older documents no longer parse: every field is required.
-pub const MANIFEST_VERSION: u32 = 5;
+pub const MANIFEST_VERSION: u32 = 6;
 
 /// Which job a served run belonged to — absent for one-shot CLI runs.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -52,6 +55,20 @@ pub struct SamplingOutcome {
     /// The relative error bound achieved over the final sample, when
     /// adaptive stopping was enabled.
     pub achieved_epsilon: Option<f64>,
+}
+
+/// How the run's JIT-compiled settle engine was served — absent for
+/// runs on the interpreted engines.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CodegenProvenance {
+    /// Where the compiled dylib came from: `cold` (`rustc` ran this
+    /// session), `warm` (compile cache hit on disk) or `store` (artifact
+    /// store hit).
+    pub provenance: String,
+    /// Wall-clock milliseconds the `rustc` invocation took when the
+    /// dylib was first compiled (0 only if the compile was immeasurably
+    /// fast).
+    pub compile_ms: u64,
 }
 
 /// One timed pipeline stage.
@@ -87,6 +104,11 @@ pub struct RunManifest {
     /// How sampling ended — absent only for runs that never reached the
     /// sampled simulation (e.g. failed during prepare).
     pub sampling: Option<SamplingOutcome>,
+    /// The hub settle engine the sampled simulation ran under, after any
+    /// fallback: `tape`, `tape-partitioned` or `tape-jit`.
+    pub hub_engine: String,
+    /// Codegen provenance, for runs on the JIT engine.
+    pub jit: Option<CodegenProvenance>,
     /// Per-stage wall-clock timings, in execution order.
     pub stages: Vec<StageTiming>,
     /// Every metric the probe registry held at the end of the run.
@@ -101,6 +123,7 @@ impl RunManifest {
             design: design.into(),
             workload: workload.into(),
             prepare: "cold".to_owned(),
+            hub_engine: "tape".to_owned(),
             ..RunManifest::default()
         }
     }
@@ -210,7 +233,7 @@ mod tests {
     fn schema_version_is_bumped_and_enforced() {
         let manifest = RunManifest::new("rok", "vvadd");
         assert_eq!(manifest.version, MANIFEST_VERSION);
-        assert_eq!(MANIFEST_VERSION, 5, "bump this test with the schema");
+        assert_eq!(MANIFEST_VERSION, 6, "bump this test with the schema");
         let text = manifest.to_json();
         assert!(text.contains("\"version\""));
         assert!(text.contains("\"metrics\""));
@@ -266,6 +289,37 @@ mod tests {
             "metrics": {"counters": [], "gauges": [], "histograms": []}
         }"#;
         assert!(RunManifest::from_json(v4).is_err());
+        // A version-5 document predates the hub-engine and codegen
+        // provenance fields; it must be rejected.
+        let v5 = r#"{
+            "version": 5,
+            "design": "rok",
+            "workload": "vvadd",
+            "fingerprint": "00117a5e57a0be55",
+            "cache_hit": false,
+            "prepare": "cold",
+            "job": null,
+            "sampling": null,
+            "stages": [],
+            "metrics": {"counters": [], "gauges": [], "histograms": []}
+        }"#;
+        assert!(RunManifest::from_json(v5).is_err());
+    }
+
+    #[test]
+    fn codegen_provenance_round_trips() {
+        let mut manifest = RunManifest::new("rok", "vvadd");
+        assert_eq!(manifest.hub_engine, "tape");
+        assert_eq!(manifest.jit, None);
+        manifest.hub_engine = "tape-jit".to_owned();
+        manifest.jit = Some(CodegenProvenance {
+            provenance: "store".to_owned(),
+            compile_ms: 412,
+        });
+        let back = RunManifest::from_json(&manifest.to_json()).unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.hub_engine, "tape-jit");
+        assert_eq!(back.jit.unwrap().compile_ms, 412);
     }
 
     #[test]

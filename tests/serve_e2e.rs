@@ -33,6 +33,7 @@ fn spec() -> EstimateSpec {
         batch_lanes: 8,
         tape_opt: true,
         hub_threads: 1,
+        hub_engine: "auto".to_owned(),
         target_error: 0.0,
         min_samples: 30,
     }
